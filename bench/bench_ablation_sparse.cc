@@ -1,0 +1,68 @@
+// Ablation: sparse transport-plan representation (Section 6.5's suggested
+// optimization) — kernel-truncation sweep on a mid-sized constraint domain.
+//
+// Expected shape: nonzeros (and hence plan memory) drop sharply with the
+// cutoff while transport cost and repair quality stay put, until an
+// over-aggressive cutoff starts dropping needed mass routes.
+
+#include "bench_common.h"
+
+using namespace otclean;
+
+int main(int argc, char** argv) {
+  const bool full = bench::FullScale(argc, argv);
+  bench::PrintHeader(
+      "Ablation: sparse kernel truncation",
+      "nnz and memory drop orders of magnitude at unchanged repair quality");
+
+  datagen::ScalingDatasetOptions gen;
+  gen.num_rows = full ? 8000 : 3000;
+  gen.num_z_attrs = full ? 4 : 3;
+  gen.z_card = 3;
+  gen.violation = 0.5;
+  gen.seed = 191;
+  const auto table = datagen::MakeScalingDataset(gen).value();
+  std::vector<std::string> zs;
+  for (size_t i = 0; i < gen.num_z_attrs; ++i) {
+    zs.push_back("z" + std::to_string(i));
+  }
+  const core::CiConstraint ci({"x"}, {"y"}, zs);
+  const auto u_cols = ci.ResolveColumns(table.schema()).value();
+  const auto p = table.Empirical(u_cols);
+  const auto spec = ci.SpecInProjectedDomain();
+  ot::EuclideanCost cost(u_cols.size());
+
+  std::printf("%-12s %-12s %-10s %-12s %-10s\n", "truncation", "kernel_nnz",
+              "cost", "plan_CMI", "time(s)");
+  std::printf("# plan_CMI: residual CMI of the plan's actual target "
+              "marginal — a cutoff that zeroes the cost has stopped "
+              "moving mass (over-truncation)\n");
+  for (const double cutoff : {0.0, 1e-12, 1e-8, 1e-4, 1e-2}) {
+    core::FastOtCleanOptions opts;
+    opts.epsilon = 0.1;
+    opts.max_outer_iterations = 40;
+    opts.outer_tolerance = 1e-6;
+    opts.max_sinkhorn_iterations = 1000;
+    opts.kernel_truncation = cutoff;
+    Rng rng(192);
+    WallTimer timer;
+    const auto r = core::FastOtClean(p, spec, cost, opts, rng);
+    if (!r.ok()) {
+      std::printf("%-12.0e failed: %s\n", cutoff,
+                  r.status().ToString().c_str());
+      continue;
+    }
+    // CMI of the plan's actual target marginal (not the projected Q).
+    const auto colm = r->plan.TargetMarginal();
+    prob::JointDistribution t(p.domain());
+    for (size_t j = 0; j < r->plan.col_cells().size(); ++j) {
+      t[r->plan.col_cells()[j]] = colm[j];
+    }
+    t.Normalize();
+    std::printf("%-12.0e %-12zu %-10.4f %-12.2e %-10.2f\n", cutoff,
+                r->kernel_nnz, r->transport_cost,
+                prob::ConditionalMutualInformation(t, spec),
+                timer.ElapsedSeconds());
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+#ifndef OTCLEAN_BENCH_BENCH_CLEANING_H_
+#define OTCLEAN_BENCH_BENCH_CLEANING_H_
+
+// Shared harness for the data-cleaning experiments (Figs. 6–9, 12, 15–17):
+// noise / missingness injection into the training half of a dataset,
+// cleaning with the method under test, and evaluation on the clean half.
+
+#include "bench_common.h"
+
+namespace otclean::bench {
+
+/// A dataset split into a (to-be-corrupted) training half and a clean test
+/// half, plus the experiment wiring.
+struct CleaningSetup {
+  datagen::DatasetBundle bundle;
+  dataset::Table train_clean;
+  dataset::Table test;
+  size_t label = 0;
+  size_t noisy_col = 0;  ///< the column noise / missingness targets.
+  std::vector<size_t> features;
+};
+
+inline CleaningSetup MakeCleaningSetup(datagen::DatasetBundle bundle,
+                                       const std::string& noisy_col_name) {
+  CleaningSetup setup;
+  setup.bundle = std::move(bundle);
+  const auto& table = setup.bundle.table;
+  std::vector<size_t> train_rows, test_rows;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    (r % 2 == 0 ? train_rows : test_rows).push_back(r);
+  }
+  setup.train_clean = table.SelectRows(train_rows);
+  setup.test = table.SelectRows(test_rows);
+  setup.label =
+      table.schema().ColumnIndex(setup.bundle.label_col).value();
+  setup.noisy_col = table.schema().ColumnIndex(noisy_col_name).value();
+  setup.features = ml::AllFeaturesExcept(table.schema(), setup.label);
+  return setup;
+}
+
+/// Injects class-driven attribute noise at `rate` into the training half.
+inline dataset::Table MakeDirtyTrain(const CleaningSetup& setup, double rate,
+                                     uint64_t seed) {
+  cleaning::AttributeNoiseOptions noise;
+  noise.target_col = setup.noisy_col;
+  noise.driver_col = setup.label;
+  noise.rate = rate;
+  noise.seed = seed;
+  return cleaning::InjectAttributeNoise(setup.train_clean, noise).value();
+}
+
+/// OTClean repair of a training table, optionally with background knowledge
+/// of which attribute is noisy (cheap to move the noisy attribute,
+/// expensive to move anything else — the paper's OTClean-BG).
+inline Result<dataset::Table> OtCleanRepairTrain(const CleaningSetup& setup,
+                                                 const dataset::Table& dirty,
+                                                 bool background_knowledge) {
+  core::RepairOptions opts = BenchRepairOptions();
+  std::unique_ptr<ot::CostFunction> cost;
+  if (background_knowledge) {
+    const auto u_cols =
+        setup.bundle.constraint.ResolveColumns(dirty.schema()).value();
+    std::vector<double> weights(u_cols.size(), 5.0);
+    for (size_t i = 0; i < u_cols.size(); ++i) {
+      if (u_cols[i] == setup.noisy_col) weights[i] = 0.2;
+    }
+    cost = std::make_unique<ot::WeightedEuclideanCost>(std::move(weights));
+  }
+  OTCLEAN_ASSIGN_OR_RETURN(
+      core::RepairReport report,
+      core::RepairTable(dirty, setup.bundle.constraint, opts, cost.get()));
+  return std::move(report).repaired;
+}
+
+/// Baran-style corrector fitted on a small clean validation slice (10% of
+/// the training half; Baran itself learns from user-verified corrections).
+inline Result<dataset::Table> BaranRepairTrain(const CleaningSetup& setup,
+                                               const dataset::Table& dirty) {
+  std::vector<size_t> sample_rows;
+  for (size_t r = 0; r < setup.train_clean.num_rows(); r += 10) {
+    sample_rows.push_back(r);
+  }
+  cleaning::BaranStyleCleaner cleaner;
+  OTCLEAN_RETURN_NOT_OK(
+      cleaner.Fit(setup.train_clean.SelectRows(sample_rows)));
+  return cleaner.Clean(dirty);
+}
+
+/// AUC / F1 of a logistic-regression model trained on `train`, evaluated on
+/// the clean test half.
+inline ml::HoldoutResult Evaluate(const CleaningSetup& setup,
+                                  const dataset::Table& train) {
+  return EvalOnCleanTest(train, setup.test, setup.label, setup.features)
+      .value_or(ml::HoldoutResult{});
+}
+
+/// Missingness + imputation: blanks the noisy column at `rate` under the
+/// given mechanism, imputes, and (optionally) post-processes with OTClean.
+inline Result<dataset::Table> ImputedTrain(const CleaningSetup& setup,
+                                           cleaning::MissingMechanism mech,
+                                           double rate, uint64_t seed,
+                                           cleaning::Imputer& imputer,
+                                           bool with_otclean) {
+  cleaning::MissingnessOptions miss;
+  miss.target_col = setup.noisy_col;
+  miss.driver_col = setup.label;
+  miss.mechanism = mech;
+  miss.rate = rate;
+  miss.seed = seed;
+  OTCLEAN_ASSIGN_OR_RETURN(dataset::Table dirty,
+                           cleaning::InjectMissingness(setup.train_clean, miss));
+  OTCLEAN_ASSIGN_OR_RETURN(dataset::Table imputed, imputer.Impute(dirty));
+  if (!with_otclean) return imputed;
+  return OtCleanRepairTrain(setup, imputed, /*background_knowledge=*/false);
+}
+
+}  // namespace otclean::bench
+
+#endif  // OTCLEAN_BENCH_BENCH_CLEANING_H_

@@ -1,0 +1,103 @@
+// Figure 1: effect of the entropic-regularization coefficient on the
+// transport plan between two 1-D Gaussian-mixture distributions.
+//
+// The paper plots the plan heatmaps for 1/ρ in {1e-4, 1e-3, 1e-2, 1e-1};
+// larger coefficients spread the mass. We quantify "spread" by the plan's
+// entropy and the mean per-row support size, which must both increase
+// monotonically with the coefficient.
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "bench_common.h"
+
+using namespace otclean;
+
+namespace {
+
+/// Discretizes a two-component Gaussian mixture onto `bins` points in
+/// [lo, hi].
+linalg::Vector MixtureHistogram(double m1, double m2, double sd, double lo,
+                                double hi, size_t bins) {
+  linalg::Vector v(bins);
+  for (size_t i = 0; i < bins; ++i) {
+    const double x =
+        lo + (hi - lo) * (static_cast<double>(i) + 0.5) / static_cast<double>(bins);
+    const double g1 = std::exp(-0.5 * (x - m1) * (x - m1) / (sd * sd));
+    const double g2 = std::exp(-0.5 * (x - m2) * (x - m2) / (sd * sd));
+    v[i] = 0.5 * g1 + 0.5 * g2;
+  }
+  v.Normalize();
+  return v;
+}
+
+/// Mean number of columns holding 95% of each row's mass.
+double MeanRowSupport(const linalg::Matrix& plan) {
+  double total = 0.0;
+  for (size_t r = 0; r < plan.rows(); ++r) {
+    std::vector<double> row(plan.cols());
+    double mass = 0.0;
+    for (size_t c = 0; c < plan.cols(); ++c) {
+      row[c] = plan(r, c);
+      mass += row[c];
+    }
+    if (mass <= 0.0) continue;
+    std::sort(row.begin(), row.end(), std::greater<double>());
+    double acc = 0.0;
+    size_t k = 0;
+    while (k < row.size() && acc < 0.95 * mass) acc += row[k++];
+    total += static_cast<double>(k);
+  }
+  return total / static_cast<double>(plan.rows());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::FullScale(argc, argv);
+  const size_t bins = full ? 128 : 64;
+
+  bench::PrintHeader(
+      "Figure 1: entropic regularization smooths the transport plan",
+      "plan spread (entropy, row support) increases with the coefficient");
+
+  // P: mixture on [-2, 3]; Q: mixture on [0, 6] (the paper's ranges). The
+  // ground cost is normalized to [0, 1] so that the smallest coefficient
+  // stays above the double-precision underflow threshold of the Gibbs
+  // kernel (the paper's 1e-4 setting relies on log-domain arithmetic in a
+  // continuous solver; the qualitative sweep is the reproduction target).
+  const linalg::Vector p = MixtureHistogram(-1.0, 2.0, 0.6, -2.0, 3.0, bins);
+  const linalg::Vector q = MixtureHistogram(1.0, 5.0, 0.7, 0.0, 6.0, bins);
+  linalg::Matrix cost(bins, bins);
+  double max_cost = 0.0;
+  for (size_t i = 0; i < bins; ++i) {
+    const double xi = -2.0 + 5.0 * (static_cast<double>(i) + 0.5) / bins;
+    for (size_t j = 0; j < bins; ++j) {
+      const double yj = 0.0 + 6.0 * (static_cast<double>(j) + 0.5) / bins;
+      cost(i, j) = std::fabs(xi - yj);
+      max_cost = std::max(max_cost, cost(i, j));
+    }
+  }
+  cost *= 1.0 / max_cost;
+
+  std::printf("%-12s %-14s %-18s %-10s\n", "coef", "plan_entropy",
+              "mean_row_support", "iters");
+  double prev_entropy = -1.0;
+  bool monotone = true;
+  for (const double coef : {5e-3, 1e-2, 5e-2, 1e-1}) {
+    ot::SinkhornOptions opts;
+    opts.epsilon = coef;  // K = exp(-C/coef): small coef -> sharp plan
+    opts.max_iterations = 300000;
+    opts.tolerance = 1e-11;
+    const auto r = ot::RunSinkhorn(cost, p, q, opts).value();
+    const double entropy = ot::PlanEntropy(r.plan);
+    std::printf("%-12.0e %-14.4f %-18.2f %-10zu\n", coef, entropy,
+                MeanRowSupport(r.plan), r.iterations);
+    if (entropy < prev_entropy) monotone = false;
+    prev_entropy = entropy;
+  }
+  std::printf("# reproduced: spread increases monotonically = %s\n",
+              monotone ? "yes" : "NO");
+  return monotone ? 0 : 1;
+}

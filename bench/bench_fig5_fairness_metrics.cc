@@ -1,0 +1,53 @@
+// Figure 5: the ROD / EO / DP heat map per method — OTClean should lower
+// all three fairness gaps relative to "No repair" on both datasets.
+
+#include "bench_fairness.h"
+
+using namespace otclean;
+
+namespace {
+
+void RunDataset(const datagen::DatasetBundle& bundle, bool include_qclp,
+                size_t folds) {
+  std::printf("\n-- %s --\n", bundle.name.c_str());
+  std::printf("%-16s %-10s %-8s %-8s\n", "method", "|logROD|", "EO", "DP");
+  bench::FairnessBenchConfig config;
+  config.include_qclp = include_qclp;
+  config.cv_folds = folds;
+  double dirty[3] = {0, 0, 0}, clean[3] = {1e9, 1e9, 1e9};
+  for (const auto& row : bench::RunFairnessBench(bundle, config)) {
+    if (!row.ok) {
+      std::printf("%-16s (failed)\n", row.method.c_str());
+      continue;
+    }
+    std::printf("%-16s %-10.3f %-8.3f %-8.3f\n", row.method.c_str(),
+                row.abs_log_rod, row.eo_gap, row.dp_gap);
+    if (row.method == "No repair") {
+      dirty[0] = row.abs_log_rod;
+      dirty[1] = row.eo_gap;
+      dirty[2] = row.dp_gap;
+    }
+    if (row.method == "FastOTClean-C1") {
+      clean[0] = row.abs_log_rod;
+      clean[1] = row.eo_gap;
+      clean[2] = row.dp_gap;
+    }
+  }
+  std::printf("# reproduced: ROD %.3f->%.3f, EO %.3f->%.3f, DP %.3f->%.3f\n",
+              dirty[0], clean[0], dirty[1], clean[1], dirty[2], clean[2]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::FullScale(argc, argv);
+  bench::PrintHeader("Figure 5: ROD / EO / DP per method",
+                     "OTClean lowers all three metrics vs No-repair; "
+                     "incidental EO/DP gains mirror the paper");
+
+  const auto adult = datagen::MakeAdult(full ? 8000 : 1600, 31).value();
+  RunDataset(adult, false, 3);
+  const auto compas = datagen::MakeCompas(full ? 10000 : 2500, 32).value();
+  RunDataset(compas, true, 3);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Data-cleaning example: inject non-random attribute noise into a
+// Car-style dataset (breaking doors _||_ class | {buying,safety,persons}),
+// then compare models trained on clean / dirty / OTClean-repaired data —
+// the Section 6.3 workflow behind Figure 6.
+
+#include <cstdio>
+#include <memory>
+
+#include "otclean/otclean.h"
+
+using namespace otclean;
+
+int main() {
+  auto bundle_r = datagen::MakeCar(2000, 11);
+  if (!bundle_r.ok()) {
+    std::printf("datagen failed: %s\n", bundle_r.status().ToString().c_str());
+    return 1;
+  }
+  const auto& bundle = *bundle_r;
+  const auto& clean = bundle.table;
+  const auto& schema = clean.schema();
+  const size_t label = schema.ColumnIndex(bundle.label_col).value();
+  const auto features = ml::AllFeaturesExcept(schema, label);
+
+  // Hold out half the (clean) data as the test set.
+  std::vector<size_t> train_rows, test_rows;
+  for (size_t r = 0; r < clean.num_rows(); ++r) {
+    (r % 2 == 0 ? train_rows : test_rows).push_back(r);
+  }
+  const auto train_clean = clean.SelectRows(train_rows);
+  const auto test = clean.SelectRows(test_rows);
+
+  const auto factory = [] { return std::make_unique<ml::RandomForest>(); };
+  auto report = [&](const dataset::Table& train, const char* tag) {
+    const auto r = ml::TrainAndEvaluate(train, test, label, features, factory);
+    std::printf("%-10s AUC=%.3f  F1=%.3f\n", tag, r->auc, r->f1);
+  };
+
+  std::printf("error rate 60%%, noise on 'doors' driven by 'class':\n");
+  cleaning::AttributeNoiseOptions noise;
+  noise.target_col = schema.ColumnIndex("doors").value();
+  noise.driver_col = label;
+  noise.rate = 0.6;
+  noise.seed = 12;
+  const auto train_dirty =
+      cleaning::InjectAttributeNoise(train_clean, noise).value();
+
+  report(train_clean, "Clean");
+  report(train_dirty, "Dirty");
+
+  const auto repaired =
+      core::RepairTable(train_dirty, bundle.constraint).value();
+  std::printf("(OTClean: CMI %.4f -> %.4f)\n", repaired.initial_cmi,
+              repaired.final_cmi);
+  report(repaired.repaired, "OTClean");
+  return 0;
+}

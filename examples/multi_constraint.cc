@@ -1,0 +1,49 @@
+// Multi-constraint example: enforcing two conditional-independence
+// constraints simultaneously (the extension the paper's conclusion calls
+// out), using cyclic I-projections inside FastOTClean.
+
+#include <cstdio>
+
+#include "otclean/otclean.h"
+
+using namespace otclean;
+
+int main() {
+  // Dataset where (a) x and y are strongly dependent inside every (z0, z1)
+  // slice and (b) the extra attribute w0 is marginally correlated with x —
+  // two genuinely violated constraints over overlapping attribute sets.
+  datagen::ScalingDatasetOptions gen;
+  gen.num_rows = 3000;
+  gen.num_z_attrs = 2;
+  gen.z_card = 2;
+  gen.num_w_attrs = 1;
+  gen.w_card = 2;
+  gen.violation = 0.7;
+  gen.seed = 19;
+  const auto table = datagen::MakeScalingDataset(gen).value();
+
+  const core::CiConstraint c1({"x"}, {"y"}, {"z0", "z1"});
+  const core::CiConstraint c2({"x"}, {"w0"});
+  std::printf("before: CMI(%s) = %.4f, CMI(%s) = %.4f\n",
+              c1.ToString().c_str(), core::TableCmi(table, c1).value(),
+              c2.ToString().c_str(), core::TableCmi(table, c2).value());
+
+  core::RepairOptions options;
+  options.fast.epsilon = 0.08;
+  const auto report = core::RepairTableMulti(table, {c1, c2}, options);
+  if (!report.ok()) {
+    std::printf("repair failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("after:  CMI(%s) = %.4f, CMI(%s) = %.4f\n",
+              c1.ToString().c_str(),
+              core::TableCmi(report->repaired, c1).value(),
+              c2.ToString().c_str(),
+              core::TableCmi(report->repaired, c2).value());
+  std::printf("target max-CMI %.2e, transport cost %.4f, %zu outer "
+              "iterations\n",
+              report->target_cmi, report->transport_cost,
+              report->outer_iterations);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: repair a tiny dataset that violates a conditional
+// independence constraint, mirroring Examples 3.2–3.4 of the OTClean paper.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "otclean/otclean.h"
+
+using namespace otclean;  // example code only; library code never does this
+
+int main() {
+  // --- 1. Build the bag D2 = {(1,0,0), (1,0,1), (1,1,0), (1,1,0)}. -------
+  std::vector<dataset::Column> cols = {{"x", {"0", "1"}},
+                                       {"y", {"0", "1"}},
+                                       {"z", {"0", "1"}}};
+  dataset::Table d2{dataset::Schema(cols)};
+  (void)d2.AppendRow({1, 0, 0});
+  (void)d2.AppendRow({1, 0, 1});
+  (void)d2.AppendRow({1, 1, 0});
+  (void)d2.AppendRow({1, 1, 0});
+
+  // --- 2. The constraint sigma : Y _||_ Z (marginal independence). -------
+  const core::CiConstraint sigma({"y"}, {"z"});
+  const double before = core::TableCmi(d2, sigma).value();
+  std::printf("CMI before repair: %.4f nats\n", before);
+
+  // --- 3. Repair with FastOTClean (default solver). ----------------------
+  core::RepairOptions options;
+  options.fast.epsilon = 0.02;  // sharp entropic regularization
+  options.seed = 7;
+  // Plain (unit) Euclidean cost over the constraint attributes {y, z}, so
+  // the transport cost is comparable with Example 3.4's numbers.
+  const ot::EuclideanCost cost(2);
+  const auto report = core::RepairTable(d2, sigma, options, &cost);
+  if (!report.ok()) {
+    std::printf("repair failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("CMI of cleaner's target Q: %.2e nats\n", report->target_cmi);
+  std::printf(
+      "transport cost: %.4f (Example 3.4's repair costs 0.25; the exact\n"
+      "optimum, which our QCLP solver finds, is 4/21 ~= 0.19)\n",
+      report->transport_cost);
+  std::printf("repaired rows:\n");
+  for (size_t r = 0; r < report->repaired.num_rows(); ++r) {
+    std::printf("  (%s, %s, %s)\n", report->repaired.Label(r, 0).c_str(),
+                report->repaired.Label(r, 1).c_str(),
+                report->repaired.Label(r, 2).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "cleaning/baran_style.h"
+
+#include <cmath>
+
+namespace otclean::cleaning {
+
+Status BaranStyleCleaner::Fit(const dataset::Table& clean_sample) {
+  schema_ = clean_sample.schema();
+  const size_t ncols = schema_.num_columns();
+  cooccur_.assign(ncols, {});
+  for (size_t c = 0; c < ncols; ++c) {
+    cooccur_[c].resize(ncols);
+    const size_t card_c = schema_.column(c).cardinality();
+    for (size_t j = 0; j < ncols; ++j) {
+      if (j == c) continue;
+      const size_t card_j = schema_.column(j).cardinality();
+      cooccur_[c][j].assign(card_j,
+                            std::vector<double>(card_c, options_.alpha));
+    }
+  }
+  for (size_t r = 0; r < clean_sample.num_rows(); ++r) {
+    for (size_t c = 0; c < ncols; ++c) {
+      const int v = clean_sample.Value(r, c);
+      if (v == dataset::kMissing) continue;
+      for (size_t j = 0; j < ncols; ++j) {
+        if (j == c) continue;
+        const int b = clean_sample.Value(r, j);
+        if (b == dataset::kMissing) continue;
+        cooccur_[c][j][static_cast<size_t>(b)][static_cast<size_t>(v)] += 1.0;
+      }
+    }
+  }
+  // Normalize to conditionals.
+  for (size_t c = 0; c < ncols; ++c) {
+    for (size_t j = 0; j < ncols; ++j) {
+      if (j == c) continue;
+      for (auto& row : cooccur_[c][j]) {
+        double s = 0.0;
+        for (double x : row) s += x;
+        if (s > 0.0) {
+          for (double& x : row) x /= s;
+        }
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<dataset::Table> BaranStyleCleaner::Clean(
+    const dataset::Table& dirty) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("BaranStyleCleaner::Clean before Fit");
+  }
+  if (dirty.num_columns() != schema_.num_columns()) {
+    return Status::InvalidArgument("BaranStyleCleaner: schema mismatch");
+  }
+  dataset::Table out = dirty;
+  const size_t ncols = schema_.num_columns();
+  for (size_t r = 0; r < dirty.num_rows(); ++r) {
+    for (size_t c = 0; c < ncols; ++c) {
+      const int observed = dirty.Value(r, c);
+      if (observed == dataset::kMissing) continue;
+      const size_t card = schema_.column(c).cardinality();
+      // Aggregate context evidence: mean conditional probability over all
+      // observed context attributes.
+      std::vector<double> score(card, 0.0);
+      size_t ctx_count = 0;
+      for (size_t j = 0; j < ncols; ++j) {
+        if (j == c) continue;
+        const int b = dirty.Value(r, j);
+        if (b == dataset::kMissing) continue;
+        ++ctx_count;
+        const auto& cond = cooccur_[c][j][static_cast<size_t>(b)];
+        for (size_t v = 0; v < card; ++v) score[v] += cond[v];
+      }
+      if (ctx_count == 0) continue;
+      size_t best = 0;
+      for (size_t v = 1; v < card; ++v) {
+        if (score[v] > score[best]) best = v;
+      }
+      const double obs_score = score[static_cast<size_t>(observed)];
+      if (static_cast<int>(best) != observed && obs_score > 0.0 &&
+          score[best] / obs_score >= options_.confidence_ratio) {
+        out.SetValue(r, c, static_cast<int>(best));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace otclean::cleaning

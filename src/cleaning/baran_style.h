@@ -1,0 +1,45 @@
+#ifndef OTCLEAN_CLEANING_BARAN_STYLE_H_
+#define OTCLEAN_CLEANING_BARAN_STYLE_H_
+
+#include "common/result.h"
+#include "dataset/table.h"
+
+namespace otclean::cleaning {
+
+/// Context-based error corrector standing in for Baran (Mahdavi & Abedjan,
+/// VLDB'20). Baran generates correction candidates from value context
+/// (co-occurring values in the same tuple) with high precision. Our
+/// substitute learns co-occurrence statistics P(target | context attribute)
+/// from a small clean sample, then corrects a dirty cell only when the
+/// observed value is very unlikely under its context *and* an alternative
+/// is confidently more likely — a high-precision, value-level corrector
+/// that (like Baran) does not target distribution-level CI violations.
+class BaranStyleCleaner {
+ public:
+  struct Options {
+    /// Correct only when P(best | ctx) / P(observed | ctx) exceeds this.
+    double confidence_ratio = 4.0;
+    double alpha = 0.5;  ///< Laplace smoothing.
+  };
+
+  BaranStyleCleaner() : BaranStyleCleaner(Options()) {}
+  explicit BaranStyleCleaner(Options options) : options_(options) {}
+
+  /// Learns context statistics from a clean sample (schema must match the
+  /// tables to be cleaned).
+  Status Fit(const dataset::Table& clean_sample);
+
+  /// Returns a corrected copy of `dirty`.
+  Result<dataset::Table> Clean(const dataset::Table& dirty) const;
+
+ private:
+  Options options_;
+  bool fitted_ = false;
+  dataset::Schema schema_;
+  /// cooccur_[c][j][b][v] = P(col_c = v | col_j = b) with smoothing.
+  std::vector<std::vector<std::vector<std::vector<double>>>> cooccur_;
+};
+
+}  // namespace otclean::cleaning
+
+#endif  // OTCLEAN_CLEANING_BARAN_STYLE_H_

@@ -1,0 +1,32 @@
+#include "cleaning/distortion.h"
+
+#include "ot/exact.h"
+
+namespace otclean::cleaning {
+
+Result<double> TableEmd(const dataset::Table& a, const dataset::Table& b,
+                        const std::vector<size_t>& cols,
+                        const ot::CostFunction& cost) {
+  const prob::JointDistribution pa = a.Empirical(cols);
+  const prob::JointDistribution pb = b.Empirical(cols);
+  return ot::ExactOtDistance(pa, pb, cost);
+}
+
+Result<double> TableEmd(const dataset::Table& a, const dataset::Table& b,
+                        const std::vector<size_t>& cols) {
+  const prob::JointDistribution pa = a.Empirical(cols);
+  const ot::EuclideanCost cost(
+      ot::InverseStddevWeights(pa.domain(), pa.probs()));
+  return TableEmd(a, b, cols, cost);
+}
+
+dataset::Table BootstrapSample(const dataset::Table& table, size_t n,
+                               Rng& rng) {
+  std::vector<size_t> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows[i] = rng.NextUint64Below(table.num_rows());
+  }
+  return table.SelectRows(rows);
+}
+
+}  // namespace otclean::cleaning

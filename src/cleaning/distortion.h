@@ -1,0 +1,30 @@
+#ifndef OTCLEAN_CLEANING_DISTORTION_H_
+#define OTCLEAN_CLEANING_DISTORTION_H_
+
+#include "common/random.h"
+#include "common/result.h"
+#include "dataset/table.h"
+#include "ot/cost.h"
+
+namespace otclean::cleaning {
+
+/// Statistical-distortion evaluation of data-cleaning strategies (Dasu &
+/// Loh, VLDB'12; Fig. 9 of the paper): how far a cleaning method moves the
+/// data distribution, measured by the Earth Mover's Distance between the
+/// empirical distributions of two tables over the given columns.
+Result<double> TableEmd(const dataset::Table& a, const dataset::Table& b,
+                        const std::vector<size_t>& cols,
+                        const ot::CostFunction& cost);
+
+/// Convenience overload using the C1 (stddev-normalized Euclidean) cost
+/// built from table `a`.
+Result<double> TableEmd(const dataset::Table& a, const dataset::Table& b,
+                        const std::vector<size_t>& cols);
+
+/// Bootstrap replication: samples `n` rows with replacement.
+dataset::Table BootstrapSample(const dataset::Table& table, size_t n,
+                               Rng& rng);
+
+}  // namespace otclean::cleaning
+
+#endif  // OTCLEAN_CLEANING_DISTORTION_H_

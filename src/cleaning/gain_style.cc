@@ -1,0 +1,96 @@
+#include "cleaning/gain_style.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace otclean::cleaning {
+
+namespace {
+
+/// Pairwise conditional model P(col_j = b | col_c = v) with Laplace
+/// smoothing, fitted from rows where both cells are observed.
+struct PairwiseModel {
+  /// prior[c][v] ∝ count of value v in column c.
+  std::vector<std::vector<double>> prior;
+  /// cond[c][j][v][b] = P(col_j = b | col_c = v), for j != c.
+  std::vector<std::vector<std::vector<std::vector<double>>>> cond;
+};
+
+PairwiseModel FitPairwise(const dataset::Table& table, double alpha) {
+  const size_t ncols = table.num_columns();
+  PairwiseModel m;
+  m.prior.resize(ncols);
+  m.cond.resize(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    const size_t card_c = table.schema().column(c).cardinality();
+    m.prior[c].assign(card_c, alpha);
+    m.cond[c].resize(ncols);
+    for (size_t j = 0; j < ncols; ++j) {
+      if (j == c) continue;
+      const size_t card_j = table.schema().column(j).cardinality();
+      m.cond[c][j].assign(card_c, std::vector<double>(card_j, alpha));
+    }
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < ncols; ++c) {
+      const int v = table.Value(r, c);
+      if (v == dataset::kMissing) continue;
+      m.prior[c][static_cast<size_t>(v)] += 1.0;
+      for (size_t j = 0; j < ncols; ++j) {
+        if (j == c) continue;
+        const int b = table.Value(r, j);
+        if (b == dataset::kMissing) continue;
+        m.cond[c][j][static_cast<size_t>(v)][static_cast<size_t>(b)] += 1.0;
+      }
+    }
+  }
+  // Normalize conditionals.
+  for (size_t c = 0; c < ncols; ++c) {
+    for (size_t j = 0; j < ncols; ++j) {
+      if (j == c) continue;
+      for (auto& row : m.cond[c][j]) {
+        double s = 0.0;
+        for (double x : row) s += x;
+        if (s > 0.0) {
+          for (double& x : row) x /= s;
+        }
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+Result<dataset::Table> GainStyleImputer::Impute(const dataset::Table& table) {
+  const PairwiseModel model = FitPairwise(table, options_.alpha);
+  Rng rng(options_.seed);
+  dataset::Table out = table;
+  const size_t ncols = table.num_columns();
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < ncols; ++c) {
+      if (!table.IsMissing(r, c)) continue;
+      const size_t card = table.schema().column(c).cardinality();
+      // log P(v | obs) up to a constant.
+      std::vector<double> logp(card, 0.0);
+      for (size_t v = 0; v < card; ++v) {
+        logp[v] = std::log(model.prior[c][v]);
+        for (size_t j = 0; j < ncols; ++j) {
+          if (j == c) continue;
+          const int b = table.Value(r, j);
+          if (b == dataset::kMissing) continue;
+          logp[v] +=
+              std::log(model.cond[c][j][v][static_cast<size_t>(b)] + 1e-12);
+        }
+      }
+      // Softmax-normalize and sample.
+      const double mx = *std::max_element(logp.begin(), logp.end());
+      std::vector<double> w(card);
+      for (size_t v = 0; v < card; ++v) w[v] = std::exp(logp[v] - mx);
+      out.SetValue(r, c, static_cast<int>(rng.NextCategorical(w)));
+    }
+  }
+  return out;
+}
+
+}  // namespace otclean::cleaning

@@ -1,0 +1,33 @@
+#ifndef OTCLEAN_CLEANING_GAIN_STYLE_H_
+#define OTCLEAN_CLEANING_GAIN_STYLE_H_
+
+#include "cleaning/imputer.h"
+
+namespace otclean::cleaning {
+
+/// Generative imputer standing in for GAIN (Yoon et al., ICML'18), which is
+/// a GAN trained to impute from the data distribution. On small categorical
+/// data the discrete analogue is: fit the empirical conditionals and
+/// *sample* each missing value from P(target | observed attributes), which
+/// is modeled naive-Bayes style, P(v | obs) ∝ P(v) · Π_j P(obs_j | v).
+/// Sampling (rather than argmax) preserves the generative character that
+/// distinguishes GAIN from point imputers in the paper's figures.
+class GainStyleImputer : public Imputer {
+ public:
+  struct Options {
+    double alpha = 0.5;  ///< Laplace smoothing.
+    uint64_t seed = 23;
+  };
+
+  GainStyleImputer() : GainStyleImputer(Options()) {}
+  explicit GainStyleImputer(Options options) : options_(options) {}
+  Result<dataset::Table> Impute(const dataset::Table& table) override;
+  const char* name() const override { return "gain_style"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace otclean::cleaning
+
+#endif  // OTCLEAN_CLEANING_GAIN_STYLE_H_

@@ -1,0 +1,138 @@
+#include "cleaning/hyperimpute_style.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace otclean::cleaning {
+
+namespace {
+
+/// Conditional categorical model for one target column given all others
+/// (naive-Bayes factorization), fit from a working (fully observed) table.
+class ColumnModel {
+ public:
+  ColumnModel(const dataset::Table& table, size_t target, double alpha)
+      : target_(target) {
+    const size_t ncols = table.num_columns();
+    const size_t card = table.schema().column(target).cardinality();
+    prior_.assign(card, alpha);
+    cond_.resize(ncols);
+    for (size_t j = 0; j < ncols; ++j) {
+      if (j == target) continue;
+      cond_[j].assign(card, std::vector<double>(
+                                table.schema().column(j).cardinality(),
+                                alpha));
+    }
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      const int v = table.Value(r, target);
+      if (v == dataset::kMissing) continue;
+      prior_[static_cast<size_t>(v)] += 1.0;
+      for (size_t j = 0; j < ncols; ++j) {
+        if (j == target) continue;
+        const int b = table.Value(r, j);
+        if (b == dataset::kMissing) continue;
+        cond_[j][static_cast<size_t>(v)][static_cast<size_t>(b)] += 1.0;
+      }
+    }
+    for (size_t j = 0; j < cond_.size(); ++j) {
+      if (j == target_) continue;
+      for (auto& row : cond_[j]) {
+        double s = 0.0;
+        for (double x : row) s += x;
+        if (s > 0.0) {
+          for (double& x : row) x /= s;
+        }
+      }
+    }
+  }
+
+  int Predict(const std::vector<int>& row) const {
+    const size_t card = prior_.size();
+    double best = -1e300;
+    int best_v = 0;
+    for (size_t v = 0; v < card; ++v) {
+      double logp = std::log(prior_[v]);
+      for (size_t j = 0; j < cond_.size(); ++j) {
+        if (j == target_ || cond_[j].empty()) continue;
+        const int b = row[j];
+        if (b == dataset::kMissing) continue;
+        logp += std::log(cond_[j][v][static_cast<size_t>(b)] + 1e-12);
+      }
+      if (logp > best) {
+        best = logp;
+        best_v = static_cast<int>(v);
+      }
+    }
+    return best_v;
+  }
+
+ private:
+  size_t target_;
+  std::vector<double> prior_;
+  std::vector<std::vector<std::vector<double>>> cond_;
+};
+
+int ColumnMode(const dataset::Table& table, size_t c) {
+  std::vector<size_t> counts(table.schema().column(c).cardinality(), 0);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const int v = table.Value(r, c);
+    if (v != dataset::kMissing) ++counts[static_cast<size_t>(v)];
+  }
+  const auto it = std::max_element(counts.begin(), counts.end());
+  return (it == counts.end()) ? 0 : static_cast<int>(it - counts.begin());
+}
+
+}  // namespace
+
+Result<dataset::Table> HyperImputeStyleImputer::Impute(
+    const dataset::Table& table) {
+  Rng rng(options_.seed);
+  // Initial completion: most frequent per column.
+  MostFrequentImputer mf;
+  OTCLEAN_ASSIGN_OR_RETURN(dataset::Table work, mf.Impute(table));
+
+  const size_t ncols = table.num_columns();
+  std::vector<std::vector<size_t>> missing_rows(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (table.IsMissing(r, c)) missing_rows[c].push_back(r);
+    }
+  }
+
+  for (size_t sweep = 0; sweep < options_.sweeps; ++sweep) {
+    for (size_t c = 0; c < ncols; ++c) {
+      if (missing_rows[c].empty()) continue;
+
+      // Automatic model selection: evaluate the conditional model against
+      // the mode on a holdout of *observed* cells of column c.
+      std::vector<size_t> observed;
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        if (!table.IsMissing(r, c)) observed.push_back(r);
+      }
+      if (observed.empty()) continue;
+      const size_t holdout =
+          std::max<size_t>(1, static_cast<size_t>(options_.holdout_frac *
+                                                  observed.size()));
+      const std::vector<size_t> perm = rng.Permutation(observed.size());
+
+      const ColumnModel model(work, c, options_.alpha);
+      const int mode = ColumnMode(work, c);
+      size_t model_hits = 0, mode_hits = 0;
+      for (size_t i = 0; i < holdout; ++i) {
+        const size_t r = observed[perm[i]];
+        const int truth = table.Value(r, c);
+        if (model.Predict(work.Row(r)) == truth) ++model_hits;
+        if (mode == truth) ++mode_hits;
+      }
+
+      const bool use_model = model_hits >= mode_hits;
+      for (size_t r : missing_rows[c]) {
+        work.SetValue(r, c,
+                      use_model ? model.Predict(work.Row(r)) : mode);
+      }
+    }
+  }
+  return work;
+}
+
+}  // namespace otclean::cleaning

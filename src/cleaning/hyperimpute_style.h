@@ -1,0 +1,33 @@
+#ifndef OTCLEAN_CLEANING_HYPERIMPUTE_STYLE_H_
+#define OTCLEAN_CLEANING_HYPERIMPUTE_STYLE_H_
+
+#include "cleaning/imputer.h"
+
+namespace otclean::cleaning {
+
+/// Iterative imputer standing in for HyperImpute (Jarrett et al., ICML'22):
+/// MICE-style column sweeps where each column with missing values is
+/// re-imputed from the current completion of the others, with automatic
+/// per-column model selection (a conditional model vs. the marginal mode,
+/// chosen by held-out accuracy on observed cells).
+class HyperImputeStyleImputer : public Imputer {
+ public:
+  struct Options {
+    size_t sweeps = 3;
+    double alpha = 0.5;       ///< Laplace smoothing for conditional models.
+    double holdout_frac = 0.15;
+    uint64_t seed = 29;
+  };
+
+  HyperImputeStyleImputer() : HyperImputeStyleImputer(Options()) {}
+  explicit HyperImputeStyleImputer(Options options) : options_(options) {}
+  Result<dataset::Table> Impute(const dataset::Table& table) override;
+  const char* name() const override { return "hyperimpute_style"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace otclean::cleaning
+
+#endif  // OTCLEAN_CLEANING_HYPERIMPUTE_STYLE_H_

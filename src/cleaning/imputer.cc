@@ -1,0 +1,73 @@
+#include "cleaning/imputer.h"
+
+#include <algorithm>
+
+namespace otclean::cleaning {
+
+Result<dataset::Table> MostFrequentImputer::Impute(
+    const dataset::Table& table) {
+  dataset::Table out = table;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    std::vector<size_t> counts(table.schema().column(c).cardinality(), 0);
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      const int v = table.Value(r, c);
+      if (v != dataset::kMissing) ++counts[static_cast<size_t>(v)];
+    }
+    const auto it = std::max_element(counts.begin(), counts.end());
+    if (it == counts.end() || *it == 0) continue;  // nothing observed
+    const int mode = static_cast<int>(it - counts.begin());
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (out.IsMissing(r, c)) out.SetValue(r, c, mode);
+    }
+  }
+  return out;
+}
+
+Result<dataset::Table> KnnImputer::Impute(const dataset::Table& table) {
+  const size_t n = table.num_rows();
+  const size_t ncols = table.num_columns();
+  Rng rng(options_.seed);
+
+  // Reference pool (subsampled when large).
+  std::vector<size_t> pool;
+  if (n <= options_.max_reference_rows) {
+    pool.resize(n);
+    for (size_t i = 0; i < n; ++i) pool[i] = i;
+  } else {
+    const std::vector<size_t> perm = rng.Permutation(n);
+    pool.assign(perm.begin(), perm.begin() + options_.max_reference_rows);
+  }
+
+  dataset::Table out = table;
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < ncols; ++c) {
+      if (!table.IsMissing(r, c)) continue;
+      // Distance to every pool row that has column c observed.
+      std::vector<std::pair<size_t, size_t>> dist_row;  // (distance, row)
+      for (size_t pr : pool) {
+        if (pr == r || table.IsMissing(pr, c)) continue;
+        size_t d = 0;
+        for (size_t j = 0; j < ncols; ++j) {
+          if (j == c) continue;
+          const int a = table.Value(r, j);
+          const int b = table.Value(pr, j);
+          if (a == dataset::kMissing || b == dataset::kMissing || a != b) ++d;
+        }
+        dist_row.emplace_back(d, pr);
+      }
+      if (dist_row.empty()) continue;
+      const size_t k = std::min(options_.k, dist_row.size());
+      std::partial_sort(dist_row.begin(), dist_row.begin() + k,
+                        dist_row.end());
+      std::vector<size_t> votes(table.schema().column(c).cardinality(), 0);
+      for (size_t i = 0; i < k; ++i) {
+        votes[static_cast<size_t>(table.Value(dist_row[i].second, c))] += 1;
+      }
+      const auto it = std::max_element(votes.begin(), votes.end());
+      out.SetValue(r, c, static_cast<int>(it - votes.begin()));
+    }
+  }
+  return out;
+}
+
+}  // namespace otclean::cleaning

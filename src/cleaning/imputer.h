@@ -1,0 +1,52 @@
+#ifndef OTCLEAN_CLEANING_IMPUTER_H_
+#define OTCLEAN_CLEANING_IMPUTER_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "dataset/table.h"
+
+namespace otclean::cleaning {
+
+/// Fills missing cells of a table. Implementations must return a table with
+/// no missing values (in columns that had at least one observed value).
+class Imputer {
+ public:
+  virtual ~Imputer() = default;
+  virtual Result<dataset::Table> Impute(const dataset::Table& table) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Fills each column's missing cells with its most frequent observed value
+/// (the paper's "MF" baseline).
+class MostFrequentImputer : public Imputer {
+ public:
+  Result<dataset::Table> Impute(const dataset::Table& table) override;
+  const char* name() const override { return "most_frequent"; }
+};
+
+/// k-nearest-neighbour imputation under Hamming distance on the observed
+/// attributes; the missing cell takes the most frequent value among the k
+/// nearest complete-in-that-column rows (the paper's "kNN" baseline).
+class KnnImputer : public Imputer {
+ public:
+  struct Options {
+    size_t k = 5;
+    /// Rows examined per query; larger tables are subsampled for speed.
+    size_t max_reference_rows = 2000;
+    uint64_t seed = 17;
+  };
+
+  KnnImputer() : KnnImputer(Options()) {}
+  explicit KnnImputer(Options options) : options_(options) {}
+  Result<dataset::Table> Impute(const dataset::Table& table) override;
+  const char* name() const override { return "knn"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace otclean::cleaning
+
+#endif  // OTCLEAN_CLEANING_IMPUTER_H_

@@ -1,0 +1,46 @@
+#include "cleaning/missingness.h"
+
+namespace otclean::cleaning {
+
+Result<dataset::Table> InjectMissingness(const dataset::Table& table,
+                                         const MissingnessOptions& options) {
+  if (options.target_col >= table.num_columns() ||
+      options.driver_col >= table.num_columns()) {
+    return Status::OutOfRange("InjectMissingness: column out of range");
+  }
+  if (options.rate < 0.0 || options.rate > 1.0) {
+    return Status::InvalidArgument("InjectMissingness: rate not in [0,1]");
+  }
+  const size_t driver_card =
+      table.schema().column(options.driver_col).cardinality();
+  const size_t target_card =
+      table.schema().column(options.target_col).cardinality();
+
+  Rng rng(options.seed);
+  dataset::Table out = table;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const int driver = table.Value(r, options.driver_col);
+    const int target = table.Value(r, options.target_col);
+    if (driver == dataset::kMissing || target == dataset::kMissing) continue;
+
+    // Rows in the "high" half of the relevant attribute(s) are twice as
+    // likely to lose the value, keeping the overall rate ≈ options.rate
+    // while making missingness value-dependent.
+    double p = options.rate;
+    const bool driver_high =
+        static_cast<size_t>(driver) * 2 >= driver_card;
+    if (options.mechanism == MissingMechanism::kMar) {
+      p *= driver_high ? 1.5 : 0.5;
+    } else {
+      const bool target_high =
+          static_cast<size_t>(target) * 2 >= target_card;
+      p *= (target_high ? 1.2 : 0.4) + (driver_high ? 0.4 : 0.0);
+    }
+    if (rng.NextBernoulli(std::min(1.0, p))) {
+      out.SetValue(r, options.target_col, dataset::kMissing);
+    }
+  }
+  return out;
+}
+
+}  // namespace otclean::cleaning

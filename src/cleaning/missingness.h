@@ -1,0 +1,38 @@
+#ifndef OTCLEAN_CLEANING_MISSINGNESS_H_
+#define OTCLEAN_CLEANING_MISSINGNESS_H_
+
+#include "common/random.h"
+#include "common/result.h"
+#include "dataset/table.h"
+
+namespace otclean::cleaning {
+
+/// Missingness mechanisms of Section 6.3.
+enum class MissingMechanism {
+  /// Missing At Random: whether `target_col` goes missing depends on the
+  /// value of `driver_col` in the same record.
+  kMar,
+  /// Missing Not At Random: missingness depends on the target's own value
+  /// as well as the driver's.
+  kMnar,
+};
+
+struct MissingnessOptions {
+  size_t target_col = 0;
+  size_t driver_col = 0;
+  MissingMechanism mechanism = MissingMechanism::kMar;
+  /// Overall fraction of target cells made missing, in [0, 1].
+  double rate = 0.2;
+  uint64_t seed = 5;
+};
+
+/// Returns a copy of `table` with target cells blanked out according to the
+/// selected mechanism. The induced missingness is value-dependent, so naive
+/// imputation reintroduces exactly the spurious correlations OTClean is
+/// designed to remove.
+Result<dataset::Table> InjectMissingness(const dataset::Table& table,
+                                         const MissingnessOptions& options);
+
+}  // namespace otclean::cleaning
+
+#endif  // OTCLEAN_CLEANING_MISSINGNESS_H_

@@ -1,0 +1,53 @@
+#include "cleaning/noise.h"
+
+namespace otclean::cleaning {
+
+Result<dataset::Table> InjectAttributeNoise(
+    const dataset::Table& table, const AttributeNoiseOptions& options) {
+  if (options.target_col >= table.num_columns() ||
+      options.driver_col >= table.num_columns()) {
+    return Status::OutOfRange("InjectAttributeNoise: column out of range");
+  }
+  if (options.target_col == options.driver_col) {
+    return Status::InvalidArgument(
+        "InjectAttributeNoise: target and driver must differ");
+  }
+  if (options.rate < 0.0 || options.rate > 1.0) {
+    return Status::InvalidArgument("InjectAttributeNoise: rate not in [0,1]");
+  }
+  const size_t target_card =
+      table.schema().column(options.target_col).cardinality();
+
+  Rng rng(options.seed);
+  dataset::Table out = table;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (!rng.NextBernoulli(options.rate)) continue;
+    const int driver = table.Value(r, options.driver_col);
+    if (driver == dataset::kMissing ||
+        table.IsMissing(r, options.target_col)) {
+      continue;
+    }
+    // Non-random corruption: the new value is a deterministic function of
+    // the driver, occasionally jittered so the dependency is strong but not
+    // purely functional.
+    int corrupted =
+        static_cast<int>(static_cast<size_t>(driver) % target_card);
+    if (rng.NextBernoulli(0.15)) {
+      corrupted = static_cast<int>(
+          (static_cast<size_t>(corrupted) + 1) % target_card);
+    }
+    out.SetValue(r, options.target_col, corrupted);
+  }
+  return out;
+}
+
+std::vector<size_t> DiffRows(const dataset::Table& a, const dataset::Table& b) {
+  std::vector<size_t> out;
+  const size_t n = std::min(a.num_rows(), b.num_rows());
+  for (size_t r = 0; r < n; ++r) {
+    if (a.Row(r) != b.Row(r)) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace otclean::cleaning

@@ -1,0 +1,34 @@
+#ifndef OTCLEAN_CLEANING_NOISE_H_
+#define OTCLEAN_CLEANING_NOISE_H_
+
+#include "common/random.h"
+#include "common/result.h"
+#include "dataset/table.h"
+
+namespace otclean::cleaning {
+
+/// Configuration for the attribute-noise injector of Section 6.3: noise is
+/// added to `target_col` *as a function of* `driver_col`, deliberately
+/// manufacturing a spurious dependency (and hence a CI violation) between
+/// the two.
+struct AttributeNoiseOptions {
+  size_t target_col = 0;
+  size_t driver_col = 0;
+  /// Fraction of rows whose target value is corrupted, in [0, 1].
+  double rate = 0.2;
+  uint64_t seed = 3;
+};
+
+/// Returns a corrupted copy of `table`: for ~rate of the rows, the target
+/// attribute is overwritten with a value deterministically derived from the
+/// driver attribute (plus a small random offset), creating a non-random
+/// error pattern correlated with the driver.
+Result<dataset::Table> InjectAttributeNoise(const dataset::Table& table,
+                                            const AttributeNoiseOptions& options);
+
+/// Rows changed by an injection, for precision/recall style diagnostics.
+std::vector<size_t> DiffRows(const dataset::Table& a, const dataset::Table& b);
+
+}  // namespace otclean::cleaning
+
+#endif  // OTCLEAN_CLEANING_NOISE_H_

@@ -1,0 +1,48 @@
+#ifndef OTCLEAN_COMMON_LOGGING_H_
+#define OTCLEAN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace otclean {
+
+/// Log severities, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum severity; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+/// Use via the OTCLEAN_LOG macro, not directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define OTCLEAN_LOG(level)                                        \
+  ::otclean::internal::LogMessage(::otclean::LogLevel::k##level,  \
+                                  __FILE__, __LINE__)
+
+}  // namespace otclean
+
+#endif  // OTCLEAN_COMMON_LOGGING_H_

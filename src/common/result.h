@@ -1,0 +1,76 @@
+#ifndef OTCLEAN_COMMON_RESULT_H_
+#define OTCLEAN_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace otclean {
+
+/// A value-or-error container, in the spirit of arrow::Result<T>.
+///
+/// A `Result<T>` holds either a `T` (when `ok()`) or a non-OK `Status`.
+/// Accessing the value of an errored result aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result (implicit so functions can
+  /// `return value;`).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs an errored result (implicit so functions can
+  /// `return Status::InvalidArgument(...);`).
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status out of the enclosing function.
+#define OTCLEAN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+#define OTCLEAN_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define OTCLEAN_ASSIGN_OR_RETURN_NAME(a, b) OTCLEAN_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define OTCLEAN_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  OTCLEAN_ASSIGN_OR_RETURN_IMPL(                                                \
+      OTCLEAN_ASSIGN_OR_RETURN_NAME(_otclean_result_, __LINE__), lhs, expr)
+
+}  // namespace otclean
+
+#endif  // OTCLEAN_COMMON_RESULT_H_

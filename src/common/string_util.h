@@ -1,0 +1,33 @@
+#ifndef OTCLEAN_COMMON_STRING_UTIL_H_
+#define OTCLEAN_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace otclean {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Joins `parts` with `delim`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Parses a decimal floating-point number; the whole string must parse.
+Result<double> ParseDouble(std::string_view s);
+
+/// Parses a decimal integer; the whole string must parse.
+Result<int64_t> ParseInt(std::string_view s);
+
+/// Lowercases ASCII letters.
+std::string ToLower(std::string_view s);
+
+}  // namespace otclean
+
+#endif  // OTCLEAN_COMMON_STRING_UTIL_H_

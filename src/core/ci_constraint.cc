@@ -1,0 +1,70 @@
+#include "core/ci_constraint.h"
+
+#include <set>
+#include <sstream>
+
+namespace otclean::core {
+
+std::vector<std::string> CiConstraint::AllAttrs() const {
+  std::vector<std::string> all = x_;
+  all.insert(all.end(), y_.begin(), y_.end());
+  all.insert(all.end(), z_.begin(), z_.end());
+  return all;
+}
+
+Result<std::vector<size_t>> CiConstraint::ResolveColumns(
+    const dataset::Schema& schema) const {
+  if (x_.empty() || y_.empty()) {
+    return Status::InvalidArgument(
+        "CiConstraint: X and Y must both be non-empty");
+  }
+  std::set<std::string> seen;
+  std::vector<size_t> cols;
+  for (const auto& name : AllAttrs()) {
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument(
+          "CiConstraint: attribute '" + name +
+          "' appears in more than one of X, Y, Z");
+    }
+    OTCLEAN_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(name));
+    cols.push_back(idx);
+  }
+  return cols;
+}
+
+prob::CiSpec CiConstraint::SpecInProjectedDomain() const {
+  prob::CiSpec spec;
+  size_t pos = 0;
+  for (size_t i = 0; i < x_.size(); ++i) spec.x.push_back(pos++);
+  for (size_t i = 0; i < y_.size(); ++i) spec.y.push_back(pos++);
+  for (size_t i = 0; i < z_.size(); ++i) spec.z.push_back(pos++);
+  return spec;
+}
+
+Result<bool> CiConstraint::IsSaturatedFor(
+    const dataset::Schema& schema) const {
+  OTCLEAN_ASSIGN_OR_RETURN(std::vector<size_t> cols, ResolveColumns(schema));
+  return cols.size() == schema.num_columns();
+}
+
+std::string CiConstraint::ToString() const {
+  std::ostringstream os;
+  auto join = [&os](const std::vector<std::string>& v) {
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i > 0) os << ",";
+      os << v[i];
+    }
+  };
+  os << "(";
+  join(x_);
+  os << " _||_ ";
+  join(y_);
+  if (!z_.empty()) {
+    os << " | ";
+    join(z_);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace otclean::core

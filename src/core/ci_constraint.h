@@ -1,0 +1,52 @@
+#ifndef OTCLEAN_CORE_CI_CONSTRAINT_H_
+#define OTCLEAN_CORE_CI_CONSTRAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/schema.h"
+#include "prob/independence.h"
+
+namespace otclean::core {
+
+/// A conditional-independence constraint σ : X ⟂ Y | Z named over table
+/// columns. Z may be empty (marginal independence, as in Example 3.2).
+class CiConstraint {
+ public:
+  CiConstraint() = default;
+  CiConstraint(std::vector<std::string> x, std::vector<std::string> y,
+               std::vector<std::string> z = {})
+      : x_(std::move(x)), y_(std::move(y)), z_(std::move(z)) {}
+
+  const std::vector<std::string>& x() const { return x_; }
+  const std::vector<std::string>& y() const { return y_; }
+  const std::vector<std::string>& z() const { return z_; }
+
+  /// All constraint attributes U = X ∪ Y ∪ Z, in X,Y,Z order.
+  std::vector<std::string> AllAttrs() const;
+
+  /// Column positions of U within `schema` (X, then Y, then Z). Fails if a
+  /// name is unknown or repeated across the three sets.
+  Result<std::vector<size_t>> ResolveColumns(
+      const dataset::Schema& schema) const;
+
+  /// The CI position-spec *within the projected U-domain* (X at positions
+  /// [0,|X|), Y next, Z last) — the layout produced by
+  /// `schema.ToDomain(ResolveColumns(schema))`.
+  prob::CiSpec SpecInProjectedDomain() const;
+
+  /// σ is saturated for `schema` iff U covers every column.
+  Result<bool> IsSaturatedFor(const dataset::Schema& schema) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> x_;
+  std::vector<std::string> y_;
+  std::vector<std::string> z_;
+};
+
+}  // namespace otclean::core
+
+#endif  // OTCLEAN_CORE_CI_CONSTRAINT_H_

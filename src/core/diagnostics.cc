@@ -1,0 +1,76 @@
+#include "core/diagnostics.h"
+
+#include <sstream>
+
+#include "core/repair.h"
+#include "prob/independence.h"
+
+namespace otclean::core {
+
+Result<RepairDiagnostics> DiagnoseRepair(const dataset::Table& before,
+                                         const dataset::Table& after,
+                                         const CiConstraint& constraint) {
+  if (before.num_rows() != after.num_rows() ||
+      before.num_columns() != after.num_columns()) {
+    return Status::InvalidArgument(
+        "DiagnoseRepair: tables must have identical shape");
+  }
+  const dataset::Schema& schema = before.schema();
+
+  RepairDiagnostics diag;
+  diag.rows = before.num_rows();
+
+  for (size_t r = 0; r < before.num_rows(); ++r) {
+    if (before.Row(r) != after.Row(r)) ++diag.changed_rows;
+  }
+  diag.changed_row_fraction =
+      diag.rows > 0 ? static_cast<double>(diag.changed_rows) / diag.rows : 0.0;
+
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    AttributeChange change;
+    change.name = schema.column(c).name;
+    for (size_t r = 0; r < before.num_rows(); ++r) {
+      if (before.Value(r, c) != after.Value(r, c)) ++change.changed_cells;
+    }
+    change.changed_fraction =
+        diag.rows > 0 ? static_cast<double>(change.changed_cells) / diag.rows
+                      : 0.0;
+    const auto pb = before.Empirical({c});
+    const auto pa = after.Empirical({c});
+    change.marginal_tv = pb.TotalVariation(pa);
+    diag.attributes.push_back(std::move(change));
+  }
+
+  OTCLEAN_ASSIGN_OR_RETURN(std::vector<size_t> u_cols,
+                           constraint.ResolveColumns(schema));
+  const auto p_before = before.Empirical(u_cols);
+  const auto p_after = after.Empirical(u_cols);
+  const prob::CiSpec spec = constraint.SpecInProjectedDomain();
+  diag.cmi_before = prob::ConditionalMutualInformation(p_before, spec);
+  diag.cmi_after = prob::ConditionalMutualInformation(p_after, spec);
+  diag.constraint_tv = p_before.TotalVariation(p_after);
+  return diag;
+}
+
+std::string FormatDiagnostics(const RepairDiagnostics& diagnostics) {
+  std::ostringstream os;
+  os << "repair diagnostics\n";
+  os << "  rows changed: " << diagnostics.changed_rows << " / "
+     << diagnostics.rows << " ("
+     << static_cast<int>(diagnostics.changed_row_fraction * 100.0 + 0.5)
+     << "%)\n";
+  os << "  constraint CMI: " << diagnostics.cmi_before << " -> "
+     << diagnostics.cmi_after << "\n";
+  os << "  constraint-attrs TV distance: " << diagnostics.constraint_tv
+     << "\n";
+  os << "  per-attribute changes:\n";
+  for (const auto& attr : diagnostics.attributes) {
+    if (attr.changed_cells == 0) continue;
+    os << "    " << attr.name << ": " << attr.changed_cells << " cells ("
+       << static_cast<int>(attr.changed_fraction * 100.0 + 0.5)
+       << "%), marginal TV " << attr.marginal_tv << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace otclean::core

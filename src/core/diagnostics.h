@@ -1,0 +1,51 @@
+#ifndef OTCLEAN_CORE_DIAGNOSTICS_H_
+#define OTCLEAN_CORE_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/ci_constraint.h"
+#include "dataset/table.h"
+
+namespace otclean::core {
+
+/// Per-attribute summary of what a repair changed.
+struct AttributeChange {
+  std::string name;
+  size_t changed_cells = 0;
+  double changed_fraction = 0.0;
+  /// Total variation distance between the attribute's marginal before and
+  /// after the repair.
+  double marginal_tv = 0.0;
+};
+
+/// Side-by-side diagnostics of a repair: which attributes moved, how far
+/// the joint distribution drifted, and how much of the constraint
+/// violation was removed. This is the post-repair report a practitioner
+/// inspects before trusting a cleaned dataset.
+struct RepairDiagnostics {
+  size_t rows = 0;
+  size_t changed_rows = 0;
+  double changed_row_fraction = 0.0;
+  std::vector<AttributeChange> attributes;
+  /// CMI before/after over the constraint attributes.
+  double cmi_before = 0.0;
+  double cmi_after = 0.0;
+  /// Total variation between the empirical joints over the constraint
+  /// attributes.
+  double constraint_tv = 0.0;
+};
+
+/// Compares `before` and `after` (same schema, same row order) under
+/// `constraint`.
+Result<RepairDiagnostics> DiagnoseRepair(const dataset::Table& before,
+                                         const dataset::Table& after,
+                                         const CiConstraint& constraint);
+
+/// Renders the diagnostics as a compact human-readable report.
+std::string FormatDiagnostics(const RepairDiagnostics& diagnostics);
+
+}  // namespace otclean::core
+
+#endif  // OTCLEAN_CORE_DIAGNOSTICS_H_

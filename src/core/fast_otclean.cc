@@ -1,0 +1,340 @@
+#include "core/fast_otclean.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "nmf/kl_nmf.h"
+
+namespace otclean::core {
+
+namespace {
+
+/// Expands a marginal over `cells` into a dense distribution over `dom`.
+prob::JointDistribution ExpandToDomain(const prob::Domain& dom,
+                                       const std::vector<size_t>& cells,
+                                       const linalg::Vector& mass) {
+  prob::JointDistribution out(dom);
+  for (size_t i = 0; i < cells.size(); ++i) out[cells[i]] = mass[i];
+  return out;
+}
+
+/// CI projection computed by per-z-slice iterative Lee–Seung rank-one NMF,
+/// used when options.iterative_nmf is set. Produces the same distribution
+/// as prob::CiProjection at convergence.
+prob::JointDistribution IterativeNmfProjection(
+    const prob::JointDistribution& t, const prob::CiSpec& ci,
+    size_t nmf_max_iterations, Rng& rng) {
+  const prob::Domain& dom = t.domain();
+  // Slice layout: for each z cell, matrix A_z of size d_X × d_Y where
+  // (x, y) aggregates all cells with those X/Y/Z projections. For a
+  // saturated constraint every cell maps uniquely to (x, y, z).
+  const prob::Domain dom_x = dom.Project(ci.x);
+  const prob::Domain dom_y = dom.Project(ci.y);
+  const prob::Domain dom_z =
+      ci.z.empty() ? prob::Domain::FromCardinalities({1}) : dom.Project(ci.z);
+  const size_t dx = dom_x.TotalSize();
+  const size_t dy = dom_y.TotalSize();
+  const size_t dz = ci.z.empty() ? 1 : dom_z.TotalSize();
+
+  // Aggregate P(x, y, z) and the conditional of any remaining attributes.
+  std::vector<linalg::Matrix> slices(dz, linalg::Matrix(dx, dy, 0.0));
+  for (size_t cell = 0; cell < t.size(); ++cell) {
+    const double p = t[cell];
+    if (p <= 0.0) continue;
+    const size_t xi = dom.ProjectIndex(cell, ci.x);
+    const size_t yi = dom.ProjectIndex(cell, ci.y);
+    const size_t zi = ci.z.empty() ? 0 : dom.ProjectIndex(cell, ci.z);
+    slices[zi](xi, yi) += p;
+  }
+
+  // Factorize each slice: A_z ≈ W_z · H_zᵀ (Algorithm 2 lines 8–12).
+  std::vector<linalg::Matrix> approx(dz, linalg::Matrix(dx, dy, 0.0));
+  nmf::KlNmfOptions nmf_opts;
+  nmf_opts.rank = 1;
+  nmf_opts.max_iterations = nmf_max_iterations;
+  for (size_t zi = 0; zi < dz; ++zi) {
+    if (slices[zi].Sum() <= 0.0) continue;
+    auto r = nmf::KlNmf(slices[zi], nmf_opts, rng);
+    if (r.ok()) {
+      approx[zi] =
+          linalg::Matrix::OuterProduct(r->w.Col(0), r->h.Row(0));
+    } else {
+      approx[zi] = slices[zi];
+    }
+  }
+
+  // Reassemble q over the full domain, carrying P(rest | x,y,z) along.
+  std::vector<size_t> xyz = ci.x;
+  xyz.insert(xyz.end(), ci.y.begin(), ci.y.end());
+  xyz.insert(xyz.end(), ci.z.begin(), ci.z.end());
+  const prob::JointDistribution rest_given_xyz = t.ConditionalOn(xyz);
+  prob::JointDistribution q(dom);
+  for (size_t cell = 0; cell < q.size(); ++cell) {
+    const size_t xi = dom.ProjectIndex(cell, ci.x);
+    const size_t yi = dom.ProjectIndex(cell, ci.y);
+    const size_t zi = ci.z.empty() ? 0 : dom.ProjectIndex(cell, ci.z);
+    q[cell] = approx[zi](xi, yi) * rest_given_xyz[cell];
+  }
+  q.Normalize();
+  return q;
+}
+
+}  // namespace
+
+Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
+                                      const prob::CiSpec& ci,
+                                      const ot::CostFunction& cost,
+                                      const FastOtCleanOptions& options,
+                                      Rng& rng) {
+  if (!options.iterative_nmf) {
+    // The closed-form single-constraint projection is the one-spec case of
+    // the cyclic multi-constraint projection.
+    return FastOtCleanMulti(p_data, {ci}, cost, options, rng);
+  }
+  const prob::Domain& dom = p_data.domain();
+  if (dom.TotalSize() == 0) {
+    return Status::InvalidArgument("FastOtClean: empty domain");
+  }
+  if (std::fabs(p_data.Mass() - 1.0) > 1e-6) {
+    return Status::InvalidArgument("FastOtClean: p_data must be normalized");
+  }
+  if (options.ci_strength < 0.0 || options.ci_strength > 1.0) {
+    return Status::InvalidArgument("FastOtClean: ci_strength must be in [0,1]");
+  }
+
+  // Active-domain restriction (Section 5, default optimization 1).
+  std::vector<size_t> row_cells;
+  for (size_t i = 0; i < p_data.size(); ++i) {
+    if (p_data[i] > 0.0) row_cells.push_back(i);
+  }
+  if (row_cells.empty()) {
+    return Status::InvalidArgument("FastOtClean: p_data carries no mass");
+  }
+  std::vector<size_t> col_cells;
+  if (options.restrict_columns_to_active) {
+    col_cells = row_cells;
+  } else {
+    col_cells.resize(dom.TotalSize());
+    for (size_t i = 0; i < col_cells.size(); ++i) col_cells[i] = i;
+  }
+
+  linalg::Vector p(row_cells.size());
+  for (size_t i = 0; i < row_cells.size(); ++i) p[i] = p_data[row_cells[i]];
+
+  const linalg::Matrix cost_matrix =
+      ot::BuildCostMatrix(dom, row_cells, col_cells, cost);
+
+  // Initial target distribution Q (Section 5, default optimization 2).
+  prob::JointDistribution q(dom);
+  if (options.nmf_init) {
+    q = prob::CiProjection(p_data, ci);
+  } else {
+    for (size_t i = 0; i < q.size(); ++i) q[i] = rng.NextDouble();
+    q.Normalize();
+    q = prob::CiProjection(q, ci);  // random but feasible start
+  }
+
+  ot::SinkhornOptions sink;
+  sink.epsilon = options.epsilon;
+  sink.lambda = options.lambda;
+  sink.relaxed = true;
+  sink.max_iterations = options.max_sinkhorn_iterations;
+  sink.tolerance = options.sinkhorn_tolerance;
+
+  FastOtCleanResult result;
+  linalg::Vector warm_u, warm_v;
+  linalg::Matrix plan;
+
+  for (size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
+    // --- Outer step A: transport plan against the current Q (Sinkhorn). ---
+    linalg::Vector q_cols(col_cells.size());
+    for (size_t j = 0; j < col_cells.size(); ++j) q_cols[j] = q[col_cells[j]];
+
+    const linalg::Vector* wu =
+        (options.warm_start && warm_u.size() == p.size()) ? &warm_u : nullptr;
+    const linalg::Vector* wv =
+        (options.warm_start && warm_v.size() == q_cols.size()) ? &warm_v
+                                                               : nullptr;
+    OTCLEAN_ASSIGN_OR_RETURN(
+        ot::SinkhornResult sr,
+        ot::RunSinkhorn(cost_matrix, p, q_cols, sink, wu, wv));
+    warm_u = sr.u;
+    warm_v = sr.v;
+    plan = std::move(sr.plan);
+    result.total_sinkhorn_iterations += sr.iterations;
+    result.objective_trace.push_back(sr.transport_cost);
+
+    // --- Outer step B: rebuild Q from the plan's target marginal via the
+    // per-slice rank-one KL factorization (Algorithm 2 lines 8–13). ---
+    linalg::Vector target_mass = plan.ColSums();
+    const double total = target_mass.Sum();
+    if (total <= 0.0) {
+      return Status::Internal("FastOtClean: plan lost all mass");
+    }
+    target_mass /= total;
+    prob::JointDistribution t = ExpandToDomain(dom, col_cells, target_mass);
+    prob::JointDistribution q_proj =
+        options.iterative_nmf
+            ? IterativeNmfProjection(t, ci, options.nmf_max_iterations, rng)
+            : prob::CiProjection(t, ci);
+
+    if (options.ci_strength < 1.0) {
+      // Soft enforcement: blend projection with the raw marginal (finite μ).
+      for (size_t i = 0; i < q_proj.size(); ++i) {
+        q_proj[i] =
+            options.ci_strength * q_proj[i] +
+            (1.0 - options.ci_strength) * t[i];
+      }
+      q_proj.Normalize();
+    }
+
+    const double delta = q.TotalVariation(q_proj);
+    q = std::move(q_proj);
+    result.outer_iterations = outer + 1;
+    if (delta <= options.outer_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.plan = ot::TransportPlan(dom, row_cells, col_cells, plan);
+  result.target = q;
+  result.target_cmi = prob::ConditionalMutualInformation(q, ci);
+  result.transport_cost = cost_matrix.FrobeniusDot(plan);
+  return result;
+}
+
+Result<FastOtCleanResult> FastOtCleanMulti(
+    const prob::JointDistribution& p_data,
+    const std::vector<prob::CiSpec>& cis, const ot::CostFunction& cost,
+    const FastOtCleanOptions& options, Rng& rng) {
+  const prob::Domain& dom = p_data.domain();
+  if (dom.TotalSize() == 0) {
+    return Status::InvalidArgument("FastOtCleanMulti: empty domain");
+  }
+  if (cis.empty()) {
+    return Status::InvalidArgument("FastOtCleanMulti: no constraints");
+  }
+  if (std::fabs(p_data.Mass() - 1.0) > 1e-6) {
+    return Status::InvalidArgument(
+        "FastOtCleanMulti: p_data must be normalized");
+  }
+  if (options.ci_strength < 0.0 || options.ci_strength > 1.0) {
+    return Status::InvalidArgument(
+        "FastOtCleanMulti: ci_strength must be in [0,1]");
+  }
+
+  std::vector<size_t> row_cells;
+  for (size_t i = 0; i < p_data.size(); ++i) {
+    if (p_data[i] > 0.0) row_cells.push_back(i);
+  }
+  if (row_cells.empty()) {
+    return Status::InvalidArgument("FastOtCleanMulti: p_data carries no mass");
+  }
+  std::vector<size_t> col_cells;
+  if (options.restrict_columns_to_active) {
+    col_cells = row_cells;
+  } else {
+    col_cells.resize(dom.TotalSize());
+    for (size_t i = 0; i < col_cells.size(); ++i) col_cells[i] = i;
+  }
+
+  linalg::Vector p(row_cells.size());
+  for (size_t i = 0; i < row_cells.size(); ++i) p[i] = p_data[row_cells[i]];
+
+  const linalg::Matrix cost_matrix =
+      ot::BuildCostMatrix(dom, row_cells, col_cells, cost);
+
+  prob::JointDistribution q(dom);
+  if (options.nmf_init) {
+    q = prob::MultiCiProjection(p_data, cis);
+  } else {
+    for (size_t i = 0; i < q.size(); ++i) q[i] = rng.NextDouble();
+    q.Normalize();
+    q = prob::MultiCiProjection(q, cis);
+  }
+
+  ot::SinkhornOptions sink;
+  sink.epsilon = options.epsilon;
+  sink.lambda = options.lambda;
+  sink.relaxed = true;
+  sink.max_iterations = options.max_sinkhorn_iterations;
+  sink.tolerance = options.sinkhorn_tolerance;
+
+  FastOtCleanResult result;
+  linalg::Vector warm_u, warm_v;
+  linalg::Matrix plan;
+  linalg::SparseMatrix sparse_plan;
+  const bool sparse = options.kernel_truncation > 0.0;
+  result.kernel_nnz = cost_matrix.size();
+
+  for (size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
+    linalg::Vector q_cols(col_cells.size());
+    for (size_t j = 0; j < col_cells.size(); ++j) q_cols[j] = q[col_cells[j]];
+
+    const linalg::Vector* wu =
+        (options.warm_start && warm_u.size() == p.size()) ? &warm_u : nullptr;
+    const linalg::Vector* wv =
+        (options.warm_start && warm_v.size() == q_cols.size()) ? &warm_v
+                                                               : nullptr;
+    linalg::Vector target_mass;
+    if (sparse) {
+      OTCLEAN_ASSIGN_OR_RETURN(
+          ot::SparseSinkhornResult sr,
+          ot::RunSinkhornSparse(cost_matrix, p, q_cols, sink,
+                                options.kernel_truncation, wu, wv));
+      warm_u = sr.u;
+      warm_v = sr.v;
+      result.total_sinkhorn_iterations += sr.iterations;
+      result.objective_trace.push_back(sr.transport_cost);
+      result.kernel_nnz = sr.plan.nnz();
+      target_mass = sr.plan.ColSums();
+      sparse_plan = std::move(sr.plan);
+    } else {
+      OTCLEAN_ASSIGN_OR_RETURN(
+          ot::SinkhornResult sr,
+          ot::RunSinkhorn(cost_matrix, p, q_cols, sink, wu, wv));
+      warm_u = sr.u;
+      warm_v = sr.v;
+      plan = std::move(sr.plan);
+      result.total_sinkhorn_iterations += sr.iterations;
+      result.objective_trace.push_back(sr.transport_cost);
+      target_mass = plan.ColSums();
+    }
+
+    const double total = target_mass.Sum();
+    if (total <= 0.0) {
+      return Status::Internal("FastOtCleanMulti: plan lost all mass");
+    }
+    target_mass /= total;
+    prob::JointDistribution t = ExpandToDomain(dom, col_cells, target_mass);
+    prob::JointDistribution q_proj = prob::MultiCiProjection(t, cis);
+
+    if (options.ci_strength < 1.0) {
+      for (size_t i = 0; i < q_proj.size(); ++i) {
+        q_proj[i] = options.ci_strength * q_proj[i] +
+                    (1.0 - options.ci_strength) * t[i];
+      }
+      q_proj.Normalize();
+    }
+
+    const double delta = q.TotalVariation(q_proj);
+    q = std::move(q_proj);
+    result.outer_iterations = outer + 1;
+    if (delta <= options.outer_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // The sparse path keeps the plan in CSR form during the iterations and
+  // densifies once at the end (TransportPlan interoperability).
+  if (sparse) plan = sparse_plan.ToDense();
+  result.plan = ot::TransportPlan(dom, row_cells, col_cells, plan);
+  result.target = q;
+  result.target_cmi = prob::MaxCmi(q, cis);
+  result.transport_cost = cost_matrix.FrobeniusDot(plan);
+  return result;
+}
+
+}  // namespace otclean::core

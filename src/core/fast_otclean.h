@@ -1,0 +1,104 @@
+#ifndef OTCLEAN_CORE_FAST_OTCLEAN_H_
+#define OTCLEAN_CORE_FAST_OTCLEAN_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "ot/cost.h"
+#include "ot/plan.h"
+#include "ot/sinkhorn.h"
+#include "prob/independence.h"
+#include "prob/joint.h"
+
+namespace otclean::core {
+
+/// Options for FastOTClean (Algorithm 2) — the relaxed-OT + Sinkhorn +
+/// KL-NMF alternating solver of Section 4.2, with the Section 5
+/// optimizations.
+struct FastOtCleanOptions {
+  /// Entropic regularization ε (the kernel is K = e^{−C/ε}; smaller is
+  /// sharper, cf. Fig. 1).
+  double epsilon = 0.1;
+  /// Marginal-relaxation coefficient λ of the relaxed OT objective (Eq. 11).
+  double lambda = 50.0;
+  /// CI-enforcement strength in [0,1]; 1 projects the target exactly onto
+  /// the CI set each outer step (the μ→∞ limit of Eq. 11), smaller values
+  /// blend the projection with the raw target marginal.
+  double ci_strength = 1.0;
+  size_t max_outer_iterations = 300;
+  /// Outer convergence threshold: total-variation change of Q.
+  double outer_tolerance = 1e-8;
+  /// Sinkhorn sub-solver budget per outer step.
+  size_t max_sinkhorn_iterations = 5000;
+  double sinkhorn_tolerance = 1e-9;
+  /// Section 5: reuse scaling vectors across outer steps.
+  bool warm_start = true;
+  /// Section 5: initialize Q by the CI projection (NMF) of P_D instead of a
+  /// random distribution.
+  bool nmf_init = true;
+  /// Restrict plan *columns* to the active domain too (plan rows are always
+  /// restricted to cells with P_D > 0). Keeping the full column support lets
+  /// the cleaner move mass to unseen tuples (as in Example 3.4).
+  bool restrict_columns_to_active = false;
+  /// Use the iterative Lee–Seung KL-NMF in the inner loop instead of the
+  /// closed-form rank-one projection (they coincide at convergence; the
+  /// closed form is the default because it is exact and faster).
+  bool iterative_nmf = false;
+  size_t nmf_max_iterations = 200;
+  /// When > 0, run the inner Sinkhorn on a *sparse* truncated kernel:
+  /// entries of K = e^{−C/ε} below this cutoff are dropped (the sparse
+  /// transport-plan representation of Section 6.5). Cuts memory and time on
+  /// plans where most moves are effectively forbidden; 0 keeps the dense
+  /// kernel.
+  double kernel_truncation = 0.0;
+};
+
+/// Outcome of a FastOTClean run.
+struct FastOtCleanResult {
+  /// The probabilistic data cleaner π(v, v′).
+  ot::TransportPlan plan;
+  /// Final CI-consistent target distribution Q over the full domain.
+  prob::JointDistribution target;
+  /// Relaxed objective value per outer iteration (transport cost term) —
+  /// the convergence trace of Fig. 10b.
+  std::vector<double> objective_trace;
+  size_t outer_iterations = 0;
+  /// Total inner Sinkhorn iterations across all outer steps (Fig. 11b).
+  size_t total_sinkhorn_iterations = 0;
+  bool converged = false;
+  /// CMI of the target w.r.t. the constraint (should be ~0).
+  double target_cmi = 0.0;
+  /// Final transport cost ⟨C, π⟩.
+  double transport_cost = 0.0;
+  /// Nonzeros of the (possibly truncated) kernel used by the last inner
+  /// solve; rows×cols of the plan when the dense path ran.
+  size_t kernel_nnz = 0;
+};
+
+/// FastOTClean: computes a probabilistic data cleaner for `p_data` under
+/// the CI spec `ci` (positions within p_data's domain) and cost `cost`.
+///
+/// `p_data` must be a normalized distribution (typically the empirical
+/// distribution of the dataset, restricted to the constraint attributes
+/// under the saturation optimization).
+Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
+                                      const prob::CiSpec& ci,
+                                      const ot::CostFunction& cost,
+                                      const FastOtCleanOptions& options,
+                                      Rng& rng);
+
+/// Multi-constraint FastOTClean (the paper's stated extension): enforces
+/// *all* the given CI specs simultaneously by replacing the inner rank-one
+/// projection with cyclic I-projections onto each constraint (IPF-style).
+/// `target_cmi` in the result is the largest residual CMI across the
+/// constraints. `options.iterative_nmf` is ignored in multi-constraint
+/// mode.
+Result<FastOtCleanResult> FastOtCleanMulti(
+    const prob::JointDistribution& p_data,
+    const std::vector<prob::CiSpec>& cis, const ot::CostFunction& cost,
+    const FastOtCleanOptions& options, Rng& rng);
+
+}  // namespace otclean::core
+
+#endif  // OTCLEAN_CORE_FAST_OTCLEAN_H_

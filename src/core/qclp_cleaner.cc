@@ -1,0 +1,187 @@
+#include "core/qclp_cleaner.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "lp/simplex.h"
+
+namespace otclean::core {
+
+namespace {
+
+/// Per-column-cell projections onto the X/Y/Z sub-domains.
+struct CellProjection {
+  std::vector<size_t> x;   ///< X-cell index per column
+  std::vector<size_t> y;   ///< Y-cell index per column
+  std::vector<size_t> z;   ///< Z-cell index per column
+  size_t dx = 1, dy = 1, dz = 1;
+};
+
+CellProjection ProjectCells(const prob::Domain& dom,
+                            const std::vector<size_t>& cells,
+                            const prob::CiSpec& ci) {
+  CellProjection out;
+  out.dx = dom.Project(ci.x).TotalSize();
+  out.dy = dom.Project(ci.y).TotalSize();
+  out.dz = ci.z.empty() ? 1 : dom.Project(ci.z).TotalSize();
+  out.x.reserve(cells.size());
+  out.y.reserve(cells.size());
+  out.z.reserve(cells.size());
+  for (size_t c : cells) {
+    out.x.push_back(dom.ProjectIndex(c, ci.x));
+    out.y.push_back(dom.ProjectIndex(c, ci.y));
+    out.z.push_back(ci.z.empty() ? 0 : dom.ProjectIndex(c, ci.z));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<QclpResult> QclpClean(const prob::JointDistribution& p_data,
+                             const prob::CiSpec& ci,
+                             const ot::CostFunction& cost,
+                             const QclpOptions& options) {
+  const prob::Domain& dom = p_data.domain();
+  if (ci.x.size() + ci.y.size() + ci.z.size() != dom.num_attrs()) {
+    return Status::InvalidArgument(
+        "QclpClean: requires a saturated constraint over the input domain");
+  }
+  if (std::fabs(p_data.Mass() - 1.0) > 1e-6) {
+    return Status::InvalidArgument("QclpClean: p_data must be normalized");
+  }
+
+  std::vector<size_t> row_cells;
+  for (size_t i = 0; i < p_data.size(); ++i) {
+    if (p_data[i] > 0.0) row_cells.push_back(i);
+  }
+  if (row_cells.empty()) {
+    return Status::InvalidArgument("QclpClean: p_data carries no mass");
+  }
+  std::vector<size_t> col_cells;
+  if (options.restrict_columns_to_active) {
+    col_cells = row_cells;
+  } else {
+    col_cells.resize(dom.TotalSize());
+    for (size_t i = 0; i < col_cells.size(); ++i) col_cells[i] = i;
+  }
+  const size_t m = row_cells.size();
+  const size_t n = col_cells.size();
+
+  linalg::Vector p(m);
+  for (size_t i = 0; i < m; ++i) p[i] = p_data[row_cells[i]];
+
+  const linalg::Matrix cost_matrix =
+      ot::BuildCostMatrix(dom, row_cells, col_cells, cost);
+  const CellProjection proj = ProjectCells(dom, col_cells, ci);
+
+  // Current CI-consistent estimate of the target distribution.
+  prob::JointDistribution q = prob::CiProjection(p_data, ci);
+
+  QclpResult result;
+  linalg::Matrix plan(m, n, 0.0);
+
+  for (size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
+    // Conditionals of the previous estimate, used to linearize the
+    // independence constraints. pin_y == true pins Q(y|z); else pins Q(x|z).
+    const bool pin_y = (outer % 2 == 0);
+
+    // Marginals of q over (z) and (y,z) / (x,z).
+    std::vector<double> qz(proj.dz, 0.0);
+    std::vector<double> qyz(proj.dy * proj.dz, 0.0);
+    std::vector<double> qxz(proj.dx * proj.dz, 0.0);
+    for (size_t cell = 0; cell < q.size(); ++cell) {
+      const double v = q[cell];
+      if (v <= 0.0) continue;
+      const size_t xz = dom.ProjectIndex(cell, ci.x);
+      const size_t yz = dom.ProjectIndex(cell, ci.y);
+      const size_t zz = ci.z.empty() ? 0 : dom.ProjectIndex(cell, ci.z);
+      qz[zz] += v;
+      qyz[yz * proj.dz + zz] += v;
+      qxz[xz * proj.dz + zz] += v;
+    }
+
+    // LP: variables π̃_ij, i in [0,m), j in [0,n).
+    //  - m row-marginal constraints Σ_j π̃_ij = p_i
+    //  - n linearized independence constraints, one per column cell:
+    //    pin_y:  Q̃(x,y,z) − Qprev(y|z)·Q̃(x,·,z) = 0
+    //    else :  Q̃(x,y,z) − Qprev(x|z)·Q̃(·,y,z) = 0
+    //    where Q̃(cell) = Σ_i π̃_{i,cell}.
+    const size_t num_vars = m * n;
+    const size_t num_rows = m + n;
+    lp::LpProblem lp;
+    lp.a = linalg::Matrix(num_rows, num_vars, 0.0);
+    lp.b = linalg::Vector(num_rows, 0.0);
+    lp.c = linalg::Vector(num_vars, 0.0);
+    result.peak_tableau_bytes =
+        std::max(result.peak_tableau_bytes,
+                 (num_rows) * (num_vars + num_rows + 1) * sizeof(double));
+
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        lp.a(i, i * n + j) = 1.0;
+        lp.c[i * n + j] = cost_matrix(i, j);
+      }
+      lp.b[i] = p[i];
+    }
+    for (size_t j = 0; j < n; ++j) {
+      const size_t row = m + j;
+      const double factor =
+          pin_y ? (qz[proj.z[j]] > 0.0
+                       ? qyz[proj.y[j] * proj.dz + proj.z[j]] / qz[proj.z[j]]
+                       : 0.0)
+                : (qz[proj.z[j]] > 0.0
+                       ? qxz[proj.x[j] * proj.dz + proj.z[j]] / qz[proj.z[j]]
+                       : 0.0);
+      for (size_t i = 0; i < m; ++i) {
+        // + Q̃(x,y,z) term.
+        lp.a(row, i * n + j) += 1.0;
+        // − factor · Σ over cells sharing the pinned slice.
+        for (size_t j2 = 0; j2 < n; ++j2) {
+          const bool same_slice =
+              pin_y ? (proj.x[j2] == proj.x[j] && proj.z[j2] == proj.z[j])
+                    : (proj.y[j2] == proj.y[j] && proj.z[j2] == proj.z[j]);
+          if (same_slice) lp.a(row, i * n + j2) -= factor;
+        }
+      }
+      lp.b[row] = 0.0;
+    }
+
+    lp::SimplexOptions lp_opts;
+    lp_opts.max_iterations = options.lp_max_iterations;
+    OTCLEAN_ASSIGN_OR_RETURN(lp::LpSolution sol, lp::SolveSimplex(lp, lp_opts));
+    result.total_lp_pivots += sol.iterations;
+    result.objective_trace.push_back(sol.objective);
+
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        const double v = sol.x[i * n + j];
+        plan(i, j) = (v > 0.0) ? v : 0.0;
+      }
+    }
+
+    // New target estimate: the plan's column marginal projected onto the CI
+    // set (it satisfies the linearized constraints; the projection removes
+    // residual linearization slack).
+    linalg::Vector col_mass = plan.ColSums();
+    prob::JointDistribution t(dom);
+    for (size_t j = 0; j < n; ++j) t[col_cells[j]] = col_mass[j];
+    t.Normalize();
+    prob::JointDistribution q_new = prob::CiProjection(t, ci);
+
+    const double delta = q.TotalVariation(q_new);
+    q = std::move(q_new);
+    result.outer_iterations = outer + 1;
+    if (delta <= options.outer_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.plan = ot::TransportPlan(dom, row_cells, col_cells, plan);
+  result.target = q;
+  result.target_cmi = prob::ConditionalMutualInformation(q, ci);
+  result.transport_cost = cost_matrix.FrobeniusDot(plan);
+  return result;
+}
+
+}  // namespace otclean::core

@@ -1,0 +1,56 @@
+#ifndef OTCLEAN_CORE_QCLP_CLEANER_H_
+#define OTCLEAN_CORE_QCLP_CLEANER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "ot/cost.h"
+#include "ot/plan.h"
+#include "prob/independence.h"
+#include "prob/joint.h"
+
+namespace otclean::core {
+
+/// Options for the QCLP-based exact cleaner (Section 4.1).
+struct QclpOptions {
+  size_t max_outer_iterations = 50;
+  /// Convergence threshold on the total-variation change of Q.
+  double outer_tolerance = 1e-7;
+  /// Pivot budget per LP solve.
+  size_t lp_max_iterations = 200000;
+  /// Restrict plan columns to the active domain (rows always are).
+  bool restrict_columns_to_active = false;
+};
+
+struct QclpResult {
+  ot::TransportPlan plan;
+  prob::JointDistribution target;
+  std::vector<double> objective_trace;
+  size_t outer_iterations = 0;
+  size_t total_lp_pivots = 0;
+  bool converged = false;
+  double target_cmi = 0.0;
+  double transport_cost = 0.0;
+  /// Dense-tableau footprint of the largest LP solved, in bytes — the
+  /// memory-scaling quantity of Figs. 13/14.
+  size_t peak_tableau_bytes = 0;
+};
+
+/// Solves the QCLP formulation of the optimal data cleaner (Eq. 7–10) with
+/// the paper's alternating linearization: the quadratic independence
+/// constraints Q(x,y,z)·Q(z) = Q(x,z)·Q(y,z) are linearized by fixing one
+/// conditional factor at its previous estimate — alternating between
+/// pinning Q(y|z) and Q(x|z) — and each step solves a linear program with
+/// the two-phase simplex.
+///
+/// Requires a *saturated* constraint spec: `ci.x ∪ ci.y ∪ ci.z` must cover
+/// every attribute of `p_data`'s domain (use the saturation wrapper in
+/// repair.h for unsaturated constraints).
+Result<QclpResult> QclpClean(const prob::JointDistribution& p_data,
+                             const prob::CiSpec& ci,
+                             const ot::CostFunction& cost,
+                             const QclpOptions& options);
+
+}  // namespace otclean::core
+
+#endif  // OTCLEAN_CORE_QCLP_CLEANER_H_

@@ -1,0 +1,231 @@
+#include "core/repair.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace otclean::core {
+
+Status OtCleanRepairer::Fit(const dataset::Table& table,
+                            const ot::CostFunction* cost) {
+  const dataset::Schema& schema = table.schema();
+  OTCLEAN_ASSIGN_OR_RETURN(std::vector<size_t> u_cols,
+                           constraint_.ResolveColumns(schema));
+
+  if (options_.use_saturation) {
+    cleaned_cols_ = u_cols;
+  } else {
+    // Naive mode: clean the full joint; put U first so the CI spec is easy
+    // to position, then the remaining columns.
+    cleaned_cols_ = u_cols;
+    std::vector<bool> in_u(schema.num_columns(), false);
+    for (size_t c : u_cols) in_u[c] = true;
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (!in_u[c]) cleaned_cols_.push_back(c);
+    }
+  }
+  domain_ = schema.ToDomain(cleaned_cols_);
+
+  prob::JointDistribution p = table.Empirical(cleaned_cols_);
+  if (p.Mass() <= 0.0) {
+    return Status::InvalidArgument(
+        "OtCleanRepairer::Fit: no complete rows over the constraint "
+        "attributes");
+  }
+
+  const prob::CiSpec spec = constraint_.SpecInProjectedDomain();
+  fit_report_ = RepairReport{};
+  fit_report_.initial_cmi = prob::ConditionalMutualInformation(p, spec);
+
+  // Default cost: the paper's C1 (stddev-normalized Euclidean).
+  std::unique_ptr<ot::CostFunction> default_cost;
+  if (cost == nullptr) {
+    default_cost = std::make_unique<ot::EuclideanCost>(
+        ot::InverseStddevWeights(domain_, p.probs()));
+    cost = default_cost.get();
+  }
+
+  Rng rng(options_.seed);
+  if (options_.solver == Solver::kFastOtClean) {
+    OTCLEAN_ASSIGN_OR_RETURN(FastOtCleanResult r,
+                             FastOtClean(p, spec, *cost, options_.fast, rng));
+    plan_ = std::move(r.plan);
+    target_ = std::move(r.target);
+    fit_report_.target_cmi = r.target_cmi;
+    fit_report_.transport_cost = r.transport_cost;
+    fit_report_.outer_iterations = r.outer_iterations;
+    fit_report_.total_sinkhorn_iterations = r.total_sinkhorn_iterations;
+    fit_report_.converged = r.converged;
+  } else {
+    OTCLEAN_ASSIGN_OR_RETURN(QclpResult r,
+                             QclpClean(p, spec, *cost, options_.qclp));
+    plan_ = std::move(r.plan);
+    target_ = std::move(r.target);
+    fit_report_.target_cmi = r.target_cmi;
+    fit_report_.transport_cost = r.transport_cost;
+    fit_report_.outer_iterations = r.outer_iterations;
+    fit_report_.converged = r.converged;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<int> OtCleanRepairer::RepairRow(const std::vector<int>& row,
+                                            Rng& rng) const {
+  assert(fitted_);
+  // Encode the cleaned columns; missing values pass through unrepaired.
+  size_t cell = 0;
+  for (size_t i = 0; i < cleaned_cols_.size(); ++i) {
+    const int v = row[cleaned_cols_[i]];
+    if (v == dataset::kMissing) return row;
+    cell = cell * domain_.Cardinality(i) + static_cast<size_t>(v);
+  }
+  const size_t repaired_cell = options_.sample_repair
+                                   ? plan_.SampleRepair(cell, rng)
+                                   : plan_.MapRepair(cell);
+  if (repaired_cell == cell) return row;
+  std::vector<int> out = row;
+  const std::vector<int> values = domain_.Decode(repaired_cell);
+  for (size_t i = 0; i < cleaned_cols_.size(); ++i) {
+    out[cleaned_cols_[i]] = values[i];
+  }
+  return out;
+}
+
+Result<dataset::Table> OtCleanRepairer::Apply(const dataset::Table& table,
+                                              Rng& rng) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("OtCleanRepairer::Apply before Fit");
+  }
+  dataset::Table out(table.schema());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    OTCLEAN_RETURN_NOT_OK(out.AppendRow(RepairRow(table.Row(r), rng)));
+  }
+  return out;
+}
+
+Result<RepairReport> RepairTable(const dataset::Table& table,
+                                 const CiConstraint& constraint,
+                                 const RepairOptions& options,
+                                 const ot::CostFunction* cost) {
+  OtCleanRepairer repairer(constraint, options);
+  OTCLEAN_RETURN_NOT_OK(repairer.Fit(table, cost));
+  Rng rng(options.seed ^ 0xabcdef12345ull);
+  OTCLEAN_ASSIGN_OR_RETURN(dataset::Table repaired,
+                           repairer.Apply(table, rng));
+  RepairReport report = repairer.fit_report();
+  OTCLEAN_ASSIGN_OR_RETURN(report.final_cmi, TableCmi(repaired, constraint));
+  report.repaired = std::move(repaired);
+  return report;
+}
+
+Result<double> TableCmi(const dataset::Table& table,
+                        const CiConstraint& constraint) {
+  OTCLEAN_ASSIGN_OR_RETURN(std::vector<size_t> cols,
+                           constraint.ResolveColumns(table.schema()));
+  const prob::JointDistribution p = table.Empirical(cols);
+  return prob::ConditionalMutualInformation(
+      p, constraint.SpecInProjectedDomain());
+}
+
+Result<RepairReport> RepairTableMulti(
+    const dataset::Table& table, const std::vector<CiConstraint>& constraints,
+    const RepairOptions& options, const ot::CostFunction* cost) {
+  if (constraints.empty()) {
+    return Status::InvalidArgument("RepairTableMulti: no constraints");
+  }
+  if (options.solver != Solver::kFastOtClean) {
+    return Status::NotImplemented(
+        "RepairTableMulti: only the FastOTClean solver supports multiple "
+        "constraints");
+  }
+  const dataset::Schema& schema = table.schema();
+
+  // Union of constraint attributes, in first-appearance order.
+  std::vector<size_t> u_cols;
+  for (const auto& constraint : constraints) {
+    OTCLEAN_ASSIGN_OR_RETURN(std::vector<size_t> cols,
+                             constraint.ResolveColumns(schema));
+    for (size_t c : cols) {
+      if (std::find(u_cols.begin(), u_cols.end(), c) == u_cols.end()) {
+        u_cols.push_back(c);
+      }
+    }
+  }
+  const prob::Domain domain = schema.ToDomain(u_cols);
+
+  // Position each constraint's spec within the union domain.
+  auto position_of = [&](const std::string& name) -> size_t {
+    const size_t col = schema.ColumnIndex(name).value();
+    return static_cast<size_t>(
+        std::find(u_cols.begin(), u_cols.end(), col) - u_cols.begin());
+  };
+  std::vector<prob::CiSpec> specs;
+  for (const auto& constraint : constraints) {
+    prob::CiSpec spec;
+    for (const auto& name : constraint.x()) spec.x.push_back(position_of(name));
+    for (const auto& name : constraint.y()) spec.y.push_back(position_of(name));
+    for (const auto& name : constraint.z()) spec.z.push_back(position_of(name));
+    specs.push_back(std::move(spec));
+  }
+
+  prob::JointDistribution p = table.Empirical(u_cols);
+  if (p.Mass() <= 0.0) {
+    return Status::InvalidArgument("RepairTableMulti: no complete rows");
+  }
+
+  RepairReport report;
+  report.initial_cmi = prob::MaxCmi(p, specs);
+
+  std::unique_ptr<ot::CostFunction> default_cost;
+  if (cost == nullptr) {
+    default_cost = std::make_unique<ot::EuclideanCost>(
+        ot::InverseStddevWeights(domain, p.probs()));
+    cost = default_cost.get();
+  }
+
+  Rng rng(options.seed);
+  OTCLEAN_ASSIGN_OR_RETURN(
+      FastOtCleanResult r,
+      FastOtCleanMulti(p, specs, *cost, options.fast, rng));
+  report.target_cmi = r.target_cmi;
+  report.transport_cost = r.transport_cost;
+  report.outer_iterations = r.outer_iterations;
+  report.total_sinkhorn_iterations = r.total_sinkhorn_iterations;
+  report.converged = r.converged;
+
+  // Apply the cleaner row by row over the union columns.
+  Rng apply_rng(options.seed ^ 0xfeedbeefull);
+  dataset::Table repaired(schema);
+  for (size_t row_idx = 0; row_idx < table.num_rows(); ++row_idx) {
+    std::vector<int> row = table.Row(row_idx);
+    size_t cell = 0;
+    bool complete = true;
+    for (size_t i = 0; i < u_cols.size(); ++i) {
+      const int v = row[u_cols[i]];
+      if (v == dataset::kMissing) {
+        complete = false;
+        break;
+      }
+      cell = cell * domain.Cardinality(i) + static_cast<size_t>(v);
+    }
+    if (complete) {
+      const size_t repaired_cell = options.sample_repair
+                                       ? r.plan.SampleRepair(cell, apply_rng)
+                                       : r.plan.MapRepair(cell);
+      if (repaired_cell != cell) {
+        const std::vector<int> values = domain.Decode(repaired_cell);
+        for (size_t i = 0; i < u_cols.size(); ++i) {
+          row[u_cols[i]] = values[i];
+        }
+      }
+    }
+    OTCLEAN_RETURN_NOT_OK(repaired.AppendRow(row));
+  }
+
+  const prob::JointDistribution p_after = repaired.Empirical(u_cols);
+  report.final_cmi = prob::MaxCmi(p_after, specs);
+  report.repaired = std::move(repaired);
+  return report;
+}
+
+}  // namespace otclean::core

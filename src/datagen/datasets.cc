@@ -1,0 +1,249 @@
+#include "datagen/datasets.h"
+
+#include <cmath>
+
+#include "datagen/synthetic.h"
+
+namespace otclean::datagen {
+
+namespace {
+
+/// Clamps a double to [0, card-1] and rounds — used to derive categorical
+/// codes from latent continuous quantities.
+int ToCode(double v, size_t card) {
+  if (v < 0.0) v = 0.0;
+  const double hi = static_cast<double>(card - 1);
+  if (v > hi) v = hi;
+  return static_cast<int>(std::lround(v));
+}
+
+}  // namespace
+
+Result<DatasetBundle> MakeAdult(size_t num_rows, uint64_t seed) {
+  // Schema mirrors UCI Adult's 14 attributes (income is the label). The
+  // admissible attributes are coarsened relative to UCI so the ROD strata
+  // remain estimable at synthetic sample sizes (DESIGN.md §3).
+  std::vector<dataset::Column> cols = {
+      MakeColumn("age", 4),           MakeColumn("workclass", 5),
+      MakeColumn("fnlwgt", 4),        MakeColumn("education", 8),
+      MakeColumn("education-num", 5), MakeColumn("marital-status", 5),
+      MakeColumn("occupation", 5),    MakeColumn("relationship", 6),
+      MakeColumn("race", 5),          MakeColumn("sex", 2),
+      MakeColumn("capital-gain", 3),  MakeColumn("hours-per-week", 3),
+      MakeColumn("native-country", 5), MakeColumn("income", 2)};
+  dataset::Table table{dataset::Schema(std::move(cols))};
+
+  Rng rng(seed);
+  for (size_t r = 0; r < num_rows; ++r) {
+    // Latent socioeconomic status drives education/occupation/hours.
+    const double ses = rng.NextDouble();
+    const int age = SampleWeighted(PeakedWeights(4, 1.3 + ses, 1.1), rng);
+    const int sex = rng.NextBernoulli(0.5) ? 1 : 0;
+    const int edu_num =
+        SampleWeighted(PeakedWeights(5, 0.8 + 3.0 * ses, 1.0), rng);
+    const int education = ToCode(1.6 * edu_num + rng.NextGaussian() * 0.9, 8);
+    const int occupation =
+        SampleWeighted(PeakedWeights(5, 0.6 + 3.4 * ses, 1.2), rng);
+    const int hours =
+        SampleWeighted(PeakedWeights(3, 0.5 + 1.6 * ses, 0.8), rng);
+
+    // The planted violation: marital-status depends on sex *directly*, not
+    // only through the admissible attributes {occupation, education-num,
+    // hours-per-week, age} — so (sex ⟂ marital | A) fails.
+    const double marital_center =
+        1.2 + 0.4 * age + (sex == 1 ? 0.9 : 0.0) + rng.NextGaussian() * 0.8;
+    const int marital = ToCode(marital_center, 5);
+
+    const int workclass = SampleWeighted(PeakedWeights(5, 2.0 * ses + 1.0, 1.3), rng);
+    const int fnlwgt = static_cast<int>(rng.NextUint64Below(4));
+    const int relationship =
+        ToCode(0.8 * marital + rng.NextGaussian() * 0.8, 6);
+    const int race = SampleWeighted({0.72, 0.10, 0.08, 0.06, 0.04}, rng);
+    const int capgain = rng.NextBernoulli(0.08 + 0.1 * ses) ? 2
+                        : rng.NextBernoulli(0.15)           ? 1
+                                                            : 0;
+    const int country = SampleWeighted({0.80, 0.06, 0.05, 0.05, 0.04}, rng);
+
+    // Income depends on qualifications AND marital status (the inadmissible
+    // path), so models trained with marital inherit the sex signal.
+    const double income_logit = -6.0 + 0.9 * edu_num + 0.8 * hours +
+                                0.45 * occupation + 0.6 * marital +
+                                0.5 * capgain;
+    const int income =
+        rng.NextBernoulli(1.0 / (1.0 + std::exp(-income_logit))) ? 1 : 0;
+
+    OTCLEAN_RETURN_NOT_OK(table.AppendRow(
+        {age, workclass, fnlwgt, education, edu_num, marital, occupation,
+         relationship, race, sex, capgain, hours, country, income}));
+  }
+
+  DatasetBundle bundle{std::move(table),
+                       "Adult",
+                       "income",
+                       core::CiConstraint({"sex"}, {"marital-status"},
+                                          {"occupation", "education-num",
+                                           "hours-per-week", "age"}),
+                       "sex",
+                       {"occupation", "education-num", "hours-per-week",
+                        "age"},
+                       {"marital-status"}};
+  return bundle;
+}
+
+Result<DatasetBundle> MakeCompas(size_t num_rows, uint64_t seed) {
+  std::vector<dataset::Column> cols = {
+      MakeColumn("sex", 2),          MakeColumn("race", 2),
+      MakeColumn("age-cat", 3),      MakeColumn("juv-fel-count", 3),
+      MakeColumn("juv-misd-count", 3), MakeColumn("priors-count", 4),
+      MakeColumn("charge-degree", 2), MakeColumn("days-in-jail", 4),
+      MakeColumn("decile-score", 5),  MakeColumn("violent-recid", 2),
+      MakeColumn("c-charge-desc", 3), MakeColumn("two-year-recid", 2)};
+  dataset::Table table{dataset::Schema(std::move(cols))};
+
+  Rng rng(seed);
+  for (size_t r = 0; r < num_rows; ++r) {
+    const int sex = rng.NextBernoulli(0.8) ? 0 : 1;
+    const int race = rng.NextBernoulli(0.51) ? 1 : 0;  // 1 = protected
+    const int charge = rng.NextBernoulli(0.35) ? 1 : 0;  // admissible
+
+    // Planted violation: age-cat and priors-count (inadmissible) depend on
+    // race beyond what charge-degree explains.
+    const int age_cat = SampleWeighted(
+        PeakedWeights(3, race == 1 ? 0.85 : 1.2, 1.0), rng);
+    const double priors_center =
+        0.9 + (race == 1 ? 0.55 : 0.0) + 0.5 * charge + rng.NextGaussian() * 0.8;
+    const int priors = ToCode(priors_center, 4);
+
+    const int juv_fel = SampleWeighted(PeakedWeights(3, 0.3 + 0.3 * priors, 0.8), rng);
+    const int juv_misd = SampleWeighted(PeakedWeights(3, 0.4 + 0.2 * priors, 0.8), rng);
+    const int jail = ToCode(0.6 * priors + 0.8 * charge + rng.NextGaussian() * 0.6, 4);
+    const int decile =
+        ToCode(0.9 * priors + 0.5 * charge + rng.NextGaussian() * 0.8, 5);
+    const int charge_desc = static_cast<int>(rng.NextUint64Below(3));
+    const int violent = rng.NextBernoulli(0.12 + 0.06 * priors) ? 1 : 0;
+
+    const double recid_logit =
+        -1.4 + 0.55 * priors + 0.4 * charge - 0.45 * age_cat;
+    const int recid =
+        rng.NextBernoulli(1.0 / (1.0 + std::exp(-recid_logit))) ? 1 : 0;
+
+    OTCLEAN_RETURN_NOT_OK(table.AppendRow(
+        {sex, race, age_cat, juv_fel, juv_misd, priors, charge, jail, decile,
+         violent, charge_desc, recid}));
+  }
+
+  DatasetBundle bundle{std::move(table),
+                       "COMPAS",
+                       "two-year-recid",
+                       core::CiConstraint({"race"},
+                                          {"age-cat", "priors-count"},
+                                          {"charge-degree"}),
+                       "race",
+                       {"charge-degree"},
+                       {"age-cat", "priors-count"}};
+  return bundle;
+}
+
+Result<DatasetBundle> MakeCar(size_t num_rows, uint64_t seed) {
+  std::vector<dataset::Column> cols = {
+      MakeColumn("buying", 4),  MakeColumn("maint", 4),
+      MakeColumn("doors", 4),   MakeColumn("persons", 3),
+      MakeColumn("lug_boot", 3), MakeColumn("safety", 3),
+      MakeColumn("class", 2)};
+  dataset::Table table{dataset::Schema(std::move(cols))};
+
+  Rng rng(seed);
+  for (size_t r = 0; r < num_rows; ++r) {
+    const int buying = static_cast<int>(rng.NextUint64Below(4));
+    const int maint = static_cast<int>(rng.NextUint64Below(4));
+    const int doors = static_cast<int>(rng.NextUint64Below(4));
+    const int persons = static_cast<int>(rng.NextUint64Below(3));
+    const int lug = static_cast<int>(rng.NextUint64Below(3));
+    const int safety = static_cast<int>(rng.NextUint64Below(3));
+
+    // Acceptability: cheap-ish, safe, roomy cars; doors play (almost) no
+    // role given the rest — so (doors ⟂ class | buying,safety,persons)
+    // holds approximately in the clean data.
+    const double score = -0.9 * buying - 0.4 * maint + 1.5 * safety +
+                         1.0 * persons + 0.3 * lug + rng.NextGaussian() * 0.7;
+    const int cls = score > 1.2 ? 1 : 0;
+
+    OTCLEAN_RETURN_NOT_OK(
+        table.AppendRow({buying, maint, doors, persons, lug, safety, cls}));
+  }
+
+  DatasetBundle bundle{std::move(table),
+                       "Car",
+                       "class",
+                       core::CiConstraint({"doors"}, {"class"},
+                                          {"buying", "safety", "persons"}),
+                       "",
+                       {},
+                       {}};
+  return bundle;
+}
+
+Result<DatasetBundle> MakeBoston(size_t num_rows, uint64_t seed) {
+  std::vector<dataset::Column> cols = {
+      MakeColumn("crim", 4),   MakeColumn("zn", 3),
+      MakeColumn("indus", 4),  MakeColumn("chas", 2),
+      MakeColumn("nox", 4),    MakeColumn("rm", 5),
+      MakeColumn("age", 4),    MakeColumn("dis", 4),
+      MakeColumn("rad", 4),    MakeColumn("tax", 4),
+      MakeColumn("ptratio", 4), MakeColumn("B", 5),
+      MakeColumn("lstat", 4),  MakeColumn("medv", 2)};
+  dataset::Table table{dataset::Schema(std::move(cols))};
+
+  Rng rng(seed);
+  for (size_t r = 0; r < num_rows; ++r) {
+    // Latent neighborhood quality.
+    const double q = rng.NextDouble();
+    const int lstat = ToCode(3.0 * (1.0 - q) + rng.NextGaussian() * 0.5, 4);
+    const int rm = ToCode(1.0 + 3.0 * q + rng.NextGaussian() * 0.6, 5);
+    const int crim = ToCode(3.0 * (1.0 - q) + rng.NextGaussian() * 0.7, 4);
+    const int zn = SampleWeighted(PeakedWeights(3, 2.0 * q, 0.9), rng);
+    const int indus = ToCode(3.0 * (1.0 - q) + rng.NextGaussian() * 0.8, 4);
+    const int chas = rng.NextBernoulli(0.07) ? 1 : 0;
+    const int nox = ToCode(0.8 * indus + rng.NextGaussian() * 0.6, 4);
+    const int age = ToCode(2.0 * (1.0 - q) + 1.0 + rng.NextGaussian() * 0.8, 4);
+    const int dis = ToCode(3.0 * q + rng.NextGaussian() * 0.7, 4);
+    const int rad = ToCode(0.9 * crim + rng.NextGaussian() * 0.9, 4);
+    const int tax = ToCode(0.8 * indus + 0.4 * rad + rng.NextGaussian() * 0.5, 4);
+    const int ptratio = ToCode(2.5 * (1.0 - q) + rng.NextGaussian() * 0.8, 4);
+    // B depends on lstat only (given lstat & rm, it carries no information
+    // about medv) — the clean data approximately satisfies the constraint.
+    const int b_attr = ToCode(1.2 * lstat + 0.6 + rng.NextGaussian() * 0.9, 5);
+
+    const double medv_score =
+        1.2 * rm - 1.1 * lstat - 0.2 * ptratio + rng.NextGaussian() * 1.6;
+    const int medv = medv_score > 0.3 ? 1 : 0;
+
+    OTCLEAN_RETURN_NOT_OK(table.AppendRow({crim, zn, indus, chas, nox, rm, age,
+                                           dis, rad, tax, ptratio, b_attr,
+                                           lstat, medv}));
+  }
+
+  DatasetBundle bundle{std::move(table),
+                       "Boston",
+                       "medv",
+                       core::CiConstraint({"B"}, {"medv"}, {"lstat", "rm"}),
+                       "",
+                       {},
+                       {}};
+  return bundle;
+}
+
+Result<std::vector<DatasetBundle>> MakeAllDatasets(uint64_t seed) {
+  std::vector<DatasetBundle> out;
+  OTCLEAN_ASSIGN_OR_RETURN(DatasetBundle adult, MakeAdult(4000, seed + 1));
+  out.push_back(std::move(adult));
+  OTCLEAN_ASSIGN_OR_RETURN(DatasetBundle compas, MakeCompas(4000, seed + 2));
+  out.push_back(std::move(compas));
+  OTCLEAN_ASSIGN_OR_RETURN(DatasetBundle car, MakeCar(1728, seed + 3));
+  out.push_back(std::move(car));
+  OTCLEAN_ASSIGN_OR_RETURN(DatasetBundle boston, MakeBoston(506, seed + 4));
+  out.push_back(std::move(boston));
+  return out;
+}
+
+}  // namespace otclean::datagen

@@ -1,0 +1,57 @@
+#ifndef OTCLEAN_DATAGEN_DATASETS_H_
+#define OTCLEAN_DATAGEN_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/ci_constraint.h"
+#include "dataset/table.h"
+
+namespace otclean::datagen {
+
+/// A generated benchmark dataset plus the experiment wiring the paper uses
+/// with it (Section 6): the prediction label, the CI constraint, and (for
+/// the fairness datasets) the sensitive / admissible / inadmissible split.
+///
+/// These are synthetic stand-ins for UCI Adult, ProPublica COMPAS, UCI Car
+/// and Boston Housing: schemas and cardinalities follow Table 2, and the
+/// generative process plants the CI violation the paper's experiments
+/// exploit. See DESIGN.md §3 for the substitution rationale.
+struct DatasetBundle {
+  dataset::Table table;
+  std::string name;
+  std::string label_col;
+  /// The constraint the experiments repair against.
+  core::CiConstraint constraint;
+  /// Fairness wiring (empty for the cleaning datasets).
+  std::string sensitive_col;
+  std::vector<std::string> admissible_cols;
+  std::vector<std::string> inadmissible_cols;
+};
+
+/// "Census Income"-style dataset. Fairness constraint:
+/// sex ⟂ marital-status | {occupation, education-num, hours-per-week, age}.
+Result<DatasetBundle> MakeAdult(size_t num_rows = 4000, uint64_t seed = 101);
+
+/// Recidivism-style dataset. Fairness constraint:
+/// race ⟂ {age-cat, priors-count} | charge-degree.
+Result<DatasetBundle> MakeCompas(size_t num_rows = 4000, uint64_t seed = 102);
+
+/// Car-evaluation-style dataset (cleaning). Constraint:
+/// doors ⟂ class | {buying, safety, persons} — holds approximately in the
+/// clean data and is broken by noise injection.
+Result<DatasetBundle> MakeCar(size_t num_rows = 1728, uint64_t seed = 103);
+
+/// Boston-housing-style dataset, pre-discretized (cleaning). Constraint:
+/// B ⟂ medv | {lstat, rm} — the conditioning set is reduced from "all
+/// remaining attributes" to the two dominant causal parents of medv so the
+/// constraint domain stays tractable (documented substitution).
+Result<DatasetBundle> MakeBoston(size_t num_rows = 506, uint64_t seed = 104);
+
+/// All four bundles (Table 2 reproduction).
+Result<std::vector<DatasetBundle>> MakeAllDatasets(uint64_t seed = 100);
+
+}  // namespace otclean::datagen
+
+#endif  // OTCLEAN_DATAGEN_DATASETS_H_

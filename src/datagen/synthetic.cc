@@ -1,0 +1,85 @@
+#include "datagen/synthetic.h"
+
+#include <cmath>
+
+namespace otclean::datagen {
+
+dataset::Column MakeColumn(const std::string& name, size_t card) {
+  dataset::Column col;
+  col.name = name;
+  col.categories.reserve(card);
+  for (size_t i = 0; i < card; ++i) {
+    col.categories.push_back("v" + std::to_string(i));
+  }
+  return col;
+}
+
+int SampleWeighted(const std::vector<double>& weights, Rng& rng) {
+  return static_cast<int>(rng.NextCategorical(weights));
+}
+
+std::vector<double> PeakedWeights(size_t card, double center, double temp) {
+  std::vector<double> w(card);
+  for (size_t i = 0; i < card; ++i) {
+    const double d = (static_cast<double>(i) - center) / temp;
+    w[i] = std::exp(-0.5 * d * d);
+  }
+  return w;
+}
+
+Result<dataset::Table> MakeScalingDataset(
+    const ScalingDatasetOptions& options) {
+  if (options.z_card == 0 || options.w_card == 0) {
+    return Status::InvalidArgument("MakeScalingDataset: zero cardinality");
+  }
+  std::vector<dataset::Column> cols;
+  cols.push_back(MakeColumn("x", 2));
+  cols.push_back(MakeColumn("y", 2));
+  for (size_t i = 0; i < options.num_z_attrs; ++i) {
+    cols.push_back(MakeColumn("z" + std::to_string(i), options.z_card));
+  }
+  for (size_t i = 0; i < options.num_w_attrs; ++i) {
+    cols.push_back(MakeColumn("w" + std::to_string(i), options.w_card));
+  }
+  dataset::Table table{dataset::Schema(std::move(cols))};
+
+  Rng rng(options.seed);
+  for (size_t r = 0; r < options.num_rows; ++r) {
+    std::vector<int> row;
+    row.reserve(table.num_columns());
+    // Z attributes: uniform, independent.
+    std::vector<int> zs(options.num_z_attrs);
+    for (size_t i = 0; i < options.num_z_attrs; ++i) {
+      zs[i] = static_cast<int>(rng.NextUint64Below(options.z_card));
+    }
+    // A per-row "z parity" drives both X and Y when the violation fires,
+    // creating dependence between X and Y inside each z-slice.
+    size_t zsum = 0;
+    for (int z : zs) zsum += static_cast<size_t>(z);
+    const int x = rng.NextBernoulli(0.5) ? 1 : 0;
+    int y;
+    if (rng.NextBernoulli(options.violation)) {
+      // Violating mechanism: within each z-slice, y is a deterministic
+      // function of x (copied, or flipped on odd z-parity), so X and Y are
+      // strongly dependent *given* Z.
+      y = (zsum % 2 == 0) ? x : 1 - x;
+    } else {
+      y = rng.NextBernoulli(0.5) ? 1 : 0;
+    }
+    row.push_back(x);
+    row.push_back(y);
+    for (int z : zs) row.push_back(z);
+    for (size_t i = 0; i < options.num_w_attrs; ++i) {
+      // W correlates mildly with X so unsaturated cleaning is non-trivial.
+      const double bias = (x == 1) ? 0.7 : 0.3;
+      const size_t wv = rng.NextBernoulli(bias)
+                            ? options.w_card - 1
+                            : rng.NextUint64Below(options.w_card);
+      row.push_back(static_cast<int>(wv));
+    }
+    OTCLEAN_RETURN_NOT_OK(table.AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace otclean::datagen

@@ -1,0 +1,44 @@
+#ifndef OTCLEAN_DATAGEN_SYNTHETIC_H_
+#define OTCLEAN_DATAGEN_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "dataset/table.h"
+
+namespace otclean::datagen {
+
+/// Builds a categorical column with generic labels v0..v{card-1}.
+dataset::Column MakeColumn(const std::string& name, size_t card);
+
+/// Samples an index from unnormalized non-negative weights.
+int SampleWeighted(const std::vector<double>& weights, Rng& rng);
+
+/// Weight helpers used by the dataset generators: a softmax-peaked
+/// categorical centered at `center` with spread `temp` over `card` values.
+std::vector<double> PeakedWeights(size_t card, double center, double temp);
+
+/// Parameters for the generic scaling dataset used by the runtime / memory
+/// benchmarks (Figs. 10, 13, 14): binary X and Y plus `num_z_attrs`
+/// conditioning attributes of cardinality `z_card`, with a planted
+/// violation of X ⟂ Y | Z of strength `violation` ∈ [0, 1].
+struct ScalingDatasetOptions {
+  size_t num_rows = 2000;
+  size_t num_z_attrs = 2;
+  size_t z_card = 3;
+  double violation = 0.4;
+  /// Extra attributes outside the constraint (for unsaturated benchmarks,
+  /// Fig. 11a), each with cardinality `w_card`.
+  size_t num_w_attrs = 0;
+  size_t w_card = 3;
+  uint64_t seed = 1;
+};
+
+/// Generates the scaling dataset; columns are named x, y, z0.., w0.. .
+Result<dataset::Table> MakeScalingDataset(const ScalingDatasetOptions& options);
+
+}  // namespace otclean::datagen
+
+#endif  // OTCLEAN_DATAGEN_SYNTHETIC_H_

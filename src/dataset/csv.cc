@@ -1,0 +1,123 @@
+#include "dataset/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace otclean::dataset {
+
+namespace {
+bool IsMissingToken(const std::string& token, const CsvOptions& options) {
+  return std::find(options.missing_tokens.begin(),
+                   options.missing_tokens.end(),
+                   token) != options.missing_tokens.end();
+}
+}  // namespace
+
+Result<Table> ParseCsv(const std::string& content, const CsvOptions& options) {
+  std::istringstream in(content);
+  std::string line;
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto fields = SplitString(line, options.delimiter);
+    for (auto& f : fields) f = std::string(StripWhitespace(f));
+    if (first && options.has_header) {
+      header = std::move(fields);
+      first = false;
+      continue;
+    }
+    first = false;
+    rows.push_back(std::move(fields));
+  }
+  if (rows.empty() && header.empty()) {
+    return Status::InvalidArgument("ParseCsv: empty input");
+  }
+  const size_t ncols = header.empty() ? rows[0].size() : header.size();
+  if (header.empty()) {
+    for (size_t i = 0; i < ncols; ++i) header.push_back("c" + std::to_string(i));
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != ncols) {
+      return Status::InvalidArgument("ParseCsv: row " + std::to_string(r) +
+                                     " has " + std::to_string(rows[r].size()) +
+                                     " fields, expected " +
+                                     std::to_string(ncols));
+    }
+  }
+
+  // First pass: build category dictionaries in first-appearance order.
+  std::vector<Column> columns(ncols);
+  std::vector<std::unordered_map<std::string, int>> dicts(ncols);
+  for (size_t c = 0; c < ncols; ++c) columns[c].name = header[c];
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string& tok = row[c];
+      if (IsMissingToken(tok, options)) continue;
+      if (dicts[c].emplace(tok, static_cast<int>(columns[c].categories.size()))
+              .second) {
+        columns[c].categories.push_back(tok);
+      }
+    }
+  }
+  // Columns that are entirely missing still need one category to keep the
+  // domain well-formed.
+  for (auto& col : columns) {
+    if (col.categories.empty()) col.categories.push_back("<none>");
+  }
+
+  Table table{Schema(std::move(columns))};
+  for (const auto& row : rows) {
+    std::vector<int> codes(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string& tok = row[c];
+      codes[c] = IsMissingToken(tok, options) ? kMissing : dicts[c].at(tok);
+    }
+    OTCLEAN_RETURN_NOT_OK(table.AppendRow(codes));
+  }
+  return table;
+}
+
+Result<Table> ReadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("ReadCsv: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str(), options);
+}
+
+std::string ToCsvString(const Table& table, const CsvOptions& options) {
+  std::ostringstream os;
+  const auto& schema = table.schema();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) os << options.delimiter;
+    os << schema.column(c).name;
+  }
+  os << "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) os << options.delimiter;
+      os << table.Label(r, c);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status WriteCsv(const Table& table, const std::string& path,
+                const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("WriteCsv: cannot open '" + path + "'");
+  out << ToCsvString(table, options);
+  if (!out) return Status::IoError("WriteCsv: write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace otclean::dataset

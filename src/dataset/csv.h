@@ -1,0 +1,37 @@
+#ifndef OTCLEAN_DATASET_CSV_H_
+#define OTCLEAN_DATASET_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "dataset/table.h"
+
+namespace otclean::dataset {
+
+/// CSV parsing options.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Tokens treated as missing values (after whitespace stripping).
+  std::vector<std::string> missing_tokens = {"", "?", "NA", "nan", "NULL"};
+  /// Whether the first line carries column names.
+  bool has_header = true;
+};
+
+/// Reads a categorical CSV: every column becomes a categorical Column whose
+/// categories are the distinct tokens in first-appearance order.
+Result<Table> ReadCsv(const std::string& path, const CsvOptions& options = {});
+
+/// Parses CSV from an in-memory string (same semantics as ReadCsv).
+Result<Table> ParseCsv(const std::string& content,
+                       const CsvOptions& options = {});
+
+/// Writes a table as CSV with a header row; missing cells become "?".
+Status WriteCsv(const Table& table, const std::string& path,
+                const CsvOptions& options = {});
+
+/// Serializes a table to a CSV string.
+std::string ToCsvString(const Table& table, const CsvOptions& options = {});
+
+}  // namespace otclean::dataset
+
+#endif  // OTCLEAN_DATASET_CSV_H_

@@ -1,0 +1,71 @@
+#include "dataset/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace otclean::dataset {
+
+Result<Discretizer> Discretizer::Fit(const std::vector<double>& values,
+                                     size_t num_bins,
+                                     BinningStrategy strategy) {
+  if (num_bins == 0) {
+    return Status::InvalidArgument("Discretizer::Fit: num_bins must be >= 1");
+  }
+  std::vector<double> finite;
+  finite.reserve(values.size());
+  for (double v : values) {
+    if (std::isfinite(v)) finite.push_back(v);
+  }
+  if (finite.empty()) {
+    return Status::InvalidArgument("Discretizer::Fit: no finite values");
+  }
+  Discretizer d;
+  if (num_bins == 1) return d;
+
+  if (strategy == BinningStrategy::kEqualWidth) {
+    const auto [mn_it, mx_it] = std::minmax_element(finite.begin(), finite.end());
+    const double mn = *mn_it, mx = *mx_it;
+    if (mx <= mn) return d;  // constant column: single bin
+    const double width = (mx - mn) / static_cast<double>(num_bins);
+    for (size_t i = 1; i < num_bins; ++i) {
+      d.edges_.push_back(mn + width * static_cast<double>(i));
+    }
+  } else {
+    std::sort(finite.begin(), finite.end());
+    for (size_t i = 1; i < num_bins; ++i) {
+      const double q = static_cast<double>(i) / static_cast<double>(num_bins);
+      const size_t pos = std::min(
+          finite.size() - 1,
+          static_cast<size_t>(q * static_cast<double>(finite.size())));
+      const double edge = finite[pos];
+      // Skip duplicate edges from heavy ties; fewer bins result.
+      if (d.edges_.empty() || edge > d.edges_.back()) d.edges_.push_back(edge);
+    }
+  }
+  return d;
+}
+
+int Discretizer::Transform(double value) const {
+  if (!std::isfinite(value)) return kMissing;
+  // First edge strictly greater than value determines the bin.
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  return static_cast<int>(it - edges_.begin());
+}
+
+Result<DiscretizedColumn> DiscretizeColumn(const std::string& name,
+                                           const std::vector<double>& values,
+                                           size_t num_bins,
+                                           BinningStrategy strategy) {
+  OTCLEAN_ASSIGN_OR_RETURN(Discretizer disc,
+                           Discretizer::Fit(values, num_bins, strategy));
+  DiscretizedColumn out;
+  out.column.name = name;
+  for (size_t b = 0; b < disc.num_bins(); ++b) {
+    out.column.categories.push_back("b" + std::to_string(b));
+  }
+  out.codes.reserve(values.size());
+  for (double v : values) out.codes.push_back(disc.Transform(v));
+  return out;
+}
+
+}  // namespace otclean::dataset

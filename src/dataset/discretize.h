@@ -1,0 +1,55 @@
+#ifndef OTCLEAN_DATASET_DISCRETIZE_H_
+#define OTCLEAN_DATASET_DISCRETIZE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/table.h"
+
+namespace otclean::dataset {
+
+/// Binning strategies for turning a numeric column categorical.
+enum class BinningStrategy {
+  /// Equal-width bins between min and max.
+  kEqualWidth,
+  /// Equal-frequency (quantile) bins.
+  kQuantile,
+};
+
+/// Maps raw numeric values into `num_bins` categories. NaN maps to missing.
+/// Returned table column categories are labeled "b0", "b1", …
+///
+/// This is the front door for the paper's numeric datasets (Boston): OTClean
+/// operates on discrete domains, so numeric attributes are binned first.
+class Discretizer {
+ public:
+  /// Learns bin edges from data.
+  static Result<Discretizer> Fit(const std::vector<double>& values,
+                                 size_t num_bins, BinningStrategy strategy);
+
+  /// Bin index (code) for a value; values outside the fitted range clamp to
+  /// the first/last bin. NaN -> kMissing.
+  int Transform(double value) const;
+
+  /// All interior bin edges (size num_bins - 1).
+  const std::vector<double>& edges() const { return edges_; }
+  size_t num_bins() const { return edges_.size() + 1; }
+
+ private:
+  std::vector<double> edges_;
+};
+
+/// Builds a categorical column from numeric data: fits a Discretizer and
+/// produces codes plus a Column with bin labels.
+struct DiscretizedColumn {
+  Column column;
+  std::vector<int> codes;
+};
+Result<DiscretizedColumn> DiscretizeColumn(const std::string& name,
+                                           const std::vector<double>& values,
+                                           size_t num_bins,
+                                           BinningStrategy strategy);
+
+}  // namespace otclean::dataset
+
+#endif  // OTCLEAN_DATASET_DISCRETIZE_H_

@@ -1,0 +1,115 @@
+#include "dataset/numeric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace otclean::dataset {
+
+Status NumericBridge::Fit(const std::vector<NumericColumn>& columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("NumericBridge::Fit: no columns");
+  }
+  const size_t n = columns[0].values.size();
+  for (const auto& col : columns) {
+    if (col.values.size() != n) {
+      return Status::InvalidArgument(
+          "NumericBridge::Fit: ragged column lengths");
+    }
+  }
+  discretizers_.clear();
+  col_min_.clear();
+  col_max_.clear();
+  names_.clear();
+  for (const auto& col : columns) {
+    OTCLEAN_ASSIGN_OR_RETURN(
+        Discretizer disc,
+        Discretizer::Fit(col.values, options_.bins, options_.strategy));
+    discretizers_.push_back(std::move(disc));
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -std::numeric_limits<double>::infinity();
+    for (double v : col.values) {
+      if (!std::isfinite(v)) continue;
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    col_min_.push_back(mn);
+    col_max_.push_back(mx);
+    names_.push_back(col.name);
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<Table> NumericBridge::Encode(
+    const std::vector<NumericColumn>& columns) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("NumericBridge::Encode before Fit");
+  }
+  if (columns.size() != discretizers_.size()) {
+    return Status::InvalidArgument("NumericBridge::Encode: column mismatch");
+  }
+  std::vector<Column> schema_cols;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    Column col;
+    col.name = names_[c];
+    for (size_t b = 0; b < discretizers_[c].num_bins(); ++b) {
+      col.categories.push_back("b" + std::to_string(b));
+    }
+    schema_cols.push_back(std::move(col));
+  }
+  Table table{Schema(std::move(schema_cols))};
+  const size_t n = columns[0].values.size();
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<int> row(columns.size());
+    for (size_t c = 0; c < columns.size(); ++c) {
+      row[c] = discretizers_[c].Transform(columns[c].values[r]);
+    }
+    OTCLEAN_RETURN_NOT_OK(table.AppendRow(row));
+  }
+  return table;
+}
+
+std::pair<double, double> NumericBridge::BinRange(size_t col, int code) const {
+  const auto& edges = discretizers_[col].edges();
+  const size_t b = static_cast<size_t>(code);
+  const double lo = (b == 0) ? col_min_[col] : edges[b - 1];
+  const double hi = (b == edges.size()) ? col_max_[col] : edges[b];
+  return {lo, hi};
+}
+
+Result<std::vector<NumericColumn>> NumericBridge::Decode(
+    const std::vector<NumericColumn>& original, const Table& repaired,
+    Rng& rng) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("NumericBridge::Decode before Fit");
+  }
+  if (original.size() != discretizers_.size() ||
+      repaired.num_columns() != discretizers_.size()) {
+    return Status::InvalidArgument("NumericBridge::Decode: column mismatch");
+  }
+  const size_t n = repaired.num_rows();
+  if (!original.empty() && original[0].values.size() != n) {
+    return Status::InvalidArgument("NumericBridge::Decode: row mismatch");
+  }
+
+  std::vector<NumericColumn> out = original;
+  for (size_t c = 0; c < out.size(); ++c) {
+    for (size_t r = 0; r < n; ++r) {
+      const int repaired_code = repaired.Value(r, c);
+      if (repaired_code == kMissing) {
+        out[c].values[r] = std::nan("");
+        continue;
+      }
+      const int original_code =
+          discretizers_[c].Transform(original[c].values[r]);
+      if (repaired_code == original_code) continue;  // keep exact value
+      const auto [lo, hi] = BinRange(c, repaired_code);
+      out[c].values[r] =
+          (hi > lo) ? lo + rng.NextDouble() * (hi - lo) : lo;
+    }
+  }
+  return out;
+}
+
+}  // namespace otclean::dataset

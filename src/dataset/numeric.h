@@ -1,0 +1,71 @@
+#ifndef OTCLEAN_DATASET_NUMERIC_H_
+#define OTCLEAN_DATASET_NUMERIC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "dataset/discretize.h"
+#include "dataset/table.h"
+
+namespace otclean::dataset {
+
+/// Column-major numeric dataset (NaN = missing) — the front door for
+/// continuous data (the paper's conclusion lists the continuous extension;
+/// OTClean itself operates on discrete domains, so numeric attributes are
+/// binned on the way in and reconstituted on the way out).
+struct NumericColumn {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Bidirectional bridge between numeric data and the categorical tables
+/// the cleaners operate on:
+///   Fit      — learns per-column bin edges (equal-width or quantile),
+///   Encode   — numeric rows -> categorical Table of bin codes,
+///   Decode   — repaired Table -> numeric rows, sampling a value uniformly
+///              within the repaired bin (cells whose bin is unchanged keep
+///              their original value exactly).
+class NumericBridge {
+ public:
+  struct Options {
+    size_t bins = 5;
+    BinningStrategy strategy = BinningStrategy::kQuantile;
+  };
+
+  NumericBridge() : NumericBridge(Options()) {}
+  explicit NumericBridge(Options options) : options_(options) {}
+
+  /// Learns bin edges from the data. All columns must share one length.
+  Status Fit(const std::vector<NumericColumn>& columns);
+
+  bool fitted() const { return fitted_; }
+  size_t num_columns() const { return discretizers_.size(); }
+
+  /// Encodes the (fitted) numeric columns into a categorical table.
+  Result<Table> Encode(const std::vector<NumericColumn>& columns) const;
+
+  /// Reconstructs numeric columns from a repaired table: where the
+  /// repaired bin equals the original bin the original value is kept;
+  /// otherwise a value is drawn uniformly from the repaired bin's range.
+  Result<std::vector<NumericColumn>> Decode(
+      const std::vector<NumericColumn>& original, const Table& repaired,
+      Rng& rng) const;
+
+ private:
+  /// Sampling range of bin `code` for column `col`: interior bins span
+  /// their two edges; edge bins span towards the observed min/max.
+  std::pair<double, double> BinRange(size_t col, int code) const;
+
+  Options options_;
+  bool fitted_ = false;
+  std::vector<Discretizer> discretizers_;
+  std::vector<double> col_min_;
+  std::vector<double> col_max_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace otclean::dataset
+
+#endif  // OTCLEAN_DATASET_NUMERIC_H_

@@ -1,0 +1,76 @@
+#include "dataset/schema.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace otclean::dataset {
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("Schema: no column named '" + name + "'");
+}
+
+Result<int> Schema::CategoryCode(size_t col, const std::string& label) const {
+  if (col >= columns_.size()) {
+    return Status::OutOfRange("Schema::CategoryCode: column out of range");
+  }
+  const auto& cats = columns_[col].categories;
+  for (size_t i = 0; i < cats.size(); ++i) {
+    if (cats[i] == label) return static_cast<int>(i);
+  }
+  return Status::NotFound("Schema: column '" + columns_[col].name +
+                          "' has no category '" + label + "'");
+}
+
+Status Schema::AddColumn(Column column) {
+  for (const auto& c : columns_) {
+    if (c.name == column.name) {
+      return Status::AlreadyExists("Schema: duplicate column '" + column.name +
+                                   "'");
+    }
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+prob::Domain Schema::ToDomain() const {
+  std::vector<std::string> names;
+  std::vector<size_t> cards;
+  names.reserve(columns_.size());
+  cards.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    names.push_back(c.name);
+    cards.push_back(c.cardinality());
+  }
+  auto d = prob::Domain::Make(std::move(names), std::move(cards));
+  assert(d.ok());
+  return std::move(d).value();
+}
+
+prob::Domain Schema::ToDomain(const std::vector<size_t>& cols) const {
+  std::vector<std::string> names;
+  std::vector<size_t> cards;
+  for (size_t c : cols) {
+    assert(c < columns_.size());
+    names.push_back(columns_[c].name);
+    cards.push_back(columns_[c].cardinality());
+  }
+  auto d = prob::Domain::Make(std::move(names), std::move(cards));
+  assert(d.ok());
+  return std::move(d).value();
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "Schema{";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << columns_[i].name << "(" << columns_[i].cardinality() << ")";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace otclean::dataset

@@ -1,0 +1,57 @@
+#ifndef OTCLEAN_DATASET_SCHEMA_H_
+#define OTCLEAN_DATASET_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "prob/domain.h"
+
+namespace otclean::dataset {
+
+/// One categorical column: a name plus the ordered list of category labels.
+/// Values are stored as integer codes into `categories`; code -1 denotes a
+/// missing value.
+struct Column {
+  std::string name;
+  std::vector<std::string> categories;
+
+  size_t cardinality() const { return categories.size(); }
+};
+
+/// An ordered set of categorical columns. Numeric source columns are turned
+/// categorical by `Discretize*` (see discretize.h) before entering a Schema.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& column(size_t i) { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column with the given name.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Code of `label` within column `col`.
+  Result<int> CategoryCode(size_t col, const std::string& label) const;
+
+  /// Adds a column; fails on duplicate name.
+  Status AddColumn(Column column);
+
+  /// The product domain spanned by all columns.
+  prob::Domain ToDomain() const;
+
+  /// The product domain spanned by a subset of columns (in that order).
+  prob::Domain ToDomain(const std::vector<size_t>& cols) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace otclean::dataset
+
+#endif  // OTCLEAN_DATASET_SCHEMA_H_

@@ -1,0 +1,142 @@
+#include "fairness/cap_maxsat.h"
+
+#include <cassert>
+
+#include "prob/independence.h"
+
+namespace otclean::fairness {
+
+Result<CapMaxSatReport> CapMaxSatRepair(const dataset::Table& table,
+                                        const core::CiConstraint& constraint,
+                                        const CapMaxSatOptions& options) {
+  const dataset::Schema& schema = table.schema();
+  OTCLEAN_ASSIGN_OR_RETURN(std::vector<size_t> u_cols,
+                           constraint.ResolveColumns(schema));
+  const prob::Domain u_dom = schema.ToDomain(u_cols);
+  const prob::CiSpec spec = constraint.SpecInProjectedDomain();
+
+  const size_t dx = u_dom.Project(spec.x).TotalSize();
+  const size_t dy = u_dom.Project(spec.y).TotalSize();
+  const size_t dz = spec.z.empty() ? 1 : u_dom.Project(spec.z).TotalSize();
+
+  // Tuple counts per (x, y, z).
+  std::vector<double> counts(dx * dy * dz, 0.0);
+  auto cell_of = [&](size_t xi, size_t yi, size_t zi) {
+    return (zi * dx + xi) * dy + yi;
+  };
+  std::vector<size_t> row_cell(table.num_rows(), SIZE_MAX);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    size_t u_cell = 0;
+    if (!table.EncodeRow(r, u_cols, u_dom, &u_cell)) continue;
+    const size_t xi = u_dom.ProjectIndex(u_cell, spec.x);
+    const size_t yi = u_dom.ProjectIndex(u_cell, spec.y);
+    const size_t zi = spec.z.empty() ? 0 : u_dom.ProjectIndex(u_cell, spec.z);
+    const size_t c = cell_of(xi, yi, zi);
+    row_cell[r] = c;
+    counts[c] += 1.0;
+  }
+
+  // Variable layout (1-based): a_{x,z} first, then b_{y,z}, then t_{x,y,z}.
+  auto var_a = [&](size_t xi, size_t zi) { return 1 + zi * dx + xi; };
+  auto var_b = [&](size_t yi, size_t zi) { return 1 + dx * dz + zi * dy + yi; };
+  auto var_t = [&](size_t xi, size_t yi, size_t zi) {
+    return 1 + dx * dz + dy * dz + cell_of(xi, yi, zi);
+  };
+
+  MaxSatProblem problem;
+  problem.num_vars = dx * dz + dy * dz + dx * dy * dz;
+  for (size_t zi = 0; zi < dz; ++zi) {
+    for (size_t xi = 0; xi < dx; ++xi) {
+      for (size_t yi = 0; yi < dy; ++yi) {
+        const int t = static_cast<int>(var_t(xi, yi, zi));
+        const int a = static_cast<int>(var_a(xi, zi));
+        const int b = static_cast<int>(var_b(yi, zi));
+        problem.hard.push_back({{-t, a}, 1.0});
+        problem.hard.push_back({{-t, b}, 1.0});
+        problem.hard.push_back({{-a, -b, t}, 1.0});
+
+        const double count = counts[cell_of(xi, yi, zi)];
+        if (count > 0.0) {
+          problem.soft.push_back({{t}, count});
+        } else {
+          problem.soft.push_back({{-t}, 1.0});
+        }
+      }
+    }
+  }
+
+  // Hard-feasible initial assignment: the closure of the observed relation
+  // (t = a ∧ b with a, b read off the data).
+  std::vector<bool> initial(problem.num_vars + 1, false);
+  for (size_t zi = 0; zi < dz; ++zi) {
+    for (size_t xi = 0; xi < dx; ++xi) {
+      for (size_t yi = 0; yi < dy; ++yi) {
+        if (counts[cell_of(xi, yi, zi)] > 0.0) {
+          initial[var_a(xi, zi)] = true;
+          initial[var_b(yi, zi)] = true;
+        }
+      }
+    }
+  }
+  for (size_t zi = 0; zi < dz; ++zi) {
+    for (size_t xi = 0; xi < dx; ++xi) {
+      for (size_t yi = 0; yi < dy; ++yi) {
+        initial[var_t(xi, yi, zi)] =
+            initial[var_a(xi, zi)] && initial[var_b(yi, zi)];
+      }
+    }
+  }
+
+  MaxSatOptions ms = options.maxsat;
+  ms.seed = options.seed;
+  OTCLEAN_ASSIGN_OR_RETURN(MaxSatResult sat,
+                           SolveMaxSat(problem, ms, initial));
+
+  CapMaxSatReport report{dataset::Table(schema), 0, 0, sat.hard_satisfied};
+
+  // Decode: keep rows whose cell survives; then insert one row per newly
+  // asserted cell (with non-constraint attributes sampled from the data).
+  Rng rng(options.seed ^ 0x5eedf00dull);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const size_t c = row_cell[r];
+    if (c != SIZE_MAX &&
+        !sat.assignment[1 + dx * dz + dy * dz + c]) {
+      ++report.deleted_rows;
+      continue;
+    }
+    OTCLEAN_RETURN_NOT_OK(report.repaired.AppendRow(table.Row(r)));
+  }
+  for (size_t zi = 0; zi < dz; ++zi) {
+    for (size_t xi = 0; xi < dx; ++xi) {
+      for (size_t yi = 0; yi < dy; ++yi) {
+        const size_t c = cell_of(xi, yi, zi);
+        if (counts[c] > 0.0 || !sat.assignment[1 + dx * dz + dy * dz + c]) {
+          continue;
+        }
+        // Inserted tuple: decode U-values; remaining attributes copied from
+        // a random existing row.
+        std::vector<int> row =
+            table.num_rows() > 0
+                ? table.Row(rng.NextUint64Below(table.num_rows()))
+                : std::vector<int>(schema.num_columns(), 0);
+        // Rebuild the U cell index from (xi, yi, zi):
+        // u_dom attribute order is X..., Y..., Z..., so the flat index is
+        // ((xi * dy) + yi) with z interleaved — reconstruct via decode of
+        // sub-domains.
+        const std::vector<int> xv = u_dom.Project(spec.x).Decode(xi);
+        const std::vector<int> yv = u_dom.Project(spec.y).Decode(yi);
+        std::vector<int> zv;
+        if (!spec.z.empty()) zv = u_dom.Project(spec.z).Decode(zi);
+        size_t k = 0;
+        for (int v : xv) row[u_cols[k++]] = v;
+        for (int v : yv) row[u_cols[k++]] = v;
+        for (int v : zv) row[u_cols[k++]] = v;
+        OTCLEAN_RETURN_NOT_OK(report.repaired.AppendRow(row));
+        ++report.inserted_rows;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace otclean::fairness

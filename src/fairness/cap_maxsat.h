@@ -1,0 +1,41 @@
+#ifndef OTCLEAN_FAIRNESS_CAP_MAXSAT_H_
+#define OTCLEAN_FAIRNESS_CAP_MAXSAT_H_
+
+#include "common/result.h"
+#include "core/ci_constraint.h"
+#include "dataset/table.h"
+#include "fairness/maxsat.h"
+
+namespace otclean::fairness {
+
+/// Cap(MS): Capuchin's MaxSAT repair. A saturated CI constraint
+/// X ⟂ Y | Z over the empirical distribution is equivalent to the MVD
+/// Z ↠ X: within every z-slice, the set of present (x, y) pairs must be a
+/// cross product {x present} × {y present}.
+///
+/// Encoding, per z-slice:
+///   variables  a_{x,z} ("some tuple with x exists"), b_{y,z}, t_{x,y,z};
+///   hard       t ↔ a ∧ b  (three clauses);
+///   soft       t_{x,y,z} with weight = tuple count for observed cells,
+///              ¬t_{x,y,z} with weight 1 for unobserved cells
+/// so the optimum minimizes deletions (weighted by multiplicity) plus
+/// insertions — Capuchin's minimal tuple add/remove repair.
+struct CapMaxSatOptions {
+  MaxSatOptions maxsat;
+  uint64_t seed = 77;
+};
+
+struct CapMaxSatReport {
+  dataset::Table repaired;
+  size_t deleted_rows = 0;
+  size_t inserted_rows = 0;
+  bool hard_satisfied = false;
+};
+
+Result<CapMaxSatReport> CapMaxSatRepair(const dataset::Table& table,
+                                        const core::CiConstraint& constraint,
+                                        const CapMaxSatOptions& options = {});
+
+}  // namespace otclean::fairness
+
+#endif  // OTCLEAN_FAIRNESS_CAP_MAXSAT_H_

@@ -1,0 +1,132 @@
+#include "fairness/capuchin.h"
+
+#include <cassert>
+
+#include "nmf/frobenius_nmf.h"
+#include "prob/independence.h"
+
+namespace otclean::fairness {
+
+namespace {
+
+/// Builds the Cap(MF) target: per-z-slice rank-one Frobenius NMF of the
+/// joint over (X, Y).
+Result<prob::JointDistribution> MatrixFactorizationTarget(
+    const prob::JointDistribution& p, const prob::CiSpec& ci,
+    size_t nmf_max_iterations, Rng& rng) {
+  const prob::Domain& dom = p.domain();
+  const size_t dx = dom.Project(ci.x).TotalSize();
+  const size_t dy = dom.Project(ci.y).TotalSize();
+  const size_t dz = ci.z.empty() ? 1 : dom.Project(ci.z).TotalSize();
+
+  std::vector<linalg::Matrix> slices(dz, linalg::Matrix(dx, dy, 0.0));
+  for (size_t cell = 0; cell < p.size(); ++cell) {
+    const double v = p[cell];
+    if (v <= 0.0) continue;
+    const size_t xi = dom.ProjectIndex(cell, ci.x);
+    const size_t yi = dom.ProjectIndex(cell, ci.y);
+    const size_t zi = ci.z.empty() ? 0 : dom.ProjectIndex(cell, ci.z);
+    slices[zi](xi, yi) += v;
+  }
+
+  nmf::FrobeniusNmfOptions opts;
+  opts.rank = 1;
+  opts.max_iterations = nmf_max_iterations;
+  std::vector<linalg::Matrix> approx(dz, linalg::Matrix(dx, dy, 0.0));
+  for (size_t zi = 0; zi < dz; ++zi) {
+    const double slice_mass = slices[zi].Sum();
+    if (slice_mass <= 0.0) continue;
+    OTCLEAN_ASSIGN_OR_RETURN(nmf::FrobeniusNmfResult r,
+                             nmf::FrobeniusNmf(slices[zi], opts, rng));
+    linalg::Matrix a = linalg::Matrix::OuterProduct(r.w.Col(0), r.h.Row(0));
+    // Rescale so slice masses are preserved (factorization is rank-one and
+    // therefore CI-consistent within the slice regardless of scale).
+    const double approx_mass = a.Sum();
+    if (approx_mass > 0.0) a *= slice_mass / approx_mass;
+    approx[zi] = std::move(a);
+  }
+
+  prob::JointDistribution q(dom);
+  const prob::JointDistribution rest = p.ConditionalOn([&] {
+    std::vector<size_t> xyz = ci.x;
+    xyz.insert(xyz.end(), ci.y.begin(), ci.y.end());
+    xyz.insert(xyz.end(), ci.z.begin(), ci.z.end());
+    return xyz;
+  }());
+  for (size_t cell = 0; cell < q.size(); ++cell) {
+    const size_t xi = dom.ProjectIndex(cell, ci.x);
+    const size_t yi = dom.ProjectIndex(cell, ci.y);
+    const size_t zi = ci.z.empty() ? 0 : dom.ProjectIndex(cell, ci.z);
+    q[cell] = approx[zi](xi, yi) * rest[cell];
+  }
+  q.Normalize();
+  return q;
+}
+
+}  // namespace
+
+Result<dataset::Table> CapuchinRepair(const dataset::Table& table,
+                                      const core::CiConstraint& constraint,
+                                      const CapuchinOptions& options) {
+  const dataset::Schema& schema = table.schema();
+  OTCLEAN_ASSIGN_OR_RETURN(std::vector<size_t> u_cols,
+                           constraint.ResolveColumns(schema));
+  const prob::Domain u_dom = schema.ToDomain(u_cols);
+  const prob::JointDistribution p = table.Empirical(u_cols);
+  if (p.Mass() <= 0.0) {
+    return Status::InvalidArgument("CapuchinRepair: no complete rows");
+  }
+  const prob::CiSpec spec = constraint.SpecInProjectedDomain();
+
+  Rng rng(options.seed);
+  prob::JointDistribution q;
+  if (options.method == CapuchinMethod::kIndependentCoupling) {
+    q = prob::CiProjection(p, spec);
+  } else {
+    OTCLEAN_ASSIGN_OR_RETURN(
+        q, MatrixFactorizationTarget(p, spec, options.nmf_max_iterations,
+                                     rng));
+  }
+
+  // Materialize: for each row, keep X (sensitive) and Z (admissible) and
+  // resample the Y attributes from the target conditional Q(Y | X, Z) — for
+  // a CI-consistent Q this equals Q(Y | Z), which removes exactly the
+  // X→Y dependence the constraint forbids while preserving every other
+  // attribute (and hence the admissible↔label relationships).
+  const prob::Domain y_dom = u_dom.Project(spec.y);
+  const size_t num_y_cells = y_dom.TotalSize();
+  dataset::Table out(schema);
+  std::vector<double> weights(num_y_cells, 0.0);
+  std::vector<int> u_values(u_cols.size(), 0);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<int> row = table.Row(r);
+    bool complete = true;
+    for (size_t i = 0; i < u_cols.size(); ++i) {
+      u_values[i] = row[u_cols[i]];
+      if (u_values[i] == dataset::kMissing) complete = false;
+    }
+    if (complete) {
+      // Conditional over Y cells with this row's X and Z fixed.
+      double total = 0.0;
+      for (size_t yc = 0; yc < num_y_cells; ++yc) {
+        const std::vector<int> yv = y_dom.Decode(yc);
+        for (size_t i = 0; i < spec.y.size(); ++i) {
+          u_values[spec.y[i]] = yv[i];
+        }
+        weights[yc] = q[u_dom.Encode(u_values)];
+        total += weights[yc];
+      }
+      if (total > 0.0) {
+        const std::vector<int> yv =
+            y_dom.Decode(rng.NextCategorical(weights));
+        for (size_t i = 0; i < spec.y.size(); ++i) {
+          row[u_cols[spec.y[i]]] = yv[i];
+        }
+      }
+    }
+    OTCLEAN_RETURN_NOT_OK(out.AppendRow(row));
+  }
+  return out;
+}
+
+}  // namespace otclean::fairness

@@ -1,0 +1,41 @@
+#ifndef OTCLEAN_FAIRNESS_CAPUCHIN_H_
+#define OTCLEAN_FAIRNESS_CAPUCHIN_H_
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/ci_constraint.h"
+#include "dataset/table.h"
+
+namespace otclean::fairness {
+
+/// Capuchin-style database-repair baselines (Salimi et al., SIGMOD 2019)
+/// for a CI constraint σ : X ⟂ Y | Z. Both methods construct a
+/// CI-consistent target distribution Q over the constraint attributes
+/// U = X∪Y∪Z and materialize a repaired table of the same size by keeping
+/// each row's X and Z and resampling its Y attributes from Q(Y | X, Z)
+/// (= Q(Y | Z) for CI-consistent Q).
+enum class CapuchinMethod {
+  /// Cap(IC): the target is the product of the *initial* distribution's
+  /// conditional marginals, Q(x,y|z) = P(x|z)·P(y|z).
+  kIndependentCoupling,
+  /// Cap(MF): each z-slice of the joint is replaced by its rank-one
+  /// Frobenius-norm non-negative factorization.
+  kMatrixFactorization,
+};
+
+struct CapuchinOptions {
+  CapuchinMethod method = CapuchinMethod::kIndependentCoupling;
+  /// NMF iteration budget (Cap(MF) only).
+  size_t nmf_max_iterations = 500;
+  uint64_t seed = 99;
+};
+
+/// Repairs `table` to satisfy `constraint` with the selected Capuchin
+/// method. The output has the same schema and row count.
+Result<dataset::Table> CapuchinRepair(const dataset::Table& table,
+                                      const core::CiConstraint& constraint,
+                                      const CapuchinOptions& options = {});
+
+}  // namespace otclean::fairness
+
+#endif  // OTCLEAN_FAIRNESS_CAPUCHIN_H_

@@ -1,0 +1,236 @@
+#include "fairness/maxsat.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace otclean::fairness {
+
+namespace {
+
+/// Evaluation state: clause satisfaction counts with incremental updates.
+class SearchState {
+ public:
+  SearchState(const MaxSatProblem& problem, double hard_weight)
+      : problem_(problem), hard_weight_(hard_weight) {
+    // Combined clause list: hard clauses carry a large synthetic weight.
+    for (const auto& c : problem.hard) {
+      clauses_.push_back(&c);
+      weights_.push_back(hard_weight_ * std::max(1.0, c.weight));
+      is_hard_.push_back(true);
+    }
+    for (const auto& c : problem.soft) {
+      clauses_.push_back(&c);
+      weights_.push_back(c.weight);
+      is_hard_.push_back(false);
+    }
+    occurs_.assign(problem.num_vars + 1, {});
+    for (size_t ci = 0; ci < clauses_.size(); ++ci) {
+      for (int lit : clauses_[ci]->literals) {
+        occurs_[static_cast<size_t>(std::abs(lit))].push_back(ci);
+      }
+    }
+  }
+
+  void Reset(const std::vector<bool>& assignment) {
+    assignment_ = assignment;
+    sat_count_.assign(clauses_.size(), 0);
+    unsat_cost_ = 0.0;
+    unsat_clauses_.clear();
+    clause_pos_.assign(clauses_.size(), SIZE_MAX);
+    for (size_t ci = 0; ci < clauses_.size(); ++ci) {
+      int count = 0;
+      for (int lit : clauses_[ci]->literals) {
+        if (LiteralTrue(lit)) ++count;
+      }
+      sat_count_[ci] = count;
+      if (count == 0) AddUnsat(ci);
+    }
+  }
+
+  bool LiteralTrue(int lit) const {
+    const size_t v = static_cast<size_t>(std::abs(lit));
+    return lit > 0 ? assignment_[v] : !assignment_[v];
+  }
+
+  /// Cost delta (negative is good) of flipping variable v.
+  double FlipDelta(size_t v) const {
+    double delta = 0.0;
+    for (size_t ci : occurs_[v]) {
+      int lit_sign = 0;
+      for (int lit : clauses_[ci]->literals) {
+        if (static_cast<size_t>(std::abs(lit)) == v) {
+          lit_sign = lit > 0 ? 1 : -1;
+          break;
+        }
+      }
+      const bool currently_true =
+          (lit_sign > 0) ? assignment_[v] : !assignment_[v];
+      if (currently_true) {
+        if (sat_count_[ci] == 1) delta += weights_[ci];  // becomes unsat
+      } else {
+        if (sat_count_[ci] == 0) delta -= weights_[ci];  // becomes sat
+      }
+    }
+    return delta;
+  }
+
+  void Flip(size_t v) {
+    assignment_[v] = !assignment_[v];
+    for (size_t ci : occurs_[v]) {
+      int lit_sign = 0;
+      for (int lit : clauses_[ci]->literals) {
+        if (static_cast<size_t>(std::abs(lit)) == v) {
+          lit_sign = lit > 0 ? 1 : -1;
+          break;
+        }
+      }
+      const bool now_true = (lit_sign > 0) ? assignment_[v] : !assignment_[v];
+      if (now_true) {
+        if (sat_count_[ci] == 0) RemoveUnsat(ci);
+        ++sat_count_[ci];
+      } else {
+        --sat_count_[ci];
+        if (sat_count_[ci] == 0) AddUnsat(ci);
+      }
+    }
+  }
+
+  double unsat_cost() const { return unsat_cost_; }
+  const std::vector<size_t>& unsat_clauses() const { return unsat_clauses_; }
+  const std::vector<bool>& assignment() const { return assignment_; }
+  const Clause& clause(size_t ci) const { return *clauses_[ci]; }
+
+  bool AllHardSatisfied() const {
+    for (size_t ci = 0; ci < is_hard_.size(); ++ci) {
+      if (is_hard_[ci] && sat_count_[ci] == 0) return false;
+    }
+    return true;
+  }
+
+  double SatisfiedSoftWeight() const {
+    double w = 0.0;
+    for (size_t ci = 0; ci < is_hard_.size(); ++ci) {
+      if (!is_hard_[ci] && sat_count_[ci] > 0) w += clauses_[ci]->weight;
+    }
+    return w;
+  }
+
+ private:
+  void AddUnsat(size_t ci) {
+    clause_pos_[ci] = unsat_clauses_.size();
+    unsat_clauses_.push_back(ci);
+    unsat_cost_ += weights_[ci];
+  }
+  void RemoveUnsat(size_t ci) {
+    const size_t pos = clause_pos_[ci];
+    const size_t last = unsat_clauses_.back();
+    unsat_clauses_[pos] = last;
+    clause_pos_[last] = pos;
+    unsat_clauses_.pop_back();
+    clause_pos_[ci] = SIZE_MAX;
+    unsat_cost_ -= weights_[ci];
+  }
+
+  const MaxSatProblem& problem_;
+  double hard_weight_;
+  std::vector<const Clause*> clauses_;
+  std::vector<double> weights_;
+  std::vector<bool> is_hard_;
+  std::vector<std::vector<size_t>> occurs_;
+  std::vector<bool> assignment_;
+  std::vector<int> sat_count_;
+  std::vector<size_t> unsat_clauses_;
+  std::vector<size_t> clause_pos_;
+  double unsat_cost_ = 0.0;
+};
+
+}  // namespace
+
+Result<MaxSatResult> SolveMaxSat(const MaxSatProblem& problem,
+                                 const MaxSatOptions& options,
+                                 const std::vector<bool>& initial) {
+  if (problem.num_vars == 0) {
+    return Status::InvalidArgument("SolveMaxSat: no variables");
+  }
+  for (const auto* clauses : {&problem.hard, &problem.soft}) {
+    for (const auto& c : *clauses) {
+      if (c.literals.empty()) {
+        return Status::InvalidArgument("SolveMaxSat: empty clause");
+      }
+      for (int lit : c.literals) {
+        const size_t v = static_cast<size_t>(std::abs(lit));
+        if (lit == 0 || v > problem.num_vars) {
+          return Status::InvalidArgument("SolveMaxSat: bad literal");
+        }
+      }
+    }
+  }
+
+  double total_soft = 0.0;
+  for (const auto& c : problem.soft) total_soft += c.weight;
+  const double hard_weight = 10.0 * (total_soft + 1.0);
+
+  Rng rng(options.seed);
+  SearchState state(problem, hard_weight);
+
+  MaxSatResult best;
+  best.total_soft_weight = total_soft;
+  double best_cost = std::numeric_limits<double>::infinity();
+
+  for (size_t restart = 0; restart < options.restarts; ++restart) {
+    std::vector<bool> assignment(problem.num_vars + 1, false);
+    if (restart == 0 && initial.size() == problem.num_vars + 1) {
+      assignment = initial;
+    } else {
+      for (size_t v = 1; v <= problem.num_vars; ++v) {
+        assignment[v] = rng.NextBernoulli(0.5);
+      }
+    }
+    state.Reset(assignment);
+
+    for (size_t flip = 0; flip < options.max_flips; ++flip) {
+      if (state.unsat_cost() < best_cost) {
+        best_cost = state.unsat_cost();
+        best.assignment = state.assignment();
+        best.hard_satisfied = state.AllHardSatisfied();
+        best.satisfied_soft_weight = state.SatisfiedSoftWeight();
+        best.flips = flip;
+      }
+      if (state.unsat_clauses().empty()) break;
+
+      // Pick a random unsatisfied clause, then WalkSAT variable choice.
+      const size_t ci = state.unsat_clauses()[rng.NextUint64Below(
+          state.unsat_clauses().size())];
+      const Clause& clause = state.clause(ci);
+      size_t chosen = 0;
+      if (rng.NextBernoulli(options.noise)) {
+        const int lit =
+            clause.literals[rng.NextUint64Below(clause.literals.size())];
+        chosen = static_cast<size_t>(std::abs(lit));
+      } else {
+        double best_delta = std::numeric_limits<double>::infinity();
+        for (int lit : clause.literals) {
+          const size_t v = static_cast<size_t>(std::abs(lit));
+          const double delta = state.FlipDelta(v);
+          if (delta < best_delta) {
+            best_delta = delta;
+            chosen = v;
+          }
+        }
+      }
+      state.Flip(chosen);
+    }
+    // Final candidate of the restart.
+    if (state.unsat_cost() < best_cost) {
+      best_cost = state.unsat_cost();
+      best.assignment = state.assignment();
+      best.hard_satisfied = state.AllHardSatisfied();
+      best.satisfied_soft_weight = state.SatisfiedSoftWeight();
+    }
+  }
+  return best;
+}
+
+}  // namespace otclean::fairness

@@ -1,0 +1,53 @@
+#ifndef OTCLEAN_FAIRNESS_MAXSAT_H_
+#define OTCLEAN_FAIRNESS_MAXSAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace otclean::fairness {
+
+/// A weighted clause: positive literal +v / negative literal −v for
+/// variable ids starting at 1.
+struct Clause {
+  std::vector<int> literals;
+  double weight = 1.0;
+};
+
+/// A weighted partial MaxSAT instance: hard clauses must all hold; soft
+/// clauses contribute their weight when satisfied.
+struct MaxSatProblem {
+  size_t num_vars = 0;
+  std::vector<Clause> hard;
+  std::vector<Clause> soft;
+};
+
+struct MaxSatOptions {
+  size_t max_flips = 200000;
+  size_t restarts = 3;
+  /// WalkSAT noise: probability of a random (rather than greedy) flip.
+  double noise = 0.25;
+  uint64_t seed = 2024;
+};
+
+struct MaxSatResult {
+  std::vector<bool> assignment;  ///< index 0 unused; [1..num_vars].
+  double satisfied_soft_weight = 0.0;
+  double total_soft_weight = 0.0;
+  bool hard_satisfied = false;
+  size_t flips = 0;
+};
+
+/// WalkSAT-style stochastic local search for weighted partial MaxSAT.
+/// `initial` (if non-empty) seeds the first restart's assignment — useful
+/// when a hard-feasible assignment is known by construction, as in the
+/// Capuchin MVD encoding.
+Result<MaxSatResult> SolveMaxSat(const MaxSatProblem& problem,
+                                 const MaxSatOptions& options = {},
+                                 const std::vector<bool>& initial = {});
+
+}  // namespace otclean::fairness
+
+#endif  // OTCLEAN_FAIRNESS_MAXSAT_H_

@@ -1,0 +1,105 @@
+#include "fairness/metrics.h"
+
+#include <array>
+#include <cmath>
+
+namespace otclean::fairness {
+
+namespace {
+Status ValidateInputs(const FairnessInputs& inputs) {
+  if (inputs.table == nullptr) {
+    return Status::InvalidArgument("fairness: table is null");
+  }
+  if (inputs.scores.size() != inputs.table->num_rows()) {
+    return Status::InvalidArgument("fairness: scores/table size mismatch");
+  }
+  if (inputs.table->schema().column(inputs.sensitive_col).cardinality() != 2) {
+    return Status::InvalidArgument("fairness: sensitive column must be binary");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<double> LogRod(const FairnessInputs& inputs) {
+  OTCLEAN_RETURN_NOT_OK(ValidateInputs(inputs));
+  const dataset::Table& t = *inputs.table;
+
+  const prob::Domain adm_dom = t.schema().ToDomain(inputs.admissible_cols);
+  const size_t num_strata = adm_dom.TotalSize();
+  // Per (stratum, group): score sum and count. Using mean scores rather
+  // than thresholded predictions keeps P(Ŷ=1 | S, a) away from the 0/1
+  // boundary, where the odds-ratio estimator degenerates on thin strata.
+  std::vector<std::array<double, 2>> score_sum(num_strata, {0.0, 0.0});
+  std::vector<std::array<double, 2>> count(num_strata, {0.0, 0.0});
+
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const int s = t.Value(r, inputs.sensitive_col);
+    if (s == dataset::kMissing) continue;
+    size_t a = 0;
+    if (!t.EncodeRow(r, inputs.admissible_cols, adm_dom, &a)) continue;
+    score_sum[a][static_cast<size_t>(s)] += inputs.scores[r];
+    count[a][static_cast<size_t>(s)] += 1.0;
+  }
+
+  // Population-weighted mean of per-stratum odds ratios over strata that
+  // contain both groups.
+  double ratio_sum = 0.0;
+  double weight_sum = 0.0;
+  constexpr double kClamp = 1e-3;
+  for (size_t a = 0; a < num_strata; ++a) {
+    if (count[a][0] <= 0.0 || count[a][1] <= 0.0) continue;
+    double m0 = score_sum[a][0] / count[a][0];  // P(Ŷ=1 | S=0, a)
+    double m1 = score_sum[a][1] / count[a][1];  // P(Ŷ=1 | S=1, a)
+    m0 = std::min(1.0 - kClamp, std::max(kClamp, m0));
+    m1 = std::min(1.0 - kClamp, std::max(kClamp, m1));
+    const double ratio = (m0 * (1.0 - m1)) / ((1.0 - m0) * m1);
+    const double w = count[a][0] + count[a][1];
+    ratio_sum += w * ratio;
+    weight_sum += w;
+  }
+  if (weight_sum <= 0.0) {
+    return Status::InvalidArgument(
+        "LogRod: no admissible stratum contains both groups");
+  }
+  return std::log(ratio_sum / weight_sum);
+}
+
+Result<double> EqualityOfOddsGap(const FairnessInputs& inputs,
+                                 size_t label_col) {
+  OTCLEAN_RETURN_NOT_OK(ValidateInputs(inputs));
+  const dataset::Table& t = *inputs.table;
+  // [s][y][yhat]
+  double counts[2][2][2] = {};
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const int s = t.Value(r, inputs.sensitive_col);
+    const int y = t.Value(r, label_col);
+    if (s == dataset::kMissing || y == dataset::kMissing) continue;
+    const int yhat = inputs.scores[r] >= inputs.threshold ? 1 : 0;
+    counts[s][y][yhat] += 1.0;
+  }
+  auto rate = [&](int s, int y) {
+    const double denom = counts[s][y][0] + counts[s][y][1];
+    return denom > 0.0 ? counts[s][y][1] / denom : 0.0;
+  };
+  const double tpr_gap = std::fabs(rate(0, 1) - rate(1, 1));
+  const double fpr_gap = std::fabs(rate(0, 0) - rate(1, 0));
+  return 0.5 * (tpr_gap + fpr_gap);
+}
+
+Result<double> DemographicParityGap(const FairnessInputs& inputs) {
+  OTCLEAN_RETURN_NOT_OK(ValidateInputs(inputs));
+  const dataset::Table& t = *inputs.table;
+  double pos[2] = {0.0, 0.0};
+  double tot[2] = {0.0, 0.0};
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const int s = t.Value(r, inputs.sensitive_col);
+    if (s == dataset::kMissing) continue;
+    tot[s] += 1.0;
+    if (inputs.scores[r] >= inputs.threshold) pos[s] += 1.0;
+  }
+  const double r0 = tot[0] > 0.0 ? pos[0] / tot[0] : 0.0;
+  const double r1 = tot[1] > 0.0 ? pos[1] / tot[1] : 0.0;
+  return std::fabs(r0 - r1);
+}
+
+}  // namespace otclean::fairness

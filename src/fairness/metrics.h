@@ -1,0 +1,40 @@
+#ifndef OTCLEAN_FAIRNESS_METRICS_H_
+#define OTCLEAN_FAIRNESS_METRICS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/table.h"
+
+namespace otclean::fairness {
+
+/// Inputs for fairness metrics: per-row predictions (probabilities) from a
+/// classifier scored on `table`, a binary sensitive column `sensitive_col`
+/// (code 1 = protected group), and the admissible columns A.
+struct FairnessInputs {
+  const dataset::Table* table = nullptr;
+  std::vector<double> scores;   ///< per-row P(Ŷ=1).
+  size_t sensitive_col = 0;
+  std::vector<size_t> admissible_cols;
+  double threshold = 0.5;
+};
+
+/// log of the Ratio of Observational Discrimination (Salimi et al. 2019):
+///   ROD = mean over admissible strata a of
+///         [P(Ŷ=1|S=0,a)·P(Ŷ=0|S=1,a)] / [P(Ŷ=0|S=0,a)·P(Ŷ=1|S=1,a)],
+/// returned as log(ROD); 0 means no observational discrimination. Strata
+/// counts receive a Haldane–Anscombe 0.5 correction so empty cells do not
+/// blow up the ratio.
+Result<double> LogRod(const FairnessInputs& inputs);
+
+/// Equality-of-odds gap: ½(|TPR₀−TPR₁| + |FPR₀−FPR₁|), using the label in
+/// `label_col` as ground truth.
+Result<double> EqualityOfOddsGap(const FairnessInputs& inputs,
+                                 size_t label_col);
+
+/// Demographic-parity gap |P(Ŷ=1|S=0) − P(Ŷ=1|S=1)|.
+Result<double> DemographicParityGap(const FairnessInputs& inputs);
+
+}  // namespace otclean::fairness
+
+#endif  // OTCLEAN_FAIRNESS_METRICS_H_

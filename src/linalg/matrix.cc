@@ -1,0 +1,184 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace otclean::linalg {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::OuterProduct(const Vector& w, const Vector& h) {
+  Matrix m(w.size(), h.size());
+  for (size_t r = 0; r < w.size(); ++r) {
+    const double wr = w[r];
+    for (size_t c = 0; c < h.size(); ++c) m(r, c) = wr * h[c];
+  }
+  return m;
+}
+
+Vector Matrix::Row(size_t r) const {
+  assert(r < rows_);
+  Vector out(cols_);
+  for (size_t c = 0; c < cols_; ++c) out[c] = (*this)(r, c);
+  return out;
+}
+
+Vector Matrix::Col(size_t c) const {
+  assert(c < cols_);
+  Vector out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Vector Matrix::MatVec(const Vector& x) const {
+  assert(x.size() == cols_);
+  Vector y(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (size_t c = 0; c < cols_; ++c) s += row[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+Vector Matrix::TransposeMatVec(const Vector& x) const {
+  assert(x.size() == rows_);
+  Vector y(cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const double* row = data_.data() + r * cols_;
+    for (size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+Vector Matrix::RowSums() const {
+  Vector y(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (size_t c = 0; c < cols_; ++c) s += row[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+Vector Matrix::ColSums() const {
+  Vector y(cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    for (size_t c = 0; c < cols_; ++c) y[c] += row[c];
+  }
+  return y;
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::NormInf() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::ScaleRowsCols(const Vector& u, const Vector& v) const {
+  assert(u.size() == rows_ && v.size() == cols_);
+  Matrix out(rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double ur = u[r];
+    const double* row = data_.data() + r * cols_;
+    double* orow = out.data_.data() + r * cols_;
+    for (size_t c = 0; c < cols_; ++c) orow[c] = ur * row[c] * v[c];
+  }
+  return out;
+}
+
+Matrix Matrix::CwiseProduct(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] * other.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::GibbsKernel(double rho) const {
+  assert(rho > 0.0);
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = std::exp(-data_[i] / rho);
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+double Matrix::FrobeniusDot(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  double s = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) s += data_[i] * other.data_[i];
+  return s;
+}
+
+bool Matrix::ApproxEquals(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString(size_t max_rows, size_t max_cols) const {
+  std::ostringstream os;
+  const size_t nr = std::min(max_rows, rows_);
+  const size_t nc = std::min(max_cols, cols_);
+  os << rows_ << "x" << cols_ << " [\n";
+  for (size_t r = 0; r < nr; ++r) {
+    os << "  ";
+    for (size_t c = 0; c < nc; ++c) {
+      if (c > 0) os << ", ";
+      os << (*this)(r, c);
+    }
+    if (nc < cols_) os << ", ...";
+    os << "\n";
+  }
+  if (nr < rows_) os << "  ...\n";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace otclean::linalg

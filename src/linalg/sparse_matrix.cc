@@ -1,0 +1,120 @@
+#include "linalg/sparse_matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace otclean::linalg {
+
+SparseMatrix SparseMatrix::FromDense(const Matrix& dense, double threshold) {
+  SparseMatrix out(dense.rows(), dense.cols());
+  for (size_t r = 0; r < dense.rows(); ++r) {
+    for (size_t c = 0; c < dense.cols(); ++c) {
+      const double v = dense(r, c);
+      if (std::fabs(v) > threshold) {
+        out.col_index_.push_back(c);
+        out.values_.push_back(v);
+      }
+    }
+    out.row_ptr_[r + 1] = out.values_.size();
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::GibbsKernel(const Matrix& cost, double epsilon,
+                                       double cutoff) {
+  assert(epsilon > 0.0);
+  SparseMatrix out(cost.rows(), cost.cols());
+  for (size_t r = 0; r < cost.rows(); ++r) {
+    for (size_t c = 0; c < cost.cols(); ++c) {
+      const double k = std::exp(-cost(r, c) / epsilon);
+      if (k >= cutoff) {
+        out.col_index_.push_back(c);
+        out.values_.push_back(k);
+      }
+    }
+    out.row_ptr_[r + 1] = out.values_.size();
+  }
+  return out;
+}
+
+Vector SparseMatrix::MatVec(const Vector& x) const {
+  assert(x.size() == cols_);
+  Vector y(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      s += values_[k] * x[col_index_[k]];
+    }
+    y[r] = s;
+  }
+  return y;
+}
+
+Vector SparseMatrix::TransposeMatVec(const Vector& x) const {
+  assert(x.size() == rows_);
+  Vector y(cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      y[col_index_[k]] += values_[k] * xr;
+    }
+  }
+  return y;
+}
+
+Vector SparseMatrix::RowSums() const {
+  Vector y(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) s += values_[k];
+    y[r] = s;
+  }
+  return y;
+}
+
+Vector SparseMatrix::ColSums() const {
+  Vector y(cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      y[col_index_[k]] += values_[k];
+    }
+  }
+  return y;
+}
+
+SparseMatrix SparseMatrix::ScaleRowsCols(const Vector& u,
+                                         const Vector& v) const {
+  assert(u.size() == rows_ && v.size() == cols_);
+  SparseMatrix out = *this;
+  for (size_t r = 0; r < rows_; ++r) {
+    const double ur = u[r];
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out.values_[k] = ur * values_[k] * v[col_index_[k]];
+    }
+  }
+  return out;
+}
+
+double SparseMatrix::FrobeniusDotDense(const Matrix& dense) const {
+  assert(dense.rows() == rows_ && dense.cols() == cols_);
+  double s = 0.0;
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      s += values_[k] * dense(r, col_index_[k]);
+    }
+  }
+  return s;
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix out(rows_, cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out(r, col_index_[k]) = values_[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace otclean::linalg

@@ -1,0 +1,74 @@
+#ifndef OTCLEAN_LINALG_SPARSE_MATRIX_H_
+#define OTCLEAN_LINALG_SPARSE_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace otclean::linalg {
+
+/// Compressed-sparse-row matrix holding only nonzero entries. Backing
+/// store for the sparse transport-plan representation the paper suggests
+/// for reducing Sinkhorn memory (Section 6.5).
+class SparseMatrix {
+ public:
+  SparseMatrix() : rows_(0), cols_(0) {}
+  SparseMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+
+  /// Builds from a dense matrix, dropping entries with |v| <= threshold.
+  static SparseMatrix FromDense(const Matrix& dense, double threshold = 0.0);
+
+  /// Builds the truncated Gibbs kernel K = e^{−C/ε} directly from a dense
+  /// cost matrix, keeping only entries ≥ cutoff — no dense intermediate.
+  static SparseMatrix GibbsKernel(const Matrix& cost, double epsilon,
+                                  double cutoff);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const {
+    return values_.size() * (sizeof(double) + sizeof(size_t)) +
+           row_ptr_.size() * sizeof(size_t);
+  }
+
+  /// y = A·x.
+  Vector MatVec(const Vector& x) const;
+  /// y = Aᵀ·x.
+  Vector TransposeMatVec(const Vector& x) const;
+  /// Row sums.
+  Vector RowSums() const;
+  /// Column sums.
+  Vector ColSums() const;
+
+  /// diag(u)·A·diag(v) with the same sparsity pattern.
+  SparseMatrix ScaleRowsCols(const Vector& u, const Vector& v) const;
+
+  /// Σ_ij A_ij · B_ij for a dense B of the same shape.
+  double FrobeniusDotDense(const Matrix& dense) const;
+
+  /// Densifies (for interoperability with TransportPlan).
+  Matrix ToDense() const;
+
+  /// Row access for iteration: [row_ptr[i], row_ptr[i+1]) index into
+  /// col_index()/values().
+  const std::vector<size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<size_t>& col_index() const { return col_index_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<size_t> row_ptr_;
+  std::vector<size_t> col_index_;
+  std::vector<double> values_;
+};
+
+}  // namespace otclean::linalg
+
+#endif  // OTCLEAN_LINALG_SPARSE_MATRIX_H_

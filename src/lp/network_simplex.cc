@@ -1,0 +1,379 @@
+#include "lp/network_simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <vector>
+
+namespace otclean::lp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Basis bookkeeping: the set of basic cells forms a spanning tree of the
+/// bipartite row/column graph. We keep flows in a dense matrix and the
+/// basis as a boolean mask plus adjacency lists.
+struct Basis {
+  size_t m, n;
+  std::vector<bool> basic;          // m*n mask
+  std::vector<std::vector<size_t>> row_cells;  // per row: basic column ids
+  std::vector<std::vector<size_t>> col_cells;  // per col: basic row ids
+
+  Basis(size_t m_, size_t n_)
+      : m(m_), n(n_), basic(m_ * n_, false), row_cells(m_), col_cells(n_) {}
+
+  bool IsBasic(size_t i, size_t j) const { return basic[i * n + j]; }
+
+  void Add(size_t i, size_t j) {
+    if (IsBasic(i, j)) return;
+    basic[i * n + j] = true;
+    row_cells[i].push_back(j);
+    col_cells[j].push_back(i);
+  }
+
+  void Remove(size_t i, size_t j) {
+    basic[i * n + j] = false;
+    auto& rc = row_cells[i];
+    rc.erase(std::find(rc.begin(), rc.end(), j));
+    auto& cc = col_cells[j];
+    cc.erase(std::find(cc.begin(), cc.end(), i));
+  }
+};
+
+/// Vogel's approximation for the initial basic feasible solution: repeatedly
+/// place mass in the cheapest cell of the row/column with the largest
+/// regret (difference between its two smallest costs).
+void VogelInitial(const linalg::Matrix& cost, linalg::Vector supply,
+                  linalg::Vector demand, linalg::Matrix& flow, Basis& basis) {
+  const size_t m = supply.size();
+  const size_t n = demand.size();
+  std::vector<bool> row_done(m, false), col_done(n, false);
+  size_t remaining = m + n;
+
+  auto row_regret = [&](size_t i, size_t* best_j) {
+    double c1 = kInf, c2 = kInf;
+    size_t j1 = n;
+    for (size_t j = 0; j < n; ++j) {
+      if (col_done[j]) continue;
+      const double c = cost(i, j);
+      if (c < c1) {
+        c2 = c1;
+        c1 = c;
+        j1 = j;
+      } else if (c < c2) {
+        c2 = c;
+      }
+    }
+    *best_j = j1;
+    return (c2 == kInf) ? c1 : c2 - c1;
+  };
+  auto col_regret = [&](size_t j, size_t* best_i) {
+    double c1 = kInf, c2 = kInf;
+    size_t i1 = m;
+    for (size_t i = 0; i < m; ++i) {
+      if (row_done[i]) continue;
+      const double c = cost(i, j);
+      if (c < c1) {
+        c2 = c1;
+        c1 = c;
+        i1 = i;
+      } else if (c < c2) {
+        c2 = c;
+      }
+    }
+    *best_i = i1;
+    return (c2 == kInf) ? c1 : c2 - c1;
+  };
+
+  while (remaining > 2) {
+    // Pick the line (row or column) with the largest regret.
+    double best_regret = -1.0;
+    bool is_row = true;
+    size_t line = 0, partner = 0;
+    for (size_t i = 0; i < m; ++i) {
+      if (row_done[i]) continue;
+      size_t j;
+      const double reg = row_regret(i, &j);
+      if (j < n && reg > best_regret) {
+        best_regret = reg;
+        is_row = true;
+        line = i;
+        partner = j;
+      }
+    }
+    for (size_t j = 0; j < n; ++j) {
+      if (col_done[j]) continue;
+      size_t i;
+      const double reg = col_regret(j, &i);
+      if (i < m && reg > best_regret) {
+        best_regret = reg;
+        is_row = false;
+        line = j;
+        partner = i;
+      }
+    }
+    if (best_regret < 0.0) break;  // nothing assignable
+
+    const size_t i = is_row ? line : partner;
+    const size_t j = is_row ? partner : line;
+    const double amount = std::min(supply[i], demand[j]);
+    flow(i, j) += amount;
+    basis.Add(i, j);
+    supply[i] -= amount;
+    demand[j] -= amount;
+    // Close exactly one line per step (keeps the basis a forest).
+    if (supply[i] <= demand[j]) {
+      row_done[i] = true;
+    } else {
+      col_done[j] = true;
+    }
+    --remaining;
+  }
+  // Assign whatever remains along the surviving lines.
+  for (size_t i = 0; i < m; ++i) {
+    if (row_done[i] || supply[i] < 0.0) continue;
+    for (size_t j = 0; j < n; ++j) {
+      if (col_done[j]) continue;
+      const double amount = std::min(supply[i], demand[j]);
+      if (amount > 0.0 || !basis.IsBasic(i, j)) {
+        flow(i, j) += amount;
+        basis.Add(i, j);
+        supply[i] -= amount;
+        demand[j] -= amount;
+      }
+    }
+  }
+}
+
+/// Ensures the basis is a spanning tree (m + n − 1 connected cells) by
+/// adding zero-flow cells bridging components.
+void CompleteBasisTree(const linalg::Matrix& cost, Basis& basis) {
+  const size_t m = basis.m;
+  const size_t n = basis.n;
+  // Union-find over m rows + n columns.
+  std::vector<size_t> parent(m + n);
+  for (size_t k = 0; k < m + n; ++k) parent[k] = k;
+  std::vector<size_t>* pp = &parent;
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while ((*pp)[x] != x) {
+      (*pp)[x] = (*pp)[(*pp)[x]];
+      x = (*pp)[x];
+    }
+    return x;
+  };
+  auto unite = [&](size_t a, size_t b) { parent[find(a)] = find(b); };
+
+  size_t count = 0;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j : basis.row_cells[i]) {
+      unite(i, m + j);
+    }
+    count += basis.row_cells[i].size();
+  }
+  // Greedily add the cheapest bridging cell until the tree is spanning.
+  while (count < m + n - 1) {
+    double best = kInf;
+    size_t bi = m, bj = n;
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (basis.IsBasic(i, j) || find(i) == find(m + j)) continue;
+        if (cost(i, j) < best) {
+          best = cost(i, j);
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (bi == m) break;  // already connected (shouldn't happen)
+    basis.Add(bi, bj);
+    unite(bi, m + bj);
+    ++count;
+  }
+}
+
+/// Computes dual potentials over the basis tree: u_i + v_j = c_ij for
+/// basic cells, anchored at u_0 = 0 per component.
+void ComputePotentials(const linalg::Matrix& cost, const Basis& basis,
+                       std::vector<double>& u, std::vector<double>& v) {
+  const size_t m = basis.m;
+  const size_t n = basis.n;
+  u.assign(m, kInf);
+  v.assign(n, kInf);
+  std::vector<size_t> stack;
+  for (size_t start = 0; start < m; ++start) {
+    if (u[start] != kInf) continue;
+    u[start] = 0.0;
+    stack.push_back(start);  // rows are ids [0,m), cols [m, m+n)
+    while (!stack.empty()) {
+      const size_t node = stack.back();
+      stack.pop_back();
+      if (node < m) {
+        for (size_t j : basis.row_cells[node]) {
+          if (v[j] == kInf) {
+            v[j] = cost(node, j) - u[node];
+            stack.push_back(m + j);
+          }
+        }
+      } else {
+        const size_t j = node - m;
+        for (size_t i : basis.col_cells[j]) {
+          if (u[i] == kInf) {
+            u[i] = cost(i, j) - v[j];
+            stack.push_back(i);
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Finds the unique alternating cycle the entering cell (ei, ej) closes in
+/// the basis tree: a path from row ei to column ej through basic cells.
+/// Returns the path as alternating (row, col) cells starting with the
+/// entering cell; even positions gain flow, odd positions lose it.
+bool FindCycle(const Basis& basis, size_t ei, size_t ej,
+               std::vector<std::pair<size_t, size_t>>& cycle) {
+  const size_t m = basis.m;
+  // BFS from row ei to column ej over basic cells.
+  std::vector<int> prev(m + basis.n, -1);
+  std::vector<bool> visited(m + basis.n, false);
+  std::vector<size_t> queue = {ei};
+  visited[ei] = true;
+  bool found = false;
+  for (size_t qi = 0; qi < queue.size() && !found; ++qi) {
+    const size_t node = queue[qi];
+    if (node < m) {
+      for (size_t j : basis.row_cells[node]) {
+        if (!visited[m + j]) {
+          visited[m + j] = true;
+          prev[m + j] = static_cast<int>(node);
+          if (j == ej) {
+            found = true;
+            break;
+          }
+          queue.push_back(m + j);
+        }
+      }
+    } else {
+      const size_t j = node - m;
+      for (size_t i : basis.col_cells[j]) {
+        if (!visited[i]) {
+          visited[i] = true;
+          prev[i] = static_cast<int>(node);
+          queue.push_back(i);
+        }
+      }
+    }
+  }
+  if (!found) return false;
+
+  // Reconstruct node path ej <- ... <- ei, then convert to cells.
+  std::vector<size_t> nodes;
+  size_t cur = m + ej;
+  while (cur != ei) {
+    nodes.push_back(cur);
+    cur = static_cast<size_t>(prev[cur]);
+  }
+  nodes.push_back(ei);
+  std::reverse(nodes.begin(), nodes.end());  // ei ... m+ej
+
+  cycle.clear();
+  cycle.emplace_back(ei, ej);  // entering cell (gains flow)
+  // Path alternates row,col,row,col...; consecutive pairs are basic cells.
+  for (size_t k = 0; k + 1 < nodes.size(); ++k) {
+    const size_t a = nodes[k];
+    const size_t b = nodes[k + 1];
+    if (a < m) {
+      cycle.emplace_back(a, b - m);
+    } else {
+      cycle.emplace_back(b, a - m);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<NetworkSimplexResult> SolveTransportNetwork(
+    const linalg::Matrix& cost, const linalg::Vector& p,
+    const linalg::Vector& q, const NetworkSimplexOptions& options,
+    double mass_tol) {
+  const size_t m = cost.rows();
+  const size_t n = cost.cols();
+  if (p.size() != m || q.size() != n) {
+    return Status::InvalidArgument("SolveTransportNetwork: dimension mismatch");
+  }
+  for (size_t i = 0; i < m; ++i) {
+    if (p[i] < 0.0) {
+      return Status::InvalidArgument("SolveTransportNetwork: negative supply");
+    }
+  }
+  for (size_t j = 0; j < n; ++j) {
+    if (q[j] < 0.0) {
+      return Status::InvalidArgument("SolveTransportNetwork: negative demand");
+    }
+  }
+  if (std::fabs(p.Sum() - q.Sum()) > mass_tol) {
+    return Status::InvalidArgument(
+        "SolveTransportNetwork: unbalanced supplies/demands");
+  }
+
+  NetworkSimplexResult result;
+  result.plan = linalg::Matrix(m, n, 0.0);
+  Basis basis(m, n);
+  VogelInitial(cost, p, q, result.plan, basis);
+  CompleteBasisTree(cost, basis);
+
+  std::vector<double> u, v;
+  std::vector<std::pair<size_t, size_t>> cycle;
+  for (size_t pivot = 0; pivot < options.max_pivots; ++pivot) {
+    ComputePotentials(cost, basis, u, v);
+
+    // Entering cell: most negative reduced cost.
+    double best = -options.tol;
+    size_t ei = m, ej = n;
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (basis.IsBasic(i, j)) continue;
+        const double reduced = cost(i, j) - u[i] - v[j];
+        if (reduced < best) {
+          best = reduced;
+          ei = i;
+          ej = j;
+        }
+      }
+    }
+    if (ei == m) {  // optimal
+      result.cost = cost.FrobeniusDot(result.plan);
+      result.pivots = pivot;
+      return result;
+    }
+
+    if (!FindCycle(basis, ei, ej, cycle)) {
+      return Status::Internal("SolveTransportNetwork: basis tree broken");
+    }
+    // Odd positions in the cycle lose flow; theta = their minimum.
+    double theta = kInf;
+    size_t leave_pos = 0;
+    for (size_t k = 1; k < cycle.size(); k += 2) {
+      const double f = result.plan(cycle[k].first, cycle[k].second);
+      if (f < theta) {
+        theta = f;
+        leave_pos = k;
+      }
+    }
+    for (size_t k = 0; k < cycle.size(); ++k) {
+      double& f = result.plan(cycle[k].first, cycle[k].second);
+      f += (k % 2 == 0) ? theta : -theta;
+      if (f < 0.0) f = 0.0;  // numerical guard
+    }
+    basis.Remove(cycle[leave_pos].first, cycle[leave_pos].second);
+    basis.Add(ei, ej);
+  }
+  return Status::NotConverged("SolveTransportNetwork: pivot cap reached");
+}
+
+}  // namespace otclean::lp

@@ -1,0 +1,186 @@
+#include "lp/simplex.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace otclean::lp {
+
+namespace {
+
+/// Dense tableau for the two-phase simplex. Columns are
+/// [structural (n) | artificial (m) | rhs]. The objective row is kept in
+/// reduced-cost form and updated by the same pivots as constraint rows.
+class Tableau {
+ public:
+  Tableau(const LpProblem& p, const SimplexOptions& options)
+      : m_(p.a.rows()), n_(p.a.cols()), tol_(options.tol),
+        max_iterations_(options.max_iterations) {
+    assert(p.b.size() == m_ && p.c.size() == n_);
+    rows_.assign(m_, std::vector<double>(n_ + m_ + 1, 0.0));
+    basis_.assign(m_, 0);
+    for (size_t r = 0; r < m_; ++r) {
+      const double sign = (p.b[r] < 0.0) ? -1.0 : 1.0;
+      for (size_t c = 0; c < n_; ++c) rows_[r][c] = sign * p.a(r, c);
+      rows_[r][n_ + r] = 1.0;  // artificial
+      rows_[r][n_ + m_] = sign * p.b[r];
+      basis_[r] = n_ + r;
+    }
+  }
+
+  /// Phase 1: minimize the sum of artificials. Returns feasibility.
+  Result<bool> Phase1() {
+    // Objective row: cost 1 on artificials => reduced costs are
+    // -(sum of constraint rows) on structural columns.
+    obj_.assign(n_ + m_ + 1, 0.0);
+    for (size_t j = n_; j < n_ + m_; ++j) obj_[j] = 1.0;
+    // Price out the artificial basis.
+    for (size_t r = 0; r < m_; ++r) {
+      for (size_t j = 0; j <= n_ + m_; ++j) obj_[j] -= rows_[r][j];
+    }
+    OTCLEAN_RETURN_NOT_OK(RunSimplex(/*allow_artificial_entering=*/false));
+    const double phase1_obj = -obj_[n_ + m_];
+    if (phase1_obj > 1e-7) return false;
+    DriveOutArtificials();
+    return true;
+  }
+
+  /// Phase 2: minimize the true objective from the phase-1 basis.
+  Status Phase2(const linalg::Vector& c) {
+    obj_.assign(n_ + m_ + 1, 0.0);
+    for (size_t j = 0; j < n_; ++j) obj_[j] = c[j];
+    // Price out the current basis.
+    for (size_t r = 0; r < m_; ++r) {
+      if (row_disabled_[r]) continue;
+      const double cb = (basis_[r] < n_) ? c[basis_[r]] : 0.0;
+      if (cb == 0.0) continue;
+      for (size_t j = 0; j <= n_ + m_; ++j) obj_[j] -= cb * rows_[r][j];
+    }
+    return RunSimplex(/*allow_artificial_entering=*/false);
+  }
+
+  LpSolution Extract() const {
+    LpSolution sol;
+    sol.x = linalg::Vector(n_, 0.0);
+    for (size_t r = 0; r < m_; ++r) {
+      if (row_disabled_[r]) continue;
+      if (basis_[r] < n_) sol.x[basis_[r]] = rows_[r][n_ + m_];
+    }
+    sol.objective = -obj_[n_ + m_];
+    sol.iterations = iterations_;
+    return sol;
+  }
+
+  size_t iterations() const { return iterations_; }
+
+ private:
+  Status RunSimplex(bool allow_artificial_entering) {
+    if (row_disabled_.empty()) row_disabled_.assign(m_, false);
+    const size_t ncols = allow_artificial_entering ? n_ + m_ : n_;
+    while (true) {
+      if (iterations_ >= max_iterations_) {
+        return Status::NotConverged("simplex: iteration cap reached");
+      }
+      // Entering column: Dantzig rule with Bland fallback when stalled.
+      size_t enter = ncols;
+      double best = -tol_;
+      for (size_t j = 0; j < ncols; ++j) {
+        if (obj_[j] < best) {
+          best = obj_[j];
+          enter = j;
+        }
+      }
+      if (enter == ncols) return Status::OK();  // optimal
+
+      // Leaving row: min-ratio test; Bland tie-break on basis index.
+      size_t leave = m_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (size_t r = 0; r < m_; ++r) {
+        if (row_disabled_[r]) continue;
+        const double a = rows_[r][enter];
+        if (a > tol_) {
+          const double ratio = rows_[r][n_ + m_] / a;
+          if (ratio < best_ratio - tol_ ||
+              (ratio < best_ratio + tol_ &&
+               (leave == m_ || basis_[r] < basis_[leave]))) {
+            best_ratio = ratio;
+            leave = r;
+          }
+        }
+      }
+      if (leave == m_) return Status::Unbounded("simplex: unbounded direction");
+      Pivot(leave, enter);
+      ++iterations_;
+    }
+  }
+
+  void Pivot(size_t leave, size_t enter) {
+    std::vector<double>& prow = rows_[leave];
+    const double piv = prow[enter];
+    assert(std::fabs(piv) > 0.0);
+    for (double& v : prow) v /= piv;
+    for (size_t r = 0; r < m_; ++r) {
+      if (r == leave || row_disabled_[r]) continue;
+      const double f = rows_[r][enter];
+      if (f == 0.0) continue;
+      for (size_t j = 0; j <= n_ + m_; ++j) rows_[r][j] -= f * prow[j];
+    }
+    const double fo = obj_[enter];
+    if (fo != 0.0) {
+      for (size_t j = 0; j <= n_ + m_; ++j) obj_[j] -= fo * prow[j];
+    }
+    basis_[leave] = enter;
+  }
+
+  /// After phase 1, removes artificial variables that linger in the basis at
+  /// zero level: pivot on any nonzero structural entry in their row, or
+  /// disable the (redundant) row.
+  void DriveOutArtificials() {
+    for (size_t r = 0; r < m_; ++r) {
+      if (row_disabled_[r] || basis_[r] < n_) continue;
+      size_t enter = n_;
+      for (size_t j = 0; j < n_; ++j) {
+        if (std::fabs(rows_[r][j]) > tol_) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter < n_) {
+        Pivot(r, enter);
+      } else {
+        row_disabled_[r] = true;  // redundant constraint
+      }
+    }
+  }
+
+  size_t m_;
+  size_t n_;
+  double tol_;
+  size_t max_iterations_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> obj_;
+  std::vector<size_t> basis_;
+  std::vector<bool> row_disabled_;
+  size_t iterations_ = 0;
+};
+
+}  // namespace
+
+Result<LpSolution> SolveSimplex(const LpProblem& problem,
+                                const SimplexOptions& options) {
+  if (problem.a.rows() != problem.b.size() ||
+      problem.a.cols() != problem.c.size()) {
+    return Status::InvalidArgument("SolveSimplex: dimension mismatch");
+  }
+  if (problem.a.cols() == 0) {
+    return Status::InvalidArgument("SolveSimplex: no variables");
+  }
+  Tableau tableau(problem, options);
+  OTCLEAN_ASSIGN_OR_RETURN(bool feasible, tableau.Phase1());
+  if (!feasible) return Status::Infeasible("SolveSimplex: LP is infeasible");
+  OTCLEAN_RETURN_NOT_OK(tableau.Phase2(problem.c));
+  return tableau.Extract();
+}
+
+}  // namespace otclean::lp

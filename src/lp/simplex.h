@@ -1,0 +1,48 @@
+#ifndef OTCLEAN_LP_SIMPLEX_H_
+#define OTCLEAN_LP_SIMPLEX_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace otclean::lp {
+
+/// A linear program in standard equality form:
+///   minimize    cᵀx
+///   subject to  A x = b,  x ≥ 0.
+/// Rows with negative b are sign-flipped internally.
+struct LpProblem {
+  linalg::Matrix a;  ///< m × n constraint matrix.
+  linalg::Vector b;  ///< length-m right-hand side.
+  linalg::Vector c;  ///< length-n objective.
+};
+
+struct LpSolution {
+  linalg::Vector x;  ///< optimal primal point.
+  double objective = 0.0;
+  size_t iterations = 0;  ///< total simplex pivots (both phases).
+};
+
+struct SimplexOptions {
+  size_t max_iterations = 200000;
+  /// Feasibility / optimality tolerance.
+  double tol = 1e-9;
+};
+
+/// Solves an LP with the two-phase primal simplex method (dense tableau,
+/// Bland's anti-cycling rule). Returns:
+///  - the optimum on success,
+///  - Status::Infeasible when phase 1 cannot reach zero,
+///  - Status::Unbounded when a pivot column has no positive entry,
+///  - Status::NotConverged if the iteration cap is hit.
+///
+/// Redundant equality rows are tolerated: artificial variables stuck at
+/// zero in the basis are pivoted out or their rows ignored.
+Result<LpSolution> SolveSimplex(const LpProblem& problem,
+                                const SimplexOptions& options = {});
+
+}  // namespace otclean::lp
+
+#endif  // OTCLEAN_LP_SIMPLEX_H_

@@ -1,0 +1,55 @@
+#include "lp/transport_lp.h"
+
+#include <cmath>
+
+#include "lp/simplex.h"
+
+namespace otclean::lp {
+
+Result<TransportResult> SolveTransport(const linalg::Matrix& cost,
+                                       const linalg::Vector& p,
+                                       const linalg::Vector& q,
+                                       double mass_tol) {
+  const size_t m = cost.rows();
+  const size_t n = cost.cols();
+  if (p.size() != m || q.size() != n) {
+    return Status::InvalidArgument("SolveTransport: dimension mismatch");
+  }
+  if (std::fabs(p.Sum() - q.Sum()) > mass_tol) {
+    return Status::InvalidArgument(
+        "SolveTransport: marginals have different total mass");
+  }
+
+  // Variables: π_ij flattened row-major. Constraints: m row sums + n column
+  // sums (one is redundant; the simplex handles it).
+  LpProblem lp;
+  lp.a = linalg::Matrix(m + n, m * n, 0.0);
+  lp.b = linalg::Vector(m + n, 0.0);
+  lp.c = linalg::Vector(m * n, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      const size_t var = i * n + j;
+      lp.a(i, var) = 1.0;
+      lp.a(m + j, var) = 1.0;
+      lp.c[var] = cost(i, j);
+    }
+    lp.b[i] = p[i];
+  }
+  for (size_t j = 0; j < n; ++j) lp.b[m + j] = q[j];
+
+  OTCLEAN_ASSIGN_OR_RETURN(LpSolution sol, SolveSimplex(lp));
+
+  TransportResult out;
+  out.plan = linalg::Matrix(m, n, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      const double v = sol.x[i * n + j];
+      out.plan(i, j) = (v > 0.0) ? v : 0.0;
+    }
+  }
+  out.cost = sol.objective;
+  out.iterations = sol.iterations;
+  return out;
+}
+
+}  // namespace otclean::lp

@@ -1,0 +1,28 @@
+#ifndef OTCLEAN_LP_TRANSPORT_LP_H_
+#define OTCLEAN_LP_TRANSPORT_LP_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace otclean::lp {
+
+/// Exact solution of the discrete Kantorovich transportation problem
+///   minimize  Σ_ij C_ij π_ij
+///   s.t.      Σ_j π_ij = p_i,  Σ_i π_ij = q_j,  π ≥ 0
+/// via the two-phase simplex. p and q must have equal total mass (within
+/// `mass_tol`); one redundant constraint is handled automatically.
+struct TransportResult {
+  linalg::Matrix plan;  ///< optimal coupling π.
+  double cost = 0.0;    ///< optimal transport cost ⟨C, π⟩.
+  size_t iterations = 0;
+};
+
+Result<TransportResult> SolveTransport(const linalg::Matrix& cost,
+                                       const linalg::Vector& p,
+                                       const linalg::Vector& q,
+                                       double mass_tol = 1e-6);
+
+}  // namespace otclean::lp
+
+#endif  // OTCLEAN_LP_TRANSPORT_LP_H_

@@ -1,0 +1,139 @@
+#include "metric/mlkr.h"
+
+#include <cmath>
+
+#include "ml/features.h"
+
+namespace otclean::metric {
+
+namespace {
+
+/// Leave-one-out kernel regression loss and gradient w.r.t. the diagonal
+/// weights, over a row subsample.
+double LossAndGradient(const std::vector<std::vector<double>>& x,
+                       const std::vector<double>& y,
+                       const std::vector<double>& w,
+                       std::vector<double>* grad) {
+  const size_t n = x.size();
+  const size_t d = w.size();
+  std::fill(grad->begin(), grad->end(), 0.0);
+
+  // Precompute squared differences per pair lazily; n is capped, so the
+  // O(n²d) pass is fine.
+  double loss = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    // Kernel weights to all j != i.
+    std::vector<double> k(n, 0.0);
+    double ksum = 0.0, kysum = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      double dist2 = 0.0;
+      for (size_t a = 0; a < d; ++a) {
+        const double diff = x[i][a] - x[j][a];
+        dist2 += w[a] * w[a] * diff * diff;
+      }
+      k[j] = std::exp(-dist2);
+      ksum += k[j];
+      kysum += k[j] * y[j];
+    }
+    if (ksum <= 1e-300) continue;
+    const double yhat = kysum / ksum;
+    const double err = yhat - y[i];
+    loss += err * err;
+
+    // d loss / d w_a = 2 err · d yhat / d w_a, with
+    // d k_ij / d w_a = k_ij · (−2 w_a diff²).
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i || k[j] <= 0.0) continue;
+      const double dyhat_dk = (y[j] - yhat) / ksum;
+      for (size_t a = 0; a < d; ++a) {
+        const double diff = x[i][a] - x[j][a];
+        const double dk = k[j] * (-2.0 * w[a] * diff * diff);
+        (*grad)[a] += 2.0 * err * dyhat_dk * dk;
+      }
+    }
+  }
+  return loss / static_cast<double>(n);
+}
+
+}  // namespace
+
+Result<MlkrResult> LearnMlkrWeights(const dataset::Table& table,
+                                    size_t label_col,
+                                    const std::vector<size_t>& feature_cols,
+                                    const MlkrOptions& options) {
+  OTCLEAN_ASSIGN_OR_RETURN(std::vector<int> labels,
+                           ml::BinaryLabels(table, label_col));
+  if (feature_cols.empty()) {
+    return Status::InvalidArgument("LearnMlkrWeights: no feature columns");
+  }
+
+  // Subsample complete rows.
+  Rng rng(options.seed);
+  std::vector<size_t> candidates;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    bool complete = true;
+    for (size_t c : feature_cols) {
+      if (table.IsMissing(r, c)) {
+        complete = false;
+        break;
+      }
+    }
+    if (complete) candidates.push_back(r);
+  }
+  if (candidates.size() < 4) {
+    return Status::InvalidArgument("LearnMlkrWeights: too few complete rows");
+  }
+  if (candidates.size() > options.max_rows) {
+    const std::vector<size_t> perm = rng.Permutation(candidates.size());
+    std::vector<size_t> sub;
+    sub.reserve(options.max_rows);
+    for (size_t i = 0; i < options.max_rows; ++i) {
+      sub.push_back(candidates[perm[i]]);
+    }
+    candidates = std::move(sub);
+  }
+
+  const size_t n = candidates.size();
+  const size_t d = feature_cols.size();
+  std::vector<std::vector<double>> x(n, std::vector<double>(d));
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t r = candidates[i];
+    for (size_t a = 0; a < d; ++a) {
+      x[i][a] = static_cast<double>(table.Value(r, feature_cols[a]));
+    }
+    y[i] = static_cast<double>(labels[r]);
+  }
+  // Scale features to unit stddev so initial weights are comparable.
+  for (size_t a = 0; a < d; ++a) {
+    double mean = 0.0, m2 = 0.0;
+    for (size_t i = 0; i < n; ++i) mean += x[i][a];
+    mean /= static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) m2 += (x[i][a] - mean) * (x[i][a] - mean);
+    const double sd = std::sqrt(m2 / static_cast<double>(n));
+    if (sd > 1e-9) {
+      for (size_t i = 0; i < n; ++i) x[i][a] = (x[i][a] - mean) / sd;
+    }
+  }
+
+  MlkrResult result;
+  std::vector<double> w(d, 0.5);
+  std::vector<double> grad(d, 0.0);
+  result.initial_loss = LossAndGradient(x, y, w, &grad);
+  double loss = result.initial_loss;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    loss = LossAndGradient(x, y, w, &grad);
+    const double lr =
+        options.learning_rate / (1.0 + 0.05 * static_cast<double>(epoch));
+    for (size_t a = 0; a < d; ++a) {
+      w[a] -= lr * grad[a];
+      if (w[a] < 1e-3) w[a] = 1e-3;  // keep the metric non-degenerate
+    }
+  }
+  result.final_loss = loss;
+  result.weights = std::move(w);
+  return result;
+}
+
+}  // namespace otclean::metric

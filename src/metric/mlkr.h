@@ -1,0 +1,41 @@
+#ifndef OTCLEAN_METRIC_MLKR_H_
+#define OTCLEAN_METRIC_MLKR_H_
+
+#include "common/random.h"
+#include "common/result.h"
+#include "dataset/table.h"
+
+namespace otclean::metric {
+
+/// Diagonal Metric Learning for Kernel Regression (Weinberger & Tesauro,
+/// AISTATS'07) — the supervised metric behind the paper's C2 cost function.
+///
+/// Learns per-attribute weights w minimizing the leave-one-out kernel
+/// regression error of the (binary) label:
+///   ŷ_i = Σ_{j≠i} k_ij y_j / Σ_{j≠i} k_ij,   k_ij = exp(−Σ_a w_a²(x_ia−x_ja)²)
+/// by gradient descent on w. We restrict the metric to a diagonal matrix
+/// (per-attribute scaling), which is what the weighted-Euclidean OT cost
+/// consumes; see DESIGN.md for the substitution note.
+struct MlkrOptions {
+  size_t max_rows = 250;   ///< subsample cap (the objective is O(n²)).
+  size_t epochs = 60;
+  double learning_rate = 0.05;
+  uint64_t seed = 31;
+};
+
+struct MlkrResult {
+  std::vector<double> weights;  ///< per feature column, non-negative.
+  double initial_loss = 0.0;
+  double final_loss = 0.0;
+};
+
+/// Learns weights for `feature_cols` against the binary label in
+/// `label_col`.
+Result<MlkrResult> LearnMlkrWeights(const dataset::Table& table,
+                                    size_t label_col,
+                                    const std::vector<size_t>& feature_cols,
+                                    const MlkrOptions& options = {});
+
+}  // namespace otclean::metric
+
+#endif  // OTCLEAN_METRIC_MLKR_H_

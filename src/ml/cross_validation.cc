@@ -1,0 +1,118 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+
+#include "ml/features.h"
+
+namespace otclean::ml {
+
+std::vector<size_t> StratifiedFolds(const std::vector<int>& labels, size_t k,
+                                    Rng& rng) {
+  std::vector<size_t> folds(labels.size(), 0);
+  // Shuffle each class's rows and deal them round-robin across folds.
+  for (int cls = 0; cls <= 1; ++cls) {
+    std::vector<size_t> rows;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if ((labels[i] != 0) == (cls == 1)) rows.push_back(i);
+    }
+    const std::vector<size_t> perm = rng.Permutation(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      folds[rows[perm[i]]] = i % k;
+    }
+  }
+  return folds;
+}
+
+Result<CrossValidationResult> CrossValidate(
+    const dataset::Table& table, size_t label_col,
+    const std::vector<size_t>& feature_cols, const ClassifierFactory& factory,
+    const CrossValidationOptions& options, const TrainTransform& transform) {
+  if (options.num_folds < 2) {
+    return Status::InvalidArgument("CrossValidate: need at least 2 folds");
+  }
+  OTCLEAN_ASSIGN_OR_RETURN(std::vector<int> labels,
+                           BinaryLabels(table, label_col));
+  Rng rng(options.seed);
+  const std::vector<size_t> folds =
+      StratifiedFolds(labels, options.num_folds, rng);
+
+  CrossValidationResult result;
+  result.oof_scores.assign(table.num_rows(), 0.5);
+  double sum_f1 = 0.0, sum_acc = 0.0;
+
+  for (size_t fold = 0; fold < options.num_folds; ++fold) {
+    std::vector<size_t> train_rows, test_rows;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      (folds[r] == fold ? test_rows : train_rows).push_back(r);
+    }
+    if (train_rows.empty() || test_rows.empty()) continue;
+
+    dataset::Table train = table.SelectRows(train_rows);
+    if (transform) {
+      OTCLEAN_ASSIGN_OR_RETURN(train, transform(train));
+    }
+    std::unique_ptr<Classifier> model = factory();
+    OTCLEAN_RETURN_NOT_OK(model->Fit(train, label_col, feature_cols));
+
+    std::vector<int> test_labels;
+    std::vector<double> test_scores;
+    test_labels.reserve(test_rows.size());
+    test_scores.reserve(test_rows.size());
+    for (size_t r : test_rows) {
+      const double score = model->PredictProb(table.Row(r));
+      result.oof_scores[r] = score;
+      test_labels.push_back(labels[r]);
+      test_scores.push_back(score);
+    }
+    const double auc = Auc(test_labels, test_scores);
+    result.fold_auc.push_back(auc);
+    sum_f1 += F1Score(test_labels, test_scores);
+    sum_acc += Accuracy(test_labels, test_scores);
+  }
+  if (result.fold_auc.empty()) {
+    return Status::Internal("CrossValidate: no folds evaluated");
+  }
+  const double nf = static_cast<double>(result.fold_auc.size());
+  for (double a : result.fold_auc) result.mean_auc += a;
+  result.mean_auc /= nf;
+  result.mean_f1 = sum_f1 / nf;
+  result.mean_accuracy = sum_acc / nf;
+  return result;
+}
+
+Result<HoldoutResult> TrainAndEvaluate(const dataset::Table& train,
+                                       const dataset::Table& test,
+                                       size_t label_col,
+                                       const std::vector<size_t>& feature_cols,
+                                       const ClassifierFactory& factory,
+                                       const TrainTransform& transform) {
+  dataset::Table fitted_train = train;
+  if (transform) {
+    OTCLEAN_ASSIGN_OR_RETURN(fitted_train, transform(train));
+  }
+  std::unique_ptr<Classifier> model = factory();
+  OTCLEAN_RETURN_NOT_OK(model->Fit(fitted_train, label_col, feature_cols));
+
+  OTCLEAN_ASSIGN_OR_RETURN(std::vector<int> labels,
+                           BinaryLabels(test, label_col));
+  const std::vector<double> scores = model->PredictTable(test);
+  HoldoutResult out;
+  out.auc = Auc(labels, scores);
+  out.f1 = F1Score(labels, scores);
+  out.accuracy = Accuracy(labels, scores);
+  return out;
+}
+
+std::vector<size_t> AllFeaturesExcept(const dataset::Schema& schema,
+                                      size_t label_col,
+                                      const std::vector<size_t>& exclude) {
+  std::vector<size_t> out;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c == label_col) continue;
+    if (std::find(exclude.begin(), exclude.end(), c) != exclude.end()) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace otclean::ml

@@ -1,0 +1,71 @@
+#ifndef OTCLEAN_ML_CROSS_VALIDATION_H_
+#define OTCLEAN_ML_CROSS_VALIDATION_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "ml/metrics.h"
+#include "ml/model.h"
+
+namespace otclean::ml {
+
+/// Stratified fold assignment: returns fold index per row, balancing class
+/// proportions across `k` folds.
+std::vector<size_t> StratifiedFolds(const std::vector<int>& labels, size_t k,
+                                    Rng& rng);
+
+/// Builds a fresh classifier per fold.
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+/// Optional hook applied to each fold's *training* partition before
+/// fitting — this is where a data cleaner (OTClean, Capuchin, …) plugs in,
+/// so cleaning never sees the evaluation split.
+using TrainTransform =
+    std::function<Result<dataset::Table>(const dataset::Table&)>;
+
+struct CrossValidationResult {
+  double mean_auc = 0.0;
+  double mean_f1 = 0.0;
+  double mean_accuracy = 0.0;
+  std::vector<double> fold_auc;
+  /// Out-of-fold score for every input row (each row is scored exactly once
+  /// by the model that did not train on it) — used by the fairness metrics.
+  std::vector<double> oof_scores;
+};
+
+struct CrossValidationOptions {
+  size_t num_folds = 5;
+  uint64_t seed = 1234;
+};
+
+/// k-fold cross validation of `factory`-built models on `table`.
+Result<CrossValidationResult> CrossValidate(
+    const dataset::Table& table, size_t label_col,
+    const std::vector<size_t>& feature_cols, const ClassifierFactory& factory,
+    const CrossValidationOptions& options = {},
+    const TrainTransform& transform = nullptr);
+
+/// Trains on `train` (after optional transform) and evaluates on `test`.
+struct HoldoutResult {
+  double auc = 0.0;
+  double f1 = 0.0;
+  double accuracy = 0.0;
+};
+Result<HoldoutResult> TrainAndEvaluate(const dataset::Table& train,
+                                       const dataset::Table& test,
+                                       size_t label_col,
+                                       const std::vector<size_t>& feature_cols,
+                                       const ClassifierFactory& factory,
+                                       const TrainTransform& transform =
+                                           nullptr);
+
+/// All feature columns except `label_col` (and any in `exclude`).
+std::vector<size_t> AllFeaturesExcept(const dataset::Schema& schema,
+                                      size_t label_col,
+                                      const std::vector<size_t>& exclude = {});
+
+}  // namespace otclean::ml
+
+#endif  // OTCLEAN_ML_CROSS_VALIDATION_H_

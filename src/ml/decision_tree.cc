@@ -1,0 +1,174 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/features.h"
+
+namespace otclean::ml {
+
+namespace {
+double GiniFromCounts(double n0, double n1) {
+  const double n = n0 + n1;
+  if (n <= 0.0) return 0.0;
+  const double p1 = n1 / n;
+  return 2.0 * p1 * (1.0 - p1);
+}
+}  // namespace
+
+Status DecisionTree::Fit(const dataset::Table& table, size_t label_col,
+                         const std::vector<size_t>& feature_cols) {
+  std::vector<size_t> rows(table.num_rows());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  Rng rng(options_.seed);
+  return FitRows(table, label_col, feature_cols, rows, rng);
+}
+
+Status DecisionTree::FitRows(const dataset::Table& table, size_t label_col,
+                             const std::vector<size_t>& feature_cols,
+                             const std::vector<size_t>& rows, Rng& rng) {
+  if (table.schema().column(label_col).cardinality() != 2) {
+    return Status::InvalidArgument("DecisionTree: label column is not binary");
+  }
+  if (rows.empty()) return Status::InvalidArgument("DecisionTree: no rows");
+  nodes_.clear();
+  child_index_.clear();
+  child_index_size_ = 0;
+  std::vector<size_t> mutable_rows = rows;
+  Build(table, label_col, feature_cols, mutable_rows, 0, rng);
+  return Status::OK();
+}
+
+size_t DecisionTree::Build(const dataset::Table& table, size_t label_col,
+                           const std::vector<size_t>& feature_cols,
+                           std::vector<size_t>& rows, size_t depth, Rng& rng) {
+  const size_t node_id = nodes_.size();
+  nodes_.emplace_back();
+
+  double n0 = 0.0, n1 = 0.0;
+  for (size_t r : rows) {
+    const int y = table.Value(r, label_col);
+    if (y == 1) {
+      n1 += 1.0;
+    } else {
+      n0 += 1.0;
+    }
+  }
+  // Laplace-smoothed leaf probability.
+  nodes_[node_id].prob1 = (n1 + 1.0) / (n0 + n1 + 2.0);
+
+  if (depth >= options_.max_depth || rows.size() < options_.min_samples_split ||
+      n0 == 0.0 || n1 == 0.0) {
+    return node_id;
+  }
+
+  // Candidate features (optionally a random subset, for forests).
+  std::vector<size_t> candidates = feature_cols;
+  if (options_.max_features > 0 && options_.max_features < candidates.size()) {
+    const std::vector<size_t> perm = rng.Permutation(candidates.size());
+    std::vector<size_t> subset;
+    subset.reserve(options_.max_features);
+    for (size_t i = 0; i < options_.max_features; ++i) {
+      subset.push_back(candidates[perm[i]]);
+    }
+    candidates = std::move(subset);
+  }
+
+  // Pick the multiway split with the lowest weighted Gini.
+  const double parent_gini = GiniFromCounts(n0, n1);
+  double best_gain = 1e-12;
+  size_t best_feature = table.num_columns();
+  for (size_t f : candidates) {
+    const size_t card = table.schema().column(f).cardinality();
+    std::vector<double> c0(card, 0.0), c1(card, 0.0);
+    double miss0 = 0.0, miss1 = 0.0;
+    for (size_t r : rows) {
+      const int v = table.Value(r, f);
+      const bool is1 = table.Value(r, label_col) == 1;
+      if (v == dataset::kMissing) {
+        (is1 ? miss1 : miss0) += 1.0;
+        continue;
+      }
+      (is1 ? c1[static_cast<size_t>(v)] : c0[static_cast<size_t>(v)]) += 1.0;
+    }
+    double weighted = 0.0;
+    const double total = n0 + n1;
+    for (size_t v = 0; v < card; ++v) {
+      const double nv = c0[v] + c1[v];
+      if (nv > 0.0) weighted += (nv / total) * GiniFromCounts(c0[v], c1[v]);
+    }
+    const double nm = miss0 + miss1;
+    if (nm > 0.0) weighted += (nm / total) * GiniFromCounts(miss0, miss1);
+    const double gain = parent_gini - weighted;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_feature = f;
+    }
+  }
+  if (best_feature == table.num_columns()) return node_id;  // no useful split
+
+  const size_t card = table.schema().column(best_feature).cardinality();
+  // Partition rows per child; missing values go to the largest child later.
+  std::vector<std::vector<size_t>> parts(card);
+  std::vector<size_t> missing_rows;
+  for (size_t r : rows) {
+    const int v = table.Value(r, best_feature);
+    if (v == dataset::kMissing) {
+      missing_rows.push_back(r);
+    } else {
+      parts[static_cast<size_t>(v)].push_back(r);
+    }
+  }
+  size_t majority = 0;
+  for (size_t v = 1; v < card; ++v) {
+    if (parts[v].size() > parts[majority].size()) majority = v;
+  }
+  for (size_t r : missing_rows) parts[majority].push_back(r);
+
+  // Children must be contiguous: reserve their slots by building a
+  // breadth-one layout — record child ids after recursive builds.
+  nodes_[node_id].leaf = false;
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].num_children = card;
+  nodes_[node_id].majority_child = majority;
+
+  std::vector<size_t> child_ids(card);
+  for (size_t v = 0; v < card; ++v) {
+    if (parts[v].empty()) {
+      // Empty child: a leaf inheriting the parent's probability.
+      child_ids[v] = nodes_.size();
+      nodes_.emplace_back();
+      nodes_.back().prob1 = nodes_[node_id].prob1;
+    } else {
+      child_ids[v] =
+          Build(table, label_col, feature_cols, parts[v], depth + 1, rng);
+    }
+  }
+  // Children are not contiguous after recursion; store ids in a side table
+  // keyed by first_child into child_index_.
+  nodes_[node_id].first_child = child_index_size_;
+  child_index_.resize(child_index_size_ + card);
+  for (size_t v = 0; v < card; ++v) {
+    child_index_[nodes_[node_id].first_child + v] = child_ids[v];
+  }
+  child_index_size_ += card;
+  return node_id;
+}
+
+double DecisionTree::PredictProb(const std::vector<int>& row) const {
+  if (nodes_.empty()) return 0.5;
+  size_t id = 0;
+  while (!nodes_[id].leaf) {
+    const Node& node = nodes_[id];
+    const int v = row[node.feature];
+    const size_t child_slot =
+        (v == dataset::kMissing ||
+         static_cast<size_t>(v) >= node.num_children)
+            ? node.majority_child
+            : static_cast<size_t>(v);
+    id = child_index_[node.first_child + child_slot];
+  }
+  return nodes_[id].prob1;
+}
+
+}  // namespace otclean::ml

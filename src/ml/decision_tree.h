@@ -1,0 +1,66 @@
+#ifndef OTCLEAN_ML_DECISION_TREE_H_
+#define OTCLEAN_ML_DECISION_TREE_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "ml/model.h"
+
+namespace otclean::ml {
+
+/// CART-style decision tree for categorical features with multiway splits
+/// (one child per category value) and Gini impurity. Missing values route
+/// to the most-populated child.
+class DecisionTree : public Classifier {
+ public:
+  struct Options {
+    size_t max_depth = 8;
+    size_t min_samples_split = 8;
+    /// Number of features considered per split; 0 = all (for forests, set
+    /// to ~sqrt(#features)).
+    size_t max_features = 0;
+    uint64_t seed = 7;
+  };
+
+  DecisionTree() : DecisionTree(Options()) {}
+  explicit DecisionTree(Options options) : options_(options) {}
+
+  Status Fit(const dataset::Table& table, size_t label_col,
+             const std::vector<size_t>& feature_cols) override;
+
+  /// Fit on a row subset (bootstrap support for forests).
+  Status FitRows(const dataset::Table& table, size_t label_col,
+                 const std::vector<size_t>& feature_cols,
+                 const std::vector<size_t>& rows, Rng& rng);
+
+  double PredictProb(const std::vector<int>& row) const override;
+  const char* name() const override { return "decision_tree"; }
+
+  /// Number of nodes in the fitted tree (0 before Fit).
+  size_t NodeCount() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    bool leaf = true;
+    double prob1 = 0.5;       ///< P(label=1) at this node.
+    size_t feature = 0;       ///< split column (table index) if internal.
+    size_t first_child = 0;   ///< children are contiguous, one per category.
+    size_t num_children = 0;
+    size_t majority_child = 0;  ///< fallback for missing values.
+  };
+
+  size_t Build(const dataset::Table& table, size_t label_col,
+               const std::vector<size_t>& feature_cols,
+               std::vector<size_t>& rows, size_t depth, Rng& rng);
+
+  Options options_;
+  std::vector<Node> nodes_;
+  /// Child node ids, indexed by Node::first_child + category value (node
+  /// children are built recursively, so ids are not contiguous).
+  std::vector<size_t> child_index_;
+  size_t child_index_size_ = 0;
+};
+
+}  // namespace otclean::ml
+
+#endif  // OTCLEAN_ML_DECISION_TREE_H_

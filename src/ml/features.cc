@@ -1,0 +1,62 @@
+#include "ml/features.h"
+
+namespace otclean::ml {
+
+OneHotEncoder::OneHotEncoder(const dataset::Schema& schema,
+                             std::vector<size_t> feature_cols)
+    : feature_cols_(std::move(feature_cols)) {
+  offsets_.reserve(feature_cols_.size());
+  cardinalities_.reserve(feature_cols_.size());
+  for (size_t col : feature_cols_) {
+    offsets_.push_back(width_);
+    const size_t card = schema.column(col).cardinality();
+    cardinalities_.push_back(card);
+    width_ += card;
+  }
+}
+
+std::vector<double> OneHotEncoder::Encode(const std::vector<int>& row) const {
+  std::vector<double> out(width_, 0.0);
+  for (size_t i = 0; i < feature_cols_.size(); ++i) {
+    const int code = row[feature_cols_[i]];
+    if (code == dataset::kMissing) continue;
+    if (static_cast<size_t>(code) < cardinalities_[i]) {
+      out[offsets_[i] + static_cast<size_t>(code)] = 1.0;
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> OneHotEncoder::EncodeTable(
+    const dataset::Table& table) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    out.push_back(Encode(table.Row(r)));
+  }
+  return out;
+}
+
+Result<std::vector<int>> BinaryLabels(const dataset::Table& table,
+                                      size_t label_col) {
+  if (label_col >= table.num_columns()) {
+    return Status::OutOfRange("BinaryLabels: column out of range");
+  }
+  if (table.schema().column(label_col).cardinality() != 2) {
+    return Status::InvalidArgument("BinaryLabels: label column '" +
+                                   table.schema().column(label_col).name +
+                                   "' is not binary");
+  }
+  std::vector<int> labels(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const int v = table.Value(r, label_col);
+    if (v == dataset::kMissing) {
+      return Status::InvalidArgument("BinaryLabels: missing label at row " +
+                                     std::to_string(r));
+    }
+    labels[r] = (v != 0) ? 1 : 0;
+  }
+  return labels;
+}
+
+}  // namespace otclean::ml

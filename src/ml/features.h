@@ -1,0 +1,44 @@
+#ifndef OTCLEAN_ML_FEATURES_H_
+#define OTCLEAN_ML_FEATURES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/table.h"
+
+namespace otclean::ml {
+
+/// One-hot encoding of categorical columns into a dense feature matrix.
+/// Missing values encode as an all-zero block for that column.
+class OneHotEncoder {
+ public:
+  /// Builds the encoder for `feature_cols` of `schema`.
+  OneHotEncoder(const dataset::Schema& schema,
+                std::vector<size_t> feature_cols);
+
+  /// Total encoded width.
+  size_t width() const { return width_; }
+  const std::vector<size_t>& feature_cols() const { return feature_cols_; }
+
+  /// Encodes one table row (vector of codes over the full schema).
+  std::vector<double> Encode(const std::vector<int>& row) const;
+
+  /// Encodes every row of a table.
+  std::vector<std::vector<double>> EncodeTable(
+      const dataset::Table& table) const;
+
+ private:
+  std::vector<size_t> feature_cols_;
+  std::vector<size_t> offsets_;       ///< per feature col, start in output.
+  std::vector<size_t> cardinalities_; ///< per feature col.
+  size_t width_ = 0;
+};
+
+/// Extracts a binary label vector from a column with cardinality 2
+/// (code != 0 → 1). Fails for non-binary columns or missing labels.
+Result<std::vector<int>> BinaryLabels(const dataset::Table& table,
+                                      size_t label_col);
+
+}  // namespace otclean::ml
+
+#endif  // OTCLEAN_ML_FEATURES_H_

@@ -1,0 +1,60 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+namespace otclean::ml {
+
+namespace {
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+Status LogisticRegression::Fit(const dataset::Table& table, size_t label_col,
+                               const std::vector<size_t>& feature_cols) {
+  OTCLEAN_ASSIGN_OR_RETURN(std::vector<int> labels,
+                           BinaryLabels(table, label_col));
+  encoder_.emplace(table.schema(), feature_cols);
+  const auto xs = encoder_->EncodeTable(table);
+  const size_t n = xs.size();
+  const size_t d = encoder_->width();
+  if (n == 0) return Status::InvalidArgument("LogisticRegression: empty table");
+
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+  std::vector<double> grad(d);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double z = bias_;
+      for (size_t j = 0; j < d; ++j) z += weights_[j] * xs[i][j];
+      const double err = Sigmoid(z) - static_cast<double>(labels[i]);
+      for (size_t j = 0; j < d; ++j) grad[j] += err * xs[i][j];
+      grad_b += err;
+    }
+    const double lr =
+        options_.learning_rate / (1.0 + 0.01 * static_cast<double>(epoch));
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (size_t j = 0; j < d; ++j) {
+      weights_[j] -= lr * (grad[j] * inv_n + options_.l2 * weights_[j]);
+    }
+    bias_ -= lr * grad_b * inv_n;
+  }
+  return Status::OK();
+}
+
+double LogisticRegression::PredictProb(const std::vector<int>& row) const {
+  if (!encoder_.has_value()) return 0.5;
+  const std::vector<double> x = encoder_->Encode(row);
+  double z = bias_;
+  for (size_t j = 0; j < x.size(); ++j) z += weights_[j] * x[j];
+  return Sigmoid(z);
+}
+
+}  // namespace otclean::ml

@@ -1,0 +1,41 @@
+#ifndef OTCLEAN_ML_LOGISTIC_REGRESSION_H_
+#define OTCLEAN_ML_LOGISTIC_REGRESSION_H_
+
+#include <optional>
+
+#include "ml/features.h"
+#include "ml/model.h"
+
+namespace otclean::ml {
+
+/// L2-regularized logistic regression on one-hot features, trained with
+/// full-batch gradient descent and a decaying step size.
+class LogisticRegression : public Classifier {
+ public:
+  struct Options {
+    double learning_rate = 0.5;
+    double l2 = 1e-3;
+    size_t epochs = 300;
+  };
+
+  LogisticRegression() : LogisticRegression(Options()) {}
+  explicit LogisticRegression(Options options) : options_(options) {}
+
+  Status Fit(const dataset::Table& table, size_t label_col,
+             const std::vector<size_t>& feature_cols) override;
+  double PredictProb(const std::vector<int>& row) const override;
+  const char* name() const override { return "logistic_regression"; }
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  Options options_;
+  std::optional<OneHotEncoder> encoder_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace otclean::ml
+
+#endif  // OTCLEAN_ML_LOGISTIC_REGRESSION_H_

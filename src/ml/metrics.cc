@@ -1,0 +1,67 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace otclean::ml {
+
+double Auc(const std::vector<int>& labels, const std::vector<double>& scores) {
+  assert(labels.size() == scores.size());
+  const size_t n = labels.size();
+  size_t n1 = 0;
+  for (int y : labels) n1 += static_cast<size_t>(y != 0);
+  const size_t n0 = n - n1;
+  if (n0 == 0 || n1 == 0) return 0.5;
+
+  // Midrank computation over sorted scores.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) {
+      if (labels[order[k]] != 0) rank_sum_pos += midrank;
+    }
+    i = j + 1;
+  }
+  const double auc =
+      (rank_sum_pos - 0.5 * static_cast<double>(n1) * (n1 + 1)) /
+      (static_cast<double>(n0) * static_cast<double>(n1));
+  return auc;
+}
+
+double F1Score(const std::vector<int>& labels,
+               const std::vector<double>& scores, double threshold) {
+  assert(labels.size() == scores.size());
+  double tp = 0.0, fp = 0.0, fn = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const bool pred = scores[i] >= threshold;
+    const bool truth = labels[i] != 0;
+    if (pred && truth) tp += 1.0;
+    if (pred && !truth) fp += 1.0;
+    if (!pred && truth) fn += 1.0;
+  }
+  const double denom = 2.0 * tp + fp + fn;
+  return (denom > 0.0) ? 2.0 * tp / denom : 0.0;
+}
+
+double Accuracy(const std::vector<int>& labels,
+                const std::vector<double>& scores, double threshold) {
+  assert(labels.size() == scores.size());
+  if (labels.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const bool pred = scores[i] >= threshold;
+    if (pred == (labels[i] != 0)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace otclean::ml

@@ -1,0 +1,22 @@
+#ifndef OTCLEAN_ML_METRICS_H_
+#define OTCLEAN_ML_METRICS_H_
+
+#include <vector>
+
+namespace otclean::ml {
+
+/// Area under the ROC curve (rank statistic with midrank tie handling).
+/// Returns 0.5 when one class is absent.
+double Auc(const std::vector<int>& labels, const std::vector<double>& scores);
+
+/// F1 score of the positive class at `threshold`.
+double F1Score(const std::vector<int>& labels,
+               const std::vector<double>& scores, double threshold = 0.5);
+
+/// Fraction of correct predictions at `threshold`.
+double Accuracy(const std::vector<int>& labels,
+                const std::vector<double>& scores, double threshold = 0.5);
+
+}  // namespace otclean::ml
+
+#endif  // OTCLEAN_ML_METRICS_H_

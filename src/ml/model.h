@@ -1,0 +1,43 @@
+#ifndef OTCLEAN_ML_MODEL_H_
+#define OTCLEAN_ML_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/table.h"
+
+namespace otclean::ml {
+
+/// Interface for binary classifiers over categorical tables. Models consume
+/// rows of integer codes over the full schema and know which columns are
+/// features; the label column must be binary (codes {0,1}).
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains the model. `feature_cols` must not contain `label_col`.
+  virtual Status Fit(const dataset::Table& table, size_t label_col,
+                     const std::vector<size_t>& feature_cols) = 0;
+
+  /// P(label = 1 | row). `row` is a code vector over the full schema;
+  /// missing feature values are tolerated.
+  virtual double PredictProb(const std::vector<int>& row) const = 0;
+
+  /// Human-readable model name for reports.
+  virtual const char* name() const = 0;
+
+  /// Predicted probabilities for every row of a table.
+  std::vector<double> PredictTable(const dataset::Table& table) const {
+    std::vector<double> out;
+    out.reserve(table.num_rows());
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      out.push_back(PredictProb(table.Row(r)));
+    }
+    return out;
+  }
+};
+
+}  // namespace otclean::ml
+
+#endif  // OTCLEAN_ML_MODEL_H_

@@ -1,0 +1,77 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+
+#include "ml/features.h"
+
+namespace otclean::ml {
+
+Status NaiveBayes::Fit(const dataset::Table& table, size_t label_col,
+                       const std::vector<size_t>& feature_cols) {
+  OTCLEAN_ASSIGN_OR_RETURN(std::vector<int> labels,
+                           BinaryLabels(table, label_col));
+  feature_cols_ = feature_cols;
+  const size_t n = table.num_rows();
+  if (n == 0) return Status::InvalidArgument("NaiveBayes: empty table");
+
+  size_t n1 = 0;
+  for (int y : labels) n1 += static_cast<size_t>(y);
+  const size_t n0 = n - n1;
+  log_prior_1_ = std::log((static_cast<double>(n1) + options_.alpha) /
+                          (static_cast<double>(n) + 2.0 * options_.alpha));
+  log_prior_0_ = std::log((static_cast<double>(n0) + options_.alpha) /
+                          (static_cast<double>(n) + 2.0 * options_.alpha));
+
+  log_cond_.assign(2, {});
+  for (int c = 0; c < 2; ++c) {
+    log_cond_[c].resize(feature_cols_.size());
+    for (size_t f = 0; f < feature_cols_.size(); ++f) {
+      log_cond_[c][f].assign(
+          table.schema().column(feature_cols_[f]).cardinality(), 0.0);
+    }
+  }
+  // Count per class.
+  std::vector<std::vector<std::vector<double>>> counts = log_cond_;
+  std::vector<std::vector<double>> totals(
+      2, std::vector<double>(feature_cols_.size(), 0.0));
+  for (size_t r = 0; r < n; ++r) {
+    const int c = labels[r];
+    for (size_t f = 0; f < feature_cols_.size(); ++f) {
+      const int v = table.Value(r, feature_cols_[f]);
+      if (v == dataset::kMissing) continue;
+      counts[c][f][static_cast<size_t>(v)] += 1.0;
+      totals[c][f] += 1.0;
+    }
+  }
+  for (int c = 0; c < 2; ++c) {
+    for (size_t f = 0; f < feature_cols_.size(); ++f) {
+      const double card = static_cast<double>(counts[c][f].size());
+      for (size_t v = 0; v < counts[c][f].size(); ++v) {
+        log_cond_[c][f][v] =
+            std::log((counts[c][f][v] + options_.alpha) /
+                     (totals[c][f] + options_.alpha * card));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double NaiveBayes::PredictProb(const std::vector<int>& row) const {
+  if (log_cond_.empty()) return 0.5;
+  double s1 = log_prior_1_;
+  double s0 = log_prior_0_;
+  for (size_t f = 0; f < feature_cols_.size(); ++f) {
+    const int v = row[feature_cols_[f]];
+    if (v == dataset::kMissing) continue;
+    if (static_cast<size_t>(v) >= log_cond_[0][f].size()) continue;
+    s1 += log_cond_[1][f][static_cast<size_t>(v)];
+    s0 += log_cond_[0][f][static_cast<size_t>(v)];
+  }
+  // P(1 | row) via the log-sum trick.
+  const double m = std::max(s0, s1);
+  const double e1 = std::exp(s1 - m);
+  const double e0 = std::exp(s0 - m);
+  return e1 / (e0 + e1);
+}
+
+}  // namespace otclean::ml

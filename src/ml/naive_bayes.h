@@ -1,0 +1,35 @@
+#ifndef OTCLEAN_ML_NAIVE_BAYES_H_
+#define OTCLEAN_ML_NAIVE_BAYES_H_
+
+#include "ml/model.h"
+
+namespace otclean::ml {
+
+/// Categorical naive Bayes with Laplace smoothing. Missing feature values
+/// are skipped at both train and predict time.
+class NaiveBayes : public Classifier {
+ public:
+  struct Options {
+    double alpha = 1.0;  ///< Laplace smoothing pseudo-count.
+  };
+
+  NaiveBayes() : NaiveBayes(Options()) {}
+  explicit NaiveBayes(Options options) : options_(options) {}
+
+  Status Fit(const dataset::Table& table, size_t label_col,
+             const std::vector<size_t>& feature_cols) override;
+  double PredictProb(const std::vector<int>& row) const override;
+  const char* name() const override { return "naive_bayes"; }
+
+ private:
+  Options options_;
+  std::vector<size_t> feature_cols_;
+  /// log_cond_[c][f][v] = log P(feature f = v | class c).
+  std::vector<std::vector<std::vector<double>>> log_cond_;
+  double log_prior_1_ = 0.0;
+  double log_prior_0_ = 0.0;
+};
+
+}  // namespace otclean::ml
+
+#endif  // OTCLEAN_ML_NAIVE_BAYES_H_

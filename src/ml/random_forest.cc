@@ -1,0 +1,47 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+
+namespace otclean::ml {
+
+Status RandomForest::Fit(const dataset::Table& table, size_t label_col,
+                         const std::vector<size_t>& feature_cols) {
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("RandomForest: empty table");
+  }
+  trees_.clear();
+  Rng rng(options_.seed);
+  const size_t n = table.num_rows();
+  const size_t max_features = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::sqrt(static_cast<double>(feature_cols.size())) + 0.5));
+
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    DecisionTree::Options tree_opts;
+    tree_opts.max_depth = options_.max_depth;
+    tree_opts.min_samples_split = options_.min_samples_split;
+    tree_opts.max_features = max_features;
+    tree_opts.seed = options_.seed + t;
+    DecisionTree tree(tree_opts);
+
+    // Bootstrap sample.
+    std::vector<size_t> rows(n);
+    for (size_t i = 0; i < n; ++i) {
+      rows[i] = rng.NextUint64Below(n);
+    }
+    Rng tree_rng = rng.Fork(t);
+    OTCLEAN_RETURN_NOT_OK(
+        tree.FitRows(table, label_col, feature_cols, rows, tree_rng));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double RandomForest::PredictProb(const std::vector<int>& row) const {
+  if (trees_.empty()) return 0.5;
+  double s = 0.0;
+  for (const auto& tree : trees_) s += tree.PredictProb(row);
+  return s / static_cast<double>(trees_.size());
+}
+
+}  // namespace otclean::ml

@@ -1,0 +1,39 @@
+#ifndef OTCLEAN_ML_RANDOM_FOREST_H_
+#define OTCLEAN_ML_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/model.h"
+
+namespace otclean::ml {
+
+/// Bagged ensemble of multiway-split decision trees with per-split feature
+/// subsampling.
+class RandomForest : public Classifier {
+ public:
+  struct Options {
+    size_t num_trees = 25;
+    size_t max_depth = 10;
+    size_t min_samples_split = 4;
+    uint64_t seed = 11;
+  };
+
+  RandomForest() : RandomForest(Options()) {}
+  explicit RandomForest(Options options) : options_(options) {}
+
+  Status Fit(const dataset::Table& table, size_t label_col,
+             const std::vector<size_t>& feature_cols) override;
+  double PredictProb(const std::vector<int>& row) const override;
+  const char* name() const override { return "random_forest"; }
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  Options options_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace otclean::ml
+
+#endif  // OTCLEAN_ML_RANDOM_FOREST_H_

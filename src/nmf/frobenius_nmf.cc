@@ -1,0 +1,83 @@
+#include "nmf/frobenius_nmf.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace otclean::nmf {
+
+namespace {
+linalg::Matrix MatMul(const linalg::Matrix& a, const linalg::Matrix& b) {
+  assert(a.cols() == b.rows());
+  linalg::Matrix c(a.rows(), b.cols(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+double SquaredError(const linalg::Matrix& a, const linalg::Matrix& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    const double d = a.data()[i] - b.data()[i];
+    s += d * d;
+  }
+  return s;
+}
+}  // namespace
+
+Result<FrobeniusNmfResult> FrobeniusNmf(const linalg::Matrix& a,
+                                        const FrobeniusNmfOptions& options,
+                                        Rng& rng) {
+  if (options.rank == 0) {
+    return Status::InvalidArgument("FrobeniusNmf: rank must be >= 1");
+  }
+  for (double v : a.data()) {
+    if (v < 0.0) return Status::InvalidArgument("FrobeniusNmf: negative entry");
+  }
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  const size_t r = options.rank;
+  constexpr double kFloor = 1e-12;
+
+  FrobeniusNmfResult result;
+  result.w = linalg::Matrix(m, r);
+  result.h = linalg::Matrix(r, n);
+  for (double& v : result.w.data()) v = 0.5 + rng.NextDouble();
+  for (double& v : result.h.data()) v = 0.5 + rng.NextDouble();
+
+  double prev = std::numeric_limits<double>::infinity();
+  for (size_t it = 0; it < options.max_iterations; ++it) {
+    // H ← H .* (WᵀA) ./ (WᵀW H).
+    const linalg::Matrix wt = result.w.Transposed();
+    const linalg::Matrix wta = MatMul(wt, a);
+    const linalg::Matrix wtwh = MatMul(MatMul(wt, result.w), result.h);
+    for (size_t i = 0; i < result.h.data().size(); ++i) {
+      result.h.data()[i] *= wta.data()[i] / (wtwh.data()[i] + kFloor);
+    }
+    // W ← W .* (A Hᵀ) ./ (W H Hᵀ).
+    const linalg::Matrix ht = result.h.Transposed();
+    const linalg::Matrix aht = MatMul(a, ht);
+    const linalg::Matrix whht = MatMul(result.w, MatMul(result.h, ht));
+    for (size_t i = 0; i < result.w.data().size(); ++i) {
+      result.w.data()[i] *= aht.data()[i] / (whht.data()[i] + kFloor);
+    }
+
+    result.iterations = it + 1;
+    const double err = SquaredError(a, MatMul(result.w, result.h));
+    if (std::isfinite(prev) &&
+        std::fabs(prev - err) <= options.tolerance * (1.0 + prev)) {
+      result.error = err;
+      return result;
+    }
+    prev = err;
+  }
+  result.error = prev;
+  return result;
+}
+
+}  // namespace otclean::nmf

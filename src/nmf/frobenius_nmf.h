@@ -1,0 +1,33 @@
+#ifndef OTCLEAN_NMF_FROBENIUS_NMF_H_
+#define OTCLEAN_NMF_FROBENIUS_NMF_H_
+
+#include "common/random.h"
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace otclean::nmf {
+
+/// Non-negative matrix factorization minimizing ‖A − WH‖²_F with Lee–Seung
+/// multiplicative updates — the factorization used by the Capuchin Cap(MF)
+/// baseline, which repairs each z-slice by a Euclidean-norm rank-one
+/// factorization.
+struct FrobeniusNmfOptions {
+  size_t rank = 1;
+  size_t max_iterations = 500;
+  double tolerance = 1e-12;
+};
+
+struct FrobeniusNmfResult {
+  linalg::Matrix w;
+  linalg::Matrix h;
+  double error = 0.0;  ///< final ‖A − WH‖²_F.
+  size_t iterations = 0;
+};
+
+Result<FrobeniusNmfResult> FrobeniusNmf(const linalg::Matrix& a,
+                                        const FrobeniusNmfOptions& options,
+                                        Rng& rng);
+
+}  // namespace otclean::nmf
+
+#endif  // OTCLEAN_NMF_FROBENIUS_NMF_H_

@@ -1,0 +1,130 @@
+#include "nmf/kl_nmf.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace otclean::nmf {
+
+namespace {
+linalg::Matrix MatMul(const linalg::Matrix& a, const linalg::Matrix& b) {
+  assert(a.cols() == b.rows());
+  linalg::Matrix c(a.rows(), b.cols(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+}  // namespace
+
+double GeneralizedKl(const linalg::Matrix& a, const linalg::Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double d = 0.0;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    const double av = a.data()[i];
+    const double bv = b.data()[i];
+    if (av > 0.0) {
+      if (bv <= 0.0) return std::numeric_limits<double>::infinity();
+      d += av * std::log(av / bv) - av + bv;
+    } else {
+      d += bv;
+    }
+  }
+  return d;
+}
+
+KlNmfResult KlNmfRank1(const linalg::Matrix& a) {
+  KlNmfResult result;
+  const double total = a.Sum();
+  result.w = linalg::Matrix(a.rows(), 1, 0.0);
+  result.h = linalg::Matrix(1, a.cols(), 0.0);
+  const linalg::Vector rows = a.RowSums();
+  const linalg::Vector cols = a.ColSums();
+  for (size_t i = 0; i < a.rows(); ++i) result.w(i, 0) = rows[i];
+  if (total > 0.0) {
+    for (size_t j = 0; j < a.cols(); ++j) result.h(0, j) = cols[j] / total;
+  }
+  result.divergence =
+      GeneralizedKl(a, linalg::Matrix::OuterProduct(
+                           result.w.Col(0), result.h.Row(0)));
+  result.iterations = 1;
+  return result;
+}
+
+Result<KlNmfResult> KlNmf(const linalg::Matrix& a, const KlNmfOptions& options,
+                          Rng& rng) {
+  if (options.rank == 0) {
+    return Status::InvalidArgument("KlNmf: rank must be >= 1");
+  }
+  for (double v : a.data()) {
+    if (v < 0.0) return Status::InvalidArgument("KlNmf: negative entry");
+  }
+
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  const size_t r = options.rank;
+
+  KlNmfResult result;
+  result.w = linalg::Matrix(m, r);
+  result.h = linalg::Matrix(r, n);
+  const double scale = std::max(a.Sum() / std::max<size_t>(1, m * n), 1e-6);
+  for (double& v : result.w.data()) v = scale * (0.5 + rng.NextDouble());
+  for (double& v : result.h.data()) v = 0.5 + rng.NextDouble();
+
+  double prev = std::numeric_limits<double>::infinity();
+  for (size_t it = 0; it < options.max_iterations; ++it) {
+    // Ratio matrix R = A ./ (WH) with 0/0 := 0.
+    linalg::Matrix wh = MatMul(result.w, result.h);
+    linalg::Matrix ratio(m, n);
+    for (size_t i = 0; i < wh.data().size(); ++i) {
+      const double denom = wh.data()[i];
+      ratio.data()[i] = (denom > 0.0) ? a.data()[i] / denom : 0.0;
+    }
+
+    // W update: W_ik *= (R Hᵀ)_ik / Σ_j H_kj.
+    const linalg::Vector h_rowsums = result.h.RowSums();
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t k = 0; k < r; ++k) {
+        double num = 0.0;
+        for (size_t j = 0; j < n; ++j) num += ratio(i, j) * result.h(k, j);
+        const double denom = h_rowsums[k];
+        result.w(i, k) *= (denom > 0.0) ? num / denom : 0.0;
+      }
+    }
+
+    // Refresh ratio with updated W.
+    wh = MatMul(result.w, result.h);
+    for (size_t i = 0; i < wh.data().size(); ++i) {
+      const double denom = wh.data()[i];
+      ratio.data()[i] = (denom > 0.0) ? a.data()[i] / denom : 0.0;
+    }
+
+    // H update: H_kj *= (Wᵀ R)_kj / Σ_i W_ik.
+    const linalg::Vector w_colsums = result.w.ColSums();
+    for (size_t k = 0; k < r; ++k) {
+      for (size_t j = 0; j < n; ++j) {
+        double num = 0.0;
+        for (size_t i = 0; i < m; ++i) num += result.w(i, k) * ratio(i, j);
+        const double denom = w_colsums[k];
+        result.h(k, j) *= (denom > 0.0) ? num / denom : 0.0;
+      }
+    }
+
+    result.iterations = it + 1;
+    const double obj = GeneralizedKl(a, MatMul(result.w, result.h));
+    if (std::isfinite(prev) &&
+        std::fabs(prev - obj) <= options.tolerance * (1.0 + std::fabs(prev))) {
+      result.divergence = obj;
+      return result;
+    }
+    prev = obj;
+  }
+  result.divergence = prev;
+  return result;
+}
+
+}  // namespace otclean::nmf

@@ -1,0 +1,44 @@
+#ifndef OTCLEAN_NMF_KL_NMF_H_
+#define OTCLEAN_NMF_KL_NMF_H_
+
+#include "common/random.h"
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace otclean::nmf {
+
+/// Non-negative matrix factorization A ≈ W·H minimizing the generalized KL
+/// divergence D(A ‖ WH) = Σ a log(a/b) − a + b, via Lee–Seung
+/// multiplicative updates — the inner loop of FastOTClean (Algorithm 2,
+/// lines 8–12).
+struct KlNmfOptions {
+  size_t rank = 1;
+  size_t max_iterations = 500;
+  /// Stop when the objective improves by less than this (relative).
+  double tolerance = 1e-10;
+};
+
+struct KlNmfResult {
+  linalg::Matrix w;  ///< m × rank
+  linalg::Matrix h;  ///< rank × n
+  double divergence = 0.0;
+  size_t iterations = 0;
+};
+
+/// Factorizes a non-negative matrix. `rng` seeds the random initialization.
+Result<KlNmfResult> KlNmf(const linalg::Matrix& a, const KlNmfOptions& options,
+                          Rng& rng);
+
+/// Rank-one special case in closed form: for KL, the optimal rank-one
+/// factorization of A is the outer product of its row-sum and (normalized)
+/// column-sum vectors. This is why the inner loop of Algorithm 2 projects
+/// each z-slice onto the product of its marginals.
+KlNmfResult KlNmfRank1(const linalg::Matrix& a);
+
+/// Generalized KL divergence D(A ‖ B) with the 0-handling conventions
+/// above. Returns +inf if some a_ij > 0 has b_ij == 0.
+double GeneralizedKl(const linalg::Matrix& a, const linalg::Matrix& b);
+
+}  // namespace otclean::nmf
+
+#endif  // OTCLEAN_NMF_KL_NMF_H_

@@ -1,0 +1,149 @@
+#include "ot/cost.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace otclean::ot {
+
+double EuclideanCost::Cost(const std::vector<int>& a,
+                           const std::vector<int>& b) const {
+  assert(a.size() == b.size() && a.size() == inv_scales_.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = (a[i] - b[i]) * inv_scales_[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double HammingCost::Cost(const std::vector<int>& a,
+                         const std::vector<int>& b) const {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += (a[i] != b[i]) ? 1.0 : 0.0;
+  return s;
+}
+
+double CosineCost::Cost(const std::vector<int>& a,
+                        const std::vector<int>& b) const {
+  assert(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 && nb == 0.0) return 0.0;
+  if (na == 0.0 || nb == 0.0) return 1.0;
+  const double cosine = dot / (std::sqrt(na) * std::sqrt(nb));
+  return 1.0 - cosine;
+}
+
+double CorrelationCost::Cost(const std::vector<int>& a,
+                             const std::vector<int>& b) const {
+  assert(a.size() == b.size());
+  const size_t n = a.size();
+  if (n < 2) return (a == b) ? 0.0 : 1.0;
+  double ma = 0.0, mb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va == 0.0 || vb == 0.0) return (a == b) ? 0.0 : 1.0;
+  return 1.0 - cov / std::sqrt(va * vb);
+}
+
+FairnessCost::FairnessCost(std::vector<size_t> frozen_attrs, size_t num_attrs,
+                           double frozen_penalty)
+    : frozen_(num_attrs, false), frozen_penalty_(frozen_penalty) {
+  for (size_t a : frozen_attrs) {
+    assert(a < num_attrs);
+    frozen_[a] = true;
+  }
+}
+
+double FairnessCost::Cost(const std::vector<int>& a,
+                          const std::vector<int>& b) const {
+  assert(a.size() == b.size() && a.size() == frozen_.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) continue;
+    if (frozen_[i]) return frozen_penalty_;
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double WeightedEuclideanCost::Cost(const std::vector<int>& a,
+                                   const std::vector<int>& b) const {
+  assert(a.size() == b.size() && a.size() == weights_.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = (a[i] - b[i]) * weights_[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+linalg::Matrix BuildCostMatrix(const prob::Domain& dom,
+                               const CostFunction& f) {
+  std::vector<size_t> all(dom.TotalSize());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return BuildCostMatrix(dom, all, all, f);
+}
+
+linalg::Matrix BuildCostMatrix(const prob::Domain& dom,
+                               const std::vector<size_t>& rows,
+                               const std::vector<size_t>& cols,
+                               const CostFunction& f) {
+  linalg::Matrix c(rows.size(), cols.size());
+  std::vector<std::vector<int>> col_tuples;
+  col_tuples.reserve(cols.size());
+  for (size_t j : cols) col_tuples.push_back(dom.Decode(j));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const std::vector<int> a = dom.Decode(rows[r]);
+    for (size_t j = 0; j < cols.size(); ++j) {
+      c(r, j) = f.Cost(a, col_tuples[j]);
+    }
+  }
+  return c;
+}
+
+std::vector<double> InverseStddevWeights(const prob::Domain& dom,
+                                         const linalg::Vector& probs) {
+  assert(probs.size() == dom.TotalSize());
+  const size_t k = dom.num_attrs();
+  std::vector<double> mean(k, 0.0), m2(k, 0.0);
+  double mass = 0.0;
+  for (size_t cell = 0; cell < probs.size(); ++cell) {
+    const double p = probs[cell];
+    if (p <= 0.0) continue;
+    mass += p;
+    for (size_t a = 0; a < k; ++a) {
+      const double v = dom.DecodeAttr(cell, a);
+      mean[a] += p * v;
+      m2[a] += p * v * v;
+    }
+  }
+  std::vector<double> w(k, 1.0);
+  if (mass <= 0.0) return w;
+  for (size_t a = 0; a < k; ++a) {
+    const double mu = mean[a] / mass;
+    const double var = m2[a] / mass - mu * mu;
+    w[a] = (var > 1e-12) ? 1.0 / std::sqrt(var) : 1.0;
+  }
+  return w;
+}
+
+}  // namespace otclean::ot

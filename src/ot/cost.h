@@ -1,0 +1,133 @@
+#ifndef OTCLEAN_OT_COST_H_
+#define OTCLEAN_OT_COST_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "prob/domain.h"
+
+namespace otclean::ot {
+
+/// A user-defined cost `c(v, v′)` between two tuples of the same domain —
+/// the paper's generalization of repair-minimality criteria. Implementations
+/// must be non-negative and should return 0 for identical tuples.
+class CostFunction {
+ public:
+  virtual ~CostFunction() = default;
+
+  /// Cost of transforming tuple `a` into tuple `b` (code vectors over the
+  /// same domain).
+  virtual double Cost(const std::vector<int>& a,
+                      const std::vector<int>& b) const = 0;
+};
+
+/// Euclidean distance over integer codes with per-attribute scale weights
+/// (the paper's C1: attributes divided by their standard deviation).
+/// With unit weights this is the plain Euclidean distance of Example 3.2.
+class EuclideanCost : public CostFunction {
+ public:
+  /// Unit weights.
+  explicit EuclideanCost(size_t num_attrs)
+      : inv_scales_(num_attrs, 1.0) {}
+  /// weights[i] multiplies attribute i's difference (use 1/stddev for the
+  /// paper's normalization).
+  explicit EuclideanCost(std::vector<double> inv_scales)
+      : inv_scales_(std::move(inv_scales)) {}
+
+  double Cost(const std::vector<int>& a,
+              const std::vector<int>& b) const override;
+
+ private:
+  std::vector<double> inv_scales_;
+};
+
+/// Number of attributes that differ (update-count minimality; makes the
+/// repair problem match MVD U-repair, cf. Section 3 of the paper).
+class HammingCost : public CostFunction {
+ public:
+  double Cost(const std::vector<int>& a,
+              const std::vector<int>& b) const override;
+};
+
+/// 1 − cosine similarity of the code vectors (used in Fig. 12 for Boston).
+class CosineCost : public CostFunction {
+ public:
+  double Cost(const std::vector<int>& a,
+              const std::vector<int>& b) const override;
+};
+
+/// 1 − Pearson correlation across attributes (used in Fig. 12 for Car).
+class CorrelationCost : public CostFunction {
+ public:
+  double Cost(const std::vector<int>& a,
+              const std::vector<int>& b) const override;
+};
+
+/// Wraps an arbitrary callable as a cost function.
+class LambdaCost : public CostFunction {
+ public:
+  using Fn =
+      std::function<double(const std::vector<int>&, const std::vector<int>&)>;
+  explicit LambdaCost(Fn fn) : fn_(std::move(fn)) {}
+  double Cost(const std::vector<int>& a,
+              const std::vector<int>& b) const override {
+    return fn_(a, b);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// The fairness cost of Section 6.2: changes to attributes in
+/// `frozen_attrs` (sensitive + admissible) cost `frozen_penalty`
+/// (effectively forbidding them), while the remaining (inadmissible)
+/// attributes cost their weighted Euclidean distance.
+class FairnessCost : public CostFunction {
+ public:
+  FairnessCost(std::vector<size_t> frozen_attrs, size_t num_attrs,
+               double frozen_penalty = 1e6);
+
+  double Cost(const std::vector<int>& a,
+              const std::vector<int>& b) const override;
+
+ private:
+  std::vector<bool> frozen_;
+  double frozen_penalty_;
+};
+
+/// Diagonal-metric (per-attribute weighted) Euclidean cost; the carrier for
+/// the learned MLKR metric (the paper's C2).
+class WeightedEuclideanCost : public CostFunction {
+ public:
+  explicit WeightedEuclideanCost(std::vector<double> weights)
+      : weights_(std::move(weights)) {}
+
+  double Cost(const std::vector<int>& a,
+              const std::vector<int>& b) const override;
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// Dense cost matrix over all cell pairs of `dom`:
+/// C[i][j] = f(Decode(i), Decode(j)).
+linalg::Matrix BuildCostMatrix(const prob::Domain& dom, const CostFunction& f);
+
+/// Cost matrix restricted to row cells `rows` and column cells `cols`
+/// (flat indices of `dom`) — the paper's active-domain optimization.
+linalg::Matrix BuildCostMatrix(const prob::Domain& dom,
+                               const std::vector<size_t>& rows,
+                               const std::vector<size_t>& cols,
+                               const CostFunction& f);
+
+/// Per-attribute inverse standard deviations of the codes under the
+/// empirical distribution `p` — the paper's C1 normalization. Attributes
+/// with zero variance get weight 1.
+std::vector<double> InverseStddevWeights(const prob::Domain& dom,
+                                         const linalg::Vector& probs);
+
+}  // namespace otclean::ot
+
+#endif  // OTCLEAN_OT_COST_H_

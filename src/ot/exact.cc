@@ -1,0 +1,39 @@
+#include "ot/exact.h"
+
+#include "lp/transport_lp.h"
+
+namespace otclean::ot {
+
+Result<double> ExactOtDistance(const prob::JointDistribution& p,
+                               const prob::JointDistribution& q,
+                               const CostFunction& cost) {
+  if (!(p.domain() == q.domain())) {
+    return Status::InvalidArgument("ExactOtDistance: domain mismatch");
+  }
+  prob::JointDistribution pn = p;
+  prob::JointDistribution qn = q;
+  pn.Normalize();
+  qn.Normalize();
+
+  std::vector<size_t> p_cells, q_cells;
+  for (size_t i = 0; i < pn.size(); ++i) {
+    if (pn[i] > 0.0) p_cells.push_back(i);
+  }
+  for (size_t i = 0; i < qn.size(); ++i) {
+    if (qn[i] > 0.0) q_cells.push_back(i);
+  }
+  if (p_cells.empty() || q_cells.empty()) {
+    return Status::InvalidArgument("ExactOtDistance: zero measure");
+  }
+
+  linalg::Vector pv(p_cells.size()), qv(q_cells.size());
+  for (size_t i = 0; i < p_cells.size(); ++i) pv[i] = pn[p_cells[i]];
+  for (size_t j = 0; j < q_cells.size(); ++j) qv[j] = qn[q_cells[j]];
+
+  const linalg::Matrix c = BuildCostMatrix(p.domain(), p_cells, q_cells, cost);
+  OTCLEAN_ASSIGN_OR_RETURN(lp::TransportResult tr,
+                           lp::SolveTransport(c, pv, qv));
+  return tr.cost;
+}
+
+}  // namespace otclean::ot

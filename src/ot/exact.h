@@ -1,0 +1,22 @@
+#ifndef OTCLEAN_OT_EXACT_H_
+#define OTCLEAN_OT_EXACT_H_
+
+#include "common/result.h"
+#include "ot/cost.h"
+#include "prob/joint.h"
+
+namespace otclean::ot {
+
+/// Exact (LP-based) optimal transport distance between two distributions
+/// over the same domain — the Earth Mover's Distance used by the
+/// statistical-distortion evaluation (Fig. 9, Dasu & Loh framework).
+///
+/// Support is restricted to cells with nonzero mass on either side, so the
+/// LP stays small for sparse empirical distributions.
+Result<double> ExactOtDistance(const prob::JointDistribution& p,
+                               const prob::JointDistribution& q,
+                               const CostFunction& cost);
+
+}  // namespace otclean::ot
+
+#endif  // OTCLEAN_OT_EXACT_H_

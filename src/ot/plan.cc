@@ -1,0 +1,47 @@
+#include "ot/plan.h"
+
+#include <cassert>
+
+namespace otclean::ot {
+
+TransportPlan::TransportPlan(prob::Domain domain,
+                             std::vector<size_t> row_cells,
+                             std::vector<size_t> col_cells,
+                             linalg::Matrix plan)
+    : domain_(std::move(domain)),
+      row_cells_(std::move(row_cells)),
+      col_cells_(std::move(col_cells)),
+      plan_(std::move(plan)) {
+  assert(plan_.rows() == row_cells_.size());
+  assert(plan_.cols() == col_cells_.size());
+  row_of_cell_.reserve(row_cells_.size());
+  for (size_t r = 0; r < row_cells_.size(); ++r) {
+    row_of_cell_.emplace(row_cells_[r], r);
+  }
+}
+
+linalg::Vector TransportPlan::ConditionalRow(size_t row) const {
+  assert(row < plan_.rows());
+  linalg::Vector cond = plan_.Row(row);
+  const double mass = cond.Sum();
+  if (mass > 0.0) cond /= mass;
+  return cond;
+}
+
+size_t TransportPlan::SampleRepair(size_t source_cell, Rng& rng) const {
+  const auto it = row_of_cell_.find(source_cell);
+  if (it == row_of_cell_.end()) return source_cell;
+  const linalg::Vector row = plan_.Row(it->second);
+  if (row.Sum() <= 0.0) return source_cell;
+  return col_cells_[rng.NextCategorical(row.data())];
+}
+
+size_t TransportPlan::MapRepair(size_t source_cell) const {
+  const auto it = row_of_cell_.find(source_cell);
+  if (it == row_of_cell_.end()) return source_cell;
+  const linalg::Vector row = plan_.Row(it->second);
+  if (row.Sum() <= 0.0) return source_cell;
+  return col_cells_[row.ArgMax()];
+}
+
+}  // namespace otclean::ot

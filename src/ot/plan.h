@@ -1,0 +1,59 @@
+#ifndef OTCLEAN_OT_PLAN_H_
+#define OTCLEAN_OT_PLAN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "prob/domain.h"
+
+namespace otclean::ot {
+
+/// A transport plan π(v, v′) between cells of a shared domain, with row
+/// support restricted to `row_cells` (the dataset's active domain) and
+/// column support `col_cells`.
+///
+/// This is the paper's *probabilistic data cleaner*: row-normalizing yields
+/// the probabilistic mapping π(v′ | v), and sampling from it repairs tuples.
+class TransportPlan {
+ public:
+  TransportPlan() = default;
+  TransportPlan(prob::Domain domain, std::vector<size_t> row_cells,
+                std::vector<size_t> col_cells, linalg::Matrix plan);
+
+  const prob::Domain& domain() const { return domain_; }
+  const linalg::Matrix& matrix() const { return plan_; }
+  const std::vector<size_t>& row_cells() const { return row_cells_; }
+  const std::vector<size_t>& col_cells() const { return col_cells_; }
+
+  /// Source marginal π(v) over row cells.
+  linalg::Vector SourceMarginal() const { return plan_.RowSums(); }
+  /// Target marginal π(v′) over column cells.
+  linalg::Vector TargetMarginal() const { return plan_.ColSums(); }
+
+  /// The conditional mapping π(v′ | v = row_cells[row]); all zeros when the
+  /// row carries no mass.
+  linalg::Vector ConditionalRow(size_t row) const;
+
+  /// Samples a repaired cell (flat domain index) for the tuple in
+  /// `source_cell`. If the cell is not in the plan's row support or carries
+  /// no mass, the tuple is returned unchanged.
+  size_t SampleRepair(size_t source_cell, Rng& rng) const;
+
+  /// Deterministic (MAP) repair: the most likely target cell for
+  /// `source_cell`; identity for unknown / massless rows.
+  size_t MapRepair(size_t source_cell) const;
+
+ private:
+  prob::Domain domain_;
+  std::vector<size_t> row_cells_;
+  std::vector<size_t> col_cells_;
+  linalg::Matrix plan_;
+  std::unordered_map<size_t, size_t> row_of_cell_;
+};
+
+}  // namespace otclean::ot
+
+#endif  // OTCLEAN_OT_PLAN_H_

@@ -1,0 +1,283 @@
+#include "ot/sinkhorn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace otclean::ot {
+
+namespace {
+
+/// Guards the scaling vectors against overflow. Kernels with a large
+/// dynamic range (e.g. costs that effectively forbid some moves) can push
+/// u or v past the double range over many iterations; an infinite scaling
+/// entry then zeroes the opposite vector and silently drains the plan.
+/// Clamping at 1e150 keeps u·K·v finite without affecting normal runs.
+void ClampScaling(linalg::Vector& s) {
+  constexpr double kMax = 1e150;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (!std::isfinite(s[i]) || s[i] > kMax) s[i] = kMax;
+  }
+}
+
+/// Log-domain implementation: iterates log-potentials lu, lv with
+/// log(K·v)_i computed by a streaming log-sum-exp over −C_ij/ε + lv_j.
+/// Entries with p_i = 0 (or q_j = 0) keep lu_i = −inf, matching the
+/// linear-domain 0/0 := 0 convention.
+Result<SinkhornResult> RunSinkhornLogDomain(const linalg::Matrix& cost,
+                                            const linalg::Vector& p,
+                                            const linalg::Vector& q,
+                                            const SinkhornOptions& options,
+                                            const linalg::Vector* warm_u,
+                                            const linalg::Vector* warm_v) {
+  const size_t m = cost.rows();
+  const size_t n = cost.cols();
+  const double eps = options.epsilon;
+  const double exponent =
+      options.relaxed ? options.lambda / (options.lambda + eps) : 1.0;
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+  auto safe_log = [](double x) {
+    return x > 0.0 ? std::log(x)
+                   : -std::numeric_limits<double>::infinity();
+  };
+  linalg::Vector log_p(m), log_q(n);
+  for (size_t i = 0; i < m; ++i) log_p[i] = safe_log(p[i]);
+  for (size_t j = 0; j < n; ++j) log_q[j] = safe_log(q[j]);
+
+  linalg::Vector lu(m, 0.0), lv(n, 0.0);
+  if (warm_u != nullptr && warm_u->size() == m) {
+    for (size_t i = 0; i < m; ++i) lu[i] = safe_log((*warm_u)[i]);
+  }
+  if (warm_v != nullptr && warm_v->size() == n) {
+    for (size_t j = 0; j < n; ++j) lv[j] = safe_log((*warm_v)[j]);
+  }
+
+  // lse over j of (lv_j − C_ij/ε), per row i (and the transpose for lv).
+  auto lse_rows = [&](const linalg::Vector& lvv, linalg::Vector& out) {
+    for (size_t i = 0; i < m; ++i) {
+      double mx = kNegInf;
+      for (size_t j = 0; j < n; ++j) {
+        const double t = lvv[j] - cost(i, j) / eps;
+        if (t > mx) mx = t;
+      }
+      if (mx == kNegInf) {
+        out[i] = kNegInf;
+        continue;
+      }
+      double s = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        s += std::exp(lvv[j] - cost(i, j) / eps - mx);
+      }
+      out[i] = mx + std::log(s);
+    }
+  };
+  auto lse_cols = [&](const linalg::Vector& luu, linalg::Vector& out) {
+    for (size_t j = 0; j < n; ++j) {
+      double mx = kNegInf;
+      for (size_t i = 0; i < m; ++i) {
+        const double t = luu[i] - cost(i, j) / eps;
+        if (t > mx) mx = t;
+      }
+      if (mx == kNegInf) {
+        out[j] = kNegInf;
+        continue;
+      }
+      double s = 0.0;
+      for (size_t i = 0; i < m; ++i) {
+        s += std::exp(luu[i] - cost(i, j) / eps - mx);
+      }
+      out[j] = mx + std::log(s);
+    }
+  };
+
+  SinkhornResult result;
+  linalg::Vector lkv(m), lktu(n);
+  for (size_t it = 0; it < options.max_iterations; ++it) {
+    lse_rows(lv, lkv);
+    linalg::Vector new_lu(m);
+    for (size_t i = 0; i < m; ++i) {
+      new_lu[i] = (log_p[i] == kNegInf || lkv[i] == kNegInf)
+                      ? kNegInf
+                      : exponent * (log_p[i] - lkv[i]);
+    }
+    lse_cols(new_lu, lktu);
+    linalg::Vector new_lv(n);
+    for (size_t j = 0; j < n; ++j) {
+      new_lv[j] = (log_q[j] == kNegInf || lktu[j] == kNegInf)
+                      ? kNegInf
+                      : exponent * (log_q[j] - lktu[j]);
+    }
+
+    double du = 0.0, dv = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      const double d = std::fabs(new_lu[i] - lu[i]);
+      if (std::isfinite(d)) du = std::max(du, d);
+    }
+    for (size_t j = 0; j < n; ++j) {
+      const double d = std::fabs(new_lv[j] - lv[j]);
+      if (std::isfinite(d)) dv = std::max(dv, d);
+    }
+    lu = std::move(new_lu);
+    lv = std::move(new_lv);
+    result.iterations = it + 1;
+    if (du <= options.tolerance && dv <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.plan = linalg::Matrix(m, n, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    if (lu[i] == kNegInf) continue;
+    for (size_t j = 0; j < n; ++j) {
+      if (lv[j] == kNegInf) continue;
+      result.plan(i, j) = std::exp(lu[i] + lv[j] - cost(i, j) / eps);
+    }
+  }
+  result.u = linalg::Vector(m);
+  result.v = linalg::Vector(n);
+  for (size_t i = 0; i < m; ++i) {
+    result.u[i] = lu[i] == kNegInf ? 0.0 : std::exp(lu[i]);
+  }
+  for (size_t j = 0; j < n; ++j) {
+    result.v[j] = lv[j] == kNegInf ? 0.0 : std::exp(lv[j]);
+  }
+  ClampScaling(result.u);
+  ClampScaling(result.v);
+  result.transport_cost = cost.FrobeniusDot(result.plan);
+  return result;
+}
+
+}  // namespace
+
+Result<SinkhornResult> RunSinkhorn(const linalg::Matrix& cost,
+                                   const linalg::Vector& p,
+                                   const linalg::Vector& q,
+                                   const SinkhornOptions& options,
+                                   const linalg::Vector* warm_u,
+                                   const linalg::Vector* warm_v) {
+  const size_t m = cost.rows();
+  const size_t n = cost.cols();
+  if (p.size() != m || q.size() != n) {
+    return Status::InvalidArgument("RunSinkhorn: marginal dimension mismatch");
+  }
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("RunSinkhorn: epsilon must be positive");
+  }
+  if (options.log_domain) {
+    return RunSinkhornLogDomain(cost, p, q, options, warm_u, warm_v);
+  }
+
+  const linalg::Matrix kernel = cost.GibbsKernel(options.epsilon);
+
+  SinkhornResult result;
+  result.u = (warm_u != nullptr && warm_u->size() == m) ? *warm_u
+                                                        : linalg::Vector::Ones(m);
+  result.v = (warm_v != nullptr && warm_v->size() == n) ? *warm_v
+                                                        : linalg::Vector::Ones(n);
+
+  // Relaxed update exponent λ/(λ+ε) (Frogner et al., Prop 4.2; the paper's
+  // Eq. 5 exponent ρλ/(ρλ+1) with ρ = 1/ε).
+  const double exponent =
+      options.relaxed ? options.lambda / (options.lambda + options.epsilon)
+                      : 1.0;
+
+  for (size_t it = 0; it < options.max_iterations; ++it) {
+    const linalg::Vector kv = kernel.MatVec(result.v);
+    linalg::Vector new_u = p.CwiseQuotientSafe(kv);
+    if (exponent != 1.0) new_u = new_u.CwisePow(exponent);
+    ClampScaling(new_u);
+
+    const linalg::Vector ktu = kernel.TransposeMatVec(new_u);
+    linalg::Vector new_v = q.CwiseQuotientSafe(ktu);
+    if (exponent != 1.0) new_v = new_v.CwisePow(exponent);
+    ClampScaling(new_v);
+
+    const double du = (new_u - result.u).NormInf();
+    const double dv = (new_v - result.v).NormInf();
+    result.u = std::move(new_u);
+    result.v = std::move(new_v);
+    result.iterations = it + 1;
+    if (du <= options.tolerance && dv <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.plan = kernel.ScaleRowsCols(result.u, result.v);
+  result.transport_cost = cost.FrobeniusDot(result.plan);
+  return result;
+}
+
+double PlanEntropy(const linalg::Matrix& plan) {
+  double h = 0.0;
+  for (double v : plan.data()) {
+    if (v > 0.0) h -= v * std::log(v);
+  }
+  return h;
+}
+
+Result<SparseSinkhornResult> RunSinkhornSparse(
+    const linalg::Matrix& cost, const linalg::Vector& p,
+    const linalg::Vector& q, const SinkhornOptions& options,
+    double kernel_cutoff, const linalg::Vector* warm_u,
+    const linalg::Vector* warm_v) {
+  const size_t m = cost.rows();
+  const size_t n = cost.cols();
+  if (p.size() != m || q.size() != n) {
+    return Status::InvalidArgument(
+        "RunSinkhornSparse: marginal dimension mismatch");
+  }
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "RunSinkhornSparse: epsilon must be positive");
+  }
+  if (kernel_cutoff < 0.0) {
+    return Status::InvalidArgument(
+        "RunSinkhornSparse: kernel_cutoff must be >= 0");
+  }
+
+  const linalg::SparseMatrix kernel =
+      linalg::SparseMatrix::GibbsKernel(cost, options.epsilon, kernel_cutoff);
+
+  SparseSinkhornResult result;
+  result.u = (warm_u != nullptr && warm_u->size() == m)
+                 ? *warm_u
+                 : linalg::Vector::Ones(m);
+  result.v = (warm_v != nullptr && warm_v->size() == n)
+                 ? *warm_v
+                 : linalg::Vector::Ones(n);
+
+  const double exponent =
+      options.relaxed ? options.lambda / (options.lambda + options.epsilon)
+                      : 1.0;
+
+  for (size_t it = 0; it < options.max_iterations; ++it) {
+    const linalg::Vector kv = kernel.MatVec(result.v);
+    linalg::Vector new_u = p.CwiseQuotientSafe(kv);
+    if (exponent != 1.0) new_u = new_u.CwisePow(exponent);
+    ClampScaling(new_u);
+
+    const linalg::Vector ktu = kernel.TransposeMatVec(new_u);
+    linalg::Vector new_v = q.CwiseQuotientSafe(ktu);
+    if (exponent != 1.0) new_v = new_v.CwisePow(exponent);
+    ClampScaling(new_v);
+
+    const double du = (new_u - result.u).NormInf();
+    const double dv = (new_v - result.v).NormInf();
+    result.u = std::move(new_u);
+    result.v = std::move(new_v);
+    result.iterations = it + 1;
+    if (du <= options.tolerance && dv <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.plan = kernel.ScaleRowsCols(result.u, result.v);
+  result.transport_cost = result.plan.FrobeniusDotDense(cost);
+  return result;
+}
+
+}  // namespace otclean::ot

@@ -1,0 +1,88 @@
+#ifndef OTCLEAN_OT_SINKHORN_H_
+#define OTCLEAN_OT_SINKHORN_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse_matrix.h"
+#include "linalg/vector.h"
+
+namespace otclean::ot {
+
+/// Parameters for entropic / relaxed optimal transport.
+///
+/// Convention: we minimize  ⟨C, π⟩ − ε·H(π) (+ λ·KL marginal penalties in
+/// relaxed mode). The paper writes the entropic weight as 1/ρ and the kernel
+/// as K = e^{−C/ρ}; our `epsilon` is the paper's ρ in that kernel formula
+/// (i.e. K = e^{−C/ε}), so *smaller* epsilon means sharper plans.
+struct SinkhornOptions {
+  double epsilon = 0.05;
+  /// Marginal-relaxation coefficient λ (only used when `relaxed`). Larger λ
+  /// means marginals are matched more strictly; the relaxed update exponent
+  /// is λ/(λ+ε) — the paper's ρλ/(ρλ+1) with ρ = 1/ε (Eq. 5).
+  double lambda = 50.0;
+  /// false: classic Sinkhorn with hard marginals (Algorithm 1).
+  /// true: relaxed OT updates of Frogner et al. (Eq. 5).
+  bool relaxed = false;
+  /// Run the iterations on log-scaled potentials instead of the scaling
+  /// vectors themselves. Immune to under/overflow for very small ε or
+  /// costs with a huge dynamic range (e.g. frozen-attribute penalties), at
+  /// ~3–4× the per-iteration cost of the linear-domain kernel.
+  bool log_domain = false;
+  size_t max_iterations = 20000;
+  /// Convergence threshold on the max-change of the scaling vectors
+  /// (log-domain mode: of the log-potentials).
+  double tolerance = 1e-10;
+};
+
+/// Output of a Sinkhorn run.
+struct SinkhornResult {
+  linalg::Matrix plan;  ///< π = diag(u)·K·diag(v).
+  linalg::Vector u;     ///< row scaling (exposable for warm starts).
+  linalg::Vector v;     ///< column scaling.
+  size_t iterations = 0;
+  bool converged = false;
+  double transport_cost = 0.0;  ///< ⟨C, π⟩.
+};
+
+/// Runs Sinkhorn matrix scaling between marginals `p` (rows) and `q`
+/// (columns) under cost matrix `cost`.
+///
+/// `warm_u` / `warm_v`, when non-null and correctly sized, initialize the
+/// scaling vectors (the paper's warm-start optimization, Section 5);
+/// otherwise they start at all-ones.
+Result<SinkhornResult> RunSinkhorn(const linalg::Matrix& cost,
+                                   const linalg::Vector& p,
+                                   const linalg::Vector& q,
+                                   const SinkhornOptions& options,
+                                   const linalg::Vector* warm_u = nullptr,
+                                   const linalg::Vector* warm_v = nullptr);
+
+/// Entropy H(π) = −Σ π log π of a plan (0·log 0 := 0).
+double PlanEntropy(const linalg::Matrix& plan);
+
+/// Output of a sparse-kernel Sinkhorn run; the plan inherits the truncated
+/// kernel's sparsity pattern.
+struct SparseSinkhornResult {
+  linalg::SparseMatrix plan;
+  linalg::Vector u;
+  linalg::Vector v;
+  size_t iterations = 0;
+  bool converged = false;
+  double transport_cost = 0.0;
+};
+
+/// Sinkhorn on a *truncated* Gibbs kernel: entries of K = e^{−C/ε} below
+/// `kernel_cutoff` are dropped before iterating — the sparse transport-plan
+/// representation of Section 6.5. With cutoff 0 this matches RunSinkhorn
+/// exactly while storing only structural nonzeros. Cutoffs must stay small
+/// enough that every row/column keeps at least one entry, otherwise the
+/// affected marginal mass is unreachable (reflected in the plan's mass).
+Result<SparseSinkhornResult> RunSinkhornSparse(
+    const linalg::Matrix& cost, const linalg::Vector& p,
+    const linalg::Vector& q, const SinkhornOptions& options,
+    double kernel_cutoff, const linalg::Vector* warm_u = nullptr,
+    const linalg::Vector* warm_v = nullptr);
+
+}  // namespace otclean::ot
+
+#endif  // OTCLEAN_OT_SINKHORN_H_

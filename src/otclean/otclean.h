@@ -1,0 +1,49 @@
+#ifndef OTCLEAN_OTCLEAN_H_
+#define OTCLEAN_OTCLEAN_H_
+
+/// Umbrella header for the OTClean library: data repair under conditional
+/// independence constraints via optimal transport (Pirhadi et al., SIGMOD
+/// 2024). Include this for the public API; individual module headers are
+/// also self-contained.
+
+#include "cleaning/baran_style.h"
+#include "cleaning/distortion.h"
+#include "cleaning/gain_style.h"
+#include "cleaning/hyperimpute_style.h"
+#include "cleaning/imputer.h"
+#include "cleaning/missingness.h"
+#include "cleaning/noise.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "core/ci_constraint.h"
+#include "core/diagnostics.h"
+#include "core/fast_otclean.h"
+#include "core/qclp_cleaner.h"
+#include "core/repair.h"
+#include "dataset/csv.h"
+#include "dataset/discretize.h"
+#include "dataset/numeric.h"
+#include "dataset/schema.h"
+#include "dataset/table.h"
+#include "datagen/datasets.h"
+#include "datagen/synthetic.h"
+#include "fairness/cap_maxsat.h"
+#include "fairness/capuchin.h"
+#include "fairness/maxsat.h"
+#include "fairness/metrics.h"
+#include "metric/mlkr.h"
+#include "ml/cross_validation.h"
+#include "ml/decision_tree.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "ot/cost.h"
+#include "ot/exact.h"
+#include "ot/plan.h"
+#include "ot/sinkhorn.h"
+
+#endif  // OTCLEAN_OTCLEAN_H_

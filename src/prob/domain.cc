@@ -1,0 +1,122 @@
+#include "prob/domain.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace otclean::prob {
+
+Result<Domain> Domain::Make(std::vector<std::string> names,
+                            std::vector<size_t> cardinalities) {
+  if (names.size() != cardinalities.size()) {
+    return Status::InvalidArgument(
+        "Domain::Make: names and cardinalities size mismatch");
+  }
+  for (size_t c : cardinalities) {
+    if (c == 0) {
+      return Status::InvalidArgument(
+          "Domain::Make: attribute cardinality must be >= 1");
+    }
+  }
+  Domain d;
+  d.names_ = std::move(names);
+  d.cardinalities_ = std::move(cardinalities);
+  d.ComputeStrides();
+  return d;
+}
+
+Domain Domain::FromCardinalities(const std::vector<size_t>& cardinalities) {
+  std::vector<std::string> names;
+  names.reserve(cardinalities.size());
+  for (size_t i = 0; i < cardinalities.size(); ++i) {
+    names.push_back("a" + std::to_string(i));
+  }
+  auto r = Make(std::move(names), cardinalities);
+  assert(r.ok());
+  return std::move(r).value();
+}
+
+void Domain::ComputeStrides() {
+  const size_t k = cardinalities_.size();
+  strides_.assign(k, 1);
+  total_size_ = 1;
+  for (size_t i = k; i-- > 0;) {
+    strides_[i] = total_size_;
+    total_size_ *= cardinalities_[i];
+  }
+}
+
+Result<size_t> Domain::AttrIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return Status::NotFound("Domain: no attribute named '" + name + "'");
+}
+
+size_t Domain::Encode(const std::vector<int>& values) const {
+  assert(values.size() == cardinalities_.size());
+  size_t index = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    assert(values[i] >= 0 &&
+           static_cast<size_t>(values[i]) < cardinalities_[i]);
+    index += static_cast<size_t>(values[i]) * strides_[i];
+  }
+  return index;
+}
+
+std::vector<int> Domain::Decode(size_t index) const {
+  assert(index < total_size_);
+  std::vector<int> values(cardinalities_.size());
+  for (size_t i = 0; i < cardinalities_.size(); ++i) {
+    values[i] = static_cast<int>((index / strides_[i]) % cardinalities_[i]);
+  }
+  return values;
+}
+
+int Domain::DecodeAttr(size_t index, size_t attr) const {
+  assert(attr < cardinalities_.size());
+  return static_cast<int>((index / strides_[attr]) % cardinalities_[attr]);
+}
+
+Domain Domain::Project(const std::vector<size_t>& attrs) const {
+  std::vector<std::string> names;
+  std::vector<size_t> cards;
+  names.reserve(attrs.size());
+  cards.reserve(attrs.size());
+  for (size_t a : attrs) {
+    assert(a < cardinalities_.size());
+    names.push_back(names_[a]);
+    cards.push_back(cardinalities_[a]);
+  }
+  auto r = Make(std::move(names), std::move(cards));
+  assert(r.ok());
+  return std::move(r).value();
+}
+
+size_t Domain::ProjectIndex(size_t index,
+                            const std::vector<size_t>& attrs) const {
+  size_t out = 0;
+  for (size_t a : attrs) {
+    out = out * cardinalities_[a] + static_cast<size_t>(DecodeAttr(index, a));
+  }
+  return out;
+}
+
+double Domain::AverageCardinality() const {
+  if (cardinalities_.empty()) return 0.0;
+  double s = 0.0;
+  for (size_t c : cardinalities_) s += static_cast<double>(c);
+  return s / static_cast<double>(cardinalities_.size());
+}
+
+std::string Domain::ToString() const {
+  std::ostringstream os;
+  os << "Domain{";
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << names_[i] << ":" << cardinalities_[i];
+  }
+  os << "} size=" << total_size_;
+  return os.str();
+}
+
+}  // namespace otclean::prob

@@ -1,0 +1,80 @@
+#ifndef OTCLEAN_PROB_DOMAIN_H_
+#define OTCLEAN_PROB_DOMAIN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace otclean::prob {
+
+/// A finite product domain `V = V_1 × … × V_k` over named categorical
+/// attributes, with mixed-radix encoding between value tuples and flat cell
+/// indices.
+///
+/// Cell index layout: the *last* attribute varies fastest, i.e.
+/// `index = ((v_0 · d_1 + v_1) · d_2 + v_2) …` — the row-major convention,
+/// which makes slicing on a prefix cheap.
+class Domain {
+ public:
+  Domain() = default;
+
+  /// Builds a domain from attribute names and matching cardinalities.
+  /// All cardinalities must be >= 1.
+  static Result<Domain> Make(std::vector<std::string> names,
+                             std::vector<size_t> cardinalities);
+
+  /// Convenience constructor for unnamed attributes (named "a0", "a1", …).
+  static Domain FromCardinalities(const std::vector<size_t>& cardinalities);
+
+  size_t num_attrs() const { return cardinalities_.size(); }
+  size_t Cardinality(size_t attr) const { return cardinalities_[attr]; }
+  const std::vector<size_t>& cardinalities() const { return cardinalities_; }
+  const std::string& Name(size_t attr) const { return names_[attr]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Index of the attribute with the given name.
+  Result<size_t> AttrIndex(const std::string& name) const;
+
+  /// Total number of cells Π d_i (1 for the empty domain).
+  size_t TotalSize() const { return total_size_; }
+
+  /// Flat index for a full value tuple (values.size() == num_attrs()).
+  size_t Encode(const std::vector<int>& values) const;
+
+  /// Inverse of Encode.
+  std::vector<int> Decode(size_t index) const;
+
+  /// Decodes a single attribute's value from a flat index.
+  int DecodeAttr(size_t index, size_t attr) const;
+
+  /// Sub-domain over the given attribute positions, in the given order.
+  Domain Project(const std::vector<size_t>& attrs) const;
+
+  /// Maps a flat index of this domain to a flat index of the projected
+  /// domain over `attrs`.
+  size_t ProjectIndex(size_t index, const std::vector<size_t>& attrs) const;
+
+  /// Average attribute cardinality (0 for the empty domain).
+  double AverageCardinality() const;
+
+  bool operator==(const Domain& other) const {
+    return cardinalities_ == other.cardinalities_ && names_ == other.names_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<size_t> cardinalities_;
+  /// strides_[i] = product of cardinalities of attributes after i.
+  std::vector<size_t> strides_;
+  size_t total_size_ = 1;
+
+  void ComputeStrides();
+};
+
+}  // namespace otclean::prob
+
+#endif  // OTCLEAN_PROB_DOMAIN_H_

@@ -1,0 +1,93 @@
+#ifndef OTCLEAN_PROB_JOINT_H_
+#define OTCLEAN_PROB_JOINT_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "linalg/vector.h"
+#include "prob/domain.h"
+
+namespace otclean::prob {
+
+/// A (possibly unnormalized) distribution over a finite product `Domain`,
+/// stored densely as one probability per cell — the paper's "point in the
+/// probability simplex Δ_V".
+class JointDistribution {
+ public:
+  JointDistribution() = default;
+
+  /// Zero measure over `domain`.
+  explicit JointDistribution(Domain domain);
+
+  /// Takes ownership of the probability vector; its length must equal
+  /// `domain.TotalSize()`.
+  static Result<JointDistribution> Make(Domain domain, linalg::Vector probs);
+
+  /// Uniform distribution over `domain`.
+  static JointDistribution Uniform(const Domain& domain);
+
+  /// Empirical distribution from encoded cell counts (index -> count).
+  static JointDistribution FromCounts(const Domain& domain,
+                                      const std::vector<double>& counts);
+
+  const Domain& domain() const { return domain_; }
+  const linalg::Vector& probs() const { return probs_; }
+  linalg::Vector& probs() { return probs_; }
+
+  size_t size() const { return probs_.size(); }
+  double operator[](size_t cell) const { return probs_[cell]; }
+  double& operator[](size_t cell) { return probs_[cell]; }
+
+  /// Probability of a full value tuple.
+  double Prob(const std::vector<int>& values) const {
+    return probs_[domain_.Encode(values)];
+  }
+
+  /// Total mass.
+  double Mass() const { return probs_.Sum(); }
+
+  /// Rescales to total mass 1 (no-op on the zero measure).
+  void Normalize() { probs_.Normalize(); }
+
+  /// Marginal over the attribute positions `attrs` (in that order).
+  JointDistribution Marginal(const std::vector<size_t>& attrs) const;
+
+  /// Conditional distribution table P(rest | attrs = their value), returned
+  /// as a joint over the *full* domain where each `attrs`-slice is
+  /// normalized. Slices with zero mass stay zero.
+  JointDistribution ConditionalOn(const std::vector<size_t>& attrs) const;
+
+  /// Entropy −Σ p log p (natural log). Treats 0·log 0 as 0.
+  double Entropy() const;
+
+  /// KL divergence D(this ‖ q). Returns +inf when absolute continuity
+  /// fails. Both measures are normalized internally.
+  double KlDivergence(const JointDistribution& q) const;
+
+  /// Total variation distance ½ Σ |p − q|.
+  double TotalVariation(const JointDistribution& q) const;
+
+  /// Draws one cell index from the normalized distribution.
+  size_t Sample(Rng& rng) const;
+
+  /// Draws `n` cells i.i.d.
+  std::vector<size_t> SampleMany(size_t n, Rng& rng) const;
+
+  bool ApproxEquals(const JointDistribution& other, double tol) const {
+    return domain_ == other.domain_ && probs_.ApproxEquals(other.probs_, tol);
+  }
+
+ private:
+  Domain domain_;
+  linalg::Vector probs_;
+};
+
+/// Product measure of independent marginals p (over X) and q (over Y),
+/// yielding a joint over the concatenated domain.
+JointDistribution ProductDistribution(const JointDistribution& p,
+                                      const JointDistribution& q);
+
+}  // namespace otclean::prob
+
+#endif  // OTCLEAN_PROB_JOINT_H_

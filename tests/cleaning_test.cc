@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include "cleaning/baran_style.h"
+#include "cleaning/distortion.h"
+#include "cleaning/gain_style.h"
+#include "cleaning/hyperimpute_style.h"
+#include "cleaning/imputer.h"
+#include "cleaning/missingness.h"
+#include "cleaning/noise.h"
+#include "core/repair.h"
+#include "datagen/datasets.h"
+#include "datagen/synthetic.h"
+
+namespace otclean::cleaning {
+namespace {
+
+dataset::Table MakeCarTable(size_t n = 1500, uint64_t seed = 3) {
+  return datagen::MakeCar(n, seed)->table;
+}
+
+// ----------------------------------------------------------------- Noise --
+
+TEST(NoiseTest, RateControlsCorruptionVolume) {
+  const auto clean = MakeCarTable();
+  AttributeNoiseOptions opts;
+  opts.target_col = 2;  // doors
+  opts.driver_col = 6;  // class
+  opts.rate = 0.3;
+  const auto dirty = InjectAttributeNoise(clean, opts).value();
+  const auto diff = DiffRows(clean, dirty);
+  EXPECT_NEAR(static_cast<double>(diff.size()) / clean.num_rows(), 0.25,
+              0.07);  // some corruptions coincide with the old value
+}
+
+TEST(NoiseTest, ZeroRateIsIdentity) {
+  const auto clean = MakeCarTable(300);
+  AttributeNoiseOptions opts;
+  opts.target_col = 2;
+  opts.driver_col = 6;
+  opts.rate = 0.0;
+  const auto dirty = InjectAttributeNoise(clean, opts).value();
+  EXPECT_TRUE(DiffRows(clean, dirty).empty());
+}
+
+TEST(NoiseTest, NoiseCreatesCiViolation) {
+  const auto bundle = datagen::MakeCar(1728, 4).value();
+  const double clean_cmi =
+      core::TableCmi(bundle.table, bundle.constraint).value();
+  AttributeNoiseOptions opts;
+  opts.target_col = bundle.table.schema().ColumnIndex("doors").value();
+  opts.driver_col = bundle.table.schema().ColumnIndex("class").value();
+  opts.rate = 0.5;
+  const auto dirty = InjectAttributeNoise(bundle.table, opts).value();
+  const double dirty_cmi = core::TableCmi(dirty, bundle.constraint).value();
+  EXPECT_GT(dirty_cmi, clean_cmi * 2.0);
+}
+
+TEST(NoiseTest, ValidatesOptions) {
+  const auto t = MakeCarTable(50);
+  AttributeNoiseOptions opts;
+  opts.target_col = 99;
+  EXPECT_FALSE(InjectAttributeNoise(t, opts).ok());
+  opts.target_col = 1;
+  opts.driver_col = 1;
+  EXPECT_FALSE(InjectAttributeNoise(t, opts).ok());
+  opts.driver_col = 0;
+  opts.rate = 1.5;
+  EXPECT_FALSE(InjectAttributeNoise(t, opts).ok());
+}
+
+// ----------------------------------------------------------- Missingness --
+
+TEST(MissingnessTest, MarRateApproximatelyRespected) {
+  const auto t = MakeCarTable();
+  MissingnessOptions opts;
+  opts.target_col = 2;
+  opts.driver_col = 5;
+  opts.mechanism = MissingMechanism::kMar;
+  opts.rate = 0.3;
+  const auto out = InjectMissingness(t, opts).value();
+  const double frac =
+      static_cast<double>(out.CountMissing()) / t.num_rows();
+  EXPECT_NEAR(frac, 0.3, 0.08);
+}
+
+TEST(MissingnessTest, MarDependsOnDriver) {
+  const auto t = MakeCarTable(3000);
+  MissingnessOptions opts;
+  opts.target_col = 2;
+  opts.driver_col = 5;  // safety, card 3
+  opts.mechanism = MissingMechanism::kMar;
+  opts.rate = 0.4;
+  const auto out = InjectMissingness(t, opts).value();
+  double miss_high = 0, n_high = 0, miss_low = 0, n_low = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const bool high = t.Value(r, 5) * 2 >= 3;
+    if (high) {
+      ++n_high;
+      miss_high += out.IsMissing(r, 2);
+    } else {
+      ++n_low;
+      miss_low += out.IsMissing(r, 2);
+    }
+  }
+  EXPECT_GT(miss_high / n_high, 2.0 * miss_low / n_low);
+}
+
+TEST(MissingnessTest, MnarDependsOnTargetValue) {
+  const auto t = MakeCarTable(3000);
+  MissingnessOptions opts;
+  opts.target_col = 2;  // doors, card 4
+  opts.driver_col = 6;
+  opts.mechanism = MissingMechanism::kMnar;
+  opts.rate = 0.4;
+  const auto out = InjectMissingness(t, opts).value();
+  double miss_high = 0, n_high = 0, miss_low = 0, n_low = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const bool high = t.Value(r, 2) * 2 >= 4;
+    if (high) {
+      ++n_high;
+      miss_high += out.IsMissing(r, 2);
+    } else {
+      ++n_low;
+      miss_low += out.IsMissing(r, 2);
+    }
+  }
+  EXPECT_GT(miss_high / n_high, miss_low / n_low);
+}
+
+// -------------------------------------------------------------- Imputers --
+
+dataset::Table WithMar(const dataset::Table& t, double rate, uint64_t seed) {
+  MissingnessOptions opts;
+  opts.target_col = 2;
+  opts.driver_col = 5;
+  opts.rate = rate;
+  opts.seed = seed;
+  return InjectMissingness(t, opts).value();
+}
+
+TEST(ImputerTest, MostFrequentFillsEverything) {
+  const auto dirty = WithMar(MakeCarTable(), 0.4, 5);
+  MostFrequentImputer imp;
+  const auto filled = imp.Impute(dirty).value();
+  EXPECT_FALSE(filled.HasMissing());
+  EXPECT_EQ(filled.num_rows(), dirty.num_rows());
+}
+
+TEST(ImputerTest, MostFrequentUsesMode) {
+  std::vector<dataset::Column> cols = {datagen::MakeColumn("a", 3)};
+  dataset::Table t{dataset::Schema(std::move(cols))};
+  ASSERT_TRUE(t.AppendRow({1}).ok());
+  ASSERT_TRUE(t.AppendRow({1}).ok());
+  ASSERT_TRUE(t.AppendRow({2}).ok());
+  ASSERT_TRUE(t.AppendRow({dataset::kMissing}).ok());
+  MostFrequentImputer imp;
+  const auto filled = imp.Impute(t).value();
+  EXPECT_EQ(filled.Value(3, 0), 1);
+}
+
+TEST(ImputerTest, KnnFillsEverythingAndUsesNeighbors) {
+  const auto dirty = WithMar(MakeCarTable(800), 0.3, 6);
+  KnnImputer imp;
+  const auto filled = imp.Impute(dirty).value();
+  EXPECT_FALSE(filled.HasMissing());
+}
+
+TEST(ImputerTest, KnnRecoversFunctionalValue) {
+  // Column b == column a; kNN should recover missing b from a-match.
+  std::vector<dataset::Column> cols = {datagen::MakeColumn("a", 3),
+                                       datagen::MakeColumn("b", 3)};
+  dataset::Table t{dataset::Schema(std::move(cols))};
+  Rng rng(7);
+  for (int i = 0; i < 120; ++i) {
+    const int a = static_cast<int>(rng.NextUint64Below(3));
+    ASSERT_TRUE(t.AppendRow({a, a}).ok());
+  }
+  t.SetValue(0, 1, dataset::kMissing);
+  KnnImputer imp;
+  const auto filled = imp.Impute(t).value();
+  EXPECT_EQ(filled.Value(0, 1), t.Value(0, 0));
+}
+
+TEST(ImputerTest, GainStyleFillsAndFollowsDistribution) {
+  const auto dirty = WithMar(MakeCarTable(1500), 0.4, 8);
+  GainStyleImputer imp;
+  const auto filled = imp.Impute(dirty).value();
+  EXPECT_FALSE(filled.HasMissing());
+}
+
+TEST(ImputerTest, GainStyleSamplesConditionally) {
+  // b strongly determined by a; sampled imputations should track it.
+  std::vector<dataset::Column> cols = {datagen::MakeColumn("a", 2),
+                                       datagen::MakeColumn("b", 2)};
+  dataset::Table t{dataset::Schema(std::move(cols))};
+  Rng rng(9);
+  for (int i = 0; i < 400; ++i) {
+    const int a = rng.NextBernoulli(0.5) ? 1 : 0;
+    const int b = rng.NextBernoulli(0.9) ? a : 1 - a;
+    ASSERT_TRUE(t.AppendRow({a, b}).ok());
+  }
+  // Blank half of b.
+  for (int i = 0; i < 200; ++i) t.SetValue(i, 1, dataset::kMissing);
+  GainStyleImputer imp;
+  const auto filled = imp.Impute(t).value();
+  size_t match = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (filled.Value(i, 1) == filled.Value(i, 0)) ++match;
+  }
+  EXPECT_GT(match, 130u);  // ~90% expected
+}
+
+TEST(ImputerTest, HyperImputeStyleFills) {
+  const auto dirty = WithMar(MakeCarTable(1000), 0.4, 10);
+  HyperImputeStyleImputer imp;
+  const auto filled = imp.Impute(dirty).value();
+  EXPECT_FALSE(filled.HasMissing());
+}
+
+TEST(ImputerTest, HyperImputeRecoversStructuredColumn) {
+  std::vector<dataset::Column> cols = {datagen::MakeColumn("a", 3),
+                                       datagen::MakeColumn("b", 3)};
+  dataset::Table t{dataset::Schema(std::move(cols))};
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const int a = static_cast<int>(rng.NextUint64Below(3));
+    ASSERT_TRUE(t.AppendRow({a, a}).ok());
+  }
+  for (int i = 0; i < 100; ++i) t.SetValue(i, 1, dataset::kMissing);
+  HyperImputeStyleImputer imp;
+  const auto filled = imp.Impute(t).value();
+  size_t correct = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (filled.Value(i, 1) == t.Value(i, 0)) ++correct;
+  }
+  EXPECT_GT(correct, 90u);
+}
+
+// ------------------------------------------------------------ BaranStyle --
+
+TEST(BaranStyleTest, CorrectsConfidentErrors) {
+  // b == a functionally in the clean sample.
+  std::vector<dataset::Column> cols = {datagen::MakeColumn("a", 3),
+                                       datagen::MakeColumn("b", 3)};
+  dataset::Table clean{dataset::Schema(cols)};
+  Rng rng(12);
+  for (int i = 0; i < 400; ++i) {
+    const int a = static_cast<int>(rng.NextUint64Below(3));
+    ASSERT_TRUE(clean.AppendRow({a, a}).ok());
+  }
+  dataset::Table dirty = clean;
+  // Corrupt b in the first 50 rows.
+  for (int i = 0; i < 50; ++i) {
+    dirty.SetValue(i, 1, (dirty.Value(i, 0) + 1) % 3);
+  }
+  BaranStyleCleaner cleaner;
+  ASSERT_TRUE(cleaner.Fit(clean).ok());
+  const auto fixed = cleaner.Clean(dirty).value();
+  size_t corrected = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (fixed.Value(i, 1) == clean.Value(i, 1)) ++corrected;
+  }
+  EXPECT_GT(corrected, 40u);
+}
+
+TEST(BaranStyleTest, LeavesCleanDataAlone) {
+  const auto clean = MakeCarTable(500);
+  BaranStyleCleaner cleaner;
+  ASSERT_TRUE(cleaner.Fit(clean).ok());
+  const auto out = cleaner.Clean(clean).value();
+  const auto diff = DiffRows(clean, out);
+  // High-precision: very few spurious "corrections" on clean data.
+  EXPECT_LT(diff.size(), clean.num_rows() / 10);
+}
+
+TEST(BaranStyleTest, CleanBeforeFitFails) {
+  BaranStyleCleaner cleaner;
+  EXPECT_EQ(cleaner.Clean(MakeCarTable(10)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------------------------------------ Distortion --
+
+TEST(DistortionTest, EmdZeroForIdenticalTables) {
+  const auto t = MakeCarTable(300);
+  const double emd = TableEmd(t, t, {0, 1, 2}).value();
+  EXPECT_NEAR(emd, 0.0, 1e-9);
+}
+
+TEST(DistortionTest, EmdGrowsWithNoise) {
+  const auto t = MakeCarTable(800);
+  AttributeNoiseOptions opts;
+  opts.target_col = 2;
+  opts.driver_col = 6;
+  opts.seed = 13;
+  opts.rate = 0.2;
+  const auto light = InjectAttributeNoise(t, opts).value();
+  opts.rate = 0.8;
+  const auto heavy = InjectAttributeNoise(t, opts).value();
+  const std::vector<size_t> cols = {0, 2, 6};
+  const double d_light = TableEmd(t, light, cols).value();
+  const double d_heavy = TableEmd(t, heavy, cols).value();
+  EXPECT_LT(d_light, d_heavy);
+  EXPECT_GT(d_light, 0.0);
+}
+
+TEST(DistortionTest, BootstrapSampleSizeAndRange) {
+  const auto t = MakeCarTable(200);
+  Rng rng(14);
+  const auto b = BootstrapSample(t, 150, rng);
+  EXPECT_EQ(b.num_rows(), 150u);
+  EXPECT_EQ(b.num_columns(), t.num_columns());
+}
+
+}  // namespace
+}  // namespace otclean::cleaning

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "core/repair.h"
+#include "datagen/datasets.h"
+#include "datagen/synthetic.h"
+
+namespace otclean::datagen {
+namespace {
+
+TEST(SyntheticTest, MakeColumnLabels) {
+  const auto col = MakeColumn("c", 3);
+  EXPECT_EQ(col.cardinality(), 3u);
+  EXPECT_EQ(col.categories[2], "v2");
+}
+
+TEST(SyntheticTest, PeakedWeightsPeakAtCenter) {
+  const auto w = PeakedWeights(5, 2.0, 1.0);
+  EXPECT_EQ(w.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_LE(w[i], w[2] + 1e-12);
+}
+
+TEST(SyntheticTest, ScalingDatasetShape) {
+  ScalingDatasetOptions opts;
+  opts.num_rows = 500;
+  opts.num_z_attrs = 2;
+  opts.z_card = 3;
+  opts.num_w_attrs = 1;
+  const auto t = MakeScalingDataset(opts).value();
+  EXPECT_EQ(t.num_rows(), 500u);
+  EXPECT_EQ(t.num_columns(), 5u);
+  EXPECT_EQ(t.schema().column(0).name, "x");
+  EXPECT_EQ(t.schema().column(4).name, "w0");
+}
+
+TEST(SyntheticTest, ViolationStrengthControlsCmi) {
+  ScalingDatasetOptions weak;
+  weak.num_rows = 4000;
+  weak.violation = 0.05;
+  weak.seed = 2;
+  ScalingDatasetOptions strong = weak;
+  strong.violation = 0.9;
+  const auto tw = MakeScalingDataset(weak).value();
+  const auto ts = MakeScalingDataset(strong).value();
+  const core::CiConstraint ci({"x"}, {"y"}, {"z0", "z1"});
+  const double cmi_w = core::TableCmi(tw, ci).value();
+  const double cmi_s = core::TableCmi(ts, ci).value();
+  EXPECT_GT(cmi_s, cmi_w * 3.0);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  ScalingDatasetOptions opts;
+  opts.num_rows = 100;
+  const auto a = MakeScalingDataset(opts).value();
+  const auto b = MakeScalingDataset(opts).value();
+  for (size_t r = 0; r < a.num_rows(); ++r) EXPECT_EQ(a.Row(r), b.Row(r));
+}
+
+TEST(DatasetsTest, AdultShapeMatchesTable2) {
+  const auto bundle = MakeAdult(2000, 1).value();
+  EXPECT_EQ(bundle.table.num_rows(), 2000u);
+  EXPECT_EQ(bundle.table.num_columns(), 14u);
+  EXPECT_EQ(bundle.label_col, "income");
+  EXPECT_EQ(bundle.sensitive_col, "sex");
+  // Average domain size in the ballpark of Table 2's 5.42.
+  const double avg = bundle.table.schema().ToDomain().AverageCardinality();
+  EXPECT_GT(avg, 4.0);
+  EXPECT_LT(avg, 7.0);
+}
+
+TEST(DatasetsTest, AdultHasPlantedCiViolation) {
+  const auto bundle = MakeAdult(6000, 2).value();
+  const double cmi = core::TableCmi(bundle.table, bundle.constraint).value();
+  EXPECT_GT(cmi, 0.02);
+}
+
+TEST(DatasetsTest, AdultLabelHasBothClasses) {
+  const auto bundle = MakeAdult(2000, 3).value();
+  const auto col = bundle.table.schema().ColumnIndex("income").value();
+  size_t pos = 0;
+  for (size_t r = 0; r < bundle.table.num_rows(); ++r) {
+    pos += bundle.table.Value(r, col) == 1;
+  }
+  EXPECT_GT(pos, bundle.table.num_rows() / 10);
+  EXPECT_LT(pos, bundle.table.num_rows() * 9 / 10);
+}
+
+TEST(DatasetsTest, CompasShape) {
+  const auto bundle = MakeCompas(2000, 4).value();
+  EXPECT_EQ(bundle.table.num_columns(), 12u);
+  EXPECT_EQ(bundle.sensitive_col, "race");
+  EXPECT_EQ(bundle.inadmissible_cols.size(), 2u);
+}
+
+TEST(DatasetsTest, CompasHasPlantedCiViolation) {
+  const auto bundle = MakeCompas(6000, 5).value();
+  EXPECT_GT(core::TableCmi(bundle.table, bundle.constraint).value(), 0.02);
+}
+
+TEST(DatasetsTest, CarApproximatelySatisfiesConstraintWhenClean) {
+  const auto bundle = MakeCar(1728, 6).value();
+  // doors plays no role in class: CMI should be small (sampling noise only).
+  EXPECT_LT(core::TableCmi(bundle.table, bundle.constraint).value(), 0.05);
+}
+
+TEST(DatasetsTest, CarShape) {
+  const auto bundle = MakeCar(1728, 7).value();
+  EXPECT_EQ(bundle.table.num_columns(), 7u);
+  EXPECT_EQ(bundle.label_col, "class");
+}
+
+TEST(DatasetsTest, BostonApproximatelySatisfiesConstraintWhenClean) {
+  const auto bundle = MakeBoston(2000, 8).value();
+  EXPECT_LT(core::TableCmi(bundle.table, bundle.constraint).value(), 0.06);
+}
+
+TEST(DatasetsTest, BostonShape) {
+  const auto bundle = MakeBoston(506, 9).value();
+  EXPECT_EQ(bundle.table.num_columns(), 14u);
+  EXPECT_EQ(bundle.label_col, "medv");
+}
+
+TEST(DatasetsTest, MakeAllDatasetsReturnsFour) {
+  const auto all = MakeAllDatasets(11).value();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "Adult");
+  EXPECT_EQ(all[1].name, "COMPAS");
+  EXPECT_EQ(all[2].name, "Car");
+  EXPECT_EQ(all[3].name, "Boston");
+}
+
+}  // namespace
+}  // namespace otclean::datagen

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "dataset/csv.h"
+#include "dataset/discretize.h"
+#include "dataset/schema.h"
+#include "dataset/table.h"
+
+namespace otclean::dataset {
+namespace {
+
+Schema TwoColSchema() {
+  Column a{"color", {"red", "green", "blue"}};
+  Column b{"size", {"s", "m"}};
+  return Schema({a, b});
+}
+
+// ---------------------------------------------------------------- Schema --
+
+TEST(SchemaTest, ColumnLookup) {
+  const Schema s = TwoColSchema();
+  EXPECT_EQ(s.num_columns(), 2u);
+  EXPECT_EQ(s.ColumnIndex("size").value(), 1u);
+  EXPECT_FALSE(s.ColumnIndex("weight").ok());
+}
+
+TEST(SchemaTest, CategoryCode) {
+  const Schema s = TwoColSchema();
+  EXPECT_EQ(s.CategoryCode(0, "green").value(), 1);
+  EXPECT_FALSE(s.CategoryCode(0, "purple").ok());
+  EXPECT_FALSE(s.CategoryCode(5, "red").ok());
+}
+
+TEST(SchemaTest, AddColumnRejectsDuplicates) {
+  Schema s = TwoColSchema();
+  EXPECT_TRUE(s.AddColumn({"weight", {"light", "heavy"}}).ok());
+  EXPECT_EQ(s.AddColumn({"color", {"x"}}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, ToDomainMatchesCardinalities) {
+  const Schema s = TwoColSchema();
+  const prob::Domain d = s.ToDomain();
+  EXPECT_EQ(d.TotalSize(), 6u);
+  EXPECT_EQ(d.Name(0), "color");
+  const prob::Domain dsub = s.ToDomain({1});
+  EXPECT_EQ(dsub.TotalSize(), 2u);
+}
+
+// ----------------------------------------------------------------- Table --
+
+TEST(TableTest, AppendAndRead) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({0, 1}).ok());
+  ASSERT_TRUE(t.AppendRow({2, 0}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.Value(1, 0), 2);
+  EXPECT_EQ(t.Label(1, 0), "blue");
+  EXPECT_EQ(t.Row(0), (std::vector<int>{0, 1}));
+}
+
+TEST(TableTest, AppendValidatesArityAndRange) {
+  Table t(TwoColSchema());
+  EXPECT_FALSE(t.AppendRow({0}).ok());
+  EXPECT_FALSE(t.AppendRow({3, 0}).ok());
+  EXPECT_FALSE(t.AppendRow({0, -2}).ok());
+  EXPECT_TRUE(t.AppendRow({kMissing, 1}).ok());
+}
+
+TEST(TableTest, MissingHandling) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({kMissing, 1}).ok());
+  ASSERT_TRUE(t.AppendRow({0, 0}).ok());
+  EXPECT_TRUE(t.HasMissing());
+  EXPECT_EQ(t.CountMissing(), 1u);
+  EXPECT_TRUE(t.IsMissing(0, 0));
+  EXPECT_EQ(t.Label(0, 0), "?");
+}
+
+TEST(TableTest, SetValueAndSetRow) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({0, 0}).ok());
+  t.SetValue(0, 1, 1);
+  EXPECT_EQ(t.Value(0, 1), 1);
+  t.SetRow(0, {2, 0});
+  EXPECT_EQ(t.Row(0), (std::vector<int>{2, 0}));
+}
+
+TEST(TableTest, SelectRowsAndColumns) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({0, 0}).ok());
+  ASSERT_TRUE(t.AppendRow({1, 1}).ok());
+  ASSERT_TRUE(t.AppendRow({2, 0}).ok());
+  const Table sub = t.SelectRows({2, 0});
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_EQ(sub.Value(0, 0), 2);
+  const Table cols = t.SelectColumns({1});
+  EXPECT_EQ(cols.num_columns(), 1u);
+  EXPECT_EQ(cols.schema().column(0).name, "size");
+  EXPECT_EQ(cols.Value(1, 0), 1);
+}
+
+TEST(TableTest, EmpiricalDistribution) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({0, 0}).ok());
+  ASSERT_TRUE(t.AppendRow({0, 0}).ok());
+  ASSERT_TRUE(t.AppendRow({1, 1}).ok());
+  ASSERT_TRUE(t.AppendRow({kMissing, 1}).ok());  // skipped
+  const auto p = t.Empirical({0, 1});
+  EXPECT_NEAR(p.Mass(), 1.0, 1e-12);
+  EXPECT_NEAR(p[p.domain().Encode({0, 0})], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(p[p.domain().Encode({1, 1})], 1.0 / 3.0, 1e-12);
+}
+
+TEST(TableTest, EncodeRowRespectsColumnOrder) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({2, 1}).ok());
+  const prob::Domain d = t.schema().ToDomain({1, 0});
+  size_t cell = 0;
+  ASSERT_TRUE(t.EncodeRow(0, {1, 0}, d, &cell));
+  EXPECT_EQ(d.Decode(cell), (std::vector<int>{1, 2}));
+}
+
+// ------------------------------------------------------------------- CSV --
+
+TEST(CsvTest, ParseBasic) {
+  const std::string csv = "a,b\nx,1\ny,2\nx,2\n";
+  const auto t = ParseCsv(csv).value();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.schema().column(0).name, "a");
+  EXPECT_EQ(t.Label(0, 0), "x");
+  EXPECT_EQ(t.Value(2, 0), 0);  // "x" was first-seen -> code 0
+}
+
+TEST(CsvTest, ParseMissingTokens) {
+  const std::string csv = "a,b\nx,?\n,1\n";
+  const auto t = ParseCsv(csv).value();
+  EXPECT_TRUE(t.IsMissing(0, 1));
+  EXPECT_TRUE(t.IsMissing(1, 0));
+}
+
+TEST(CsvTest, ParseRejectsRaggedRows) {
+  EXPECT_FALSE(ParseCsv("a,b\n1\n").ok());
+}
+
+TEST(CsvTest, ParseRejectsEmpty) { EXPECT_FALSE(ParseCsv("").ok()); }
+
+TEST(CsvTest, ParseNoHeader) {
+  CsvOptions opts;
+  opts.has_header = false;
+  const auto t = ParseCsv("p,q\nr,s\n", opts).value();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.schema().column(0).name, "c0");
+}
+
+TEST(CsvTest, ParseHandlesCrlf) {
+  const auto t = ParseCsv("a,b\r\nx,y\r\n").value();
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.Label(0, 1), "y");
+}
+
+TEST(CsvTest, RoundTripThroughString) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({0, 1}).ok());
+  ASSERT_TRUE(t.AppendRow({kMissing, 0}).ok());
+  const std::string s = ToCsvString(t);
+  const auto back = ParseCsv(s).value();
+  EXPECT_EQ(back.num_rows(), 2u);
+  EXPECT_EQ(back.Label(0, 0), "red");
+  EXPECT_TRUE(back.IsMissing(1, 0));
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({1, 1}).ok());
+  const std::string path = "/tmp/otclean_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  const auto back = ReadCsv(path).value();
+  EXPECT_EQ(back.num_rows(), 1u);
+  EXPECT_EQ(back.Label(0, 0), "green");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_EQ(ReadCsv("/nonexistent/nope.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+// ------------------------------------------------------------ Discretize --
+
+TEST(DiscretizeTest, EqualWidthBins) {
+  const std::vector<double> v = {0.0, 1.0, 2.0, 3.0, 4.0};
+  const auto d =
+      Discretizer::Fit(v, 4, BinningStrategy::kEqualWidth).value();
+  EXPECT_EQ(d.num_bins(), 4u);
+  EXPECT_EQ(d.Transform(0.0), 0);
+  EXPECT_EQ(d.Transform(3.9), 3);
+  EXPECT_EQ(d.Transform(4.0), 3);
+  EXPECT_EQ(d.Transform(-100.0), 0);   // clamps
+  EXPECT_EQ(d.Transform(100.0), 3);    // clamps
+}
+
+TEST(DiscretizeTest, QuantileBinsBalanceCounts) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(static_cast<double>(i));
+  const auto d = Discretizer::Fit(v, 4, BinningStrategy::kQuantile).value();
+  std::vector<int> counts(d.num_bins(), 0);
+  for (double x : v) ++counts[static_cast<size_t>(d.Transform(x))];
+  for (int c : counts) EXPECT_NEAR(c, 25, 1);
+}
+
+TEST(DiscretizeTest, NanMapsToMissing) {
+  const auto d =
+      Discretizer::Fit({1.0, 2.0}, 2, BinningStrategy::kEqualWidth).value();
+  EXPECT_EQ(d.Transform(std::nan("")), kMissing);
+}
+
+TEST(DiscretizeTest, ConstantColumnOneBin) {
+  const auto d =
+      Discretizer::Fit({5.0, 5.0, 5.0}, 4, BinningStrategy::kEqualWidth)
+          .value();
+  EXPECT_EQ(d.num_bins(), 1u);
+  EXPECT_EQ(d.Transform(5.0), 0);
+}
+
+TEST(DiscretizeTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(Discretizer::Fit({}, 3, BinningStrategy::kEqualWidth).ok());
+  EXPECT_FALSE(Discretizer::Fit({1.0}, 0, BinningStrategy::kEqualWidth).ok());
+  EXPECT_FALSE(Discretizer::Fit({std::nan("")}, 2,
+                                BinningStrategy::kEqualWidth)
+                   .ok());
+}
+
+TEST(DiscretizeTest, DiscretizeColumnProducesCodesAndLabels) {
+  const auto dc = DiscretizeColumn("height", {1.0, 2.0, 3.0, std::nan("")}, 2,
+                                   BinningStrategy::kEqualWidth)
+                      .value();
+  EXPECT_EQ(dc.column.name, "height");
+  EXPECT_EQ(dc.column.cardinality(), 2u);
+  EXPECT_EQ(dc.codes.size(), 4u);
+  EXPECT_EQ(dc.codes[0], 0);
+  EXPECT_EQ(dc.codes[2], 1);
+  EXPECT_EQ(dc.codes[3], kMissing);
+}
+
+}  // namespace
+}  // namespace otclean::dataset

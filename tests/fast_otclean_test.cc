@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fast_otclean.h"
+#include "ot/cost.h"
+#include "prob/independence.h"
+
+namespace otclean::core {
+namespace {
+
+using prob::CiSpec;
+using prob::Domain;
+using prob::JointDistribution;
+
+/// The bag D2 of Example 3.3/3.4: {(1,0,0), (1,0,1), (1,1,0), (1,1,0)} over
+/// binary (X, Y, Z), violating Y ⟂ Z.
+JointDistribution MakeD2() {
+  const Domain d = Domain::FromCardinalities({2, 2, 2});
+  std::vector<double> counts(8, 0.0);
+  counts[d.Encode({1, 0, 0})] += 1;
+  counts[d.Encode({1, 0, 1})] += 1;
+  counts[d.Encode({1, 1, 0})] += 2;
+  return JointDistribution::FromCounts(d, counts);
+}
+
+/// A randomly violated 3-attribute distribution.
+JointDistribution MakeViolated(uint64_t seed) {
+  const Domain d = Domain::FromCardinalities({2, 2, 3});
+  JointDistribution p(d);
+  Rng rng(seed);
+  for (size_t i = 0; i < p.size(); ++i) p[i] = 0.02 + rng.NextDouble();
+  p.Normalize();
+  return p;
+}
+
+FastOtCleanOptions DefaultOptions() {
+  FastOtCleanOptions opts;
+  opts.epsilon = 0.1;
+  opts.lambda = 100.0;
+  opts.max_outer_iterations = 500;
+  opts.outer_tolerance = 1e-7;
+  return opts;
+}
+
+TEST(FastOtCleanTest, TargetSatisfiesCiOnD2) {
+  const auto p = MakeD2();
+  const CiSpec ci{{1}, {2}, {}};  // Y ⟂ Z
+  ot::EuclideanCost cost(3);
+  Rng rng(1);
+  const auto r = FastOtClean(p, ci, cost, DefaultOptions(), rng).value();
+  EXPECT_LT(r.target_cmi, 1e-6);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(FastOtCleanTest, D2RepairCostIsNearQuarter) {
+  // Example 3.4: the optimal probabilistic repair of D2 moves 1/4 of the
+  // mass a distance of 1 (cost 0.25). Entropic smoothing inflates this a
+  // little; it must stay well below the trivial repair cost.
+  const auto p = MakeD2();
+  const CiSpec ci{{1}, {2}, {}};
+  ot::EuclideanCost cost(3);
+  Rng rng(2);
+  FastOtCleanOptions opts = DefaultOptions();
+  opts.epsilon = 0.03;  // sharp plan
+  const auto r = FastOtClean(p, ci, cost, opts, rng).value();
+  EXPECT_LT(r.transport_cost, 0.5);
+  EXPECT_GT(r.transport_cost, 0.05);
+}
+
+TEST(FastOtCleanTest, PlanSourceMarginalMatchesData) {
+  const auto p = MakeD2();
+  const CiSpec ci{{1}, {2}, {}};
+  ot::EuclideanCost cost(3);
+  Rng rng(3);
+  const auto r = FastOtClean(p, ci, cost, DefaultOptions(), rng).value();
+  const auto src = r.plan.SourceMarginal();
+  // Rows correspond to the three distinct tuples of D2 (active domain).
+  ASSERT_EQ(src.size(), 3u);
+  double total = 0.0;
+  for (size_t i = 0; i < src.size(); ++i) total += src[i];
+  EXPECT_NEAR(total, 1.0, 0.05);
+  for (size_t i = 0; i < src.size(); ++i) {
+    EXPECT_NEAR(src[i], p[r.plan.row_cells()[i]], 0.05);
+  }
+}
+
+TEST(FastOtCleanTest, ActiveDomainRestrictsRows) {
+  const auto p = MakeD2();
+  const CiSpec ci{{1}, {2}, {}};
+  ot::EuclideanCost cost(3);
+  Rng rng(4);
+  const auto r = FastOtClean(p, ci, cost, DefaultOptions(), rng).value();
+  EXPECT_EQ(r.plan.row_cells().size(), 3u);   // 3 distinct tuples
+  EXPECT_EQ(r.plan.col_cells().size(), 8u);   // full support by default
+}
+
+TEST(FastOtCleanTest, RestrictColumnsOption) {
+  const auto p = MakeD2();
+  const CiSpec ci{{1}, {2}, {}};
+  ot::EuclideanCost cost(3);
+  FastOtCleanOptions opts = DefaultOptions();
+  opts.restrict_columns_to_active = true;
+  Rng rng(5);
+  const auto r = FastOtClean(p, ci, cost, opts, rng).value();
+  EXPECT_EQ(r.plan.col_cells().size(), 3u);
+  EXPECT_LT(r.target_cmi, 1e-6);
+}
+
+TEST(FastOtCleanTest, ConditionalCiWithZ) {
+  const auto p = MakeViolated(11);
+  const CiSpec ci{{0}, {1}, {2}};
+  ot::EuclideanCost cost(3);
+  Rng rng(6);
+  const auto r = FastOtClean(p, ci, cost, DefaultOptions(), rng).value();
+  EXPECT_LT(r.target_cmi, 1e-6);
+  EXPECT_GT(prob::ConditionalMutualInformation(p, ci), r.target_cmi);
+}
+
+TEST(FastOtCleanTest, ObjectiveTraceIsRecorded) {
+  const auto p = MakeViolated(12);
+  const CiSpec ci{{0}, {1}, {2}};
+  ot::EuclideanCost cost(3);
+  Rng rng(7);
+  const auto r = FastOtClean(p, ci, cost, DefaultOptions(), rng).value();
+  EXPECT_EQ(r.objective_trace.size(), r.outer_iterations);
+  EXPECT_GT(r.total_sinkhorn_iterations, r.outer_iterations);
+}
+
+TEST(FastOtCleanTest, NmfInitConvergesFasterThanRandom) {
+  // Section 5 / Fig. 10b: NMF initialization reduces outer iterations.
+  const auto p = MakeViolated(13);
+  const CiSpec ci{{0}, {1}, {2}};
+  ot::EuclideanCost cost(3);
+  FastOtCleanOptions nmf = DefaultOptions();
+  nmf.nmf_init = true;
+  FastOtCleanOptions rnd = DefaultOptions();
+  rnd.nmf_init = false;
+  Rng r1(8), r2(8);
+  const auto a = FastOtClean(p, ci, cost, nmf, r1).value();
+  const auto b = FastOtClean(p, ci, cost, rnd, r2).value();
+  EXPECT_LE(a.outer_iterations, b.outer_iterations + 2);
+}
+
+TEST(FastOtCleanTest, WarmStartReducesTotalSinkhornIterations) {
+  // Section 5 / Fig. 11b.
+  const auto p = MakeViolated(14);
+  const CiSpec ci{{0}, {1}, {2}};
+  ot::EuclideanCost cost(3);
+  FastOtCleanOptions warm = DefaultOptions();
+  warm.warm_start = true;
+  FastOtCleanOptions cold = DefaultOptions();
+  cold.warm_start = false;
+  Rng r1(9), r2(9);
+  const auto a = FastOtClean(p, ci, cost, warm, r1).value();
+  const auto b = FastOtClean(p, ci, cost, cold, r2).value();
+  EXPECT_LT(a.total_sinkhorn_iterations, b.total_sinkhorn_iterations);
+}
+
+TEST(FastOtCleanTest, IterativeNmfMatchesClosedForm) {
+  const auto p = MakeViolated(15);
+  const CiSpec ci{{0}, {1}, {2}};
+  ot::EuclideanCost cost(3);
+  FastOtCleanOptions closed = DefaultOptions();
+  FastOtCleanOptions iter = DefaultOptions();
+  iter.iterative_nmf = true;
+  iter.nmf_max_iterations = 400;
+  Rng r1(10), r2(10);
+  const auto a = FastOtClean(p, ci, cost, closed, r1).value();
+  const auto b = FastOtClean(p, ci, cost, iter, r2).value();
+  EXPECT_LT(b.target_cmi, 1e-5);
+  EXPECT_NEAR(a.transport_cost, b.transport_cost, 0.05);
+}
+
+TEST(FastOtCleanTest, SoftCiStrengthTradesOffCmi) {
+  const auto p = MakeViolated(16);
+  const CiSpec ci{{0}, {1}, {2}};
+  ot::EuclideanCost cost(3);
+  FastOtCleanOptions soft = DefaultOptions();
+  soft.ci_strength = 0.3;
+  Rng r1(11);
+  const auto a = FastOtClean(p, ci, cost, soft, r1).value();
+  // Soft enforcement leaves residual CMI but still reduces it.
+  EXPECT_LT(a.target_cmi, prob::ConditionalMutualInformation(p, ci));
+}
+
+TEST(FastOtCleanTest, AlreadyConsistentInputIsNearIdentity) {
+  // A CI-consistent distribution should be (almost) untouched.
+  const Domain d = Domain::FromCardinalities({2, 2, 2});
+  JointDistribution p(d);
+  const double pz[2] = {0.5, 0.5};
+  const double px[2] = {0.4, 0.6};
+  const double py[2] = {0.7, 0.2};
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      for (int z = 0; z < 2; ++z) {
+        const double fx = (x == 1) ? px[z] : 1 - px[z];
+        const double fy = (y == 1) ? py[z] : 1 - py[z];
+        p[d.Encode({x, y, z})] = pz[z] * fx * fy;
+      }
+    }
+  }
+  const CiSpec ci{{0}, {1}, {2}};
+  ot::EuclideanCost cost(3);
+  FastOtCleanOptions opts = DefaultOptions();
+  opts.epsilon = 0.02;
+  Rng rng(12);
+  const auto r = FastOtClean(p, ci, cost, opts, rng).value();
+  EXPECT_LT(r.transport_cost, 0.1);
+  EXPECT_LT(r.target.TotalVariation(p), 0.1);
+}
+
+TEST(FastOtCleanTest, RejectsBadInputs) {
+  const CiSpec ci{{0}, {1}, {}};
+  ot::EuclideanCost cost(2);
+  Rng rng(13);
+  // Unnormalized input.
+  const Domain d = Domain::FromCardinalities({2, 2});
+  JointDistribution p(d);
+  p[0] = 2.0;
+  EXPECT_FALSE(FastOtClean(p, ci, cost, DefaultOptions(), rng).ok());
+  // Zero mass.
+  JointDistribution z(d);
+  EXPECT_FALSE(FastOtClean(z, ci, cost, DefaultOptions(), rng).ok());
+  // Bad ci_strength.
+  JointDistribution u = JointDistribution::Uniform(d);
+  FastOtCleanOptions bad = DefaultOptions();
+  bad.ci_strength = 2.0;
+  EXPECT_FALSE(FastOtClean(u, ci, cost, bad, rng).ok());
+}
+
+TEST(FastOtCleanTest, SharperEpsilonLowersTransportCost) {
+  const auto p = MakeViolated(17);
+  const CiSpec ci{{0}, {1}, {2}};
+  ot::EuclideanCost cost(3);
+  FastOtCleanOptions sharp = DefaultOptions();
+  sharp.epsilon = 0.02;
+  FastOtCleanOptions smooth = DefaultOptions();
+  smooth.epsilon = 1.0;
+  Rng r1(14), r2(14);
+  const auto a = FastOtClean(p, ci, cost, sharp, r1).value();
+  const auto b = FastOtClean(p, ci, cost, smooth, r2).value();
+  EXPECT_LT(a.transport_cost, b.transport_cost + 1e-9);
+}
+
+}  // namespace
+}  // namespace otclean::core

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "lp/simplex.h"
+#include "lp/transport_lp.h"
+
+namespace otclean::lp {
+namespace {
+
+LpProblem MakeProblem(size_t m, size_t n) {
+  LpProblem p;
+  p.a = linalg::Matrix(m, n, 0.0);
+  p.b = linalg::Vector(m, 0.0);
+  p.c = linalg::Vector(n, 0.0);
+  return p;
+}
+
+TEST(SimplexTest, SolvesTrivialEquality) {
+  // min x0 + 2 x1  s.t.  x0 + x1 = 1 -> x0 = 1.
+  LpProblem p = MakeProblem(1, 2);
+  p.a(0, 0) = 1.0;
+  p.a(0, 1) = 1.0;
+  p.b[0] = 1.0;
+  p.c[0] = 1.0;
+  p.c[1] = 2.0;
+  const auto sol = SolveSimplex(p).value();
+  EXPECT_NEAR(sol.objective, 1.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 0.0, 1e-9);
+}
+
+TEST(SimplexTest, HandlesNegativeRhsBySignFlip) {
+  // -x0 - x1 = -1 is the same constraint as above.
+  LpProblem p = MakeProblem(1, 2);
+  p.a(0, 0) = -1.0;
+  p.a(0, 1) = -1.0;
+  p.b[0] = -1.0;
+  p.c[0] = 3.0;
+  p.c[1] = 1.0;
+  const auto sol = SolveSimplex(p).value();
+  EXPECT_NEAR(sol.objective, 1.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-9);
+}
+
+TEST(SimplexTest, TwoConstraintProblem) {
+  // min -x0 - 2x1  s.t. x0 + x1 + s1 = 4, x1 + s2 = 2  ->  x0=2, x1=2.
+  LpProblem p = MakeProblem(2, 4);
+  p.a(0, 0) = 1.0;
+  p.a(0, 1) = 1.0;
+  p.a(0, 2) = 1.0;
+  p.a(1, 1) = 1.0;
+  p.a(1, 3) = 1.0;
+  p.b[0] = 4.0;
+  p.b[1] = 2.0;
+  p.c[0] = -1.0;
+  p.c[1] = -2.0;
+  const auto sol = SolveSimplex(p).value();
+  EXPECT_NEAR(sol.objective, -6.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x0 = 1 and x0 = 2 cannot both hold.
+  LpProblem p = MakeProblem(2, 1);
+  p.a(0, 0) = 1.0;
+  p.a(1, 0) = 1.0;
+  p.b[0] = 1.0;
+  p.b[1] = 2.0;
+  p.c[0] = 1.0;
+  EXPECT_EQ(SolveSimplex(p).status().code(), StatusCode::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  // min -x0 s.t. x0 - x1 = 0: x0 = x1 can grow without bound.
+  LpProblem p = MakeProblem(1, 2);
+  p.a(0, 0) = 1.0;
+  p.a(0, 1) = -1.0;
+  p.b[0] = 0.0;
+  p.c[0] = -1.0;
+  EXPECT_EQ(SolveSimplex(p).status().code(), StatusCode::kUnbounded);
+}
+
+TEST(SimplexTest, ToleratesRedundantConstraints) {
+  // Same constraint twice.
+  LpProblem p = MakeProblem(2, 2);
+  for (int r = 0; r < 2; ++r) {
+    p.a(r, 0) = 1.0;
+    p.a(r, 1) = 1.0;
+    p.b[r] = 1.0;
+  }
+  p.c[0] = 5.0;
+  p.c[1] = 1.0;
+  const auto sol = SolveSimplex(p).value();
+  EXPECT_NEAR(sol.objective, 1.0, 1e-9);
+}
+
+TEST(SimplexTest, RejectsDimensionMismatch) {
+  LpProblem p = MakeProblem(1, 2);
+  p.b = linalg::Vector(2, 0.0);
+  EXPECT_FALSE(SolveSimplex(p).ok());
+  LpProblem q = MakeProblem(0, 0);
+  EXPECT_FALSE(SolveSimplex(q).ok());
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple constraints meeting at a degenerate vertex.
+  LpProblem p = MakeProblem(3, 3);
+  p.a(0, 0) = 1.0;
+  p.a(0, 1) = 1.0;
+  p.a(1, 1) = 1.0;
+  p.a(1, 2) = 1.0;
+  p.a(2, 0) = 1.0;
+  p.a(2, 2) = 1.0;
+  p.b[0] = 1.0;
+  p.b[1] = 1.0;
+  p.b[2] = 1.0;
+  p.c[0] = 1.0;
+  p.c[1] = 1.0;
+  p.c[2] = 1.0;
+  const auto sol = SolveSimplex(p).value();
+  EXPECT_NEAR(sol.objective, 1.5, 1e-9);
+}
+
+// ------------------------------------------------------------- Transport --
+
+TEST(TransportTest, IdenticalMarginalsZeroCostOnDiagonal) {
+  linalg::Matrix cost(2, 2, 1.0);
+  cost(0, 0) = 0.0;
+  cost(1, 1) = 0.0;
+  linalg::Vector p(std::vector<double>{0.5, 0.5});
+  const auto r = SolveTransport(cost, p, p).value();
+  EXPECT_NEAR(r.cost, 0.0, 1e-9);
+  EXPECT_NEAR(r.plan(0, 0), 0.5, 1e-9);
+  EXPECT_NEAR(r.plan(1, 1), 0.5, 1e-9);
+}
+
+TEST(TransportTest, SimpleMassMove) {
+  // All mass at source 0 must reach sinks 0 (0.3) and 1 (0.7).
+  linalg::Matrix cost(1, 2);
+  cost(0, 0) = 1.0;
+  cost(0, 1) = 2.0;
+  linalg::Vector p(std::vector<double>{1.0});
+  linalg::Vector q(std::vector<double>{0.3, 0.7});
+  const auto r = SolveTransport(cost, p, q).value();
+  EXPECT_NEAR(r.cost, 0.3 * 1.0 + 0.7 * 2.0, 1e-9);
+}
+
+TEST(TransportTest, MatchesHandComputedOptimum) {
+  // Classic 2x2: moving to the cheaper diagonal.
+  linalg::Matrix cost(2, 2);
+  cost(0, 0) = 0.0;
+  cost(0, 1) = 1.0;
+  cost(1, 0) = 1.0;
+  cost(1, 1) = 0.0;
+  linalg::Vector p(std::vector<double>{0.7, 0.3});
+  linalg::Vector q(std::vector<double>{0.4, 0.6});
+  const auto r = SolveTransport(cost, p, q).value();
+  // Optimal: keep 0.4 at 0, move 0.3 from 0->1; total cost 0.3.
+  EXPECT_NEAR(r.cost, 0.3, 1e-9);
+}
+
+TEST(TransportTest, MarginalsRespected) {
+  linalg::Matrix cost(3, 3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      cost(i, j) = static_cast<double>((i + 2 * j) % 3);
+    }
+  }
+  linalg::Vector p(std::vector<double>{0.2, 0.5, 0.3});
+  linalg::Vector q(std::vector<double>{0.4, 0.4, 0.2});
+  const auto r = SolveTransport(cost, p, q).value();
+  const auto rows = r.plan.RowSums();
+  const auto cols = r.plan.ColSums();
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(rows[i], p[i], 1e-8);
+  for (size_t j = 0; j < 3; ++j) EXPECT_NEAR(cols[j], q[j], 1e-8);
+}
+
+TEST(TransportTest, RejectsMassMismatch) {
+  linalg::Matrix cost(1, 1, 0.0);
+  linalg::Vector p(std::vector<double>{1.0});
+  linalg::Vector q(std::vector<double>{0.5});
+  EXPECT_FALSE(SolveTransport(cost, p, q).ok());
+}
+
+TEST(TransportTest, RejectsDimensionMismatch) {
+  linalg::Matrix cost(2, 2, 0.0);
+  linalg::Vector p(std::vector<double>{1.0});
+  linalg::Vector q(std::vector<double>{0.5, 0.5});
+  EXPECT_FALSE(SolveTransport(cost, p, q).ok());
+}
+
+TEST(TransportTest, CostIsMetricLowerBoundedByMarginalDifference) {
+  // With 0/1 cost, OT cost equals total variation distance.
+  linalg::Matrix cost(2, 2, 1.0);
+  cost(0, 0) = 0.0;
+  cost(1, 1) = 0.0;
+  linalg::Vector p(std::vector<double>{0.9, 0.1});
+  linalg::Vector q(std::vector<double>{0.4, 0.6});
+  const auto r = SolveTransport(cost, p, q).value();
+  EXPECT_NEAR(r.cost, 0.5, 1e-9);  // TV = 0.5
+}
+
+}  // namespace
+}  // namespace otclean::lp

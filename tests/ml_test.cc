@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "ml/cross_validation.h"
+#include "ml/decision_tree.h"
+#include "ml/features.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+
+namespace otclean::ml {
+namespace {
+
+/// A learnable binary task: label = x XOR-ish function of two features plus
+/// noise.
+dataset::Table MakeLearnableTable(size_t n = 800, uint64_t seed = 5,
+                                  double noise = 0.1) {
+  std::vector<dataset::Column> cols = {datagen::MakeColumn("f0", 3),
+                                       datagen::MakeColumn("f1", 4),
+                                       datagen::MakeColumn("label", 2)};
+  dataset::Table t{dataset::Schema(std::move(cols))};
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const int f0 = static_cast<int>(rng.NextUint64Below(3));
+    const int f1 = static_cast<int>(rng.NextUint64Below(4));
+    int label = (f0 + f1 >= 3) ? 1 : 0;
+    if (rng.NextBernoulli(noise)) label = 1 - label;
+    EXPECT_TRUE(t.AppendRow({f0, f1, label}).ok());
+  }
+  return t;
+}
+
+// -------------------------------------------------------------- Features --
+
+TEST(FeaturesTest, OneHotWidthAndEncoding) {
+  const auto t = MakeLearnableTable(10);
+  OneHotEncoder enc(t.schema(), {0, 1});
+  EXPECT_EQ(enc.width(), 7u);
+  const auto x = enc.Encode({2, 1, 0});
+  EXPECT_DOUBLE_EQ(x[2], 1.0);  // f0 = 2
+  EXPECT_DOUBLE_EQ(x[3 + 1], 1.0);  // f1 = 1
+  double sum = 0.0;
+  for (double v : x) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 2.0);
+}
+
+TEST(FeaturesTest, OneHotMissingIsAllZeroBlock) {
+  const auto t = MakeLearnableTable(10);
+  OneHotEncoder enc(t.schema(), {0, 1});
+  const auto x = enc.Encode({dataset::kMissing, 0, 0});
+  double sum = 0.0;
+  for (double v : x) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 1.0);  // only f1 contributes
+}
+
+TEST(FeaturesTest, BinaryLabelsValidates) {
+  const auto t = MakeLearnableTable(10);
+  EXPECT_TRUE(BinaryLabels(t, 2).ok());
+  EXPECT_FALSE(BinaryLabels(t, 0).ok());   // cardinality 3
+  EXPECT_FALSE(BinaryLabels(t, 9).ok());   // out of range
+}
+
+// --------------------------------------------------------------- Metrics --
+
+TEST(MetricsTest, AucPerfectRanking) {
+  EXPECT_DOUBLE_EQ(Auc({0, 0, 1, 1}, {0.1, 0.2, 0.8, 0.9}), 1.0);
+  EXPECT_DOUBLE_EQ(Auc({1, 1, 0, 0}, {0.1, 0.2, 0.8, 0.9}), 0.0);
+}
+
+TEST(MetricsTest, AucRandomTiesAtHalf) {
+  EXPECT_DOUBLE_EQ(Auc({0, 1, 0, 1}, {0.5, 0.5, 0.5, 0.5}), 0.5);
+}
+
+TEST(MetricsTest, AucSingleClassIsHalf) {
+  EXPECT_DOUBLE_EQ(Auc({1, 1}, {0.1, 0.9}), 0.5);
+}
+
+TEST(MetricsTest, AucHandlesPartialOverlap) {
+  // One inversion out of four pairs -> 0.75.
+  EXPECT_DOUBLE_EQ(Auc({0, 1, 0, 1}, {0.1, 0.2, 0.3, 0.4}), 0.75);
+}
+
+TEST(MetricsTest, F1AndAccuracy) {
+  const std::vector<int> y = {1, 1, 0, 0};
+  const std::vector<double> s = {0.9, 0.2, 0.8, 0.1};
+  // tp=1, fp=1, fn=1 -> F1 = 2/4.
+  EXPECT_DOUBLE_EQ(F1Score(y, s), 0.5);
+  EXPECT_DOUBLE_EQ(Accuracy(y, s), 0.5);
+}
+
+TEST(MetricsTest, F1ZeroWhenNoPositivePredictionsOrLabels) {
+  EXPECT_DOUBLE_EQ(F1Score({0, 0}, {0.1, 0.2}), 0.0);
+}
+
+// ---------------------------------------------------------------- Models --
+
+template <typename Model>
+double TrainedAuc(Model&& model, const dataset::Table& table) {
+  EXPECT_TRUE(model.Fit(table, 2, {0, 1}).ok());
+  const auto labels = BinaryLabels(table, 2).value();
+  const auto scores = model.PredictTable(table);
+  return Auc(labels, scores);
+}
+
+TEST(LogisticRegressionTest, LearnsSeparableTask) {
+  const auto t = MakeLearnableTable(800, 6, 0.05);
+  EXPECT_GT(TrainedAuc(LogisticRegression(), t), 0.9);
+}
+
+TEST(NaiveBayesTest, LearnsSeparableTask) {
+  const auto t = MakeLearnableTable(800, 7, 0.05);
+  EXPECT_GT(TrainedAuc(NaiveBayes(), t), 0.85);
+}
+
+TEST(DecisionTreeTest, LearnsSeparableTask) {
+  const auto t = MakeLearnableTable(800, 8, 0.05);
+  EXPECT_GT(TrainedAuc(DecisionTree(), t), 0.9);
+}
+
+TEST(RandomForestTest, LearnsSeparableTask) {
+  const auto t = MakeLearnableTable(800, 9, 0.05);
+  EXPECT_GT(TrainedAuc(RandomForest(), t), 0.9);
+}
+
+TEST(ModelsTest, PredictBeforeFitReturnsHalf) {
+  LogisticRegression lr;
+  NaiveBayes nb;
+  DecisionTree dt;
+  RandomForest rf;
+  const std::vector<int> row = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(lr.PredictProb(row), 0.5);
+  EXPECT_DOUBLE_EQ(nb.PredictProb(row), 0.5);
+  EXPECT_DOUBLE_EQ(dt.PredictProb(row), 0.5);
+  EXPECT_DOUBLE_EQ(rf.PredictProb(row), 0.5);
+}
+
+TEST(ModelsTest, FitRejectsNonBinaryLabel) {
+  const auto t = MakeLearnableTable(50);
+  LogisticRegression lr;
+  EXPECT_FALSE(lr.Fit(t, 0, {1, 2}).ok());
+  NaiveBayes nb;
+  EXPECT_FALSE(nb.Fit(t, 0, {1, 2}).ok());
+  DecisionTree dt;
+  EXPECT_FALSE(dt.Fit(t, 0, {1, 2}).ok());
+}
+
+TEST(ModelsTest, ToleratesMissingFeaturesAtPredictTime) {
+  const auto t = MakeLearnableTable(400, 10, 0.05);
+  NaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(t, 2, {0, 1}).ok());
+  const double p = nb.PredictProb({dataset::kMissing, dataset::kMissing, 0});
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+
+  DecisionTree dt;
+  ASSERT_TRUE(dt.Fit(t, 2, {0, 1}).ok());
+  const double q = dt.PredictProb({dataset::kMissing, 1, 0});
+  EXPECT_GE(q, 0.0);
+  EXPECT_LE(q, 1.0);
+}
+
+TEST(DecisionTreeTest, PureLeafProbabilitiesAreSmoothed) {
+  const auto t = MakeLearnableTable(200, 11, 0.0);
+  DecisionTree dt;
+  ASSERT_TRUE(dt.Fit(t, 2, {0, 1}).ok());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const double p = dt.PredictProb(t.Row(r));
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+TEST(DecisionTreeTest, NodeCountGrowsWithDepth) {
+  const auto t = MakeLearnableTable(500, 12, 0.1);
+  DecisionTree::Options shallow;
+  shallow.max_depth = 1;
+  DecisionTree::Options deep;
+  deep.max_depth = 6;
+  DecisionTree a(shallow), b(deep);
+  ASSERT_TRUE(a.Fit(t, 2, {0, 1}).ok());
+  ASSERT_TRUE(b.Fit(t, 2, {0, 1}).ok());
+  EXPECT_LE(a.NodeCount(), b.NodeCount());
+}
+
+// ------------------------------------------------------ Cross-validation --
+
+TEST(CrossValidationTest, StratifiedFoldsBalanceClasses) {
+  std::vector<int> labels;
+  for (int i = 0; i < 100; ++i) labels.push_back(i < 20 ? 1 : 0);
+  Rng rng(13);
+  const auto folds = StratifiedFolds(labels, 5, rng);
+  std::vector<int> pos_per_fold(5, 0);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == 1) ++pos_per_fold[folds[i]];
+  }
+  for (int c : pos_per_fold) EXPECT_EQ(c, 4);
+}
+
+TEST(CrossValidationTest, ProducesReasonableAuc) {
+  const auto t = MakeLearnableTable(600, 14, 0.05);
+  const auto cv =
+      CrossValidate(t, 2, {0, 1},
+                    [] { return std::make_unique<LogisticRegression>(); })
+          .value();
+  EXPECT_GT(cv.mean_auc, 0.85);
+  EXPECT_EQ(cv.fold_auc.size(), 5u);
+  EXPECT_EQ(cv.oof_scores.size(), t.num_rows());
+}
+
+TEST(CrossValidationTest, TransformHookIsApplied) {
+  const auto t = MakeLearnableTable(300, 15, 0.05);
+  size_t calls = 0;
+  const auto cv = CrossValidate(
+      t, 2, {0, 1}, [] { return std::make_unique<NaiveBayes>(); },
+      CrossValidationOptions{},
+      [&calls](const dataset::Table& train) -> Result<dataset::Table> {
+        ++calls;
+        return train;
+      });
+  ASSERT_TRUE(cv.ok());
+  EXPECT_EQ(calls, 5u);
+}
+
+TEST(CrossValidationTest, RejectsSingleFold) {
+  const auto t = MakeLearnableTable(100);
+  CrossValidationOptions opts;
+  opts.num_folds = 1;
+  EXPECT_FALSE(CrossValidate(t, 2, {0, 1},
+                             [] { return std::make_unique<NaiveBayes>(); },
+                             opts)
+                   .ok());
+}
+
+TEST(CrossValidationTest, TrainAndEvaluateHoldout) {
+  const auto train = MakeLearnableTable(600, 16, 0.05);
+  const auto test = MakeLearnableTable(200, 17, 0.05);
+  const auto r = TrainAndEvaluate(train, test, 2, {0, 1}, [] {
+                   return std::make_unique<LogisticRegression>();
+                 }).value();
+  EXPECT_GT(r.auc, 0.85);
+  EXPECT_GT(r.accuracy, 0.7);
+}
+
+TEST(CrossValidationTest, AllFeaturesExceptHelper) {
+  const auto t = MakeLearnableTable(10);
+  EXPECT_EQ(AllFeaturesExcept(t.schema(), 2), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(AllFeaturesExcept(t.schema(), 2, {0}), (std::vector<size_t>{1}));
+}
+
+}  // namespace
+}  // namespace otclean::ml

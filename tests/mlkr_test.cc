@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "metric/mlkr.h"
+
+namespace otclean::metric {
+namespace {
+
+/// Table where only feature 0 is predictive of the label; feature 1 is
+/// pure noise.
+dataset::Table MakeMetricTable(size_t n, uint64_t seed) {
+  std::vector<dataset::Column> cols = {datagen::MakeColumn("signal", 4),
+                                       datagen::MakeColumn("noise", 4),
+                                       datagen::MakeColumn("label", 2)};
+  dataset::Table t{dataset::Schema(std::move(cols))};
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const int s = static_cast<int>(rng.NextUint64Below(4));
+    const int z = static_cast<int>(rng.NextUint64Below(4));
+    const int label = (s >= 2) ? 1 : 0;
+    EXPECT_TRUE(t.AppendRow({s, z, label}).ok());
+  }
+  return t;
+}
+
+TEST(MlkrTest, LearningReducesLoss) {
+  const auto t = MakeMetricTable(200, 1);
+  const auto r = LearnMlkrWeights(t, 2, {0, 1}).value();
+  EXPECT_LE(r.final_loss, r.initial_loss + 1e-9);
+}
+
+TEST(MlkrTest, PredictiveFeatureGetsLargerWeight) {
+  const auto t = MakeMetricTable(220, 2);
+  const auto r = LearnMlkrWeights(t, 2, {0, 1}).value();
+  ASSERT_EQ(r.weights.size(), 2u);
+  EXPECT_GT(r.weights[0], r.weights[1]);
+}
+
+TEST(MlkrTest, WeightsStayPositive) {
+  const auto t = MakeMetricTable(150, 3);
+  const auto r = LearnMlkrWeights(t, 2, {0, 1}).value();
+  for (double w : r.weights) EXPECT_GT(w, 0.0);
+}
+
+TEST(MlkrTest, SubsamplesLargeTables) {
+  const auto t = MakeMetricTable(3000, 4);
+  MlkrOptions opts;
+  opts.max_rows = 100;
+  opts.epochs = 10;
+  const auto r = LearnMlkrWeights(t, 2, {0, 1}, opts).value();
+  EXPECT_EQ(r.weights.size(), 2u);
+}
+
+TEST(MlkrTest, RejectsDegenerateInputs) {
+  const auto t = MakeMetricTable(100, 5);
+  EXPECT_FALSE(LearnMlkrWeights(t, 2, {}).ok());         // no features
+  EXPECT_FALSE(LearnMlkrWeights(t, 0, {1}).ok());        // non-binary label
+  // Too few rows.
+  const auto tiny = MakeMetricTable(2, 6);
+  EXPECT_FALSE(LearnMlkrWeights(tiny, 2, {0, 1}).ok());
+}
+
+}  // namespace
+}  // namespace otclean::metric

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "lp/network_simplex.h"
+#include "lp/transport_lp.h"
+
+namespace otclean::lp {
+namespace {
+
+TEST(NetworkSimplexTest, TrivialSingleCell) {
+  linalg::Matrix cost(1, 1, 3.0);
+  linalg::Vector p(std::vector<double>{1.0});
+  const auto r = SolveTransportNetwork(cost, p, p).value();
+  EXPECT_NEAR(r.cost, 3.0, 1e-9);
+  EXPECT_NEAR(r.plan(0, 0), 1.0, 1e-9);
+}
+
+TEST(NetworkSimplexTest, MatchesHandComputedOptimum) {
+  linalg::Matrix cost(2, 2);
+  cost(0, 0) = 0.0;
+  cost(0, 1) = 1.0;
+  cost(1, 0) = 1.0;
+  cost(1, 1) = 0.0;
+  linalg::Vector p(std::vector<double>{0.7, 0.3});
+  linalg::Vector q(std::vector<double>{0.4, 0.6});
+  const auto r = SolveTransportNetwork(cost, p, q).value();
+  EXPECT_NEAR(r.cost, 0.3, 1e-9);
+}
+
+TEST(NetworkSimplexTest, MarginalsRespected) {
+  Rng rng(1);
+  const size_t m = 6, n = 7;
+  linalg::Matrix cost(m, n);
+  for (double& v : cost.data()) v = rng.NextDouble();
+  linalg::Vector p(m), q(n);
+  for (size_t i = 0; i < m; ++i) p[i] = 0.1 + rng.NextDouble();
+  for (size_t j = 0; j < n; ++j) q[j] = 0.1 + rng.NextDouble();
+  p.Normalize();
+  q.Normalize();
+  const auto r = SolveTransportNetwork(cost, p, q).value();
+  const auto rows = r.plan.RowSums();
+  const auto cols = r.plan.ColSums();
+  for (size_t i = 0; i < m; ++i) EXPECT_NEAR(rows[i], p[i], 1e-8);
+  for (size_t j = 0; j < n; ++j) EXPECT_NEAR(cols[j], q[j], 1e-8);
+  for (double v : r.plan.data()) EXPECT_GE(v, 0.0);
+}
+
+TEST(NetworkSimplexTest, RejectsBadInput) {
+  linalg::Matrix cost(2, 2, 1.0);
+  linalg::Vector p(std::vector<double>{0.5, 0.5});
+  linalg::Vector bad(std::vector<double>{0.9, 0.9});
+  EXPECT_FALSE(SolveTransportNetwork(cost, p, bad).ok());
+  linalg::Vector neg(std::vector<double>{-0.5, 1.5});
+  EXPECT_FALSE(SolveTransportNetwork(cost, neg, p).ok());
+  linalg::Vector wrong(std::vector<double>{1.0});
+  EXPECT_FALSE(SolveTransportNetwork(cost, wrong, p).ok());
+}
+
+TEST(NetworkSimplexTest, HandlesDegenerateSupplies) {
+  // Some zero supplies/demands.
+  linalg::Matrix cost(3, 3);
+  Rng rng(2);
+  for (double& v : cost.data()) v = rng.NextDouble();
+  linalg::Vector p(std::vector<double>{0.0, 0.6, 0.4});
+  linalg::Vector q(std::vector<double>{0.5, 0.0, 0.5});
+  const auto r = SolveTransportNetwork(cost, p, q).value();
+  const auto rows = r.plan.RowSums();
+  EXPECT_NEAR(rows[0], 0.0, 1e-9);
+  EXPECT_NEAR(rows[1], 0.6, 1e-8);
+}
+
+/// Property sweep: agreement with the dense two-phase simplex on random
+/// instances of growing size.
+class NetworkVsDense : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NetworkVsDense, CostsAgree) {
+  Rng rng(GetParam());
+  const size_t m = 3 + rng.NextUint64Below(6);
+  const size_t n = 3 + rng.NextUint64Below(6);
+  linalg::Matrix cost(m, n);
+  for (double& v : cost.data()) v = rng.NextDouble() * 5.0;
+  linalg::Vector p(m), q(n);
+  for (size_t i = 0; i < m; ++i) p[i] = 0.05 + rng.NextDouble();
+  for (size_t j = 0; j < n; ++j) q[j] = 0.05 + rng.NextDouble();
+  p.Normalize();
+  q.Normalize();
+
+  const auto net = SolveTransportNetwork(cost, p, q).value();
+  const auto dense = SolveTransport(cost, p, q).value();
+  EXPECT_NEAR(net.cost, dense.cost, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkVsDense,
+                         ::testing::Values(10, 20, 30, 40, 50, 60, 70, 80));
+
+TEST(NetworkSimplexTest, LargerInstanceStaysFeasible) {
+  Rng rng(9);
+  const size_t m = 40, n = 40;
+  linalg::Matrix cost(m, n);
+  for (double& v : cost.data()) v = rng.NextDouble();
+  linalg::Vector p(m), q(n);
+  for (size_t i = 0; i < m; ++i) p[i] = 0.02 + rng.NextDouble();
+  for (size_t j = 0; j < n; ++j) q[j] = 0.02 + rng.NextDouble();
+  p.Normalize();
+  q.Normalize();
+  const auto r = SolveTransportNetwork(cost, p, q).value();
+  const auto rows = r.plan.RowSums();
+  for (size_t i = 0; i < m; ++i) EXPECT_NEAR(rows[i], p[i], 1e-7);
+  // Optimality sanity: cost below the independent-coupling cost.
+  double indep = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) indep += cost(i, j) * p[i] * q[j];
+  }
+  EXPECT_LE(r.cost, indep + 1e-9);
+}
+
+}  // namespace
+}  // namespace otclean::lp

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nmf/frobenius_nmf.h"
+#include "nmf/kl_nmf.h"
+
+namespace otclean::nmf {
+namespace {
+
+linalg::Matrix MatMul(const linalg::Matrix& a, const linalg::Matrix& b) {
+  linalg::Matrix c(a.rows(), b.cols(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      for (size_t j = 0; j < b.cols(); ++j) c(i, j) += a(i, k) * b(k, j);
+    }
+  }
+  return c;
+}
+
+TEST(GeneralizedKlTest, ZeroForIdenticalMatrices) {
+  linalg::Matrix a(2, 2, 0.25);
+  EXPECT_NEAR(GeneralizedKl(a, a), 0.0, 1e-12);
+}
+
+TEST(GeneralizedKlTest, InfWhenSupportViolated) {
+  linalg::Matrix a(1, 2);
+  a(0, 0) = 1.0;
+  linalg::Matrix b(1, 2);
+  b(0, 1) = 1.0;
+  EXPECT_TRUE(std::isinf(GeneralizedKl(a, b)));
+}
+
+TEST(GeneralizedKlTest, HandlesZeroInFirstArgument) {
+  linalg::Matrix a(1, 2);
+  a(0, 0) = 1.0;
+  linalg::Matrix b(1, 2);
+  b(0, 0) = 1.0;
+  b(0, 1) = 0.5;  // extra mass contributes +b
+  EXPECT_NEAR(GeneralizedKl(a, b), 0.5, 1e-12);
+}
+
+TEST(KlNmfRank1Test, ClosedFormIsProductOfMarginals) {
+  linalg::Matrix a(2, 3);
+  a(0, 0) = 0.1;
+  a(0, 1) = 0.2;
+  a(0, 2) = 0.1;
+  a(1, 0) = 0.2;
+  a(1, 1) = 0.3;
+  a(1, 2) = 0.1;
+  const auto r = KlNmfRank1(a);
+  const linalg::Matrix wh =
+      linalg::Matrix::OuterProduct(r.w.Col(0), r.h.Row(0));
+  // Marginals of the approximation match A's.
+  const auto rows_a = a.RowSums();
+  const auto rows_wh = wh.RowSums();
+  const auto cols_a = a.ColSums();
+  const auto cols_wh = wh.ColSums();
+  for (size_t i = 0; i < 2; ++i) EXPECT_NEAR(rows_wh[i], rows_a[i], 1e-12);
+  for (size_t j = 0; j < 3; ++j) EXPECT_NEAR(cols_wh[j], cols_a[j], 1e-12);
+  EXPECT_NEAR(wh.Sum(), a.Sum(), 1e-12);
+}
+
+TEST(KlNmfRank1Test, ExactOnRankOneInput) {
+  linalg::Vector w(std::vector<double>{0.4, 0.6});
+  linalg::Vector h(std::vector<double>{0.2, 0.5, 0.3});
+  const linalg::Matrix a = linalg::Matrix::OuterProduct(w, h);
+  const auto r = KlNmfRank1(a);
+  EXPECT_NEAR(r.divergence, 0.0, 1e-12);
+}
+
+TEST(KlNmfRank1Test, ZeroMatrix) {
+  linalg::Matrix a(2, 2, 0.0);
+  const auto r = KlNmfRank1(a);
+  EXPECT_NEAR(r.w.Sum(), 0.0, 1e-12);
+}
+
+TEST(KlNmfTest, IterativeConvergesToClosedFormRank1) {
+  linalg::Matrix a(3, 3);
+  Rng rng(3);
+  for (double& v : a.data()) v = 0.1 + rng.NextDouble();
+  KlNmfOptions opts;
+  opts.rank = 1;
+  opts.max_iterations = 500;
+  Rng nmf_rng(4);
+  const auto iter = KlNmf(a, opts, nmf_rng).value();
+  const auto closed = KlNmfRank1(a);
+  EXPECT_NEAR(iter.divergence, closed.divergence, 1e-6);
+}
+
+TEST(KlNmfTest, ObjectiveDecreasesWithRank) {
+  linalg::Matrix a(4, 4);
+  Rng rng(5);
+  for (double& v : a.data()) v = rng.NextDouble();
+  Rng r1(6), r2(6);
+  KlNmfOptions o1;
+  o1.rank = 1;
+  KlNmfOptions o2;
+  o2.rank = 3;
+  const double d1 = KlNmf(a, o1, r1)->divergence;
+  const double d3 = KlNmf(a, o2, r2)->divergence;
+  EXPECT_LE(d3, d1 + 1e-9);
+}
+
+TEST(KlNmfTest, RejectsInvalidInputs) {
+  linalg::Matrix neg(1, 1);
+  neg(0, 0) = -1.0;
+  KlNmfOptions opts;
+  Rng rng(1);
+  EXPECT_FALSE(KlNmf(neg, opts, rng).ok());
+  opts.rank = 0;
+  linalg::Matrix ok(1, 1, 1.0);
+  EXPECT_FALSE(KlNmf(ok, opts, rng).ok());
+}
+
+TEST(FrobeniusNmfTest, ExactOnRankOneInput) {
+  linalg::Vector w(std::vector<double>{1.0, 2.0});
+  linalg::Vector h(std::vector<double>{0.5, 1.5});
+  const linalg::Matrix a = linalg::Matrix::OuterProduct(w, h);
+  FrobeniusNmfOptions opts;
+  opts.rank = 1;
+  opts.max_iterations = 2000;
+  Rng rng(7);
+  const auto r = FrobeniusNmf(a, opts, rng).value();
+  EXPECT_NEAR(r.error, 0.0, 1e-6);
+}
+
+TEST(FrobeniusNmfTest, ApproximationIsNonNegative) {
+  linalg::Matrix a(3, 3);
+  Rng rng(8);
+  for (double& v : a.data()) v = rng.NextDouble();
+  FrobeniusNmfOptions opts;
+  opts.rank = 2;
+  Rng rng2(9);
+  const auto r = FrobeniusNmf(a, opts, rng2).value();
+  for (double v : r.w.data()) EXPECT_GE(v, 0.0);
+  for (double v : r.h.data()) EXPECT_GE(v, 0.0);
+}
+
+TEST(FrobeniusNmfTest, ErrorDecreasesOverIterations) {
+  linalg::Matrix a(4, 4);
+  Rng rng(10);
+  for (double& v : a.data()) v = rng.NextDouble();
+  FrobeniusNmfOptions fast;
+  fast.rank = 1;
+  fast.max_iterations = 2;
+  fast.tolerance = 0.0;
+  FrobeniusNmfOptions slow = fast;
+  slow.max_iterations = 200;
+  Rng ra(11), rb(11);
+  const double e_fast = FrobeniusNmf(a, fast, ra)->error;
+  const double e_slow = FrobeniusNmf(a, slow, rb)->error;
+  EXPECT_LE(e_slow, e_fast + 1e-9);
+}
+
+TEST(FrobeniusNmfTest, RejectsInvalidInputs) {
+  linalg::Matrix neg(1, 1);
+  neg(0, 0) = -0.5;
+  FrobeniusNmfOptions opts;
+  Rng rng(1);
+  EXPECT_FALSE(FrobeniusNmf(neg, opts, rng).ok());
+  opts.rank = 0;
+  linalg::Matrix ok(1, 1, 1.0);
+  EXPECT_FALSE(FrobeniusNmf(ok, opts, rng).ok());
+}
+
+TEST(KlNmfTest, FactorizationReconstructionCloseForEasyMatrix) {
+  // Near-rank-one matrix: reconstruction should be close elementwise.
+  linalg::Vector w(std::vector<double>{0.3, 0.7});
+  linalg::Vector h(std::vector<double>{0.6, 0.4});
+  linalg::Matrix a = linalg::Matrix::OuterProduct(w, h);
+  a(0, 0) += 0.01;
+  KlNmfOptions opts;
+  opts.rank = 1;
+  Rng rng(12);
+  const auto r = KlNmf(a, opts, rng).value();
+  const linalg::Matrix wh = MatMul(r.w, r.h);
+  EXPECT_TRUE(wh.ApproxEquals(a, 0.05));
+}
+
+}  // namespace
+}  // namespace otclean::nmf

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/fast_otclean.h"
+#include "lp/transport_lp.h"
+#include "ot/cost.h"
+#include "ot/sinkhorn.h"
+#include "prob/independence.h"
+
+namespace otclean {
+namespace {
+
+using core::FastOtClean;
+using core::FastOtCleanOptions;
+using prob::CiSpec;
+using prob::Domain;
+using prob::JointDistribution;
+
+// ------------------------------------------------ Domain round-trip sweep --
+
+class DomainRoundTrip
+    : public ::testing::TestWithParam<std::vector<size_t>> {};
+
+TEST_P(DomainRoundTrip, EncodeDecodeIdentity) {
+  const Domain d = Domain::FromCardinalities(GetParam());
+  for (size_t i = 0; i < d.TotalSize(); ++i) {
+    EXPECT_EQ(d.Encode(d.Decode(i)), i);
+  }
+}
+
+TEST_P(DomainRoundTrip, MarginalOfUniformIsUniform) {
+  const Domain d = Domain::FromCardinalities(GetParam());
+  const auto u = JointDistribution::Uniform(d);
+  for (size_t a = 0; a < d.num_attrs(); ++a) {
+    const auto m = u.Marginal({a});
+    for (size_t v = 0; v < d.Cardinality(a); ++v) {
+      EXPECT_NEAR(m[v], 1.0 / d.Cardinality(a), 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DomainRoundTrip,
+    ::testing::Values(std::vector<size_t>{2}, std::vector<size_t>{5},
+                      std::vector<size_t>{2, 2}, std::vector<size_t>{3, 4},
+                      std::vector<size_t>{2, 3, 4},
+                      std::vector<size_t>{4, 1, 3},
+                      std::vector<size_t>{2, 2, 2, 2}));
+
+// -------------------------------------------- CI-projection property sweep --
+
+struct CiCase {
+  std::vector<size_t> cards;  ///< at least 3 attrs: x, y, z...
+  uint64_t seed;
+};
+
+class CiProjectionProperty : public ::testing::TestWithParam<CiCase> {};
+
+TEST_P(CiProjectionProperty, ProjectionIsConsistentAndPreservesMarginals) {
+  const auto& param = GetParam();
+  const Domain d = Domain::FromCardinalities(param.cards);
+  JointDistribution p(d);
+  Rng rng(param.seed);
+  for (size_t i = 0; i < p.size(); ++i) p[i] = 0.01 + rng.NextDouble();
+  p.Normalize();
+
+  std::vector<size_t> zs;
+  for (size_t a = 2; a < param.cards.size(); ++a) zs.push_back(a);
+  const CiSpec ci{{0}, {1}, zs};
+  const auto q = prob::CiProjection(p, ci);
+
+  EXPECT_NEAR(q.Mass(), 1.0, 1e-9);
+  EXPECT_LT(prob::ConditionalMutualInformation(q, ci), 1e-9);
+  // (X,Z) and (Y,Z) marginals preserved.
+  std::vector<size_t> xz = {0};
+  std::vector<size_t> yz = {1};
+  xz.insert(xz.end(), zs.begin(), zs.end());
+  yz.insert(yz.end(), zs.begin(), zs.end());
+  EXPECT_TRUE(q.Marginal(xz).ApproxEquals(p.Marginal(xz), 1e-9));
+  EXPECT_TRUE(q.Marginal(yz).ApproxEquals(p.Marginal(yz), 1e-9));
+  // The projection never increases KL to p beyond p's self-consistency gap:
+  // D(p||q) equals the CMI for saturated constraints (I-projection).
+  if (param.cards.size() == 2 + zs.size()) {
+    EXPECT_NEAR(p.KlDivergence(q),
+                prob::ConditionalMutualInformation(p, ci), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, CiProjectionProperty,
+    ::testing::Values(CiCase{{2, 2, 2}, 1}, CiCase{{2, 3, 2}, 2},
+                      CiCase{{3, 3, 3}, 3}, CiCase{{2, 2, 4}, 4},
+                      CiCase{{4, 2, 2}, 5}, CiCase{{2, 2, 2, 2}, 6},
+                      CiCase{{3, 2, 2, 3}, 7}));
+
+// ------------------------------------------------- Sinkhorn property sweep --
+
+struct SinkhornCase {
+  size_t n;
+  double epsilon;
+  uint64_t seed;
+};
+
+class SinkhornProperty : public ::testing::TestWithParam<SinkhornCase> {};
+
+TEST_P(SinkhornProperty, PlanIsNonNegativeWithCorrectMarginals) {
+  const auto& param = GetParam();
+  Rng rng(param.seed);
+  linalg::Matrix cost(param.n, param.n);
+  for (double& v : cost.data()) v = rng.NextDouble();
+  linalg::Vector p(param.n), q(param.n);
+  for (size_t i = 0; i < param.n; ++i) {
+    p[i] = 0.1 + rng.NextDouble();
+    q[i] = 0.1 + rng.NextDouble();
+  }
+  p.Normalize();
+  q.Normalize();
+
+  ot::SinkhornOptions opts;
+  opts.epsilon = param.epsilon;
+  const auto r = ot::RunSinkhorn(cost, p, q, opts).value();
+  for (double v : r.plan.data()) EXPECT_GE(v, 0.0);
+  const auto rows = r.plan.RowSums();
+  const auto cols = r.plan.ColSums();
+  for (size_t i = 0; i < param.n; ++i) EXPECT_NEAR(rows[i], p[i], 1e-5);
+  for (size_t j = 0; j < param.n; ++j) EXPECT_NEAR(cols[j], q[j], 1e-5);
+}
+
+TEST_P(SinkhornProperty, EntropicCostUpperBoundsExactOt) {
+  const auto& param = GetParam();
+  Rng rng(param.seed + 100);
+  linalg::Matrix cost(param.n, param.n);
+  for (double& v : cost.data()) v = rng.NextDouble();
+  linalg::Vector p(param.n), q(param.n);
+  for (size_t i = 0; i < param.n; ++i) {
+    p[i] = 0.1 + rng.NextDouble();
+    q[i] = 0.1 + rng.NextDouble();
+  }
+  p.Normalize();
+  q.Normalize();
+
+  ot::SinkhornOptions opts;
+  opts.epsilon = param.epsilon;
+  const auto sk = ot::RunSinkhorn(cost, p, q, opts).value();
+  const auto exact = lp::SolveTransport(cost, p, q).value();
+  // The entropic plan is feasible for the exact problem, so its cost is an
+  // upper bound (within numerical tolerance).
+  EXPECT_GE(sk.transport_cost, exact.cost - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SinkhornProperty,
+    ::testing::Values(SinkhornCase{2, 0.05, 1}, SinkhornCase{3, 0.05, 2},
+                      SinkhornCase{5, 0.1, 3}, SinkhornCase{8, 0.1, 4},
+                      SinkhornCase{5, 0.5, 5}, SinkhornCase{4, 0.02, 6}));
+
+// ---------------------------------------------- FastOTClean property sweep --
+
+struct CleanCase {
+  std::vector<size_t> cards;
+  double epsilon;
+  uint64_t seed;
+};
+
+class FastOtCleanProperty : public ::testing::TestWithParam<CleanCase> {};
+
+TEST_P(FastOtCleanProperty, AlwaysProducesCiConsistentTarget) {
+  const auto& param = GetParam();
+  const Domain d = Domain::FromCardinalities(param.cards);
+  JointDistribution p(d);
+  Rng rng(param.seed);
+  for (size_t i = 0; i < p.size(); ++i) p[i] = 0.01 + rng.NextDouble();
+  p.Normalize();
+
+  std::vector<size_t> zs;
+  for (size_t a = 2; a < param.cards.size(); ++a) zs.push_back(a);
+  const CiSpec ci{{0}, {1}, zs};
+  ot::EuclideanCost cost(param.cards.size());
+  FastOtCleanOptions opts;
+  opts.epsilon = param.epsilon;
+  opts.max_outer_iterations = 150;
+  Rng solver_rng(param.seed + 1);
+  const auto r = FastOtClean(p, ci, cost, opts, solver_rng).value();
+
+  EXPECT_LT(r.target_cmi, 1e-6);
+  EXPECT_GE(r.transport_cost, -1e-9);
+  // The plan's source marginal approximately matches p on the active cells.
+  const auto src = r.plan.SourceMarginal();
+  for (size_t i = 0; i < r.plan.row_cells().size(); ++i) {
+    EXPECT_NEAR(src[i], p[r.plan.row_cells()[i]], 0.08);
+  }
+  // Target marginal approximately matches the reported Q.
+  const auto tgt = r.plan.TargetMarginal();
+  double tv = 0.0;
+  for (size_t j = 0; j < r.plan.col_cells().size(); ++j) {
+    tv += std::fabs(tgt[j] - r.target[r.plan.col_cells()[j]]);
+  }
+  EXPECT_LT(0.5 * tv, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FastOtCleanProperty,
+    ::testing::Values(CleanCase{{2, 2, 2}, 0.1, 1},
+                      CleanCase{{2, 2, 3}, 0.1, 2},
+                      CleanCase{{3, 2, 2}, 0.05, 3},
+                      CleanCase{{2, 3, 2}, 0.2, 4},
+                      CleanCase{{2, 2, 2, 2}, 0.1, 5},
+                      CleanCase{{3, 3, 2}, 0.1, 6}));
+
+// -------------------------------------------------- Transport LP property --
+
+class TransportProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TransportProperty, TriangleInequalityOverThreeDistributions) {
+  // EMD with a metric ground cost is a metric: d(p,r) <= d(p,q) + d(q,r).
+  Rng rng(GetParam());
+  const size_t n = 4;
+  // Metric cost: |i - j| on a line.
+  linalg::Matrix cost(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      cost(i, j) = std::fabs(static_cast<double>(i) - static_cast<double>(j));
+    }
+  }
+  auto random_dist = [&] {
+    linalg::Vector v(n);
+    for (size_t i = 0; i < n; ++i) v[i] = 0.05 + rng.NextDouble();
+    v.Normalize();
+    return v;
+  };
+  const auto p = random_dist();
+  const auto q = random_dist();
+  const auto r = random_dist();
+  const double dpq = lp::SolveTransport(cost, p, q)->cost;
+  const double dqr = lp::SolveTransport(cost, q, r)->cost;
+  const double dpr = lp::SolveTransport(cost, p, r)->cost;
+  EXPECT_LE(dpr, dpq + dqr + 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransportProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace otclean

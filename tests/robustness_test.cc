@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/qclp_cleaner.h"
+#include "core/repair.h"
+#include "datagen/synthetic.h"
+#include "ot/sinkhorn.h"
+
+namespace otclean {
+namespace {
+
+// Degenerate and adversarial inputs: the library must fail cleanly (error
+// Status) or behave sensibly (identity repair), never crash or NaN.
+
+TEST(RobustnessTest, RepairOnConstantTableIsIdentity) {
+  // Every row identical: the empirical distribution is a point mass, which
+  // trivially satisfies any CI constraint.
+  std::vector<dataset::Column> cols = {datagen::MakeColumn("x", 2),
+                                       datagen::MakeColumn("y", 2),
+                                       datagen::MakeColumn("z", 2)};
+  dataset::Table t{dataset::Schema(std::move(cols))};
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(t.AppendRow({1, 0, 1}).ok());
+  const core::CiConstraint ci({"x"}, {"y"}, {"z"});
+  const auto report = core::RepairTable(t, ci).value();
+  EXPECT_NEAR(report.initial_cmi, 0.0, 1e-12);
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(report.repaired.Row(r), t.Row(r));
+  }
+}
+
+TEST(RobustnessTest, RepairSkipsRowsWithMissingConstraintValues) {
+  datagen::ScalingDatasetOptions gen;
+  gen.num_rows = 300;
+  gen.violation = 0.7;
+  gen.seed = 1;
+  auto table = datagen::MakeScalingDataset(gen).value();
+  // Blank x in the first 30 rows.
+  for (size_t r = 0; r < 30; ++r) table.SetValue(r, 0, dataset::kMissing);
+  const core::CiConstraint ci({"x"}, {"y"}, {"z0"});
+  const auto report = core::RepairTable(table, ci).value();
+  for (size_t r = 0; r < 30; ++r) {
+    EXPECT_TRUE(report.repaired.IsMissing(r, 0));
+    EXPECT_EQ(report.repaired.Value(r, 1), table.Value(r, 1));
+  }
+}
+
+TEST(RobustnessTest, RepairFailsWhenAllConstraintRowsMissing) {
+  std::vector<dataset::Column> cols = {datagen::MakeColumn("x", 2),
+                                       datagen::MakeColumn("y", 2)};
+  dataset::Table t{dataset::Schema(std::move(cols))};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.AppendRow({dataset::kMissing, 0}).ok());
+  }
+  const core::CiConstraint ci({"x"}, {"y"});
+  EXPECT_FALSE(core::RepairTable(t, ci).ok());
+}
+
+TEST(RobustnessTest, ConstraintValidationCatchesOverlapsAndEmpties) {
+  datagen::ScalingDatasetOptions gen;
+  gen.num_rows = 50;
+  const auto table = datagen::MakeScalingDataset(gen).value();
+  // x appears on both sides.
+  const core::CiConstraint overlap({"x"}, {"x"}, {"z0"});
+  EXPECT_FALSE(overlap.ResolveColumns(table.schema()).ok());
+  // Empty X.
+  const core::CiConstraint empty_x({}, {"y"}, {"z0"});
+  EXPECT_FALSE(empty_x.ResolveColumns(table.schema()).ok());
+}
+
+TEST(RobustnessTest, CardinalityOneAttributesWork) {
+  // A conditioning attribute with a single value is a no-op condition.
+  std::vector<dataset::Column> cols = {datagen::MakeColumn("x", 2),
+                                       datagen::MakeColumn("y", 2),
+                                       datagen::MakeColumn("k", 1)};
+  dataset::Table t{dataset::Schema(std::move(cols))};
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const int x = rng.NextBernoulli(0.5) ? 1 : 0;
+    const int y = rng.NextBernoulli(0.8) ? x : 1 - x;  // dependent
+    ASSERT_TRUE(t.AppendRow({x, y, 0}).ok());
+  }
+  const core::CiConstraint ci({"x"}, {"y"}, {"k"});
+  const auto report = core::RepairTable(t, ci).value();
+  EXPECT_GT(report.initial_cmi, 0.05);
+  EXPECT_LT(report.target_cmi, 1e-6);
+}
+
+TEST(RobustnessTest, SinkhornWithZeroTargetColumns) {
+  // q has zero entries: those columns must receive no mass.
+  linalg::Matrix cost(2, 3, 1.0);
+  cost(0, 0) = 0.0;
+  cost(1, 1) = 0.0;
+  linalg::Vector p(std::vector<double>{0.5, 0.5});
+  linalg::Vector q(std::vector<double>{0.5, 0.5, 0.0});
+  ot::SinkhornOptions opts;
+  opts.epsilon = 0.1;
+  const auto r = ot::RunSinkhorn(cost, p, q, opts).value();
+  EXPECT_NEAR(r.plan(0, 2) + r.plan(1, 2), 0.0, 1e-9);
+  for (double v : r.plan.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(RobustnessTest, SinkhornSurvivesExtremeKernelRange) {
+  // Penalty cost that underflows most kernel entries: the clamped linear
+  // path and the log-domain path must both stay finite.
+  linalg::Matrix cost(3, 3, 1e7);
+  for (size_t i = 0; i < 3; ++i) cost(i, i) = 0.0;
+  cost(0, 1) = 2.0;
+  linalg::Vector p(std::vector<double>{0.5, 0.3, 0.2});
+  linalg::Vector q(std::vector<double>{0.3, 0.5, 0.2});
+  for (const bool log_domain : {false, true}) {
+    ot::SinkhornOptions opts;
+    opts.epsilon = 0.05;
+    opts.relaxed = true;
+    opts.lambda = 50.0;
+    opts.log_domain = log_domain;
+    opts.max_iterations = 2000;
+    const auto r = ot::RunSinkhorn(cost, p, q, opts).value();
+    for (double v : r.plan.data()) EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GT(r.plan.Sum(), 0.1);
+  }
+}
+
+TEST(RobustnessTest, QclpSingleActiveCell) {
+  const prob::Domain d = prob::Domain::FromCardinalities({2, 2});
+  prob::JointDistribution p(d);
+  p[d.Encode({1, 0})] = 1.0;
+  const prob::CiSpec ci{{0}, {1}, {}};
+  ot::EuclideanCost cost(2);
+  const auto r = core::QclpClean(p, ci, cost, core::QclpOptions()).value();
+  // A point mass is already independent; no transport needed.
+  EXPECT_NEAR(r.transport_cost, 0.0, 1e-9);
+  EXPECT_LT(r.target_cmi, 1e-9);
+}
+
+TEST(RobustnessTest, StreamingRepairToleratesUnseenTuples) {
+  datagen::ScalingDatasetOptions gen;
+  gen.num_rows = 200;
+  gen.num_z_attrs = 1;
+  gen.z_card = 4;
+  gen.violation = 0.6;
+  gen.seed = 3;
+  const auto train = datagen::MakeScalingDataset(gen).value();
+  core::OtCleanRepairer repairer(core::CiConstraint({"x"}, {"y"}, {"z0"}));
+  ASSERT_TRUE(repairer.Fit(train).ok());
+  // A tuple whose (x, y, z) combination may be absent from training: the
+  // cleaner passes unknown cells through unchanged.
+  Rng rng(4);
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      for (int z = 0; z < 4; ++z) {
+        const std::vector<int> row = {x, y, z};
+        const auto out = repairer.RepairRow(row, rng);
+        EXPECT_EQ(out.size(), row.size());
+      }
+    }
+  }
+}
+
+TEST(RobustnessTest, LoggingLevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Suppressed message must not crash.
+  OTCLEAN_LOG(Debug) << "suppressed " << 42;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(RobustnessTest, EmptyTableEmpirical) {
+  std::vector<dataset::Column> cols = {datagen::MakeColumn("a", 2)};
+  dataset::Table t{dataset::Schema(std::move(cols))};
+  const auto p = t.Empirical({0});
+  EXPECT_DOUBLE_EQ(p.Mass(), 0.0);
+}
+
+TEST(RobustnessTest, MapRepairOnHeavilyViolatedData) {
+  // MAP repairs are deterministic and must also reduce CMI on a strongly
+  // violated dataset.
+  datagen::ScalingDatasetOptions gen;
+  gen.num_rows = 1000;
+  gen.violation = 0.95;
+  gen.seed = 5;
+  const auto table = datagen::MakeScalingDataset(gen).value();
+  const core::CiConstraint ci({"x"}, {"y"}, {"z0"});
+  core::RepairOptions opts;
+  opts.sample_repair = false;
+  opts.fast.epsilon = 0.05;
+  const auto report = core::RepairTable(table, ci, opts).value();
+  EXPECT_LT(report.final_cmi, report.initial_cmi);
+}
+
+}  // namespace
+}  // namespace otclean

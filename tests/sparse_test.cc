@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ci_constraint.h"
+#include "core/fast_otclean.h"
+#include "datagen/synthetic.h"
+#include "linalg/sparse_matrix.h"
+#include "ot/cost.h"
+#include "ot/sinkhorn.h"
+
+namespace otclean {
+namespace {
+
+using linalg::Matrix;
+using linalg::SparseMatrix;
+using linalg::Vector;
+
+Matrix SmallDense() {
+  Matrix m(2, 3, 0.0);
+  m(0, 0) = 1.0;
+  m(0, 2) = 2.0;
+  m(1, 1) = 3.0;
+  return m;
+}
+
+TEST(SparseMatrixTest, FromDenseKeepsNonzeros) {
+  const SparseMatrix s = SparseMatrix::FromDense(SmallDense());
+  EXPECT_EQ(s.nnz(), 3u);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.cols(), 3u);
+  EXPECT_TRUE(s.ToDense().ApproxEquals(SmallDense(), 0.0));
+}
+
+TEST(SparseMatrixTest, ThresholdDropsSmallEntries) {
+  const SparseMatrix s = SparseMatrix::FromDense(SmallDense(), 1.5);
+  EXPECT_EQ(s.nnz(), 2u);  // entries 2.0 and 3.0 survive
+}
+
+TEST(SparseMatrixTest, MatVecAgreesWithDense) {
+  const Matrix d = SmallDense();
+  const SparseMatrix s = SparseMatrix::FromDense(d);
+  const Vector x(std::vector<double>{1.0, -2.0, 3.0});
+  EXPECT_TRUE(s.MatVec(x).ApproxEquals(d.MatVec(x), 1e-12));
+  const Vector y(std::vector<double>{2.0, -1.0});
+  EXPECT_TRUE(s.TransposeMatVec(y).ApproxEquals(d.TransposeMatVec(y), 1e-12));
+}
+
+TEST(SparseMatrixTest, RowColSumsAgree) {
+  const Matrix d = SmallDense();
+  const SparseMatrix s = SparseMatrix::FromDense(d);
+  EXPECT_TRUE(s.RowSums().ApproxEquals(d.RowSums(), 1e-12));
+  EXPECT_TRUE(s.ColSums().ApproxEquals(d.ColSums(), 1e-12));
+}
+
+TEST(SparseMatrixTest, ScaleRowsColsAgrees) {
+  const Matrix d = SmallDense();
+  const SparseMatrix s = SparseMatrix::FromDense(d);
+  const Vector u(std::vector<double>{2.0, 3.0});
+  const Vector v(std::vector<double>{1.0, 4.0, 0.5});
+  EXPECT_TRUE(
+      s.ScaleRowsCols(u, v).ToDense().ApproxEquals(d.ScaleRowsCols(u, v),
+                                                   1e-12));
+}
+
+TEST(SparseMatrixTest, GibbsKernelMatchesDenseAboveCutoff) {
+  Matrix cost(2, 2);
+  cost(0, 1) = 1.0;
+  cost(1, 0) = 10.0;
+  const double eps = 0.5;
+  const SparseMatrix k = SparseMatrix::GibbsKernel(cost, eps, 1e-6);
+  // exp(-10/0.5) = e^-20 ~ 2e-9 < cutoff -> dropped.
+  EXPECT_EQ(k.nnz(), 3u);
+  EXPECT_NEAR(k.ToDense()(0, 1), std::exp(-2.0), 1e-12);
+}
+
+TEST(SparseMatrixTest, FrobeniusDotDense) {
+  const Matrix d = SmallDense();
+  const SparseMatrix s = SparseMatrix::FromDense(d);
+  EXPECT_NEAR(s.FrobeniusDotDense(d), 1.0 + 4.0 + 9.0, 1e-12);
+}
+
+TEST(SparseMatrixTest, MemoryScalesWithNnz) {
+  const SparseMatrix dense_ish =
+      SparseMatrix::FromDense(Matrix(50, 50, 1.0));
+  const SparseMatrix sparse_ish = SparseMatrix::FromDense(Matrix(50, 50, 0.0));
+  EXPECT_GT(dense_ish.MemoryBytes(), 10 * sparse_ish.MemoryBytes());
+}
+
+// ------------------------------------------------------- Sparse Sinkhorn --
+
+TEST(SparseSinkhornTest, NoTruncationMatchesDense) {
+  Matrix cost(2, 2);
+  cost(0, 1) = 1.0;
+  cost(1, 0) = 1.0;
+  const Vector p(std::vector<double>{0.7, 0.3});
+  const Vector q(std::vector<double>{0.4, 0.6});
+  ot::SinkhornOptions opts;
+  opts.epsilon = 0.05;
+  const auto dense = ot::RunSinkhorn(cost, p, q, opts).value();
+  const auto sparse = ot::RunSinkhornSparse(cost, p, q, opts, 0.0).value();
+  EXPECT_TRUE(sparse.plan.ToDense().ApproxEquals(dense.plan, 1e-9));
+  EXPECT_NEAR(sparse.transport_cost, dense.transport_cost, 1e-9);
+}
+
+TEST(SparseSinkhornTest, TruncationShrinksKernel) {
+  Rng rng(1);
+  Matrix cost(10, 10);
+  for (double& v : cost.data()) v = rng.NextDouble() * 4.0;
+  Vector p(10), q(10);
+  for (size_t i = 0; i < 10; ++i) {
+    p[i] = 0.1 + rng.NextDouble();
+    q[i] = 0.1 + rng.NextDouble();
+  }
+  p.Normalize();
+  q.Normalize();
+  ot::SinkhornOptions opts;
+  opts.epsilon = 0.2;
+  const auto full = ot::RunSinkhornSparse(cost, p, q, opts, 0.0).value();
+  const auto cut = ot::RunSinkhornSparse(cost, p, q, opts, 1e-4).value();
+  EXPECT_LT(cut.plan.nnz(), full.plan.nnz());
+  // The truncated plan still transports nearly all mass at similar cost.
+  EXPECT_GT(cut.plan.ToDense().Sum(), 0.98);
+  EXPECT_NEAR(cut.transport_cost, full.transport_cost, 0.05);
+}
+
+TEST(SparseSinkhornTest, RejectsBadInput) {
+  Matrix cost(2, 2, 0.0);
+  Vector p(std::vector<double>{0.5, 0.5});
+  ot::SinkhornOptions opts;
+  EXPECT_FALSE(
+      ot::RunSinkhornSparse(cost, p, Vector(3), opts, 0.0).ok());
+  EXPECT_FALSE(ot::RunSinkhornSparse(cost, p, p, opts, -1.0).ok());
+}
+
+// ---------------------------------------------- Sparse FastOTClean path ---
+
+TEST(SparseFastOtCleanTest, TruncatedKernelStillRepairs) {
+  datagen::ScalingDatasetOptions gen;
+  gen.num_rows = 1200;
+  gen.num_z_attrs = 1;
+  gen.z_card = 3;
+  gen.violation = 0.6;
+  gen.seed = 11;
+  const auto table = datagen::MakeScalingDataset(gen).value();
+  const core::CiConstraint ci({"x"}, {"y"}, {"z0"});
+  const auto u_cols = ci.ResolveColumns(table.schema()).value();
+  const auto p = table.Empirical(u_cols);
+  const auto spec = ci.SpecInProjectedDomain();
+  ot::EuclideanCost cost(u_cols.size());
+
+  core::FastOtCleanOptions dense_opts;
+  dense_opts.epsilon = 0.1;
+  dense_opts.max_outer_iterations = 80;
+  core::FastOtCleanOptions sparse_opts = dense_opts;
+  sparse_opts.kernel_truncation = 1e-8;
+
+  Rng r1(12), r2(12);
+  const auto dense = core::FastOtClean(p, spec, cost, dense_opts, r1).value();
+  const auto sparse =
+      core::FastOtClean(p, spec, cost, sparse_opts, r2).value();
+  EXPECT_LT(sparse.target_cmi, 1e-6);
+  EXPECT_LT(sparse.kernel_nnz, dense.kernel_nnz);
+  EXPECT_NEAR(sparse.transport_cost, dense.transport_cost, 0.05);
+}
+
+}  // namespace
+}  // namespace otclean
