@@ -2,12 +2,59 @@
 
 #include <cassert>
 #include <cmath>
+#include <optional>
 
+#include "linalg/transport_kernel.h"
 #include "nmf/kl_nmf.h"
 
 namespace otclean::core {
 
 namespace {
+
+/// Holds whichever kernel storage the truncation option selects, built
+/// ONCE per repair — cost and ε are invariant across the outer loop, so
+/// each outer step only reruns the (warm-started) scaling loop.
+struct OuterLoopKernel {
+  std::optional<linalg::DenseTransportKernel> dense;
+  std::optional<linalg::SparseTransportKernel> sparse;
+
+  OuterLoopKernel(const linalg::Matrix& cost_matrix,
+                  const FastOtCleanOptions& options) {
+    if (options.kernel_truncation > 0.0) {
+      sparse.emplace(linalg::SparseTransportKernel::FromCost(
+          cost_matrix, options.epsilon, options.kernel_truncation,
+          options.num_threads));
+    } else {
+      dense.emplace(linalg::DenseTransportKernel::FromCost(
+          cost_matrix, options.epsilon, options.num_threads));
+    }
+  }
+
+  const linalg::TransportKernel& get() const {
+    return sparse ? static_cast<const linalg::TransportKernel&>(*sparse)
+                  : *dense;
+  }
+
+  /// Materializes the final plan from the converged scaling vectors and
+  /// stores ⟨C, π⟩ in `transport_cost`. The sparse path stays CSR until
+  /// the TransportPlan constructor densifies.
+  ot::TransportPlan MaterializePlan(const prob::Domain& dom,
+                                    const std::vector<size_t>& row_cells,
+                                    const std::vector<size_t>& col_cells,
+                                    const linalg::Matrix& cost_matrix,
+                                    const linalg::Vector& u,
+                                    const linalg::Vector& v,
+                                    double& transport_cost) const {
+    if (sparse) {
+      const linalg::SparseMatrix plan = sparse->ScaleToPlanSparse(u, v);
+      transport_cost = plan.FrobeniusDotDense(cost_matrix);
+      return ot::TransportPlan(dom, row_cells, col_cells, plan);
+    }
+    linalg::Matrix plan = dense->ScaleToPlan(u, v);
+    transport_cost = cost_matrix.FrobeniusDot(plan);
+    return ot::TransportPlan(dom, row_cells, col_cells, std::move(plan));
+  }
+};
 
 /// Expands a marginal over `cells` into a dense distribution over `dom`.
 prob::JointDistribution ExpandToDomain(const prob::Domain& dom,
@@ -101,6 +148,13 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
   if (options.ci_strength < 0.0 || options.ci_strength > 1.0) {
     return Status::InvalidArgument("FastOtClean: ci_strength must be in [0,1]");
   }
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("FastOtClean: epsilon must be positive");
+  }
+  if (options.max_outer_iterations == 0) {
+    return Status::InvalidArgument(
+        "FastOtClean: max_outer_iterations must be > 0");
+  }
 
   // Active-domain restriction (Section 5, default optimization 1).
   std::vector<size_t> row_cells;
@@ -140,10 +194,14 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
   sink.relaxed = true;
   sink.max_iterations = options.max_sinkhorn_iterations;
   sink.tolerance = options.sinkhorn_tolerance;
+  sink.num_threads = options.num_threads;
+
+  const OuterLoopKernel kernel_storage(cost_matrix, options);
+  const linalg::TransportKernel& kernel = kernel_storage.get();
 
   FastOtCleanResult result;
-  linalg::Vector warm_u, warm_v;
-  linalg::Matrix plan;
+  result.kernel_nnz = kernel.nnz();
+  linalg::Vector warm_u, warm_v, ktu;
 
   for (size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
     // --- Outer step A: transport plan against the current Q (Sinkhorn). ---
@@ -156,17 +214,20 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
         (options.warm_start && warm_v.size() == q_cols.size()) ? &warm_v
                                                                : nullptr;
     OTCLEAN_ASSIGN_OR_RETURN(
-        ot::SinkhornResult sr,
-        ot::RunSinkhorn(cost_matrix, p, q_cols, sink, wu, wv));
-    warm_u = sr.u;
-    warm_v = sr.v;
-    plan = std::move(sr.plan);
+        ot::SinkhornScaling sr,
+        ot::RunSinkhornScaling(kernel, p, q_cols, sink, wu, wv));
+    warm_u = std::move(sr.u);
+    warm_v = std::move(sr.v);
     result.total_sinkhorn_iterations += sr.iterations;
-    result.objective_trace.push_back(sr.transport_cost);
+    result.objective_trace.push_back(
+        kernel.TransportCost(cost_matrix, warm_u, warm_v));
 
     // --- Outer step B: rebuild Q from the plan's target marginal via the
     // per-slice rank-one KL factorization (Algorithm 2 lines 8–13). ---
-    linalg::Vector target_mass = plan.ColSums();
+    // Column marginal of diag(u)·K·diag(v) without materializing the
+    // plan: (Kᵀu) ∘ v.
+    kernel.ApplyTranspose(warm_u, ktu);
+    linalg::Vector target_mass = ktu.CwiseProduct(warm_v);
     const double total = target_mass.Sum();
     if (total <= 0.0) {
       return Status::Internal("FastOtClean: plan lost all mass");
@@ -197,10 +258,11 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
     }
   }
 
-  result.plan = ot::TransportPlan(dom, row_cells, col_cells, plan);
+  result.plan =
+      kernel_storage.MaterializePlan(dom, row_cells, col_cells, cost_matrix,
+                                     warm_u, warm_v, result.transport_cost);
   result.target = q;
   result.target_cmi = prob::ConditionalMutualInformation(q, ci);
-  result.transport_cost = cost_matrix.FrobeniusDot(plan);
   return result;
 }
 
@@ -222,6 +284,14 @@ Result<FastOtCleanResult> FastOtCleanMulti(
   if (options.ci_strength < 0.0 || options.ci_strength > 1.0) {
     return Status::InvalidArgument(
         "FastOtCleanMulti: ci_strength must be in [0,1]");
+  }
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "FastOtCleanMulti: epsilon must be positive");
+  }
+  if (options.max_outer_iterations == 0) {
+    return Status::InvalidArgument(
+        "FastOtCleanMulti: max_outer_iterations must be > 0");
   }
 
   std::vector<size_t> row_cells;
@@ -260,13 +330,14 @@ Result<FastOtCleanResult> FastOtCleanMulti(
   sink.relaxed = true;
   sink.max_iterations = options.max_sinkhorn_iterations;
   sink.tolerance = options.sinkhorn_tolerance;
+  sink.num_threads = options.num_threads;
+
+  const OuterLoopKernel kernel_storage(cost_matrix, options);
+  const linalg::TransportKernel& kernel = kernel_storage.get();
 
   FastOtCleanResult result;
-  linalg::Vector warm_u, warm_v;
-  linalg::Matrix plan;
-  linalg::SparseMatrix sparse_plan;
-  const bool sparse = options.kernel_truncation > 0.0;
-  result.kernel_nnz = cost_matrix.size();
+  result.kernel_nnz = kernel.nnz();
+  linalg::Vector warm_u, warm_v, ktu;
 
   for (size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
     linalg::Vector q_cols(col_cells.size());
@@ -277,30 +348,18 @@ Result<FastOtCleanResult> FastOtCleanMulti(
     const linalg::Vector* wv =
         (options.warm_start && warm_v.size() == q_cols.size()) ? &warm_v
                                                                : nullptr;
-    linalg::Vector target_mass;
-    if (sparse) {
-      OTCLEAN_ASSIGN_OR_RETURN(
-          ot::SparseSinkhornResult sr,
-          ot::RunSinkhornSparse(cost_matrix, p, q_cols, sink,
-                                options.kernel_truncation, wu, wv));
-      warm_u = sr.u;
-      warm_v = sr.v;
-      result.total_sinkhorn_iterations += sr.iterations;
-      result.objective_trace.push_back(sr.transport_cost);
-      result.kernel_nnz = sr.plan.nnz();
-      target_mass = sr.plan.ColSums();
-      sparse_plan = std::move(sr.plan);
-    } else {
-      OTCLEAN_ASSIGN_OR_RETURN(
-          ot::SinkhornResult sr,
-          ot::RunSinkhorn(cost_matrix, p, q_cols, sink, wu, wv));
-      warm_u = sr.u;
-      warm_v = sr.v;
-      plan = std::move(sr.plan);
-      result.total_sinkhorn_iterations += sr.iterations;
-      result.objective_trace.push_back(sr.transport_cost);
-      target_mass = plan.ColSums();
-    }
+    OTCLEAN_ASSIGN_OR_RETURN(
+        ot::SinkhornScaling sr,
+        ot::RunSinkhornScaling(kernel, p, q_cols, sink, wu, wv));
+    warm_u = std::move(sr.u);
+    warm_v = std::move(sr.v);
+    result.total_sinkhorn_iterations += sr.iterations;
+    result.objective_trace.push_back(
+        kernel.TransportCost(cost_matrix, warm_u, warm_v));
+
+    // Column marginal of diag(u)·K·diag(v): (Kᵀu) ∘ v.
+    kernel.ApplyTranspose(warm_u, ktu);
+    linalg::Vector target_mass = ktu.CwiseProduct(warm_v);
 
     const double total = target_mass.Sum();
     if (total <= 0.0) {
@@ -327,13 +386,11 @@ Result<FastOtCleanResult> FastOtCleanMulti(
     }
   }
 
-  // The sparse path keeps the plan in CSR form during the iterations and
-  // densifies once at the end (TransportPlan interoperability).
-  if (sparse) plan = sparse_plan.ToDense();
-  result.plan = ot::TransportPlan(dom, row_cells, col_cells, plan);
+  result.plan =
+      kernel_storage.MaterializePlan(dom, row_cells, col_cells, cost_matrix,
+                                     warm_u, warm_v, result.transport_cost);
   result.target = q;
   result.target_cmi = prob::MaxCmi(q, cis);
-  result.transport_cost = cost_matrix.FrobeniusDot(plan);
   return result;
 }
 

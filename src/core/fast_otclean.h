@@ -52,6 +52,10 @@ struct FastOtCleanOptions {
   /// plans where most moves are effectively forbidden; 0 keeps the dense
   /// kernel.
   double kernel_truncation = 0.0;
+  /// Worker threads for the inner Sinkhorn kernels (row-blocked). 0 =
+  /// hardware concurrency, 1 = serial; results are identical across thread
+  /// counts.
+  size_t num_threads = 0;
 };
 
 /// Outcome of a FastOTClean run.

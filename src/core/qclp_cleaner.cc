@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "linalg/parallel_for.h"
 #include "lp/simplex.h"
 
 namespace otclean::core {
@@ -123,28 +124,43 @@ Result<QclpResult> QclpClean(const prob::JointDistribution& p_data,
       }
       lp.b[i] = p[i];
     }
-    for (size_t j = 0; j < n; ++j) {
-      const size_t row = m + j;
-      const double factor =
-          pin_y ? (qz[proj.z[j]] > 0.0
-                       ? qyz[proj.y[j] * proj.dz + proj.z[j]] / qz[proj.z[j]]
-                       : 0.0)
-                : (qz[proj.z[j]] > 0.0
-                       ? qxz[proj.x[j] * proj.dz + proj.z[j]] / qz[proj.z[j]]
-                       : 0.0);
-      for (size_t i = 0; i < m; ++i) {
-        // + Q̃(x,y,z) term.
-        lp.a(row, i * n + j) += 1.0;
-        // − factor · Σ over cells sharing the pinned slice.
-        for (size_t j2 = 0; j2 < n; ++j2) {
-          const bool same_slice =
-              pin_y ? (proj.x[j2] == proj.x[j] && proj.z[j2] == proj.z[j])
-                    : (proj.y[j2] == proj.y[j] && proj.z[j2] == proj.z[j]);
-          if (same_slice) lp.a(row, i * n + j2) -= factor;
-        }
-      }
-      lp.b[row] = 0.0;
-    }
+    // Each j writes only tableau row m+j, so the O(m·n²) assembly
+    // parallelizes over disjoint rows.
+    const size_t threads = linalg::ResolveThreadCount(options.num_threads);
+    linalg::ParallelFor(
+        n, threads,
+        [&](size_t j_begin, size_t j_end) {
+          for (size_t j = j_begin; j < j_end; ++j) {
+            const size_t row = m + j;
+            const double factor =
+                pin_y
+                    ? (qz[proj.z[j]] > 0.0
+                           ? qyz[proj.y[j] * proj.dz + proj.z[j]] /
+                                 qz[proj.z[j]]
+                           : 0.0)
+                    : (qz[proj.z[j]] > 0.0
+                           ? qxz[proj.x[j] * proj.dz + proj.z[j]] /
+                                 qz[proj.z[j]]
+                           : 0.0);
+            for (size_t i = 0; i < m; ++i) {
+              // + Q̃(x,y,z) term.
+              lp.a(row, i * n + j) += 1.0;
+              // − factor · Σ over cells sharing the pinned slice.
+              for (size_t j2 = 0; j2 < n; ++j2) {
+                const bool same_slice =
+                    pin_y ? (proj.x[j2] == proj.x[j] &&
+                             proj.z[j2] == proj.z[j])
+                          : (proj.y[j2] == proj.y[j] &&
+                             proj.z[j2] == proj.z[j]);
+                if (same_slice) lp.a(row, i * n + j2) -= factor;
+              }
+            }
+            lp.b[row] = 0.0;
+          }
+        },
+        // Each j costs O(m·n) scalar ops, so derive the grain from that —
+        // small domains stay inline, large ones get full parallelism.
+        linalg::GrainForWork(m * n));
 
     lp::SimplexOptions lp_opts;
     lp_opts.max_iterations = options.lp_max_iterations;

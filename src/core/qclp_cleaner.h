@@ -20,6 +20,11 @@ struct QclpOptions {
   size_t lp_max_iterations = 200000;
   /// Restrict plan columns to the active domain (rows always are).
   bool restrict_columns_to_active = false;
+  /// Worker threads for assembling the linearized-constraint rows (the
+  /// O(m·n²) part of each outer step). 0 = hardware concurrency,
+  /// 1 = serial; each constraint row is built by exactly one worker, so
+  /// results are identical across thread counts.
+  size_t num_threads = 0;
 };
 
 struct QclpResult {

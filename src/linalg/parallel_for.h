@@ -1,0 +1,95 @@
+#ifndef OTCLEAN_LINALG_PARALLEL_FOR_H_
+#define OTCLEAN_LINALG_PARALLEL_FOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace otclean::linalg {
+
+/// Resolves a requested thread count: 0 means "use hardware concurrency"
+/// (never less than 1).
+inline size_t ResolveThreadCount(size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+/// Minimum per-thread work (loop indices) below which spawning threads
+/// costs more than it saves; ranges smaller than this run inline.
+inline constexpr size_t kMinParallelGrain = 256;
+
+/// Minimum scalar operations per worker before threading pays for the
+/// spawn/join. Callers whose loop indices carry non-unit work (e.g. one
+/// matrix row of n multiplies) should derive their grain from this.
+inline constexpr size_t kMinParallelWork = 2048;
+
+/// Index grain for a loop whose every index costs ~`work_per_index` scalar
+/// ops: enough indices per worker to clear kMinParallelWork.
+inline size_t GrainForWork(size_t work_per_index) {
+  if (work_per_index == 0) work_per_index = 1;
+  const size_t grain = kMinParallelWork / work_per_index;
+  return grain == 0 ? 1 : grain;
+}
+
+/// Runs `fn(begin, end)` over contiguous chunks of [0, n), one chunk per
+/// worker. `threads` must already be resolved (>= 1); it is capped so no
+/// worker gets less than `grain` indices. Chunks are disjoint, so any op
+/// writing only to its own index range is deterministic regardless of the
+/// thread count.
+template <typename Fn>
+void ParallelFor(size_t n, size_t threads, Fn&& fn,
+                 size_t grain = kMinParallelGrain) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  threads = std::min(threads, std::max<size_t>(1, n / grain));
+  if (threads <= 1) {
+    fn(size_t{0}, n);
+    return;
+  }
+  const size_t chunk = (n + threads - 1) / threads;
+  std::vector<std::thread> workers;
+  workers.reserve(threads - 1);
+  for (size_t t = 1; t < threads; ++t) {
+    const size_t begin = t * chunk;
+    if (begin >= n) break;
+    const size_t end = std::min(n, begin + chunk);
+    workers.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  fn(size_t{0}, std::min(n, chunk));
+  for (std::thread& w : workers) w.join();
+}
+
+/// Rows per reduction block. Fixed independently of the thread count so
+/// that blocked reductions add the same partial sums in the same order no
+/// matter how many threads run — threads=1 and threads=N are bit-identical.
+inline constexpr size_t kReduceBlockRows = 256;
+
+/// Sums `block_fn(begin, end)` over fixed-size blocks of [0, n). The block
+/// decomposition and the final (serial, block-ordered) accumulation do not
+/// depend on `threads`, so the result is bit-compatible across thread
+/// counts.
+template <typename BlockFn>
+double BlockedReduce(size_t n, size_t threads, BlockFn&& block_fn) {
+  if (n == 0) return 0.0;
+  const size_t num_blocks = (n + kReduceBlockRows - 1) / kReduceBlockRows;
+  std::vector<double> partials(num_blocks, 0.0);
+  ParallelFor(
+      num_blocks, threads,
+      [&](size_t b_begin, size_t b_end) {
+        for (size_t b = b_begin; b < b_end; ++b) {
+          const size_t begin = b * kReduceBlockRows;
+          const size_t end = std::min(n, begin + kReduceBlockRows);
+          partials[b] = block_fn(begin, end);
+        }
+      },
+      /*grain=*/1);
+  double total = 0.0;
+  for (double p : partials) total += p;
+  return total;
+}
+
+}  // namespace otclean::linalg
+
+#endif  // OTCLEAN_LINALG_PARALLEL_FOR_H_

@@ -1,0 +1,254 @@
+#include "linalg/transport_kernel.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "linalg/parallel_for.h"
+
+namespace otclean::linalg {
+
+// ----------------------------------------------------------------- Dense --
+
+DenseTransportKernel::DenseTransportKernel(Matrix kernel, size_t num_threads)
+    : kernel_(std::move(kernel)), threads_(ResolveThreadCount(num_threads)) {}
+
+DenseTransportKernel DenseTransportKernel::FromCost(const Matrix& cost,
+                                                    double epsilon,
+                                                    size_t num_threads) {
+  assert(epsilon > 0.0);
+  return DenseTransportKernel(cost.GibbsKernel(epsilon), num_threads);
+}
+
+void DenseTransportKernel::Apply(const Vector& v, Vector& y) const {
+  const size_t m = kernel_.rows();
+  const size_t n = kernel_.cols();
+  assert(v.size() == n);
+  if (y.size() != m) y = Vector(m);
+  const double* data = kernel_.data().data();
+  ParallelFor(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+          const double* row = data + r * n;
+          double s = 0.0;
+          for (size_t c = 0; c < n; ++c) s += row[c] * v[c];
+          y[r] = s;
+        }
+      },
+      GrainForWork(n));
+}
+
+void DenseTransportKernel::ApplyTranspose(const Vector& u, Vector& y) const {
+  const size_t m = kernel_.rows();
+  const size_t n = kernel_.cols();
+  assert(u.size() == m);
+  if (y.size() != n) y = Vector(n);
+  const double* data = kernel_.data().data();
+  // Column-blocked: each worker owns output range [c0, c1) and streams the
+  // rows in order, so every y[c] accumulates over ascending i for any
+  // thread count.
+  ParallelFor(
+      n, threads_,
+      [&](size_t c0, size_t c1) {
+        for (size_t c = c0; c < c1; ++c) y[c] = 0.0;
+        for (size_t r = 0; r < m; ++r) {
+          const double ur = u[r];
+          if (ur == 0.0) continue;
+          const double* row = data + r * n;
+          for (size_t c = c0; c < c1; ++c) y[c] += row[c] * ur;
+        }
+      },
+      GrainForWork(m));
+}
+
+Matrix DenseTransportKernel::ScaleToPlan(const Vector& u,
+                                         const Vector& v) const {
+  const size_t m = kernel_.rows();
+  const size_t n = kernel_.cols();
+  assert(u.size() == m && v.size() == n);
+  Matrix plan(m, n);
+  const double* data = kernel_.data().data();
+  double* out = plan.data().data();
+  ParallelFor(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+          const double ur = u[r];
+          const double* row = data + r * n;
+          double* orow = out + r * n;
+          for (size_t c = 0; c < n; ++c) orow[c] = ur * row[c] * v[c];
+        }
+      },
+      GrainForWork(n));
+  return plan;
+}
+
+double DenseTransportKernel::TransportCost(const Matrix& cost, const Vector& u,
+                                           const Vector& v) const {
+  const size_t m = kernel_.rows();
+  const size_t n = kernel_.cols();
+  assert(cost.rows() == m && cost.cols() == n);
+  assert(u.size() == m && v.size() == n);
+  const double* kdata = kernel_.data().data();
+  const double* cdata = cost.data().data();
+  return BlockedReduce(m, threads_, [&](size_t r0, size_t r1) {
+    double s = 0.0;
+    for (size_t r = r0; r < r1; ++r) {
+      const double ur = u[r];
+      if (ur == 0.0) continue;
+      const double* krow = kdata + r * n;
+      const double* crow = cdata + r * n;
+      for (size_t c = 0; c < n; ++c) s += crow[c] * ur * krow[c] * v[c];
+    }
+    return s;
+  });
+}
+
+// ---------------------------------------------------------------- Sparse --
+
+SparseTransportKernel::SparseTransportKernel(SparseMatrix kernel,
+                                             size_t num_threads)
+    : kernel_(std::move(kernel)), threads_(ResolveThreadCount(num_threads)) {
+  BuildTranspose();
+}
+
+SparseTransportKernel SparseTransportKernel::FromCost(const Matrix& cost,
+                                                      double epsilon,
+                                                      double cutoff,
+                                                      size_t num_threads) {
+  assert(epsilon > 0.0);
+  return SparseTransportKernel(SparseMatrix::GibbsKernel(cost, epsilon, cutoff),
+                               num_threads);
+}
+
+void SparseTransportKernel::BuildTranspose() {
+  const size_t n = kernel_.cols();
+  const auto& row_ptr = kernel_.row_ptr();
+  const auto& col_index = kernel_.col_index();
+  const auto& values = kernel_.values();
+  col_ptr_.assign(n + 1, 0);
+  for (size_t c : col_index) ++col_ptr_[c + 1];
+  for (size_t c = 0; c < n; ++c) col_ptr_[c + 1] += col_ptr_[c];
+  row_index_.resize(values.size());
+  csc_values_.resize(values.size());
+  std::vector<size_t> fill(col_ptr_.begin(), col_ptr_.end() - 1);
+  // Row-order scan keeps each column's entries sorted by ascending row.
+  for (size_t r = 0; r < kernel_.rows(); ++r) {
+    for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const size_t dst = fill[col_index[k]]++;
+      row_index_[dst] = r;
+      csc_values_[dst] = values[k];
+    }
+  }
+}
+
+void SparseTransportKernel::Apply(const Vector& v, Vector& y) const {
+  const size_t m = kernel_.rows();
+  assert(v.size() == kernel_.cols());
+  if (y.size() != m) y = Vector(m);
+  const auto& row_ptr = kernel_.row_ptr();
+  const auto& col_index = kernel_.col_index();
+  const auto& values = kernel_.values();
+  ParallelFor(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+          double s = 0.0;
+          for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+            s += values[k] * v[col_index[k]];
+          }
+          y[r] = s;
+        }
+      },
+      GrainForWork(kernel_.nnz() / (m == 0 ? 1 : m)));
+}
+
+void SparseTransportKernel::ApplyTranspose(const Vector& u, Vector& y) const {
+  const size_t n = kernel_.cols();
+  assert(u.size() == kernel_.rows());
+  if (y.size() != n) y = Vector(n);
+  // Gather over the CSC mirror: each output y[c] is owned by one worker and
+  // sums its column's entries in ascending-row order.
+  ParallelFor(
+      n, threads_,
+      [&](size_t c0, size_t c1) {
+        for (size_t c = c0; c < c1; ++c) {
+          double s = 0.0;
+          for (size_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
+            s += csc_values_[k] * u[row_index_[k]];
+          }
+          y[c] = s;
+        }
+      },
+      GrainForWork(kernel_.nnz() / (n == 0 ? 1 : n)));
+}
+
+Matrix SparseTransportKernel::ScaleToPlan(const Vector& u,
+                                          const Vector& v) const {
+  const size_t m = kernel_.rows();
+  const size_t n = kernel_.cols();
+  assert(u.size() == m && v.size() == n);
+  Matrix plan(m, n, 0.0);
+  const auto& row_ptr = kernel_.row_ptr();
+  const auto& col_index = kernel_.col_index();
+  const auto& values = kernel_.values();
+  ParallelFor(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+          const double ur = u[r];
+          for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+            plan(r, col_index[k]) = ur * values[k] * v[col_index[k]];
+          }
+        }
+      },
+      GrainForWork(kernel_.nnz() / (m == 0 ? 1 : m)));
+  return plan;
+}
+
+SparseMatrix SparseTransportKernel::ScaleToPlanSparse(const Vector& u,
+                                                      const Vector& v) const {
+  assert(u.size() == kernel_.rows() && v.size() == kernel_.cols());
+  SparseMatrix plan = kernel_;
+  const auto& row_ptr = kernel_.row_ptr();
+  const auto& col_index = kernel_.col_index();
+  const auto& values = kernel_.values();
+  auto& out = plan.values();
+  const size_t m = kernel_.rows();
+  ParallelFor(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+          const double ur = u[r];
+          for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+            out[k] = ur * values[k] * v[col_index[k]];
+          }
+        }
+      },
+      GrainForWork(kernel_.nnz() / (m == 0 ? 1 : m)));
+  return plan;
+}
+
+double SparseTransportKernel::TransportCost(const Matrix& cost, const Vector& u,
+                                            const Vector& v) const {
+  const size_t m = kernel_.rows();
+  assert(cost.rows() == m && cost.cols() == kernel_.cols());
+  assert(u.size() == m && v.size() == kernel_.cols());
+  const auto& row_ptr = kernel_.row_ptr();
+  const auto& col_index = kernel_.col_index();
+  const auto& values = kernel_.values();
+  return BlockedReduce(m, threads_, [&](size_t r0, size_t r1) {
+    double s = 0.0;
+    for (size_t r = r0; r < r1; ++r) {
+      const double ur = u[r];
+      if (ur == 0.0) continue;
+      for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        const size_t c = col_index[k];
+        s += cost(r, c) * ur * values[k] * v[c];
+      }
+    }
+    return s;
+  });
+}
+
+}  // namespace otclean::linalg

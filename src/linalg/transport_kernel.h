@@ -1,0 +1,122 @@
+#ifndef OTCLEAN_LINALG_TRANSPORT_KERNEL_H_
+#define OTCLEAN_LINALG_TRANSPORT_KERNEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/sparse_matrix.h"
+#include "linalg/vector.h"
+
+namespace otclean::linalg {
+
+/// Storage-agnostic view of a Gibbs kernel K = e^{−C/ε}, exposing exactly
+/// the four primitives the Sinkhorn scaling loop needs. The solver engine
+/// in ot/sinkhorn.cc is written once against this interface; dense and
+/// CSR-sparse (truncated-kernel) storage plug in underneath, so every
+/// future kernel optimization (truncation, blocking, SIMD) is a
+/// single-implementation change.
+///
+/// All primitives are multi-threaded over row (or column) blocks.
+/// `num_threads` is fixed at construction: 0 = hardware concurrency,
+/// 1 = serial. Results are bit-compatible across thread counts — outputs
+/// are either written to disjoint index ranges or reduced over fixed-size
+/// blocks whose partial sums are combined in block order (see
+/// parallel_for.h).
+class TransportKernel {
+ public:
+  virtual ~TransportKernel() = default;
+
+  virtual size_t rows() const = 0;
+  virtual size_t cols() const = 0;
+  /// Structural nonzeros of the kernel (rows·cols for dense storage).
+  virtual size_t nnz() const = 0;
+  /// Resolved worker count used by the primitives (>= 1).
+  virtual size_t num_threads() const = 0;
+
+  /// y = K·v (the Sinkhorn row update's denominator). Resizes y.
+  virtual void Apply(const Vector& v, Vector& y) const = 0;
+  /// y = Kᵀ·u (the column update's denominator). Resizes y.
+  virtual void ApplyTranspose(const Vector& u, Vector& y) const = 0;
+  /// The scaled plan π = diag(u)·K·diag(v), materialized densely.
+  virtual Matrix ScaleToPlan(const Vector& u, const Vector& v) const = 0;
+  /// ⟨C, π⟩ = Σ_{(i,j) in support} C_ij·u_i·K_ij·v_j over the kernel's
+  /// support, without materializing π.
+  virtual double TransportCost(const Matrix& cost, const Vector& u,
+                               const Vector& v) const = 0;
+};
+
+/// Dense row-major kernel storage.
+class DenseTransportKernel final : public TransportKernel {
+ public:
+  /// Wraps an already-built kernel matrix (e.g. cost.GibbsKernel(eps)).
+  explicit DenseTransportKernel(Matrix kernel, size_t num_threads = 0);
+
+  /// Builds K = e^{−C/ε} from a cost matrix.
+  static DenseTransportKernel FromCost(const Matrix& cost, double epsilon,
+                                       size_t num_threads = 0);
+
+  size_t rows() const override { return kernel_.rows(); }
+  size_t cols() const override { return kernel_.cols(); }
+  size_t nnz() const override { return kernel_.size(); }
+  size_t num_threads() const override { return threads_; }
+
+  void Apply(const Vector& v, Vector& y) const override;
+  void ApplyTranspose(const Vector& u, Vector& y) const override;
+  Matrix ScaleToPlan(const Vector& u, const Vector& v) const override;
+  double TransportCost(const Matrix& cost, const Vector& u,
+                       const Vector& v) const override;
+
+  const Matrix& kernel() const { return kernel_; }
+
+ private:
+  Matrix kernel_;
+  size_t threads_;
+};
+
+/// CSR-sparse kernel storage for truncated Gibbs kernels (Section 6.5).
+/// Construction also builds the transposed (CSC) index so that
+/// ApplyTranspose is a gather over disjoint outputs — deterministic under
+/// any thread count — instead of a racy scatter.
+class SparseTransportKernel final : public TransportKernel {
+ public:
+  explicit SparseTransportKernel(SparseMatrix kernel, size_t num_threads = 0);
+
+  /// Builds the truncated kernel: entries of e^{−C/ε} below `cutoff` are
+  /// dropped. Cutoff 0 keeps every entry and matches the dense kernel
+  /// exactly.
+  static SparseTransportKernel FromCost(const Matrix& cost, double epsilon,
+                                        double cutoff, size_t num_threads = 0);
+
+  size_t rows() const override { return kernel_.rows(); }
+  size_t cols() const override { return kernel_.cols(); }
+  size_t nnz() const override { return kernel_.nnz(); }
+  size_t num_threads() const override { return threads_; }
+
+  void Apply(const Vector& v, Vector& y) const override;
+  void ApplyTranspose(const Vector& u, Vector& y) const override;
+  Matrix ScaleToPlan(const Vector& u, const Vector& v) const override;
+  double TransportCost(const Matrix& cost, const Vector& u,
+                       const Vector& v) const override;
+
+  /// The scaled plan in CSR form, inheriting the kernel's sparsity pattern.
+  SparseMatrix ScaleToPlanSparse(const Vector& u, const Vector& v) const;
+
+  const SparseMatrix& kernel() const { return kernel_; }
+
+ private:
+  void BuildTranspose();
+
+  SparseMatrix kernel_;
+  size_t threads_;
+  // CSC mirror: column j's entries live at [col_ptr_[j], col_ptr_[j+1]),
+  // sorted by row — so each transpose output accumulates in ascending-row
+  // order regardless of threading.
+  std::vector<size_t> col_ptr_;
+  std::vector<size_t> row_index_;
+  std::vector<double> csc_values_;
+};
+
+}  // namespace otclean::linalg
+
+#endif  // OTCLEAN_LINALG_TRANSPORT_KERNEL_H_

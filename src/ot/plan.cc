@@ -20,6 +20,13 @@ TransportPlan::TransportPlan(prob::Domain domain,
   }
 }
 
+TransportPlan::TransportPlan(prob::Domain domain,
+                             std::vector<size_t> row_cells,
+                             std::vector<size_t> col_cells,
+                             const linalg::SparseMatrix& plan)
+    : TransportPlan(std::move(domain), std::move(row_cells),
+                    std::move(col_cells), plan.ToDense()) {}
+
 linalg::Vector TransportPlan::ConditionalRow(size_t row) const {
   assert(row < plan_.rows());
   linalg::Vector cond = plan_.Row(row);

@@ -7,6 +7,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "linalg/matrix.h"
+#include "linalg/sparse_matrix.h"
 #include "prob/domain.h"
 
 namespace otclean::ot {
@@ -22,6 +23,10 @@ class TransportPlan {
   TransportPlan() = default;
   TransportPlan(prob::Domain domain, std::vector<size_t> row_cells,
                 std::vector<size_t> col_cells, linalg::Matrix plan);
+  /// From a CSR plan (the unified solver's sparse path); densified
+  /// internally.
+  TransportPlan(prob::Domain domain, std::vector<size_t> row_cells,
+                std::vector<size_t> col_cells, const linalg::SparseMatrix& plan);
 
   const prob::Domain& domain() const { return domain_; }
   const linalg::Matrix& matrix() const { return plan_; }

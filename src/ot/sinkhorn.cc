@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
+
+#include "linalg/parallel_for.h"
 
 namespace otclean::ot {
 
@@ -20,10 +23,45 @@ void ClampScaling(linalg::Vector& s) {
   }
 }
 
-/// Log-domain implementation: iterates log-potentials lu, lv with
-/// log(K·v)_i computed by a streaming log-sum-exp over −C_ij/ε + lv_j.
-/// Entries with p_i = 0 (or q_j = 0) keep lu_i = −inf, matching the
-/// linear-domain 0/0 := 0 convention.
+/// Relaxed update exponent λ/(λ+ε) (Frogner et al., Prop 4.2; the paper's
+/// Eq. 5 exponent ρλ/(ρλ+1) with ρ = 1/ε). 1 in classic (hard-marginal)
+/// mode.
+double RelaxedExponent(const SinkhornOptions& options) {
+  return options.relaxed ? options.lambda / (options.lambda + options.epsilon)
+                         : 1.0;
+}
+
+/// THE convergence loop — every solver variant (dense, sparse, relaxed,
+/// log-domain) runs this one loop and differs only in its half-iteration
+/// updates and change metric. `row_update(v, new_u)` writes the next row
+/// potential from the current column potential (including any relaxed
+/// exponent and clamping); `col_update(new_u, new_v)` the converse;
+/// `delta(a, b)` measures the max-change between successive potentials.
+template <typename RowUpdate, typename ColUpdate, typename Delta>
+void RunScalingLoop(linalg::Vector& u, linalg::Vector& v,
+                    const SinkhornOptions& options, size_t& iterations,
+                    bool& converged, RowUpdate&& row_update,
+                    ColUpdate&& col_update, Delta&& delta) {
+  linalg::Vector new_u(u.size()), new_v(v.size());
+  for (size_t it = 0; it < options.max_iterations; ++it) {
+    row_update(v, new_u);
+    col_update(new_u, new_v);
+    const double du = delta(new_u, u);
+    const double dv = delta(new_v, v);
+    std::swap(u, new_u);
+    std::swap(v, new_v);
+    iterations = it + 1;
+    if (du <= options.tolerance && dv <= options.tolerance) {
+      converged = true;
+      return;
+    }
+  }
+}
+
+/// Log-domain variant: iterates log-potentials lu, lv with log(K·v)_i
+/// computed by a streaming log-sum-exp over −C_ij/ε + lv_j. Entries with
+/// p_i = 0 (or q_j = 0) keep lu_i = −inf, matching the linear-domain
+/// 0/0 := 0 convention.
 Result<SinkhornResult> RunSinkhornLogDomain(const linalg::Matrix& cost,
                                             const linalg::Vector& p,
                                             const linalg::Vector& q,
@@ -33,13 +71,12 @@ Result<SinkhornResult> RunSinkhornLogDomain(const linalg::Matrix& cost,
   const size_t m = cost.rows();
   const size_t n = cost.cols();
   const double eps = options.epsilon;
-  const double exponent =
-      options.relaxed ? options.lambda / (options.lambda + eps) : 1.0;
+  const double exponent = RelaxedExponent(options);
+  const size_t threads = linalg::ResolveThreadCount(options.num_threads);
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
   auto safe_log = [](double x) {
-    return x > 0.0 ? std::log(x)
-                   : -std::numeric_limits<double>::infinity();
+    return x > 0.0 ? std::log(x) : -std::numeric_limits<double>::infinity();
   };
   linalg::Vector log_p(m), log_q(n);
   for (size_t i = 0; i < m; ++i) log_p[i] = safe_log(p[i]);
@@ -54,78 +91,79 @@ Result<SinkhornResult> RunSinkhornLogDomain(const linalg::Matrix& cost,
   }
 
   // lse over j of (lv_j − C_ij/ε), per row i (and the transpose for lv).
-  auto lse_rows = [&](const linalg::Vector& lvv, linalg::Vector& out) {
-    for (size_t i = 0; i < m; ++i) {
-      double mx = kNegInf;
-      for (size_t j = 0; j < n; ++j) {
-        const double t = lvv[j] - cost(i, j) / eps;
-        if (t > mx) mx = t;
+  // Each output row/column is owned by one worker — deterministic.
+  linalg::Vector lse(std::max(m, n));
+  auto lse_rows = [&](const linalg::Vector& lvv) {
+    linalg::ParallelFor(m, threads, [&](size_t i0, size_t i1) {
+      for (size_t i = i0; i < i1; ++i) {
+        double mx = kNegInf;
+        for (size_t j = 0; j < n; ++j) {
+          const double t = lvv[j] - cost(i, j) / eps;
+          if (t > mx) mx = t;
+        }
+        if (mx == kNegInf) {
+          lse[i] = kNegInf;
+          continue;
+        }
+        double s = 0.0;
+        for (size_t j = 0; j < n; ++j) {
+          s += std::exp(lvv[j] - cost(i, j) / eps - mx);
+        }
+        lse[i] = mx + std::log(s);
       }
-      if (mx == kNegInf) {
-        out[i] = kNegInf;
-        continue;
-      }
-      double s = 0.0;
-      for (size_t j = 0; j < n; ++j) {
-        s += std::exp(lvv[j] - cost(i, j) / eps - mx);
-      }
-      out[i] = mx + std::log(s);
-    }
+    });
   };
-  auto lse_cols = [&](const linalg::Vector& luu, linalg::Vector& out) {
-    for (size_t j = 0; j < n; ++j) {
-      double mx = kNegInf;
-      for (size_t i = 0; i < m; ++i) {
-        const double t = luu[i] - cost(i, j) / eps;
-        if (t > mx) mx = t;
+  auto lse_cols = [&](const linalg::Vector& luu) {
+    linalg::ParallelFor(n, threads, [&](size_t j0, size_t j1) {
+      for (size_t j = j0; j < j1; ++j) {
+        double mx = kNegInf;
+        for (size_t i = 0; i < m; ++i) {
+          const double t = luu[i] - cost(i, j) / eps;
+          if (t > mx) mx = t;
+        }
+        if (mx == kNegInf) {
+          lse[j] = kNegInf;
+          continue;
+        }
+        double s = 0.0;
+        for (size_t i = 0; i < m; ++i) {
+          s += std::exp(luu[i] - cost(i, j) / eps - mx);
+        }
+        lse[j] = mx + std::log(s);
       }
-      if (mx == kNegInf) {
-        out[j] = kNegInf;
-        continue;
-      }
-      double s = 0.0;
-      for (size_t i = 0; i < m; ++i) {
-        s += std::exp(luu[i] - cost(i, j) / eps - mx);
-      }
-      out[j] = mx + std::log(s);
-    }
+    });
   };
 
   SinkhornResult result;
-  linalg::Vector lkv(m), lktu(n);
-  for (size_t it = 0; it < options.max_iterations; ++it) {
-    lse_rows(lv, lkv);
-    linalg::Vector new_lu(m);
-    for (size_t i = 0; i < m; ++i) {
-      new_lu[i] = (log_p[i] == kNegInf || lkv[i] == kNegInf)
-                      ? kNegInf
-                      : exponent * (log_p[i] - lkv[i]);
-    }
-    lse_cols(new_lu, lktu);
-    linalg::Vector new_lv(n);
-    for (size_t j = 0; j < n; ++j) {
-      new_lv[j] = (log_q[j] == kNegInf || lktu[j] == kNegInf)
-                      ? kNegInf
-                      : exponent * (log_q[j] - lktu[j]);
-    }
-
-    double du = 0.0, dv = 0.0;
-    for (size_t i = 0; i < m; ++i) {
-      const double d = std::fabs(new_lu[i] - lu[i]);
-      if (std::isfinite(d)) du = std::max(du, d);
-    }
-    for (size_t j = 0; j < n; ++j) {
-      const double d = std::fabs(new_lv[j] - lv[j]);
-      if (std::isfinite(d)) dv = std::max(dv, d);
-    }
-    lu = std::move(new_lu);
-    lv = std::move(new_lv);
-    result.iterations = it + 1;
-    if (du <= options.tolerance && dv <= options.tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
+  RunScalingLoop(
+      lu, lv, options, result.iterations, result.converged,
+      /*row_update=*/
+      [&](const linalg::Vector& lvv, linalg::Vector& out) {
+        lse_rows(lvv);
+        for (size_t i = 0; i < m; ++i) {
+          out[i] = (log_p[i] == kNegInf || lse[i] == kNegInf)
+                       ? kNegInf
+                       : exponent * (log_p[i] - lse[i]);
+        }
+      },
+      /*col_update=*/
+      [&](const linalg::Vector& luu, linalg::Vector& out) {
+        lse_cols(luu);
+        for (size_t j = 0; j < n; ++j) {
+          out[j] = (log_q[j] == kNegInf || lse[j] == kNegInf)
+                       ? kNegInf
+                       : exponent * (log_q[j] - lse[j]);
+        }
+      },
+      /*delta=*/
+      [](const linalg::Vector& a, const linalg::Vector& b) {
+        double d = 0.0;
+        for (size_t i = 0; i < a.size(); ++i) {
+          const double di = std::fabs(a[i] - b[i]);
+          if (std::isfinite(di)) d = std::max(d, di);
+        }
+        return d;
+      });
 
   result.plan = linalg::Matrix(m, n, 0.0);
   for (size_t i = 0; i < m; ++i) {
@@ -149,7 +187,72 @@ Result<SinkhornResult> RunSinkhornLogDomain(const linalg::Matrix& cost,
   return result;
 }
 
+Status ValidateInputs(const char* where, const linalg::Matrix& cost,
+                      const linalg::Vector& p, const linalg::Vector& q,
+                      const SinkhornOptions& options) {
+  if (p.size() != cost.rows() || q.size() != cost.cols()) {
+    return Status::InvalidArgument(std::string(where) +
+                                   ": marginal dimension mismatch");
+  }
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument(std::string(where) +
+                                   ": epsilon must be positive");
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+Result<SinkhornScaling> RunSinkhornScaling(
+    const linalg::TransportKernel& kernel, const linalg::Vector& p,
+    const linalg::Vector& q, const SinkhornOptions& options,
+    const linalg::Vector* warm_u, const linalg::Vector* warm_v) {
+  const size_t m = kernel.rows();
+  const size_t n = kernel.cols();
+  if (p.size() != m || q.size() != n) {
+    return Status::InvalidArgument(
+        "RunSinkhornScaling: marginal dimension mismatch");
+  }
+  SinkhornScaling out;
+  out.u = (warm_u != nullptr && warm_u->size() == m) ? *warm_u
+                                                     : linalg::Vector::Ones(m);
+  out.v = (warm_v != nullptr && warm_v->size() == n) ? *warm_v
+                                                     : linalg::Vector::Ones(n);
+
+  const double exponent = RelaxedExponent(options);
+  linalg::Vector kv(m), ktu(n);
+  // Element-wise into the loop's preallocated buffer — the equivalent of
+  // CwiseQuotientSafe (x/0 := 0) + CwisePow (zeros preserved) +
+  // ClampScaling, without per-half-iteration allocations.
+  auto scale = [&](const linalg::Vector& marginal, const linalg::Vector& denom,
+                   linalg::Vector& next) {
+    constexpr double kMax = 1e150;
+    for (size_t i = 0; i < next.size(); ++i) {
+      double s = denom[i] != 0.0 ? marginal[i] / denom[i] : 0.0;
+      if (exponent != 1.0) s = s > 0.0 ? std::pow(s, exponent) : 0.0;
+      if (!std::isfinite(s) || s > kMax) s = kMax;
+      next[i] = s;
+    }
+  };
+
+  RunScalingLoop(
+      out.u, out.v, options, out.iterations, out.converged,
+      /*row_update=*/
+      [&](const linalg::Vector& v, linalg::Vector& next_u) {
+        kernel.Apply(v, kv);
+        scale(p, kv, next_u);
+      },
+      /*col_update=*/
+      [&](const linalg::Vector& u, linalg::Vector& next_v) {
+        kernel.ApplyTranspose(u, ktu);
+        scale(q, ktu, next_v);
+      },
+      /*delta=*/
+      [](const linalg::Vector& a, const linalg::Vector& b) {
+        return (a - b).NormInf();
+      });
+  return out;
+}
 
 Result<SinkhornResult> RunSinkhorn(const linalg::Matrix& cost,
                                    const linalg::Vector& p,
@@ -157,56 +260,26 @@ Result<SinkhornResult> RunSinkhorn(const linalg::Matrix& cost,
                                    const SinkhornOptions& options,
                                    const linalg::Vector* warm_u,
                                    const linalg::Vector* warm_v) {
-  const size_t m = cost.rows();
-  const size_t n = cost.cols();
-  if (p.size() != m || q.size() != n) {
-    return Status::InvalidArgument("RunSinkhorn: marginal dimension mismatch");
-  }
-  if (options.epsilon <= 0.0) {
-    return Status::InvalidArgument("RunSinkhorn: epsilon must be positive");
+  if (Status s = ValidateInputs("RunSinkhorn", cost, p, q, options); !s.ok()) {
+    return s;
   }
   if (options.log_domain) {
     return RunSinkhornLogDomain(cost, p, q, options, warm_u, warm_v);
   }
 
-  const linalg::Matrix kernel = cost.GibbsKernel(options.epsilon);
+  const linalg::DenseTransportKernel kernel = linalg::DenseTransportKernel::FromCost(
+      cost, options.epsilon, options.num_threads);
+  OTCLEAN_ASSIGN_OR_RETURN(
+      SinkhornScaling scaling,
+      RunSinkhornScaling(kernel, p, q, options, warm_u, warm_v));
 
   SinkhornResult result;
-  result.u = (warm_u != nullptr && warm_u->size() == m) ? *warm_u
-                                                        : linalg::Vector::Ones(m);
-  result.v = (warm_v != nullptr && warm_v->size() == n) ? *warm_v
-                                                        : linalg::Vector::Ones(n);
-
-  // Relaxed update exponent λ/(λ+ε) (Frogner et al., Prop 4.2; the paper's
-  // Eq. 5 exponent ρλ/(ρλ+1) with ρ = 1/ε).
-  const double exponent =
-      options.relaxed ? options.lambda / (options.lambda + options.epsilon)
-                      : 1.0;
-
-  for (size_t it = 0; it < options.max_iterations; ++it) {
-    const linalg::Vector kv = kernel.MatVec(result.v);
-    linalg::Vector new_u = p.CwiseQuotientSafe(kv);
-    if (exponent != 1.0) new_u = new_u.CwisePow(exponent);
-    ClampScaling(new_u);
-
-    const linalg::Vector ktu = kernel.TransposeMatVec(new_u);
-    linalg::Vector new_v = q.CwiseQuotientSafe(ktu);
-    if (exponent != 1.0) new_v = new_v.CwisePow(exponent);
-    ClampScaling(new_v);
-
-    const double du = (new_u - result.u).NormInf();
-    const double dv = (new_v - result.v).NormInf();
-    result.u = std::move(new_u);
-    result.v = std::move(new_v);
-    result.iterations = it + 1;
-    if (du <= options.tolerance && dv <= options.tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
-
-  result.plan = kernel.ScaleRowsCols(result.u, result.v);
-  result.transport_cost = cost.FrobeniusDot(result.plan);
+  result.plan = kernel.ScaleToPlan(scaling.u, scaling.v);
+  result.transport_cost = kernel.TransportCost(cost, scaling.u, scaling.v);
+  result.u = std::move(scaling.u);
+  result.v = std::move(scaling.v);
+  result.iterations = scaling.iterations;
+  result.converged = scaling.converged;
   return result;
 }
 
@@ -223,60 +296,30 @@ Result<SparseSinkhornResult> RunSinkhornSparse(
     const linalg::Vector& q, const SinkhornOptions& options,
     double kernel_cutoff, const linalg::Vector* warm_u,
     const linalg::Vector* warm_v) {
-  const size_t m = cost.rows();
-  const size_t n = cost.cols();
-  if (p.size() != m || q.size() != n) {
-    return Status::InvalidArgument(
-        "RunSinkhornSparse: marginal dimension mismatch");
-  }
-  if (options.epsilon <= 0.0) {
-    return Status::InvalidArgument(
-        "RunSinkhornSparse: epsilon must be positive");
+  if (Status s = ValidateInputs("RunSinkhornSparse", cost, p, q, options);
+      !s.ok()) {
+    return s;
   }
   if (kernel_cutoff < 0.0) {
     return Status::InvalidArgument(
         "RunSinkhornSparse: kernel_cutoff must be >= 0");
   }
 
-  const linalg::SparseMatrix kernel =
-      linalg::SparseMatrix::GibbsKernel(cost, options.epsilon, kernel_cutoff);
+  const linalg::SparseTransportKernel kernel =
+      linalg::SparseTransportKernel::FromCost(cost, options.epsilon,
+                                              kernel_cutoff,
+                                              options.num_threads);
+  OTCLEAN_ASSIGN_OR_RETURN(
+      SinkhornScaling scaling,
+      RunSinkhornScaling(kernel, p, q, options, warm_u, warm_v));
 
   SparseSinkhornResult result;
-  result.u = (warm_u != nullptr && warm_u->size() == m)
-                 ? *warm_u
-                 : linalg::Vector::Ones(m);
-  result.v = (warm_v != nullptr && warm_v->size() == n)
-                 ? *warm_v
-                 : linalg::Vector::Ones(n);
-
-  const double exponent =
-      options.relaxed ? options.lambda / (options.lambda + options.epsilon)
-                      : 1.0;
-
-  for (size_t it = 0; it < options.max_iterations; ++it) {
-    const linalg::Vector kv = kernel.MatVec(result.v);
-    linalg::Vector new_u = p.CwiseQuotientSafe(kv);
-    if (exponent != 1.0) new_u = new_u.CwisePow(exponent);
-    ClampScaling(new_u);
-
-    const linalg::Vector ktu = kernel.TransposeMatVec(new_u);
-    linalg::Vector new_v = q.CwiseQuotientSafe(ktu);
-    if (exponent != 1.0) new_v = new_v.CwisePow(exponent);
-    ClampScaling(new_v);
-
-    const double du = (new_u - result.u).NormInf();
-    const double dv = (new_v - result.v).NormInf();
-    result.u = std::move(new_u);
-    result.v = std::move(new_v);
-    result.iterations = it + 1;
-    if (du <= options.tolerance && dv <= options.tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
-
-  result.plan = kernel.ScaleRowsCols(result.u, result.v);
-  result.transport_cost = result.plan.FrobeniusDotDense(cost);
+  result.plan = kernel.ScaleToPlanSparse(scaling.u, scaling.v);
+  result.transport_cost = kernel.TransportCost(cost, scaling.u, scaling.v);
+  result.u = std::move(scaling.u);
+  result.v = std::move(scaling.v);
+  result.iterations = scaling.iterations;
+  result.converged = scaling.converged;
   return result;
 }
 

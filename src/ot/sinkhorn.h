@@ -4,6 +4,7 @@
 #include "common/result.h"
 #include "linalg/matrix.h"
 #include "linalg/sparse_matrix.h"
+#include "linalg/transport_kernel.h"
 #include "linalg/vector.h"
 
 namespace otclean::ot {
@@ -32,6 +33,10 @@ struct SinkhornOptions {
   /// Convergence threshold on the max-change of the scaling vectors
   /// (log-domain mode: of the log-potentials).
   double tolerance = 1e-10;
+  /// Worker threads for the kernel primitives (row-blocked). 0 = hardware
+  /// concurrency, 1 = serial. Results are bit-compatible across thread
+  /// counts (disjoint output blocks; fixed-block-ordered reductions).
+  size_t num_threads = 0;
 };
 
 /// Output of a Sinkhorn run.
@@ -44,8 +49,30 @@ struct SinkhornResult {
   double transport_cost = 0.0;  ///< ⟨C, π⟩.
 };
 
+/// Scaling vectors + convergence stats of a run of the shared engine loop,
+/// before any plan materialization.
+struct SinkhornScaling {
+  linalg::Vector u;
+  linalg::Vector v;
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+/// The single linear-domain engine loop, usable with any TransportKernel
+/// (dense, CSR-sparse, or future storages). `warm_u` / `warm_v`, when
+/// non-null and correctly sized, initialize the scaling vectors; otherwise
+/// they start at all-ones. Both RunSinkhorn and RunSinkhornSparse delegate
+/// here — call it directly when you build the kernel once and reuse it
+/// across solves (e.g. warm-started outer loops). Errors on marginal /
+/// kernel dimension mismatch.
+Result<SinkhornScaling> RunSinkhornScaling(
+    const linalg::TransportKernel& kernel, const linalg::Vector& p,
+    const linalg::Vector& q, const SinkhornOptions& options,
+    const linalg::Vector* warm_u = nullptr,
+    const linalg::Vector* warm_v = nullptr);
+
 /// Runs Sinkhorn matrix scaling between marginals `p` (rows) and `q`
-/// (columns) under cost matrix `cost`.
+/// (columns) under cost matrix `cost`, on a dense kernel.
 ///
 /// `warm_u` / `warm_v`, when non-null and correctly sized, initialize the
 /// scaling vectors (the paper's warm-start optimization, Section 5);
@@ -77,6 +104,8 @@ struct SparseSinkhornResult {
 /// exactly while storing only structural nonzeros. Cutoffs must stay small
 /// enough that every row/column keeps at least one entry, otherwise the
 /// affected marginal mass is unreachable (reflected in the plan's mass).
+/// Runs the same engine loop as RunSinkhorn; `options.log_domain` is
+/// ignored (the truncated kernel is already the underflow mitigation).
 Result<SparseSinkhornResult> RunSinkhornSparse(
     const linalg::Matrix& cost, const linalg::Vector& p,
     const linalg::Vector& q, const SinkhornOptions& options,

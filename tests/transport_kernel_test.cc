@@ -1,0 +1,258 @@
+#include "linalg/transport_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "linalg/parallel_for.h"
+#include "ot/sinkhorn.h"
+
+namespace otclean::linalg {
+namespace {
+
+Matrix RandomCost(size_t m, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Matrix cost(m, n);
+  for (double& v : cost.data()) v = rng.NextDouble() * 3.0;
+  return cost;
+}
+
+Vector RandomMarginal(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Vector v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = 0.05 + rng.NextDouble();
+  v.Normalize();
+  return v;
+}
+
+// ------------------------------------------------------------ primitives --
+
+TEST(TransportKernelTest, DensePrimitivesMatchMatrixOps) {
+  const Matrix cost = RandomCost(7, 5, 11);
+  const Matrix k = cost.GibbsKernel(0.3);
+  const DenseTransportKernel kernel(k, /*num_threads=*/1);
+  const Vector v = RandomMarginal(5, 12);
+  const Vector u = RandomMarginal(7, 13);
+
+  Vector kv, ktu;
+  kernel.Apply(v, kv);
+  kernel.ApplyTranspose(u, ktu);
+  EXPECT_TRUE(kv.ApproxEquals(k.MatVec(v), 1e-15));
+  EXPECT_TRUE(ktu.ApproxEquals(k.TransposeMatVec(u), 1e-15));
+  EXPECT_TRUE(
+      kernel.ScaleToPlan(u, v).ApproxEquals(k.ScaleRowsCols(u, v), 1e-15));
+  EXPECT_NEAR(kernel.TransportCost(cost, u, v),
+              cost.FrobeniusDot(k.ScaleRowsCols(u, v)), 1e-12);
+}
+
+TEST(TransportKernelTest, SparsePrimitivesMatchDenseAtCutoffZero) {
+  const Matrix cost = RandomCost(9, 6, 21);
+  const DenseTransportKernel dense =
+      DenseTransportKernel::FromCost(cost, 0.25, 1);
+  const SparseTransportKernel sparse =
+      SparseTransportKernel::FromCost(cost, 0.25, 0.0, 1);
+  EXPECT_EQ(sparse.nnz(), dense.nnz());
+
+  const Vector v = RandomMarginal(6, 22);
+  const Vector u = RandomMarginal(9, 23);
+  Vector dkv, skv, dktu, sktu;
+  dense.Apply(v, dkv);
+  sparse.Apply(v, skv);
+  dense.ApplyTranspose(u, dktu);
+  sparse.ApplyTranspose(u, sktu);
+  EXPECT_TRUE(skv.ApproxEquals(dkv, 1e-15));
+  EXPECT_TRUE(sktu.ApproxEquals(dktu, 1e-15));
+  EXPECT_TRUE(sparse.ScaleToPlan(u, v).ApproxEquals(dense.ScaleToPlan(u, v),
+                                                    1e-15));
+  EXPECT_TRUE(sparse.ScaleToPlanSparse(u, v).ToDense().ApproxEquals(
+      dense.ScaleToPlan(u, v), 1e-15));
+  EXPECT_NEAR(sparse.TransportCost(cost, u, v),
+              dense.TransportCost(cost, u, v), 1e-13);
+}
+
+TEST(TransportKernelTest, TruncationDropsEntries) {
+  const Matrix cost = RandomCost(12, 12, 31);
+  const SparseTransportKernel full =
+      SparseTransportKernel::FromCost(cost, 0.2, 0.0, 1);
+  const SparseTransportKernel cut =
+      SparseTransportKernel::FromCost(cost, 0.2, 1e-3, 1);
+  EXPECT_EQ(full.nnz(), 144u);
+  EXPECT_LT(cut.nnz(), full.nnz());
+  EXPECT_GT(cut.nnz(), 0u);
+}
+
+// ------------------------------------------------- thread determinism ----
+
+TEST(TransportKernelTest, DensePrimitivesBitIdenticalAcrossThreadCounts) {
+  // Sizes large enough that the work-based grain actually engages multiple
+  // workers, and awkward enough to give uneven chunk boundaries.
+  const size_t m = 137, n = 151;
+  const Matrix cost = RandomCost(m, n, 41);
+  const Vector u = RandomMarginal(m, 42);
+  const Vector v = RandomMarginal(n, 43);
+  const DenseTransportKernel serial(cost.GibbsKernel(0.3), 1);
+  Vector kv1, ktu1;
+  serial.Apply(v, kv1);
+  serial.ApplyTranspose(u, ktu1);
+  const Matrix plan1 = serial.ScaleToPlan(u, v);
+  const double cost1 = serial.TransportCost(cost, u, v);
+
+  for (size_t threads : {2, 3, 5}) {
+    const DenseTransportKernel parallel(cost.GibbsKernel(0.3), threads);
+    Vector kv, ktu;
+    parallel.Apply(v, kv);
+    parallel.ApplyTranspose(u, ktu);
+    for (size_t i = 0; i < m; ++i) EXPECT_EQ(kv[i], kv1[i]);
+    for (size_t j = 0; j < n; ++j) EXPECT_EQ(ktu[j], ktu1[j]);
+    EXPECT_TRUE(parallel.ScaleToPlan(u, v).ApproxEquals(plan1, 0.0));
+    EXPECT_EQ(parallel.TransportCost(cost, u, v), cost1);
+  }
+}
+
+TEST(TransportKernelTest, SparsePrimitivesBitIdenticalAcrossThreadCounts) {
+  const size_t m = 149, n = 163;
+  const Matrix cost = RandomCost(m, n, 51);
+  const Vector u = RandomMarginal(m, 52);
+  const Vector v = RandomMarginal(n, 53);
+  const SparseTransportKernel serial =
+      SparseTransportKernel::FromCost(cost, 0.2, 1e-4, 1);
+  Vector kv1, ktu1;
+  serial.Apply(v, kv1);
+  serial.ApplyTranspose(u, ktu1);
+  const double cost1 = serial.TransportCost(cost, u, v);
+
+  for (size_t threads : {2, 4}) {
+    const SparseTransportKernel parallel =
+        SparseTransportKernel::FromCost(cost, 0.2, 1e-4, threads);
+    Vector kv, ktu;
+    parallel.Apply(v, kv);
+    parallel.ApplyTranspose(u, ktu);
+    for (size_t i = 0; i < m; ++i) EXPECT_EQ(kv[i], kv1[i]);
+    for (size_t j = 0; j < n; ++j) EXPECT_EQ(ktu[j], ktu1[j]);
+    EXPECT_EQ(parallel.TransportCost(cost, u, v), cost1);
+  }
+}
+
+// ------------------------------------------- unified solver equivalence --
+
+TEST(UnifiedSinkhornTest, DenseAndSparseCutoffZeroProduceIdenticalResults) {
+  const Matrix cost = RandomCost(15, 15, 61);
+  const Vector p = RandomMarginal(15, 62);
+  const Vector q = RandomMarginal(15, 63);
+  for (const bool relaxed : {false, true}) {
+    ot::SinkhornOptions opts;
+    opts.epsilon = 0.15;
+    opts.relaxed = relaxed;
+    opts.num_threads = 1;
+    const auto dense = ot::RunSinkhorn(cost, p, q, opts).value();
+    const auto sparse = ot::RunSinkhornSparse(cost, p, q, opts, 0.0).value();
+    EXPECT_EQ(sparse.iterations, dense.iterations);
+    EXPECT_EQ(sparse.converged, dense.converged);
+    EXPECT_TRUE(sparse.plan.ToDense().ApproxEquals(dense.plan, 1e-12));
+    EXPECT_TRUE(sparse.u.ApproxEquals(dense.u, 1e-12));
+    EXPECT_TRUE(sparse.v.ApproxEquals(dense.v, 1e-12));
+    EXPECT_NEAR(sparse.transport_cost, dense.transport_cost, 1e-12);
+  }
+}
+
+TEST(UnifiedSinkhornTest, SerialAndParallelSolvesAreIdentical) {
+  const Matrix cost = RandomCost(143, 131, 71);
+  const Vector p = RandomMarginal(143, 72);
+  const Vector q = RandomMarginal(131, 73);
+  ot::SinkhornOptions serial_opts;
+  serial_opts.epsilon = 0.1;
+  serial_opts.relaxed = true;
+  serial_opts.lambda = 5.0;  // softer exponent: converges in O(10^2) iters
+  serial_opts.tolerance = 1e-8;
+  serial_opts.num_threads = 1;
+  const auto serial = ot::RunSinkhorn(cost, p, q, serial_opts).value();
+
+  ot::SinkhornOptions parallel_opts = serial_opts;
+  parallel_opts.num_threads = 4;
+  const auto parallel = ot::RunSinkhorn(cost, p, q, parallel_opts).value();
+
+  EXPECT_EQ(parallel.iterations, serial.iterations);
+  EXPECT_TRUE(parallel.plan.ApproxEquals(serial.plan, 0.0));
+  EXPECT_EQ(parallel.transport_cost, serial.transport_cost);
+
+  const auto sparse_serial =
+      ot::RunSinkhornSparse(cost, p, q, serial_opts, 1e-5).value();
+  const auto sparse_parallel =
+      ot::RunSinkhornSparse(cost, p, q, parallel_opts, 1e-5).value();
+  EXPECT_EQ(sparse_parallel.iterations, sparse_serial.iterations);
+  EXPECT_TRUE(sparse_parallel.plan.ToDense().ApproxEquals(
+      sparse_serial.plan.ToDense(), 0.0));
+  EXPECT_EQ(sparse_parallel.transport_cost, sparse_serial.transport_cost);
+}
+
+TEST(UnifiedSinkhornTest, WarmStartConvergesInFewerIterations) {
+  const Matrix cost = RandomCost(20, 20, 81);
+  const Vector p = RandomMarginal(20, 82);
+  const Vector q = RandomMarginal(20, 83);
+  ot::SinkhornOptions opts;
+  opts.epsilon = 0.1;
+  opts.relaxed = true;
+  opts.tolerance = 1e-11;
+  const auto cold = ot::RunSinkhorn(cost, p, q, opts).value();
+  ASSERT_TRUE(cold.converged);
+  ASSERT_GT(cold.iterations, 1u);
+  // Re-solving from the converged potentials must need fewer iterations
+  // than the cold solve (Section 5's warm-start optimization).
+  const auto warm = ot::RunSinkhorn(cost, p, q, opts, &cold.u, &cold.v).value();
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LT(warm.iterations, cold.iterations);
+}
+
+TEST(UnifiedSinkhornTest, ScalingEntryPointMatchesWrapper) {
+  const Matrix cost = RandomCost(8, 8, 91);
+  const Vector p = RandomMarginal(8, 92);
+  const Vector q = RandomMarginal(8, 93);
+  ot::SinkhornOptions opts;
+  opts.epsilon = 0.2;
+  opts.num_threads = 1;
+  const auto wrapped = ot::RunSinkhorn(cost, p, q, opts).value();
+  const DenseTransportKernel kernel =
+      DenseTransportKernel::FromCost(cost, opts.epsilon, 1);
+  const ot::SinkhornScaling scaling =
+      ot::RunSinkhornScaling(kernel, p, q, opts).value();
+  EXPECT_EQ(scaling.iterations, wrapped.iterations);
+  EXPECT_TRUE(scaling.u.ApproxEquals(wrapped.u, 0.0));
+  EXPECT_TRUE(scaling.v.ApproxEquals(wrapped.v, 0.0));
+  // Mis-sized marginals must error, not read out of bounds.
+  EXPECT_FALSE(ot::RunSinkhornScaling(kernel, Vector(3), q, opts).ok());
+  EXPECT_FALSE(ot::RunSinkhornScaling(kernel, p, Vector(3), opts).ok());
+}
+
+// ------------------------------------------------------- ParallelFor ------
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {1, 2, 7}) {
+    std::vector<int> hits(1000, 0);
+    ParallelFor(
+        hits.size(), threads,
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) ++hits[i];
+        },
+        /*grain=*/1);
+    for (int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ParallelForTest, BlockedReduceIsThreadCountInvariant) {
+  std::vector<double> values(10000);
+  Rng rng(99);
+  for (double& v : values) v = rng.NextDouble() - 0.5;
+  auto block_sum = [&](size_t begin, size_t end) {
+    double s = 0.0;
+    for (size_t i = begin; i < end; ++i) s += values[i];
+    return s;
+  };
+  const double serial = BlockedReduce(values.size(), 1, block_sum);
+  for (size_t threads : {2, 3, 8}) {
+    EXPECT_EQ(BlockedReduce(values.size(), threads, block_sum), serial);
+  }
+}
+
+}  // namespace
+}  // namespace otclean::linalg

@@ -1,0 +1,47 @@
+// Compile test for the umbrella header: this TU includes *only*
+// otclean/otclean.h and must see every public module. Each reference below
+// touches one of the sub-APIs (notably the linalg/, lp/, nmf/, and prob/
+// headers the umbrella used to omit) so a regression breaks the build, not
+// just this test's assertions.
+
+#include <gtest/gtest.h>
+
+#include "otclean/otclean.h"
+
+namespace otclean {
+namespace {
+
+TEST(UmbrellaTest, LinalgVisible) {
+  linalg::Matrix m(2, 2, 1.0);
+  linalg::Vector v = linalg::Vector::Ones(2);
+  EXPECT_EQ(m.MatVec(v).size(), 2u);
+  EXPECT_EQ(linalg::SparseMatrix::FromDense(m).nnz(), 4u);
+  const linalg::DenseTransportKernel kernel(m, /*num_threads=*/1);
+  EXPECT_EQ(kernel.nnz(), 4u);
+  EXPECT_GE(linalg::ResolveThreadCount(0), 1u);
+}
+
+TEST(UmbrellaTest, LpVisible) {
+  lp::LpProblem problem;
+  problem.a = linalg::Matrix(1, 1, 1.0);
+  problem.b = linalg::Vector(std::vector<double>{1.0});
+  problem.c = linalg::Vector(std::vector<double>{1.0});
+  EXPECT_TRUE(lp::SolveSimplex(problem, lp::SimplexOptions{}).ok());
+}
+
+TEST(UmbrellaTest, NmfVisible) {
+  Rng rng(7);
+  nmf::KlNmfOptions options;
+  options.rank = 1;
+  EXPECT_TRUE(nmf::KlNmf(linalg::Matrix(2, 2, 0.25), options, rng).ok());
+}
+
+TEST(UmbrellaTest, ProbVisible) {
+  const prob::Domain dom = prob::Domain::FromCardinalities({2, 2});
+  prob::JointDistribution joint(dom);
+  joint[0] = 1.0;
+  EXPECT_NEAR(joint.Mass(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace otclean

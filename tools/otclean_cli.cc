@@ -13,6 +13,9 @@
 //   --solver fast|qclp     optimizer (default fast)
 //   --epsilon F            entropic regularization (default 0.08)
 //   --lambda F             marginal relaxation (default 80)
+//   --threads N            Sinkhorn kernel threads (default 0 = all cores)
+//   --truncation F         sparse-kernel cutoff: drop K entries below F
+//                          (default 0 = dense kernel; fast solver only)
 //   --map                  deterministic MAP repairs instead of sampling
 //   --seed N               RNG seed (default 42)
 //   --report               print CMI / cost diagnostics to stderr
@@ -71,7 +74,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: otclean --input data.csv --x COLS --y COLS "
                  "[--z COLS] [--output out.csv] [--solver fast|qclp] "
-                 "[--epsilon F] [--lambda F] [--map] [--seed N] [--report]\n");
+                 "[--epsilon F] [--lambda F] [--threads N] [--truncation F] "
+                 "[--map] [--seed N] [--report]\n");
     return 2;
   }
 
@@ -106,6 +110,19 @@ int main(int argc, char** argv) {
     options.seed = static_cast<uint64_t>(*seed);
   } else {
     return Fail("bad --seed");
+  }
+  if (auto threads = ParseInt(get("threads", "0")); threads.ok() &&
+                                                    *threads >= 0) {
+    options.fast.num_threads = static_cast<size_t>(*threads);
+    options.qclp.num_threads = static_cast<size_t>(*threads);
+  } else {
+    return Fail("bad --threads");
+  }
+  if (auto cutoff = ParseDouble(get("truncation", "0")); cutoff.ok() &&
+                                                         *cutoff >= 0.0) {
+    options.fast.kernel_truncation = *cutoff;
+  } else {
+    return Fail("bad --truncation");
   }
   options.fast.restrict_columns_to_active = true;
   options.fast.max_outer_iterations = 60;
