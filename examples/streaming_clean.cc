@@ -19,15 +19,24 @@ int main() {
   const auto history = datagen::MakeScalingDataset(gen).value();
 
   const core::CiConstraint sigma({"x"}, {"y"}, {"z0"});
-  core::OtCleanRepairer repairer(sigma);
+  core::RepairOptions options;
+  // Truncated sparse kernel: the fitted plan stays CSR end to end, so a
+  // long-lived streaming cleaner holds only the plan's nonzeros in memory.
+  options.fast.kernel_truncation = 1e-8;
+  core::OtCleanRepairer repairer(sigma, options);
   if (auto s = repairer.Fit(history); !s.ok()) {
     std::printf("fit failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("fitted cleaner on %zu rows (plan %zux%zu, CMI %.4f)\n",
-              history.num_rows(), repairer.plan().row_cells().size(),
-              repairer.plan().col_cells().size(),
-              repairer.fit_report().initial_cmi);
+  const ot::TransportPlan& plan = repairer.plan();
+  std::printf(
+      "fitted cleaner on %zu rows (plan %zux%zu, CMI %.4f)\n"
+      "plan storage: %s, %zu of %zu entries (%.1f KiB)\n",
+      history.num_rows(), plan.row_cells().size(), plan.col_cells().size(),
+      repairer.fit_report().initial_cmi,
+      plan.IsSparse() ? "sparse (CSR)" : "dense", plan.Nnz(),
+      plan.row_cells().size() * plan.col_cells().size(),
+      static_cast<double>(plan.MemoryBytes()) / 1024.0);
 
   // A "stream" of new tuples, repaired one by one.
   gen.seed = 6;

@@ -77,14 +77,30 @@ bool Rng::NextBernoulli(double p) { return NextDouble() < p; }
 
 size_t Rng::NextCategorical(const std::vector<double>& weights) {
   assert(!weights.empty());
-  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
-  if (total <= 0.0) return weights.size() - 1;
+  if (weights.empty()) return 0;  // release-build guard: never SIZE_MAX
+  return NextCategorical(weights.data(), weights.size(),
+                         std::accumulate(weights.begin(), weights.end(), 0.0));
+}
+
+size_t Rng::NextCategorical(const double* weights, size_t count,
+                            double total) {
+  assert(count > 0);
+  if (count == 0) return 0;  // release-build guard: never SIZE_MAX
+  if (total <= 0.0) return count - 1;
   double u = NextDouble() * total;
-  for (size_t i = 0; i < weights.size(); ++i) {
+  // Only positive-weight entries can be selected: a draw landing exactly
+  // on a zero-weight boundary (u == 0) or surviving every subtraction on
+  // floating-point residue must not return an impossible outcome. Skipping
+  // zeros leaves the partial sums unchanged, so the selected index is the
+  // same as the naive scan in every non-degenerate case.
+  size_t last_positive = count - 1;
+  for (size_t i = 0; i < count; ++i) {
+    if (weights[i] <= 0.0) continue;
     u -= weights[i];
+    last_positive = i;
     if (u <= 0.0) return i;
   }
-  return weights.size() - 1;
+  return last_positive;
 }
 
 std::vector<size_t> Rng::Permutation(size_t n) {

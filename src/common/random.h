@@ -33,9 +33,18 @@ class Rng {
   /// Bernoulli trial with success probability p.
   bool NextBernoulli(double p);
 
-  /// Samples an index from an (unnormalized, non-negative) weight vector.
-  /// Returns weights.size()-1 on degenerate all-zero input.
+  /// Samples an index from an (unnormalized, non-negative) weight vector;
+  /// only positive-weight indices can be returned. Consumes exactly one
+  /// draw when the total weight is positive. Returns weights.size()-1 on
+  /// degenerate all-zero input (no draw consumed).
   size_t NextCategorical(const std::vector<double>& weights);
+
+  /// The same draw over a raw span with a caller-supplied `total` (the
+  /// left-to-right sum of the span, typically already at hand). This is
+  /// the one categorical algorithm — the vector overload delegates here,
+  /// and CSR rows sample through it without copying their weights — so
+  /// dense and sparse samplers can never drift apart.
+  size_t NextCategorical(const double* weights, size_t count, double total);
 
   /// Fisher–Yates shuffle of indices [0, n).
   std::vector<size_t> Permutation(size_t n);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "linalg/thread_pool.h"
 #include "linalg/transport_kernel.h"
 #include "nmf/kl_nmf.h"
 
@@ -19,15 +20,25 @@ struct OuterLoopKernel {
   std::optional<linalg::SparseTransportKernel> sparse;
 
   OuterLoopKernel(const linalg::Matrix& cost_matrix,
-                  const FastOtCleanOptions& options) {
+                  const FastOtCleanOptions& options,
+                  linalg::ThreadPool* pool) {
     if (options.kernel_truncation > 0.0) {
       sparse.emplace(linalg::SparseTransportKernel::FromCost(
           cost_matrix, options.epsilon, options.kernel_truncation,
-          options.num_threads));
+          options.num_threads, pool));
     } else {
       dense.emplace(linalg::DenseTransportKernel::FromCost(
-          cost_matrix, options.epsilon, options.num_threads));
+          cost_matrix, options.epsilon, options.num_threads, pool));
     }
+  }
+
+  /// Truncation must not strand source mass: every active-domain row needs
+  /// at least one surviving kernel entry. (Columns may legitimately go
+  /// empty — the relaxed target marginal simply never reaches them.)
+  Status CheckSupport(const linalg::Vector& p, const char* where) const {
+    if (!sparse) return Status::OK();
+    return ot::CheckTruncatedKernelSupport(sparse->kernel(), &p,
+                                           /*q=*/nullptr, where);
   }
 
   const linalg::TransportKernel& get() const {
@@ -36,8 +47,9 @@ struct OuterLoopKernel {
   }
 
   /// Materializes the final plan from the converged scaling vectors and
-  /// stores ⟨C, π⟩ in `transport_cost`. The sparse path stays CSR until
-  /// the TransportPlan constructor densifies.
+  /// stores ⟨C, π⟩ in `transport_cost`. The sparse path stays CSR end to
+  /// end — TransportPlan keeps the CSR backing, so no dense rows×cols
+  /// plan is ever allocated on a truncated solve.
   ot::TransportPlan MaterializePlan(const prob::Domain& dom,
                                     const std::vector<size_t>& row_cells,
                                     const std::vector<size_t>& col_cells,
@@ -46,9 +58,9 @@ struct OuterLoopKernel {
                                     const linalg::Vector& v,
                                     double& transport_cost) const {
     if (sparse) {
-      const linalg::SparseMatrix plan = sparse->ScaleToPlanSparse(u, v);
+      linalg::SparseMatrix plan = sparse->ScaleToPlanSparse(u, v);
       transport_cost = plan.FrobeniusDotDense(cost_matrix);
-      return ot::TransportPlan(dom, row_cells, col_cells, plan);
+      return ot::TransportPlan(dom, row_cells, col_cells, std::move(plan));
     }
     linalg::Matrix plan = dense->ScaleToPlan(u, v);
     transport_cost = cost_matrix.FrobeniusDot(plan);
@@ -196,7 +208,14 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
   sink.tolerance = options.sinkhorn_tolerance;
   sink.num_threads = options.num_threads;
 
-  const OuterLoopKernel kernel_storage(cost_matrix, options);
+  // One worker pool for the whole repair: every Sinkhorn iteration of
+  // every outer step dispatches on it instead of spawning threads anew.
+  std::optional<linalg::ThreadPool> owned_pool;
+  linalg::ThreadPool* pool = linalg::ResolveSolvePool(
+      options.thread_pool, options.num_threads, owned_pool);
+
+  const OuterLoopKernel kernel_storage(cost_matrix, options, pool);
+  OTCLEAN_RETURN_NOT_OK(kernel_storage.CheckSupport(p, "FastOtClean"));
   const linalg::TransportKernel& kernel = kernel_storage.get();
 
   FastOtCleanResult result;
@@ -332,7 +351,14 @@ Result<FastOtCleanResult> FastOtCleanMulti(
   sink.tolerance = options.sinkhorn_tolerance;
   sink.num_threads = options.num_threads;
 
-  const OuterLoopKernel kernel_storage(cost_matrix, options);
+  // One worker pool for the whole repair: every Sinkhorn iteration of
+  // every outer step dispatches on it instead of spawning threads anew.
+  std::optional<linalg::ThreadPool> owned_pool;
+  linalg::ThreadPool* pool = linalg::ResolveSolvePool(
+      options.thread_pool, options.num_threads, owned_pool);
+
+  const OuterLoopKernel kernel_storage(cost_matrix, options, pool);
+  OTCLEAN_RETURN_NOT_OK(kernel_storage.CheckSupport(p, "FastOtCleanMulti"));
   const linalg::TransportKernel& kernel = kernel_storage.get();
 
   FastOtCleanResult result;

@@ -50,17 +50,29 @@ struct FastOtCleanOptions {
   /// entries of K = e^{−C/ε} below this cutoff are dropped (the sparse
   /// transport-plan representation of Section 6.5). Cuts memory and time on
   /// plans where most moves are effectively forbidden; 0 keeps the dense
-  /// kernel.
+  /// kernel. The plan stays CSR end to end — `FastOtCleanResult::plan` is
+  /// CSR-backed and repair sampling walks only the stored nonzeros. Errors
+  /// (InvalidArgument) if the cutoff empties a kernel row that carries
+  /// source mass, since that mass could never be transported.
   double kernel_truncation = 0.0;
   /// Worker threads for the inner Sinkhorn kernels (row-blocked). 0 =
   /// hardware concurrency, 1 = serial; results are identical across thread
   /// counts.
   size_t num_threads = 0;
+  /// Optional externally owned worker pool shared across *sequential*
+  /// solves (a pool serves one dispatching thread at a time — concurrent
+  /// repairs need a pool each); must outlive the call. When null and the
+  /// resolved `num_threads` exceeds 1,
+  /// one pool is created per solve and reused by every Sinkhorn iteration
+  /// and outer step (threads start once per repair, not once per kernel
+  /// call). Pooled and serial results are bit-identical.
+  linalg::ThreadPool* thread_pool = nullptr;
 };
 
 /// Outcome of a FastOTClean run.
 struct FastOtCleanResult {
-  /// The probabilistic data cleaner π(v, v′).
+  /// The probabilistic data cleaner π(v, v′). CSR-backed (plan.IsSparse())
+  /// when `kernel_truncation > 0`, dense otherwise.
   ot::TransportPlan plan;
   /// Final CI-consistent target distribution Q over the full domain.
   prob::JointDistribution target;

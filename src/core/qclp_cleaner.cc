@@ -2,8 +2,10 @@
 
 #include <cassert>
 #include <cmath>
+#include <optional>
 
 #include "linalg/parallel_for.h"
+#include "linalg/thread_pool.h"
 #include "lp/simplex.h"
 
 namespace otclean::core {
@@ -81,6 +83,13 @@ Result<QclpResult> QclpClean(const prob::JointDistribution& p_data,
   QclpResult result;
   linalg::Matrix plan(m, n, 0.0);
 
+  // One worker pool reused by every outer iteration's constraint-row
+  // assembly (the O(m·n²) step) instead of spawning threads per iteration.
+  const size_t threads = linalg::ResolveThreadCount(options.num_threads);
+  std::optional<linalg::ThreadPool> owned_pool;
+  linalg::ThreadPool* pool = linalg::ResolveSolvePool(
+      options.thread_pool, options.num_threads, owned_pool);
+
   for (size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
     // Conditionals of the previous estimate, used to linearize the
     // independence constraints. pin_y == true pins Q(y|z); else pins Q(x|z).
@@ -126,7 +135,6 @@ Result<QclpResult> QclpClean(const prob::JointDistribution& p_data,
     }
     // Each j writes only tableau row m+j, so the O(m·n²) assembly
     // parallelizes over disjoint rows.
-    const size_t threads = linalg::ResolveThreadCount(options.num_threads);
     linalg::ParallelFor(
         n, threads,
         [&](size_t j_begin, size_t j_end) {
@@ -160,7 +168,7 @@ Result<QclpResult> QclpClean(const prob::JointDistribution& p_data,
         },
         // Each j costs O(m·n) scalar ops, so derive the grain from that —
         // small domains stay inline, large ones get full parallelism.
-        linalg::GrainForWork(m * n));
+        linalg::GrainForWork(m * n), pool);
 
     lp::SimplexOptions lp_opts;
     lp_opts.max_iterations = options.lp_max_iterations;

@@ -55,6 +55,7 @@ Status OtCleanRepairer::Fit(const dataset::Table& table,
     fit_report_.outer_iterations = r.outer_iterations;
     fit_report_.total_sinkhorn_iterations = r.total_sinkhorn_iterations;
     fit_report_.converged = r.converged;
+    fit_report_.kernel_nnz = r.kernel_nnz;
   } else {
     OTCLEAN_ASSIGN_OR_RETURN(QclpResult r,
                              QclpClean(p, spec, *cost, options_.qclp));
@@ -65,6 +66,9 @@ Status OtCleanRepairer::Fit(const dataset::Table& table,
     fit_report_.outer_iterations = r.outer_iterations;
     fit_report_.converged = r.converged;
   }
+  fit_report_.plan_sparse = plan_.IsSparse();
+  fit_report_.plan_nnz = plan_.Nnz();
+  fit_report_.plan_memory_bytes = plan_.MemoryBytes();
   fitted_ = true;
   return Status::OK();
 }
@@ -192,6 +196,10 @@ Result<RepairReport> RepairTableMulti(
   report.outer_iterations = r.outer_iterations;
   report.total_sinkhorn_iterations = r.total_sinkhorn_iterations;
   report.converged = r.converged;
+  report.kernel_nnz = r.kernel_nnz;
+  report.plan_sparse = r.plan.IsSparse();
+  report.plan_nnz = r.plan.Nnz();
+  report.plan_memory_bytes = r.plan.MemoryBytes();
 
   // Apply the cleaner row by row over the union columns.
   Rng apply_rng(options.seed ^ 0xfeedbeefull);

@@ -45,6 +45,14 @@ struct RepairReport {
   size_t outer_iterations = 0;
   size_t total_sinkhorn_iterations = 0;
   bool converged = false;
+  /// Plan storage diagnostics: CSR-backed plans (kernel_truncation > 0)
+  /// report their structural nonzeros; dense plans report rows×cols.
+  bool plan_sparse = false;
+  size_t plan_nnz = 0;
+  size_t plan_memory_bytes = 0;
+  /// Nonzeros of the (possibly truncated) Gibbs kernel the solver iterated
+  /// on (FastOTClean only; 0 for QCLP, which solves LPs instead).
+  size_t kernel_nnz = 0;
 };
 
 /// A fitted probabilistic data cleaner: learns the transport plan from one

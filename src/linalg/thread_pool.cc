@@ -1,0 +1,101 @@
+#include "linalg/thread_pool.h"
+
+namespace otclean::linalg {
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(ResolveThreadCount(num_threads)) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunChunks(size_t num_chunks, void (*chunk_fn)(void*, size_t),
+                           void* ctx) {
+  if (num_chunks == 0) return;
+  if (num_chunks == 1 || num_threads_ <= 1) {
+    for (size_t c = 0; c < num_chunks; ++c) chunk_fn(ctx, c);
+    return;
+  }
+  if (workers_.empty()) {
+    // Lazy start on the first dispatch that can actually use a worker:
+    // solves whose every loop stays below the parallel grain never pay
+    // for thread creation. Only the (serialized) dispatcher mutates
+    // workers_, so no lock is needed here.
+    workers_.reserve(num_threads_ - 1);
+    for (size_t t = 1; t < num_threads_; ++t) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Drain stragglers of the previous dispatch before touching job state:
+    // a worker still waking for the old generation reads chunk_fn_ /
+    // num_chunks_ under this mutex, so once active_workers_ is 0 and we
+    // hold the lock, no worker can observe a half-written job.
+    done_.wait(lock, [this] { return active_workers_ == 0; });
+    chunk_fn_ = chunk_fn;
+    ctx_ = ctx;
+    num_chunks_ = num_chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    done_chunks_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  wake_.notify_all();
+  // The dispatching thread is a full participant — with W workers the pool
+  // provides W+1 lanes, matching the spawn path's "caller runs chunk 0".
+  for (;;) {
+    const size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= num_chunks) break;
+    chunk_fn(ctx, c);
+    done_chunks_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this, num_chunks] {
+    return done_chunks_.load(std::memory_order_acquire) == num_chunks;
+  });
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    void (*chunk_fn)(void*, size_t) = nullptr;
+    void* ctx = nullptr;
+    size_t num_chunks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this, seen_generation] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      chunk_fn = chunk_fn_;
+      ctx = ctx_;
+      num_chunks = num_chunks_;
+      ++active_workers_;
+    }
+    size_t completed = 0;
+    for (;;) {
+      const size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      chunk_fn(ctx, c);
+      ++completed;
+    }
+    if (completed > 0) {
+      done_chunks_.fetch_add(completed, std::memory_order_acq_rel);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_workers_;
+    }
+    // Signals both conditions the dispatcher can wait on: all chunks done
+    // (end of this dispatch) and active-count drained (start of the next).
+    done_.notify_all();
+  }
+}
+
+}  // namespace otclean::linalg

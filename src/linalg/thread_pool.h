@@ -1,0 +1,140 @@
+#ifndef OTCLEAN_LINALG_THREAD_POOL_H_
+#define OTCLEAN_LINALG_THREAD_POOL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "linalg/parallel_for.h"
+
+namespace otclean::linalg {
+
+/// A persistent worker pool for the kernel primitives. The spawn-per-call
+/// ParallelFor in parallel_for.h pays a thread create/join on *every*
+/// primitive invocation — on small plans that startup dominates the actual
+/// arithmetic. A ThreadPool is created once (per solve, or shared across
+/// solves by the caller) and reuses the same workers for every subsequent
+/// dispatch, so an entire Sinkhorn run — thousands of Apply/ApplyTranspose
+/// calls — costs one thread startup total.
+///
+/// Determinism: the pool never decides *what* a chunk computes, only which
+/// OS thread runs it. The pool-aware ParallelFor overload below uses the
+/// exact same chunk decomposition as the spawn-per-call path, and chunks
+/// write disjoint index ranges, so pooled results are bit-identical to
+/// spawned and serial ones.
+///
+/// Dispatches are serialized: one thread drives the pool at a time (the
+/// solver's outer loop). The workers themselves are the only concurrency.
+class ThreadPool {
+ public:
+  /// Sizes the pool at `ResolveThreadCount(num_threads)` lanes (the
+  /// dispatching thread is one of them). 0 = hardware concurrency; 1 = no
+  /// workers, every Run executes inline. Workers start lazily on the
+  /// first dispatch with more than one chunk, so pools created for solves
+  /// that never exceed the parallel grain cost nothing.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency including the dispatching thread (>= 1).
+  size_t num_threads() const { return num_threads_; }
+
+  /// Runs `chunk_fn(ctx, c)` for every c in [0, num_chunks) across the
+  /// workers and the calling thread; returns once all chunks completed.
+  /// Chunks are claimed dynamically, so `chunk_fn` must be safe to run for
+  /// any chunk on any participating thread (disjoint outputs).
+  void RunChunks(size_t num_chunks, void (*chunk_fn)(void*, size_t),
+                 void* ctx);
+
+ private:
+  void WorkerLoop();
+
+  const size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  // Job state, written by RunChunks under mutex_ while no worker is active.
+  void (*chunk_fn_)(void*, size_t) = nullptr;
+  void* ctx_ = nullptr;
+  size_t num_chunks_ = 0;
+  uint64_t generation_ = 0;
+  bool stopping_ = false;
+  size_t active_workers_ = 0;
+  std::atomic<size_t> next_chunk_{0};
+  std::atomic<size_t> done_chunks_{0};
+};
+
+/// Resolves the pool a solve dispatches on: the caller-supplied `external`
+/// when present, otherwise a pool constructed into `owned` for the solve's
+/// duration when more than one thread resolves — so threads start once per
+/// solve, not once per primitive call. Null (spawn-free serial execution)
+/// when one thread resolves. Every solver entry point (Sinkhorn,
+/// FastOTClean, QCLP) funnels through this one policy.
+inline ThreadPool* ResolveSolvePool(ThreadPool* external, size_t num_threads,
+                                    std::optional<ThreadPool>& owned) {
+  if (external != nullptr) return external;
+  if (ResolveThreadCount(num_threads) > 1) {
+    owned.emplace(num_threads);
+    return &*owned;
+  }
+  return nullptr;
+}
+
+/// Pool-aware ParallelFor: same contract and — critically — the same chunk
+/// decomposition as the spawn-per-call overload in parallel_for.h, so
+/// outputs are bit-identical whether a pool, fresh threads, or a single
+/// thread runs the loop. `threads` bounds the decomposition exactly as in
+/// the spawn path (the pool's worker count only affects scheduling). A
+/// null pool falls back to spawn-per-call.
+template <typename Fn>
+void ParallelFor(size_t n, size_t threads, Fn&& fn, size_t grain,
+                 ThreadPool* pool) {
+  if (pool == nullptr) {
+    ParallelFor(n, threads, std::forward<Fn>(fn), grain);
+    return;
+  }
+  const ChunkPlan plan = PlanChunks(n, threads, grain);
+  if (plan.num_chunks == 0) return;
+  if (plan.num_chunks == 1) {
+    fn(size_t{0}, n);
+    return;
+  }
+  struct Job {
+    std::remove_reference_t<Fn>* fn;
+    size_t n;
+    size_t chunk;
+  } job{&fn, n, plan.chunk};
+  pool->RunChunks(
+      plan.num_chunks,
+      [](void* ctx, size_t c) {
+        Job& j = *static_cast<Job*>(ctx);
+        const size_t begin = c * j.chunk;
+        (*j.fn)(begin, std::min(j.n, begin + j.chunk));
+      },
+      &job);
+}
+
+/// Pool-aware BlockedReduce: the shared BlockedReduceWith recipe with a
+/// pooled executor — the result does not depend on the thread count or on
+/// whether a pool is used.
+template <typename BlockFn>
+double BlockedReduce(size_t n, size_t threads, BlockFn&& block_fn,
+                     ThreadPool* pool) {
+  return BlockedReduceWith(n, block_fn, [&](size_t blocks, auto&& fn) {
+    ParallelFor(blocks, threads, fn, /*grain=*/1, pool);
+  });
+}
+
+}  // namespace otclean::linalg
+
+#endif  // OTCLEAN_LINALG_THREAD_POOL_H_

@@ -4,19 +4,24 @@
 #include <cmath>
 
 #include "linalg/parallel_for.h"
+#include "linalg/thread_pool.h"
 
 namespace otclean::linalg {
 
 // ----------------------------------------------------------------- Dense --
 
-DenseTransportKernel::DenseTransportKernel(Matrix kernel, size_t num_threads)
-    : kernel_(std::move(kernel)), threads_(ResolveThreadCount(num_threads)) {}
+DenseTransportKernel::DenseTransportKernel(Matrix kernel, size_t num_threads,
+                                           ThreadPool* pool)
+    : kernel_(std::move(kernel)),
+      threads_(ResolveThreadCount(num_threads)),
+      pool_(pool) {}
 
 DenseTransportKernel DenseTransportKernel::FromCost(const Matrix& cost,
                                                     double epsilon,
-                                                    size_t num_threads) {
+                                                    size_t num_threads,
+                                                    ThreadPool* pool) {
   assert(epsilon > 0.0);
-  return DenseTransportKernel(cost.GibbsKernel(epsilon), num_threads);
+  return DenseTransportKernel(cost.GibbsKernel(epsilon), num_threads, pool);
 }
 
 void DenseTransportKernel::Apply(const Vector& v, Vector& y) const {
@@ -35,7 +40,7 @@ void DenseTransportKernel::Apply(const Vector& v, Vector& y) const {
           y[r] = s;
         }
       },
-      GrainForWork(n));
+      GrainForWork(n), pool_);
 }
 
 void DenseTransportKernel::ApplyTranspose(const Vector& u, Vector& y) const {
@@ -58,7 +63,7 @@ void DenseTransportKernel::ApplyTranspose(const Vector& u, Vector& y) const {
           for (size_t c = c0; c < c1; ++c) y[c] += row[c] * ur;
         }
       },
-      GrainForWork(m));
+      GrainForWork(m), pool_);
 }
 
 Matrix DenseTransportKernel::ScaleToPlan(const Vector& u,
@@ -79,7 +84,7 @@ Matrix DenseTransportKernel::ScaleToPlan(const Vector& u,
           for (size_t c = 0; c < n; ++c) orow[c] = ur * row[c] * v[c];
         }
       },
-      GrainForWork(n));
+      GrainForWork(n), pool_);
   return plan;
 }
 
@@ -91,34 +96,41 @@ double DenseTransportKernel::TransportCost(const Matrix& cost, const Vector& u,
   assert(u.size() == m && v.size() == n);
   const double* kdata = kernel_.data().data();
   const double* cdata = cost.data().data();
-  return BlockedReduce(m, threads_, [&](size_t r0, size_t r1) {
-    double s = 0.0;
-    for (size_t r = r0; r < r1; ++r) {
-      const double ur = u[r];
-      if (ur == 0.0) continue;
-      const double* krow = kdata + r * n;
-      const double* crow = cdata + r * n;
-      for (size_t c = 0; c < n; ++c) s += crow[c] * ur * krow[c] * v[c];
-    }
-    return s;
-  });
+  return BlockedReduce(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        double s = 0.0;
+        for (size_t r = r0; r < r1; ++r) {
+          const double ur = u[r];
+          if (ur == 0.0) continue;
+          const double* krow = kdata + r * n;
+          const double* crow = cdata + r * n;
+          for (size_t c = 0; c < n; ++c) s += crow[c] * ur * krow[c] * v[c];
+        }
+        return s;
+      },
+      pool_);
 }
 
 // ---------------------------------------------------------------- Sparse --
 
 SparseTransportKernel::SparseTransportKernel(SparseMatrix kernel,
-                                             size_t num_threads)
-    : kernel_(std::move(kernel)), threads_(ResolveThreadCount(num_threads)) {
+                                             size_t num_threads,
+                                             ThreadPool* pool)
+    : kernel_(std::move(kernel)),
+      threads_(ResolveThreadCount(num_threads)),
+      pool_(pool) {
   BuildTranspose();
 }
 
 SparseTransportKernel SparseTransportKernel::FromCost(const Matrix& cost,
                                                       double epsilon,
                                                       double cutoff,
-                                                      size_t num_threads) {
+                                                      size_t num_threads,
+                                                      ThreadPool* pool) {
   assert(epsilon > 0.0);
   return SparseTransportKernel(SparseMatrix::GibbsKernel(cost, epsilon, cutoff),
-                               num_threads);
+                               num_threads, pool);
 }
 
 void SparseTransportKernel::BuildTranspose() {
@@ -160,7 +172,7 @@ void SparseTransportKernel::Apply(const Vector& v, Vector& y) const {
           y[r] = s;
         }
       },
-      GrainForWork(kernel_.nnz() / (m == 0 ? 1 : m)));
+      GrainForWork(kernel_.nnz() / (m == 0 ? 1 : m)), pool_);
 }
 
 void SparseTransportKernel::ApplyTranspose(const Vector& u, Vector& y) const {
@@ -180,7 +192,7 @@ void SparseTransportKernel::ApplyTranspose(const Vector& u, Vector& y) const {
           y[c] = s;
         }
       },
-      GrainForWork(kernel_.nnz() / (n == 0 ? 1 : n)));
+      GrainForWork(kernel_.nnz() / (n == 0 ? 1 : n)), pool_);
 }
 
 Matrix SparseTransportKernel::ScaleToPlan(const Vector& u,
@@ -202,7 +214,7 @@ Matrix SparseTransportKernel::ScaleToPlan(const Vector& u,
           }
         }
       },
-      GrainForWork(kernel_.nnz() / (m == 0 ? 1 : m)));
+      GrainForWork(kernel_.nnz() / (m == 0 ? 1 : m)), pool_);
   return plan;
 }
 
@@ -225,7 +237,7 @@ SparseMatrix SparseTransportKernel::ScaleToPlanSparse(const Vector& u,
           }
         }
       },
-      GrainForWork(kernel_.nnz() / (m == 0 ? 1 : m)));
+      GrainForWork(kernel_.nnz() / (m == 0 ? 1 : m)), pool_);
   return plan;
 }
 
@@ -237,18 +249,21 @@ double SparseTransportKernel::TransportCost(const Matrix& cost, const Vector& u,
   const auto& row_ptr = kernel_.row_ptr();
   const auto& col_index = kernel_.col_index();
   const auto& values = kernel_.values();
-  return BlockedReduce(m, threads_, [&](size_t r0, size_t r1) {
-    double s = 0.0;
-    for (size_t r = r0; r < r1; ++r) {
-      const double ur = u[r];
-      if (ur == 0.0) continue;
-      for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
-        const size_t c = col_index[k];
-        s += cost(r, c) * ur * values[k] * v[c];
-      }
-    }
-    return s;
-  });
+  return BlockedReduce(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        double s = 0.0;
+        for (size_t r = r0; r < r1; ++r) {
+          const double ur = u[r];
+          if (ur == 0.0) continue;
+          for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+            const size_t c = col_index[k];
+            s += cost(r, c) * ur * values[k] * v[c];
+          }
+        }
+        return s;
+      },
+      pool_);
 }
 
 }  // namespace otclean::linalg

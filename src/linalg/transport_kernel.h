@@ -10,6 +10,8 @@
 
 namespace otclean::linalg {
 
+class ThreadPool;
+
 /// Storage-agnostic view of a Gibbs kernel K = e^{−C/ε}, exposing exactly
 /// the four primitives the Sinkhorn scaling loop needs. The solver engine
 /// in ot/sinkhorn.cc is written once against this interface; dense and
@@ -23,6 +25,13 @@ namespace otclean::linalg {
 /// are either written to disjoint index ranges or reduced over fixed-size
 /// blocks whose partial sums are combined in block order (see
 /// parallel_for.h).
+///
+/// `pool`, when non-null, is a persistent worker pool (thread_pool.h) the
+/// primitives dispatch on instead of spawning threads per call — the same
+/// chunk decomposition runs either way, so pooled results stay
+/// bit-identical. The pool is borrowed, not owned: it must outlive the
+/// kernel. Solvers create one pool per solve and reuse it across every
+/// Sinkhorn iteration and outer step.
 class TransportKernel {
  public:
   virtual ~TransportKernel() = default;
@@ -50,11 +59,13 @@ class TransportKernel {
 class DenseTransportKernel final : public TransportKernel {
  public:
   /// Wraps an already-built kernel matrix (e.g. cost.GibbsKernel(eps)).
-  explicit DenseTransportKernel(Matrix kernel, size_t num_threads = 0);
+  explicit DenseTransportKernel(Matrix kernel, size_t num_threads = 0,
+                                ThreadPool* pool = nullptr);
 
   /// Builds K = e^{−C/ε} from a cost matrix.
   static DenseTransportKernel FromCost(const Matrix& cost, double epsilon,
-                                       size_t num_threads = 0);
+                                       size_t num_threads = 0,
+                                       ThreadPool* pool = nullptr);
 
   size_t rows() const override { return kernel_.rows(); }
   size_t cols() const override { return kernel_.cols(); }
@@ -72,6 +83,7 @@ class DenseTransportKernel final : public TransportKernel {
  private:
   Matrix kernel_;
   size_t threads_;
+  ThreadPool* pool_;
 };
 
 /// CSR-sparse kernel storage for truncated Gibbs kernels (Section 6.5).
@@ -80,13 +92,15 @@ class DenseTransportKernel final : public TransportKernel {
 /// any thread count — instead of a racy scatter.
 class SparseTransportKernel final : public TransportKernel {
  public:
-  explicit SparseTransportKernel(SparseMatrix kernel, size_t num_threads = 0);
+  explicit SparseTransportKernel(SparseMatrix kernel, size_t num_threads = 0,
+                                 ThreadPool* pool = nullptr);
 
   /// Builds the truncated kernel: entries of e^{−C/ε} below `cutoff` are
   /// dropped. Cutoff 0 keeps every entry and matches the dense kernel
   /// exactly.
   static SparseTransportKernel FromCost(const Matrix& cost, double epsilon,
-                                        double cutoff, size_t num_threads = 0);
+                                        double cutoff, size_t num_threads = 0,
+                                        ThreadPool* pool = nullptr);
 
   size_t rows() const override { return kernel_.rows(); }
   size_t cols() const override { return kernel_.cols(); }
@@ -109,6 +123,7 @@ class SparseTransportKernel final : public TransportKernel {
 
   SparseMatrix kernel_;
   size_t threads_;
+  ThreadPool* pool_;
   // CSC mirror: column j's entries live at [col_ptr_[j], col_ptr_[j+1]),
   // sorted by row — so each transpose output accumulates in ascending-row
   // order regardless of threading.

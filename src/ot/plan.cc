@@ -4,6 +4,41 @@
 
 namespace otclean::ot {
 
+namespace {
+
+/// Shared index map for both constructors.
+std::unordered_map<size_t, size_t> BuildRowIndex(
+    const std::vector<size_t>& row_cells) {
+  std::unordered_map<size_t, size_t> index;
+  index.reserve(row_cells.size());
+  for (size_t r = 0; r < row_cells.size(); ++r) index.emplace(row_cells[r], r);
+  return index;
+}
+
+/// First-maximum scan over a weight span (strict > keeps the first of
+/// equal maxima — Vector::ArgMax's tie-break), accumulating the total
+/// mass on the way. Both plan backings select their MAP repair through
+/// this one loop, so the tie-break can never drift between them. Returns
+/// the span index of the first maximum (0 on an empty span — callers
+/// must check `mass > 0` before using it).
+size_t FirstArgMax(const double* values, size_t count, double& mass) {
+  mass = 0.0;
+  double best = 0.0;
+  size_t best_i = 0;
+  bool found = false;
+  for (size_t i = 0; i < count; ++i) {
+    mass += values[i];
+    if (!found || values[i] > best) {
+      best = values[i];
+      best_i = i;
+      found = true;
+    }
+  }
+  return best_i;
+}
+
+}  // namespace
+
 TransportPlan::TransportPlan(prob::Domain domain,
                              std::vector<size_t> row_cells,
                              std::vector<size_t> col_cells,
@@ -11,25 +46,65 @@ TransportPlan::TransportPlan(prob::Domain domain,
     : domain_(std::move(domain)),
       row_cells_(std::move(row_cells)),
       col_cells_(std::move(col_cells)),
-      plan_(std::move(plan)) {
-  assert(plan_.rows() == row_cells_.size());
-  assert(plan_.cols() == col_cells_.size());
-  row_of_cell_.reserve(row_cells_.size());
-  for (size_t r = 0; r < row_cells_.size(); ++r) {
-    row_of_cell_.emplace(row_cells_[r], r);
-  }
+      is_sparse_(false),
+      dense_(std::move(plan)),
+      row_of_cell_(BuildRowIndex(row_cells_)) {
+  assert(dense_.rows() == row_cells_.size());
+  assert(dense_.cols() == col_cells_.size());
 }
 
 TransportPlan::TransportPlan(prob::Domain domain,
                              std::vector<size_t> row_cells,
                              std::vector<size_t> col_cells,
-                             const linalg::SparseMatrix& plan)
-    : TransportPlan(std::move(domain), std::move(row_cells),
-                    std::move(col_cells), plan.ToDense()) {}
+                             linalg::SparseMatrix plan)
+    : domain_(std::move(domain)),
+      row_cells_(std::move(row_cells)),
+      col_cells_(std::move(col_cells)),
+      is_sparse_(true),
+      sparse_(std::move(plan)),
+      row_of_cell_(BuildRowIndex(row_cells_)) {
+  assert(sparse_.rows() == row_cells_.size());
+  assert(sparse_.cols() == col_cells_.size());
+}
+
+size_t TransportPlan::MemoryBytes() const {
+  return is_sparse_ ? sparse_.MemoryBytes()
+                    : dense_.size() * sizeof(double);
+}
+
+linalg::Matrix TransportPlan::Densify() const {
+  return is_sparse_ ? sparse_.ToDense() : dense_;
+}
+
+linalg::Vector TransportPlan::SourceMarginal() const {
+  return is_sparse_ ? sparse_.RowSums() : dense_.RowSums();
+}
+
+linalg::Vector TransportPlan::TargetMarginal() const {
+  return is_sparse_ ? sparse_.ColSums() : dense_.ColSums();
+}
 
 linalg::Vector TransportPlan::ConditionalRow(size_t row) const {
-  assert(row < plan_.rows());
-  linalg::Vector cond = plan_.Row(row);
+  if (is_sparse_) {
+    assert(row < sparse_.rows());
+    linalg::Vector cond(col_cells_.size(), 0.0);
+    const auto& row_ptr = sparse_.row_ptr();
+    const auto& col_index = sparse_.col_index();
+    const auto& values = sparse_.values();
+    double mass = 0.0;
+    for (size_t k = row_ptr[row]; k < row_ptr[row + 1]; ++k) {
+      cond[col_index[k]] = values[k];
+      mass += values[k];
+    }
+    if (mass > 0.0) {
+      for (size_t k = row_ptr[row]; k < row_ptr[row + 1]; ++k) {
+        cond[col_index[k]] /= mass;
+      }
+    }
+    return cond;
+  }
+  assert(row < dense_.rows());
+  linalg::Vector cond = dense_.Row(row);
   const double mass = cond.Sum();
   if (mass > 0.0) cond /= mass;
   return cond;
@@ -38,17 +113,53 @@ linalg::Vector TransportPlan::ConditionalRow(size_t row) const {
 size_t TransportPlan::SampleRepair(size_t source_cell, Rng& rng) const {
   const auto it = row_of_cell_.find(source_cell);
   if (it == row_of_cell_.end()) return source_cell;
-  const linalg::Vector row = plan_.Row(it->second);
-  if (row.Sum() <= 0.0) return source_cell;
-  return col_cells_[rng.NextCategorical(row.data())];
+  const size_t row = it->second;
+  if (is_sparse_) {
+    const auto& row_ptr = sparse_.row_ptr();
+    const auto& col_index = sparse_.col_index();
+    const auto& values = sparse_.values();
+    const size_t begin = row_ptr[row];
+    const size_t end = row_ptr[row + 1];
+    // The CSR span runs the same categorical algorithm (and the same
+    // single RNG draw) as the dense row via the span overload, so the two
+    // backings are bit-identical whenever their stored entries match.
+    double mass = 0.0;
+    for (size_t k = begin; k < end; ++k) mass += values[k];
+    if (mass <= 0.0) return source_cell;
+    const size_t pick =
+        rng.NextCategorical(values.data() + begin, end - begin, mass);
+    return col_cells_[col_index[begin + pick]];
+  }
+  // Sample straight off the row-major backing — like the CSR branch, no
+  // per-tuple row copy on the repair loop.
+  const size_t n = dense_.cols();
+  const double* row_data = dense_.data().data() + row * n;
+  double mass = 0.0;
+  for (size_t c = 0; c < n; ++c) mass += row_data[c];
+  if (mass <= 0.0) return source_cell;
+  return col_cells_[rng.NextCategorical(row_data, n, mass)];
 }
 
 size_t TransportPlan::MapRepair(size_t source_cell) const {
   const auto it = row_of_cell_.find(source_cell);
   if (it == row_of_cell_.end()) return source_cell;
-  const linalg::Vector row = plan_.Row(it->second);
-  if (row.Sum() <= 0.0) return source_cell;
-  return col_cells_[row.ArgMax()];
+  const size_t row = it->second;
+  if (is_sparse_) {
+    const auto& row_ptr = sparse_.row_ptr();
+    const auto& col_index = sparse_.col_index();
+    const auto& values = sparse_.values();
+    const size_t begin = row_ptr[row];
+    double mass = 0.0;
+    const size_t k =
+        FirstArgMax(values.data() + begin, row_ptr[row + 1] - begin, mass);
+    if (mass <= 0.0) return source_cell;
+    return col_cells_[col_index[begin + k]];
+  }
+  const size_t n = dense_.cols();
+  double mass = 0.0;
+  const size_t c = FirstArgMax(dense_.data().data() + row * n, n, mass);
+  if (mass <= 0.0) return source_cell;
+  return col_cells_[c];
 }
 
 }  // namespace otclean::ot

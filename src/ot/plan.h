@@ -18,33 +18,55 @@ namespace otclean::ot {
 ///
 /// This is the paper's *probabilistic data cleaner*: row-normalizing yields
 /// the probabilistic mapping π(v′ | v), and sampling from it repairs tuples.
+///
+/// Storage is polymorphic: a dense `linalg::Matrix` or a CSR
+/// `linalg::SparseMatrix` backs the plan behind the same interface. The
+/// sparse backing is kept as-is end to end — marginals, conditionals, and
+/// repair sampling walk only the stored nonzeros — so a truncated-kernel
+/// solve (Section 6.5) never pays O(rows×cols) memory. At truncation
+/// cutoff 0 the two backings hold the same entries and every operation,
+/// including `SampleRepair` under a shared RNG stream, is bit-identical.
 class TransportPlan {
  public:
   TransportPlan() = default;
+  /// Dense backing.
   TransportPlan(prob::Domain domain, std::vector<size_t> row_cells,
                 std::vector<size_t> col_cells, linalg::Matrix plan);
-  /// From a CSR plan (the unified solver's sparse path); densified
-  /// internally.
+  /// CSR backing (the unified solver's sparse path); kept sparse — use
+  /// Densify() if a dense matrix is truly required.
   TransportPlan(prob::Domain domain, std::vector<size_t> row_cells,
-                std::vector<size_t> col_cells, const linalg::SparseMatrix& plan);
+                std::vector<size_t> col_cells, linalg::SparseMatrix plan);
 
   const prob::Domain& domain() const { return domain_; }
-  const linalg::Matrix& matrix() const { return plan_; }
   const std::vector<size_t>& row_cells() const { return row_cells_; }
   const std::vector<size_t>& col_cells() const { return col_cells_; }
 
+  /// True when the plan is CSR-backed.
+  bool IsSparse() const { return is_sparse_; }
+  /// Stored entries: structural nonzeros for CSR, rows×cols for dense.
+  size_t Nnz() const { return is_sparse_ ? sparse_.nnz() : dense_.size(); }
+  /// Approximate heap footprint of the backing store, in bytes.
+  size_t MemoryBytes() const;
+  /// Escape hatch for callers that truly need a dense rows×cols matrix
+  /// (e.g. entropy diagnostics over the full support). Allocates; prefer
+  /// the storage-agnostic accessors everywhere else.
+  linalg::Matrix Densify() const;
+
   /// Source marginal π(v) over row cells.
-  linalg::Vector SourceMarginal() const { return plan_.RowSums(); }
+  linalg::Vector SourceMarginal() const;
   /// Target marginal π(v′) over column cells.
-  linalg::Vector TargetMarginal() const { return plan_.ColSums(); }
+  linalg::Vector TargetMarginal() const;
 
   /// The conditional mapping π(v′ | v = row_cells[row]); all zeros when the
-  /// row carries no mass.
+  /// row carries no mass. Always a dense length-|col_cells| vector (one
+  /// row's worth, never rows×cols).
   linalg::Vector ConditionalRow(size_t row) const;
 
   /// Samples a repaired cell (flat domain index) for the tuple in
   /// `source_cell`. If the cell is not in the plan's row support or carries
-  /// no mass, the tuple is returned unchanged.
+  /// no mass, the tuple is returned unchanged. Consumes exactly one RNG
+  /// draw for in-support rows with mass, so dense- and CSR-backed plans
+  /// holding the same entries advance a shared stream identically.
   size_t SampleRepair(size_t source_cell, Rng& rng) const;
 
   /// Deterministic (MAP) repair: the most likely target cell for
@@ -55,7 +77,9 @@ class TransportPlan {
   prob::Domain domain_;
   std::vector<size_t> row_cells_;
   std::vector<size_t> col_cells_;
-  linalg::Matrix plan_;
+  bool is_sparse_ = false;
+  linalg::Matrix dense_;        ///< valid when !is_sparse_
+  linalg::SparseMatrix sparse_; ///< valid when is_sparse_
   std::unordered_map<size_t, size_t> row_of_cell_;
 };
 

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
+#include <string>
 #include <utility>
 
 #include "linalg/parallel_for.h"
+#include "linalg/thread_pool.h"
 
 namespace otclean::ot {
 
@@ -67,7 +70,8 @@ Result<SinkhornResult> RunSinkhornLogDomain(const linalg::Matrix& cost,
                                             const linalg::Vector& q,
                                             const SinkhornOptions& options,
                                             const linalg::Vector* warm_u,
-                                            const linalg::Vector* warm_v) {
+                                            const linalg::Vector* warm_v,
+                                            linalg::ThreadPool* pool) {
   const size_t m = cost.rows();
   const size_t n = cost.cols();
   const double eps = options.epsilon;
@@ -94,44 +98,50 @@ Result<SinkhornResult> RunSinkhornLogDomain(const linalg::Matrix& cost,
   // Each output row/column is owned by one worker — deterministic.
   linalg::Vector lse(std::max(m, n));
   auto lse_rows = [&](const linalg::Vector& lvv) {
-    linalg::ParallelFor(m, threads, [&](size_t i0, size_t i1) {
-      for (size_t i = i0; i < i1; ++i) {
-        double mx = kNegInf;
-        for (size_t j = 0; j < n; ++j) {
-          const double t = lvv[j] - cost(i, j) / eps;
-          if (t > mx) mx = t;
-        }
-        if (mx == kNegInf) {
-          lse[i] = kNegInf;
-          continue;
-        }
-        double s = 0.0;
-        for (size_t j = 0; j < n; ++j) {
-          s += std::exp(lvv[j] - cost(i, j) / eps - mx);
-        }
-        lse[i] = mx + std::log(s);
-      }
-    });
+    linalg::ParallelFor(
+        m, threads,
+        [&](size_t i0, size_t i1) {
+          for (size_t i = i0; i < i1; ++i) {
+            double mx = kNegInf;
+            for (size_t j = 0; j < n; ++j) {
+              const double t = lvv[j] - cost(i, j) / eps;
+              if (t > mx) mx = t;
+            }
+            if (mx == kNegInf) {
+              lse[i] = kNegInf;
+              continue;
+            }
+            double s = 0.0;
+            for (size_t j = 0; j < n; ++j) {
+              s += std::exp(lvv[j] - cost(i, j) / eps - mx);
+            }
+            lse[i] = mx + std::log(s);
+          }
+        },
+        linalg::GrainForWork(n), pool);
   };
   auto lse_cols = [&](const linalg::Vector& luu) {
-    linalg::ParallelFor(n, threads, [&](size_t j0, size_t j1) {
-      for (size_t j = j0; j < j1; ++j) {
-        double mx = kNegInf;
-        for (size_t i = 0; i < m; ++i) {
-          const double t = luu[i] - cost(i, j) / eps;
-          if (t > mx) mx = t;
-        }
-        if (mx == kNegInf) {
-          lse[j] = kNegInf;
-          continue;
-        }
-        double s = 0.0;
-        for (size_t i = 0; i < m; ++i) {
-          s += std::exp(luu[i] - cost(i, j) / eps - mx);
-        }
-        lse[j] = mx + std::log(s);
-      }
-    });
+    linalg::ParallelFor(
+        n, threads,
+        [&](size_t j0, size_t j1) {
+          for (size_t j = j0; j < j1; ++j) {
+            double mx = kNegInf;
+            for (size_t i = 0; i < m; ++i) {
+              const double t = luu[i] - cost(i, j) / eps;
+              if (t > mx) mx = t;
+            }
+            if (mx == kNegInf) {
+              lse[j] = kNegInf;
+              continue;
+            }
+            double s = 0.0;
+            for (size_t i = 0; i < m; ++i) {
+              s += std::exp(luu[i] - cost(i, j) / eps - mx);
+            }
+            lse[j] = mx + std::log(s);
+          }
+        },
+        linalg::GrainForWork(m), pool);
   };
 
   SinkhornResult result;
@@ -263,12 +273,16 @@ Result<SinkhornResult> RunSinkhorn(const linalg::Matrix& cost,
   if (Status s = ValidateInputs("RunSinkhorn", cost, p, q, options); !s.ok()) {
     return s;
   }
+  std::optional<linalg::ThreadPool> owned_pool;
+  linalg::ThreadPool* pool = linalg::ResolveSolvePool(
+      options.thread_pool, options.num_threads, owned_pool);
   if (options.log_domain) {
-    return RunSinkhornLogDomain(cost, p, q, options, warm_u, warm_v);
+    return RunSinkhornLogDomain(cost, p, q, options, warm_u, warm_v, pool);
   }
 
-  const linalg::DenseTransportKernel kernel = linalg::DenseTransportKernel::FromCost(
-      cost, options.epsilon, options.num_threads);
+  const linalg::DenseTransportKernel kernel =
+      linalg::DenseTransportKernel::FromCost(cost, options.epsilon,
+                                             options.num_threads, pool);
   OTCLEAN_ASSIGN_OR_RETURN(
       SinkhornScaling scaling,
       RunSinkhornScaling(kernel, p, q, options, warm_u, warm_v));
@@ -281,6 +295,38 @@ Result<SinkhornResult> RunSinkhorn(const linalg::Matrix& cost,
   result.iterations = scaling.iterations;
   result.converged = scaling.converged;
   return result;
+}
+
+Status CheckTruncatedKernelSupport(const linalg::SparseMatrix& kernel,
+                                   const linalg::Vector* p,
+                                   const linalg::Vector* q,
+                                   const char* where) {
+  const auto& row_ptr = kernel.row_ptr();
+  if (p != nullptr) {
+    for (size_t r = 0; r < kernel.rows(); ++r) {
+      if ((*p)[r] > 0.0 && row_ptr[r + 1] == row_ptr[r]) {
+        return Status::InvalidArgument(
+            std::string(where) + ": truncation emptied kernel row " +
+            std::to_string(r) + " which carries source mass " +
+            std::to_string((*p)[r]) +
+            " — that mass would be stranded; lower the kernel cutoff");
+      }
+    }
+  }
+  if (q != nullptr) {
+    std::vector<bool> col_nonempty(kernel.cols(), false);
+    for (size_t c : kernel.col_index()) col_nonempty[c] = true;
+    for (size_t c = 0; c < kernel.cols(); ++c) {
+      if ((*q)[c] > 0.0 && !col_nonempty[c]) {
+        return Status::InvalidArgument(
+            std::string(where) + ": truncation emptied kernel column " +
+            std::to_string(c) + " which carries target mass " +
+            std::to_string((*q)[c]) +
+            " — that mass would be stranded; lower the kernel cutoff");
+      }
+    }
+  }
+  return Status::OK();
 }
 
 double PlanEntropy(const linalg::Matrix& plan) {
@@ -304,11 +350,30 @@ Result<SparseSinkhornResult> RunSinkhornSparse(
     return Status::InvalidArgument(
         "RunSinkhornSparse: kernel_cutoff must be >= 0");
   }
+  if (options.log_domain) {
+    return Status::InvalidArgument(
+        "RunSinkhornSparse: log_domain is not supported on the truncated "
+        "kernel (truncation is itself the underflow mitigation; use "
+        "RunSinkhorn for log-domain iteration)");
+  }
 
+  std::optional<linalg::ThreadPool> owned_pool;
+  linalg::ThreadPool* pool = linalg::ResolveSolvePool(
+      options.thread_pool, options.num_threads, owned_pool);
   const linalg::SparseTransportKernel kernel =
       linalg::SparseTransportKernel::FromCost(cost, options.epsilon,
                                               kernel_cutoff,
-                                              options.num_threads);
+                                              options.num_threads, pool);
+  // Hard-marginal mode must reach every row and column carrying mass.
+  // Relaxed mode only soft-matches the target marginal, so an unreachable
+  // column legitimately ends up under-served — check rows only (stranded
+  // *source* mass silently degrades repairs to the identity either way).
+  if (Status s = CheckTruncatedKernelSupport(kernel.kernel(), &p,
+                                             options.relaxed ? nullptr : &q,
+                                             "RunSinkhornSparse");
+      !s.ok()) {
+    return s;
+  }
   OTCLEAN_ASSIGN_OR_RETURN(
       SinkhornScaling scaling,
       RunSinkhornScaling(kernel, p, q, options, warm_u, warm_v));

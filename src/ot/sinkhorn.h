@@ -37,6 +37,20 @@ struct SinkhornOptions {
   /// concurrency, 1 = serial. Results are bit-compatible across thread
   /// counts (disjoint output blocks; fixed-block-ordered reductions).
   size_t num_threads = 0;
+  /// Optional externally owned worker pool (linalg/thread_pool.h) the
+  /// kernel primitives dispatch on; must outlive the solve. When null and
+  /// the resolved `num_threads` exceeds 1, the solver creates its own pool
+  /// for the duration of the run, so threads are spawned once per solve
+  /// instead of once per primitive call. Callers running many solves *in
+  /// sequence* (e.g. FastOTClean's outer loop, or a server draining a
+  /// repair-job queue) pass one pool and amortize the startup across all
+  /// of them — but a pool serves one dispatching thread at a time, so
+  /// concurrent solves must each bring their own pool (or leave this null).
+  /// Pooled, spawned, and serial runs are bit-identical. Honored by RunSinkhorn /
+  /// RunSinkhornSparse, which build the kernel; RunSinkhornScaling ignores
+  /// it — there the pool binds at kernel construction, so pass it to the
+  /// TransportKernel constructor instead.
+  linalg::ThreadPool* thread_pool = nullptr;
 };
 
 /// Output of a Sinkhorn run.
@@ -101,16 +115,30 @@ struct SparseSinkhornResult {
 /// Sinkhorn on a *truncated* Gibbs kernel: entries of K = e^{−C/ε} below
 /// `kernel_cutoff` are dropped before iterating — the sparse transport-plan
 /// representation of Section 6.5. With cutoff 0 this matches RunSinkhorn
-/// exactly while storing only structural nonzeros. Cutoffs must stay small
-/// enough that every row/column keeps at least one entry, otherwise the
-/// affected marginal mass is unreachable (reflected in the plan's mass).
-/// Runs the same engine loop as RunSinkhorn; `options.log_domain` is
-/// ignored (the truncated kernel is already the underflow mitigation).
+/// exactly while storing only structural nonzeros. Errors (InvalidArgument)
+/// rather than producing a deficient plan when the cutoff is too
+/// aggressive: every row with p > 0 — and, in hard-marginal (non-relaxed)
+/// mode, every column with q > 0 — must keep at least one kernel entry,
+/// otherwise that marginal mass would be stranded. (Relaxed mode only
+/// soft-matches the target marginal, so unreachable columns are
+/// legitimately under-served there, not an error — the same policy
+/// FastOTClean applies.) Also errors when `options.log_domain` is set — log-domain
+/// iteration is not implemented on the truncated kernel (the truncation
+/// is itself the underflow mitigation; use RunSinkhorn for log-domain).
 Result<SparseSinkhornResult> RunSinkhornSparse(
     const linalg::Matrix& cost, const linalg::Vector& p,
     const linalg::Vector& q, const SinkhornOptions& options,
     double kernel_cutoff, const linalg::Vector* warm_u = nullptr,
     const linalg::Vector* warm_v = nullptr);
+
+/// Verifies a truncated kernel can carry the marginals: every row i with
+/// p[i] > 0 (and, when `q` is non-null, every column j with q[j] > 0) must
+/// hold at least one stored entry. Returns InvalidArgument naming the
+/// first offending row/column — the fix is a smaller truncation cutoff.
+Status CheckTruncatedKernelSupport(const linalg::SparseMatrix& kernel,
+                                   const linalg::Vector* p,
+                                   const linalg::Vector* q,
+                                   const char* where);
 
 }  // namespace otclean::ot
 

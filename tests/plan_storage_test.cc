@@ -1,0 +1,304 @@
+// Dense-vs-CSR TransportPlan equivalence and the sparse end-to-end
+// guarantee: with kernel truncation on, the plan stays CSR from the solver
+// through repair sampling — no dense rows×cols matrix on the path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ci_constraint.h"
+#include "core/fast_otclean.h"
+#include "core/repair.h"
+#include "datagen/synthetic.h"
+#include "linalg/sparse_matrix.h"
+#include "ot/cost.h"
+#include "ot/plan.h"
+#include "ot/sinkhorn.h"
+
+namespace otclean {
+namespace {
+
+using linalg::Matrix;
+using linalg::SparseMatrix;
+using linalg::Vector;
+
+/// A 3×5 plan with positive and zero entries (zeros exercise the CSR
+/// backing's implicit-zero handling).
+Matrix SamplePlanMatrix() {
+  Matrix m(3, 5, 0.0);
+  m(0, 0) = 0.30;
+  m(0, 2) = 0.10;
+  m(1, 1) = 0.05;
+  m(1, 3) = 0.25;
+  m(1, 4) = 0.05;
+  m(2, 2) = 0.25;
+  return m;
+}
+
+struct PlanPair {
+  ot::TransportPlan dense;
+  ot::TransportPlan sparse;
+};
+
+PlanPair MakePair(const Matrix& m) {
+  const prob::Domain dom = prob::Domain::FromCardinalities({5});
+  const std::vector<size_t> rows{0, 2, 4};
+  const std::vector<size_t> cols{0, 1, 2, 3, 4};
+  return {ot::TransportPlan(dom, rows, cols, m),
+          ot::TransportPlan(dom, rows, cols, SparseMatrix::FromDense(m))};
+}
+
+TEST(PlanStorageTest, BackingIsReported) {
+  const PlanPair pair = MakePair(SamplePlanMatrix());
+  EXPECT_FALSE(pair.dense.IsSparse());
+  EXPECT_TRUE(pair.sparse.IsSparse());
+  EXPECT_EQ(pair.dense.Nnz(), 15u);   // rows×cols for dense storage
+  EXPECT_EQ(pair.sparse.Nnz(), 6u);   // stored nonzeros
+  // Footprint follows the backing store (CSR wins once zeros dominate; at
+  // this toy size the row pointers still outweigh the saved zeros).
+  EXPECT_EQ(pair.dense.MemoryBytes(), 15u * sizeof(double));
+  EXPECT_EQ(pair.sparse.MemoryBytes(),
+            6u * (sizeof(double) + sizeof(size_t)) + 4u * sizeof(size_t));
+  EXPECT_TRUE(pair.sparse.Densify().ApproxEquals(pair.dense.Densify(), 0.0));
+}
+
+TEST(PlanStorageTest, MarginalsAgreeBitForBit) {
+  const PlanPair pair = MakePair(SamplePlanMatrix());
+  const Vector src_d = pair.dense.SourceMarginal();
+  const Vector src_s = pair.sparse.SourceMarginal();
+  const Vector tgt_d = pair.dense.TargetMarginal();
+  const Vector tgt_s = pair.sparse.TargetMarginal();
+  ASSERT_EQ(src_s.size(), src_d.size());
+  ASSERT_EQ(tgt_s.size(), tgt_d.size());
+  for (size_t i = 0; i < src_d.size(); ++i) EXPECT_EQ(src_s[i], src_d[i]);
+  for (size_t j = 0; j < tgt_d.size(); ++j) EXPECT_EQ(tgt_s[j], tgt_d[j]);
+}
+
+TEST(PlanStorageTest, ConditionalRowAgreesBitForBit) {
+  const PlanPair pair = MakePair(SamplePlanMatrix());
+  for (size_t r = 0; r < 3; ++r) {
+    const Vector cd = pair.dense.ConditionalRow(r);
+    const Vector cs = pair.sparse.ConditionalRow(r);
+    ASSERT_EQ(cs.size(), cd.size());
+    for (size_t j = 0; j < cd.size(); ++j) EXPECT_EQ(cs[j], cd[j]);
+  }
+}
+
+TEST(PlanStorageTest, MapRepairAgrees) {
+  const PlanPair pair = MakePair(SamplePlanMatrix());
+  for (size_t cell = 0; cell < 5; ++cell) {
+    EXPECT_EQ(pair.sparse.MapRepair(cell), pair.dense.MapRepair(cell));
+  }
+}
+
+TEST(PlanStorageTest, SampleRepairSharesTheRngStream) {
+  // Identical entries => identical draws and identical repairs, so the two
+  // backings advance a shared RNG stream in lockstep.
+  const PlanPair pair = MakePair(SamplePlanMatrix());
+  Rng rng_d(123), rng_s(123);
+  for (int trial = 0; trial < 500; ++trial) {
+    const size_t cell = static_cast<size_t>(trial % 5);
+    EXPECT_EQ(pair.sparse.SampleRepair(cell, rng_s),
+              pair.dense.SampleRepair(cell, rng_d));
+  }
+  // Streams stayed in sync throughout.
+  EXPECT_EQ(rng_s.NextUint64(), rng_d.NextUint64());
+}
+
+TEST(PlanStorageTest, MasslessAndUnknownRowsAreIdentityOnBothBackings) {
+  Matrix m = SamplePlanMatrix();
+  for (size_t j = 0; j < 5; ++j) m(2, j) = 0.0;  // row 2 loses all mass
+  const PlanPair pair = MakePair(m);
+  Rng rng(5);
+  EXPECT_EQ(pair.sparse.SampleRepair(4, rng), 4u);  // massless row
+  EXPECT_EQ(pair.sparse.MapRepair(4), 4u);
+  EXPECT_EQ(pair.sparse.SampleRepair(3, rng), 3u);  // not in row support
+  EXPECT_EQ(pair.sparse.MapRepair(3), 3u);
+}
+
+// -------------------------------------------- solver-to-repair pipeline --
+
+TEST(PlanStorageTest, CutoffZeroSolvesAgreeAcrossBackings) {
+  Rng rng(17);
+  Matrix cost(8, 8);
+  for (double& v : cost.data()) v = rng.NextDouble() * 2.0;
+  Vector p(8), q(8);
+  for (size_t i = 0; i < 8; ++i) {
+    p[i] = 0.1 + rng.NextDouble();
+    q[i] = 0.1 + rng.NextDouble();
+  }
+  p.Normalize();
+  q.Normalize();
+  ot::SinkhornOptions opts;
+  opts.epsilon = 0.15;
+  opts.num_threads = 1;
+  const auto dense = ot::RunSinkhorn(cost, p, q, opts).value();
+  const auto sparse = ot::RunSinkhornSparse(cost, p, q, opts, 0.0).value();
+
+  const prob::Domain dom = prob::Domain::FromCardinalities({8});
+  std::vector<size_t> cells(8);
+  for (size_t i = 0; i < 8; ++i) cells[i] = i;
+  const ot::TransportPlan dense_plan(dom, cells, cells, dense.plan);
+  const ot::TransportPlan sparse_plan(dom, cells, cells, sparse.plan);
+  ASSERT_TRUE(sparse_plan.IsSparse());
+
+  Rng rng_d(99), rng_s(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t cell = static_cast<size_t>(trial % 8);
+    EXPECT_EQ(sparse_plan.SampleRepair(cell, rng_s),
+              dense_plan.SampleRepair(cell, rng_d));
+    EXPECT_EQ(sparse_plan.MapRepair(cell), dense_plan.MapRepair(cell));
+  }
+}
+
+TEST(PlanStorageTest, TruncatedFastOtCleanKeepsThePlanSparse) {
+  datagen::ScalingDatasetOptions gen;
+  gen.num_rows = 1200;
+  gen.num_z_attrs = 1;
+  gen.z_card = 3;
+  gen.violation = 0.6;
+  gen.seed = 11;
+  const auto table = datagen::MakeScalingDataset(gen).value();
+  const core::CiConstraint ci({"x"}, {"y"}, {"z0"});
+  const auto u_cols = ci.ResolveColumns(table.schema()).value();
+  const auto p = table.Empirical(u_cols);
+  const auto spec = ci.SpecInProjectedDomain();
+  ot::EuclideanCost cost(u_cols.size());
+
+  core::FastOtCleanOptions opts;
+  opts.epsilon = 0.1;
+  opts.max_outer_iterations = 60;
+  opts.kernel_truncation = 1e-8;
+
+  Rng rng(12);
+  const auto r = core::FastOtClean(p, spec, cost, opts, rng).value();
+  // The acceptance criterion: with truncation on, the plan is CSR-backed
+  // end to end and holds exactly the truncated kernel's support — never a
+  // dense rows×cols matrix.
+  EXPECT_TRUE(r.plan.IsSparse());
+  EXPECT_EQ(r.plan.Nnz(), r.kernel_nnz);
+  EXPECT_LT(r.plan.Nnz(),
+            r.plan.row_cells().size() * r.plan.col_cells().size());
+  // And it still repairs: sampling stays inside the column support.
+  Rng sample_rng(3);
+  const size_t repaired = r.plan.SampleRepair(r.plan.row_cells()[0],
+                                              sample_rng);
+  EXPECT_LT(repaired, r.plan.domain().TotalSize());
+}
+
+TEST(PlanStorageTest, RepairTableReportsSparsePlanStorage) {
+  datagen::ScalingDatasetOptions gen;
+  gen.num_rows = 1000;
+  gen.num_z_attrs = 1;
+  gen.z_card = 3;
+  gen.violation = 0.6;
+  gen.seed = 21;
+  const auto table = datagen::MakeScalingDataset(gen).value();
+  const core::CiConstraint ci({"x"}, {"y"}, {"z0"});
+  // Unweighted Euclidean over (x, y, z0): the truncation below keeps every
+  // x/y flip (the moves a CI repair needs) and drops only far z moves.
+  ot::EuclideanCost cost(3);
+
+  core::RepairOptions options;
+  options.fast.epsilon = 0.1;
+  options.fast.max_outer_iterations = 60;
+  options.fast.kernel_truncation = 1e-8;
+  const auto report = core::RepairTable(table, ci, options, &cost).value();
+  EXPECT_TRUE(report.plan_sparse);
+  EXPECT_GT(report.plan_nnz, 0u);
+  EXPECT_EQ(report.plan_nnz, report.kernel_nnz);
+  EXPECT_LT(report.final_cmi, report.initial_cmi * 0.5);
+
+  core::RepairOptions dense_options = options;
+  dense_options.fast.kernel_truncation = 0.0;
+  const auto dense_report =
+      core::RepairTable(table, ci, dense_options, &cost).value();
+  EXPECT_FALSE(dense_report.plan_sparse);
+  EXPECT_GT(dense_report.plan_nnz, report.plan_nnz);
+}
+
+// ------------------------------------------------ truncation guard rails --
+
+TEST(PlanStorageTest, SparseSinkhornRejectsLogDomain) {
+  Matrix cost(2, 2, 0.0);
+  const Vector p(std::vector<double>{0.5, 0.5});
+  ot::SinkhornOptions opts;
+  opts.log_domain = true;
+  const auto r = ot::RunSinkhornSparse(cost, p, p, opts, 0.0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("log_domain"), std::string::npos);
+}
+
+TEST(PlanStorageTest, SparseSinkhornRejectsStrandedRowMass) {
+  // Row 1 is far from every target: with this cutoff all its kernel
+  // entries vanish, so its source mass could never be transported.
+  Matrix cost(2, 2, 0.0);
+  cost(1, 0) = 10.0;
+  cost(1, 1) = 10.0;
+  const Vector p(std::vector<double>{0.5, 0.5});
+  ot::SinkhornOptions opts;
+  opts.epsilon = 0.5;  // exp(-10/0.5) = e^-20 << cutoff
+  const auto r = ot::RunSinkhornSparse(cost, p, p, opts, 1e-6);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("row 1"), std::string::npos);
+}
+
+TEST(PlanStorageTest, SparseSinkhornRejectsStrandedColumnMass) {
+  Matrix cost(2, 2, 0.0);
+  cost(0, 1) = 10.0;
+  cost(1, 1) = 10.0;
+  const Vector p(std::vector<double>{0.5, 0.5});
+  ot::SinkhornOptions opts;
+  opts.epsilon = 0.5;
+  const auto r = ot::RunSinkhornSparse(cost, p, p, opts, 1e-6);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("column 1"), std::string::npos);
+}
+
+TEST(PlanStorageTest, RelaxedModeToleratesEmptyColumns) {
+  // Relaxed OT only soft-matches the target marginal, so an unreachable
+  // column is legitimately under-served rather than an error (the policy
+  // FastOtClean relies on); stranded *source* mass still fails.
+  Matrix cost(2, 2, 0.0);
+  cost(0, 1) = 10.0;
+  cost(1, 1) = 10.0;
+  const Vector p(std::vector<double>{0.5, 0.5});
+  ot::SinkhornOptions opts;
+  opts.epsilon = 0.5;
+  opts.relaxed = true;
+  const auto r = ot::RunSinkhornSparse(cost, p, p, opts, 1e-6);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->plan.ToDense().ColSums()[1], 0.0);
+
+  Matrix row_cost(2, 2, 0.0);
+  row_cost(1, 0) = 10.0;
+  row_cost(1, 1) = 10.0;
+  EXPECT_FALSE(ot::RunSinkhornSparse(row_cost, p, p, opts, 1e-6).ok());
+}
+
+TEST(PlanStorageTest, FastOtCleanRejectsTruncationThatStrandsSourceMass) {
+  datagen::ScalingDatasetOptions gen;
+  gen.num_rows = 300;
+  gen.num_z_attrs = 1;
+  gen.z_card = 2;
+  gen.violation = 0.4;
+  gen.seed = 31;
+  const auto table = datagen::MakeScalingDataset(gen).value();
+  const core::CiConstraint ci({"x"}, {"y"}, {"z0"});
+  const auto u_cols = ci.ResolveColumns(table.schema()).value();
+  const auto p = table.Empirical(u_cols);
+  const auto spec = ci.SpecInProjectedDomain();
+  ot::EuclideanCost cost(u_cols.size());
+
+  core::FastOtCleanOptions opts;
+  // Kernel entries are e^{-c/eps} <= 1, so a cutoff above 1 empties every
+  // row — the degenerate limit of an over-aggressive truncation.
+  opts.kernel_truncation = 1.5;
+  Rng rng(32);
+  const auto r = core::FastOtClean(p, spec, cost, opts, rng);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("stranded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace otclean

@@ -132,13 +132,22 @@ int main(int argc, char** argv) {
   if (!report.ok()) return Fail(report.status().ToString());
 
   if (args.report) {
+    const std::string kernel_note =
+        report->kernel_nnz > 0
+            ? " [kernel nnz " + std::to_string(report->kernel_nnz) + "]"
+            : "";
     std::fprintf(stderr,
                  "constraint %s\n  CMI: %.6f -> %.6f (target %.2e)\n"
-                 "  transport cost: %.6f; outer iterations: %zu%s\n",
+                 "  transport cost: %.6f; outer iterations: %zu%s\n"
+                 "  plan storage: %s, %zu entries (%.1f KiB)%s\n",
                  constraint.ToString().c_str(), report->initial_cmi,
                  report->final_cmi, report->target_cmi,
                  report->transport_cost, report->outer_iterations,
-                 report->converged ? "" : " (iteration cap)");
+                 report->converged ? "" : " (iteration cap)",
+                 report->plan_sparse ? "sparse (CSR)" : "dense",
+                 report->plan_nnz,
+                 static_cast<double>(report->plan_memory_bytes) / 1024.0,
+                 kernel_note.c_str());
   }
 
   const std::string output = get("output");
