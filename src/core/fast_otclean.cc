@@ -15,18 +15,32 @@ namespace {
 /// Holds whichever kernel storage the truncation option selects, built
 /// ONCE per repair — cost and ε are invariant across the outer loop, so
 /// each outer step only reruns the (warm-started) scaling loop.
+///
+/// The truncated path is cost-free in the O(rows×cols) sense: the kernel
+/// is built by streaming the CostProvider tile-by-tile, and every ⟨C, π⟩
+/// evaluation gathers cost entries only at the kernel's support — the
+/// dense cost matrix is materialized exclusively for the dense path.
 struct OuterLoopKernel {
   std::optional<linalg::DenseTransportKernel> dense;
   std::optional<linalg::SparseTransportKernel> sparse;
+  /// Sparse path only: C gathered once at the kernel's support (O(nnz)),
+  /// so the outer loop's repeated ⟨C, π⟩ evaluations never re-invoke the
+  /// cost function.
+  std::vector<double> support_costs;
+  /// Dense path only (empty when sparse): the materialized cost, used for
+  /// the zero-copy TransportCost fast path.
+  linalg::Matrix cost_matrix;
 
-  OuterLoopKernel(const linalg::Matrix& cost_matrix,
+  OuterLoopKernel(const linalg::CostProvider& cost,
                   const FastOtCleanOptions& options,
                   linalg::ThreadPool* pool) {
     if (options.kernel_truncation > 0.0) {
       sparse.emplace(linalg::SparseTransportKernel::FromCost(
-          cost_matrix, options.epsilon, options.kernel_truncation,
+          cost, options.epsilon, options.kernel_truncation,
           options.num_threads, pool));
+      support_costs = sparse->GatherSupportCosts(cost);
     } else {
+      cost_matrix = linalg::MaterializeCostMatrix(cost);
       dense.emplace(linalg::DenseTransportKernel::FromCost(
           cost_matrix, options.epsilon, options.num_threads, pool));
     }
@@ -46,6 +60,13 @@ struct OuterLoopKernel {
                   : *dense;
   }
 
+  /// ⟨C, π⟩ at the current potentials: in-memory cost rows on the dense
+  /// path, the cached O(nnz) support costs on the sparse one.
+  double TransportCost(const linalg::Vector& u, const linalg::Vector& v) const {
+    return sparse ? sparse->SupportTransportCost(support_costs, u, v)
+                  : dense->TransportCost(cost_matrix, u, v);
+  }
+
   /// Materializes the final plan from the converged scaling vectors and
   /// stores ⟨C, π⟩ in `transport_cost`. The sparse path stays CSR end to
   /// end — TransportPlan keeps the CSR backing, so no dense rows×cols
@@ -53,18 +74,16 @@ struct OuterLoopKernel {
   ot::TransportPlan MaterializePlan(const prob::Domain& dom,
                                     const std::vector<size_t>& row_cells,
                                     const std::vector<size_t>& col_cells,
-                                    const linalg::Matrix& cost_matrix,
                                     const linalg::Vector& u,
                                     const linalg::Vector& v,
                                     double& transport_cost) const {
+    transport_cost = TransportCost(u, v);
     if (sparse) {
-      linalg::SparseMatrix plan = sparse->ScaleToPlanSparse(u, v);
-      transport_cost = plan.FrobeniusDotDense(cost_matrix);
-      return ot::TransportPlan(dom, row_cells, col_cells, std::move(plan));
+      return ot::TransportPlan(dom, row_cells, col_cells,
+                               sparse->ScaleToPlanSparse(u, v));
     }
-    linalg::Matrix plan = dense->ScaleToPlan(u, v);
-    transport_cost = cost_matrix.FrobeniusDot(plan);
-    return ot::TransportPlan(dom, row_cells, col_cells, std::move(plan));
+    return ot::TransportPlan(dom, row_cells, col_cells,
+                             dense->ScaleToPlan(u, v));
   }
 };
 
@@ -187,8 +206,7 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
   linalg::Vector p(row_cells.size());
   for (size_t i = 0; i < row_cells.size(); ++i) p[i] = p_data[row_cells[i]];
 
-  const linalg::Matrix cost_matrix =
-      ot::BuildCostMatrix(dom, row_cells, col_cells, cost);
+  const ot::FunctionCostProvider cost_view(dom, row_cells, col_cells, cost);
 
   // Initial target distribution Q (Section 5, default optimization 2).
   prob::JointDistribution q(dom);
@@ -214,7 +232,7 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
   linalg::ThreadPool* pool = linalg::ResolveSolvePool(
       options.thread_pool, options.num_threads, owned_pool);
 
-  const OuterLoopKernel kernel_storage(cost_matrix, options, pool);
+  const OuterLoopKernel kernel_storage(cost_view, options, pool);
   OTCLEAN_RETURN_NOT_OK(kernel_storage.CheckSupport(p, "FastOtClean"));
   const linalg::TransportKernel& kernel = kernel_storage.get();
 
@@ -239,7 +257,7 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
     warm_v = std::move(sr.v);
     result.total_sinkhorn_iterations += sr.iterations;
     result.objective_trace.push_back(
-        kernel.TransportCost(cost_matrix, warm_u, warm_v));
+        kernel_storage.TransportCost(warm_u, warm_v));
 
     // --- Outer step B: rebuild Q from the plan's target marginal via the
     // per-slice rank-one KL factorization (Algorithm 2 lines 8–13). ---
@@ -278,8 +296,8 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
   }
 
   result.plan =
-      kernel_storage.MaterializePlan(dom, row_cells, col_cells, cost_matrix,
-                                     warm_u, warm_v, result.transport_cost);
+      kernel_storage.MaterializePlan(dom, row_cells, col_cells, warm_u,
+                                     warm_v, result.transport_cost);
   result.target = q;
   result.target_cmi = prob::ConditionalMutualInformation(q, ci);
   return result;
@@ -331,8 +349,7 @@ Result<FastOtCleanResult> FastOtCleanMulti(
   linalg::Vector p(row_cells.size());
   for (size_t i = 0; i < row_cells.size(); ++i) p[i] = p_data[row_cells[i]];
 
-  const linalg::Matrix cost_matrix =
-      ot::BuildCostMatrix(dom, row_cells, col_cells, cost);
+  const ot::FunctionCostProvider cost_view(dom, row_cells, col_cells, cost);
 
   prob::JointDistribution q(dom);
   if (options.nmf_init) {
@@ -357,7 +374,7 @@ Result<FastOtCleanResult> FastOtCleanMulti(
   linalg::ThreadPool* pool = linalg::ResolveSolvePool(
       options.thread_pool, options.num_threads, owned_pool);
 
-  const OuterLoopKernel kernel_storage(cost_matrix, options, pool);
+  const OuterLoopKernel kernel_storage(cost_view, options, pool);
   OTCLEAN_RETURN_NOT_OK(kernel_storage.CheckSupport(p, "FastOtCleanMulti"));
   const linalg::TransportKernel& kernel = kernel_storage.get();
 
@@ -381,7 +398,7 @@ Result<FastOtCleanResult> FastOtCleanMulti(
     warm_v = std::move(sr.v);
     result.total_sinkhorn_iterations += sr.iterations;
     result.objective_trace.push_back(
-        kernel.TransportCost(cost_matrix, warm_u, warm_v));
+        kernel_storage.TransportCost(warm_u, warm_v));
 
     // Column marginal of diag(u)·K·diag(v): (Kᵀu) ∘ v.
     kernel.ApplyTranspose(warm_u, ktu);
@@ -413,8 +430,8 @@ Result<FastOtCleanResult> FastOtCleanMulti(
   }
 
   result.plan =
-      kernel_storage.MaterializePlan(dom, row_cells, col_cells, cost_matrix,
-                                     warm_u, warm_v, result.transport_cost);
+      kernel_storage.MaterializePlan(dom, row_cells, col_cells, warm_u,
+                                     warm_v, result.transport_cost);
   result.target = q;
   result.target_cmi = prob::MaxCmi(q, cis);
   return result;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "linalg/simd.h"
+
 namespace otclean::core {
 
 Status OtCleanRepairer::Fit(const dataset::Table& table,
@@ -69,6 +71,7 @@ Status OtCleanRepairer::Fit(const dataset::Table& table,
   fit_report_.plan_sparse = plan_.IsSparse();
   fit_report_.plan_nnz = plan_.Nnz();
   fit_report_.plan_memory_bytes = plan_.MemoryBytes();
+  fit_report_.simd_isa = linalg::simd::ActiveIsaName();
   fitted_ = true;
   return Status::OK();
 }
@@ -200,6 +203,7 @@ Result<RepairReport> RepairTableMulti(
   report.plan_sparse = r.plan.IsSparse();
   report.plan_nnz = r.plan.Nnz();
   report.plan_memory_bytes = r.plan.MemoryBytes();
+  report.simd_isa = linalg::simd::ActiveIsaName();
 
   // Apply the cleaner row by row over the union columns.
   Rng apply_rng(options.seed ^ 0xfeedbeefull);

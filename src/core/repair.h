@@ -53,6 +53,10 @@ struct RepairReport {
   /// Nonzeros of the (possibly truncated) Gibbs kernel the solver iterated
   /// on (FastOTClean only; 0 for QCLP, which solves LPs instead).
   size_t kernel_nnz = 0;
+  /// Instruction set the kernel primitives dispatched on ("scalar",
+  /// "avx2", "avx512", "neon" — see linalg/simd.h; override with the
+  /// OTCLEAN_SIMD environment variable).
+  const char* simd_isa = "";
 };
 
 /// A fitted probabilistic data cleaner: learns the transport plan from one

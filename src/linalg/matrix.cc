@@ -5,6 +5,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "linalg/simd.h"
+
 namespace otclean::linalg {
 
 Matrix Matrix::Identity(size_t n) {
@@ -40,10 +42,7 @@ Vector Matrix::MatVec(const Vector& x) const {
   assert(x.size() == cols_);
   Vector y(rows_);
   for (size_t r = 0; r < rows_; ++r) {
-    double s = 0.0;
-    const double* row = data_.data() + r * cols_;
-    for (size_t c = 0; c < cols_; ++c) s += row[c] * x[c];
-    y[r] = s;
+    y[r] = simd::Dot(data_.data() + r * cols_, x.begin(), cols_);
   }
   return y;
 }
@@ -54,8 +53,7 @@ Vector Matrix::TransposeMatVec(const Vector& x) const {
   for (size_t r = 0; r < rows_; ++r) {
     const double xr = x[r];
     if (xr == 0.0) continue;
-    const double* row = data_.data() + r * cols_;
-    for (size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+    simd::Axpy(xr, data_.data() + r * cols_, y.begin(), cols_);
   }
   return y;
 }
@@ -63,10 +61,7 @@ Vector Matrix::TransposeMatVec(const Vector& x) const {
 Vector Matrix::RowSums() const {
   Vector y(rows_);
   for (size_t r = 0; r < rows_; ++r) {
-    double s = 0.0;
-    const double* row = data_.data() + r * cols_;
-    for (size_t c = 0; c < cols_; ++c) s += row[c];
-    y[r] = s;
+    y[r] = simd::Sum(data_.data() + r * cols_, cols_);
   }
   return y;
 }
@@ -80,11 +75,7 @@ Vector Matrix::ColSums() const {
   return y;
 }
 
-double Matrix::Sum() const {
-  double s = 0.0;
-  for (double v : data_) s += v;
-  return s;
-}
+double Matrix::Sum() const { return simd::Sum(data_.data(), data_.size()); }
 
 double Matrix::NormInf() const {
   double m = 0.0;
@@ -104,10 +95,8 @@ Matrix Matrix::ScaleRowsCols(const Vector& u, const Vector& v) const {
   assert(u.size() == rows_ && v.size() == cols_);
   Matrix out(rows_, cols_);
   for (size_t r = 0; r < rows_; ++r) {
-    const double ur = u[r];
-    const double* row = data_.data() + r * cols_;
-    double* orow = out.data_.data() + r * cols_;
-    for (size_t c = 0; c < cols_; ++c) orow[c] = ur * row[c] * v[c];
+    simd::ScaledHadamard(u[r], data_.data() + r * cols_, v.begin(),
+                         out.data_.data() + r * cols_, cols_);
   }
   return out;
 }
@@ -115,9 +104,8 @@ Matrix Matrix::ScaleRowsCols(const Vector& u, const Vector& v) const {
 Matrix Matrix::CwiseProduct(const Matrix& other) const {
   assert(rows_ == other.rows_ && cols_ == other.cols_);
   Matrix out(rows_, cols_);
-  for (size_t i = 0; i < data_.size(); ++i) {
-    out.data_[i] = data_[i] * other.data_[i];
-  }
+  simd::Hadamard(data_.data(), other.data_.data(), out.data_.data(),
+                 data_.size());
   return out;
 }
 
@@ -149,9 +137,7 @@ Matrix& Matrix::operator*=(double scalar) {
 
 double Matrix::FrobeniusDot(const Matrix& other) const {
   assert(rows_ == other.rows_ && cols_ == other.cols_);
-  double s = 0.0;
-  for (size_t i = 0; i < data_.size(); ++i) s += data_[i] * other.data_[i];
-  return s;
+  return simd::Dot(data_.data(), other.data_.data(), data_.size());
 }
 
 bool Matrix::ApproxEquals(const Matrix& other, double tol) const {

@@ -1,0 +1,311 @@
+// Scalar reference tier + runtime dispatch for the SIMD primitives.
+//
+// The scalar functions are the semantics every vector tier is tested
+// against (tests/simd_test.cc) and the baseline bench_simd_kernel measures
+// speedups over. They are pinned to genuinely scalar code — on GCC the
+// optimizer is told not to auto-vectorize them — so "scalar vs SIMD"
+// numbers compare one element per operation against real vector code, not
+// against whatever the compiler managed to vectorize on its own.
+
+#include "linalg/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace otclean::linalg::simd {
+
+namespace {
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define OTCLEAN_NOVEC __attribute__((optimize("no-tree-vectorize")))
+#else
+#define OTCLEAN_NOVEC
+#endif
+
+OTCLEAN_NOVEC double ScalarDot(const double* a, const double* b, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+OTCLEAN_NOVEC double ScalarDot3(const double* a, const double* b,
+                                const double* c, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += (a[i] * b[i]) * c[i];
+  return s;
+}
+
+OTCLEAN_NOVEC double ScalarSum(const double* a, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += a[i];
+  return s;
+}
+
+OTCLEAN_NOVEC double ScalarGatherDot(const double* vals, const size_t* idx,
+                                     const double* x, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += vals[i] * x[idx[i]];
+  return s;
+}
+
+OTCLEAN_NOVEC double ScalarGatherDot3(const double* a, const double* b,
+                                      const size_t* idx, const double* x,
+                                      size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += (a[i] * b[i]) * x[idx[i]];
+  return s;
+}
+
+OTCLEAN_NOVEC void ScalarAxpy(double c, const double* a, double* y,
+                              size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += c * a[i];
+}
+
+OTCLEAN_NOVEC void ScalarAxpyRows(const double* coeffs, const double* base,
+                                  size_t row_stride, size_t num_rows,
+                                  double* y, size_t n) {
+  // Plain row-at-a-time sweep — the seed's ApplyTranspose inner loop, and
+  // the bench's honest "before" baseline. The vector tiers' two-row
+  // blocking accumulates identically per element (see simd_impl.h).
+  for (size_t r = 0; r < num_rows; ++r) {
+    const double c = coeffs[r];
+    if (c == 0.0) continue;  // zero rows are skipped in every tier (simd.h)
+    const double* a = base + r * row_stride;
+    for (size_t i = 0; i < n; ++i) y[i] += c * a[i];
+  }
+}
+
+OTCLEAN_NOVEC void ScalarHadamard(const double* a, const double* b,
+                                  double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+OTCLEAN_NOVEC void ScalarScaledHadamard(double s, const double* a,
+                                        const double* b, double* out,
+                                        size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = (s * a[i]) * b[i];
+}
+
+OTCLEAN_NOVEC void ScalarGatherScaledHadamard(double s, const double* vals,
+                                              const size_t* idx,
+                                              const double* x, double* out,
+                                              size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = (s * vals[i]) * x[idx[i]];
+}
+
+#undef OTCLEAN_NOVEC
+
+/// True when the running CPU can execute `isa` (independent of whether the
+/// tier was compiled in).
+bool CpuSupports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+#if defined(__x86_64__) && defined(__GNUC__)
+    case Isa::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case Isa::kAvx512:
+      return __builtin_cpu_supports("avx512f");
+#else
+    case Isa::kAvx2:
+    case Isa::kAvx512:
+      return false;
+#endif
+    case Isa::kNeon:
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const detail::SimdOps* OpsFor(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return detail::GetScalarOps();
+    case Isa::kAvx2:
+      return detail::GetAvx2Ops();
+    case Isa::kAvx512:
+      return detail::GetAvx512Ops();
+    case Isa::kNeon:
+      return detail::GetNeonOps();
+  }
+  return nullptr;
+}
+
+/// Widest supported tier, honoring an OTCLEAN_SIMD env override. An
+/// unsupported or unknown request degrades to the best supported tier.
+Isa SelectIsa() {
+  if (const char* env = std::getenv("OTCLEAN_SIMD")) {
+    Isa requested = Isa::kScalar;
+    bool known = true;
+    if (std::strcmp(env, "scalar") == 0) {
+      requested = Isa::kScalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      requested = Isa::kAvx2;
+    } else if (std::strcmp(env, "avx512") == 0) {
+      requested = Isa::kAvx512;
+    } else if (std::strcmp(env, "neon") == 0) {
+      requested = Isa::kNeon;
+    } else {
+      known = false;
+    }
+    if (known && IsaSupported(requested)) return requested;
+  }
+  for (Isa isa : {Isa::kAvx512, Isa::kAvx2, Isa::kNeon}) {
+    if (IsaSupported(isa)) return isa;
+  }
+  return Isa::kScalar;
+}
+
+struct Dispatch {
+  std::atomic<const detail::SimdOps*> ops{nullptr};
+  std::atomic<Isa> isa{Isa::kScalar};
+};
+
+Dispatch& ActiveDispatch() {
+  static Dispatch dispatch;
+  return dispatch;
+}
+
+const detail::SimdOps& Active() {
+  Dispatch& d = ActiveDispatch();
+  const detail::SimdOps* ops = d.ops.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    static std::once_flag init;
+    std::call_once(init, [&d] {
+      const Isa isa = SelectIsa();
+      d.isa.store(isa, std::memory_order_relaxed);
+      d.ops.store(OpsFor(isa), std::memory_order_release);
+    });
+    ops = d.ops.load(std::memory_order_acquire);
+  }
+  return *ops;
+}
+
+}  // namespace
+
+namespace detail {
+const SimdOps* GetScalarOps() {
+  static const SimdOps ops = [] {
+    SimdOps o;
+    o.dot = ScalarDot;
+    o.dot3 = ScalarDot3;
+    o.sum = ScalarSum;
+    o.gather_dot = ScalarGatherDot;
+    o.gather_dot3 = ScalarGatherDot3;
+    o.axpy = ScalarAxpy;
+    o.axpy_rows = ScalarAxpyRows;
+    o.hadamard = ScalarHadamard;
+    o.scaled_hadamard = ScalarScaledHadamard;
+    o.gather_scaled_hadamard = ScalarGatherScaledHadamard;
+    return o;
+  }();
+  return &ops;
+}
+}  // namespace detail
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool IsaSupported(Isa isa) {
+  // CpuSupports MUST short-circuit first: OpsFor() executes the ISA TU's
+  // table getter, whose static-init code the compiler emits with that
+  // ISA's instructions (e.g. zmm moves in GetAvx512Ops) — calling it on a
+  // CPU without the ISA is itself an illegal instruction.
+  return CpuSupports(isa) && OpsFor(isa) != nullptr;
+}
+
+std::vector<Isa> SupportedIsas() {
+  std::vector<Isa> out;
+  for (Isa isa : {Isa::kScalar, Isa::kNeon, Isa::kAvx2, Isa::kAvx512}) {
+    if (IsaSupported(isa)) out.push_back(isa);
+  }
+  return out;
+}
+
+Isa ActiveIsa() {
+  Active();  // force dispatch selection
+  return ActiveDispatch().isa.load(std::memory_order_relaxed);
+}
+
+const char* ActiveIsaName() { return IsaName(ActiveIsa()); }
+
+bool SetIsa(Isa isa) {
+  if (!IsaSupported(isa)) return false;
+  Dispatch& d = ActiveDispatch();
+  d.isa.store(isa, std::memory_order_relaxed);
+  d.ops.store(OpsFor(isa), std::memory_order_release);
+  return true;
+}
+
+double Dot(const double* a, const double* b, size_t n) {
+  return Active().dot(a, b, n);
+}
+
+double Dot3(const double* a, const double* b, const double* c, size_t n) {
+  return Active().dot3(a, b, c, n);
+}
+
+double Sum(const double* a, size_t n) { return Active().sum(a, n); }
+
+double GatherDot(const double* vals, const size_t* idx, const double* x,
+                 size_t n) {
+  return Active().gather_dot(vals, idx, x, n);
+}
+
+double GatherDotSequential(const double* vals, const size_t* idx,
+                           const double* x, size_t n) {
+  // Not dispatched: the strictly sequential mul+add chain is the same code
+  // in every tier (lane parallelism cannot help a length-n dependency
+  // chain), and pinning one implementation keeps it bit-identical to the
+  // AxpyRows element chain everywhere.
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += vals[i] * x[idx[i]];
+  return s;
+}
+
+double GatherDot3(const double* a, const double* b, const size_t* idx,
+                  const double* x, size_t n) {
+  return Active().gather_dot3(a, b, idx, x, n);
+}
+
+void Axpy(double c, const double* a, double* y, size_t n) {
+  Active().axpy(c, a, y, n);
+}
+
+void AxpyRows(const double* coeffs, const double* base, size_t row_stride,
+              size_t num_rows, double* y, size_t n) {
+  Active().axpy_rows(coeffs, base, row_stride, num_rows, y, n);
+}
+
+void Hadamard(const double* a, const double* b, double* out, size_t n) {
+  Active().hadamard(a, b, out, n);
+}
+
+void ScaledHadamard(double s, const double* a, const double* b, double* out,
+                    size_t n) {
+  Active().scaled_hadamard(s, a, b, out, n);
+}
+
+void GatherScaledHadamard(double s, const double* vals, const size_t* idx,
+                          const double* x, double* out, size_t n) {
+  Active().gather_scaled_hadamard(s, vals, idx, x, out, n);
+}
+
+}  // namespace otclean::linalg::simd

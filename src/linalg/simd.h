@@ -1,0 +1,159 @@
+#ifndef OTCLEAN_LINALG_SIMD_H_
+#define OTCLEAN_LINALG_SIMD_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace otclean::linalg::simd {
+
+/// Runtime-dispatched SIMD primitives for the TransportKernel hot loops and
+/// the Vector/SparseMatrix helpers they lean on.
+///
+/// One instruction set is selected for the whole process the first time any
+/// primitive runs: the widest the CPU supports among the translation units
+/// compiled in (AVX-512F > AVX2+FMA on x86-64, NEON on aarch64), else the
+/// portable scalar reference. The `OTCLEAN_SIMD` environment variable
+/// (`scalar`, `avx2`, `avx512`, `neon`) forces a narrower choice — an
+/// unsupported request falls back to the best supported tier — and
+/// `ActiveIsaName()` reports what was picked (`otclean --report` prints it).
+///
+/// Determinism contract:
+///  - For a fixed ISA, every primitive is deterministic: reductions use a
+///    fixed accumulation recipe (4 lane-wide partial accumulators over
+///    blocks of 4×lanes, combined as (s0+s1)+(s2+s3), a single-accumulator
+///    lane loop, a fixed-order horizontal lane sum, then a scalar tail).
+///    Nothing depends on thread count — threading above this layer keeps
+///    its own fixed-block reductions (see parallel_for.h).
+///  - Contiguous and gather variants of the same reduction share that
+///    recipe, so e.g. `GatherDot(vals, idx, x, n)` with `idx = 0..n-1` is
+///    bit-identical to `Dot(vals, x, n)` — which keeps dense and
+///    cutoff-zero sparse kernels in exact agreement.
+///  - The elementwise primitives (Axpy, AxpyRows, Hadamard, …) and the
+///    sequential gather chain perform separately rounded multiplies and
+///    adds per element in a fixed order, so they are bit-identical across
+///    EVERY tier, scalar included — vectorization changes only how many
+///    elements move per instruction.
+///  - Only the lane-accumulated reductions (Dot, Dot3, Sum, GatherDot,
+///    GatherDot3) differ between tiers, and only to rounding: wider
+///    accumulators reorder the sum by a few ULP (tests/simd_test.cc pins
+///    the bound).
+enum class Isa {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+  kNeon = 3,
+};
+
+/// Lower-case name of an ISA ("scalar", "avx2", "avx512", "neon").
+const char* IsaName(Isa isa);
+
+/// The ISA the dispatched primitives currently run on.
+Isa ActiveIsa();
+const char* ActiveIsaName();
+
+/// True when `isa` was compiled in and the CPU can run it.
+bool IsaSupported(Isa isa);
+
+/// Every supported ISA, scalar first — what tests/benches iterate over.
+std::vector<Isa> SupportedIsas();
+
+/// Forces the dispatch to `isa` (no-op returning false when unsupported).
+/// For tests and benches comparing tiers; production code never calls it.
+/// Not thread-safe against concurrently running primitives.
+bool SetIsa(Isa isa);
+
+// ------------------------------------------------------------ reductions --
+
+/// Σ a[i]·b[i].
+double Dot(const double* a, const double* b, size_t n);
+
+/// Σ (a[i]·b[i])·c[i] — the dense ⟨C, u∘K∘v⟩ row kernel.
+double Dot3(const double* a, const double* b, const double* c, size_t n);
+
+/// Σ a[i].
+double Sum(const double* a, size_t n);
+
+/// Σ vals[k]·x[idx[k]] — the CSR/CSC row (column) gather kernel.
+double GatherDot(const double* vals, const size_t* idx, const double* x,
+                 size_t n);
+
+/// Σ vals[k]·x[idx[k]] accumulated in strictly sequential element order —
+/// the CSC transpose-apply kernel. Unlike GatherDot it never reorders the
+/// sum: one rounded multiply and one rounded add per element, exactly the
+/// chain AxpyRows applies to each output, so at full support the sparse
+/// transpose-apply is bit-identical to the dense one. The chain is
+/// latency-bound and identical in every tier (it is not dispatched) — the
+/// price of that exactness is that this one gather cannot use
+/// lane-parallel accumulators.
+double GatherDotSequential(const double* vals, const size_t* idx,
+                           const double* x, size_t n);
+
+/// Σ (a[k]·b[k])·x[idx[k]] — the sparse transport-cost row kernel
+/// (a = streamed costs, b = kernel values, x = v gathered at the support).
+double GatherDot3(const double* a, const double* b, const size_t* idx,
+                  const double* x, size_t n);
+
+// ----------------------------------------------------------- elementwise --
+
+/// y[i] += c·a[i] (separately rounded multiply and add per element —
+/// bit-identical in every tier).
+void Axpy(double c, const double* a, double* y, size_t n);
+
+/// y[i] += Σ_r coeffs[r]·base[r·row_stride + i] for i in [0, n) — the
+/// dense ApplyTranspose kernel: `num_rows` rows of a row-major matrix
+/// accumulated into one output strip, rows in ascending order with the
+/// same per-element mul+add chain as Axpy. Vector tiers block two rows
+/// per pass (halving the y read/write traffic); the blocking never
+/// changes the per-element accumulation order, so every tier — scalar's
+/// plain row-at-a-time sweep included — produces bit-identical output.
+/// Rows with coefficient exactly 0.0 are skipped without reading the row,
+/// in every tier (zero-mass marginals stay cheap, and 0·inf/0·NaN can
+/// never poison the accumulator); the skip is part of the primitive's
+/// semantics, so the cross-tier bit-identity holds for any row data.
+void AxpyRows(const double* coeffs, const double* base, size_t row_stride,
+              size_t num_rows, double* y, size_t n);
+
+/// out[i] = a[i]·b[i].
+void Hadamard(const double* a, const double* b, double* out, size_t n);
+
+/// out[i] = (s·a[i])·b[i] — the diag(u)·K·diag(v) row kernel.
+void ScaledHadamard(double s, const double* a, const double* b, double* out,
+                    size_t n);
+
+/// out[k] = (s·vals[k])·x[idx[k]] — the CSR ScaleToPlan row kernel.
+void GatherScaledHadamard(double s, const double* vals, const size_t* idx,
+                          const double* x, double* out, size_t n);
+
+namespace detail {
+
+/// The dispatch table one ISA translation unit fills in.
+struct SimdOps {
+  double (*dot)(const double*, const double*, size_t);
+  double (*dot3)(const double*, const double*, const double*, size_t);
+  double (*sum)(const double*, size_t);
+  double (*gather_dot)(const double*, const size_t*, const double*, size_t);
+  double (*gather_dot3)(const double*, const double*, const size_t*,
+                        const double*, size_t);
+  void (*axpy)(double, const double*, double*, size_t);
+  void (*axpy_rows)(const double*, const double*, size_t, size_t, double*,
+                    size_t);
+  void (*hadamard)(const double*, const double*, double*, size_t);
+  void (*scaled_hadamard)(double, const double*, const double*, double*,
+                          size_t);
+  void (*gather_scaled_hadamard)(double, const double*, const size_t*,
+                                 const double*, double*, size_t);
+};
+
+/// Per-ISA tables; null when the TU was compiled without that ISA (wrong
+/// architecture or missing compiler flags). CPU support is checked
+/// separately at dispatch time.
+const SimdOps* GetScalarOps();
+const SimdOps* GetAvx2Ops();
+const SimdOps* GetAvx512Ops();
+const SimdOps* GetNeonOps();
+
+}  // namespace detail
+
+}  // namespace otclean::linalg::simd
+
+#endif  // OTCLEAN_LINALG_SIMD_H_

@@ -1,0 +1,56 @@
+// AVX2+FMA tier of the SIMD dispatch. This file is compiled with
+// -mavx2 -mfma on x86-64 (see CMakeLists.txt); everywhere else it
+// collapses to a null table and the dispatcher skips the tier. Runtime CPU
+// support is checked in simd.cc before the table is ever selected.
+
+#include "linalg/simd.h"
+
+#if defined(__x86_64__) && defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include "linalg/simd_impl.h"
+
+namespace otclean::linalg::simd {
+namespace {
+
+struct PackAvx2 {
+  using V = __m256d;
+  static constexpr size_t kLanes = 4;
+  static V Zero() { return _mm256_setzero_pd(); }
+  static V Set1(double x) { return _mm256_set1_pd(x); }
+  static V Load(const double* p) { return _mm256_loadu_pd(p); }
+  static void Store(double* p, V v) { _mm256_storeu_pd(p, v); }
+  static V Add(V a, V b) { return _mm256_add_pd(a, b); }
+  static V Mul(V a, V b) { return _mm256_mul_pd(a, b); }
+  static V Fma(V a, V b, V acc) { return _mm256_fmadd_pd(a, b, acc); }
+  static V Gather(const double* base, const size_t* idx) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx));
+    return _mm256_i64gather_pd(base, vi, 8);
+  }
+  static double ReduceAdd(V v) {
+    alignas(32) double l[4];
+    _mm256_store_pd(l, v);
+    return (l[0] + l[1]) + (l[2] + l[3]);
+  }
+};
+
+}  // namespace
+
+namespace detail {
+const SimdOps* GetAvx2Ops() {
+  static const SimdOps ops = impl::MakeOps<PackAvx2>();
+  return &ops;
+}
+}  // namespace detail
+
+}  // namespace otclean::linalg::simd
+
+#else  // non-x86-64 build or flags missing: tier unavailable.
+
+namespace otclean::linalg::simd::detail {
+const SimdOps* GetAvx2Ops() { return nullptr; }
+}  // namespace otclean::linalg::simd::detail
+
+#endif

@@ -1,0 +1,55 @@
+// AVX-512F tier of the SIMD dispatch. Compiled with -mavx512f on x86-64
+// (see CMakeLists.txt); a null table everywhere else. Runtime CPU support
+// is checked in simd.cc before the table is ever selected.
+
+#include "linalg/simd.h"
+
+#if defined(__x86_64__) && defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include "linalg/simd_impl.h"
+
+namespace otclean::linalg::simd {
+namespace {
+
+struct PackAvx512 {
+  using V = __m512d;
+  static constexpr size_t kLanes = 8;
+  static V Zero() { return _mm512_setzero_pd(); }
+  static V Set1(double x) { return _mm512_set1_pd(x); }
+  static V Load(const double* p) { return _mm512_loadu_pd(p); }
+  static void Store(double* p, V v) { _mm512_storeu_pd(p, v); }
+  static V Add(V a, V b) { return _mm512_add_pd(a, b); }
+  static V Mul(V a, V b) { return _mm512_mul_pd(a, b); }
+  static V Fma(V a, V b, V acc) { return _mm512_fmadd_pd(a, b, acc); }
+  static V Gather(const double* base, const size_t* idx) {
+    const __m512i vi =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(idx));
+    return _mm512_i64gather_pd(vi, base, 8);
+  }
+  static double ReduceAdd(V v) {
+    alignas(64) double l[8];
+    _mm512_store_pd(l, v);
+    return ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]));
+  }
+};
+
+}  // namespace
+
+namespace detail {
+const SimdOps* GetAvx512Ops() {
+  static const SimdOps ops = impl::MakeOps<PackAvx512>();
+  return &ops;
+}
+}  // namespace detail
+
+}  // namespace otclean::linalg::simd
+
+#else  // non-x86-64 build or flags missing: tier unavailable.
+
+namespace otclean::linalg::simd::detail {
+const SimdOps* GetAvx512Ops() { return nullptr; }
+}  // namespace otclean::linalg::simd::detail
+
+#endif

@@ -1,0 +1,258 @@
+#ifndef OTCLEAN_LINALG_SIMD_IMPL_H_
+#define OTCLEAN_LINALG_SIMD_IMPL_H_
+
+// Lane-pack-templated bodies of every SIMD primitive. Each ISA translation
+// unit (simd_avx2.cc, simd_avx512.cc, simd_neon.cc) defines a Pack type —
+//
+//   struct Pack {
+//     using V = <vector register type>;
+//     static constexpr size_t kLanes;
+//     static V Zero();
+//     static V Set1(double);
+//     static V Load(const double*);            // unaligned
+//     static void Store(double*, V);           // unaligned
+//     static V Add(V, V);
+//     static V Mul(V, V);
+//     static V Fma(V a, V b, V acc);           // acc + a·b, single rounding
+//     static V Gather(const double* base, const size_t* idx);
+//     static double ReduceAdd(V);              // fixed-order lane sum
+//   };
+//
+// — and instantiates these templates into its detail::SimdOps table.
+// Writing every body exactly once is what guarantees the contiguous and
+// gather variants of a reduction share the same accumulation recipe (see
+// the determinism contract in simd.h): GatherDot with identity indices is
+// bit-identical to Dot because both ARE the same template, modulo the load.
+//
+// Scalar tails use std::fma so the last partial elements round the same
+// way the vector body does.
+
+#include <cmath>
+#include <cstddef>
+
+namespace otclean::linalg::simd::impl {
+
+template <class P>
+double DotImpl(const double* a, const double* b, size_t n) {
+  constexpr size_t L = P::kLanes;
+  typename P::V s0 = P::Zero(), s1 = P::Zero(), s2 = P::Zero(),
+                s3 = P::Zero();
+  size_t i = 0;
+  for (; i + 4 * L <= n; i += 4 * L) {
+    s0 = P::Fma(P::Load(a + i), P::Load(b + i), s0);
+    s1 = P::Fma(P::Load(a + i + L), P::Load(b + i + L), s1);
+    s2 = P::Fma(P::Load(a + i + 2 * L), P::Load(b + i + 2 * L), s2);
+    s3 = P::Fma(P::Load(a + i + 3 * L), P::Load(b + i + 3 * L), s3);
+  }
+  typename P::V s = P::Add(P::Add(s0, s1), P::Add(s2, s3));
+  for (; i + L <= n; i += L) s = P::Fma(P::Load(a + i), P::Load(b + i), s);
+  double r = P::ReduceAdd(s);
+  for (; i < n; ++i) r = std::fma(a[i], b[i], r);
+  return r;
+}
+
+template <class P>
+double GatherDotImpl(const double* vals, const size_t* idx, const double* x,
+                     size_t n) {
+  constexpr size_t L = P::kLanes;
+  typename P::V s0 = P::Zero(), s1 = P::Zero(), s2 = P::Zero(),
+                s3 = P::Zero();
+  size_t i = 0;
+  for (; i + 4 * L <= n; i += 4 * L) {
+    s0 = P::Fma(P::Load(vals + i), P::Gather(x, idx + i), s0);
+    s1 = P::Fma(P::Load(vals + i + L), P::Gather(x, idx + i + L), s1);
+    s2 = P::Fma(P::Load(vals + i + 2 * L), P::Gather(x, idx + i + 2 * L), s2);
+    s3 = P::Fma(P::Load(vals + i + 3 * L), P::Gather(x, idx + i + 3 * L), s3);
+  }
+  typename P::V s = P::Add(P::Add(s0, s1), P::Add(s2, s3));
+  for (; i + L <= n; i += L) {
+    s = P::Fma(P::Load(vals + i), P::Gather(x, idx + i), s);
+  }
+  double r = P::ReduceAdd(s);
+  for (; i < n; ++i) r = std::fma(vals[i], x[idx[i]], r);
+  return r;
+}
+
+template <class P>
+double Dot3Impl(const double* a, const double* b, const double* c, size_t n) {
+  constexpr size_t L = P::kLanes;
+  typename P::V s0 = P::Zero(), s1 = P::Zero(), s2 = P::Zero(),
+                s3 = P::Zero();
+  size_t i = 0;
+  for (; i + 4 * L <= n; i += 4 * L) {
+    s0 = P::Fma(P::Mul(P::Load(a + i), P::Load(b + i)), P::Load(c + i), s0);
+    s1 = P::Fma(P::Mul(P::Load(a + i + L), P::Load(b + i + L)),
+                P::Load(c + i + L), s1);
+    s2 = P::Fma(P::Mul(P::Load(a + i + 2 * L), P::Load(b + i + 2 * L)),
+                P::Load(c + i + 2 * L), s2);
+    s3 = P::Fma(P::Mul(P::Load(a + i + 3 * L), P::Load(b + i + 3 * L)),
+                P::Load(c + i + 3 * L), s3);
+  }
+  typename P::V s = P::Add(P::Add(s0, s1), P::Add(s2, s3));
+  for (; i + L <= n; i += L) {
+    s = P::Fma(P::Mul(P::Load(a + i), P::Load(b + i)), P::Load(c + i), s);
+  }
+  double r = P::ReduceAdd(s);
+  for (; i < n; ++i) r = std::fma(a[i] * b[i], c[i], r);
+  return r;
+}
+
+template <class P>
+double GatherDot3Impl(const double* a, const double* b, const size_t* idx,
+                      const double* x, size_t n) {
+  constexpr size_t L = P::kLanes;
+  typename P::V s0 = P::Zero(), s1 = P::Zero(), s2 = P::Zero(),
+                s3 = P::Zero();
+  size_t i = 0;
+  for (; i + 4 * L <= n; i += 4 * L) {
+    s0 = P::Fma(P::Mul(P::Load(a + i), P::Load(b + i)), P::Gather(x, idx + i),
+                s0);
+    s1 = P::Fma(P::Mul(P::Load(a + i + L), P::Load(b + i + L)),
+                P::Gather(x, idx + i + L), s1);
+    s2 = P::Fma(P::Mul(P::Load(a + i + 2 * L), P::Load(b + i + 2 * L)),
+                P::Gather(x, idx + i + 2 * L), s2);
+    s3 = P::Fma(P::Mul(P::Load(a + i + 3 * L), P::Load(b + i + 3 * L)),
+                P::Gather(x, idx + i + 3 * L), s3);
+  }
+  typename P::V s = P::Add(P::Add(s0, s1), P::Add(s2, s3));
+  for (; i + L <= n; i += L) {
+    s = P::Fma(P::Mul(P::Load(a + i), P::Load(b + i)), P::Gather(x, idx + i),
+               s);
+  }
+  double r = P::ReduceAdd(s);
+  for (; i < n; ++i) r = std::fma(a[i] * b[i], x[idx[i]], r);
+  return r;
+}
+
+template <class P>
+double SumImpl(const double* a, size_t n) {
+  constexpr size_t L = P::kLanes;
+  typename P::V s0 = P::Zero(), s1 = P::Zero(), s2 = P::Zero(),
+                s3 = P::Zero();
+  size_t i = 0;
+  for (; i + 4 * L <= n; i += 4 * L) {
+    s0 = P::Add(s0, P::Load(a + i));
+    s1 = P::Add(s1, P::Load(a + i + L));
+    s2 = P::Add(s2, P::Load(a + i + 2 * L));
+    s3 = P::Add(s3, P::Load(a + i + 3 * L));
+  }
+  typename P::V s = P::Add(P::Add(s0, s1), P::Add(s2, s3));
+  for (; i + L <= n; i += L) s = P::Add(s, P::Load(a + i));
+  double r = P::ReduceAdd(s);
+  for (; i < n; ++i) r += a[i];
+  return r;
+}
+
+// Elementwise bodies use Mul-then-Add (NOT Fma): a separately rounded
+// multiply and add per element is exactly what the scalar tier computes,
+// so these primitives are bit-identical across every tier — the property
+// the dense/sparse ApplyTranspose exactness rests on (see simd.h).
+
+template <class P>
+void AxpyImpl(double c, const double* a, double* y, size_t n) {
+  constexpr size_t L = P::kLanes;
+  const typename P::V cv = P::Set1(c);
+  size_t i = 0;
+  for (; i + L <= n; i += L) {
+    P::Store(y + i, P::Add(P::Load(y + i), P::Mul(cv, P::Load(a + i))));
+  }
+  for (; i < n; ++i) y[i] += c * a[i];
+}
+
+template <class P>
+void AxpyRowsImpl(const double* coeffs, const double* base, size_t row_stride,
+                  size_t num_rows, double* y, size_t n) {
+  constexpr size_t L = P::kLanes;
+  size_t r = 0;
+  // Two rows per pass: one load+store of y per pair instead of per row.
+  // Each y element still accumulates the rows in ascending order with one
+  // rounded multiply and add per row — the blocking is traffic-only.
+  // Zero-coefficient rows are skipped INDIVIDUALLY, exactly as the scalar
+  // tier skips them: a mixed pair degrades to a single-row Axpy, so tiers
+  // agree bit for bit even on non-finite row data (0·inf never happens in
+  // any tier).
+  for (; r + 2 <= num_rows; r += 2) {
+    if (coeffs[r] == 0.0 || coeffs[r + 1] == 0.0) {
+      if (coeffs[r] != 0.0) {
+        AxpyImpl<P>(coeffs[r], base + r * row_stride, y, n);
+      } else if (coeffs[r + 1] != 0.0) {
+        AxpyImpl<P>(coeffs[r + 1], base + (r + 1) * row_stride, y, n);
+      }
+      continue;
+    }
+    const typename P::V c0 = P::Set1(coeffs[r]);
+    const typename P::V c1 = P::Set1(coeffs[r + 1]);
+    const double* a0 = base + r * row_stride;
+    const double* a1 = base + (r + 1) * row_stride;
+    size_t i = 0;
+    for (; i + L <= n; i += L) {
+      typename P::V acc = P::Load(y + i);
+      acc = P::Add(acc, P::Mul(c0, P::Load(a0 + i)));
+      acc = P::Add(acc, P::Mul(c1, P::Load(a1 + i)));
+      P::Store(y + i, acc);
+    }
+    for (; i < n; ++i) {
+      y[i] += coeffs[r] * a0[i];
+      y[i] += coeffs[r + 1] * a1[i];
+    }
+  }
+  if (r < num_rows && coeffs[r] != 0.0) {
+    AxpyImpl<P>(coeffs[r], base + r * row_stride, y, n);
+  }
+}
+
+template <class P>
+void HadamardImpl(const double* a, const double* b, double* out, size_t n) {
+  constexpr size_t L = P::kLanes;
+  size_t i = 0;
+  for (; i + L <= n; i += L) {
+    P::Store(out + i, P::Mul(P::Load(a + i), P::Load(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+template <class P>
+void ScaledHadamardImpl(double s, const double* a, const double* b,
+                        double* out, size_t n) {
+  constexpr size_t L = P::kLanes;
+  const typename P::V sv = P::Set1(s);
+  size_t i = 0;
+  for (; i + L <= n; i += L) {
+    P::Store(out + i, P::Mul(P::Mul(sv, P::Load(a + i)), P::Load(b + i)));
+  }
+  for (; i < n; ++i) out[i] = (s * a[i]) * b[i];
+}
+
+template <class P>
+void GatherScaledHadamardImpl(double s, const double* vals, const size_t* idx,
+                              const double* x, double* out, size_t n) {
+  constexpr size_t L = P::kLanes;
+  const typename P::V sv = P::Set1(s);
+  size_t i = 0;
+  for (; i + L <= n; i += L) {
+    P::Store(out + i,
+             P::Mul(P::Mul(sv, P::Load(vals + i)), P::Gather(x, idx + i)));
+  }
+  for (; i < n; ++i) out[i] = (s * vals[i]) * x[idx[i]];
+}
+
+/// The table every ISA TU exports, filled from one Pack type.
+template <class P>
+detail::SimdOps MakeOps() {
+  detail::SimdOps ops;
+  ops.dot = DotImpl<P>;
+  ops.dot3 = Dot3Impl<P>;
+  ops.sum = SumImpl<P>;
+  ops.gather_dot = GatherDotImpl<P>;
+  ops.gather_dot3 = GatherDot3Impl<P>;
+  ops.axpy = AxpyImpl<P>;
+  ops.axpy_rows = AxpyRowsImpl<P>;
+  ops.hadamard = HadamardImpl<P>;
+  ops.scaled_hadamard = ScaledHadamardImpl<P>;
+  ops.gather_scaled_hadamard = GatherScaledHadamardImpl<P>;
+  return ops;
+}
+
+}  // namespace otclean::linalg::simd::impl
+
+#endif  // OTCLEAN_LINALG_SIMD_IMPL_H_

@@ -1,0 +1,53 @@
+// NEON tier of the SIMD dispatch (aarch64, where NEON is baseline — no
+// extra compiler flags needed). A null table on other architectures.
+
+#include "linalg/simd.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "linalg/simd_impl.h"
+
+namespace otclean::linalg::simd {
+namespace {
+
+struct PackNeon {
+  using V = float64x2_t;
+  static constexpr size_t kLanes = 2;
+  static V Zero() { return vdupq_n_f64(0.0); }
+  static V Set1(double x) { return vdupq_n_f64(x); }
+  static V Load(const double* p) { return vld1q_f64(p); }
+  static void Store(double* p, V v) { vst1q_f64(p, v); }
+  static V Add(V a, V b) { return vaddq_f64(a, b); }
+  static V Mul(V a, V b) { return vmulq_f64(a, b); }
+  static V Fma(V a, V b, V acc) { return vfmaq_f64(acc, a, b); }
+  static V Gather(const double* base, const size_t* idx) {
+    // NEON has no gather instruction; two scalar lane loads.
+    const float64x1_t lo = vld1_f64(base + idx[0]);
+    const float64x1_t hi = vld1_f64(base + idx[1]);
+    return vcombine_f64(lo, hi);
+  }
+  static double ReduceAdd(V v) {
+    return vgetq_lane_f64(v, 0) + vgetq_lane_f64(v, 1);
+  }
+};
+
+}  // namespace
+
+namespace detail {
+const SimdOps* GetNeonOps() {
+  static const SimdOps ops = impl::MakeOps<PackNeon>();
+  return &ops;
+}
+}  // namespace detail
+
+}  // namespace otclean::linalg::simd
+
+#else  // not aarch64: tier unavailable.
+
+namespace otclean::linalg::simd::detail {
+const SimdOps* GetNeonOps() { return nullptr; }
+}  // namespace otclean::linalg::simd::detail
+
+#endif

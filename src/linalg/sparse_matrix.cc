@@ -1,7 +1,10 @@
 #include "linalg/sparse_matrix.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+
+#include "linalg/simd.h"
 
 namespace otclean::linalg {
 
@@ -22,14 +25,26 @@ SparseMatrix SparseMatrix::FromDense(const Matrix& dense, double threshold) {
 
 SparseMatrix SparseMatrix::GibbsKernel(const Matrix& cost, double epsilon,
                                        double cutoff) {
+  return GibbsKernel(MatrixCostProvider(cost), epsilon, cutoff);
+}
+
+SparseMatrix SparseMatrix::GibbsKernel(const CostProvider& cost,
+                                       double epsilon, double cutoff) {
   assert(epsilon > 0.0);
-  SparseMatrix out(cost.rows(), cost.cols());
-  for (size_t r = 0; r < cost.rows(); ++r) {
-    for (size_t c = 0; c < cost.cols(); ++c) {
-      const double k = std::exp(-cost(r, c) / epsilon);
-      if (k >= cutoff) {
-        out.col_index_.push_back(c);
-        out.values_.push_back(k);
+  const size_t rows = cost.rows();
+  const size_t cols = cost.cols();
+  SparseMatrix out(rows, cols);
+  std::vector<double> tile(std::min(cols, kCostStreamTileCols));
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c0 = 0; c0 < cols; c0 += tile.size()) {
+      const size_t c1 = std::min(cols, c0 + tile.size());
+      cost.Fill(r, c0, c1, tile.data());
+      for (size_t c = c0; c < c1; ++c) {
+        const double k = std::exp(-tile[c - c0] / epsilon);
+        if (k >= cutoff) {
+          out.col_index_.push_back(c);
+          out.values_.push_back(k);
+        }
       }
     }
     out.row_ptr_[r + 1] = out.values_.size();
@@ -40,12 +55,11 @@ SparseMatrix SparseMatrix::GibbsKernel(const Matrix& cost, double epsilon,
 Vector SparseMatrix::MatVec(const Vector& x) const {
   assert(x.size() == cols_);
   Vector y(rows_);
+  const double* xdata = x.begin();
   for (size_t r = 0; r < rows_; ++r) {
-    double s = 0.0;
-    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      s += values_[k] * x[col_index_[k]];
-    }
-    y[r] = s;
+    const size_t k0 = row_ptr_[r];
+    y[r] = simd::GatherDot(values_.data() + k0, col_index_.data() + k0, xdata,
+                           row_ptr_[r + 1] - k0);
   }
   return y;
 }
@@ -66,9 +80,8 @@ Vector SparseMatrix::TransposeMatVec(const Vector& x) const {
 Vector SparseMatrix::RowSums() const {
   Vector y(rows_);
   for (size_t r = 0; r < rows_; ++r) {
-    double s = 0.0;
-    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) s += values_[k];
-    y[r] = s;
+    const size_t k0 = row_ptr_[r];
+    y[r] = simd::Sum(values_.data() + k0, row_ptr_[r + 1] - k0);
   }
   return y;
 }
@@ -87,11 +100,12 @@ SparseMatrix SparseMatrix::ScaleRowsCols(const Vector& u,
                                          const Vector& v) const {
   assert(u.size() == rows_ && v.size() == cols_);
   SparseMatrix out = *this;
+  const double* vdata = v.begin();
   for (size_t r = 0; r < rows_; ++r) {
-    const double ur = u[r];
-    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      out.values_[k] = ur * values_[k] * v[col_index_[k]];
-    }
+    const size_t k0 = row_ptr_[r];
+    simd::GatherScaledHadamard(u[r], values_.data() + k0,
+                               col_index_.data() + k0, vdata,
+                               out.values_.data() + k0, row_ptr_[r + 1] - k0);
   }
   return out;
 }
@@ -99,10 +113,11 @@ SparseMatrix SparseMatrix::ScaleRowsCols(const Vector& u,
 double SparseMatrix::FrobeniusDotDense(const Matrix& dense) const {
   assert(dense.rows() == rows_ && dense.cols() == cols_);
   double s = 0.0;
+  const double* ddata = dense.data().data();
   for (size_t r = 0; r < rows_; ++r) {
-    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      s += values_[k] * dense(r, col_index_[k]);
-    }
+    const size_t k0 = row_ptr_[r];
+    s += simd::GatherDot(values_.data() + k0, col_index_.data() + k0,
+                         ddata + r * cols_, row_ptr_[r + 1] - k0);
   }
   return s;
 }

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "linalg/cost_provider.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
 
@@ -24,6 +25,13 @@ class SparseMatrix {
   /// Builds the truncated Gibbs kernel K = e^{−C/ε} directly from a dense
   /// cost matrix, keeping only entries ≥ cutoff — no dense intermediate.
   static SparseMatrix GibbsKernel(const Matrix& cost, double epsilon,
+                                  double cutoff);
+
+  /// Same, with the cost *streamed* tile-by-tile from a provider: peak
+  /// transient memory is O(nnz) output + one L1-sized tile, never
+  /// rows×cols. The Matrix overload above delegates here, so both produce
+  /// bit-identical kernels.
+  static SparseMatrix GibbsKernel(const CostProvider& cost, double epsilon,
                                   double cutoff);
 
   size_t rows() const { return rows_; }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/parallel_for.h"
+#include "linalg/simd.h"
 #include "linalg/thread_pool.h"
 
 namespace otclean::linalg {
@@ -30,14 +31,12 @@ void DenseTransportKernel::Apply(const Vector& v, Vector& y) const {
   assert(v.size() == n);
   if (y.size() != m) y = Vector(m);
   const double* data = kernel_.data().data();
+  const double* vdata = v.begin();
   ParallelFor(
       m, threads_,
       [&](size_t r0, size_t r1) {
         for (size_t r = r0; r < r1; ++r) {
-          const double* row = data + r * n;
-          double s = 0.0;
-          for (size_t c = 0; c < n; ++c) s += row[c] * v[c];
-          y[r] = s;
+          y[r] = simd::Dot(data + r * n, vdata, n);
         }
       },
       GrainForWork(n), pool_);
@@ -50,18 +49,16 @@ void DenseTransportKernel::ApplyTranspose(const Vector& u, Vector& y) const {
   if (y.size() != n) y = Vector(n);
   const double* data = kernel_.data().data();
   // Column-blocked: each worker owns output range [c0, c1) and streams the
-  // rows in order, so every y[c] accumulates over ascending i for any
-  // thread count.
+  // rows in ascending order (AxpyRows: two rows per pass in the vector
+  // tiers, traffic-only blocking), so every y[c] accumulates the same
+  // mul+add sequence for any thread count and any tier.
   ParallelFor(
       n, threads_,
       [&](size_t c0, size_t c1) {
-        for (size_t c = c0; c < c1; ++c) y[c] = 0.0;
-        for (size_t r = 0; r < m; ++r) {
-          const double ur = u[r];
-          if (ur == 0.0) continue;
-          const double* row = data + r * n;
-          for (size_t c = c0; c < c1; ++c) y[c] += row[c] * ur;
-        }
+        const size_t w = c1 - c0;
+        double* out = y.begin() + c0;
+        for (size_t c = 0; c < w; ++c) out[c] = 0.0;
+        simd::AxpyRows(u.begin(), data + c0, n, m, out, w);
       },
       GrainForWork(m), pool_);
 }
@@ -73,39 +70,64 @@ Matrix DenseTransportKernel::ScaleToPlan(const Vector& u,
   assert(u.size() == m && v.size() == n);
   Matrix plan(m, n);
   const double* data = kernel_.data().data();
+  const double* vdata = v.begin();
   double* out = plan.data().data();
   ParallelFor(
       m, threads_,
       [&](size_t r0, size_t r1) {
         for (size_t r = r0; r < r1; ++r) {
-          const double ur = u[r];
-          const double* row = data + r * n;
-          double* orow = out + r * n;
-          for (size_t c = 0; c < n; ++c) orow[c] = ur * row[c] * v[c];
+          simd::ScaledHadamard(u[r], data + r * n, vdata, out + r * n, n);
         }
       },
       GrainForWork(n), pool_);
   return plan;
 }
 
-double DenseTransportKernel::TransportCost(const Matrix& cost, const Vector& u,
+double DenseTransportKernel::TransportCost(const CostProvider& cost,
+                                           const Vector& u,
                                            const Vector& v) const {
   const size_t m = kernel_.rows();
   const size_t n = kernel_.cols();
   assert(cost.rows() == m && cost.cols() == n);
   assert(u.size() == m && v.size() == n);
   const double* kdata = kernel_.data().data();
-  const double* cdata = cost.data().data();
+  const double* vdata = v.begin();
+  if (const Matrix* dense_cost = cost.AsMatrix()) {
+    // Zero-copy fast path: whole-row triple dots against the in-memory
+    // cost.
+    const double* cdata = dense_cost->data().data();
+    return BlockedReduce(
+        m, threads_,
+        [&](size_t r0, size_t r1) {
+          double s = 0.0;
+          for (size_t r = r0; r < r1; ++r) {
+            const double ur = u[r];
+            if (ur == 0.0) continue;
+            s += ur * simd::Dot3(cdata + r * n, kdata + r * n, vdata, n);
+          }
+          return s;
+        },
+        pool_);
+  }
+  // Streamed path: pull cost rows tile-by-tile into an L1-sized scratch.
+  // Each reduction block owns its scratch, so workers never share tiles.
   return BlockedReduce(
       m, threads_,
       [&](size_t r0, size_t r1) {
+        std::vector<double> tile(std::min(n, kCostStreamTileCols));
         double s = 0.0;
         for (size_t r = r0; r < r1; ++r) {
           const double ur = u[r];
           if (ur == 0.0) continue;
-          const double* krow = kdata + r * n;
-          const double* crow = cdata + r * n;
-          for (size_t c = 0; c < n; ++c) s += crow[c] * ur * krow[c] * v[c];
+          double row_sum = 0.0;
+          for (size_t c0 = 0; c0 < n; c0 += tile.size()) {
+            const size_t c1 = std::min(n, c0 + tile.size());
+            cost.Fill(r, c0, c1, tile.data());
+            row_sum +=
+                simd::Dot3(tile.data(), kdata + r * n + c0, vdata + c0,
+                           c1 - c0);
+          }
+          s += ur * row_sum;
         }
         return s;
       },
@@ -128,6 +150,15 @@ SparseTransportKernel SparseTransportKernel::FromCost(const Matrix& cost,
                                                       double cutoff,
                                                       size_t num_threads,
                                                       ThreadPool* pool) {
+  return FromCost(MatrixCostProvider(cost), epsilon, cutoff, num_threads,
+                  pool);
+}
+
+SparseTransportKernel SparseTransportKernel::FromCost(const CostProvider& cost,
+                                                      double epsilon,
+                                                      double cutoff,
+                                                      size_t num_threads,
+                                                      ThreadPool* pool) {
   assert(epsilon > 0.0);
   return SparseTransportKernel(SparseMatrix::GibbsKernel(cost, epsilon, cutoff),
                                num_threads, pool);
@@ -145,7 +176,9 @@ void SparseTransportKernel::BuildTranspose() {
   csc_values_.resize(values.size());
   std::vector<size_t> fill(col_ptr_.begin(), col_ptr_.end() - 1);
   // Row-order scan keeps each column's entries sorted by ascending row.
+  max_row_nnz_ = 0;
   for (size_t r = 0; r < kernel_.rows(); ++r) {
+    max_row_nnz_ = std::max(max_row_nnz_, row_ptr[r + 1] - row_ptr[r]);
     for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
       const size_t dst = fill[col_index[k]]++;
       row_index_[dst] = r;
@@ -159,17 +192,16 @@ void SparseTransportKernel::Apply(const Vector& v, Vector& y) const {
   assert(v.size() == kernel_.cols());
   if (y.size() != m) y = Vector(m);
   const auto& row_ptr = kernel_.row_ptr();
-  const auto& col_index = kernel_.col_index();
-  const auto& values = kernel_.values();
+  const size_t* cols = kernel_.col_index().data();
+  const double* values = kernel_.values().data();
+  const double* vdata = v.begin();
   ParallelFor(
       m, threads_,
       [&](size_t r0, size_t r1) {
         for (size_t r = r0; r < r1; ++r) {
-          double s = 0.0;
-          for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
-            s += values[k] * v[col_index[k]];
-          }
-          y[r] = s;
+          const size_t k0 = row_ptr[r];
+          y[r] = simd::GatherDot(values + k0, cols + k0, vdata,
+                                 row_ptr[r + 1] - k0);
         }
       },
       GrainForWork(kernel_.nnz() / (m == 0 ? 1 : m)), pool_);
@@ -179,17 +211,21 @@ void SparseTransportKernel::ApplyTranspose(const Vector& u, Vector& y) const {
   const size_t n = kernel_.cols();
   assert(u.size() == kernel_.rows());
   if (y.size() != n) y = Vector(n);
-  // Gather over the CSC mirror: each output y[c] is owned by one worker and
-  // sums its column's entries in ascending-row order.
+  const double* csc_values = csc_values_.data();
+  const size_t* rows = row_index_.data();
+  const double* udata = u.begin();
+  // Gather over the CSC mirror: each output y[c] is owned by one worker
+  // and accumulates its column's entries in strictly ascending-row order
+  // (GatherDotSequential, one multiply-accumulate per entry) — the same
+  // per-element chain the dense ApplyTranspose applies, so at cutoff zero
+  // sparse and dense transpose-applies are bit-identical.
   ParallelFor(
       n, threads_,
       [&](size_t c0, size_t c1) {
         for (size_t c = c0; c < c1; ++c) {
-          double s = 0.0;
-          for (size_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
-            s += csc_values_[k] * u[row_index_[k]];
-          }
-          y[c] = s;
+          const size_t k0 = col_ptr_[c];
+          y[c] = simd::GatherDotSequential(csc_values + k0, rows + k0, udata,
+                                           col_ptr_[c + 1] - k0);
         }
       },
       GrainForWork(kernel_.nnz() / (n == 0 ? 1 : n)), pool_);
@@ -210,7 +246,7 @@ Matrix SparseTransportKernel::ScaleToPlan(const Vector& u,
         for (size_t r = r0; r < r1; ++r) {
           const double ur = u[r];
           for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
-            plan(r, col_index[k]) = ur * values[k] * v[col_index[k]];
+            plan(r, col_index[k]) = (ur * values[k]) * v[col_index[k]];
           }
         }
       },
@@ -223,32 +259,48 @@ SparseMatrix SparseTransportKernel::ScaleToPlanSparse(const Vector& u,
   assert(u.size() == kernel_.rows() && v.size() == kernel_.cols());
   SparseMatrix plan = kernel_;
   const auto& row_ptr = kernel_.row_ptr();
-  const auto& col_index = kernel_.col_index();
-  const auto& values = kernel_.values();
-  auto& out = plan.values();
+  const size_t* cols = kernel_.col_index().data();
+  const double* values = kernel_.values().data();
+  const double* vdata = v.begin();
+  double* out = plan.values().data();
   const size_t m = kernel_.rows();
   ParallelFor(
       m, threads_,
       [&](size_t r0, size_t r1) {
         for (size_t r = r0; r < r1; ++r) {
-          const double ur = u[r];
-          for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
-            out[k] = ur * values[k] * v[col_index[k]];
-          }
+          const size_t k0 = row_ptr[r];
+          simd::GatherScaledHadamard(u[r], values + k0, cols + k0, vdata,
+                                     out + k0, row_ptr[r + 1] - k0);
         }
       },
       GrainForWork(kernel_.nnz() / (m == 0 ? 1 : m)), pool_);
   return plan;
 }
 
-double SparseTransportKernel::TransportCost(const Matrix& cost, const Vector& u,
-                                            const Vector& v) const {
+std::vector<double> SparseTransportKernel::GatherSupportCosts(
+    const CostProvider& cost) const {
+  assert(cost.rows() == kernel_.rows() && cost.cols() == kernel_.cols());
+  const auto& row_ptr = kernel_.row_ptr();
+  const size_t* cols = kernel_.col_index().data();
+  std::vector<double> out(kernel_.nnz());
+  for (size_t r = 0; r < kernel_.rows(); ++r) {
+    const size_t k0 = row_ptr[r];
+    cost.Gather(r, cols + k0, row_ptr[r + 1] - k0, out.data() + k0);
+  }
+  return out;
+}
+
+double SparseTransportKernel::SupportTransportCost(
+    const std::vector<double>& support_costs, const Vector& u,
+    const Vector& v) const {
   const size_t m = kernel_.rows();
-  assert(cost.rows() == m && cost.cols() == kernel_.cols());
+  assert(support_costs.size() == kernel_.nnz());
   assert(u.size() == m && v.size() == kernel_.cols());
   const auto& row_ptr = kernel_.row_ptr();
-  const auto& col_index = kernel_.col_index();
-  const auto& values = kernel_.values();
+  const size_t* cols = kernel_.col_index().data();
+  const double* values = kernel_.values().data();
+  const double* costs = support_costs.data();
+  const double* vdata = v.begin();
   return BlockedReduce(
       m, threads_,
       [&](size_t r0, size_t r1) {
@@ -256,10 +308,41 @@ double SparseTransportKernel::TransportCost(const Matrix& cost, const Vector& u,
         for (size_t r = r0; r < r1; ++r) {
           const double ur = u[r];
           if (ur == 0.0) continue;
-          for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
-            const size_t c = col_index[k];
-            s += cost(r, c) * ur * values[k] * v[c];
-          }
+          const size_t k0 = row_ptr[r];
+          s += ur * simd::GatherDot3(costs + k0, values + k0, cols + k0,
+                                     vdata, row_ptr[r + 1] - k0);
+        }
+        return s;
+      },
+      pool_);
+}
+
+double SparseTransportKernel::TransportCost(const CostProvider& cost,
+                                            const Vector& u,
+                                            const Vector& v) const {
+  const size_t m = kernel_.rows();
+  assert(cost.rows() == m && cost.cols() == kernel_.cols());
+  assert(u.size() == m && v.size() == kernel_.cols());
+  const auto& row_ptr = kernel_.row_ptr();
+  const size_t* cols = kernel_.col_index().data();
+  const double* values = kernel_.values().data();
+  const double* vdata = v.begin();
+  // O(nnz) cost evaluations: the provider is asked only for the kernel's
+  // support. Each reduction block owns a max-row-nnz scratch for the
+  // gathered cost entries.
+  return BlockedReduce(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        std::vector<double> crow(max_row_nnz_);
+        double s = 0.0;
+        for (size_t r = r0; r < r1; ++r) {
+          const double ur = u[r];
+          if (ur == 0.0) continue;
+          const size_t k0 = row_ptr[r];
+          const size_t len = row_ptr[r + 1] - k0;
+          cost.Gather(r, cols + k0, len, crow.data());
+          s += ur * simd::GatherDot3(crow.data(), values + k0, cols + k0,
+                                     vdata, len);
         }
         return s;
       },

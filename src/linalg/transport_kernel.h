@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "linalg/cost_provider.h"
 #include "linalg/matrix.h"
 #include "linalg/sparse_matrix.h"
 #include "linalg/vector.h"
@@ -25,6 +26,12 @@ class ThreadPool;
 /// are either written to disjoint index ranges or reduced over fixed-size
 /// blocks whose partial sums are combined in block order (see
 /// parallel_for.h).
+///
+/// Inner loops run on the runtime-dispatched SIMD primitives of
+/// linalg/simd.h. The SIMD layer's own determinism contract composes with
+/// the threading one: for a fixed instruction set, pooled/spawned/serial
+/// runs at any thread count are bit-identical, and dense vs cutoff-zero
+/// sparse `Apply` share one accumulation recipe.
 ///
 /// `pool`, when non-null, is a persistent worker pool (thread_pool.h) the
 /// primitives dispatch on instead of spawning threads per call — the same
@@ -50,9 +57,19 @@ class TransportKernel {
   /// The scaled plan π = diag(u)·K·diag(v), materialized densely.
   virtual Matrix ScaleToPlan(const Vector& u, const Vector& v) const = 0;
   /// ⟨C, π⟩ = Σ_{(i,j) in support} C_ij·u_i·K_ij·v_j over the kernel's
-  /// support, without materializing π.
-  virtual double TransportCost(const Matrix& cost, const Vector& u,
+  /// support, without materializing π. The cost is *streamed* from the
+  /// provider (tile- or support-wise); no dense rows×cols cost is needed.
+  virtual double TransportCost(const CostProvider& cost, const Vector& u,
                                const Vector& v) const = 0;
+  /// Convenience overload for an in-memory dense cost. Deprecated on the
+  /// sparse kernel, where it forces callers that only have the kernel's
+  /// support to materialize a rows×cols matrix — pass a CostProvider
+  /// (e.g. ot::FunctionCostProvider) instead. Kept as a thin wrapper over
+  /// the provider overload via MatrixCostProvider.
+  double TransportCost(const Matrix& cost, const Vector& u,
+                       const Vector& v) const {
+    return TransportCost(MatrixCostProvider(cost), u, v);
+  }
 };
 
 /// Dense row-major kernel storage.
@@ -75,7 +92,8 @@ class DenseTransportKernel final : public TransportKernel {
   void Apply(const Vector& v, Vector& y) const override;
   void ApplyTranspose(const Vector& u, Vector& y) const override;
   Matrix ScaleToPlan(const Vector& u, const Vector& v) const override;
-  double TransportCost(const Matrix& cost, const Vector& u,
+  using TransportKernel::TransportCost;
+  double TransportCost(const CostProvider& cost, const Vector& u,
                        const Vector& v) const override;
 
   const Matrix& kernel() const { return kernel_; }
@@ -102,6 +120,14 @@ class SparseTransportKernel final : public TransportKernel {
                                         double cutoff, size_t num_threads = 0,
                                         ThreadPool* pool = nullptr);
 
+  /// Same, with the cost *streamed* from a provider tile-by-tile — the
+  /// dense rows×cols cost matrix is never materialized, so a truncated
+  /// solve's memory is O(nnz) end to end.
+  static SparseTransportKernel FromCost(const CostProvider& cost,
+                                        double epsilon, double cutoff,
+                                        size_t num_threads = 0,
+                                        ThreadPool* pool = nullptr);
+
   size_t rows() const override { return kernel_.rows(); }
   size_t cols() const override { return kernel_.cols(); }
   size_t nnz() const override { return kernel_.nnz(); }
@@ -110,11 +136,24 @@ class SparseTransportKernel final : public TransportKernel {
   void Apply(const Vector& v, Vector& y) const override;
   void ApplyTranspose(const Vector& u, Vector& y) const override;
   Matrix ScaleToPlan(const Vector& u, const Vector& v) const override;
-  double TransportCost(const Matrix& cost, const Vector& u,
+  using TransportKernel::TransportCost;
+  double TransportCost(const CostProvider& cost, const Vector& u,
                        const Vector& v) const override;
 
   /// The scaled plan in CSR form, inheriting the kernel's sparsity pattern.
   SparseMatrix ScaleToPlanSparse(const Vector& u, const Vector& v) const;
+
+  /// Streams the provider once and returns C at every stored entry,
+  /// aligned with kernel().values() — O(nnz) memory. Callers that evaluate
+  /// the transport cost repeatedly against one cost (FastOTClean's outer
+  /// loop) gather once and pass the cache to SupportTransportCost instead
+  /// of re-evaluating the cost function every iteration.
+  std::vector<double> GatherSupportCosts(const CostProvider& cost) const;
+
+  /// TransportCost from a GatherSupportCosts cache; bit-identical to the
+  /// streaming CostProvider overload.
+  double SupportTransportCost(const std::vector<double>& support_costs,
+                              const Vector& u, const Vector& v) const;
 
   const SparseMatrix& kernel() const { return kernel_; }
 
@@ -124,6 +163,9 @@ class SparseTransportKernel final : public TransportKernel {
   SparseMatrix kernel_;
   size_t threads_;
   ThreadPool* pool_;
+  /// Longest stored row — sizes the per-block scratch the streamed
+  /// TransportCost gathers cost entries into.
+  size_t max_row_nnz_ = 0;
   // CSC mirror: column j's entries live at [col_ptr_[j], col_ptr_[j+1]),
   // sorted by row — so each transpose output accumulates in ascending-row
   // order regardless of threading.

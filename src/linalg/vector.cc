@@ -6,19 +6,15 @@
 #include <limits>
 #include <sstream>
 
+#include "linalg/simd.h"
+
 namespace otclean::linalg {
 
-double Vector::Sum() const {
-  double s = 0.0;
-  for (double v : data_) s += v;
-  return s;
-}
+double Vector::Sum() const { return simd::Sum(data_.data(), data_.size()); }
 
 double Vector::Dot(const Vector& other) const {
   assert(size() == other.size());
-  double s = 0.0;
-  for (size_t i = 0; i < data_.size(); ++i) s += data_[i] * other.data_[i];
-  return s;
+  return simd::Dot(data_.data(), other.data_.data(), data_.size());
 }
 
 double Vector::Norm2() const { return std::sqrt(Dot(*this)); }
@@ -49,13 +45,13 @@ size_t Vector::ArgMax() const {
 
 Vector& Vector::operator+=(const Vector& other) {
   assert(size() == other.size());
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  simd::Axpy(1.0, other.data_.data(), data_.data(), data_.size());
   return *this;
 }
 
 Vector& Vector::operator-=(const Vector& other) {
   assert(size() == other.size());
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  simd::Axpy(-1.0, other.data_.data(), data_.data(), data_.size());
   return *this;
 }
 
@@ -72,9 +68,8 @@ Vector& Vector::operator/=(double scalar) {
 Vector Vector::CwiseProduct(const Vector& other) const {
   assert(size() == other.size());
   Vector out(size());
-  for (size_t i = 0; i < data_.size(); ++i) {
-    out.data_[i] = data_[i] * other.data_[i];
-  }
+  simd::Hadamard(data_.data(), other.data_.data(), out.data_.data(),
+                 data_.size());
   return out;
 }
 

@@ -96,28 +96,48 @@ double WeightedEuclideanCost::Cost(const std::vector<int>& a,
   return std::sqrt(s);
 }
 
+namespace {
+
+std::shared_ptr<const std::vector<std::vector<int>>> DecodeCells(
+    const prob::Domain& dom, const std::vector<size_t>& cells) {
+  auto table = std::make_shared<std::vector<std::vector<int>>>();
+  table->reserve(cells.size());
+  for (size_t i : cells) table->push_back(dom.Decode(i));
+  return table;
+}
+
+}  // namespace
+
+FunctionCostProvider::FunctionCostProvider(const prob::Domain& dom,
+                                           const CostFunction& f)
+    : f_(&f) {
+  auto table = std::make_shared<TupleTable>();
+  table->reserve(dom.TotalSize());
+  for (size_t i = 0; i < dom.TotalSize(); ++i) table->push_back(dom.Decode(i));
+  // Symmetric view: both sides share the one decoded table.
+  row_tuples_ = table;
+  col_tuples_ = std::move(table);
+}
+
+FunctionCostProvider::FunctionCostProvider(const prob::Domain& dom,
+                                           const std::vector<size_t>& rows,
+                                           const std::vector<size_t>& cols,
+                                           const CostFunction& f)
+    : f_(&f),
+      row_tuples_(DecodeCells(dom, rows)),
+      col_tuples_(DecodeCells(dom, cols)) {}
+
 linalg::Matrix BuildCostMatrix(const prob::Domain& dom,
                                const CostFunction& f) {
-  std::vector<size_t> all(dom.TotalSize());
-  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
-  return BuildCostMatrix(dom, all, all, f);
+  return linalg::MaterializeCostMatrix(FunctionCostProvider(dom, f));
 }
 
 linalg::Matrix BuildCostMatrix(const prob::Domain& dom,
                                const std::vector<size_t>& rows,
                                const std::vector<size_t>& cols,
                                const CostFunction& f) {
-  linalg::Matrix c(rows.size(), cols.size());
-  std::vector<std::vector<int>> col_tuples;
-  col_tuples.reserve(cols.size());
-  for (size_t j : cols) col_tuples.push_back(dom.Decode(j));
-  for (size_t r = 0; r < rows.size(); ++r) {
-    const std::vector<int> a = dom.Decode(rows[r]);
-    for (size_t j = 0; j < cols.size(); ++j) {
-      c(r, j) = f.Cost(a, col_tuples[j]);
-    }
-  }
-  return c;
+  return linalg::MaterializeCostMatrix(
+      FunctionCostProvider(dom, rows, cols, f));
 }
 
 std::vector<double> InverseStddevWeights(const prob::Domain& dom,

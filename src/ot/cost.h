@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "linalg/cost_provider.h"
 #include "linalg/matrix.h"
 #include "prob/domain.h"
 
@@ -111,12 +112,52 @@ class WeightedEuclideanCost : public CostFunction {
   std::vector<double> weights_;
 };
 
+/// Streams C[r][c] = f(Decode(rows[r]), Decode(cols[c])) on demand — the
+/// linalg::CostProvider view of a CostFunction over (a restriction of) a
+/// domain. The sparse transport pipeline consumes this directly
+/// (SparseMatrix::GibbsKernel, SparseTransportKernel::FromCost,
+/// TransportKernel::TransportCost), so a truncated solve never
+/// materializes the dense rows×cols cost matrix; BuildCostMatrix below is
+/// just the client that does materialize it for the dense path.
+///
+/// Row/column tuples are decoded once at construction (O((rows+cols)·k)
+/// memory; the symmetric full-domain form shares one table for both
+/// sides), which makes At/Fill/Gather allocation-free and safe to call
+/// concurrently from kernel worker threads. The cost function is borrowed
+/// and must outlive the provider.
+class FunctionCostProvider final : public linalg::CostProvider {
+ public:
+  /// Cost over all cell pairs of `dom`.
+  FunctionCostProvider(const prob::Domain& dom, const CostFunction& f);
+  /// Cost restricted to row cells `rows` and column cells `cols` (flat
+  /// indices of `dom`) — the paper's active-domain optimization.
+  FunctionCostProvider(const prob::Domain& dom,
+                       const std::vector<size_t>& rows,
+                       const std::vector<size_t>& cols,
+                       const CostFunction& f);
+
+  size_t rows() const override { return row_tuples_->size(); }
+  size_t cols() const override { return col_tuples_->size(); }
+  double At(size_t row, size_t col) const override {
+    return f_->Cost((*row_tuples_)[row], (*col_tuples_)[col]);
+  }
+
+ private:
+  using TupleTable = std::vector<std::vector<int>>;
+
+  const CostFunction* f_;
+  std::shared_ptr<const TupleTable> row_tuples_;
+  std::shared_ptr<const TupleTable> col_tuples_;  ///< may alias row_tuples_
+};
+
 /// Dense cost matrix over all cell pairs of `dom`:
 /// C[i][j] = f(Decode(i), Decode(j)).
 linalg::Matrix BuildCostMatrix(const prob::Domain& dom, const CostFunction& f);
 
 /// Cost matrix restricted to row cells `rows` and column cells `cols`
 /// (flat indices of `dom`) — the paper's active-domain optimization.
+/// Materializes a FunctionCostProvider; prefer streaming the provider
+/// itself when the consumer can (the truncated-kernel path does).
 linalg::Matrix BuildCostMatrix(const prob::Domain& dom,
                                const std::vector<size_t>& rows,
                                const std::vector<size_t>& cols,

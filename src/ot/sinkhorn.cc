@@ -197,10 +197,10 @@ Result<SinkhornResult> RunSinkhornLogDomain(const linalg::Matrix& cost,
   return result;
 }
 
-Status ValidateInputs(const char* where, const linalg::Matrix& cost,
+Status ValidateInputs(const char* where, size_t cost_rows, size_t cost_cols,
                       const linalg::Vector& p, const linalg::Vector& q,
                       const SinkhornOptions& options) {
-  if (p.size() != cost.rows() || q.size() != cost.cols()) {
+  if (p.size() != cost_rows || q.size() != cost_cols) {
     return Status::InvalidArgument(std::string(where) +
                                    ": marginal dimension mismatch");
   }
@@ -270,7 +270,10 @@ Result<SinkhornResult> RunSinkhorn(const linalg::Matrix& cost,
                                    const SinkhornOptions& options,
                                    const linalg::Vector* warm_u,
                                    const linalg::Vector* warm_v) {
-  if (Status s = ValidateInputs("RunSinkhorn", cost, p, q, options); !s.ok()) {
+  if (Status s =
+          ValidateInputs("RunSinkhorn", cost.rows(), cost.cols(), p, q,
+                         options);
+      !s.ok()) {
     return s;
   }
   std::optional<linalg::ThreadPool> owned_pool;
@@ -338,11 +341,12 @@ double PlanEntropy(const linalg::Matrix& plan) {
 }
 
 Result<SparseSinkhornResult> RunSinkhornSparse(
-    const linalg::Matrix& cost, const linalg::Vector& p,
+    const linalg::CostProvider& cost, const linalg::Vector& p,
     const linalg::Vector& q, const SinkhornOptions& options,
     double kernel_cutoff, const linalg::Vector* warm_u,
     const linalg::Vector* warm_v) {
-  if (Status s = ValidateInputs("RunSinkhornSparse", cost, p, q, options);
+  if (Status s = ValidateInputs("RunSinkhornSparse", cost.rows(), cost.cols(),
+                                p, q, options);
       !s.ok()) {
     return s;
   }
@@ -386,6 +390,15 @@ Result<SparseSinkhornResult> RunSinkhornSparse(
   result.iterations = scaling.iterations;
   result.converged = scaling.converged;
   return result;
+}
+
+Result<SparseSinkhornResult> RunSinkhornSparse(
+    const linalg::Matrix& cost, const linalg::Vector& p,
+    const linalg::Vector& q, const SinkhornOptions& options,
+    double kernel_cutoff, const linalg::Vector* warm_u,
+    const linalg::Vector* warm_v) {
+  return RunSinkhornSparse(linalg::MatrixCostProvider(cost), p, q, options,
+                           kernel_cutoff, warm_u, warm_v);
 }
 
 }  // namespace otclean::ot

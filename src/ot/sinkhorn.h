@@ -125,6 +125,18 @@ struct SparseSinkhornResult {
 /// FastOTClean applies.) Also errors when `options.log_domain` is set — log-domain
 /// iteration is not implemented on the truncated kernel (the truncation
 /// is itself the underflow mitigation; use RunSinkhorn for log-domain).
+///
+/// The CostProvider overload is the O(nnz)-memory entry point: the cost is
+/// streamed into the kernel build and the final ⟨C, π⟩, so no rows×cols
+/// array ever exists. The Matrix overload delegates to it through a
+/// MatrixCostProvider view and produces bit-identical results — use it
+/// only when a dense cost is already in hand.
+Result<SparseSinkhornResult> RunSinkhornSparse(
+    const linalg::CostProvider& cost, const linalg::Vector& p,
+    const linalg::Vector& q, const SinkhornOptions& options,
+    double kernel_cutoff, const linalg::Vector* warm_u = nullptr,
+    const linalg::Vector* warm_v = nullptr);
+
 Result<SparseSinkhornResult> RunSinkhornSparse(
     const linalg::Matrix& cost, const linalg::Vector& p,
     const linalg::Vector& q, const SinkhornOptions& options,

@@ -1,0 +1,294 @@
+#include "linalg/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+
+namespace otclean::linalg::simd {
+namespace {
+
+// Sizes chosen to hit every code path of the 4×lanes main loop, the
+// single-vector loop, and the scalar tail, for every lane width in play
+// (scalar=1, NEON=2, AVX2=4, AVX-512=8): empty, single element, just
+// below/at/above each block boundary, and sizes not divisible by any lane
+// width.
+const size_t kSizes[] = {0,  1,  2,  3,  5,  7,  8,  9,  13, 15, 16,  17,
+                         23, 31, 32, 33, 63, 64, 65, 100, 127, 257, 1000};
+
+struct TestData {
+  std::vector<double> a, b, c, x;
+  std::vector<size_t> idx;          // random in-bounds gather indices
+  std::vector<size_t> identity;     // 0..n-1
+};
+
+TestData MakeData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  TestData d;
+  d.a.resize(n);
+  d.b.resize(n);
+  d.c.resize(n);
+  d.idx.resize(n);
+  d.identity.resize(n);
+  const size_t domain = std::max<size_t>(1, 2 * n);
+  d.x.resize(domain);
+  for (double& v : d.a) v = rng.NextDouble() * 2.0 - 0.5;
+  for (double& v : d.b) v = rng.NextDouble() * 3.0;
+  for (double& v : d.c) v = rng.NextDouble() - 0.5;
+  for (double& v : d.x) v = rng.NextDouble() * 2.0;
+  for (size_t i = 0; i < n; ++i) {
+    d.idx[i] = static_cast<size_t>(
+        rng.NextInt(0, static_cast<int64_t>(domain) - 1));
+    d.identity[i] = i;
+  }
+  return d;
+}
+
+/// Tolerance for comparing one accumulation order against another: a few
+/// ULP per reorder step, scaled by the magnitude of the terms.
+double ReduceTol(double magnitude, size_t n) {
+  return (static_cast<double>(n) + 8.0) * 4e-16 * std::max(magnitude, 1.0);
+}
+
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(Isa isa) : saved_(ActiveIsa()) { SetIsa(isa); }
+  ~ScopedIsa() { SetIsa(saved_); }
+
+ private:
+  Isa saved_;
+};
+
+std::vector<Isa> VectorIsas() {
+  std::vector<Isa> out;
+  for (Isa isa : SupportedIsas()) {
+    if (isa != Isa::kScalar) out.push_back(isa);
+  }
+  return out;
+}
+
+TEST(SimdDispatchTest, ScalarAlwaysSupported) {
+  EXPECT_TRUE(IsaSupported(Isa::kScalar));
+  const auto supported = SupportedIsas();
+  ASSERT_FALSE(supported.empty());
+  EXPECT_EQ(supported.front(), Isa::kScalar);
+  EXPECT_TRUE(IsaSupported(ActiveIsa()));
+  EXPECT_STRNE(ActiveIsaName(), "unknown");
+}
+
+TEST(SimdDispatchTest, SetIsaRoundTrips) {
+  const Isa original = ActiveIsa();
+  for (Isa isa : SupportedIsas()) {
+    EXPECT_TRUE(SetIsa(isa));
+    EXPECT_EQ(ActiveIsa(), isa);
+  }
+  EXPECT_TRUE(SetIsa(original));
+}
+
+// ------------------------------------------- scalar vs vector agreement --
+
+TEST(SimdUlpTest, ReductionsMatchScalarWithinUlps) {
+  for (const size_t n : kSizes) {
+    const TestData d = MakeData(n, 42 + n);
+    ScopedIsa scoped(Isa::kScalar);
+    const double ref_dot = Dot(d.a.data(), d.b.data(), n);
+    const double ref_dot3 = Dot3(d.a.data(), d.b.data(), d.c.data(), n);
+    const double ref_sum = Sum(d.a.data(), n);
+    const double ref_gdot = GatherDot(d.a.data(), d.idx.data(), d.x.data(), n);
+    const double ref_gdot3 =
+        GatherDot3(d.a.data(), d.b.data(), d.idx.data(), d.x.data(), n);
+    for (Isa isa : VectorIsas()) {
+      SetIsa(isa);
+      const double tol = ReduceTol(3.0 * n, n);
+      EXPECT_NEAR(Dot(d.a.data(), d.b.data(), n), ref_dot, tol)
+          << IsaName(isa) << " n=" << n;
+      EXPECT_NEAR(Dot3(d.a.data(), d.b.data(), d.c.data(), n), ref_dot3, tol)
+          << IsaName(isa) << " n=" << n;
+      EXPECT_NEAR(Sum(d.a.data(), n), ref_sum, tol)
+          << IsaName(isa) << " n=" << n;
+      EXPECT_NEAR(GatherDot(d.a.data(), d.idx.data(), d.x.data(), n), ref_gdot,
+                  tol)
+          << IsaName(isa) << " n=" << n;
+      EXPECT_NEAR(
+          GatherDot3(d.a.data(), d.b.data(), d.idx.data(), d.x.data(), n),
+          ref_gdot3, tol)
+          << IsaName(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdExactTest, ElementwisePrimitivesAreBitIdenticalAcrossTiers) {
+  // Axpy, AxpyRows, and the Hadamard family perform separately rounded
+  // multiplies and adds per element in a fixed order, so every tier must
+  // agree bit for bit — the contract the dense/sparse kernel exactness
+  // rests on.
+  for (const size_t n : kSizes) {
+    const TestData d = MakeData(n, 77 + n);
+    // AxpyRows over an uneven row count exercises the pairing and the
+    // trailing row. 3 rows × n columns, stored contiguously.
+    const size_t num_rows = 3;
+    std::vector<double> rows(num_rows * n);
+    std::vector<double> coeffs{1.7, 0.0, -0.3};
+    for (size_t i = 0; i < rows.size(); ++i) rows[i] = 0.01 * (i % 89) - 0.2;
+    std::vector<double> ref_axpy(d.c), ref_rows(n, 0.5), ref_had(n),
+        ref_shad(n), ref_gshad(n);
+    {
+      ScopedIsa scoped(Isa::kScalar);
+      Axpy(1.7, d.a.data(), ref_axpy.data(), n);
+      AxpyRows(coeffs.data(), rows.data(), n, num_rows, ref_rows.data(), n);
+      Hadamard(d.a.data(), d.b.data(), ref_had.data(), n);
+      ScaledHadamard(2.5, d.a.data(), d.b.data(), ref_shad.data(), n);
+      GatherScaledHadamard(2.5, d.a.data(), d.idx.data(), d.x.data(),
+                           ref_gshad.data(), n);
+    }
+    for (Isa isa : VectorIsas()) {
+      ScopedIsa scoped(isa);
+      std::vector<double> axpy(d.c), out_rows(n, 0.5), had(n), shad(n),
+          gshad(n);
+      Axpy(1.7, d.a.data(), axpy.data(), n);
+      AxpyRows(coeffs.data(), rows.data(), n, num_rows, out_rows.data(), n);
+      Hadamard(d.a.data(), d.b.data(), had.data(), n);
+      ScaledHadamard(2.5, d.a.data(), d.b.data(), shad.data(), n);
+      GatherScaledHadamard(2.5, d.a.data(), d.idx.data(), d.x.data(),
+                           gshad.data(), n);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(axpy[i], ref_axpy[i]) << IsaName(isa) << " i=" << i;
+        EXPECT_EQ(out_rows[i], ref_rows[i]) << IsaName(isa) << " i=" << i;
+        EXPECT_EQ(had[i], ref_had[i]) << IsaName(isa) << " i=" << i;
+        EXPECT_EQ(shad[i], ref_shad[i]) << IsaName(isa) << " i=" << i;
+        EXPECT_EQ(gshad[i], ref_gshad[i]) << IsaName(isa) << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdExactTest, AxpyRowsSkipsZeroCoefficientRowsInEveryTier) {
+  // A zero-coefficient row is never read, in any tier — so 0·inf can't
+  // poison the output and mixed pairs stay bit-identical across tiers.
+  const size_t n = 13;
+  std::vector<double> rows(2 * n, std::numeric_limits<double>::infinity());
+  for (size_t i = n; i < 2 * n; ++i) rows[i] = 0.25 * (i - n);
+  const std::vector<double> coeffs{0.0, 2.0};  // inf row masked off
+  for (Isa isa : SupportedIsas()) {
+    ScopedIsa scoped(isa);
+    std::vector<double> y(n, 1.0);
+    AxpyRows(coeffs.data(), rows.data(), n, coeffs.size(), y.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(y[i], 1.0 + 2.0 * (0.25 * i)) << IsaName(isa) << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdExactTest, SequentialGatherMatchesAxpyRowsChain) {
+  // GatherDotSequential over a full-support CSC column (ascending row
+  // indices) must equal the value AxpyRows accumulates into that column —
+  // the dense/sparse ApplyTranspose agreement, distilled.
+  for (const size_t m : {1ul, 2ul, 3ul, 7ul, 64ul, 129ul}) {
+    const size_t n = 5;  // columns
+    std::vector<double> k(m * n), u(m);
+    for (size_t i = 0; i < k.size(); ++i) k[i] = 0.3 + 0.001 * (i % 53);
+    for (size_t r = 0; r < m; ++r) u[r] = 0.05 + 0.01 * (r % 17);
+    // CSC of column j at full support: values k[r*n+j], row indices 0..m-1.
+    std::vector<size_t> row_idx(m);
+    for (size_t r = 0; r < m; ++r) row_idx[r] = r;
+    for (Isa isa : SupportedIsas()) {
+      ScopedIsa scoped(isa);
+      std::vector<double> y(n, 0.0);
+      AxpyRows(u.data(), k.data(), n, m, y.data(), n);
+      for (size_t j = 0; j < n; ++j) {
+        std::vector<double> col(m);
+        for (size_t r = 0; r < m; ++r) col[r] = k[r * n + j];
+        EXPECT_EQ(GatherDotSequential(col.data(), row_idx.data(), u.data(), m),
+                  y[j])
+            << IsaName(isa) << " m=" << m << " j=" << j;
+      }
+    }
+  }
+}
+
+// ----------------------------------------- contiguous / gather mirroring --
+
+TEST(SimdMirrorTest, GatherWithIdentityIndicesIsBitIdenticalToContiguous) {
+  // The determinism contract of simd.h: per ISA, GatherDot over idx=0..n-1
+  // IS Dot, bit for bit — this is what keeps cutoff-zero sparse kernels in
+  // exact agreement with dense ones.
+  for (Isa isa : SupportedIsas()) {
+    ScopedIsa scoped(isa);
+    for (const size_t n : kSizes) {
+      const TestData d = MakeData(n, 1234 + n);
+      EXPECT_EQ(GatherDot(d.a.data(), d.identity.data(), d.b.data(), n),
+                Dot(d.a.data(), d.b.data(), n))
+          << IsaName(isa) << " n=" << n;
+      EXPECT_EQ(GatherDot3(d.a.data(), d.b.data(), d.identity.data(),
+                           d.c.data(), n),
+                Dot3(d.a.data(), d.b.data(), d.c.data(), n))
+          << IsaName(isa) << " n=" << n;
+      std::vector<double> gathered(n), contiguous(n);
+      GatherScaledHadamard(1.9, d.a.data(), d.identity.data(), d.b.data(),
+                           gathered.data(), n);
+      ScaledHadamard(1.9, d.a.data(), d.b.data(), contiguous.data(), n);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(gathered[i], contiguous[i]) << IsaName(isa) << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdMirrorTest, RepeatedAndPermutedGatherIndices) {
+  // Gathers must handle arbitrary index patterns: duplicates, reversals,
+  // and single-element rows.
+  for (Isa isa : SupportedIsas()) {
+    ScopedIsa scoped(isa);
+    const std::vector<double> x{1.0, 2.0, 4.0, 8.0};
+    const std::vector<double> vals{0.5, 0.5, 0.5, 0.5, 0.5};
+    const std::vector<size_t> dup{3, 3, 3, 3, 3};
+    EXPECT_DOUBLE_EQ(GatherDot(vals.data(), dup.data(), x.data(), 5), 20.0)
+        << IsaName(isa);
+    const std::vector<size_t> rev{3, 2, 1, 0};
+    EXPECT_DOUBLE_EQ(GatherDot(vals.data(), rev.data(), x.data(), 4), 7.5)
+        << IsaName(isa);
+    const std::vector<size_t> one{2};
+    EXPECT_DOUBLE_EQ(GatherDot(vals.data(), one.data(), x.data(), 1), 2.0)
+        << IsaName(isa);
+    EXPECT_EQ(GatherDot(vals.data(), rev.data(), x.data(), 0), 0.0)
+        << IsaName(isa);
+  }
+}
+
+TEST(SimdMirrorTest, EmptyInputsAreZeroOrNoop) {
+  for (Isa isa : SupportedIsas()) {
+    ScopedIsa scoped(isa);
+    EXPECT_EQ(Dot(nullptr, nullptr, 0), 0.0);
+    EXPECT_EQ(Sum(nullptr, 0), 0.0);
+    EXPECT_EQ(GatherDot(nullptr, nullptr, nullptr, 0), 0.0);
+    EXPECT_EQ(GatherDotSequential(nullptr, nullptr, nullptr, 0), 0.0);
+    double sentinel = 42.0;
+    Axpy(2.0, nullptr, &sentinel, 0);
+    AxpyRows(nullptr, nullptr, 1, 0, &sentinel, 0);
+    EXPECT_EQ(sentinel, 42.0);
+  }
+}
+
+// ------------------------------------------------------ exact sums check --
+
+TEST(SimdExactTest, IntegerValuedSumsAreExactInEveryTier) {
+  // Sums of small integers are exactly representable, so every tier must
+  // return the same value regardless of accumulation order.
+  std::vector<double> a(1003);
+  std::iota(a.begin(), a.end(), 1.0);
+  const double expected = 1003.0 * 1004.0 / 2.0;
+  std::vector<double> ones(1003, 1.0);
+  for (Isa isa : SupportedIsas()) {
+    ScopedIsa scoped(isa);
+    EXPECT_EQ(Sum(a.data(), a.size()), expected) << IsaName(isa);
+    EXPECT_EQ(Dot(a.data(), ones.data(), a.size()), expected) << IsaName(isa);
+  }
+}
+
+}  // namespace
+}  // namespace otclean::linalg::simd

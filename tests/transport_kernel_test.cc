@@ -5,8 +5,11 @@
 #include <cmath>
 
 #include "common/random.h"
+#include "linalg/cost_provider.h"
 #include "linalg/parallel_for.h"
+#include "ot/cost.h"
 #include "ot/sinkhorn.h"
+#include "prob/domain.h"
 
 namespace otclean::linalg {
 namespace {
@@ -80,6 +83,135 @@ TEST(TransportKernelTest, TruncationDropsEntries) {
   EXPECT_EQ(full.nnz(), 144u);
   EXPECT_LT(cut.nnz(), full.nnz());
   EXPECT_GT(cut.nnz(), 0u);
+}
+
+// --------------------------------------------------- streamed costs ------
+
+TEST(CostProviderTest, MatrixProviderStreamsTheBackingMatrix) {
+  const Matrix cost = RandomCost(6, 9, 101);
+  const MatrixCostProvider provider(cost);
+  ASSERT_EQ(provider.rows(), 6u);
+  ASSERT_EQ(provider.cols(), 9u);
+  EXPECT_EQ(provider.AsMatrix(), &cost);
+  std::vector<double> tile(4);
+  provider.Fill(2, 3, 7, tile.data());
+  for (size_t c = 0; c < 4; ++c) EXPECT_EQ(tile[c], cost(2, c + 3));
+  const std::vector<size_t> idx{8, 0, 5};
+  std::vector<double> gathered(3);
+  provider.Gather(4, idx.data(), idx.size(), gathered.data());
+  for (size_t k = 0; k < idx.size(); ++k) {
+    EXPECT_EQ(gathered[k], cost(4, idx[k]));
+  }
+  EXPECT_TRUE(MaterializeCostMatrix(provider).ApproxEquals(cost, 0.0));
+}
+
+TEST(CostProviderTest, FunctionProviderMatchesBuildCostMatrix) {
+  const prob::Domain dom = prob::Domain::FromCardinalities({3, 4, 2});
+  const ot::EuclideanCost f(3);
+  std::vector<size_t> rows{0, 5, 7, 11, 23};
+  std::vector<size_t> cols(dom.TotalSize());
+  for (size_t i = 0; i < cols.size(); ++i) cols[i] = i;
+  const ot::FunctionCostProvider provider(dom, rows, cols, f);
+  const Matrix built = ot::BuildCostMatrix(dom, rows, cols, f);
+  ASSERT_EQ(provider.rows(), built.rows());
+  ASSERT_EQ(provider.cols(), built.cols());
+  EXPECT_EQ(provider.AsMatrix(), nullptr);
+  EXPECT_TRUE(MaterializeCostMatrix(provider).ApproxEquals(built, 0.0));
+  for (size_t r = 0; r < provider.rows(); ++r) {
+    for (size_t c = 0; c < provider.cols(); ++c) {
+      EXPECT_EQ(provider.At(r, c), built(r, c));
+    }
+  }
+}
+
+TEST(TransportKernelTest, StreamedGibbsKernelMatchesDenseBuiltKernel) {
+  // The truncated kernel built by streaming the cost provider must be
+  // bit-identical to the one built from a materialized cost matrix — at
+  // cutoff 0 (every entry survives) and at a truncating cutoff.
+  const prob::Domain dom = prob::Domain::FromCardinalities({4, 3, 3});
+  const ot::HammingCost f;
+  const ot::FunctionCostProvider provider(dom, f);
+  const Matrix cost = ot::BuildCostMatrix(dom, f);
+  for (const double cutoff : {0.0, 1e-2}) {
+    const SparseMatrix streamed = SparseMatrix::GibbsKernel(provider, 0.4,
+                                                            cutoff);
+    const SparseMatrix built = SparseMatrix::GibbsKernel(cost, 0.4, cutoff);
+    ASSERT_EQ(streamed.nnz(), built.nnz()) << "cutoff " << cutoff;
+    EXPECT_TRUE(streamed.ToDense().ApproxEquals(built.ToDense(), 0.0))
+        << "cutoff " << cutoff;
+    if (cutoff > 0.0) EXPECT_LT(streamed.nnz(), dom.TotalSize() * dom.TotalSize());
+  }
+}
+
+TEST(TransportKernelTest, StreamedTransportCostMatchesDenseCost) {
+  const prob::Domain dom = prob::Domain::FromCardinalities({3, 3, 4});
+  const ot::EuclideanCost f(3);
+  const ot::FunctionCostProvider provider(dom, f);
+  const Matrix cost = ot::BuildCostMatrix(dom, f);
+  const size_t n = dom.TotalSize();
+  const Vector u = RandomMarginal(n, 111);
+  const Vector v = RandomMarginal(n, 112);
+  for (const double cutoff : {0.0, 5e-2}) {
+    const SparseTransportKernel streamed =
+        SparseTransportKernel::FromCost(provider, 0.3, cutoff, 1);
+    const SparseTransportKernel built =
+        SparseTransportKernel::FromCost(cost, 0.3, cutoff, 1);
+    ASSERT_EQ(streamed.nnz(), built.nnz());
+    // Identical kernels, and ⟨C, π⟩ evaluated from the streamed provider
+    // (support gathers) equals the dense-cost evaluation.
+    EXPECT_EQ(streamed.TransportCost(provider, u, v),
+              built.TransportCost(cost, u, v))
+        << "cutoff " << cutoff;
+  }
+  // The dense kernel's streamed TransportCost (tile path) agrees with its
+  // zero-copy in-memory path.
+  const DenseTransportKernel dense = DenseTransportKernel::FromCost(cost, 0.3,
+                                                                    1);
+  EXPECT_NEAR(dense.TransportCost(provider, u, v),
+              dense.TransportCost(cost, u, v), 1e-13);
+}
+
+TEST(TransportKernelTest, CachedSupportCostsMatchStreamedTransportCost) {
+  // GatherSupportCosts + SupportTransportCost (what FastOTClean's outer
+  // loop uses to avoid re-evaluating the cost function every iteration)
+  // must be bit-identical to streaming the provider each time.
+  const prob::Domain dom = prob::Domain::FromCardinalities({3, 4, 3});
+  const ot::EuclideanCost f(3);
+  const ot::FunctionCostProvider provider(dom, f);
+  const size_t n = dom.TotalSize();
+  const Vector u = RandomMarginal(n, 131);
+  const Vector v = RandomMarginal(n, 132);
+  const SparseTransportKernel kernel =
+      SparseTransportKernel::FromCost(provider, 0.3, 2e-2, 1);
+  const std::vector<double> cached = kernel.GatherSupportCosts(provider);
+  ASSERT_EQ(cached.size(), kernel.nnz());
+  EXPECT_EQ(kernel.SupportTransportCost(cached, u, v),
+            kernel.TransportCost(provider, u, v));
+}
+
+TEST(UnifiedSinkhornTest, ProviderAndMatrixSparseSolvesAreIdentical) {
+  // RunSinkhornSparse(CostProvider) is THE entry point; the Matrix overload
+  // wraps it. Both must produce identical plans, potentials, and costs.
+  const prob::Domain dom = prob::Domain::FromCardinalities({4, 2, 3});
+  const ot::EuclideanCost f(3);
+  const ot::FunctionCostProvider provider(dom, f);
+  const Matrix cost = ot::BuildCostMatrix(dom, f);
+  const size_t n = dom.TotalSize();
+  const Vector p = RandomMarginal(n, 121);
+  const Vector q = RandomMarginal(n, 122);
+  ot::SinkhornOptions opts;
+  opts.epsilon = 0.25;
+  opts.relaxed = true;
+  opts.num_threads = 1;
+  const auto streamed =
+      ot::RunSinkhornSparse(provider, p, q, opts, 1e-3).value();
+  const auto dense_arg = ot::RunSinkhornSparse(cost, p, q, opts, 1e-3).value();
+  EXPECT_EQ(streamed.iterations, dense_arg.iterations);
+  EXPECT_EQ(streamed.transport_cost, dense_arg.transport_cost);
+  EXPECT_TRUE(streamed.u.ApproxEquals(dense_arg.u, 0.0));
+  EXPECT_TRUE(streamed.v.ApproxEquals(dense_arg.v, 0.0));
+  EXPECT_TRUE(
+      streamed.plan.ToDense().ApproxEquals(dense_arg.plan.ToDense(), 0.0));
 }
 
 // ------------------------------------------------- thread determinism ----

@@ -139,7 +139,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "constraint %s\n  CMI: %.6f -> %.6f (target %.2e)\n"
                  "  transport cost: %.6f; outer iterations: %zu%s\n"
-                 "  plan storage: %s, %zu entries (%.1f KiB)%s\n",
+                 "  plan storage: %s, %zu entries (%.1f KiB)%s\n"
+                 "  simd: %s (override with OTCLEAN_SIMD=scalar|avx2|"
+                 "avx512|neon)\n",
                  constraint.ToString().c_str(), report->initial_cmi,
                  report->final_cmi, report->target_cmi,
                  report->transport_cost, report->outer_iterations,
@@ -147,7 +149,7 @@ int main(int argc, char** argv) {
                  report->plan_sparse ? "sparse (CSR)" : "dense",
                  report->plan_nnz,
                  static_cast<double>(report->plan_memory_bytes) / 1024.0,
-                 kernel_note.c_str());
+                 kernel_note.c_str(), report->simd_isa);
   }
 
   const std::string output = get("output");
