@@ -1,15 +1,14 @@
-// Scalar-vs-SIMD bench for the TransportKernel primitives: dense Apply /
-// ApplyTranspose, sparse (CSR gather) Apply, ScaleToPlan, and the
-// TransportCost reduction, at 256²–4096², single thread.
+// Scalar-vs-SIMD bench for the LogTransportKernel streamed-LSE
+// primitives: dense LogApply / LogApplyTranspose and their CSR (gather)
+// mirrors, at 256²–2048², single thread — the log-domain counterpart of
+// bench_simd_kernel. The scalar baseline runs the same PolyExp polynomial
+// one element at a time (simd.cc pins it against auto-vectorization), so
+// the speedup measures lanes, not a different exp.
 //
-// Timing compares the scalar reference tier against the widest tier the
-// CPU supports, through the real kernel objects. Cross-checking covers
-// EVERY supported vector tier (not just the widest): each op's output is
-// validated against scalar under avx2, avx512, and/or neon as available,
-// so a CI runner without AVX-512 still exercises and validates whatever
-// tiers it has — and the output says which. A mismatch fails the run.
-// Results are printed as a table and written to BENCH_simd_kernel.json so
-// the repo's perf trajectory has machine-readable data points.
+// Cross-checking covers EVERY supported vector tier against scalar: the
+// max passes must agree bit-for-bit (exactly associative), the full LSE
+// outputs to a summation-rounding tolerance. A mismatch fails the run.
+// Results are printed as a table and written to BENCH_log_kernel.json.
 //
 // Flags:
 //   --full     add the 4096² grid point (slower)
@@ -21,13 +20,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/timer.h"
+#include "linalg/log_transport_kernel.h"
 #include "linalg/simd.h"
-#include "linalg/transport_kernel.h"
 
 using namespace otclean;
 
@@ -39,10 +39,9 @@ linalg::Matrix RandomCost(size_t m, size_t n, Rng& rng) {
   return cost;
 }
 
-linalg::Vector RandomMarginal(size_t n, Rng& rng) {
+linalg::Vector RandomLogPotential(size_t n, Rng& rng) {
   linalg::Vector v(n);
-  for (size_t i = 0; i < n; ++i) v[i] = 0.05 + rng.NextDouble();
-  v.Normalize();
+  for (size_t i = 0; i < n; ++i) v[i] = (rng.NextDouble() - 0.5) * 6.0;
   return v;
 }
 
@@ -54,7 +53,6 @@ struct OpResult {
   double speedup() const { return simd_ms > 0.0 ? scalar_ms / simd_ms : 0.0; }
 };
 
-/// Times `fn` (already bound to its inputs) as best-of-`reps` wall time.
 template <typename Fn>
 double BestOfMs(Fn&& fn, int reps) {
   double best = 1e300;
@@ -66,7 +64,10 @@ double BestOfMs(Fn&& fn, int reps) {
   return best;
 }
 
-bool UlpAgree(const linalg::Vector& a, const linalg::Vector& b, size_t n) {
+/// LSE outputs agree up to summation rounding inside one log(): the
+/// per-element exps are bit-identical across tiers, only the sum order
+/// differs.
+bool LseAgree(const linalg::Vector& a, const linalg::Vector& b, size_t n) {
   for (size_t i = 0; i < a.size(); ++i) {
     const double tol =
         4e-16 * static_cast<double>(n) * (std::fabs(b[i]) + 1.0);
@@ -75,7 +76,6 @@ bool UlpAgree(const linalg::Vector& a, const linalg::Vector& b, size_t n) {
   return true;
 }
 
-/// Vector tiers the CPU supports — each is cross-checked against scalar.
 std::vector<linalg::simd::Isa> VectorIsas() {
   std::vector<linalg::simd::Isa> out;
   for (linalg::simd::Isa isa : linalg::simd::SupportedIsas()) {
@@ -91,7 +91,7 @@ void WriteJson(const std::string& path, const std::vector<OpResult>& results,
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"simd_kernel\",\n");
+  std::fprintf(f, "{\n  \"bench\": \"log_kernel\",\n");
   std::fprintf(f, "  \"isa\": \"%s\",\n", linalg::simd::ActiveIsaName());
   std::fprintf(f, "  \"cross_checked_isas\": [");
   const auto tiers = VectorIsas();
@@ -133,8 +133,8 @@ int main(int argc, char** argv) {
     std::printf("# no vector ISA available; comparing scalar vs scalar\n");
   }
   bench::PrintHeader(
-      "SIMD kernel primitives: scalar vs runtime-dispatched vector tier",
-      "single-thread speedup of the Sinkhorn hot loop; ULP cross-checked");
+      "Log-domain kernel primitives: scalar vs runtime-dispatched SIMD LSE",
+      "single-thread speedup of the log-Sinkhorn hot loop; cross-checked");
   std::printf("# vector tier: %s\n", linalg::simd::IsaName(best));
 
   std::vector<size_t> sizes;
@@ -147,42 +147,37 @@ int main(int argc, char** argv) {
 
   std::vector<OpResult> results;
   bool checks_ok = true;
-  Rng rng(17);
+  Rng rng(19);
 
-  std::printf("%-16s %-7s %-11s %-11s %-8s\n", "op", "n", "scalar_ms",
+  std::printf("%-18s %-7s %-11s %-11s %-8s\n", "op", "n", "scalar_ms",
               "simd_ms", "speedup");
   for (const size_t n : sizes) {
     const int reps = smoke ? 3 : (n >= 2048 ? 5 : 9);
     const linalg::Matrix cost = RandomCost(n, n, rng);
-    const linalg::Vector u = RandomMarginal(n, rng);
-    const linalg::Vector v = RandomMarginal(n, rng);
-    const linalg::DenseTransportKernel dense(cost.GibbsKernel(0.5),
-                                             /*num_threads=*/1);
-    // Truncated kernel for the CSR gather path: the 0.032 cutoff at
-    // ε=0.5 over U[0,3) costs keeps C ≤ 1.72, i.e. ~57% of entries.
-    const linalg::SparseTransportKernel sparse =
-        linalg::SparseTransportKernel::FromCost(cost, 0.5, 0.032,
-                                                /*num_threads=*/1);
+    const linalg::Vector lu = RandomLogPotential(n, rng);
+    const linalg::Vector lv = RandomLogPotential(n, rng);
+    const linalg::DenseLogTransportKernel dense =
+        linalg::DenseLogTransportKernel::FromCost(cost, 0.5,
+                                                  /*num_threads=*/1);
+    // Truncated log-kernel for the CSR gather path — the 0.032 cutoff at
+    // ε=0.5 over U[0,3) costs keeps C ≤ 1.72, i.e. ~57% of entries (the
+    // same cutoff bench_simd_kernel uses for the linear kernel).
+    const linalg::SparseLogTransportKernel sparse =
+        linalg::SparseLogTransportKernel::FromCost(cost, 0.5, 0.032,
+                                                   /*num_threads=*/1);
 
     struct Op {
       const char* name;
       std::function<void(linalg::Vector&)> run;
     };
     const std::vector<Op> ops = {
-        {"dense_apply", [&](linalg::Vector& y) { dense.Apply(v, y); }},
-        {"dense_applyT",
-         [&](linalg::Vector& y) { dense.ApplyTranspose(u, y); }},
-        {"sparse_apply", [&](linalg::Vector& y) { sparse.Apply(v, y); }},
-        {"sparse_applyT",
-         [&](linalg::Vector& y) { sparse.ApplyTranspose(u, y); }},
-        {"dense_cost",
-         [&](linalg::Vector& y) {
-           y = linalg::Vector(1, dense.TransportCost(cost, u, v));
-         }},
-        {"sparse_cost",
-         [&](linalg::Vector& y) {
-           y = linalg::Vector(1, sparse.TransportCost(cost, u, v));
-         }},
+        {"dense_logApply", [&](linalg::Vector& y) { dense.LogApply(lv, y); }},
+        {"dense_logApplyT",
+         [&](linalg::Vector& y) { dense.LogApplyTranspose(lu, y); }},
+        {"sparse_logApply",
+         [&](linalg::Vector& y) { sparse.LogApply(lv, y); }},
+        {"sparse_logApplyT",
+         [&](linalg::Vector& y) { sparse.LogApplyTranspose(lu, y); }},
     };
 
     double scalar_iter_ms = 0.0, simd_iter_ms = 0.0;
@@ -195,45 +190,44 @@ int main(int argc, char** argv) {
       r.scalar_ms = BestOfMs([&] { op.run(scalar_out); }, reps);
       linalg::simd::SetIsa(best);
       r.simd_ms = BestOfMs([&] { op.run(simd_out); }, reps);
-      if (!UlpAgree(simd_out, scalar_out, n)) {
+      if (!LseAgree(simd_out, scalar_out, n)) {
         std::printf("!! %s at %zu: scalar/simd mismatch\n", op.name, n);
         checks_ok = false;
       }
-      // Validate every other supported vector tier against scalar, so a
-      // machine without the widest tier still exercises the ones it has.
       for (linalg::simd::Isa isa : VectorIsas()) {
         if (isa == best) continue;
         linalg::simd::SetIsa(isa);
         linalg::Vector tier_out;
         op.run(tier_out);
-        if (!UlpAgree(tier_out, scalar_out, n)) {
+        if (!LseAgree(tier_out, scalar_out, n)) {
           std::printf("!! %s at %zu: scalar/%s mismatch\n", op.name, n,
                       linalg::simd::IsaName(isa));
           checks_ok = false;
         }
         linalg::simd::SetIsa(best);
       }
-      if (r.op == "dense_apply" || r.op == "dense_applyT") {
+      if (r.op == std::string("dense_logApply") ||
+          r.op == std::string("dense_logApplyT")) {
         scalar_iter_ms += r.scalar_ms;
         simd_iter_ms += r.simd_ms;
       }
-      std::printf("%-16s %-7zu %-11.3f %-11.3f %-8.2f\n", r.op.c_str(), r.n,
+      std::printf("%-18s %-7zu %-11.3f %-11.3f %-8.2f\n", r.op.c_str(), r.n,
                   r.scalar_ms, r.simd_ms, r.speedup());
       results.push_back(r);
     }
-    // The per-Sinkhorn-iteration pair: one Apply + one ApplyTranspose.
+    // One log-domain Sinkhorn iteration: LogApply + LogApplyTranspose.
     OpResult pair;
-    pair.op = "dense_apply+applyT";
+    pair.op = "dense_logApply+T";
     pair.n = n;
     pair.scalar_ms = scalar_iter_ms;
     pair.simd_ms = simd_iter_ms;
-    std::printf("%-16s %-7zu %-11.3f %-11.3f %-8.2f\n", pair.op.c_str(), n,
+    std::printf("%-18s %-7zu %-11.3f %-11.3f %-8.2f\n", pair.op.c_str(), n,
                 pair.scalar_ms, pair.simd_ms, pair.speedup());
     results.push_back(pair);
   }
 
   linalg::simd::SetIsa(best);
-  WriteJson("BENCH_simd_kernel.json", results, checks_ok);
+  WriteJson("BENCH_log_kernel.json", results, checks_ok);
   std::printf("# tiers cross-checked vs scalar:");
   for (linalg::simd::Isa isa : VectorIsas()) {
     std::printf(" %s", linalg::simd::IsaName(isa));

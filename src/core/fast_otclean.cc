@@ -4,6 +4,8 @@
 #include <cmath>
 #include <optional>
 
+#include "linalg/log_transport_kernel.h"
+#include "linalg/simd_exp.h"
 #include "linalg/thread_pool.h"
 #include "linalg/transport_kernel.h"
 #include "nmf/kl_nmf.h"
@@ -12,29 +14,49 @@ namespace otclean::core {
 
 namespace {
 
-/// Holds whichever kernel storage the truncation option selects, built
-/// ONCE per repair — cost and ε are invariant across the outer loop, so
-/// each outer step only reruns the (warm-started) scaling loop.
+/// Holds whichever kernel storage the truncation × domain options select,
+/// built ONCE per repair — cost and ε are invariant across the outer
+/// loop, so each outer step only reruns the (warm-started) scaling loop.
+/// Four storages plug in behind one surface: dense/CSR × linear/log. In
+/// log-domain mode the "potentials" threaded through the outer loop (and
+/// its warm starts) are LOG-potentials; the struct is the only place that
+/// needs to know.
 ///
-/// The truncated path is cost-free in the O(rows×cols) sense: the kernel
-/// is built by streaming the CostProvider tile-by-tile, and every ⟨C, π⟩
-/// evaluation gathers cost entries only at the kernel's support — the
-/// dense cost matrix is materialized exclusively for the dense path.
+/// The truncated paths are cost-free in the O(rows×cols) sense: the
+/// kernel is built by streaming the CostProvider tile-by-tile, and every
+/// ⟨C, π⟩ evaluation gathers cost entries only at the kernel's support —
+/// the dense cost matrix is materialized exclusively for the dense
+/// linear path (the dense log kernel streams the provider straight into
+/// L = −C/ε).
 struct OuterLoopKernel {
   std::optional<linalg::DenseTransportKernel> dense;
   std::optional<linalg::SparseTransportKernel> sparse;
-  /// Sparse path only: C gathered once at the kernel's support (O(nnz)),
+  std::optional<linalg::DenseLogTransportKernel> log_dense;
+  std::optional<linalg::SparseLogTransportKernel> log_sparse;
+  /// Sparse paths only: C gathered once at the kernel's support (O(nnz)),
   /// so the outer loop's repeated ⟨C, π⟩ evaluations never re-invoke the
   /// cost function.
   std::vector<double> support_costs;
-  /// Dense path only (empty when sparse): the materialized cost, used for
-  /// the zero-copy TransportCost fast path.
+  /// Dense linear path only (empty otherwise): the materialized cost,
+  /// used for the zero-copy TransportCost fast path.
   linalg::Matrix cost_matrix;
+  /// Dense log path only: borrowed provider for streamed ⟨C, π⟩.
+  const linalg::CostProvider* cost_provider = nullptr;
 
   OuterLoopKernel(const linalg::CostProvider& cost,
                   const FastOtCleanOptions& options,
                   linalg::ThreadPool* pool) {
-    if (options.kernel_truncation > 0.0) {
+    const bool truncated = options.kernel_truncation > 0.0;
+    if (options.log_domain && truncated) {
+      log_sparse.emplace(linalg::SparseLogTransportKernel::FromCost(
+          cost, options.epsilon, options.kernel_truncation,
+          options.num_threads, pool));
+      support_costs = log_sparse->GatherSupportCosts(cost);
+    } else if (options.log_domain) {
+      log_dense.emplace(linalg::DenseLogTransportKernel::FromCost(
+          cost, options.epsilon, options.num_threads, pool));
+      cost_provider = &cost;
+    } else if (truncated) {
       sparse.emplace(linalg::SparseTransportKernel::FromCost(
           cost, options.epsilon, options.kernel_truncation,
           options.num_threads, pool));
@@ -46,31 +68,105 @@ struct OuterLoopKernel {
     }
   }
 
-  /// Truncation must not strand source mass: every active-domain row needs
-  /// at least one surviving kernel entry. (Columns may legitimately go
-  /// empty — the relaxed target marginal simply never reaches them.)
-  Status CheckSupport(const linalg::Vector& p, const char* where) const {
-    if (!sparse) return Status::OK();
-    return ot::CheckTruncatedKernelSupport(sparse->kernel(), &p,
-                                           /*q=*/nullptr, where);
+  bool log_domain() const { return log_dense || log_sparse; }
+
+  size_t nnz() const {
+    if (sparse) return sparse->nnz();
+    if (log_sparse) return log_sparse->nnz();
+    if (log_dense) return log_dense->nnz();
+    return dense->nnz();
   }
 
-  const linalg::TransportKernel& get() const {
-    return sparse ? static_cast<const linalg::TransportKernel&>(*sparse)
-                  : *dense;
+  /// Truncation must not strand source mass: every active-domain row needs
+  /// at least one surviving kernel entry. (Columns may legitimately go
+  /// empty — the relaxed target marginal simply never reaches them.) The
+  /// linear and log kernels share one kept-set, so one guard serves both.
+  Status CheckSupport(const linalg::Vector& p, const char* where) const {
+    if (sparse) {
+      return ot::CheckTruncatedKernelSupport(sparse->kernel(), &p,
+                                             /*q=*/nullptr, where);
+    }
+    if (log_sparse) {
+      return ot::CheckTruncatedKernelSupport(log_sparse->log_kernel(), &p,
+                                             /*q=*/nullptr, where);
+    }
+    return Status::OK();
+  }
+
+  /// One inner Sinkhorn solve against the current column marginal. The
+  /// returned (and warm-start) u/v vectors are linear scalings on the
+  /// linear paths and log-potentials on the log paths — opaque to the
+  /// outer loop, which only threads them back in.
+  Result<ot::SinkhornScaling> Solve(const linalg::Vector& p,
+                                    const linalg::Vector& q_cols,
+                                    const ot::SinkhornOptions& sink,
+                                    const linalg::Vector* warm_u,
+                                    const linalg::Vector* warm_v) const {
+    if (log_domain()) {
+      const linalg::LogTransportKernel& k =
+          log_sparse
+              ? static_cast<const linalg::LogTransportKernel&>(*log_sparse)
+              : *log_dense;
+      OTCLEAN_ASSIGN_OR_RETURN(
+          ot::SinkhornLogScaling s,
+          ot::RunSinkhornLogScaling(k, p, q_cols, sink, warm_u, warm_v));
+      ot::SinkhornScaling out;
+      out.u = std::move(s.lu);
+      out.v = std::move(s.lv);
+      out.iterations = s.iterations;
+      out.converged = s.converged;
+      return out;
+    }
+    const linalg::TransportKernel& k =
+        sparse ? static_cast<const linalg::TransportKernel&>(*sparse) : *dense;
+    return ot::RunSinkhornScaling(k, p, q_cols, sink, warm_u, warm_v);
+  }
+
+  /// Column marginal of the plan at the current potentials, without
+  /// materializing it: (Kᵀu) ∘ v linearly, e^{logsumexp + lv} in log mode
+  /// (exact 0 where either factor is −inf). `scratch` is reused across
+  /// outer steps.
+  void ColumnMarginal(const linalg::Vector& u, const linalg::Vector& v,
+                      linalg::Vector& scratch,
+                      linalg::Vector& target_mass) const {
+    if (log_domain()) {
+      if (log_sparse) {
+        log_sparse->LogApplyTranspose(u, scratch);
+      } else {
+        log_dense->LogApplyTranspose(u, scratch);
+      }
+      if (target_mass.size() != scratch.size()) {
+        target_mass = linalg::Vector(scratch.size());
+      }
+      for (size_t j = 0; j < scratch.size(); ++j) {
+        target_mass[j] = linalg::simd::PolyExp(scratch[j] + v[j]);
+      }
+      return;
+    }
+    if (sparse) {
+      sparse->ApplyTranspose(u, scratch);
+    } else {
+      dense->ApplyTranspose(u, scratch);
+    }
+    target_mass = scratch.CwiseProduct(v);
   }
 
   /// ⟨C, π⟩ at the current potentials: in-memory cost rows on the dense
-  /// path, the cached O(nnz) support costs on the sparse one.
+  /// linear path, the cached O(nnz) support costs on the sparse ones, the
+  /// streamed provider on the dense log path.
   double TransportCost(const linalg::Vector& u, const linalg::Vector& v) const {
-    return sparse ? sparse->SupportTransportCost(support_costs, u, v)
-                  : dense->TransportCost(cost_matrix, u, v);
+    if (sparse) return sparse->SupportTransportCost(support_costs, u, v);
+    if (log_sparse) {
+      return log_sparse->SupportTransportCost(support_costs, u, v);
+    }
+    if (log_dense) return log_dense->TransportCost(*cost_provider, u, v);
+    return dense->TransportCost(cost_matrix, u, v);
   }
 
-  /// Materializes the final plan from the converged scaling vectors and
-  /// stores ⟨C, π⟩ in `transport_cost`. The sparse path stays CSR end to
-  /// end — TransportPlan keeps the CSR backing, so no dense rows×cols
-  /// plan is ever allocated on a truncated solve.
+  /// Materializes the final plan from the converged potentials and stores
+  /// ⟨C, π⟩ in `transport_cost`. The sparse paths stay CSR end to end —
+  /// TransportPlan keeps the CSR backing, so no dense rows×cols plan is
+  /// ever allocated on a truncated solve, log-domain included.
   ot::TransportPlan MaterializePlan(const prob::Domain& dom,
                                     const std::vector<size_t>& row_cells,
                                     const std::vector<size_t>& col_cells,
@@ -81,6 +177,14 @@ struct OuterLoopKernel {
     if (sparse) {
       return ot::TransportPlan(dom, row_cells, col_cells,
                                sparse->ScaleToPlanSparse(u, v));
+    }
+    if (log_sparse) {
+      return ot::TransportPlan(dom, row_cells, col_cells,
+                               log_sparse->ScaleToPlanSparse(u, v));
+    }
+    if (log_dense) {
+      return ot::TransportPlan(dom, row_cells, col_cells,
+                               log_dense->ScaleToPlan(u, v));
     }
     return ot::TransportPlan(dom, row_cells, col_cells,
                              dense->ScaleToPlan(u, v));
@@ -207,6 +311,13 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
   for (size_t i = 0; i < row_cells.size(); ++i) p[i] = p_data[row_cells[i]];
 
   const ot::FunctionCostProvider cost_view(dom, row_cells, col_cells, cost);
+  // The same finite-cost guard RunSinkhorn/RunSinkhornSparse apply: a NaN
+  // or ±inf from a user cost function would otherwise be silently
+  // truncated away (NaN >= cutoff is false) or flushed to 0 by the log
+  // kernels — and NaN kernel entries void the SIMD max-reduction
+  // contract. One extra streaming pass per repair; the iterations
+  // dominate.
+  OTCLEAN_RETURN_NOT_OK(ot::ValidateFiniteCosts("FastOtClean", cost_view));
 
   // Initial target distribution Q (Section 5, default optimization 2).
   prob::JointDistribution q(dom);
@@ -224,6 +335,7 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
   sink.relaxed = true;
   sink.max_iterations = options.max_sinkhorn_iterations;
   sink.tolerance = options.sinkhorn_tolerance;
+  sink.log_domain = options.log_domain;
   sink.num_threads = options.num_threads;
 
   // One worker pool for the whole repair: every Sinkhorn iteration of
@@ -234,10 +346,9 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
 
   const OuterLoopKernel kernel_storage(cost_view, options, pool);
   OTCLEAN_RETURN_NOT_OK(kernel_storage.CheckSupport(p, "FastOtClean"));
-  const linalg::TransportKernel& kernel = kernel_storage.get();
 
   FastOtCleanResult result;
-  result.kernel_nnz = kernel.nnz();
+  result.kernel_nnz = kernel_storage.nnz();
   linalg::Vector warm_u, warm_v, ktu;
 
   for (size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
@@ -250,9 +361,8 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
     const linalg::Vector* wv =
         (options.warm_start && warm_v.size() == q_cols.size()) ? &warm_v
                                                                : nullptr;
-    OTCLEAN_ASSIGN_OR_RETURN(
-        ot::SinkhornScaling sr,
-        ot::RunSinkhornScaling(kernel, p, q_cols, sink, wu, wv));
+    OTCLEAN_ASSIGN_OR_RETURN(ot::SinkhornScaling sr,
+                             kernel_storage.Solve(p, q_cols, sink, wu, wv));
     warm_u = std::move(sr.u);
     warm_v = std::move(sr.v);
     result.total_sinkhorn_iterations += sr.iterations;
@@ -261,10 +371,9 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
 
     // --- Outer step B: rebuild Q from the plan's target marginal via the
     // per-slice rank-one KL factorization (Algorithm 2 lines 8–13). ---
-    // Column marginal of diag(u)·K·diag(v) without materializing the
-    // plan: (Kᵀu) ∘ v.
-    kernel.ApplyTranspose(warm_u, ktu);
-    linalg::Vector target_mass = ktu.CwiseProduct(warm_v);
+    // Column marginal of the plan without materializing it.
+    linalg::Vector target_mass;
+    kernel_storage.ColumnMarginal(warm_u, warm_v, ktu, target_mass);
     const double total = target_mass.Sum();
     if (total <= 0.0) {
       return Status::Internal("FastOtClean: plan lost all mass");
@@ -350,6 +459,9 @@ Result<FastOtCleanResult> FastOtCleanMulti(
   for (size_t i = 0; i < row_cells.size(); ++i) p[i] = p_data[row_cells[i]];
 
   const ot::FunctionCostProvider cost_view(dom, row_cells, col_cells, cost);
+  // Same finite-cost guard as the single-constraint path above.
+  OTCLEAN_RETURN_NOT_OK(
+      ot::ValidateFiniteCosts("FastOtCleanMulti", cost_view));
 
   prob::JointDistribution q(dom);
   if (options.nmf_init) {
@@ -366,6 +478,7 @@ Result<FastOtCleanResult> FastOtCleanMulti(
   sink.relaxed = true;
   sink.max_iterations = options.max_sinkhorn_iterations;
   sink.tolerance = options.sinkhorn_tolerance;
+  sink.log_domain = options.log_domain;
   sink.num_threads = options.num_threads;
 
   // One worker pool for the whole repair: every Sinkhorn iteration of
@@ -376,10 +489,9 @@ Result<FastOtCleanResult> FastOtCleanMulti(
 
   const OuterLoopKernel kernel_storage(cost_view, options, pool);
   OTCLEAN_RETURN_NOT_OK(kernel_storage.CheckSupport(p, "FastOtCleanMulti"));
-  const linalg::TransportKernel& kernel = kernel_storage.get();
 
   FastOtCleanResult result;
-  result.kernel_nnz = kernel.nnz();
+  result.kernel_nnz = kernel_storage.nnz();
   linalg::Vector warm_u, warm_v, ktu;
 
   for (size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
@@ -391,18 +503,17 @@ Result<FastOtCleanResult> FastOtCleanMulti(
     const linalg::Vector* wv =
         (options.warm_start && warm_v.size() == q_cols.size()) ? &warm_v
                                                                : nullptr;
-    OTCLEAN_ASSIGN_OR_RETURN(
-        ot::SinkhornScaling sr,
-        ot::RunSinkhornScaling(kernel, p, q_cols, sink, wu, wv));
+    OTCLEAN_ASSIGN_OR_RETURN(ot::SinkhornScaling sr,
+                             kernel_storage.Solve(p, q_cols, sink, wu, wv));
     warm_u = std::move(sr.u);
     warm_v = std::move(sr.v);
     result.total_sinkhorn_iterations += sr.iterations;
     result.objective_trace.push_back(
         kernel_storage.TransportCost(warm_u, warm_v));
 
-    // Column marginal of diag(u)·K·diag(v): (Kᵀu) ∘ v.
-    kernel.ApplyTranspose(warm_u, ktu);
-    linalg::Vector target_mass = ktu.CwiseProduct(warm_v);
+    // Column marginal of the plan without materializing it.
+    linalg::Vector target_mass;
+    kernel_storage.ColumnMarginal(warm_u, warm_v, ktu, target_mass);
 
     const double total = target_mass.Sum();
     if (total <= 0.0) {

@@ -55,6 +55,14 @@ struct FastOtCleanOptions {
   /// (InvalidArgument) if the cutoff empties a kernel row that carries
   /// source mass, since that mass could never be transported.
   double kernel_truncation = 0.0;
+  /// Run the inner Sinkhorn on log-potentials over a LogTransportKernel
+  /// (streamed log-sum-exp) instead of linear scalings — stable at small
+  /// ε or under huge-penalty costs where e^{−C/ε} leaves the double
+  /// range. Composes with `kernel_truncation`: the truncated log kernel
+  /// stores −C/ε at the kept entries and the solve stays O(nnz). Costs
+  /// roughly one (SIMD'd) exp per kernel entry per iteration instead of
+  /// a multiply.
+  bool log_domain = false;
   /// Worker threads for the inner Sinkhorn kernels (row-blocked). 0 =
   /// hardware concurrency, 1 = serial; results are identical across thread
   /// counts.

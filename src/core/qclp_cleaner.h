@@ -24,6 +24,10 @@ struct QclpOptions {
   size_t lp_max_iterations = 200000;
   /// Restrict plan columns to the active domain (rows always are).
   bool restrict_columns_to_active = false;
+  /// Accepted for option-surface symmetry with FastOtCleanOptions (the
+  /// CLI's --log-domain sets both): the QCLP path solves LPs, never
+  /// iterates Sinkhorn, so this flag has no effect here.
+  bool log_domain = false;
   /// Worker threads for assembling the linearized-constraint rows (the
   /// O(m·n²) part of each outer step). 0 = hardware concurrency,
   /// 1 = serial; each constraint row is built by exactly one worker, so

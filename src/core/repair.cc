@@ -58,6 +58,7 @@ Status OtCleanRepairer::Fit(const dataset::Table& table,
     fit_report_.total_sinkhorn_iterations = r.total_sinkhorn_iterations;
     fit_report_.converged = r.converged;
     fit_report_.kernel_nnz = r.kernel_nnz;
+    fit_report_.sinkhorn_domain = options_.fast.log_domain ? "log" : "linear";
   } else {
     OTCLEAN_ASSIGN_OR_RETURN(QclpResult r,
                              QclpClean(p, spec, *cost, options_.qclp));
@@ -67,6 +68,7 @@ Status OtCleanRepairer::Fit(const dataset::Table& table,
     fit_report_.transport_cost = r.transport_cost;
     fit_report_.outer_iterations = r.outer_iterations;
     fit_report_.converged = r.converged;
+    fit_report_.sinkhorn_domain = "n/a";
   }
   fit_report_.plan_sparse = plan_.IsSparse();
   fit_report_.plan_nnz = plan_.Nnz();
@@ -204,6 +206,7 @@ Result<RepairReport> RepairTableMulti(
   report.plan_nnz = r.plan.Nnz();
   report.plan_memory_bytes = r.plan.MemoryBytes();
   report.simd_isa = linalg::simd::ActiveIsaName();
+  report.sinkhorn_domain = options.fast.log_domain ? "log" : "linear";
 
   // Apply the cleaner row by row over the union columns.
   Rng apply_rng(options.seed ^ 0xfeedbeefull);

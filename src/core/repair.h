@@ -57,6 +57,11 @@ struct RepairReport {
   /// "avx2", "avx512", "neon" — see linalg/simd.h; override with the
   /// OTCLEAN_SIMD environment variable).
   const char* simd_isa = "";
+  /// Iteration domain of the inner Sinkhorn solves: "linear" (scaling
+  /// vectors over K = e^{−C/ε}) or "log" (log-potentials over a
+  /// LogTransportKernel; FastOtCleanOptions::log_domain / the CLI's
+  /// --log-domain). "n/a" for the QCLP solver, which iterates LPs.
+  const char* sinkhorn_domain = "linear";
 };
 
 /// A fitted probabilistic data cleaner: learns the transport plan from one

@@ -12,7 +12,10 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <mutex>
+
+#include "linalg/simd_exp.h"
 
 namespace otclean::linalg::simd {
 
@@ -93,6 +96,80 @@ OTCLEAN_NOVEC void ScalarGatherScaledHadamard(double s, const double* vals,
                                               const double* x, double* out,
                                               size_t n) {
   for (size_t i = 0; i < n; ++i) out[i] = (s * vals[i]) * x[idx[i]];
+}
+
+// Log-domain scalar tier: one element at a time through the shared
+// PolyExp (simd_exp.h) — the same polynomial the vector tiers run per
+// lane, so scalar-vs-vector differences are confined to the sum order of
+// the exp-sum reductions (the max reductions are bit-identical).
+
+OTCLEAN_NOVEC double ScalarMaxReduce(const double* a, size_t n) {
+  double r = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) r = a[i] > r ? a[i] : r;
+  return r;
+}
+
+OTCLEAN_NOVEC double ScalarAddMaxReduce(const double* a, const double* b,
+                                        size_t n) {
+  double r = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    const double t = a[i] + b[i];
+    r = t > r ? t : r;
+  }
+  return r;
+}
+
+OTCLEAN_NOVEC double ScalarGatherAddMaxReduce(const double* vals,
+                                              const size_t* idx,
+                                              const double* x, size_t n) {
+  double r = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    const double t = vals[i] + x[idx[i]];
+    r = t > r ? t : r;
+  }
+  return r;
+}
+
+OTCLEAN_NOVEC double ScalarExpSumShifted(const double* a, double shift,
+                                         size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += PolyExp(a[i] - shift);
+  return s;
+}
+
+OTCLEAN_NOVEC double ScalarAddExpSumShifted(const double* a, const double* b,
+                                            double shift, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += PolyExp(a[i] + b[i] - shift);
+  return s;
+}
+
+OTCLEAN_NOVEC double ScalarGatherAddExpSumShifted(const double* vals,
+                                                  const size_t* idx,
+                                                  const double* x,
+                                                  double shift, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += PolyExp(vals[i] + x[idx[i]] - shift);
+  return s;
+}
+
+OTCLEAN_NOVEC void ScalarAddMaxAccumulate(double c, const double* a,
+                                          double* mx, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const double t = a[i] + c;
+    if (t > mx[i]) mx[i] = t;
+  }
+}
+
+OTCLEAN_NOVEC void ScalarAddExpSumAccumulate(double c, const double* a,
+                                             const double* shift, double* acc,
+                                             size_t n) {
+  for (size_t i = 0; i < n; ++i) acc[i] += PolyExp(a[i] + c - shift[i]);
+}
+
+OTCLEAN_NOVEC void ScalarAddExpWrite(double shift, const double* a,
+                                     const double* b, double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = PolyExp(a[i] + b[i] + shift);
 }
 
 #undef OTCLEAN_NOVEC
@@ -203,6 +280,15 @@ const SimdOps* GetScalarOps() {
     o.hadamard = ScalarHadamard;
     o.scaled_hadamard = ScalarScaledHadamard;
     o.gather_scaled_hadamard = ScalarGatherScaledHadamard;
+    o.max_reduce = ScalarMaxReduce;
+    o.add_max_reduce = ScalarAddMaxReduce;
+    o.gather_add_max_reduce = ScalarGatherAddMaxReduce;
+    o.exp_sum_shifted = ScalarExpSumShifted;
+    o.add_exp_sum_shifted = ScalarAddExpSumShifted;
+    o.gather_add_exp_sum_shifted = ScalarGatherAddExpSumShifted;
+    o.add_max_accumulate = ScalarAddMaxAccumulate;
+    o.add_exp_sum_accumulate = ScalarAddExpSumAccumulate;
+    o.add_exp_write = ScalarAddExpWrite;
     return o;
   }();
   return &ops;
@@ -306,6 +392,47 @@ void ScaledHadamard(double s, const double* a, const double* b, double* out,
 void GatherScaledHadamard(double s, const double* vals, const size_t* idx,
                           const double* x, double* out, size_t n) {
   Active().gather_scaled_hadamard(s, vals, idx, x, out, n);
+}
+
+double MaxReduce(const double* a, size_t n) {
+  return Active().max_reduce(a, n);
+}
+
+double AddMaxReduce(const double* a, const double* b, size_t n) {
+  return Active().add_max_reduce(a, b, n);
+}
+
+double GatherAddMaxReduce(const double* vals, const size_t* idx,
+                          const double* x, size_t n) {
+  return Active().gather_add_max_reduce(vals, idx, x, n);
+}
+
+double ExpSumShifted(const double* a, double shift, size_t n) {
+  return Active().exp_sum_shifted(a, shift, n);
+}
+
+double AddExpSumShifted(const double* a, const double* b, double shift,
+                        size_t n) {
+  return Active().add_exp_sum_shifted(a, b, shift, n);
+}
+
+double GatherAddExpSumShifted(const double* vals, const size_t* idx,
+                              const double* x, double shift, size_t n) {
+  return Active().gather_add_exp_sum_shifted(vals, idx, x, shift, n);
+}
+
+void AddMaxAccumulate(double c, const double* a, double* mx, size_t n) {
+  Active().add_max_accumulate(c, a, mx, n);
+}
+
+void AddExpSumAccumulate(double c, const double* a, const double* shift,
+                         double* acc, size_t n) {
+  Active().add_exp_sum_accumulate(c, a, shift, acc, n);
+}
+
+void AddExpWrite(double shift, const double* a, const double* b, double* out,
+                 size_t n) {
+  Active().add_exp_write(shift, a, b, out, n);
 }
 
 }  // namespace otclean::linalg::simd

@@ -37,6 +37,12 @@ namespace otclean::linalg::simd {
 ///    GatherDot3) differ between tiers, and only to rounding: wider
 ///    accumulators reorder the sum by a few ULP (tests/simd_test.cc pins
 ///    the bound).
+///  - The log-domain primitives below evaluate e^x with ONE shared
+///    polynomial (simd_exp.h) in every tier, scalar included, so their
+///    per-element values are bit-identical across tiers; the max
+///    reductions are exactly associative and thus bit-identical
+///    everywhere, and the exp-sum reductions differ only by the usual
+///    lane-accumulator sum reordering.
 enum class Isa {
   kScalar = 0,
   kAvx2 = 1,
@@ -93,6 +99,63 @@ double GatherDotSequential(const double* vals, const size_t* idx,
 double GatherDot3(const double* a, const double* b, const size_t* idx,
                   const double* x, size_t n);
 
+// ------------------------------------------- log-domain (LSE) reductions --
+//
+// The LogTransportKernel hot loops: a streamed log-sum-exp is one max
+// reduction followed by one shifted exp-sum reduction. The exp inside is
+// the shared PolyExp of simd_exp.h — the SAME polynomial in every tier,
+// scalar included — so per-element values are bit-identical across tiers
+// and only the sum order differs (max is exactly associative, so the max
+// reductions are bit-identical everywhere). PolyExp's domain contract
+// applies: elements below ~-708 (including -inf; the "impossible move"
+// convention) contribute exactly 0, NaN elements flush to 0.
+
+/// max a[i]; −inf when n = 0.
+double MaxReduce(const double* a, size_t n);
+
+/// max (a[i] + b[i]) — the dense LSE max pass over L_row + lv; −inf when
+/// n = 0.
+double AddMaxReduce(const double* a, const double* b, size_t n);
+
+/// max (vals[k] + x[idx[k]]) — the CSR/CSC mirror of AddMaxReduce; −inf
+/// when n = 0.
+double GatherAddMaxReduce(const double* vals, const size_t* idx,
+                          const double* x, size_t n);
+
+/// Σ PolyExp(a[i] − shift).
+double ExpSumShifted(const double* a, double shift, size_t n);
+
+/// Σ PolyExp(a[i] + b[i] − shift) — the dense LSE sum pass (shift = the
+/// row max, so every element is ≤ 0 and at least one is exactly 0).
+double AddExpSumShifted(const double* a, const double* b, double shift,
+                        size_t n);
+
+/// Σ PolyExp(vals[k] + x[idx[k]] − shift) — the CSR/CSC mirror.
+double GatherAddExpSumShifted(const double* vals, const size_t* idx,
+                              const double* x, double shift, size_t n);
+
+// ----------------------------------------- log-domain elementwise strips --
+//
+// The dense LogApplyTranspose runs column strips in two passes (max, then
+// exp-sum) with these accumulators. Each output element sees the rows in
+// ascending order with identical per-element arithmetic in every tier, so
+// — like Axpy/AxpyRows — these are bit-identical across ALL tiers.
+
+/// mx[i] = max(mx[i], a[i] + c) — one row's contribution to a column
+/// strip's running max.
+void AddMaxAccumulate(double c, const double* a, double* mx, size_t n);
+
+/// acc[i] += PolyExp(a[i] + c − shift[i]) — one row's contribution to a
+/// column strip's shifted exp-sum (shift = the strip's column maxima).
+void AddExpSumAccumulate(double c, const double* a, const double* shift,
+                         double* acc, size_t n);
+
+/// out[i] = PolyExp(a[i] + b[i] + shift) — the log-domain ScaleToPlan /
+/// TransportCost row kernel (π_ij = e^{lu_i + L_ij + lv_j}); −inf inputs
+/// yield exactly 0.
+void AddExpWrite(double shift, const double* a, const double* b, double* out,
+                 size_t n);
+
 // ----------------------------------------------------------- elementwise --
 
 /// y[i] += c·a[i] (separately rounded multiply and add per element —
@@ -142,6 +205,19 @@ struct SimdOps {
                           size_t);
   void (*gather_scaled_hadamard)(double, const double*, const size_t*,
                                  const double*, double*, size_t);
+  double (*max_reduce)(const double*, size_t);
+  double (*add_max_reduce)(const double*, const double*, size_t);
+  double (*gather_add_max_reduce)(const double*, const size_t*, const double*,
+                                  size_t);
+  double (*exp_sum_shifted)(const double*, double, size_t);
+  double (*add_exp_sum_shifted)(const double*, const double*, double, size_t);
+  double (*gather_add_exp_sum_shifted)(const double*, const size_t*,
+                                       const double*, double, size_t);
+  void (*add_max_accumulate)(double, const double*, double*, size_t);
+  void (*add_exp_sum_accumulate)(double, const double*, const double*,
+                                 double*, size_t);
+  void (*add_exp_write)(double, const double*, const double*, double*,
+                        size_t);
 };
 
 /// Per-ISA tables; null when the TU was compiled without that ISA (wrong

@@ -34,6 +34,29 @@ struct PackAvx2 {
     _mm256_store_pd(l, v);
     return (l[0] + l[1]) + (l[2] + l[3]);
   }
+  static V Sub(V a, V b) { return _mm256_sub_pd(a, b); }
+  static V Div(V a, V b) { return _mm256_div_pd(a, b); }
+  static V Max(V a, V b) { return _mm256_max_pd(a, b); }
+  static V Min(V a, V b) { return _mm256_min_pd(a, b); }
+  static V Floor(V v) { return _mm256_floor_pd(v); }
+  static double ReduceMax(V v) {
+    alignas(32) double l[4];
+    _mm256_store_pd(l, v);
+    const double lo = l[0] > l[1] ? l[0] : l[1];
+    const double hi = l[2] > l[3] ? l[2] : l[3];
+    return lo > hi ? lo : hi;
+  }
+  static V ScaleByPow2(V x, V n) {
+    // n is integral and in [-1021, 1023] (simd_exp.h clamps), so adding
+    // n << 52 to the exponent field is an exact power-of-two scale.
+    const __m128i n32 = _mm256_cvtpd_epi32(n);
+    const __m256i bits = _mm256_slli_epi64(_mm256_cvtepi32_epi64(n32), 52);
+    return _mm256_castsi256_pd(
+        _mm256_add_epi64(_mm256_castpd_si256(x), bits));
+  }
+  static V ZeroIfBelow(V v, V x, V lim) {
+    return _mm256_and_pd(v, _mm256_cmp_pd(x, lim, _CMP_GE_OQ));
+  }
 };
 
 }  // namespace

@@ -33,6 +33,31 @@ struct PackAvx512 {
     _mm512_store_pd(l, v);
     return ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]));
   }
+  static V Sub(V a, V b) { return _mm512_sub_pd(a, b); }
+  static V Div(V a, V b) { return _mm512_div_pd(a, b); }
+  static V Max(V a, V b) { return _mm512_max_pd(a, b); }
+  static V Min(V a, V b) { return _mm512_min_pd(a, b); }
+  static V Floor(V v) {
+    return _mm512_roundscale_pd(v, _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC);
+  }
+  static double ReduceMax(V v) {
+    alignas(64) double l[8];
+    _mm512_store_pd(l, v);
+    double r = l[0];
+    for (int i = 1; i < 8; ++i) r = l[i] > r ? l[i] : r;
+    return r;
+  }
+  static V ScaleByPow2(V x, V n) {
+    // n is integral and in [-1021, 1023] (simd_exp.h clamps), so adding
+    // n << 52 to the exponent field is an exact power-of-two scale.
+    const __m256i n32 = _mm512_cvtpd_epi32(n);
+    const __m512i bits = _mm512_slli_epi64(_mm512_cvtepi32_epi64(n32), 52);
+    return _mm512_castsi512_pd(
+        _mm512_add_epi64(_mm512_castpd_si512(x), bits));
+  }
+  static V ZeroIfBelow(V v, V x, V lim) {
+    return _mm512_maskz_mov_pd(_mm512_cmp_pd_mask(x, lim, _CMP_GE_OQ), v);
+  }
 };
 
 }  // namespace

@@ -1,0 +1,87 @@
+#ifndef OTCLEAN_LINALG_SIMD_EXP_H_
+#define OTCLEAN_LINALG_SIMD_EXP_H_
+
+// The ONE exponential every SIMD tier evaluates — scalar reference
+// included. The log-domain LSE reductions (simd.h: ExpSumShifted and
+// friends) need e^x inside their inner loops, where libm's exp() is both
+// slow and unvectorizable; this header defines the shared Cephes-style
+// rational approximation (~1 ulp over the reduced range) as plain scalar
+// code, and simd_impl.h instantiates the identical operation sequence on
+// lane packs. Because every tier — scalar included — evaluates the same
+// polynomial with the same fma/multiply/divide structure, per-element
+// results are bit-identical across tiers; only the *sum* order of the
+// surrounding reductions differs (the usual few-ULP lane-accumulator
+// reordering).
+//
+// Domain contract (shared by PolyExp and the vector ExpPd template):
+//  - x < kPolyExpLo (~-708.4, where e^x leaves the normal double range),
+//    x = -inf, and x = NaN all return EXACT 0. The flush makes
+//    exp(-inf) = 0 without a branch in the vector tiers — exactly the
+//    "impossible move carries no mass" convention the log-domain kernels
+//    need — at the price of losing subnormal outputs (< ~3e-308).
+//  - x > kPolyExpHi (709) clamps to e^709 ≈ 8.2e307. The log-sum-exp
+//    callers always shift by the max first, so their inputs are <= 0 and
+//    never hit this clamp.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+namespace otclean::linalg::simd {
+
+// Clamps chosen so the power-of-two scale at the end stays strictly in
+// the NORMAL double range (exponent field in [1, 2046]) for every
+// admissible n — that is what makes the vector tiers' integer
+// exponent-add bit-exact against std::ldexp: e^-708 ≈ 3.3e-308 > DBL_MIN
+// and e^709 ≈ 8.2e307 < DBL_MAX.
+inline constexpr double kPolyExpLo = -708.0;
+inline constexpr double kPolyExpHi = 709.0;
+inline constexpr double kPolyExpLog2E = 1.4426950408889634073599;
+// ln2 split for extended-precision argument reduction.
+inline constexpr double kPolyExpC1 = 6.93145751953125E-1;
+inline constexpr double kPolyExpC2 = 1.42860682030941723212E-6;
+// Cephes exp() rational coefficients: e^r = 1 + 2r·P(r²)/(Q(r²) − r·P(r²)).
+inline constexpr double kPolyExpP0 = 1.26177193074810590878E-4;
+inline constexpr double kPolyExpP1 = 3.02994407707441961300E-2;
+inline constexpr double kPolyExpP2 = 9.99999999999999999910E-1;
+inline constexpr double kPolyExpQ0 = 3.00198505138664455042E-6;
+inline constexpr double kPolyExpQ1 = 2.52448340349684104192E-3;
+inline constexpr double kPolyExpQ2 = 2.27265548208155028766E-1;
+inline constexpr double kPolyExpQ3 = 2.00000000000000000005E0;
+
+/// e^x under the domain contract above. The scalar tier's exp, and the
+/// per-lane semantics of the vector tiers' ExpPd — kept in exact
+/// operation-for-operation correspondence with simd_impl.h's template.
+inline double PolyExp(double x) {
+  if (!(x >= kPolyExpLo)) return 0.0;  // underflow, -inf and NaN flush to 0
+  const double xc = x < kPolyExpHi ? x : kPolyExpHi;
+  const double n = std::floor(std::fma(xc, kPolyExpLog2E, 0.5));
+  double r = std::fma(n, -kPolyExpC1, xc);
+  r = std::fma(n, -kPolyExpC2, r);
+  const double rr = r * r;
+  double p = kPolyExpP0;
+  p = std::fma(p, rr, kPolyExpP1);
+  p = std::fma(p, rr, kPolyExpP2);
+  const double rp = r * p;
+  double q = kPolyExpQ0;
+  q = std::fma(q, rr, kPolyExpQ1);
+  q = std::fma(q, rr, kPolyExpQ2);
+  q = std::fma(q, rr, kPolyExpQ3);
+  const double e = rp / (q - rp);
+  const double res = std::fma(e, 2.0, 1.0);
+  // n ∈ [-1021, 1023] and res ∈ (0.7, 1.42), so res·2^n stays strictly
+  // normal and the scale is ONE integer add into the exponent field —
+  // exactly the operation the vector tiers' ScaleByPow2 performs (and
+  // bit-identical to what std::ldexp would return, without the libm
+  // call that would otherwise dominate this scalar path).
+  uint64_t bits;
+  std::memcpy(&bits, &res, sizeof(bits));
+  bits += static_cast<uint64_t>(static_cast<int64_t>(n)) << 52;
+  double out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+}  // namespace otclean::linalg::simd
+
+#endif  // OTCLEAN_LINALG_SIMD_EXP_H_

@@ -27,8 +27,29 @@
 // Scalar tails use std::fma so the last partial elements round the same
 // way the vector body does.
 
+// Log-domain primitives additionally require:
+//
+//     static V Sub(V, V);
+//     static V Div(V, V);
+//     static V Max(V, V);
+//     static V Min(V, V);
+//     static V Floor(V);
+//     static double ReduceMax(V);              // order-free lane max
+//     static V ScaleByPow2(V x, V n);          // x·2^n, n integral doubles
+//                                              // (exponent-field add; x and
+//                                              // the result must be normal)
+//     static V ZeroIfBelow(V v, V x, V lim);   // lanes of v where x ≥ lim,
+//                                              // else exact 0 (NaN x → 0)
+//
+// which ExpPdImpl composes into the shared PolyExp polynomial of
+// simd_exp.h — same coefficients, same fma/mul/div sequence — so a lane
+// of any vector tier's exp is bit-identical to the scalar PolyExp.
+
 #include <cmath>
 #include <cstddef>
+#include <limits>
+
+#include "linalg/simd_exp.h"
 
 namespace otclean::linalg::simd::impl {
 
@@ -236,6 +257,238 @@ void GatherScaledHadamardImpl(double s, const double* vals, const size_t* idx,
   for (; i < n; ++i) out[i] = (s * vals[i]) * x[idx[i]];
 }
 
+// ------------------------------------------------------------ log-domain --
+
+/// Lane-pack PolyExp (simd_exp.h): identical clamp → argument reduction →
+/// rational polynomial → power-of-two scale sequence, one lane per
+/// element. See the domain contract in simd_exp.h.
+template <class P>
+typename P::V ExpPdImpl(typename P::V x) {
+  using V = typename P::V;
+  const V lo = P::Set1(kPolyExpLo);
+  const V xc = P::Max(P::Min(x, P::Set1(kPolyExpHi)), lo);
+  const V n = P::Floor(P::Fma(xc, P::Set1(kPolyExpLog2E), P::Set1(0.5)));
+  V r = P::Fma(n, P::Set1(-kPolyExpC1), xc);
+  r = P::Fma(n, P::Set1(-kPolyExpC2), r);
+  const V rr = P::Mul(r, r);
+  V p = P::Set1(kPolyExpP0);
+  p = P::Fma(p, rr, P::Set1(kPolyExpP1));
+  p = P::Fma(p, rr, P::Set1(kPolyExpP2));
+  const V rp = P::Mul(r, p);
+  V q = P::Set1(kPolyExpQ0);
+  q = P::Fma(q, rr, P::Set1(kPolyExpQ1));
+  q = P::Fma(q, rr, P::Set1(kPolyExpQ2));
+  q = P::Fma(q, rr, P::Set1(kPolyExpQ3));
+  const V e = P::Div(rp, P::Sub(q, rp));
+  const V res = P::ScaleByPow2(P::Fma(e, P::Set1(2.0), P::Set1(1.0)), n);
+  return P::ZeroIfBelow(res, x, lo);  // underflow, -inf, NaN → exact 0
+}
+
+// The max reductions reuse the 4-accumulator blocking of the sums. Max is
+// exactly associative and commutative (no NaN inputs by contract), so —
+// unlike the sums — any blocking gives the bit-identical result the
+// scalar tier computes.
+
+template <class P>
+double MaxReduceImpl(const double* a, size_t n) {
+  constexpr size_t L = P::kLanes;
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  typename P::V s0 = P::Set1(kNegInf), s1 = s0, s2 = s0, s3 = s0;
+  size_t i = 0;
+  for (; i + 4 * L <= n; i += 4 * L) {
+    s0 = P::Max(s0, P::Load(a + i));
+    s1 = P::Max(s1, P::Load(a + i + L));
+    s2 = P::Max(s2, P::Load(a + i + 2 * L));
+    s3 = P::Max(s3, P::Load(a + i + 3 * L));
+  }
+  typename P::V s = P::Max(P::Max(s0, s1), P::Max(s2, s3));
+  for (; i + L <= n; i += L) s = P::Max(s, P::Load(a + i));
+  double r = P::ReduceMax(s);
+  for (; i < n; ++i) r = a[i] > r ? a[i] : r;
+  return r;
+}
+
+template <class P>
+double AddMaxReduceImpl(const double* a, const double* b, size_t n) {
+  constexpr size_t L = P::kLanes;
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  typename P::V s0 = P::Set1(kNegInf), s1 = s0, s2 = s0, s3 = s0;
+  size_t i = 0;
+  for (; i + 4 * L <= n; i += 4 * L) {
+    s0 = P::Max(s0, P::Add(P::Load(a + i), P::Load(b + i)));
+    s1 = P::Max(s1, P::Add(P::Load(a + i + L), P::Load(b + i + L)));
+    s2 = P::Max(s2, P::Add(P::Load(a + i + 2 * L), P::Load(b + i + 2 * L)));
+    s3 = P::Max(s3, P::Add(P::Load(a + i + 3 * L), P::Load(b + i + 3 * L)));
+  }
+  typename P::V s = P::Max(P::Max(s0, s1), P::Max(s2, s3));
+  for (; i + L <= n; i += L) {
+    s = P::Max(s, P::Add(P::Load(a + i), P::Load(b + i)));
+  }
+  double r = P::ReduceMax(s);
+  for (; i < n; ++i) {
+    const double t = a[i] + b[i];
+    r = t > r ? t : r;
+  }
+  return r;
+}
+
+template <class P>
+double GatherAddMaxReduceImpl(const double* vals, const size_t* idx,
+                              const double* x, size_t n) {
+  constexpr size_t L = P::kLanes;
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  typename P::V s0 = P::Set1(kNegInf), s1 = s0, s2 = s0, s3 = s0;
+  size_t i = 0;
+  for (; i + 4 * L <= n; i += 4 * L) {
+    s0 = P::Max(s0, P::Add(P::Load(vals + i), P::Gather(x, idx + i)));
+    s1 = P::Max(s1, P::Add(P::Load(vals + i + L), P::Gather(x, idx + i + L)));
+    s2 = P::Max(s2,
+                P::Add(P::Load(vals + i + 2 * L), P::Gather(x, idx + i + 2 * L)));
+    s3 = P::Max(s3,
+                P::Add(P::Load(vals + i + 3 * L), P::Gather(x, idx + i + 3 * L)));
+  }
+  typename P::V s = P::Max(P::Max(s0, s1), P::Max(s2, s3));
+  for (; i + L <= n; i += L) {
+    s = P::Max(s, P::Add(P::Load(vals + i), P::Gather(x, idx + i)));
+  }
+  double r = P::ReduceMax(s);
+  for (; i < n; ++i) {
+    const double t = vals[i] + x[idx[i]];
+    r = t > r ? t : r;
+  }
+  return r;
+}
+
+template <class P>
+double ExpSumShiftedImpl(const double* a, double shift, size_t n) {
+  constexpr size_t L = P::kLanes;
+  const typename P::V sh = P::Set1(shift);
+  typename P::V s0 = P::Zero(), s1 = P::Zero(), s2 = P::Zero(),
+                s3 = P::Zero();
+  size_t i = 0;
+  for (; i + 4 * L <= n; i += 4 * L) {
+    s0 = P::Add(s0, ExpPdImpl<P>(P::Sub(P::Load(a + i), sh)));
+    s1 = P::Add(s1, ExpPdImpl<P>(P::Sub(P::Load(a + i + L), sh)));
+    s2 = P::Add(s2, ExpPdImpl<P>(P::Sub(P::Load(a + i + 2 * L), sh)));
+    s3 = P::Add(s3, ExpPdImpl<P>(P::Sub(P::Load(a + i + 3 * L), sh)));
+  }
+  typename P::V s = P::Add(P::Add(s0, s1), P::Add(s2, s3));
+  for (; i + L <= n; i += L) {
+    s = P::Add(s, ExpPdImpl<P>(P::Sub(P::Load(a + i), sh)));
+  }
+  double r = P::ReduceAdd(s);
+  for (; i < n; ++i) r += PolyExp(a[i] - shift);
+  return r;
+}
+
+template <class P>
+double AddExpSumShiftedImpl(const double* a, const double* b, double shift,
+                            size_t n) {
+  constexpr size_t L = P::kLanes;
+  const typename P::V sh = P::Set1(shift);
+  typename P::V s0 = P::Zero(), s1 = P::Zero(), s2 = P::Zero(),
+                s3 = P::Zero();
+  size_t i = 0;
+  for (; i + 4 * L <= n; i += 4 * L) {
+    s0 = P::Add(
+        s0, ExpPdImpl<P>(P::Sub(P::Add(P::Load(a + i), P::Load(b + i)), sh)));
+    s1 = P::Add(s1, ExpPdImpl<P>(P::Sub(
+                        P::Add(P::Load(a + i + L), P::Load(b + i + L)), sh)));
+    s2 = P::Add(s2,
+                ExpPdImpl<P>(P::Sub(
+                    P::Add(P::Load(a + i + 2 * L), P::Load(b + i + 2 * L)),
+                    sh)));
+    s3 = P::Add(s3,
+                ExpPdImpl<P>(P::Sub(
+                    P::Add(P::Load(a + i + 3 * L), P::Load(b + i + 3 * L)),
+                    sh)));
+  }
+  typename P::V s = P::Add(P::Add(s0, s1), P::Add(s2, s3));
+  for (; i + L <= n; i += L) {
+    s = P::Add(s,
+               ExpPdImpl<P>(P::Sub(P::Add(P::Load(a + i), P::Load(b + i)),
+                                   sh)));
+  }
+  double r = P::ReduceAdd(s);
+  for (; i < n; ++i) r += PolyExp(a[i] + b[i] - shift);
+  return r;
+}
+
+template <class P>
+double GatherAddExpSumShiftedImpl(const double* vals, const size_t* idx,
+                                  const double* x, double shift, size_t n) {
+  constexpr size_t L = P::kLanes;
+  const typename P::V sh = P::Set1(shift);
+  typename P::V s0 = P::Zero(), s1 = P::Zero(), s2 = P::Zero(),
+                s3 = P::Zero();
+  size_t i = 0;
+  for (; i + 4 * L <= n; i += 4 * L) {
+    s0 = P::Add(s0, ExpPdImpl<P>(P::Sub(
+                        P::Add(P::Load(vals + i), P::Gather(x, idx + i)),
+                        sh)));
+    s1 = P::Add(s1,
+                ExpPdImpl<P>(P::Sub(
+                    P::Add(P::Load(vals + i + L), P::Gather(x, idx + i + L)),
+                    sh)));
+    s2 = P::Add(s2, ExpPdImpl<P>(P::Sub(P::Add(P::Load(vals + i + 2 * L),
+                                               P::Gather(x, idx + i + 2 * L)),
+                                        sh)));
+    s3 = P::Add(s3, ExpPdImpl<P>(P::Sub(P::Add(P::Load(vals + i + 3 * L),
+                                               P::Gather(x, idx + i + 3 * L)),
+                                        sh)));
+  }
+  typename P::V s = P::Add(P::Add(s0, s1), P::Add(s2, s3));
+  for (; i + L <= n; i += L) {
+    s = P::Add(s, ExpPdImpl<P>(P::Sub(
+                      P::Add(P::Load(vals + i), P::Gather(x, idx + i)), sh)));
+  }
+  double r = P::ReduceAdd(s);
+  for (; i < n; ++i) r += PolyExp(vals[i] + x[idx[i]] - shift);
+  return r;
+}
+
+template <class P>
+void AddMaxAccumulateImpl(double c, const double* a, double* mx, size_t n) {
+  constexpr size_t L = P::kLanes;
+  const typename P::V cv = P::Set1(c);
+  size_t i = 0;
+  for (; i + L <= n; i += L) {
+    P::Store(mx + i,
+             P::Max(P::Load(mx + i), P::Add(P::Load(a + i), cv)));
+  }
+  for (; i < n; ++i) {
+    const double t = a[i] + c;
+    if (t > mx[i]) mx[i] = t;
+  }
+}
+
+template <class P>
+void AddExpSumAccumulateImpl(double c, const double* a, const double* shift,
+                             double* acc, size_t n) {
+  constexpr size_t L = P::kLanes;
+  const typename P::V cv = P::Set1(c);
+  size_t i = 0;
+  for (; i + L <= n; i += L) {
+    const typename P::V t =
+        P::Sub(P::Add(P::Load(a + i), cv), P::Load(shift + i));
+    P::Store(acc + i, P::Add(P::Load(acc + i), ExpPdImpl<P>(t)));
+  }
+  for (; i < n; ++i) acc[i] += PolyExp(a[i] + c - shift[i]);
+}
+
+template <class P>
+void AddExpWriteImpl(double shift, const double* a, const double* b,
+                     double* out, size_t n) {
+  constexpr size_t L = P::kLanes;
+  const typename P::V sh = P::Set1(shift);
+  size_t i = 0;
+  for (; i + L <= n; i += L) {
+    P::Store(out + i, ExpPdImpl<P>(P::Add(
+                          P::Add(P::Load(a + i), P::Load(b + i)), sh)));
+  }
+  for (; i < n; ++i) out[i] = PolyExp(a[i] + b[i] + shift);
+}
+
 /// The table every ISA TU exports, filled from one Pack type.
 template <class P>
 detail::SimdOps MakeOps() {
@@ -250,6 +503,15 @@ detail::SimdOps MakeOps() {
   ops.hadamard = HadamardImpl<P>;
   ops.scaled_hadamard = ScaledHadamardImpl<P>;
   ops.gather_scaled_hadamard = GatherScaledHadamardImpl<P>;
+  ops.max_reduce = MaxReduceImpl<P>;
+  ops.add_max_reduce = AddMaxReduceImpl<P>;
+  ops.gather_add_max_reduce = GatherAddMaxReduceImpl<P>;
+  ops.exp_sum_shifted = ExpSumShiftedImpl<P>;
+  ops.add_exp_sum_shifted = AddExpSumShiftedImpl<P>;
+  ops.gather_add_exp_sum_shifted = GatherAddExpSumShiftedImpl<P>;
+  ops.add_max_accumulate = AddMaxAccumulateImpl<P>;
+  ops.add_exp_sum_accumulate = AddExpSumAccumulateImpl<P>;
+  ops.add_exp_write = AddExpWriteImpl<P>;
   return ops;
 }
 

@@ -31,6 +31,23 @@ struct PackNeon {
   static double ReduceAdd(V v) {
     return vgetq_lane_f64(v, 0) + vgetq_lane_f64(v, 1);
   }
+  static V Sub(V a, V b) { return vsubq_f64(a, b); }
+  static V Div(V a, V b) { return vdivq_f64(a, b); }
+  static V Max(V a, V b) { return vmaxq_f64(a, b); }
+  static V Min(V a, V b) { return vminq_f64(a, b); }
+  static V Floor(V v) { return vrndmq_f64(v); }
+  static double ReduceMax(V v) { return vmaxvq_f64(v); }
+  static V ScaleByPow2(V x, V n) {
+    // n is integral and in [-1021, 1023] (simd_exp.h clamps), so adding
+    // n << 52 to the exponent field is an exact power-of-two scale.
+    const int64x2_t bits = vshlq_n_s64(vcvtnq_s64_f64(n), 52);
+    return vreinterpretq_f64_s64(
+        vaddq_s64(vreinterpretq_s64_f64(x), bits));
+  }
+  static V ZeroIfBelow(V v, V x, V lim) {
+    return vreinterpretq_f64_u64(
+        vandq_u64(vreinterpretq_u64_f64(v), vcgeq_f64(x, lim)));
+  }
 };
 
 }  // namespace

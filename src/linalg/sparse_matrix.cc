@@ -23,6 +23,42 @@ SparseMatrix SparseMatrix::FromDense(const Matrix& dense, double threshold) {
   return out;
 }
 
+namespace {
+
+/// The ONE truncated-Gibbs streaming loop: tiles the cost provider,
+/// computes l = −C/ε and k = e^l per entry, keeps the entry iff
+/// k ≥ cutoff, and stores `store_log ? l : k`. The linear and log
+/// kernels sharing this loop — same tiling, same keep test — is what
+/// makes their kept-sets identical by construction (the invariant
+/// CheckTruncatedKernelSupport and the shared plan sparsity pattern rest
+/// on), rather than by two hand-synchronized copies.
+void StreamTruncatedGibbs(const CostProvider& cost, double epsilon,
+                          double cutoff, bool store_log,
+                          std::vector<size_t>& col_index,
+                          std::vector<double>& values,
+                          std::vector<size_t>& row_ptr) {
+  const size_t rows = cost.rows();
+  const size_t cols = cost.cols();
+  std::vector<double> tile(std::min(cols, kCostStreamTileCols));
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c0 = 0; c0 < cols; c0 += tile.size()) {
+      const size_t c1 = std::min(cols, c0 + tile.size());
+      cost.Fill(r, c0, c1, tile.data());
+      for (size_t c = c0; c < c1; ++c) {
+        const double l = -tile[c - c0] / epsilon;
+        const double k = std::exp(l);
+        if (k >= cutoff) {
+          col_index.push_back(c);
+          values.push_back(store_log ? l : k);
+        }
+      }
+    }
+    row_ptr[r + 1] = values.size();
+  }
+}
+
+}  // namespace
+
 SparseMatrix SparseMatrix::GibbsKernel(const Matrix& cost, double epsilon,
                                        double cutoff) {
   return GibbsKernel(MatrixCostProvider(cost), epsilon, cutoff);
@@ -31,24 +67,23 @@ SparseMatrix SparseMatrix::GibbsKernel(const Matrix& cost, double epsilon,
 SparseMatrix SparseMatrix::GibbsKernel(const CostProvider& cost,
                                        double epsilon, double cutoff) {
   assert(epsilon > 0.0);
-  const size_t rows = cost.rows();
-  const size_t cols = cost.cols();
-  SparseMatrix out(rows, cols);
-  std::vector<double> tile(std::min(cols, kCostStreamTileCols));
-  for (size_t r = 0; r < rows; ++r) {
-    for (size_t c0 = 0; c0 < cols; c0 += tile.size()) {
-      const size_t c1 = std::min(cols, c0 + tile.size());
-      cost.Fill(r, c0, c1, tile.data());
-      for (size_t c = c0; c < c1; ++c) {
-        const double k = std::exp(-tile[c - c0] / epsilon);
-        if (k >= cutoff) {
-          out.col_index_.push_back(c);
-          out.values_.push_back(k);
-        }
-      }
-    }
-    out.row_ptr_[r + 1] = out.values_.size();
-  }
+  SparseMatrix out(cost.rows(), cost.cols());
+  StreamTruncatedGibbs(cost, epsilon, cutoff, /*store_log=*/false,
+                       out.col_index_, out.values_, out.row_ptr_);
+  return out;
+}
+
+SparseMatrix SparseMatrix::LogGibbsKernel(const Matrix& cost, double epsilon,
+                                          double cutoff) {
+  return LogGibbsKernel(MatrixCostProvider(cost), epsilon, cutoff);
+}
+
+SparseMatrix SparseMatrix::LogGibbsKernel(const CostProvider& cost,
+                                          double epsilon, double cutoff) {
+  assert(epsilon > 0.0);
+  SparseMatrix out(cost.rows(), cost.cols());
+  StreamTruncatedGibbs(cost, epsilon, cutoff, /*store_log=*/true,
+                       out.col_index_, out.values_, out.row_ptr_);
   return out;
 }
 

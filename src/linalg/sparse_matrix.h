@@ -34,6 +34,18 @@ class SparseMatrix {
   static SparseMatrix GibbsKernel(const CostProvider& cost, double epsilon,
                                   double cutoff);
 
+  /// The truncated *log-domain* Gibbs kernel: stores L = −C/ε at exactly
+  /// the entries GibbsKernel would keep (e^{−C/ε} ≥ cutoff ⟺
+  /// −C/ε ≥ log(cutoff)), streamed tile-by-tile like GibbsKernel — the
+  /// backing store of linalg::SparseLogTransportKernel. Cutoff 0 keeps
+  /// every entry. The kept-set equivalence means the linear and log
+  /// sparse kernels always share one sparsity pattern, so
+  /// CheckTruncatedKernelSupport applies to both unchanged.
+  static SparseMatrix LogGibbsKernel(const CostProvider& cost, double epsilon,
+                                     double cutoff);
+  static SparseMatrix LogGibbsKernel(const Matrix& cost, double epsilon,
+                                     double cutoff);
+
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
   size_t nnz() const { return values_.size(); }

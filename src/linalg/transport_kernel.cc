@@ -9,6 +9,28 @@
 
 namespace otclean::linalg {
 
+CscMirror::CscMirror(const SparseMatrix& csr) {
+  const size_t n = csr.cols();
+  const auto& row_ptr = csr.row_ptr();
+  const auto& col_index = csr.col_index();
+  const auto& csr_values = csr.values();
+  col_ptr.assign(n + 1, 0);
+  for (size_t c : col_index) ++col_ptr[c + 1];
+  for (size_t c = 0; c < n; ++c) col_ptr[c + 1] += col_ptr[c];
+  row_index.resize(csr_values.size());
+  values.resize(csr_values.size());
+  std::vector<size_t> fill(col_ptr.begin(), col_ptr.end() - 1);
+  // Row-order scan keeps each column's entries sorted by ascending row.
+  for (size_t r = 0; r < csr.rows(); ++r) {
+    max_row_nnz = std::max(max_row_nnz, row_ptr[r + 1] - row_ptr[r]);
+    for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const size_t dst = fill[col_index[k]]++;
+      row_index[dst] = r;
+      values[dst] = csr_values[k];
+    }
+  }
+}
+
 // ----------------------------------------------------------------- Dense --
 
 DenseTransportKernel::DenseTransportKernel(Matrix kernel, size_t num_threads,
@@ -141,9 +163,8 @@ SparseTransportKernel::SparseTransportKernel(SparseMatrix kernel,
                                              ThreadPool* pool)
     : kernel_(std::move(kernel)),
       threads_(ResolveThreadCount(num_threads)),
-      pool_(pool) {
-  BuildTranspose();
-}
+      pool_(pool),
+      csc_(kernel_) {}
 
 SparseTransportKernel SparseTransportKernel::FromCost(const Matrix& cost,
                                                       double epsilon,
@@ -162,29 +183,6 @@ SparseTransportKernel SparseTransportKernel::FromCost(const CostProvider& cost,
   assert(epsilon > 0.0);
   return SparseTransportKernel(SparseMatrix::GibbsKernel(cost, epsilon, cutoff),
                                num_threads, pool);
-}
-
-void SparseTransportKernel::BuildTranspose() {
-  const size_t n = kernel_.cols();
-  const auto& row_ptr = kernel_.row_ptr();
-  const auto& col_index = kernel_.col_index();
-  const auto& values = kernel_.values();
-  col_ptr_.assign(n + 1, 0);
-  for (size_t c : col_index) ++col_ptr_[c + 1];
-  for (size_t c = 0; c < n; ++c) col_ptr_[c + 1] += col_ptr_[c];
-  row_index_.resize(values.size());
-  csc_values_.resize(values.size());
-  std::vector<size_t> fill(col_ptr_.begin(), col_ptr_.end() - 1);
-  // Row-order scan keeps each column's entries sorted by ascending row.
-  max_row_nnz_ = 0;
-  for (size_t r = 0; r < kernel_.rows(); ++r) {
-    max_row_nnz_ = std::max(max_row_nnz_, row_ptr[r + 1] - row_ptr[r]);
-    for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
-      const size_t dst = fill[col_index[k]]++;
-      row_index_[dst] = r;
-      csc_values_[dst] = values[k];
-    }
-  }
 }
 
 void SparseTransportKernel::Apply(const Vector& v, Vector& y) const {
@@ -211,8 +209,8 @@ void SparseTransportKernel::ApplyTranspose(const Vector& u, Vector& y) const {
   const size_t n = kernel_.cols();
   assert(u.size() == kernel_.rows());
   if (y.size() != n) y = Vector(n);
-  const double* csc_values = csc_values_.data();
-  const size_t* rows = row_index_.data();
+  const double* csc_values = csc_.values.data();
+  const size_t* rows = csc_.row_index.data();
   const double* udata = u.begin();
   // Gather over the CSC mirror: each output y[c] is owned by one worker
   // and accumulates its column's entries in strictly ascending-row order
@@ -223,9 +221,9 @@ void SparseTransportKernel::ApplyTranspose(const Vector& u, Vector& y) const {
       n, threads_,
       [&](size_t c0, size_t c1) {
         for (size_t c = c0; c < c1; ++c) {
-          const size_t k0 = col_ptr_[c];
+          const size_t k0 = csc_.col_ptr[c];
           y[c] = simd::GatherDotSequential(csc_values + k0, rows + k0, udata,
-                                           col_ptr_[c + 1] - k0);
+                                           csc_.col_ptr[c + 1] - k0);
         }
       },
       GrainForWork(kernel_.nnz() / (n == 0 ? 1 : n)), pool_);
@@ -333,7 +331,7 @@ double SparseTransportKernel::TransportCost(const CostProvider& cost,
   return BlockedReduce(
       m, threads_,
       [&](size_t r0, size_t r1) {
-        std::vector<double> crow(max_row_nnz_);
+        std::vector<double> crow(csc_.max_row_nnz);
         double s = 0.0;
         for (size_t r = r0; r < r1; ++r) {
           const double ur = u[r];

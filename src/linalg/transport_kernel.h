@@ -104,6 +104,25 @@ class DenseTransportKernel final : public TransportKernel {
   ThreadPool* pool_;
 };
 
+/// CSC mirror of a CSR matrix: column c's entries live at
+/// [col_ptr[c], col_ptr[c+1]), sorted by ascending row. Shared by the
+/// linear (SparseTransportKernel) and log-domain (SparseLogTransportKernel)
+/// sparse kernels: with the mirror, every transpose-side primitive is a
+/// gather over disjoint outputs that accumulates each column's entries in
+/// ascending-row order regardless of threading — deterministic, never a
+/// racy scatter.
+struct CscMirror {
+  CscMirror() = default;
+  explicit CscMirror(const SparseMatrix& csr);
+
+  std::vector<size_t> col_ptr;
+  std::vector<size_t> row_index;
+  std::vector<double> values;
+  /// Longest stored CSR row — sizes the per-block scratch of primitives
+  /// that gather one row's worth of streamed data.
+  size_t max_row_nnz = 0;
+};
+
 /// CSR-sparse kernel storage for truncated Gibbs kernels (Section 6.5).
 /// Construction also builds the transposed (CSC) index so that
 /// ApplyTranspose is a gather over disjoint outputs — deterministic under
@@ -158,20 +177,10 @@ class SparseTransportKernel final : public TransportKernel {
   const SparseMatrix& kernel() const { return kernel_; }
 
  private:
-  void BuildTranspose();
-
   SparseMatrix kernel_;
   size_t threads_;
   ThreadPool* pool_;
-  /// Longest stored row — sizes the per-block scratch the streamed
-  /// TransportCost gathers cost entries into.
-  size_t max_row_nnz_ = 0;
-  // CSC mirror: column j's entries live at [col_ptr_[j], col_ptr_[j+1]),
-  // sorted by row — so each transpose output accumulates in ascending-row
-  // order regardless of threading.
-  std::vector<size_t> col_ptr_;
-  std::vector<size_t> row_index_;
-  std::vector<double> csc_values_;
+  CscMirror csc_;
 };
 
 }  // namespace otclean::linalg

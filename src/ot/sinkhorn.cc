@@ -14,15 +14,25 @@ namespace otclean::ot {
 
 namespace {
 
-/// Guards the scaling vectors against overflow. Kernels with a large
-/// dynamic range (e.g. costs that effectively forbid some moves) can push
-/// u or v past the double range over many iterations; an infinite scaling
-/// entry then zeroes the opposite vector and silently drains the plan.
-/// Clamping at 1e150 keeps u·K·v finite without affecting normal runs.
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Guards the scaling vectors against overflow and junk. Kernels with a
+/// large dynamic range (e.g. costs that effectively forbid some moves) can
+/// push u or v past the double range over many iterations; an infinite
+/// scaling entry then zeroes the opposite vector and silently drains the
+/// plan — +inf (and any overflow past 1e150) clamps to 1e150 to keep
+/// u·K·v finite. A NaN (a 0/0 — no mass demanded, none reachable) or a
+/// negative entry means "no mass" and collapses to 0: mapping it to the
+/// clamp CEILING, as this function once did, inflated u·K·v and
+/// transport_cost with mass that never existed.
 void ClampScaling(linalg::Vector& s) {
   constexpr double kMax = 1e150;
   for (size_t i = 0; i < s.size(); ++i) {
-    if (!std::isfinite(s[i]) || s[i] > kMax) s[i] = kMax;
+    if (std::isnan(s[i]) || s[i] < 0.0) {
+      s[i] = 0.0;
+    } else if (s[i] > kMax) {
+      s[i] = kMax;
+    }
   }
 }
 
@@ -35,11 +45,12 @@ double RelaxedExponent(const SinkhornOptions& options) {
 }
 
 /// THE convergence loop — every solver variant (dense, sparse, relaxed,
-/// log-domain) runs this one loop and differs only in its half-iteration
-/// updates and change metric. `row_update(v, new_u)` writes the next row
-/// potential from the current column potential (including any relaxed
-/// exponent and clamping); `col_update(new_u, new_v)` the converse;
-/// `delta(a, b)` measures the max-change between successive potentials.
+/// linear- or log-domain) runs this one loop and differs only in its
+/// half-iteration updates and change metric. `row_update(v, new_u)` writes
+/// the next row potential from the current column potential (including any
+/// relaxed exponent and clamping); `col_update(new_u, new_v)` the
+/// converse; `delta(a, b)` measures the max-change between successive
+/// potentials.
 template <typename RowUpdate, typename ColUpdate, typename Delta>
 void RunScalingLoop(linalg::Vector& u, linalg::Vector& v,
                     const SinkhornOptions& options, size_t& iterations,
@@ -61,146 +72,76 @@ void RunScalingLoop(linalg::Vector& u, linalg::Vector& v,
   }
 }
 
-/// Log-domain variant: iterates log-potentials lu, lv with log(K·v)_i
-/// computed by a streaming log-sum-exp over −C_ij/ε + lv_j. Entries with
-/// p_i = 0 (or q_j = 0) keep lu_i = −inf, matching the linear-domain
-/// 0/0 := 0 convention.
-Result<SinkhornResult> RunSinkhornLogDomain(const linalg::Matrix& cost,
-                                            const linalg::Vector& p,
-                                            const linalg::Vector& q,
-                                            const SinkhornOptions& options,
-                                            const linalg::Vector* warm_u,
-                                            const linalg::Vector* warm_v,
-                                            linalg::ThreadPool* pool) {
-  const size_t m = cost.rows();
-  const size_t n = cost.cols();
-  const double eps = options.epsilon;
-  const double exponent = RelaxedExponent(options);
-  const size_t threads = linalg::ResolveThreadCount(options.num_threads);
-  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-
-  auto safe_log = [](double x) {
-    return x > 0.0 ? std::log(x) : -std::numeric_limits<double>::infinity();
-  };
-  linalg::Vector log_p(m), log_q(n);
-  for (size_t i = 0; i < m; ++i) log_p[i] = safe_log(p[i]);
-  for (size_t j = 0; j < n; ++j) log_q[j] = safe_log(q[j]);
-
-  linalg::Vector lu(m, 0.0), lv(n, 0.0);
-  if (warm_u != nullptr && warm_u->size() == m) {
-    for (size_t i = 0; i < m; ++i) lu[i] = safe_log((*warm_u)[i]);
-  }
-  if (warm_v != nullptr && warm_v->size() == n) {
-    for (size_t j = 0; j < n; ++j) lv[j] = safe_log((*warm_v)[j]);
-  }
-
-  // lse over j of (lv_j − C_ij/ε), per row i (and the transpose for lv).
-  // Each output row/column is owned by one worker — deterministic.
-  linalg::Vector lse(std::max(m, n));
-  auto lse_rows = [&](const linalg::Vector& lvv) {
-    linalg::ParallelFor(
-        m, threads,
-        [&](size_t i0, size_t i1) {
-          for (size_t i = i0; i < i1; ++i) {
-            double mx = kNegInf;
-            for (size_t j = 0; j < n; ++j) {
-              const double t = lvv[j] - cost(i, j) / eps;
-              if (t > mx) mx = t;
-            }
-            if (mx == kNegInf) {
-              lse[i] = kNegInf;
-              continue;
-            }
-            double s = 0.0;
-            for (size_t j = 0; j < n; ++j) {
-              s += std::exp(lvv[j] - cost(i, j) / eps - mx);
-            }
-            lse[i] = mx + std::log(s);
-          }
-        },
-        linalg::GrainForWork(n), pool);
-  };
-  auto lse_cols = [&](const linalg::Vector& luu) {
-    linalg::ParallelFor(
-        n, threads,
-        [&](size_t j0, size_t j1) {
-          for (size_t j = j0; j < j1; ++j) {
-            double mx = kNegInf;
-            for (size_t i = 0; i < m; ++i) {
-              const double t = luu[i] - cost(i, j) / eps;
-              if (t > mx) mx = t;
-            }
-            if (mx == kNegInf) {
-              lse[j] = kNegInf;
-              continue;
-            }
-            double s = 0.0;
-            for (size_t i = 0; i < m; ++i) {
-              s += std::exp(luu[i] - cost(i, j) / eps - mx);
-            }
-            lse[j] = mx + std::log(s);
-          }
-        },
-        linalg::GrainForWork(m), pool);
-  };
-
-  SinkhornResult result;
-  RunScalingLoop(
-      lu, lv, options, result.iterations, result.converged,
-      /*row_update=*/
-      [&](const linalg::Vector& lvv, linalg::Vector& out) {
-        lse_rows(lvv);
-        for (size_t i = 0; i < m; ++i) {
-          out[i] = (log_p[i] == kNegInf || lse[i] == kNegInf)
-                       ? kNegInf
-                       : exponent * (log_p[i] - lse[i]);
-        }
-      },
-      /*col_update=*/
-      [&](const linalg::Vector& luu, linalg::Vector& out) {
-        lse_cols(luu);
-        for (size_t j = 0; j < n; ++j) {
-          out[j] = (log_q[j] == kNegInf || lse[j] == kNegInf)
-                       ? kNegInf
-                       : exponent * (log_q[j] - lse[j]);
-        }
-      },
-      /*delta=*/
-      [](const linalg::Vector& a, const linalg::Vector& b) {
-        double d = 0.0;
-        for (size_t i = 0; i < a.size(); ++i) {
-          const double di = std::fabs(a[i] - b[i]);
-          if (std::isfinite(di)) d = std::max(d, di);
-        }
-        return d;
-      });
-
-  result.plan = linalg::Matrix(m, n, 0.0);
-  for (size_t i = 0; i < m; ++i) {
-    if (lu[i] == kNegInf) continue;
-    for (size_t j = 0; j < n; ++j) {
-      if (lv[j] == kNegInf) continue;
-      result.plan(i, j) = std::exp(lu[i] + lv[j] - cost(i, j) / eps);
+/// Max-change between successive LOG-potential vectors. Two −inf entries
+/// are an unchanged "no mass" state (Δ = 0 for that coordinate), but a
+/// potential flipping between finite and −inf — mass appearing or
+/// disappearing under relaxed mode — is a real, infinite change: it must
+/// read as Δ = ∞, never be skipped, or the loop reports convergence in
+/// the very iteration the support changed.
+double LogPotentialDelta(const linalg::Vector& a, const linalg::Vector& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) continue;  // equal finites, and −inf vs −inf
+    const double di = std::fabs(a[i] - b[i]);
+    if (!std::isfinite(di)) {
+      return std::numeric_limits<double>::infinity();
     }
+    d = std::max(d, di);
   }
-  result.u = linalg::Vector(m);
-  result.v = linalg::Vector(n);
-  for (size_t i = 0; i < m; ++i) {
-    result.u[i] = lu[i] == kNegInf ? 0.0 : std::exp(lu[i]);
-  }
-  for (size_t j = 0; j < n; ++j) {
-    result.v[j] = lv[j] == kNegInf ? 0.0 : std::exp(lv[j]);
-  }
-  ClampScaling(result.u);
-  ClampScaling(result.v);
-  result.transport_cost = cost.FrobeniusDot(result.plan);
-  return result;
+  return d;
 }
 
-Status ValidateInputs(const char* where, size_t cost_rows, size_t cost_cols,
+/// ln with log(0) := −inf (the log-domain "no mass" marker; note this is
+/// NOT Vector::CwiseLogSafe, whose 0 ↦ 0 convention serves entropy sums).
+double LogOrNegInf(double x) {
+  return x > 0.0 ? std::log(x) : kNegInf;
+}
+
+Status ValidateMarginals(const char* where, const linalg::Vector& p,
+                         const linalg::Vector& q) {
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (!std::isfinite(p[i]) || p[i] < 0.0) {
+      return Status::InvalidArgument(
+          std::string(where) + ": source marginal p[" + std::to_string(i) +
+          "] = " + std::to_string(p[i]) + " (entries must be finite and >= 0)");
+    }
+  }
+  for (size_t j = 0; j < q.size(); ++j) {
+    if (!std::isfinite(q[j]) || q[j] < 0.0) {
+      return Status::InvalidArgument(
+          std::string(where) + ": target marginal q[" + std::to_string(j) +
+          "] = " + std::to_string(q[j]) + " (entries must be finite and >= 0)");
+    }
+  }
+  return Status::OK();
+}
+
+/// Warm starts either match the problem exactly or are an error — a
+/// silently ignored warm vector cold-starts the solve, which an outer
+/// loop (FastOTClean) would never notice beyond mysteriously slow
+/// convergence.
+Status ValidateWarmStart(const char* where, const linalg::Vector* warm_u,
+                         size_t rows, const linalg::Vector* warm_v,
+                         size_t cols) {
+  if (warm_u != nullptr && warm_u->size() != rows) {
+    return Status::InvalidArgument(
+        std::string(where) + ": warm_u has size " +
+        std::to_string(warm_u->size()) + " but the problem has " +
+        std::to_string(rows) + " rows (pass null to cold-start)");
+  }
+  if (warm_v != nullptr && warm_v->size() != cols) {
+    return Status::InvalidArgument(
+        std::string(where) + ": warm_v has size " +
+        std::to_string(warm_v->size()) + " but the problem has " +
+        std::to_string(cols) + " columns (pass null to cold-start)");
+  }
+  return Status::OK();
+}
+
+Status ValidateInputs(const char* where, const linalg::CostProvider& cost,
                       const linalg::Vector& p, const linalg::Vector& q,
                       const SinkhornOptions& options) {
-  if (p.size() != cost_rows || q.size() != cost_cols) {
+  if (p.size() != cost.rows() || q.size() != cost.cols()) {
     return Status::InvalidArgument(std::string(where) +
                                    ": marginal dimension mismatch");
   }
@@ -208,7 +149,105 @@ Status ValidateInputs(const char* where, size_t cost_rows, size_t cost_cols,
     return Status::InvalidArgument(std::string(where) +
                                    ": epsilon must be positive");
   }
+  if (Status s = ValidateMarginals(where, p, q); !s.ok()) return s;
+  return ValidateFiniteCosts(where, cost);
+}
+
+}  // namespace
+
+// A NaN or ±inf cost entry propagates through the kernel into a NaN (or
+// silently empty) plan; reject it up front, naming the offending entry.
+// For function-backed providers this is a second full evaluation pass on
+// top of the kernel build's — accepted deliberately: it runs once per
+// solve (the iterations dominate), and checking inside the truncated
+// kernel build instead would miss NaN entries entirely (NaN ≥ cutoff is
+// false, so they are silently truncated away rather than caught).
+Status ValidateFiniteCosts(const char* where,
+                           const linalg::CostProvider& cost) {
+  const size_t rows = cost.rows();
+  const size_t cols = cost.cols();
+  const auto fail = [&](size_t r, size_t c, double v) {
+    return Status::InvalidArgument(
+        std::string(where) + ": cost(" + std::to_string(r) + ", " +
+        std::to_string(c) + ") = " + std::to_string(v) +
+        " is not finite; costs must be finite (use a large finite penalty "
+        "for forbidden moves)");
+  };
+  if (const linalg::Matrix* dense = cost.AsMatrix()) {
+    const double* data = dense->data().data();
+    for (size_t i = 0; i < dense->size(); ++i) {
+      if (!std::isfinite(data[i])) return fail(i / cols, i % cols, data[i]);
+    }
+    return Status::OK();
+  }
+  std::vector<double> tile(std::min(cols, linalg::kCostStreamTileCols));
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c0 = 0; c0 < cols; c0 += tile.size()) {
+      const size_t c1 = std::min(cols, c0 + tile.size());
+      cost.Fill(r, c0, c1, tile.data());
+      for (size_t c = c0; c < c1; ++c) {
+        if (!std::isfinite(tile[c - c0])) return fail(r, c, tile[c - c0]);
+      }
+    }
+  }
   return Status::OK();
+}
+
+namespace {
+
+/// Lifts linear-domain warm-start scalings into log-potentials when
+/// present (the public RunSinkhorn/RunSinkhornSparse APIs speak linear u/v
+/// even in log-domain mode, so warm starts round-trip between domains).
+void WarmLogPotentials(const linalg::Vector* warm, size_t size,
+                       std::optional<linalg::Vector>& out) {
+  if (warm == nullptr) return;
+  out.emplace(size);
+  for (size_t i = 0; i < size; ++i) (*out)[i] = LogOrNegInf((*warm)[i]);
+}
+
+/// Shared tail of both log-domain entry points: linear-domain u/v from
+/// the converged log-potentials.
+void ExpPotentials(const linalg::Vector& lp, linalg::Vector& out) {
+  out = linalg::Vector(lp.size());
+  for (size_t i = 0; i < lp.size(); ++i) {
+    out[i] = lp[i] == kNegInf ? 0.0 : std::exp(lp[i]);
+  }
+  ClampScaling(out);
+}
+
+/// Log-domain dense solve: a thin client of RunSinkhornLogScaling over a
+/// DenseLogTransportKernel — the same engine loop, SIMD'd streamed-LSE
+/// primitives, and thread pool as every other variant (this replaces the
+/// seed's one-off loop that re-read the cost matrix twice per iteration).
+Result<SinkhornResult> RunSinkhornLogDomain(const linalg::Matrix& cost,
+                                            const linalg::Vector& p,
+                                            const linalg::Vector& q,
+                                            const SinkhornOptions& options,
+                                            const linalg::Vector* warm_u,
+                                            const linalg::Vector* warm_v,
+                                            linalg::ThreadPool* pool) {
+  const linalg::DenseLogTransportKernel kernel =
+      linalg::DenseLogTransportKernel::FromCost(cost, options.epsilon,
+                                                options.num_threads, pool);
+  std::optional<linalg::Vector> warm_lu, warm_lv;
+  WarmLogPotentials(warm_u, cost.rows(), warm_lu);
+  WarmLogPotentials(warm_v, cost.cols(), warm_lv);
+  OTCLEAN_ASSIGN_OR_RETURN(
+      SinkhornLogScaling scaling,
+      RunSinkhornLogScaling(kernel, p, q, options,
+                            warm_lu ? &*warm_lu : nullptr,
+                            warm_lv ? &*warm_lv : nullptr));
+
+  SinkhornResult result;
+  result.plan = kernel.ScaleToPlan(scaling.lu, scaling.lv);
+  result.transport_cost =
+      kernel.TransportCost(linalg::MatrixCostProvider(cost), scaling.lu,
+                           scaling.lv);
+  ExpPotentials(scaling.lu, result.u);
+  ExpPotentials(scaling.lv, result.v);
+  result.iterations = scaling.iterations;
+  result.converged = scaling.converged;
+  return result;
 }
 
 }  // namespace
@@ -223,24 +262,34 @@ Result<SinkhornScaling> RunSinkhornScaling(
     return Status::InvalidArgument(
         "RunSinkhornScaling: marginal dimension mismatch");
   }
+  if (Status s = ValidateMarginals("RunSinkhornScaling", p, q); !s.ok()) {
+    return s;
+  }
+  if (Status s = ValidateWarmStart("RunSinkhornScaling", warm_u, m, warm_v, n);
+      !s.ok()) {
+    return s;
+  }
   SinkhornScaling out;
-  out.u = (warm_u != nullptr && warm_u->size() == m) ? *warm_u
-                                                     : linalg::Vector::Ones(m);
-  out.v = (warm_v != nullptr && warm_v->size() == n) ? *warm_v
-                                                     : linalg::Vector::Ones(n);
+  out.u = warm_u != nullptr ? *warm_u : linalg::Vector::Ones(m);
+  out.v = warm_v != nullptr ? *warm_v : linalg::Vector::Ones(n);
 
   const double exponent = RelaxedExponent(options);
   linalg::Vector kv(m), ktu(n);
   // Element-wise into the loop's preallocated buffer — the equivalent of
   // CwiseQuotientSafe (x/0 := 0) + CwisePow (zeros preserved) +
-  // ClampScaling, without per-half-iteration allocations.
+  // ClampScaling, without per-half-iteration allocations. Same policy as
+  // ClampScaling: overflow to the ceiling, NaN/negative to no-mass 0.
   auto scale = [&](const linalg::Vector& marginal, const linalg::Vector& denom,
                    linalg::Vector& next) {
     constexpr double kMax = 1e150;
     for (size_t i = 0; i < next.size(); ++i) {
       double s = denom[i] != 0.0 ? marginal[i] / denom[i] : 0.0;
       if (exponent != 1.0) s = s > 0.0 ? std::pow(s, exponent) : 0.0;
-      if (!std::isfinite(s) || s > kMax) s = kMax;
+      if (std::isnan(s) || s < 0.0) {
+        s = 0.0;
+      } else if (s > kMax) {
+        s = kMax;
+      }
       next[i] = s;
     }
   };
@@ -264,15 +313,74 @@ Result<SinkhornScaling> RunSinkhornScaling(
   return out;
 }
 
+Result<SinkhornLogScaling> RunSinkhornLogScaling(
+    const linalg::LogTransportKernel& kernel, const linalg::Vector& p,
+    const linalg::Vector& q, const SinkhornOptions& options,
+    const linalg::Vector* warm_lu, const linalg::Vector* warm_lv) {
+  const size_t m = kernel.rows();
+  const size_t n = kernel.cols();
+  if (p.size() != m || q.size() != n) {
+    return Status::InvalidArgument(
+        "RunSinkhornLogScaling: marginal dimension mismatch");
+  }
+  if (Status s = ValidateMarginals("RunSinkhornLogScaling", p, q); !s.ok()) {
+    return s;
+  }
+  if (Status s = ValidateWarmStart("RunSinkhornLogScaling", warm_lu, m,
+                                   warm_lv, n);
+      !s.ok()) {
+    return s;
+  }
+  linalg::Vector log_p(m), log_q(n);
+  for (size_t i = 0; i < m; ++i) log_p[i] = LogOrNegInf(p[i]);
+  for (size_t j = 0; j < n; ++j) log_q[j] = LogOrNegInf(q[j]);
+
+  SinkhornLogScaling out;
+  out.lu = warm_lu != nullptr ? *warm_lu : linalg::Vector(m, 0.0);
+  out.lv = warm_lv != nullptr ? *warm_lv : linalg::Vector(n, 0.0);
+
+  const double exponent = RelaxedExponent(options);
+  linalg::Vector lse_rows(m), lse_cols(n);
+  RunScalingLoop(
+      out.lu, out.lv, options, out.iterations, out.converged,
+      // Log-domain half-iterations: lu_i = λ'·(log p_i − log(K·v)_i) with
+      // the LSE streamed by the kernel; p_i = 0 (or an unreachable row)
+      // keeps lu_i = −inf, matching the linear-domain 0/0 := 0 convention.
+      /*row_update=*/
+      [&](const linalg::Vector& lvv, linalg::Vector& next_lu) {
+        kernel.LogApply(lvv, lse_rows);
+        for (size_t i = 0; i < m; ++i) {
+          next_lu[i] = (log_p[i] == kNegInf || lse_rows[i] == kNegInf)
+                           ? kNegInf
+                           : exponent * (log_p[i] - lse_rows[i]);
+        }
+      },
+      /*col_update=*/
+      [&](const linalg::Vector& luu, linalg::Vector& next_lv) {
+        kernel.LogApplyTranspose(luu, lse_cols);
+        for (size_t j = 0; j < n; ++j) {
+          next_lv[j] = (log_q[j] == kNegInf || lse_cols[j] == kNegInf)
+                           ? kNegInf
+                           : exponent * (log_q[j] - lse_cols[j]);
+        }
+      },
+      /*delta=*/LogPotentialDelta);
+  return out;
+}
+
 Result<SinkhornResult> RunSinkhorn(const linalg::Matrix& cost,
                                    const linalg::Vector& p,
                                    const linalg::Vector& q,
                                    const SinkhornOptions& options,
                                    const linalg::Vector* warm_u,
                                    const linalg::Vector* warm_v) {
-  if (Status s =
-          ValidateInputs("RunSinkhorn", cost.rows(), cost.cols(), p, q,
-                         options);
+  if (Status s = ValidateInputs("RunSinkhorn", linalg::MatrixCostProvider(cost),
+                                p, q, options);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = ValidateWarmStart("RunSinkhorn", warm_u, cost.rows(), warm_v,
+                                   cost.cols());
       !s.ok()) {
     return s;
   }
@@ -345,8 +453,7 @@ Result<SparseSinkhornResult> RunSinkhornSparse(
     const linalg::Vector& q, const SinkhornOptions& options,
     double kernel_cutoff, const linalg::Vector* warm_u,
     const linalg::Vector* warm_v) {
-  if (Status s = ValidateInputs("RunSinkhornSparse", cost.rows(), cost.cols(),
-                                p, q, options);
+  if (Status s = ValidateInputs("RunSinkhornSparse", cost, p, q, options);
       !s.ok()) {
     return s;
   }
@@ -354,26 +461,58 @@ Result<SparseSinkhornResult> RunSinkhornSparse(
     return Status::InvalidArgument(
         "RunSinkhornSparse: kernel_cutoff must be >= 0");
   }
-  if (options.log_domain) {
-    return Status::InvalidArgument(
-        "RunSinkhornSparse: log_domain is not supported on the truncated "
-        "kernel (truncation is itself the underflow mitigation; use "
-        "RunSinkhorn for log-domain iteration)");
+  if (Status s = ValidateWarmStart("RunSinkhornSparse", warm_u, cost.rows(),
+                                   warm_v, cost.cols());
+      !s.ok()) {
+    return s;
   }
 
   std::optional<linalg::ThreadPool> owned_pool;
   linalg::ThreadPool* pool = linalg::ResolveSolvePool(
       options.thread_pool, options.num_threads, owned_pool);
-  const linalg::SparseTransportKernel kernel =
-      linalg::SparseTransportKernel::FromCost(cost, options.epsilon,
-                                              kernel_cutoff,
-                                              options.num_threads, pool);
+
   // Hard-marginal mode must reach every row and column carrying mass.
   // Relaxed mode only soft-matches the target marginal, so an unreachable
   // column legitimately ends up under-served — check rows only (stranded
   // *source* mass silently degrades repairs to the identity either way).
-  if (Status s = CheckTruncatedKernelSupport(kernel.kernel(), &p,
-                                             options.relaxed ? nullptr : &q,
+  // Linear and log-domain kernels share one kept-set, so the check is the
+  // same for both.
+  const linalg::Vector* q_check = options.relaxed ? nullptr : &q;
+
+  if (options.log_domain) {
+    const linalg::SparseLogTransportKernel kernel =
+        linalg::SparseLogTransportKernel::FromCost(cost, options.epsilon,
+                                                   kernel_cutoff,
+                                                   options.num_threads, pool);
+    if (Status s = CheckTruncatedKernelSupport(kernel.log_kernel(), &p,
+                                               q_check, "RunSinkhornSparse");
+        !s.ok()) {
+      return s;
+    }
+    std::optional<linalg::Vector> warm_lu, warm_lv;
+    WarmLogPotentials(warm_u, cost.rows(), warm_lu);
+    WarmLogPotentials(warm_v, cost.cols(), warm_lv);
+    OTCLEAN_ASSIGN_OR_RETURN(
+        SinkhornLogScaling scaling,
+        RunSinkhornLogScaling(kernel, p, q, options,
+                              warm_lu ? &*warm_lu : nullptr,
+                              warm_lv ? &*warm_lv : nullptr));
+
+    SparseSinkhornResult result;
+    result.plan = kernel.ScaleToPlanSparse(scaling.lu, scaling.lv);
+    result.transport_cost = kernel.TransportCost(cost, scaling.lu, scaling.lv);
+    ExpPotentials(scaling.lu, result.u);
+    ExpPotentials(scaling.lv, result.v);
+    result.iterations = scaling.iterations;
+    result.converged = scaling.converged;
+    return result;
+  }
+
+  const linalg::SparseTransportKernel kernel =
+      linalg::SparseTransportKernel::FromCost(cost, options.epsilon,
+                                              kernel_cutoff,
+                                              options.num_threads, pool);
+  if (Status s = CheckTruncatedKernelSupport(kernel.kernel(), &p, q_check,
                                              "RunSinkhornSparse");
       !s.ok()) {
     return s;

@@ -2,6 +2,7 @@
 #define OTCLEAN_OT_SINKHORN_H_
 
 #include "common/result.h"
+#include "linalg/log_transport_kernel.h"
 #include "linalg/matrix.h"
 #include "linalg/sparse_matrix.h"
 #include "linalg/transport_kernel.h"
@@ -24,10 +25,17 @@ struct SinkhornOptions {
   /// false: classic Sinkhorn with hard marginals (Algorithm 1).
   /// true: relaxed OT updates of Frogner et al. (Eq. 5).
   bool relaxed = false;
-  /// Run the iterations on log-scaled potentials instead of the scaling
-  /// vectors themselves. Immune to under/overflow for very small ε or
-  /// costs with a huge dynamic range (e.g. frozen-attribute penalties), at
-  /// ~3–4× the per-iteration cost of the linear-domain kernel.
+  /// Run the iterations on log-potentials over a LogTransportKernel
+  /// (streamed log-sum-exp) instead of the scaling vectors themselves.
+  /// Immune to under/overflow for very small ε or costs with a huge
+  /// dynamic range (e.g. frozen-attribute penalties). Supported on both
+  /// the dense path (RunSinkhorn) and the truncated sparse path
+  /// (RunSinkhornSparse, where the kernel stores −C/ε at the kept
+  /// entries and the solve stays O(nnz)). Each iteration costs an exp
+  /// per kernel entry (SIMD'd; see bench_log_kernel) versus the linear
+  /// domain's multiply — prefer it when ε is small enough for e^{−C/ε}
+  /// to leave the double range, or when convergence stalls from clamped
+  /// scalings.
   bool log_domain = false;
   size_t max_iterations = 20000;
   /// Convergence threshold on the max-change of the scaling vectors
@@ -74,23 +82,54 @@ struct SinkhornScaling {
 
 /// The single linear-domain engine loop, usable with any TransportKernel
 /// (dense, CSR-sparse, or future storages). `warm_u` / `warm_v`, when
-/// non-null and correctly sized, initialize the scaling vectors; otherwise
-/// they start at all-ones. Both RunSinkhorn and RunSinkhornSparse delegate
-/// here — call it directly when you build the kernel once and reuse it
-/// across solves (e.g. warm-started outer loops). Errors on marginal /
-/// kernel dimension mismatch.
+/// non-null, initialize the scaling vectors (their sizes MUST match the
+/// kernel — a mismatch is an InvalidArgument, never a silent cold start);
+/// when null they start at all-ones. Both RunSinkhorn and
+/// RunSinkhornSparse delegate here — call it directly when you build the
+/// kernel once and reuse it across solves (e.g. warm-started outer
+/// loops). Errors on marginal / kernel dimension mismatch and on
+/// negative or non-finite marginal entries.
 Result<SinkhornScaling> RunSinkhornScaling(
     const linalg::TransportKernel& kernel, const linalg::Vector& p,
     const linalg::Vector& q, const SinkhornOptions& options,
     const linalg::Vector* warm_u = nullptr,
     const linalg::Vector* warm_v = nullptr);
 
+/// Log-potentials + convergence stats of a log-domain engine run, before
+/// any plan materialization. −inf marks "no mass" (the linear u_i = 0).
+struct SinkhornLogScaling {
+  linalg::Vector lu;
+  linalg::Vector lv;
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+/// The log-domain twin of RunSinkhornScaling: the same RunScalingLoop
+/// engine iterated on log-potentials over a LogTransportKernel (dense or
+/// CSR — every storage optimization of the linear kernels applies).
+/// `warm_lu` / `warm_lv` are LOG-potentials (sizes must match; −inf
+/// entries allowed); null starts from all-zeros (= all-ones scalings).
+/// Convergence measures the max-change of the log-potentials, and a
+/// potential flipping between finite and −inf counts as an infinite
+/// change — the loop cannot report convergence across such a flip.
+/// Errors exactly as RunSinkhornScaling does.
+Result<SinkhornLogScaling> RunSinkhornLogScaling(
+    const linalg::LogTransportKernel& kernel, const linalg::Vector& p,
+    const linalg::Vector& q, const SinkhornOptions& options,
+    const linalg::Vector* warm_lu = nullptr,
+    const linalg::Vector* warm_lv = nullptr);
+
 /// Runs Sinkhorn matrix scaling between marginals `p` (rows) and `q`
-/// (columns) under cost matrix `cost`, on a dense kernel.
+/// (columns) under cost matrix `cost`, on a dense kernel (log-domain mode
+/// iterates a DenseLogTransportKernel instead; the result's u/v are the
+/// linear-domain scalings e^{lu}/e^{lv} either way).
 ///
-/// `warm_u` / `warm_v`, when non-null and correctly sized, initialize the
-/// scaling vectors (the paper's warm-start optimization, Section 5);
-/// otherwise they start at all-ones.
+/// `warm_u` / `warm_v`, when non-null, initialize the scaling vectors
+/// (the paper's warm-start optimization, Section 5) and must match the
+/// problem's dimensions — a mismatch is an InvalidArgument, never a
+/// silent cold start; null starts from all-ones. Inputs are validated:
+/// negative or non-finite marginal entries and non-finite cost entries
+/// are rejected with an indexed error message.
 Result<SinkhornResult> RunSinkhorn(const linalg::Matrix& cost,
                                    const linalg::Vector& p,
                                    const linalg::Vector& q,
@@ -122,9 +161,15 @@ struct SparseSinkhornResult {
 /// otherwise that marginal mass would be stranded. (Relaxed mode only
 /// soft-matches the target marginal, so unreachable columns are
 /// legitimately under-served there, not an error — the same policy
-/// FastOTClean applies.) Also errors when `options.log_domain` is set — log-domain
-/// iteration is not implemented on the truncated kernel (the truncation
-/// is itself the underflow mitigation; use RunSinkhorn for log-domain).
+/// FastOTClean applies.)
+///
+/// With `options.log_domain`, the truncated solve iterates log-potentials
+/// over a SparseLogTransportKernel storing −C/ε at exactly the kept
+/// entries (same sparsity pattern and stranded-mass guard as the linear
+/// kernel) — still O(nnz) memory end to end. Truncation bounds the
+/// kernel's dynamic range from below but does nothing for *convergence*
+/// at small ε, where the linear iteration's scalings under/overflow —
+/// combine truncation with log_domain for sharp, sparse, stable solves.
 ///
 /// The CostProvider overload is the O(nnz)-memory entry point: the cost is
 /// streamed into the kernel build and the final ⟨C, π⟩, so no rows×cols
@@ -142,6 +187,15 @@ Result<SparseSinkhornResult> RunSinkhornSparse(
     const linalg::Vector& q, const SinkhornOptions& options,
     double kernel_cutoff, const linalg::Vector* warm_u = nullptr,
     const linalg::Vector* warm_v = nullptr);
+
+/// Rejects NaN/±inf cost entries with a row/col-indexed InvalidArgument
+/// (finite-cost validation of RunSinkhorn/RunSinkhornSparse, exposed for
+/// callers like FastOTClean that build kernels from a CostProvider
+/// directly — a non-finite entry would otherwise be silently truncated
+/// away or flushed to 0 by the kernels). Streams tile-by-tile, O(tile)
+/// memory; zero-copy when the provider has a dense backing.
+Status ValidateFiniteCosts(const char* where,
+                           const linalg::CostProvider& cost);
 
 /// Verifies a truncated kernel can carry the marginals: every row i with
 /// p[i] > 0 (and, when `q` is non-null, every column j with q[j] > 0) must

@@ -99,12 +99,14 @@ struct Problem {
     }
   }
 
-  FastOtCleanOptions Options(double truncation) const {
+  FastOtCleanOptions Options(double truncation,
+                             bool log_domain = false) const {
     FastOtCleanOptions options;
     options.epsilon = 0.12;
     options.max_outer_iterations = 4;
     options.max_sinkhorn_iterations = 200;
     options.kernel_truncation = truncation;
+    options.log_domain = log_domain;
     options.num_threads = 1;  // single-threaded: no pool allocations
     return options;
   }
@@ -141,6 +143,37 @@ TEST(AllocGuardTest, TruncatedSolveNeverAllocatesRowsTimesCols) {
   // And not merely squeaking under the threshold: the largest single
   // allocation (CSR arrays, tuple tables, domain-sized vectors) stays an
   // order of magnitude below the dense plan/cost scale.
+  EXPECT_LT(max_alloc, dense_bytes / 8);
+}
+
+TEST(AllocGuardTest, TruncatedLogDomainSolveNeverAllocatesRowsTimesCols) {
+  // Same guarantee on the log-domain path: the truncated solve iterates a
+  // SparseLogTransportKernel holding −C/ε at the kept entries — no dense
+  // log-kernel, no dense cost, no dense plan, ever.
+  const Problem problem(2024);
+  const size_t rows = problem.active_rows;
+  const size_t cols = problem.dom.TotalSize();
+  const size_t dense_bytes = rows * cols * sizeof(double);
+
+  Rng rng(7);
+  size_t kernel_nnz = 0;
+  size_t max_alloc = 0;
+  size_t dense_scale_allocs = 0;
+  {
+    TrackingScope scope(dense_bytes);
+    const auto result = FastOtClean(
+        problem.p_data, problem.ci, problem.cost,
+        problem.Options(/*truncation=*/1e-3, /*log_domain=*/true), rng);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->plan.IsSparse());
+    kernel_nnz = result->kernel_nnz;
+    max_alloc = scope.max_alloc();
+    dense_scale_allocs = scope.dense_scale_allocs();
+  }
+  ASSERT_GT(kernel_nnz, 0u);
+  ASSERT_LT(kernel_nnz, rows * cols);
+  EXPECT_EQ(dense_scale_allocs, 0u);
+  EXPECT_LT(max_alloc, dense_bytes);
   EXPECT_LT(max_alloc, dense_bytes / 8);
 }
 

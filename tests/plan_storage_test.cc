@@ -219,14 +219,25 @@ TEST(PlanStorageTest, RepairTableReportsSparsePlanStorage) {
 
 // ------------------------------------------------ truncation guard rails --
 
-TEST(PlanStorageTest, SparseSinkhornRejectsLogDomain) {
+TEST(PlanStorageTest, SparseSinkhornAcceptsLogDomain) {
+  // Once rejected outright, the truncated path now iterates a
+  // SparseLogTransportKernel; at cutoff 0 the log-domain sparse plan must
+  // match the linear-domain dense one.
   Matrix cost(2, 2, 0.0);
-  const Vector p(std::vector<double>{0.5, 0.5});
+  cost(0, 1) = 1.0;
+  cost(1, 0) = 1.0;
+  const Vector p(std::vector<double>{0.6, 0.4});
+  const Vector q(std::vector<double>{0.3, 0.7});
   ot::SinkhornOptions opts;
+  opts.epsilon = 0.1;
   opts.log_domain = true;
-  const auto r = ot::RunSinkhornSparse(cost, p, p, opts, 0.0);
-  ASSERT_FALSE(r.ok());
-  EXPECT_NE(r.status().ToString().find("log_domain"), std::string::npos);
+  const auto r = ot::RunSinkhornSparse(cost, p, q, opts, 0.0);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ot::SinkhornOptions lin = opts;
+  lin.log_domain = false;
+  const auto d = ot::RunSinkhorn(cost, p, q, lin).value();
+  EXPECT_TRUE(r->plan.ToDense().ApproxEquals(d.plan, 1e-8));
+  EXPECT_NEAR(r->transport_cost, d.transport_cost, 1e-8);
 }
 
 TEST(PlanStorageTest, SparseSinkhornRejectsStrandedRowMass) {

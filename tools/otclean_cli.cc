@@ -16,6 +16,9 @@
 //   --threads N            Sinkhorn kernel threads (default 0 = all cores)
 //   --truncation F         sparse-kernel cutoff: drop K entries below F
 //                          (default 0 = dense kernel; fast solver only)
+//   --log-domain           iterate Sinkhorn on log-potentials (stable at
+//                          small --epsilon / huge penalty costs; composes
+//                          with --truncation; fast solver only)
 //   --map                  deterministic MAP repairs instead of sampling
 //   --seed N               RNG seed (default 42)
 //   --report               print CMI / cost diagnostics to stderr
@@ -37,6 +40,7 @@ struct CliArgs {
   std::map<std::string, std::string> named;
   bool map_repair = false;
   bool report = false;
+  bool log_domain = false;
 };
 
 CliArgs ParseArgs(int argc, char** argv) {
@@ -45,6 +49,8 @@ CliArgs ParseArgs(int argc, char** argv) {
     const std::string a = argv[i];
     if (a == "--map") {
       args.map_repair = true;
+    } else if (a == "--log-domain") {
+      args.log_domain = true;
     } else if (a == "--report") {
       args.report = true;
     } else if (a.rfind("--", 0) == 0 && i + 1 < argc) {
@@ -75,7 +81,7 @@ int main(int argc, char** argv) {
                  "usage: otclean --input data.csv --x COLS --y COLS "
                  "[--z COLS] [--output out.csv] [--solver fast|qclp] "
                  "[--epsilon F] [--lambda F] [--threads N] [--truncation F] "
-                 "[--map] [--seed N] [--report]\n");
+                 "[--log-domain] [--map] [--seed N] [--report]\n");
     return 2;
   }
 
@@ -124,6 +130,8 @@ int main(int argc, char** argv) {
   } else {
     return Fail("bad --truncation");
   }
+  options.fast.log_domain = args.log_domain;
+  options.qclp.log_domain = args.log_domain;
   options.fast.restrict_columns_to_active = true;
   options.fast.max_outer_iterations = 60;
   options.fast.max_sinkhorn_iterations = 1000;
@@ -140,6 +148,7 @@ int main(int argc, char** argv) {
                  "constraint %s\n  CMI: %.6f -> %.6f (target %.2e)\n"
                  "  transport cost: %.6f; outer iterations: %zu%s\n"
                  "  plan storage: %s, %zu entries (%.1f KiB)%s\n"
+                 "  sinkhorn domain: %s\n"
                  "  simd: %s (override with OTCLEAN_SIMD=scalar|avx2|"
                  "avx512|neon)\n",
                  constraint.ToString().c_str(), report->initial_cmi,
@@ -149,7 +158,8 @@ int main(int argc, char** argv) {
                  report->plan_sparse ? "sparse (CSR)" : "dense",
                  report->plan_nnz,
                  static_cast<double>(report->plan_memory_bytes) / 1024.0,
-                 kernel_note.c_str(), report->simd_isa);
+                 kernel_note.c_str(), report->sinkhorn_domain,
+                 report->simd_isa);
   }
 
   const std::string output = get("output");
