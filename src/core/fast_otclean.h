@@ -67,13 +67,16 @@ struct FastOtCleanOptions {
   /// hardware concurrency, 1 = serial; results are identical across thread
   /// counts.
   size_t num_threads = 0;
-  /// Optional externally owned worker pool shared across *sequential*
-  /// solves (a pool serves one dispatching thread at a time — concurrent
-  /// repairs need a pool each); must outlive the call. When null and the
-  /// resolved `num_threads` exceeds 1,
-  /// one pool is created per solve and reused by every Sinkhorn iteration
-  /// and outer step (threads start once per repair, not once per kernel
-  /// call). Pooled and serial results are bit-identical.
+  /// Optional externally owned worker pool; must outlive the call. One
+  /// pool may serve sequential solves *and* concurrent ones (the
+  /// RepairScheduler runs every executor's repairs off a single shared
+  /// pool) — each solve's chunk decomposition depends only on its own
+  /// (n, num_threads, grain), so per-solve results are bit-identical no
+  /// matter what else shares the pool. When null and the resolved
+  /// `num_threads` exceeds 1, one pool is created per solve and reused by
+  /// every Sinkhorn iteration and outer step (threads start once per
+  /// repair, not once per kernel call). Pooled and serial results are
+  /// bit-identical.
   linalg::ThreadPool* thread_pool = nullptr;
 };
 

@@ -33,10 +33,10 @@ struct QclpOptions {
   /// 1 = serial; each constraint row is built by exactly one worker, so
   /// results are identical across thread counts.
   size_t num_threads = 0;
-  /// Optional externally owned worker pool (serving one solve at a time;
-  /// concurrent solves need a pool each); must outlive the call. When
-  /// null and the resolved `num_threads` exceeds 1, QclpClean creates one
-  /// pool per solve and reuses it across all outer iterations.
+  /// Optional externally owned worker pool, shareable across sequential
+  /// and concurrent solves alike; must outlive the call. When null and
+  /// the resolved `num_threads` exceeds 1, QclpClean creates one pool per
+  /// solve and reuses it across all outer iterations.
   linalg::ThreadPool* thread_pool = nullptr;
 };
 

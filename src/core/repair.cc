@@ -6,6 +6,35 @@
 #include "linalg/simd.h"
 
 namespace otclean::core {
+namespace {
+
+/// The one place plan-storage diagnostics and the active SIMD tier flow
+/// into a RepairReport — shared by every entry point (single-constraint
+/// Fit, multi-constraint, both solvers) so the fields cannot diverge.
+void PopulatePlanReport(const ot::TransportPlan& plan, RepairReport& report) {
+  report.plan_sparse = plan.IsSparse();
+  report.plan_nnz = plan.Nnz();
+  report.plan_memory_bytes = plan.MemoryBytes();
+  report.simd_isa = linalg::simd::ActiveIsaName();
+}
+
+/// Populates every solve-diagnostic field of `report` from a *successful*
+/// FastOTClean run. `sinkhorn_domain` is derived here, after the solve, so
+/// no path can report a domain for Sinkhorn iterations that never ran.
+void PopulateFastSolveReport(const FastOtCleanResult& r,
+                             const FastOtCleanOptions& fast,
+                             RepairReport& report) {
+  report.target_cmi = r.target_cmi;
+  report.transport_cost = r.transport_cost;
+  report.outer_iterations = r.outer_iterations;
+  report.total_sinkhorn_iterations = r.total_sinkhorn_iterations;
+  report.converged = r.converged;
+  report.kernel_nnz = r.kernel_nnz;
+  report.sinkhorn_domain = fast.log_domain ? "log" : "linear";
+  PopulatePlanReport(r.plan, report);
+}
+
+}  // namespace
 
 Status OtCleanRepairer::Fit(const dataset::Table& table,
                             const ot::CostFunction* cost) {
@@ -50,30 +79,21 @@ Status OtCleanRepairer::Fit(const dataset::Table& table,
   if (options_.solver == Solver::kFastOtClean) {
     OTCLEAN_ASSIGN_OR_RETURN(FastOtCleanResult r,
                              FastOtClean(p, spec, *cost, options_.fast, rng));
+    PopulateFastSolveReport(r, options_.fast, fit_report_);
     plan_ = std::move(r.plan);
     target_ = std::move(r.target);
-    fit_report_.target_cmi = r.target_cmi;
-    fit_report_.transport_cost = r.transport_cost;
-    fit_report_.outer_iterations = r.outer_iterations;
-    fit_report_.total_sinkhorn_iterations = r.total_sinkhorn_iterations;
-    fit_report_.converged = r.converged;
-    fit_report_.kernel_nnz = r.kernel_nnz;
-    fit_report_.sinkhorn_domain = options_.fast.log_domain ? "log" : "linear";
   } else {
     OTCLEAN_ASSIGN_OR_RETURN(QclpResult r,
                              QclpClean(p, spec, *cost, options_.qclp));
-    plan_ = std::move(r.plan);
-    target_ = std::move(r.target);
     fit_report_.target_cmi = r.target_cmi;
     fit_report_.transport_cost = r.transport_cost;
     fit_report_.outer_iterations = r.outer_iterations;
     fit_report_.converged = r.converged;
     fit_report_.sinkhorn_domain = "n/a";
+    PopulatePlanReport(r.plan, fit_report_);
+    plan_ = std::move(r.plan);
+    target_ = std::move(r.target);
   }
-  fit_report_.plan_sparse = plan_.IsSparse();
-  fit_report_.plan_nnz = plan_.Nnz();
-  fit_report_.plan_memory_bytes = plan_.MemoryBytes();
-  fit_report_.simd_isa = linalg::simd::ActiveIsaName();
   fitted_ = true;
   return Status::OK();
 }
@@ -143,14 +163,23 @@ Result<RepairReport> RepairTableMulti(
     return Status::InvalidArgument("RepairTableMulti: no constraints");
   }
   if (options.solver != Solver::kFastOtClean) {
-    return Status::NotImplemented(
-        "RepairTableMulti: only the FastOTClean solver supports multiple "
-        "constraints");
+    return Status::InvalidArgument(
+        "RepairTableMulti: options.solver must be Solver::kFastOtClean — the "
+        "QCLP solver handles a single constraint only");
+  }
+  if (!options.use_saturation) {
+    return Status::InvalidArgument(
+        "RepairTableMulti: options.use_saturation = false (naive full-joint "
+        "cleaning) is not supported in multi-constraint mode; the cleaner "
+        "always operates on the union of the constraint attributes");
   }
   const dataset::Schema& schema = table.schema();
 
-  // Union of constraint attributes, in first-appearance order.
+  // Union of constraint attributes, in first-appearance order. The
+  // per-constraint resolutions are kept: specs below are built from these
+  // already-validated indices, never by re-looking names up.
   std::vector<size_t> u_cols;
+  std::vector<std::vector<size_t>> resolved_cols;
   for (const auto& constraint : constraints) {
     OTCLEAN_ASSIGN_OR_RETURN(std::vector<size_t> cols,
                              constraint.ResolveColumns(schema));
@@ -159,21 +188,27 @@ Result<RepairReport> RepairTableMulti(
         u_cols.push_back(c);
       }
     }
+    resolved_cols.push_back(std::move(cols));
   }
   const prob::Domain domain = schema.ToDomain(u_cols);
 
-  // Position each constraint's spec within the union domain.
-  auto position_of = [&](const std::string& name) -> size_t {
-    const size_t col = schema.ColumnIndex(name).value();
+  // Position each constraint's spec within the union domain. ResolveColumns
+  // returns the constraint's columns in X,Y,Z order, so the resolved vector
+  // splits by the X/Y/Z sizes.
+  auto position_of = [&](size_t col) -> size_t {
     return static_cast<size_t>(
         std::find(u_cols.begin(), u_cols.end(), col) - u_cols.begin());
   };
   std::vector<prob::CiSpec> specs;
-  for (const auto& constraint : constraints) {
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    const std::vector<size_t>& cols = resolved_cols[i];
+    const size_t nx = constraints[i].x().size();
+    const size_t ny = constraints[i].y().size();
     prob::CiSpec spec;
-    for (const auto& name : constraint.x()) spec.x.push_back(position_of(name));
-    for (const auto& name : constraint.y()) spec.y.push_back(position_of(name));
-    for (const auto& name : constraint.z()) spec.z.push_back(position_of(name));
+    for (size_t j = 0; j < cols.size(); ++j) {
+      (j < nx ? spec.x : j < nx + ny ? spec.y : spec.z)
+          .push_back(position_of(cols[j]));
+    }
     specs.push_back(std::move(spec));
   }
 
@@ -196,17 +231,7 @@ Result<RepairReport> RepairTableMulti(
   OTCLEAN_ASSIGN_OR_RETURN(
       FastOtCleanResult r,
       FastOtCleanMulti(p, specs, *cost, options.fast, rng));
-  report.target_cmi = r.target_cmi;
-  report.transport_cost = r.transport_cost;
-  report.outer_iterations = r.outer_iterations;
-  report.total_sinkhorn_iterations = r.total_sinkhorn_iterations;
-  report.converged = r.converged;
-  report.kernel_nnz = r.kernel_nnz;
-  report.plan_sparse = r.plan.IsSparse();
-  report.plan_nnz = r.plan.Nnz();
-  report.plan_memory_bytes = r.plan.MemoryBytes();
-  report.simd_isa = linalg::simd::ActiveIsaName();
-  report.sinkhorn_domain = options.fast.log_domain ? "log" : "linear";
+  PopulateFastSolveReport(r, options.fast, report);
 
   // Apply the cleaner row by row over the union columns.
   Rng apply_rng(options.seed ^ 0xfeedbeefull);

@@ -124,10 +124,14 @@ Result<double> TableCmi(const dataset::Table& table,
 
 /// Multi-constraint repair (the paper's stated extension): enforces every
 /// constraint simultaneously over the union of their attributes, using
-/// cyclic I-projections inside FastOTClean. Only the FastOTClean solver is
-/// supported; `initial_cmi` / `final_cmi` report the *largest* CMI across
-/// the constraints. Constraints may overlap but each must be individually
-/// well-formed for the table's schema.
+/// cyclic I-projections inside FastOTClean. `initial_cmi` / `final_cmi`
+/// report the *largest* CMI across the constraints. Constraints may overlap
+/// but each must be individually well-formed for the table's schema.
+/// Unsupported option combinations are InvalidArgument errors rather than
+/// silently solving something else: `options.solver` must be
+/// `Solver::kFastOtClean`, and `options.use_saturation` must stay true (the
+/// multi-constraint cleaner always operates on the union of the constraint
+/// attributes; there is no naive full-joint mode).
 Result<RepairReport> RepairTableMulti(
     const dataset::Table& table, const std::vector<CiConstraint>& constraints,
     const RepairOptions& options = {}, const ot::CostFunction* cost = nullptr);

@@ -1,0 +1,128 @@
+#include "core/repair_scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/timer.h"
+#include "linalg/parallel_for.h"
+
+namespace otclean::core {
+
+uint64_t DeriveJobSeed(uint64_t base_seed, uint64_t job_id) {
+  // The SplitMix64 finalizer (the same mixer Rng seeds through) over the
+  // (base_seed, id) pair. id+1 keeps job 0 from collapsing to the bare
+  // base seed, so even the first job's stream is decorrelated from a
+  // standalone RepairTable run with the same options.
+  uint64_t z = base_seed + 0x9e3779b97f4a7c15ull * (job_id + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+RepairScheduler::RepairScheduler(RepairSchedulerOptions options)
+    : options_(options) {
+  if (options_.thread_pool != nullptr) {
+    pool_ = options_.thread_pool;
+  } else if (linalg::ResolveThreadCount(options_.pool_threads) > 1) {
+    owned_pool_.emplace(options_.pool_threads);
+    pool_ = &*owned_pool_;
+  }
+}
+
+Result<RepairReport> RepairScheduler::RunOne(const RepairJob& job,
+                                             size_t batch_index) {
+  if (job.table == nullptr) {
+    return Status::InvalidArgument("RepairScheduler: job " +
+                                   std::to_string(batch_index) +
+                                   " has no table");
+  }
+  if (job.constraints.empty()) {
+    return Status::InvalidArgument("RepairScheduler: job " +
+                                   std::to_string(batch_index) +
+                                   " has no constraints");
+  }
+  if (job.options.fast.thread_pool != nullptr ||
+      job.options.qclp.thread_pool != nullptr) {
+    // Loud instead of silent: the scheduler's whole point is that every
+    // job dispatches on ITS shared pool. A job arriving with its own pool
+    // is a misconfiguration — honoring it would defeat the bounded-thread
+    // model, overriding it would silently ignore the caller's setup.
+    return Status::InvalidArgument(
+        "RepairScheduler: job " + std::to_string(batch_index) +
+        " carries its own options thread_pool; jobs must leave it null — "
+        "the scheduler dispatches every job on its one shared pool "
+        "(RepairSchedulerOptions::thread_pool/pool_threads)");
+  }
+  RepairOptions opts = job.options;
+  const uint64_t id = job.id == kAutoJobId ? batch_index : job.id;
+  opts.seed = DeriveJobSeed(job.options.seed, id);
+  // All executors dispatch on the one shared pool; the solve's chunk
+  // decomposition stays governed by opts.fast/qclp.num_threads, so per-job
+  // results do not depend on the pool's width or on concurrent neighbours.
+  opts.fast.thread_pool = pool_;
+  opts.qclp.thread_pool = pool_;
+  if (pool_ == nullptr) {
+    // A width-1 pool resolution means the scheduler's contract is "solves
+    // run serial, executors are the only concurrency". Left at N>1, each
+    // executor's solve would spawn a private pool — exactly the N-fold
+    // oversubscription the scheduler exists to prevent. Forcing serial
+    // solves is result-preserving: kernel results are bit-compatible
+    // across thread counts (pinned by thread_pool_test).
+    opts.fast.num_threads = 1;
+    opts.qclp.num_threads = 1;
+  }
+  if (job.constraints.size() == 1) {
+    return RepairTable(*job.table, job.constraints.front(), opts, job.cost);
+  }
+  return RepairTableMulti(*job.table, job.constraints, opts, job.cost);
+}
+
+BatchReport RepairScheduler::Run(const std::vector<RepairJob>& jobs) {
+  BatchReport report;
+  if (jobs.empty()) return report;
+
+  std::vector<std::optional<Result<RepairReport>>> slots(jobs.size());
+  std::atomic<size_t> next_job{0};
+  auto executor = [&] {
+    for (;;) {
+      const size_t i = next_job.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      slots[i].emplace(RunOne(jobs[i], i));
+    }
+  };
+
+  WallTimer timer;
+  const size_t executors = std::min(
+      linalg::ResolveThreadCount(options_.max_concurrent_jobs), jobs.size());
+  if (executors <= 1) {
+    executor();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(executors - 1);
+    for (size_t t = 1; t < executors; ++t) threads.emplace_back(executor);
+    executor();
+    for (std::thread& t : threads) t.join();
+  }
+  report.wall_seconds = timer.ElapsedSeconds();
+  report.jobs_per_second =
+      static_cast<double>(jobs.size()) /
+      (report.wall_seconds > 0.0 ? report.wall_seconds : 1e-12);
+
+  report.jobs.reserve(jobs.size());
+  for (auto& slot : slots) {
+    Result<RepairReport>& r = *slot;
+    if (r.ok()) {
+      ++report.completed_jobs;
+      report.total_sinkhorn_iterations += r->total_sinkhorn_iterations;
+      report.peak_plan_bytes =
+          std::max(report.peak_plan_bytes, r->plan_memory_bytes);
+    } else {
+      ++report.failed_jobs;
+    }
+    report.jobs.push_back(std::move(r));
+  }
+  return report;
+}
+
+}  // namespace otclean::core

@@ -1,0 +1,117 @@
+#ifndef OTCLEAN_CORE_REPAIR_SCHEDULER_H_
+#define OTCLEAN_CORE_REPAIR_SCHEDULER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/ci_constraint.h"
+#include "core/repair.h"
+#include "dataset/table.h"
+#include "linalg/thread_pool.h"
+#include "ot/cost.h"
+
+namespace otclean::core {
+
+/// Sentinel for RepairJob::id: derive the job's stable id from its position
+/// in the batch handed to RepairScheduler::Run.
+inline constexpr uint64_t kAutoJobId = ~uint64_t{0};
+
+/// One entry of a repair batch. `table` (and `cost`, when set) must outlive
+/// the Run call; the scheduler never copies the data.
+struct RepairJob {
+  const dataset::Table* table = nullptr;
+  /// One constraint runs the single-constraint repair path; several run
+  /// RepairTableMulti over their union.
+  std::vector<CiConstraint> constraints;
+  /// Per-job solver configuration. `options.{fast,qclp}.thread_pool` must
+  /// stay null — the scheduler dispatches every job on its one shared pool
+  /// and rejects jobs that bring their own (InvalidArgument). When the
+  /// scheduler's pool resolves to width 1, per-job `num_threads` is forced
+  /// to 1 as well (executors are then the only concurrency; results are
+  /// unchanged — kernels are bit-compatible across thread counts).
+  RepairOptions options;
+  /// Optional cost over the cleaned sub-domain (see OtCleanRepairer::Fit);
+  /// null builds the paper's C1 cost per job.
+  const ot::CostFunction* cost = nullptr;
+  /// Stable id mixed into the per-job seed (see DeriveJobSeed). Defaults to
+  /// the job's position in the batch; set it explicitly when the same
+  /// logical job must keep its seed across batches that order jobs
+  /// differently.
+  uint64_t id = kAutoJobId;
+  /// Free-form label echoed in CLI/bench summaries; no semantic meaning.
+  std::string name;
+};
+
+/// Aggregate outcome of one batch.
+struct BatchReport {
+  /// Per-job outcomes, in batch order (never reordered by completion).
+  std::vector<Result<RepairReport>> jobs;
+  size_t completed_jobs = 0;  ///< jobs whose Result is ok().
+  size_t failed_jobs = 0;
+  double wall_seconds = 0.0;
+  /// Batch throughput: total jobs / wall_seconds.
+  double jobs_per_second = 0.0;
+  /// Summed over successful jobs.
+  size_t total_sinkhorn_iterations = 0;
+  /// Largest single plan held by any successful job.
+  size_t peak_plan_bytes = 0;
+};
+
+struct RepairSchedulerOptions {
+  /// Executor threads running whole repair jobs concurrently; 0 = hardware
+  /// concurrency. Each executor drives solves on the one shared kernel
+  /// pool, so a machine is never oversubscribed N-fold by N jobs.
+  size_t max_concurrent_jobs = 0;
+  /// Lanes of the shared kernel pool (0 = hardware concurrency). Ignored
+  /// when `thread_pool` is supplied.
+  size_t pool_threads = 0;
+  /// Optional externally owned pool shared with other work in the process;
+  /// must outlive the scheduler. When null the scheduler owns one pool for
+  /// its lifetime.
+  linalg::ThreadPool* thread_pool = nullptr;
+};
+
+/// The per-job seed: `base_seed` (the job's RepairOptions::seed) mixed with
+/// the job's stable id through a SplitMix64-style finalizer. Distinct ids
+/// decorrelate jobs that share a base seed, and the derivation depends only
+/// on (base_seed, id) — never on executor assignment or completion order —
+/// so batch results are reproducible run to run and identical however the
+/// batch is sharded.
+uint64_t DeriveJobSeed(uint64_t base_seed, uint64_t job_id);
+
+/// Serves many repairs off one process: shards a batch of RepairJobs across
+/// a bounded set of executor threads that all dispatch kernel work on one
+/// shared linalg::ThreadPool. Per-job results are bit-identical to running
+/// the same jobs sequentially (same derived seeds, and a solve's chunk
+/// decomposition never depends on what else shares the pool).
+///
+/// The scheduler is reusable: construct once (the pool persists), Run any
+/// number of batches. Run itself must not be called concurrently from
+/// several threads on the same scheduler — batch the work instead.
+class RepairScheduler {
+ public:
+  explicit RepairScheduler(RepairSchedulerOptions options = {});
+
+  /// Runs every job; blocks until the whole batch completed. Per-job
+  /// failures (bad options, infeasible solves) land in the corresponding
+  /// Result slot — one bad job never aborts its batch.
+  BatchReport Run(const std::vector<RepairJob>& jobs);
+
+  /// The pool every executor's solves dispatch on (null when the resolved
+  /// pool width is 1 — solves run serial, executors still shard).
+  linalg::ThreadPool* shared_pool() { return pool_; }
+
+ private:
+  Result<RepairReport> RunOne(const RepairJob& job, size_t batch_index);
+
+  RepairSchedulerOptions options_;
+  std::optional<linalg::ThreadPool> owned_pool_;
+  linalg::ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace otclean::core
+
+#endif  // OTCLEAN_CORE_REPAIR_SCHEDULER_H_

@@ -70,6 +70,12 @@ class Table {
   bool EncodeRow(size_t row, const std::vector<size_t>& cols,
                  const prob::Domain& dom, size_t* out) const;
 
+  /// Cell-exact equality of shape and codes (schema labels not compared) —
+  /// the bit-identity check the determinism tests and benches share.
+  bool SameContents(const Table& other) const {
+    return num_rows_ == other.num_rows_ && columns_ == other.columns_;
+  }
+
  private:
   Schema schema_;
   size_t num_rows_ = 0;

@@ -14,6 +14,15 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
+ThreadPool::Job* ThreadPool::FindClaimableJobLocked() {
+  for (Job* job = jobs_head_; job != nullptr; job = job->next) {
+    if (job->next_chunk.load(std::memory_order_relaxed) < job->num_chunks) {
+      return job;
+    }
+  }
+  return nullptr;
+}
+
 void ThreadPool::RunChunks(size_t num_chunks, void (*chunk_fn)(void*, size_t),
                            void* ctx) {
   if (num_chunks == 0) return;
@@ -21,80 +30,84 @@ void ThreadPool::RunChunks(size_t num_chunks, void (*chunk_fn)(void*, size_t),
     for (size_t c = 0; c < num_chunks; ++c) chunk_fn(ctx, c);
     return;
   }
-  if (workers_.empty()) {
-    // Lazy start on the first dispatch that can actually use a worker:
-    // solves whose every loop stays below the parallel grain never pay
-    // for thread creation. Only the (serialized) dispatcher mutates
-    // workers_, so no lock is needed here.
-    workers_.reserve(num_threads_ - 1);
-    for (size_t t = 1; t < num_threads_; ++t) {
-      workers_.emplace_back([this] { WorkerLoop(); });
-    }
-  }
+  // The job lives on the dispatcher's stack for the duration of the
+  // dispatch; it is only reachable by workers through jobs_head_, and it is
+  // unlinked (under mutex_, after the last registered worker left) before
+  // this frame returns.
+  Job job;
+  job.chunk_fn = chunk_fn;
+  job.ctx = ctx;
+  job.num_chunks = num_chunks;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    // Drain stragglers of the previous dispatch before touching job state:
-    // a worker still waking for the old generation reads chunk_fn_ /
-    // num_chunks_ under this mutex, so once active_workers_ is 0 and we
-    // hold the lock, no worker can observe a half-written job.
-    done_.wait(lock, [this] { return active_workers_ == 0; });
-    chunk_fn_ = chunk_fn;
-    ctx_ = ctx;
-    num_chunks_ = num_chunks;
-    next_chunk_.store(0, std::memory_order_relaxed);
-    done_chunks_.store(0, std::memory_order_relaxed);
-    ++generation_;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (workers_.empty()) {
+      // Lazy start on the first dispatch that can actually use a worker:
+      // solves whose every loop stays below the parallel grain never pay
+      // for thread creation. Guarded by mutex_ — dispatches may now race.
+      workers_.reserve(num_threads_ - 1);
+      for (size_t t = 1; t < num_threads_; ++t) {
+        workers_.emplace_back([this] { WorkerLoop(); });
+      }
+    }
+    job.next = jobs_head_;
+    jobs_head_ = &job;
   }
   wake_.notify_all();
   // The dispatching thread is a full participant — with W workers the pool
-  // provides W+1 lanes, matching the spawn path's "caller runs chunk 0".
+  // provides W+1 lanes per job, matching the spawn path's "caller runs
+  // chunk 0". Under concurrent dispatch each job is guaranteed at least
+  // its own dispatcher; idle workers join whichever live jobs still have
+  // unclaimed chunks.
+  size_t completed = 0;
   for (;;) {
-    const size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    const size_t c = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
     if (c >= num_chunks) break;
     chunk_fn(ctx, c);
-    done_chunks_.fetch_add(1, std::memory_order_acq_rel);
+    ++completed;
   }
   std::unique_lock<std::mutex> lock(mutex_);
-  done_.wait(lock, [this, num_chunks] {
-    return done_chunks_.load(std::memory_order_acquire) == num_chunks;
+  job.done_chunks += completed;
+  done_.wait(lock, [&job, num_chunks] {
+    return job.done_chunks == num_chunks && job.active_workers == 0;
   });
+  Job** link = &jobs_head_;
+  while (*link != &job) link = &(*link)->next;
+  *link = job.next;
 }
 
 void ThreadPool::WorkerLoop() {
-  uint64_t seen_generation = 0;
   for (;;) {
-    void (*chunk_fn)(void*, size_t) = nullptr;
-    void* ctx = nullptr;
-    size_t num_chunks = 0;
+    Job* job = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this, seen_generation] {
-        return stopping_ || generation_ != seen_generation;
+      wake_.wait(lock, [this, &job] {
+        return stopping_ || (job = FindClaimableJobLocked()) != nullptr;
       });
       if (stopping_) return;
-      seen_generation = generation_;
-      chunk_fn = chunk_fn_;
-      ctx = ctx_;
-      num_chunks = num_chunks_;
-      ++active_workers_;
+      // Registering under the mutex pins the job: its dispatcher cannot
+      // unlink (and pop its stack frame) until active_workers drops back
+      // to zero — also under this mutex.
+      ++job->active_workers;
     }
     size_t completed = 0;
     for (;;) {
-      const size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
-      if (c >= num_chunks) break;
-      chunk_fn(ctx, c);
+      const size_t c = job->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job->num_chunks) break;
+      job->chunk_fn(job->ctx, c);
       ++completed;
     }
-    if (completed > 0) {
-      done_chunks_.fetch_add(completed, std::memory_order_acq_rel);
-    }
+    bool job_finished;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      --active_workers_;
+      job->done_chunks += completed;
+      --job->active_workers;
+      job_finished =
+          job->done_chunks == job->num_chunks && job->active_workers == 0;
     }
-    // Signals both conditions the dispatcher can wait on: all chunks done
-    // (end of this dispatch) and active-count drained (start of the next).
-    done_.notify_all();
+    // Only the transition a dispatcher can be waiting on needs a signal;
+    // done_.notify_all wakes every dispatcher, each of which rechecks its
+    // own job's predicate.
+    if (job_finished) done_.notify_all();
   }
 }
 

@@ -29,8 +29,16 @@ namespace otclean::linalg {
 /// write disjoint index ranges, so pooled results are bit-identical to
 /// spawned and serial ones.
 ///
-/// Dispatches are serialized: one thread drives the pool at a time (the
-/// solver's outer loop). The workers themselves are the only concurrency.
+/// Concurrent dispatch: any number of threads may call RunChunks on the
+/// same pool at the same time (one repair job per dispatcher — the
+/// RepairScheduler's sharing model). Each dispatch registers a job in a
+/// small intrusive job list; workers pull chunks from whichever live jobs
+/// still have unclaimed work, and every dispatcher runs its own job's
+/// chunks too, so a job is never starved by its neighbours. Because the
+/// chunk decomposition of a dispatch depends only on (n, threads, grain) —
+/// never on what else shares the pool — per-job results stay bit-identical
+/// whether the pool is private, shared sequentially, or shared by
+/// concurrent dispatchers.
 class ThreadPool {
  public:
   /// Sizes the pool at `ResolveThreadCount(num_threads)` lanes (the
@@ -50,12 +58,28 @@ class ThreadPool {
   /// Runs `chunk_fn(ctx, c)` for every c in [0, num_chunks) across the
   /// workers and the calling thread; returns once all chunks completed.
   /// Chunks are claimed dynamically, so `chunk_fn` must be safe to run for
-  /// any chunk on any participating thread (disjoint outputs).
+  /// any chunk on any participating thread (disjoint outputs). Safe to
+  /// call from multiple threads concurrently; each call is an independent
+  /// job and returns when exactly its own chunks have completed.
   void RunChunks(size_t num_chunks, void (*chunk_fn)(void*, size_t),
                  void* ctx);
 
  private:
+  /// One in-flight dispatch. Lives on its dispatcher's stack; linked into
+  /// jobs_head_ for the duration of the RunChunks call. All fields except
+  /// next_chunk (claimed lock-free) are guarded by mutex_.
+  struct Job {
+    void (*chunk_fn)(void*, size_t) = nullptr;
+    void* ctx = nullptr;
+    size_t num_chunks = 0;
+    std::atomic<size_t> next_chunk{0};
+    size_t done_chunks = 0;     ///< chunks whose chunk_fn has returned.
+    size_t active_workers = 0;  ///< workers currently registered on the job.
+    Job* next = nullptr;
+  };
+
   void WorkerLoop();
+  Job* FindClaimableJobLocked();
 
   const size_t num_threads_;
   std::vector<std::thread> workers_;
@@ -63,15 +87,8 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;
-  // Job state, written by RunChunks under mutex_ while no worker is active.
-  void (*chunk_fn_)(void*, size_t) = nullptr;
-  void* ctx_ = nullptr;
-  size_t num_chunks_ = 0;
-  uint64_t generation_ = 0;
+  Job* jobs_head_ = nullptr;  ///< live dispatches; guarded by mutex_.
   bool stopping_ = false;
-  size_t active_workers_ = 0;
-  std::atomic<size_t> next_chunk_{0};
-  std::atomic<size_t> done_chunks_{0};
 };
 
 /// Resolves the pool a solve dispatches on: the caller-supplied `external`

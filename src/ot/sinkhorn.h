@@ -49,11 +49,11 @@ struct SinkhornOptions {
   /// kernel primitives dispatch on; must outlive the solve. When null and
   /// the resolved `num_threads` exceeds 1, the solver creates its own pool
   /// for the duration of the run, so threads are spawned once per solve
-  /// instead of once per primitive call. Callers running many solves *in
-  /// sequence* (e.g. FastOTClean's outer loop, or a server draining a
-  /// repair-job queue) pass one pool and amortize the startup across all
-  /// of them — but a pool serves one dispatching thread at a time, so
-  /// concurrent solves must each bring their own pool (or leave this null).
+  /// instead of once per primitive call. Callers running many solves —
+  /// sequential (FastOTClean's outer loop) or *concurrent* (the
+  /// RepairScheduler's executors) — pass one shared pool: ThreadPool
+  /// accepts any number of concurrent dispatchers, and per-solve chunk
+  /// decompositions never depend on what else shares the pool.
   /// Pooled, spawned, and serial runs are bit-identical. Honored by RunSinkhorn /
   /// RunSinkhornSparse, which build the kernel; RunSinkhornScaling ignores
   /// it — there the pool binds at kernel construction, so pass it to the

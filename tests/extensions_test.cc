@@ -193,11 +193,22 @@ TEST(MultiCleanTest, RepairTableMultiValidates) {
   gen.num_rows = 100;
   const auto table = datagen::MakeScalingDataset(gen).value();
   EXPECT_FALSE(core::RepairTableMulti(table, {}).ok());
-  core::RepairOptions opts;
-  opts.solver = core::Solver::kQclp;
   const core::CiConstraint c({"x"}, {"y"}, {"z0"});
-  EXPECT_EQ(core::RepairTableMulti(table, {c}, opts).status().code(),
-            StatusCode::kNotImplemented);
+
+  // Unsupported combinations are loud InvalidArgument errors, not a silent
+  // fall-through to the saturated FastOTClean path.
+  core::RepairOptions qclp_opts;
+  qclp_opts.solver = core::Solver::kQclp;
+  const auto qclp = core::RepairTableMulti(table, {c}, qclp_opts);
+  EXPECT_EQ(qclp.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(qclp.status().message().find("kFastOtClean"), std::string::npos);
+
+  core::RepairOptions naive_opts;
+  naive_opts.use_saturation = false;
+  const auto naive = core::RepairTableMulti(table, {c}, naive_opts);
+  EXPECT_EQ(naive.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(naive.status().message().find("use_saturation"),
+            std::string::npos);
 }
 
 TEST(MultiCleanTest, SingleConstraintMultiMatchesSingleApi) {

@@ -1,0 +1,311 @@
+#include "core/repair_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "datagen/synthetic.h"
+
+namespace otclean::core {
+namespace {
+
+dataset::Table MakeViolatingTable(uint64_t seed, size_t rows = 400,
+                                  size_t num_w_attrs = 0) {
+  datagen::ScalingDatasetOptions opts;
+  opts.num_rows = rows;
+  opts.num_z_attrs = 1;
+  opts.z_card = 2;
+  opts.num_w_attrs = num_w_attrs;
+  opts.w_card = 2;
+  opts.violation = 0.7;
+  opts.seed = seed;
+  return datagen::MakeScalingDataset(opts).value();
+}
+
+CiConstraint XyGivenZ() { return CiConstraint({"x"}, {"y"}, {"z0"}); }
+
+
+/// A small mixed batch: two tables, varied options, one multi-constraint
+/// job — enough shape diversity that scheduling bugs cannot hide behind
+/// identical jobs.
+std::vector<RepairJob> MakeBatch(const dataset::Table& t1,
+                                 const dataset::Table& t2) {
+  std::vector<RepairJob> jobs;
+  {
+    RepairJob j;
+    j.table = &t1;
+    j.constraints = {XyGivenZ()};
+    jobs.push_back(j);
+  }
+  {
+    RepairJob j;
+    j.table = &t2;
+    j.constraints = {XyGivenZ()};
+    j.options.fast.epsilon = 0.05;
+    j.options.seed = 7;
+    jobs.push_back(j);
+  }
+  {
+    RepairJob j;  // multi-constraint over the union of attributes
+    j.table = &t2;
+    j.constraints = {XyGivenZ(), CiConstraint({"x"}, {"w0"})};
+    jobs.push_back(j);
+  }
+  {
+    RepairJob j;  // deterministic MAP repairs + truncated sparse kernel
+    j.table = &t1;
+    j.constraints = {XyGivenZ()};
+    j.options.sample_repair = false;
+    j.options.fast.kernel_truncation = 1e-12;
+    jobs.push_back(j);
+  }
+  {
+    RepairJob j;  // log-domain Sinkhorn
+    j.table = &t1;
+    j.constraints = {XyGivenZ()};
+    j.options.fast.log_domain = true;
+    j.options.seed = 99;
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+void ExpectSameJobResults(const BatchReport& a, const BatchReport& b) {
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (size_t i = 0; i < a.jobs.size(); ++i) {
+    ASSERT_TRUE(a.jobs[i].ok()) << i << ": " << a.jobs[i].status().ToString();
+    ASSERT_TRUE(b.jobs[i].ok()) << i << ": " << b.jobs[i].status().ToString();
+    const RepairReport& ra = *a.jobs[i];
+    const RepairReport& rb = *b.jobs[i];
+    EXPECT_TRUE(ra.repaired.SameContents(rb.repaired)) << "job " << i;
+    EXPECT_EQ(ra.initial_cmi, rb.initial_cmi) << "job " << i;
+    EXPECT_EQ(ra.final_cmi, rb.final_cmi) << "job " << i;
+    EXPECT_EQ(ra.target_cmi, rb.target_cmi) << "job " << i;
+    EXPECT_EQ(ra.transport_cost, rb.transport_cost) << "job " << i;
+    EXPECT_EQ(ra.outer_iterations, rb.outer_iterations) << "job " << i;
+    EXPECT_EQ(ra.total_sinkhorn_iterations, rb.total_sinkhorn_iterations)
+        << "job " << i;
+    EXPECT_EQ(ra.plan_nnz, rb.plan_nnz) << "job " << i;
+    EXPECT_STREQ(ra.sinkhorn_domain, rb.sinkhorn_domain) << "job " << i;
+  }
+}
+
+TEST(RepairSchedulerTest, ConcurrentBatchBitIdenticalToSequential) {
+  const auto t1 = MakeViolatingTable(21);
+  const auto t2 = MakeViolatingTable(22, 500, /*num_w_attrs=*/1);
+  const std::vector<RepairJob> jobs = MakeBatch(t1, t2);
+
+  RepairSchedulerOptions sequential;
+  sequential.max_concurrent_jobs = 1;
+  sequential.pool_threads = 1;
+  const BatchReport seq = RepairScheduler(sequential).Run(jobs);
+
+  RepairSchedulerOptions concurrent;
+  concurrent.max_concurrent_jobs = 4;
+  concurrent.pool_threads = 3;  // all four executors share 3 lanes
+  const BatchReport conc = RepairScheduler(concurrent).Run(jobs);
+
+  ExpectSameJobResults(seq, conc);
+  EXPECT_EQ(conc.completed_jobs, jobs.size());
+  EXPECT_EQ(conc.failed_jobs, 0u);
+}
+
+TEST(RepairSchedulerTest, MatchesManuallySeededStandaloneRepairs) {
+  // The scheduler's only semantic deltas vs a plain RepairTable call are
+  // the derived seed and the shared pool — and the pool must not change
+  // results. So job i through the scheduler == RepairTable with
+  // DeriveJobSeed(seed, i) applied by hand.
+  const auto t1 = MakeViolatingTable(23);
+  std::vector<RepairJob> jobs;
+  for (uint64_t s : {42u, 7u}) {
+    RepairJob j;
+    j.table = &t1;
+    j.constraints = {XyGivenZ()};
+    j.options.seed = s;
+    jobs.push_back(j);
+  }
+  RepairSchedulerOptions opts;
+  opts.max_concurrent_jobs = 2;
+  opts.pool_threads = 2;
+  const BatchReport batch = RepairScheduler(opts).Run(jobs);
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    RepairOptions manual = jobs[i].options;
+    manual.seed = DeriveJobSeed(jobs[i].options.seed, i);
+    const auto standalone = RepairTable(t1, XyGivenZ(), manual).value();
+    ASSERT_TRUE(batch.jobs[i].ok());
+    EXPECT_TRUE(standalone.repaired.SameContents(batch.jobs[i]->repaired));
+    EXPECT_EQ(standalone.transport_cost, batch.jobs[i]->transport_cost);
+    EXPECT_EQ(standalone.final_cmi, batch.jobs[i]->final_cmi);
+  }
+}
+
+TEST(RepairSchedulerTest, ExplicitIdsKeepResultsUnderReordering) {
+  // With explicit stable ids, shuffling the batch permutes the slots but
+  // never changes any job's result: the seed depends on (seed, id) only.
+  const auto t1 = MakeViolatingTable(24);
+  const auto t2 = MakeViolatingTable(25);
+  std::vector<RepairJob> jobs;
+  for (uint64_t id : {10u, 11u, 12u}) {
+    RepairJob j;
+    j.table = id == 11 ? &t2 : &t1;
+    j.constraints = {XyGivenZ()};
+    j.id = id;
+    jobs.push_back(j);
+  }
+  RepairSchedulerOptions opts;
+  opts.max_concurrent_jobs = 3;
+  opts.pool_threads = 2;
+  const BatchReport forward = RepairScheduler(opts).Run(jobs);
+
+  std::vector<RepairJob> reversed(jobs.rbegin(), jobs.rend());
+  const BatchReport backward = RepairScheduler(opts).Run(reversed);
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const size_t ri = jobs.size() - 1 - i;
+    ASSERT_TRUE(forward.jobs[i].ok());
+    ASSERT_TRUE(backward.jobs[ri].ok());
+    EXPECT_TRUE(
+        forward.jobs[i]->repaired.SameContents(backward.jobs[ri]->repaired));
+    EXPECT_EQ(forward.jobs[i]->transport_cost,
+              backward.jobs[ri]->transport_cost);
+  }
+}
+
+TEST(RepairSchedulerTest, DeriveJobSeedIsStableAndCollisionFree) {
+  // Stable: the derivation is a pure function of (base_seed, id).
+  EXPECT_EQ(DeriveJobSeed(42, 0), DeriveJobSeed(42, 0));
+  // Decorrelated: distinct ids (or bases) give distinct seeds, and job 0
+  // never degenerates to the bare base seed.
+  std::set<uint64_t> seeds;
+  for (uint64_t base : {0u, 1u, 42u}) {
+    for (uint64_t id = 0; id < 100; ++id) {
+      seeds.insert(DeriveJobSeed(base, id));
+      EXPECT_NE(DeriveJobSeed(base, id), base);
+    }
+  }
+  EXPECT_EQ(seeds.size(), 300u);
+}
+
+TEST(RepairSchedulerTest, FailedJobDoesNotAbortBatch) {
+  const auto t1 = MakeViolatingTable(26);
+  std::vector<RepairJob> jobs;
+  {
+    RepairJob j;
+    j.table = &t1;
+    j.constraints = {XyGivenZ()};
+    jobs.push_back(j);
+  }
+  {
+    RepairJob j;  // invalid: multi-constraint + use_saturation=false
+    j.table = &t1;
+    j.constraints = {XyGivenZ(), CiConstraint({"x"}, {"z0"})};
+    j.options.use_saturation = false;
+    jobs.push_back(j);
+  }
+  {
+    RepairJob j;  // invalid: no table
+    j.constraints = {XyGivenZ()};
+    jobs.push_back(j);
+  }
+  linalg::ThreadPool private_pool(2);
+  {
+    RepairJob j;  // invalid: brings its own pool (scheduler owns sharing)
+    j.table = &t1;
+    j.constraints = {XyGivenZ()};
+    j.options.fast.thread_pool = &private_pool;
+    jobs.push_back(j);
+  }
+  RepairSchedulerOptions opts;
+  opts.max_concurrent_jobs = 3;
+  const BatchReport report = RepairScheduler(opts).Run(jobs);
+  EXPECT_EQ(report.completed_jobs, 1u);
+  EXPECT_EQ(report.failed_jobs, 3u);
+  EXPECT_TRUE(report.jobs[0].ok());
+  EXPECT_EQ(report.jobs[1].status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(report.jobs[3].status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(report.jobs[3].status().message().find("thread_pool"),
+            std::string::npos);
+  EXPECT_EQ(report.jobs[2].status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RepairSchedulerTest, AggregatesBatchDiagnostics) {
+  const auto t1 = MakeViolatingTable(27);
+  std::vector<RepairJob> jobs(3);
+  for (auto& j : jobs) {
+    j.table = &t1;
+    j.constraints = {XyGivenZ()};
+  }
+  RepairSchedulerOptions opts;
+  opts.max_concurrent_jobs = 2;
+  const BatchReport report = RepairScheduler(opts).Run(jobs);
+  ASSERT_EQ(report.completed_jobs, 3u);
+  EXPECT_GT(report.jobs_per_second, 0.0);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  size_t iters = 0, peak = 0;
+  for (const auto& r : report.jobs) {
+    iters += r->total_sinkhorn_iterations;
+    peak = std::max(peak, r->plan_memory_bytes);
+  }
+  EXPECT_EQ(report.total_sinkhorn_iterations, iters);
+  EXPECT_EQ(report.peak_plan_bytes, peak);
+  EXPECT_GT(report.peak_plan_bytes, 0u);
+}
+
+TEST(RepairSchedulerTest, SerialPoolForcesSerialSolvesWithSameResults) {
+  // pool_threads=1 resolves to no shared pool; the scheduler then forces
+  // per-job solves serial (instead of letting every executor spawn a
+  // private pool) — and thread-count bit-compatibility means results
+  // still match a wide-pool run exactly, even for jobs requesting
+  // num_threads > 1.
+  const auto t1 = MakeViolatingTable(29);
+  std::vector<RepairJob> jobs(2);
+  for (auto& j : jobs) {
+    j.table = &t1;
+    j.constraints = {XyGivenZ()};
+    j.options.fast.num_threads = 8;
+  }
+  RepairSchedulerOptions serial;
+  serial.max_concurrent_jobs = 2;
+  serial.pool_threads = 1;
+  RepairScheduler serial_scheduler(serial);
+  EXPECT_EQ(serial_scheduler.shared_pool(), nullptr);
+  const BatchReport no_pool = serial_scheduler.Run(jobs);
+
+  RepairSchedulerOptions wide;
+  wide.max_concurrent_jobs = 2;
+  wide.pool_threads = 8;
+  RepairScheduler wide_scheduler(wide);
+  EXPECT_NE(wide_scheduler.shared_pool(), nullptr);
+  const BatchReport pooled = wide_scheduler.Run(jobs);
+
+  ExpectSameJobResults(no_pool, pooled);
+}
+
+TEST(RepairSchedulerTest, EmptyBatchIsANoOp) {
+  RepairScheduler scheduler;
+  const BatchReport report = scheduler.Run({});
+  EXPECT_TRUE(report.jobs.empty());
+  EXPECT_EQ(report.completed_jobs, 0u);
+  EXPECT_EQ(report.failed_jobs, 0u);
+}
+
+TEST(RepairSchedulerTest, SchedulerIsReusableAcrossBatches) {
+  // One long-lived scheduler (the serving model): pool persists, batches
+  // keep their determinism contract run to run.
+  const auto t1 = MakeViolatingTable(28);
+  RepairJob j;
+  j.table = &t1;
+  j.constraints = {XyGivenZ()};
+  RepairSchedulerOptions opts;
+  opts.max_concurrent_jobs = 2;
+  opts.pool_threads = 2;
+  RepairScheduler scheduler(opts);
+  const BatchReport first = scheduler.Run({j, j});
+  const BatchReport second = scheduler.Run({j, j});
+  ExpectSameJobResults(first, second);
+}
+
+}  // namespace
+}  // namespace otclean::core

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -129,6 +130,82 @@ TEST(ThreadPoolTest, PooledSinkhornBitIdenticalToSerialAtAnyThreadCount) {
         sparse_serial.plan.ToDense(), 0.0));
     EXPECT_EQ(sparse_pooled.transport_cost, sparse_serial.transport_cost);
   }
+}
+
+TEST(ThreadPoolTest, ConcurrentDispatchersEachSeeTheirOwnChunksComplete) {
+  // Multiple threads drive the same pool at once (the RepairScheduler's
+  // sharing model). Every dispatcher's ParallelFor must cover exactly its
+  // own index range every round, no matter how workers interleave across
+  // the live jobs.
+  ThreadPool pool(4);
+  constexpr size_t kDispatchers = 4;
+  constexpr size_t kRounds = 500;
+  constexpr size_t kIndices = 512;
+  std::vector<std::vector<int>> data(kDispatchers,
+                                     std::vector<int>(kIndices, 0));
+  std::vector<std::thread> dispatchers;
+  for (size_t d = 0; d < kDispatchers; ++d) {
+    dispatchers.emplace_back([&, d] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        ParallelFor(
+            kIndices, pool.num_threads(),
+            [&, d](size_t begin, size_t end) {
+              for (size_t i = begin; i < end; ++i) ++data[d][i];
+            },
+            /*grain=*/1, &pool);
+      }
+    });
+  }
+  for (std::thread& t : dispatchers) t.join();
+  for (const auto& lane : data) {
+    for (int v : lane) EXPECT_EQ(v, kRounds);
+  }
+}
+
+TEST(ThreadPoolTest, SharedPoolUnderConcurrentDispatchersMatchesDedicated) {
+  // Two Sinkhorn solves racing on ONE pool must produce exactly the
+  // results they produce on dedicated pools: the chunk decomposition of a
+  // dispatch depends only on (n, threads, grain), never on pool traffic.
+  const Matrix cost_a = RandomCost(143, 131, 71);
+  const Vector p_a = RandomMarginal(143, 72);
+  const Vector q_a = RandomMarginal(131, 73);
+  const Matrix cost_b = RandomCost(97, 111, 74);
+  const Vector p_b = RandomMarginal(97, 75);
+  const Vector q_b = RandomMarginal(111, 76);
+
+  ot::SinkhornOptions opts;
+  opts.epsilon = 0.1;
+  opts.relaxed = true;
+  opts.lambda = 5.0;
+  opts.tolerance = 1e-8;
+  opts.num_threads = 3;
+
+  ot::SinkhornResult dedicated_a, dedicated_b;
+  {
+    ThreadPool pool_a(3), pool_b(3);
+    ot::SinkhornOptions oa = opts, ob = opts;
+    oa.thread_pool = &pool_a;
+    ob.thread_pool = &pool_b;
+    dedicated_a = ot::RunSinkhorn(cost_a, p_a, q_a, oa).value();
+    dedicated_b = ot::RunSinkhorn(cost_b, p_b, q_b, ob).value();
+  }
+
+  ThreadPool shared(3);
+  ot::SinkhornOptions shared_opts = opts;
+  shared_opts.thread_pool = &shared;
+  ot::SinkhornResult shared_a, shared_b;
+  std::thread other([&] {
+    shared_b = ot::RunSinkhorn(cost_b, p_b, q_b, shared_opts).value();
+  });
+  shared_a = ot::RunSinkhorn(cost_a, p_a, q_a, shared_opts).value();
+  other.join();
+
+  EXPECT_EQ(shared_a.iterations, dedicated_a.iterations);
+  EXPECT_TRUE(shared_a.plan.ApproxEquals(dedicated_a.plan, 0.0));
+  EXPECT_EQ(shared_a.transport_cost, dedicated_a.transport_cost);
+  EXPECT_EQ(shared_b.iterations, dedicated_b.iterations);
+  EXPECT_TRUE(shared_b.plan.ApproxEquals(dedicated_b.plan, 0.0));
+  EXPECT_EQ(shared_b.transport_cost, dedicated_b.transport_cost);
 }
 
 TEST(ThreadPoolTest, SolverOwnedPoolMatchesExternalPool) {

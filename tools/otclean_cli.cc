@@ -1,9 +1,12 @@
 // otclean — command-line data cleaner for conditional independence
 // violations.
 //
-// Usage:
+// Usage (single job):
 //   otclean --input data.csv --output repaired.csv
 //           --x sex --y marital-status --z occupation,age [options]
+//
+// Usage (batch; serve many repairs off one process):
+//   otclean --batch manifest.txt [--jobs N] [options as defaults]
 //
 // Options:
 //   --input PATH           input CSV (header row required)
@@ -13,7 +16,8 @@
 //   --solver fast|qclp     optimizer (default fast)
 //   --epsilon F            entropic regularization (default 0.08)
 //   --lambda F             marginal relaxation (default 80)
-//   --threads N            Sinkhorn kernel threads (default 0 = all cores)
+//   --threads N            Sinkhorn kernel threads (default 0 = all cores);
+//                          in batch mode also the shared pool's lane count
 //   --truncation F         sparse-kernel cutoff: drop K entries below F
 //                          (default 0 = dense kernel; fast solver only)
 //   --log-domain           iterate Sinkhorn on log-potentials (stable at
@@ -22,12 +26,35 @@
 //   --map                  deterministic MAP repairs instead of sampling
 //   --seed N               RNG seed (default 42)
 //   --report               print CMI / cost diagnostics to stderr
+//
+// Batch mode:
+//   --batch PATH           manifest with one job per line; '#' starts a
+//                          comment. Each line is whitespace-separated
+//                          key=value tokens: input= x= y= are required
+//                          (per line, or via the --input/--x/--y
+//                          command-line defaults); output= and name= are
+//                          per-line only; z= and any option key (solver=
+//                          epsilon= lambda= threads= truncation=
+//                          log-domain=0|1 map=0|1 seed=) override the
+//                          command-line defaults for that job.
+//   --jobs N               concurrent repair jobs (default 0 = all cores).
+//                          All jobs share ONE kernel thread pool; per-job
+//                          results are bit-identical to --jobs 1.
+//
+// In batch mode each job's RepairOptions::seed is derived from seed= mixed
+// with the job's 0-based position among the manifest's JOBS — comment and
+// blank lines don't count (core::DeriveJobSeed) — so a batch is
+// reproducible end to end and independent of completion order.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/string_util.h"
 #include "otclean/otclean.h"
@@ -65,104 +92,300 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+/// The empty line layer single-job mode passes to KvLookup (which holds
+/// references, so the empty map must outlive it).
+const std::map<std::string, std::string> kNoLine;
+
+/// Layered key lookup: a manifest line's key=value tokens override the
+/// command-line --key values, which override the built-in default. Single
+/// mode passes an empty line layer, so both modes parse one way.
+class KvLookup {
+ public:
+  KvLookup(const std::map<std::string, std::string>& line,
+           const std::map<std::string, std::string>& global)
+      : line_(line), global_(global) {}
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    if (const auto it = line_.find(key); it != line_.end()) return it->second;
+    if (const auto it = global_.find(key); it != global_.end()) {
+      return it->second;
+    }
+    return fallback;
+  }
+
+  bool Has(const std::string& key) const {
+    return line_.count(key) > 0 || global_.count(key) > 0;
+  }
+
+ private:
+  const std::map<std::string, std::string>& line_;
+  const std::map<std::string, std::string>& global_;
+};
+
+Result<bool> ParseBool(const std::string& s, bool fallback) {
+  if (s.empty()) return fallback;
+  if (s == "1" || s == "true") return true;
+  if (s == "0" || s == "false") return false;
+  return Status::InvalidArgument("expected 0/1/true/false, got '" + s + "'");
+}
+
+/// Builds the RepairOptions both modes share. Boolean command-line flags
+/// (--map, --log-domain) arrive as defaults; manifest lines may override
+/// them with map=0|1 / log-domain=0|1.
+Result<core::RepairOptions> BuildRepairOptions(const KvLookup& kv,
+                                               bool default_map,
+                                               bool default_log_domain) {
+  core::RepairOptions options;
+  const std::string solver = kv.Get("solver", "fast");
+  if (solver == "qclp") {
+    options.solver = core::Solver::kQclp;
+  } else if (solver != "fast") {
+    return Status::InvalidArgument("unknown solver '" + solver +
+                                   "' (use fast or qclp)");
+  }
+  OTCLEAN_ASSIGN_OR_RETURN(const bool map_repair,
+                           ParseBool(kv.Get("map"), default_map));
+  options.sample_repair = !map_repair;
+  auto eps = ParseDouble(kv.Get("epsilon", "0.08"));
+  if (!eps.ok()) return Status::InvalidArgument("bad epsilon");
+  options.fast.epsilon = *eps;
+  auto lam = ParseDouble(kv.Get("lambda", "80"));
+  if (!lam.ok()) return Status::InvalidArgument("bad lambda");
+  options.fast.lambda = *lam;
+  auto seed = ParseInt(kv.Get("seed", "42"));
+  if (!seed.ok()) return Status::InvalidArgument("bad seed");
+  options.seed = static_cast<uint64_t>(*seed);
+  auto threads = ParseInt(kv.Get("threads", "0"));
+  if (!threads.ok() || *threads < 0) {
+    return Status::InvalidArgument("bad threads");
+  }
+  options.fast.num_threads = static_cast<size_t>(*threads);
+  options.qclp.num_threads = static_cast<size_t>(*threads);
+  auto cutoff = ParseDouble(kv.Get("truncation", "0"));
+  if (!cutoff.ok() || *cutoff < 0.0) {
+    return Status::InvalidArgument("bad truncation");
+  }
+  options.fast.kernel_truncation = *cutoff;
+  OTCLEAN_ASSIGN_OR_RETURN(const bool log_domain,
+                           ParseBool(kv.Get("log-domain"), default_log_domain));
+  options.fast.log_domain = log_domain;
+  options.qclp.log_domain = log_domain;
+  options.fast.restrict_columns_to_active = true;
+  options.fast.max_outer_iterations = 60;
+  options.fast.max_sinkhorn_iterations = 1000;
+  return options;
+}
+
+Result<core::CiConstraint> BuildConstraint(const KvLookup& kv) {
+  const std::string x = kv.Get("x"), y = kv.Get("y"), z = kv.Get("z");
+  if (x.empty() || y.empty()) {
+    return Status::InvalidArgument("x= and y= columns are required");
+  }
+  return core::CiConstraint(SplitString(x, ','), SplitString(y, ','),
+                            z.empty() ? std::vector<std::string>{}
+                                      : SplitString(z, ','));
+}
+
+void PrintReport(const core::CiConstraint& constraint,
+                 const core::RepairReport& report) {
+  const std::string kernel_note =
+      report.kernel_nnz > 0
+          ? " [kernel nnz " + std::to_string(report.kernel_nnz) + "]"
+          : "";
+  std::fprintf(stderr,
+               "constraint %s\n  CMI: %.6f -> %.6f (target %.2e)\n"
+               "  transport cost: %.6f; outer iterations: %zu%s\n"
+               "  plan storage: %s, %zu entries (%.1f KiB)%s\n"
+               "  sinkhorn domain: %s\n"
+               "  simd: %s (override with OTCLEAN_SIMD=scalar|avx2|"
+               "avx512|neon)\n",
+               constraint.ToString().c_str(), report.initial_cmi,
+               report.final_cmi, report.target_cmi, report.transport_cost,
+               report.outer_iterations,
+               report.converged ? "" : " (iteration cap)",
+               report.plan_sparse ? "sparse (CSR)" : "dense", report.plan_nnz,
+               static_cast<double>(report.plan_memory_bytes) / 1024.0,
+               kernel_note.c_str(), report.sinkhorn_domain, report.simd_isa);
+}
+
+// ------------------------------------------------------------ batch mode --
+
+int RunBatch(const CliArgs& args, const std::string& manifest_path) {
+  if (args.named.count("output")) {
+    // A global --output would either overwrite one file per job or be
+    // ignored for lines without output= — both silent data loss. Refuse.
+    return Fail("--output is not valid with --batch; give each manifest "
+                "line its own output=PATH");
+  }
+  std::ifstream manifest(manifest_path);
+  if (!manifest) return Fail("cannot open --batch manifest " + manifest_path);
+
+  // Tables are cached by path: many jobs over one dataset load it once and
+  // share the in-memory table (jobs never mutate their input).
+  std::map<std::string, dataset::Table> tables;
+  std::vector<core::RepairJob> jobs;
+  std::vector<std::string> outputs;  ///< per job; empty = don't write.
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(manifest, line)) {
+    ++line_no;
+    std::istringstream tokens{line};
+    std::string token;
+    std::map<std::string, std::string> kv_line;
+    bool comment = false;
+    while (!comment && tokens >> token) {  // >> splits on any whitespace
+      if (token.front() == '#') {
+        comment = true;
+        break;
+      }
+      const size_t eq = token.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return Fail("manifest line " + std::to_string(line_no) +
+                    ": expected key=value tokens, got '" + token + "'");
+      }
+      const std::string key = token.substr(0, eq);
+      // The key set is closed; a typo'd key (log_domain=, eps=) must not
+      // silently run the job with defaults.
+      static const std::set<std::string> kKnownKeys{
+          "input", "x", "y", "z", "output", "name", "solver",
+          "epsilon", "lambda", "seed", "threads", "truncation",
+          "log-domain", "map"};
+      if (!kKnownKeys.count(key)) {
+        return Fail("manifest line " + std::to_string(line_no) +
+                    ": unknown key '" + key + "'");
+      }
+      kv_line[key] = token.substr(eq + 1);
+    }
+    if (kv_line.empty()) continue;  // blank or comment-only line
+    const KvLookup kv(kv_line, args.named);
+    const std::string at = " (manifest line " + std::to_string(line_no) + ")";
+
+    const std::string input = kv.Get("input");
+    if (input.empty()) return Fail("input= is required" + at);
+    if (tables.find(input) == tables.end()) {
+      auto table = dataset::ReadCsv(input);
+      if (!table.ok()) return Fail(table.status().ToString() + at);
+      tables.emplace(input, std::move(table).value());
+    }
+
+    core::RepairJob job;
+    // std::map never moves its values, so the pointer stays valid while
+    // later lines grow the cache.
+    job.table = &tables.at(input);
+    auto constraint = BuildConstraint(kv);
+    if (!constraint.ok()) return Fail(constraint.status().ToString() + at);
+    auto options = BuildRepairOptions(kv, args.map_repair, args.log_domain);
+    if (!options.ok()) return Fail(options.status().ToString() + at);
+    job.options = std::move(options).value();
+    job.name = kv_line.count("name") ? kv_line["name"]
+                                     : constraint->ToString();
+    job.constraints = {std::move(constraint).value()};
+    // output= is per-line only (no global fallback; see the check above),
+    // and must be unique: two jobs writing one path would silently leave
+    // only the later job's repair on disk.
+    const std::string output = kv_line.count("output") ? kv_line["output"]
+                                                       : "";
+    if (!output.empty()) {
+      for (size_t i = 0; i < outputs.size(); ++i) {
+        if (outputs[i] == output) {
+          return Fail("manifest line " + std::to_string(line_no) +
+                      ": output=" + output + " is already written by job " +
+                      std::to_string(i));
+        }
+      }
+    }
+    outputs.push_back(output);
+    jobs.push_back(std::move(job));
+  }
+  if (jobs.empty()) return Fail("--batch manifest has no jobs");
+
+  core::RepairSchedulerOptions sched;
+  if (const std::string j = KvLookup(kNoLine, args.named).Get("jobs"); !j.empty()) {
+    auto n = ParseInt(j);
+    if (!n.ok() || *n < 0) return Fail("bad --jobs");
+    sched.max_concurrent_jobs = static_cast<size_t>(*n);
+  }
+  if (const std::string t = KvLookup(kNoLine, args.named).Get("threads");
+      !t.empty()) {
+    auto n = ParseInt(t);
+    if (!n.ok() || *n < 0) return Fail("bad --threads");
+    sched.pool_threads = static_cast<size_t>(*n);
+  }
+
+  core::RepairScheduler scheduler(sched);
+  const core::BatchReport report = scheduler.Run(jobs);
+
+  bool ok = true;
+  std::printf("%-4s %-36s %-9s %-20s %-10s\n", "job", "label", "status",
+              "cmi", "cost");
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const Result<core::RepairReport>& r = report.jobs[i];
+    if (!r.ok()) {
+      ok = false;
+      std::printf("%-4zu %-36s %-9s %s\n", i, jobs[i].name.c_str(), "FAILED",
+                  r.status().ToString().c_str());
+      continue;
+    }
+    char cmi[32];
+    std::snprintf(cmi, sizeof cmi, "%.4f -> %.4f", r->initial_cmi,
+                  r->final_cmi);
+    std::printf("%-4zu %-36s %-9s %-20s %-10.4f\n", i, jobs[i].name.c_str(),
+                "ok", cmi, r->transport_cost);
+    if (args.report) PrintReport(jobs[i].constraints.front(), *r);
+    if (!outputs[i].empty()) {
+      if (auto s = dataset::WriteCsv(r->repaired, outputs[i]); !s.ok()) {
+        ok = false;
+        std::fprintf(stderr, "otclean: job %zu: %s\n", i,
+                     s.ToString().c_str());
+      }
+    }
+  }
+  std::printf(
+      "# batch: %zu jobs (%zu failed) in %.2fs — %.2f jobs/s; "
+      "%zu sinkhorn iterations; peak plan %.1f KiB\n",
+      report.jobs.size(), report.failed_jobs, report.wall_seconds,
+      report.jobs_per_second, report.total_sinkhorn_iterations,
+      static_cast<double>(report.peak_plan_bytes) / 1024.0);
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliArgs args = ParseArgs(argc, argv);
-  const auto get = [&](const std::string& key,
-                       const std::string& fallback = "") {
-    const auto it = args.named.find(key);
-    return it == args.named.end() ? fallback : it->second;
-  };
+  const KvLookup kv(kNoLine, args.named);
 
-  const std::string input = get("input");
-  if (input.empty() || get("x").empty() || get("y").empty()) {
+  if (const std::string manifest = kv.Get("batch"); !manifest.empty()) {
+    return RunBatch(args, manifest);
+  }
+
+  const std::string input = kv.Get("input");
+  if (input.empty() || kv.Get("x").empty() || kv.Get("y").empty()) {
     std::fprintf(stderr,
                  "usage: otclean --input data.csv --x COLS --y COLS "
                  "[--z COLS] [--output out.csv] [--solver fast|qclp] "
                  "[--epsilon F] [--lambda F] [--threads N] [--truncation F] "
-                 "[--log-domain] [--map] [--seed N] [--report]\n");
+                 "[--log-domain] [--map] [--seed N] [--report]\n"
+                 "       otclean --batch manifest.txt [--jobs N] "
+                 "[option defaults]\n");
     return 2;
   }
 
   auto table = dataset::ReadCsv(input);
   if (!table.ok()) return Fail(table.status().ToString());
 
-  const core::CiConstraint constraint(SplitString(get("x"), ','),
-                                      SplitString(get("y"), ','),
-                                      get("z").empty()
-                                          ? std::vector<std::string>{}
-                                          : SplitString(get("z"), ','));
+  auto constraint = BuildConstraint(kv);
+  if (!constraint.ok()) return Fail(constraint.status().ToString());
+  auto options = BuildRepairOptions(kv, args.map_repair, args.log_domain);
+  if (!options.ok()) return Fail(options.status().ToString());
 
-  core::RepairOptions options;
-  options.sample_repair = !args.map_repair;
-  const std::string solver = get("solver", "fast");
-  if (solver == "qclp") {
-    options.solver = core::Solver::kQclp;
-  } else if (solver != "fast") {
-    return Fail("unknown solver '" + solver + "' (use fast or qclp)");
-  }
-  if (auto eps = ParseDouble(get("epsilon", "0.08")); eps.ok()) {
-    options.fast.epsilon = *eps;
-  } else {
-    return Fail("bad --epsilon");
-  }
-  if (auto lam = ParseDouble(get("lambda", "80")); lam.ok()) {
-    options.fast.lambda = *lam;
-  } else {
-    return Fail("bad --lambda");
-  }
-  if (auto seed = ParseInt(get("seed", "42")); seed.ok()) {
-    options.seed = static_cast<uint64_t>(*seed);
-  } else {
-    return Fail("bad --seed");
-  }
-  if (auto threads = ParseInt(get("threads", "0")); threads.ok() &&
-                                                    *threads >= 0) {
-    options.fast.num_threads = static_cast<size_t>(*threads);
-    options.qclp.num_threads = static_cast<size_t>(*threads);
-  } else {
-    return Fail("bad --threads");
-  }
-  if (auto cutoff = ParseDouble(get("truncation", "0")); cutoff.ok() &&
-                                                         *cutoff >= 0.0) {
-    options.fast.kernel_truncation = *cutoff;
-  } else {
-    return Fail("bad --truncation");
-  }
-  options.fast.log_domain = args.log_domain;
-  options.qclp.log_domain = args.log_domain;
-  options.fast.restrict_columns_to_active = true;
-  options.fast.max_outer_iterations = 60;
-  options.fast.max_sinkhorn_iterations = 1000;
-
-  const auto report = core::RepairTable(*table, constraint, options);
+  const auto report = core::RepairTable(*table, *constraint, *options);
   if (!report.ok()) return Fail(report.status().ToString());
 
-  if (args.report) {
-    const std::string kernel_note =
-        report->kernel_nnz > 0
-            ? " [kernel nnz " + std::to_string(report->kernel_nnz) + "]"
-            : "";
-    std::fprintf(stderr,
-                 "constraint %s\n  CMI: %.6f -> %.6f (target %.2e)\n"
-                 "  transport cost: %.6f; outer iterations: %zu%s\n"
-                 "  plan storage: %s, %zu entries (%.1f KiB)%s\n"
-                 "  sinkhorn domain: %s\n"
-                 "  simd: %s (override with OTCLEAN_SIMD=scalar|avx2|"
-                 "avx512|neon)\n",
-                 constraint.ToString().c_str(), report->initial_cmi,
-                 report->final_cmi, report->target_cmi,
-                 report->transport_cost, report->outer_iterations,
-                 report->converged ? "" : " (iteration cap)",
-                 report->plan_sparse ? "sparse (CSR)" : "dense",
-                 report->plan_nnz,
-                 static_cast<double>(report->plan_memory_bytes) / 1024.0,
-                 kernel_note.c_str(), report->sinkhorn_domain,
-                 report->simd_isa);
-  }
+  if (args.report) PrintReport(*constraint, *report);
 
-  const std::string output = get("output");
+  const std::string output = kv.Get("output");
   if (output.empty()) {
     std::cout << dataset::ToCsvString(report->repaired);
   } else {
