@@ -1,0 +1,37 @@
+#ifndef OTCLEAN_COMMON_HASH_H_
+#define OTCLEAN_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace otclean {
+
+/// FNV-1a offset basis — the canonical starting value for HashMix chains.
+inline constexpr uint64_t kHashSeed = 1469598103934665603ull;
+
+/// Folds a 64-bit word into an FNV-1a style running hash, byte by byte.
+/// Used for content fingerprints (cost functions, solve-cache keys) where
+/// we need a *stable* hash — identical across runs and processes — which
+/// std::hash does not guarantee.
+inline uint64_t HashMix(uint64_t h, uint64_t v) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kPrime;
+  }
+  return h;
+}
+
+/// Folds a double's bit pattern (so 0.05 and 0.050000001 differ and every
+/// NaN payload is taken literally — fingerprints compare representations,
+/// not values).
+inline uint64_t HashMixDouble(uint64_t h, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v, "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof bits);
+  return HashMix(h, bits);
+}
+
+}  // namespace otclean
+
+#endif  // OTCLEAN_COMMON_HASH_H_

@@ -2,8 +2,13 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
+#include <memory>
 #include <optional>
+#include <utility>
 
+#include "common/hash.h"
+#include "core/solve_cache.h"
 #include "linalg/log_transport_kernel.h"
 #include "linalg/simd_exp.h"
 #include "linalg/thread_pool.h"
@@ -35,36 +40,97 @@ struct OuterLoopKernel {
   std::optional<linalg::SparseLogTransportKernel> log_sparse;
   /// Sparse paths only: C gathered once at the kernel's support (O(nnz)),
   /// so the outer loop's repeated ⟨C, π⟩ evaluations never re-invoke the
-  /// cost function.
-  std::vector<double> support_costs;
-  /// Dense linear path only (empty otherwise): the materialized cost,
-  /// used for the zero-copy TransportCost fast path.
-  linalg::Matrix cost_matrix;
+  /// cost function. shared_ptr-held so the solve cache can hand one
+  /// gather to every job sharing the kernel.
+  std::shared_ptr<const std::vector<double>> support_costs;
+  /// Dense linear path only (null otherwise): the materialized cost,
+  /// used for the zero-copy TransportCost fast path (shared like the
+  /// kernel).
+  std::shared_ptr<const linalg::Matrix> cost_matrix;
   /// Dense log path only: borrowed provider for streamed ⟨C, π⟩.
   const linalg::CostProvider* cost_provider = nullptr;
+  /// True when every storage came out of the solve cache (nothing was
+  /// streamed or exponentiated for this repair).
+  bool kernel_hit = false;
 
+  /// `cache` (nullable) with an invalid `key` is a silent no-op, so the
+  /// uncached construction path is unchanged. A hit adopts the cached
+  /// storages — the same bytes the miss built, hence bit-identical
+  /// arithmetic; a miss builds and publishes them.
   OuterLoopKernel(const linalg::CostProvider& cost,
-                  const FastOtCleanOptions& options,
-                  linalg::ThreadPool* pool) {
+                  const FastOtCleanOptions& options, linalg::ThreadPool* pool,
+                  SolveCache* cache, const SolveCacheKey& key) {
     const bool truncated = options.kernel_truncation > 0.0;
+    std::optional<CachedKernel> hit;
+    if (cache != nullptr) hit = cache->FindKernel(key);
     if (options.log_domain && truncated) {
-      log_sparse.emplace(linalg::SparseLogTransportKernel::FromCost(
-          cost, options.epsilon, options.kernel_truncation,
-          options.num_threads, pool));
-      support_costs = log_sparse->GatherSupportCosts(cost);
+      if (hit && hit->sparse) {
+        kernel_hit = true;
+        log_sparse.emplace(linalg::SparseLogTransportKernel(
+            hit->sparse, options.num_threads, pool));
+        support_costs = hit->support_costs;
+      } else {
+        log_sparse.emplace(linalg::SparseLogTransportKernel::FromCost(
+            cost, options.epsilon, options.kernel_truncation,
+            options.num_threads, pool));
+      }
+      if (!support_costs) {
+        support_costs = std::make_shared<const std::vector<double>>(
+            log_sparse->GatherSupportCosts(cost));
+      }
     } else if (options.log_domain) {
-      log_dense.emplace(linalg::DenseLogTransportKernel::FromCost(
-          cost, options.epsilon, options.num_threads, pool));
+      if (hit && hit->dense) {
+        kernel_hit = true;
+        log_dense.emplace(linalg::DenseLogTransportKernel(
+            hit->dense, options.num_threads, pool));
+      } else {
+        log_dense.emplace(linalg::DenseLogTransportKernel::FromCost(
+            cost, options.epsilon, options.num_threads, pool));
+      }
       cost_provider = &cost;
     } else if (truncated) {
-      sparse.emplace(linalg::SparseTransportKernel::FromCost(
-          cost, options.epsilon, options.kernel_truncation,
-          options.num_threads, pool));
-      support_costs = sparse->GatherSupportCosts(cost);
+      if (hit && hit->sparse) {
+        kernel_hit = true;
+        sparse.emplace(linalg::SparseTransportKernel(
+            hit->sparse, options.num_threads, pool));
+        support_costs = hit->support_costs;
+      } else {
+        sparse.emplace(linalg::SparseTransportKernel::FromCost(
+            cost, options.epsilon, options.kernel_truncation,
+            options.num_threads, pool));
+      }
+      if (!support_costs) {
+        support_costs = std::make_shared<const std::vector<double>>(
+            sparse->GatherSupportCosts(cost));
+      }
     } else {
-      cost_matrix = linalg::MaterializeCostMatrix(cost);
-      dense.emplace(linalg::DenseTransportKernel::FromCost(
-          cost_matrix, options.epsilon, options.num_threads, pool));
+      if (hit && hit->dense && hit->dense_cost) {
+        kernel_hit = true;
+        cost_matrix = hit->dense_cost;
+        dense.emplace(linalg::DenseTransportKernel(hit->dense,
+                                                   options.num_threads, pool));
+      } else {
+        cost_matrix = std::make_shared<const linalg::Matrix>(
+            linalg::MaterializeCostMatrix(cost));
+        dense.emplace(linalg::DenseTransportKernel::FromCost(
+            *cost_matrix, options.epsilon, options.num_threads, pool));
+      }
+    }
+    if (cache != nullptr && !kernel_hit) {
+      CachedKernel built;
+      if (dense) {
+        built.dense = dense->shared_kernel();
+        built.dense_cost = cost_matrix;
+      } else if (log_dense) {
+        built.dense = log_dense->shared_log_kernel();
+      } else if (sparse) {
+        built.sparse = sparse->shared_storage();
+        built.support_costs = support_costs;
+      } else {
+        built.sparse = log_sparse->shared_storage();
+        built.support_costs = support_costs;
+      }
+      cache->InsertKernel(key, std::move(built));
     }
   }
 
@@ -155,12 +221,12 @@ struct OuterLoopKernel {
   /// linear path, the cached O(nnz) support costs on the sparse ones, the
   /// streamed provider on the dense log path.
   double TransportCost(const linalg::Vector& u, const linalg::Vector& v) const {
-    if (sparse) return sparse->SupportTransportCost(support_costs, u, v);
+    if (sparse) return sparse->SupportTransportCost(*support_costs, u, v);
     if (log_sparse) {
-      return log_sparse->SupportTransportCost(support_costs, u, v);
+      return log_sparse->SupportTransportCost(*support_costs, u, v);
     }
     if (log_dense) return log_dense->TransportCost(*cost_provider, u, v);
-    return dense->TransportCost(cost_matrix, u, v);
+    return dense->TransportCost(*cost_matrix, u, v);
   }
 
   /// Materializes the final plan from the converged potentials and stores
@@ -190,6 +256,95 @@ struct OuterLoopKernel {
                              dense->ScaleToPlan(u, v));
   }
 };
+
+
+/// Cache key for a FastOTClean solve. The cost fingerprint alone is not
+/// enough: the kernel's values depend on which tuples the active-domain
+/// restriction decodes at each row/column, so the domain shape and both
+/// cell lists are salted in. Returns an invalid key (caching off) when
+/// the cost is unfingerprintable.
+SolveCacheKey MakeFastCacheKey(const ot::CostFunction& cost,
+                               const prob::Domain& dom,
+                               const std::vector<size_t>& row_cells,
+                               const std::vector<size_t>& col_cells,
+                               const FastOtCleanOptions& options) {
+  const uint64_t fp = cost.Fingerprint();
+  if (fp == 0) return SolveCacheKey{};
+  uint64_t salt = HashMix(kHashSeed, 0xFA57u);
+  salt = HashMix(salt, dom.num_attrs());
+  for (size_t c : dom.cardinalities()) salt = HashMix(salt, c);
+  salt = HashMix(salt, row_cells.size());
+  for (size_t c : row_cells) salt = HashMix(salt, c);
+  salt = HashMix(salt, col_cells.size());
+  for (size_t c : col_cells) salt = HashMix(salt, c);
+  return MakeSolveCacheKey(fp, row_cells.size(), col_cells.size(),
+                           options.epsilon, options.kernel_truncation,
+                           options.log_domain, salt);
+}
+
+/// The warm-start store speaks linear-domain potentials regardless of the
+/// solve's domain mode (one canonical representation per key namespace);
+/// the log paths lift on fetch and exponentiate on store.
+void LiftWarmToLog(linalg::Vector& w) {
+  for (size_t i = 0; i < w.size(); ++i) {
+    w[i] = w[i] > 0.0 ? std::log(w[i])
+                      : -std::numeric_limits<double>::infinity();
+  }
+}
+
+linalg::Vector WarmToLinear(const linalg::Vector& w, bool log_domain) {
+  if (!log_domain) return w;
+  linalg::Vector out(w.size());
+  for (size_t i = 0; i < w.size(); ++i) {
+    out[i] = std::isfinite(w[i]) ? std::exp(w[i]) : 0.0;
+  }
+  return out;
+}
+
+/// Cross-request warm start (fetch side): seeds the outer loop's warm
+/// vectors from the cache when enabled, sizes match, and the caller's own
+/// warm_start plumbing will pick them up. Returns the stored cold
+/// baseline via `cold_iterations`.
+bool FetchCachedWarmStart(SolveCache* cache, const SolveCacheKey& key,
+                          const FastOtCleanOptions& options, size_t rows,
+                          size_t cols, bool log_domain, linalg::Vector& warm_u,
+                          linalg::Vector& warm_v, size_t& cold_iterations) {
+  if (cache == nullptr || !key.valid()) return false;
+  if (!options.warm_start || !options.cache_warm_start) return false;
+  auto stored = cache->FindWarmStart(key);
+  if (!stored) return false;
+  if (stored->u.size() != rows || stored->v.size() != cols) return false;
+  warm_u = std::move(stored->u);
+  warm_v = std::move(stored->v);
+  if (log_domain) {
+    LiftWarmToLog(warm_u);
+    LiftWarmToLog(warm_v);
+  }
+  cold_iterations = stored->cold_iterations;
+  return true;
+}
+
+/// Store side: persists the converged potentials (linear domain) and
+/// credits iteration savings against the key's cold baseline.
+void StoreCachedWarmStart(SolveCache* cache, const SolveCacheKey& key,
+                          const FastOtCleanOptions& options, bool log_domain,
+                          const linalg::Vector& warm_u,
+                          const linalg::Vector& warm_v,
+                          size_t cold_iterations, FastOtCleanResult& result) {
+  if (cache == nullptr || !key.valid()) return;
+  if (!options.warm_start || !options.cache_warm_start || !result.converged) {
+    return;
+  }
+  cache->StoreWarmStart(key, WarmToLinear(warm_u, log_domain),
+                        WarmToLinear(warm_v, log_domain),
+                        result.total_sinkhorn_iterations);
+  if (result.cache_warm_started &&
+      cold_iterations > result.total_sinkhorn_iterations) {
+    result.cache_warm_iterations_saved =
+        cold_iterations - result.total_sinkhorn_iterations;
+    cache->RecordWarmSavings(result.cache_warm_iterations_saved);
+  }
+}
 
 /// Expands a marginal over `cells` into a dense distribution over `dom`.
 prob::JointDistribution ExpandToDomain(const prob::Domain& dom,
@@ -344,12 +499,25 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
   linalg::ThreadPool* pool = linalg::ResolveSolvePool(
       options.thread_pool, options.num_threads, owned_pool);
 
-  const OuterLoopKernel kernel_storage(cost_view, options, pool);
+  const SolveCacheKey cache_key =
+      options.solve_cache != nullptr
+          ? MakeFastCacheKey(cost, dom, row_cells, col_cells, options)
+          : SolveCacheKey{};
+  const OuterLoopKernel kernel_storage(cost_view, options, pool,
+                                       options.solve_cache, cache_key);
   OTCLEAN_RETURN_NOT_OK(kernel_storage.CheckSupport(p, "FastOtClean"));
 
   FastOtCleanResult result;
   result.kernel_nnz = kernel_storage.nnz();
+  if (options.solve_cache != nullptr && cache_key.valid()) {
+    result.cache_kernel_hits = kernel_storage.kernel_hit ? 1 : 0;
+    result.cache_kernel_misses = kernel_storage.kernel_hit ? 0 : 1;
+  }
   linalg::Vector warm_u, warm_v, ktu;
+  size_t warm_cold_baseline = 0;
+  result.cache_warm_started = FetchCachedWarmStart(
+      options.solve_cache, cache_key, options, p.size(), col_cells.size(),
+      kernel_storage.log_domain(), warm_u, warm_v, warm_cold_baseline);
 
   for (size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
     // --- Outer step A: transport plan against the current Q (Sinkhorn). ---
@@ -409,6 +577,9 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
                                      warm_v, result.transport_cost);
   result.target = q;
   result.target_cmi = prob::ConditionalMutualInformation(q, ci);
+  StoreCachedWarmStart(options.solve_cache, cache_key, options,
+                       kernel_storage.log_domain(), warm_u, warm_v,
+                       warm_cold_baseline, result);
   return result;
 }
 
@@ -487,12 +658,25 @@ Result<FastOtCleanResult> FastOtCleanMulti(
   linalg::ThreadPool* pool = linalg::ResolveSolvePool(
       options.thread_pool, options.num_threads, owned_pool);
 
-  const OuterLoopKernel kernel_storage(cost_view, options, pool);
+  const SolveCacheKey cache_key =
+      options.solve_cache != nullptr
+          ? MakeFastCacheKey(cost, dom, row_cells, col_cells, options)
+          : SolveCacheKey{};
+  const OuterLoopKernel kernel_storage(cost_view, options, pool,
+                                       options.solve_cache, cache_key);
   OTCLEAN_RETURN_NOT_OK(kernel_storage.CheckSupport(p, "FastOtCleanMulti"));
 
   FastOtCleanResult result;
   result.kernel_nnz = kernel_storage.nnz();
+  if (options.solve_cache != nullptr && cache_key.valid()) {
+    result.cache_kernel_hits = kernel_storage.kernel_hit ? 1 : 0;
+    result.cache_kernel_misses = kernel_storage.kernel_hit ? 0 : 1;
+  }
   linalg::Vector warm_u, warm_v, ktu;
+  size_t warm_cold_baseline = 0;
+  result.cache_warm_started = FetchCachedWarmStart(
+      options.solve_cache, cache_key, options, p.size(), col_cells.size(),
+      kernel_storage.log_domain(), warm_u, warm_v, warm_cold_baseline);
 
   for (size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
     linalg::Vector q_cols(col_cells.size());
@@ -545,6 +729,9 @@ Result<FastOtCleanResult> FastOtCleanMulti(
                                      warm_v, result.transport_cost);
   result.target = q;
   result.target_cmi = prob::MaxCmi(q, cis);
+  StoreCachedWarmStart(options.solve_cache, cache_key, options,
+                       kernel_storage.log_domain(), warm_u, warm_v,
+                       warm_cold_baseline, result);
   return result;
 }
 

@@ -13,6 +13,8 @@
 
 namespace otclean::core {
 
+class SolveCache;
+
 /// Options for FastOTClean (Algorithm 2) — the relaxed-OT + Sinkhorn +
 /// KL-NMF alternating solver of Section 4.2, with the Section 5
 /// optimizations.
@@ -78,6 +80,24 @@ struct FastOtCleanOptions {
   /// repair, not once per kernel call). Pooled and serial results are
   /// bit-identical.
   linalg::ThreadPool* thread_pool = nullptr;
+  /// Optional cross-request solve cache (core/solve_cache.h): a repeated
+  /// (cost fingerprint, domain, active cells, ε, truncation, domain mode)
+  /// reuses the previously built kernel storage — bit-identical to
+  /// rebuilding — instead of re-streaming costs. Requires the cost to be
+  /// fingerprintable (CostFunction::Fingerprint() != 0); unfingerprintable
+  /// costs silently bypass the cache. Borrowed; must outlive the call.
+  /// The RepairScheduler injects its per-batch cache here — scheduled
+  /// jobs must leave it null, exactly like `thread_pool`.
+  SolveCache* solve_cache = nullptr;
+  /// With `solve_cache` set, also seed the *first* outer step from the
+  /// converged potentials of the previous run under the same key (the
+  /// paper's Section-5 warm start, lifted across requests), and store this
+  /// run's converged potentials back. Off by default: warm-started runs
+  /// meet the same tolerances but are not bit-identical to cold ones, and
+  /// with concurrent jobs the store's contents depend on arrival order.
+  /// Only takes effect when `warm_start` is also on; stored potentials
+  /// whose sizes mismatch the problem fall back to a cold start.
+  bool cache_warm_start = false;
 };
 
 /// Outcome of a FastOTClean run.
@@ -101,6 +121,17 @@ struct FastOtCleanResult {
   /// Nonzeros of the (possibly truncated) kernel used by the last inner
   /// solve; rows×cols of the plan when the dense path ran.
   size_t kernel_nnz = 0;
+  /// Solve-cache activity of this run (all zero when no cache was
+  /// configured or the cost was unfingerprintable). A run performs at
+  /// most one kernel lookup, so hits + misses ≤ 1; kept as counts so
+  /// callers (RepairScheduler, reports) can sum across runs.
+  size_t cache_kernel_hits = 0;
+  size_t cache_kernel_misses = 0;
+  /// True when the first outer step was seeded from cached potentials.
+  bool cache_warm_started = false;
+  /// Iterations saved vs. the key's cold baseline (0 unless warm-started
+  /// and actually faster).
+  size_t cache_warm_iterations_saved = 0;
 };
 
 /// FastOTClean: computes a probabilistic data cleaner for `p_data` under

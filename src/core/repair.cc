@@ -31,6 +31,10 @@ void PopulateFastSolveReport(const FastOtCleanResult& r,
   report.converged = r.converged;
   report.kernel_nnz = r.kernel_nnz;
   report.sinkhorn_domain = fast.log_domain ? "log" : "linear";
+  report.cache_kernel_hits = r.cache_kernel_hits;
+  report.cache_kernel_misses = r.cache_kernel_misses;
+  report.cache_warm_started = r.cache_warm_started;
+  report.cache_warm_iterations_saved = r.cache_warm_iterations_saved;
   PopulatePlanReport(r.plan, report);
 }
 

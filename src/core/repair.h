@@ -62,6 +62,13 @@ struct RepairReport {
   /// LogTransportKernel; FastOtCleanOptions::log_domain / the CLI's
   /// --log-domain). "n/a" for the QCLP solver, which iterates LPs.
   const char* sinkhorn_domain = "linear";
+  /// Cross-request solve-cache activity of the fit (core/solve_cache.h;
+  /// all zero/false when no cache was configured or the cost was
+  /// unfingerprintable).
+  size_t cache_kernel_hits = 0;
+  size_t cache_kernel_misses = 0;
+  bool cache_warm_started = false;
+  size_t cache_warm_iterations_saved = 0;
 };
 
 /// A fitted probabilistic data cleaner: learns the transport plan from one

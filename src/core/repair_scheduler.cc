@@ -28,6 +28,12 @@ RepairScheduler::RepairScheduler(RepairSchedulerOptions options)
     owned_pool_.emplace(options_.pool_threads);
     pool_ = &*owned_pool_;
   }
+  if (options_.solve_cache != nullptr) {
+    cache_ = options_.solve_cache;
+  } else if (options_.cache_bytes > 0) {
+    owned_cache_.emplace(options_.cache_bytes);
+    cache_ = &*owned_cache_;
+  }
 }
 
 Result<RepairReport> RepairScheduler::RunOne(const RepairJob& job,
@@ -54,6 +60,14 @@ Result<RepairReport> RepairScheduler::RunOne(const RepairJob& job,
         "the scheduler dispatches every job on its one shared pool "
         "(RepairSchedulerOptions::thread_pool/pool_threads)");
   }
+  if (job.options.fast.solve_cache != nullptr) {
+    // Same policy as thread_pool: the scheduler's cache is THE cache.
+    return Status::InvalidArgument(
+        "RepairScheduler: job " + std::to_string(batch_index) +
+        " carries its own options solve_cache; jobs must leave it null — "
+        "the scheduler injects its one shared cache "
+        "(RepairSchedulerOptions::cache_bytes/solve_cache)");
+  }
   RepairOptions opts = job.options;
   const uint64_t id = job.id == kAutoJobId ? batch_index : job.id;
   opts.seed = DeriveJobSeed(job.options.seed, id);
@@ -62,6 +76,7 @@ Result<RepairReport> RepairScheduler::RunOne(const RepairJob& job,
   // results do not depend on the pool's width or on concurrent neighbours.
   opts.fast.thread_pool = pool_;
   opts.qclp.thread_pool = pool_;
+  opts.fast.solve_cache = cache_;
   if (pool_ == nullptr) {
     // A width-1 pool resolution means the scheduler's contract is "solves
     // run serial, executors are the only concurrency". Left at N>1, each
@@ -81,6 +96,9 @@ Result<RepairReport> RepairScheduler::RunOne(const RepairJob& job,
 BatchReport RepairScheduler::Run(const std::vector<RepairJob>& jobs) {
   BatchReport report;
   if (jobs.empty()) return report;
+
+  const SolveCacheStats cache_before =
+      cache_ != nullptr ? cache_->Stats() : SolveCacheStats{};
 
   std::vector<std::optional<Result<RepairReport>>> slots(jobs.size());
   std::atomic<size_t> next_job{0};
@@ -121,6 +139,9 @@ BatchReport RepairScheduler::Run(const std::vector<RepairJob>& jobs) {
       ++report.failed_jobs;
     }
     report.jobs.push_back(std::move(r));
+  }
+  if (cache_ != nullptr) {
+    report.cache = DeltaStats(cache_before, cache_->Stats());
   }
   return report;
 }

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "core/ci_constraint.h"
 #include "core/repair.h"
+#include "core/solve_cache.h"
 #include "dataset/table.h"
 #include "linalg/thread_pool.h"
 #include "ot/cost.h"
@@ -58,6 +59,11 @@ struct BatchReport {
   size_t total_sinkhorn_iterations = 0;
   /// Largest single plan held by any successful job.
   size_t peak_plan_bytes = 0;
+  /// Shared solve-cache activity attributable to this batch: counters are
+  /// the delta over the Run call (the cache may outlive many batches),
+  /// gauges (entries / bytes_cached / bytes_pinned) are end-of-batch
+  /// values. All zero when the scheduler runs cache-less.
+  SolveCacheStats cache;
 };
 
 struct RepairSchedulerOptions {
@@ -72,6 +78,16 @@ struct RepairSchedulerOptions {
   /// must outlive the scheduler. When null the scheduler owns one pool for
   /// its lifetime.
   linalg::ThreadPool* thread_pool = nullptr;
+  /// Byte budget of the scheduler-owned cross-request SolveCache. 0 — the
+  /// default — runs cache-less (identical to pre-cache behavior); > 0
+  /// creates one cache for the scheduler's lifetime, shared by every job
+  /// of every batch, with strict LRU eviction at this budget. Ignored
+  /// when `solve_cache` is supplied. (For an *unlimited* owned cache
+  /// there is deliberately no spelling — pass your own SolveCache(0).)
+  size_t cache_bytes = 0;
+  /// Optional externally owned cache shared with other work in the
+  /// process; must outlive the scheduler.
+  SolveCache* solve_cache = nullptr;
 };
 
 /// The per-job seed: `base_seed` (the job's RepairOptions::seed) mixed with
@@ -104,12 +120,19 @@ class RepairScheduler {
   /// pool width is 1 — solves run serial, executors still shard).
   linalg::ThreadPool* shared_pool() { return pool_; }
 
+  /// The cross-request cache every job solves through (null when the
+  /// scheduler runs cache-less). Exposed so callers can fold their own
+  /// lookups (the CLI's table cache) into its stats.
+  SolveCache* shared_cache() { return cache_; }
+
  private:
   Result<RepairReport> RunOne(const RepairJob& job, size_t batch_index);
 
   RepairSchedulerOptions options_;
   std::optional<linalg::ThreadPool> owned_pool_;
   linalg::ThreadPool* pool_ = nullptr;
+  std::optional<SolveCache> owned_cache_;
+  SolveCache* cache_ = nullptr;
 };
 
 }  // namespace otclean::core

@@ -1,0 +1,197 @@
+#include "core/solve_cache.h"
+
+#include "common/hash.h"
+#include "linalg/simd.h"
+
+namespace otclean::core {
+
+namespace {
+
+size_t MatrixBytes(const std::shared_ptr<const linalg::Matrix>& m) {
+  return m ? m->size() * sizeof(double) : 0;
+}
+
+size_t WarmBytes(const std::optional<CachedWarmStart>& w) {
+  if (!w) return 0;
+  return (w->u.size() + w->v.size()) * sizeof(double);
+}
+
+}  // namespace
+
+SolveCacheKey MakeSolveCacheKey(uint64_t cost_fingerprint, size_t rows,
+                                size_t cols, double epsilon, double truncation,
+                                bool log_domain, uint64_t salt) {
+  SolveCacheKey key;
+  if (cost_fingerprint == 0) return key;  // invalid: caching disabled
+  key.rows = rows;
+  key.cols = cols;
+  key.epsilon = epsilon;
+  key.truncation = truncation;
+  key.log_domain = log_domain;
+  key.sparse = truncation > 0.0;
+  key.simd_isa = static_cast<uint8_t>(linalg::simd::ActiveIsa());
+  uint64_t h = HashMix(kHashSeed, cost_fingerprint);
+  h = HashMix(h, salt);
+  h = HashMix(h, key.rows);
+  h = HashMix(h, key.cols);
+  h = HashMixDouble(h, key.epsilon);
+  h = HashMixDouble(h, key.truncation);
+  h = HashMix(h, (key.log_domain ? 2u : 0u) | (key.sparse ? 1u : 0u));
+  h = HashMix(h, key.simd_isa);
+  key.content = h == 0 ? 1 : h;
+  return key;
+}
+
+size_t CachedKernel::MemoryBytes() const {
+  size_t bytes = MatrixBytes(dense) + MatrixBytes(dense_cost);
+  if (sparse) bytes += sparse->MemoryBytes();
+  if (support_costs) bytes += support_costs->size() * sizeof(double);
+  return bytes;
+}
+
+bool CachedKernel::InUse() const {
+  // use_count > 1 ⇒ a handle lives outside the cache's own entry. Racy in
+  // general, but we only read it under the cache mutex, and every external
+  // handle was created under that same mutex — a transient over-count
+  // (solve just finished) merely delays eviction one round.
+  return (dense && dense.use_count() > 1) ||
+         (sparse && sparse.use_count() > 1) ||
+         (support_costs && support_costs.use_count() > 1) ||
+         (dense_cost && dense_cost.use_count() > 1);
+}
+
+SolveCacheStats DeltaStats(const SolveCacheStats& before,
+                           const SolveCacheStats& after) {
+  SolveCacheStats d = after;
+  d.kernel_hits -= before.kernel_hits;
+  d.kernel_misses -= before.kernel_misses;
+  d.warm_hits -= before.warm_hits;
+  d.warm_misses -= before.warm_misses;
+  d.insertions -= before.insertions;
+  d.evictions -= before.evictions;
+  d.warm_iterations_saved -= before.warm_iterations_saved;
+  d.table_hits -= before.table_hits;
+  d.table_misses -= before.table_misses;
+  // entries / bytes_cached / bytes_pinned are gauges: keep `after`.
+  return d;
+}
+
+void SolveCache::Touch(Lru::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+void SolveCache::Recharge(Lru::iterator it) {
+  bytes_cached_ -= it->bytes;
+  it->bytes = it->kernel.MemoryBytes() + WarmBytes(it->warm);
+  bytes_cached_ += it->bytes;
+}
+
+void SolveCache::EnforceBudget() {
+  if (byte_budget_ == 0) return;
+  auto it = lru_.end();
+  while (bytes_cached_ > byte_budget_ && it != lru_.begin()) {
+    --it;
+    if (it->kernel.InUse()) continue;  // pinned: counted, not evictable
+    bytes_cached_ -= it->bytes;
+    index_.erase(it->key);
+    it = lru_.erase(it);
+    ++counters_.evictions;
+  }
+}
+
+SolveCache::Lru::iterator SolveCache::FindOrCreate(const SolveCacheKey& key) {
+  auto found = index_.find(key);
+  if (found != index_.end()) {
+    Touch(found->second);
+    return found->second;
+  }
+  lru_.push_front(Entry{key, {}, std::nullopt, 0});
+  index_.emplace(key, lru_.begin());
+  return lru_.begin();
+}
+
+std::optional<CachedKernel> SolveCache::FindKernel(const SolveCacheKey& key) {
+  if (!key.valid()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto found = index_.find(key);
+  if (found == index_.end() || found->second->kernel.empty()) {
+    ++counters_.kernel_misses;
+    return std::nullopt;
+  }
+  ++counters_.kernel_hits;
+  Touch(found->second);
+  return found->second->kernel;
+}
+
+CachedKernel SolveCache::InsertKernel(const SolveCacheKey& key,
+                                      CachedKernel kernel) {
+  if (!key.valid() || kernel.empty()) return kernel;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = FindOrCreate(key);
+  if (!it->kernel.empty()) return it->kernel;  // lost the race: share theirs
+  it->kernel = std::move(kernel);
+  ++counters_.insertions;
+  Recharge(it);
+  // Copy the handle out *before* enforcing the budget: the copy pins the
+  // fresh entry (the caller is about to solve on it), and keeps the return
+  // safe even if eviction removes the entry itself.
+  CachedKernel resident = it->kernel;
+  EnforceBudget();
+  return resident;
+}
+
+std::optional<CachedWarmStart> SolveCache::FindWarmStart(
+    const SolveCacheKey& key) {
+  if (!key.valid()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto found = index_.find(key);
+  if (found == index_.end() || !found->second->warm) {
+    ++counters_.warm_misses;
+    return std::nullopt;
+  }
+  ++counters_.warm_hits;
+  Touch(found->second);
+  return found->second->warm;
+}
+
+void SolveCache::StoreWarmStart(const SolveCacheKey& key,
+                                const linalg::Vector& u,
+                                const linalg::Vector& v,
+                                size_t solve_iterations) {
+  if (!key.valid()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = FindOrCreate(key);
+  const size_t baseline =
+      it->warm ? it->warm->cold_iterations : solve_iterations;
+  it->warm = CachedWarmStart{u, v, baseline};
+  Recharge(it);
+  EnforceBudget();
+}
+
+void SolveCache::RecordWarmSavings(size_t iterations) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.warm_iterations_saved += iterations;
+}
+
+void SolveCache::RecordTableLookup(bool hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (hit) {
+    ++counters_.table_hits;
+  } else {
+    ++counters_.table_misses;
+  }
+}
+
+SolveCacheStats SolveCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SolveCacheStats s = counters_;
+  s.entries = lru_.size();
+  s.bytes_cached = bytes_cached_;
+  s.bytes_pinned = 0;
+  for (const Entry& e : lru_) {
+    if (e.kernel.InUse()) s.bytes_pinned += e.bytes;
+  }
+  return s;
+}
+
+}  // namespace otclean::core

@@ -1,0 +1,209 @@
+#ifndef OTCLEAN_CORE_SOLVE_CACHE_H_
+#define OTCLEAN_CORE_SOLVE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/transport_kernel.h"
+#include "linalg/vector.h"
+
+namespace otclean::core {
+
+/// Identity of a solve's immutable inputs — everything that determines the
+/// built Gibbs kernel bit-for-bit. `content` is a stable FNV-1a hash of the
+/// cost fingerprint (CostFunction::Fingerprint plus any caller salt, e.g.
+/// the active-cell lists a FastOTClean solve restricts the domain to);
+/// the remaining fields are kept verbatim so a hash collision can never
+/// alias two solves with different dimensions, ε, truncation, domain
+/// (log vs linear) or SIMD tier — equality checks every field.
+///
+/// The SIMD tier is part of the key because the scaling loop's results are
+/// only bit-identical *within* one instruction set; a cache shared across
+/// dispatch tiers (tests force-overriding the ISA) must not mix them.
+struct SolveCacheKey {
+  uint64_t content = 0;  ///< 0 = invalid ("don't cache this solve")
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  double epsilon = 0.0;
+  double truncation = 0.0;
+  bool log_domain = false;
+  bool sparse = false;
+  uint8_t simd_isa = 0;
+
+  bool valid() const { return content != 0; }
+  bool operator==(const SolveCacheKey& o) const {
+    return content == o.content && rows == o.rows && cols == o.cols &&
+           epsilon == o.epsilon && truncation == o.truncation &&
+           log_domain == o.log_domain && sparse == o.sparse &&
+           simd_isa == o.simd_isa;
+  }
+};
+
+/// Builds a key from the solve inputs. A zero `cost_fingerprint` yields an
+/// invalid key (content 0), which every cache operation treats as a no-op —
+/// the path for unfingerprintable costs (LambdaCost). `salt` folds in any
+/// extra caller identity (FastOTClean hashes the domain shape and active
+/// cells into it). `truncation > 0` marks the kernel sparse; the SIMD tier
+/// is read from the runtime dispatcher.
+SolveCacheKey MakeSolveCacheKey(uint64_t cost_fingerprint, size_t rows,
+                                size_t cols, double epsilon, double truncation,
+                                bool log_domain, uint64_t salt = 0);
+
+/// Shared handles to one solve's immutable built artifacts. Exactly one of
+/// `dense`/`sparse` is set (the kernel K = e^{−C/ε}, or its log L = −C/ε —
+/// the key's log_domain flag says which); the others are optional
+/// companions the same solve would otherwise rebuild:
+/// `support_costs` is the GatherSupportCosts cache aligned with the sparse
+/// kernel's values, `dense_cost` the materialized cost matrix of the dense
+/// path. Everything is shared_ptr-held and immutable, so a hit hands out
+/// the very same storage the miss built — arithmetic over it is
+/// bit-identical by construction.
+struct CachedKernel {
+  std::shared_ptr<const linalg::Matrix> dense;
+  std::shared_ptr<const linalg::SparseKernelStorage> sparse;
+  std::shared_ptr<const std::vector<double>> support_costs;
+  std::shared_ptr<const linalg::Matrix> dense_cost;
+
+  bool empty() const { return !dense && !sparse; }
+  /// Approximate heap footprint of all held storages.
+  size_t MemoryBytes() const;
+  /// True when any handle is also held outside the cache (a solve is
+  /// running on it). Pinned entries are charged to the budget but never
+  /// evicted — eviction would not free the memory anyway.
+  bool InUse() const;
+};
+
+/// Converged potentials persisted per key (linear domain; the log path
+/// lifts them via log — the existing warm_u/warm_v plumbing).
+/// `cold_iterations` is the iteration count of the *first* (cold) solve
+/// under this key, kept as the baseline that later warm-started solves are
+/// measured against.
+struct CachedWarmStart {
+  linalg::Vector u;
+  linalg::Vector v;
+  size_t cold_iterations = 0;
+};
+
+/// Counters (monotonic) and gauges for a cache. `bytes_pinned` is the
+/// portion of `bytes_cached` currently in use by running solves;
+/// `warm_iterations_saved` accumulates max(0, cold baseline − warm run)
+/// as reported by callers via RecordWarmSavings. `table_*` fold in the
+/// CLI batch table cache (a lookup cache that predates this one) so
+/// `--report` has one place for all cross-request reuse.
+struct SolveCacheStats {
+  size_t kernel_hits = 0;
+  size_t kernel_misses = 0;
+  size_t warm_hits = 0;
+  size_t warm_misses = 0;
+  size_t insertions = 0;
+  size_t evictions = 0;
+  size_t entries = 0;       ///< gauge
+  size_t bytes_cached = 0;  ///< gauge
+  size_t bytes_pinned = 0;  ///< gauge
+  size_t warm_iterations_saved = 0;
+  size_t table_hits = 0;
+  size_t table_misses = 0;
+};
+
+/// after − before for the monotonic counters; gauges keep `after`'s value.
+/// RepairScheduler uses this to report per-batch activity on a cache that
+/// outlives the batch.
+SolveCacheStats DeltaStats(const SolveCacheStats& before,
+                           const SolveCacheStats& after);
+
+/// Process-wide, thread-safe, memory-budgeted LRU over solve artifacts —
+/// the cross-request complement of the paper's Section-5 warm starts.
+/// Two tiers of reuse per key: shared immutable kernel storages
+/// (CachedKernel) and converged potentials (CachedWarmStart); both live in
+/// one LRU entry so they age together.
+///
+/// All RAM held here is evictable cache (kivaloo's design rule): a strict
+/// LRU walk drops entries until the byte budget holds, skipping only
+/// entries whose storages are pinned by running solves (those are counted
+/// against the budget but eviction wouldn't free them). Budget 0 means
+/// unlimited.
+///
+/// Thread safety: every operation takes one internal mutex; the returned
+/// handles are immutable shared_ptrs, safe to use lock-free afterwards.
+class SolveCache {
+ public:
+  explicit SolveCache(size_t byte_budget = 0)
+      : byte_budget_(byte_budget) {}
+
+  SolveCache(const SolveCache&) = delete;
+  SolveCache& operator=(const SolveCache&) = delete;
+
+  /// Kernel tier. FindKernel returns the shared storages on a hit
+  /// (bumping the entry to most-recently-used) and counts a miss
+  /// otherwise; invalid keys are silent misses that touch no counter.
+  std::optional<CachedKernel> FindKernel(const SolveCacheKey& key);
+
+  /// Inserts the artifacts a miss just built. On an insert race (another
+  /// thread populated the key first) the resident entry wins and is
+  /// returned, so concurrent solves of one key converge on shared storage
+  /// either way. Returns `kernel` unchanged for invalid keys.
+  CachedKernel InsertKernel(const SolveCacheKey& key, CachedKernel kernel);
+
+  /// Warm-start tier: potentials from the last converged solve under this
+  /// key, or nullopt (counted as a warm miss) when none are stored.
+  std::optional<CachedWarmStart> FindWarmStart(const SolveCacheKey& key);
+
+  /// Persists converged potentials. The first store under a key also
+  /// records `solve_iterations` as the cold baseline; later stores refresh
+  /// the potentials but keep the baseline, so savings are always measured
+  /// against the original cold start.
+  void StoreWarmStart(const SolveCacheKey& key, const linalg::Vector& u,
+                      const linalg::Vector& v, size_t solve_iterations);
+
+  /// Caller-reported iteration savings of a warm-started solve.
+  void RecordWarmSavings(size_t iterations);
+
+  /// Folds a CLI table-cache lookup into the stats.
+  void RecordTableLookup(bool hit);
+
+  SolveCacheStats Stats() const;
+
+  size_t byte_budget() const { return byte_budget_; }
+
+ private:
+  struct Entry {
+    SolveCacheKey key;
+    CachedKernel kernel;
+    std::optional<CachedWarmStart> warm;
+    size_t bytes = 0;
+  };
+  struct KeyHash {
+    size_t operator()(const SolveCacheKey& k) const {
+      return static_cast<size_t>(k.content);
+    }
+  };
+  using Lru = std::list<Entry>;
+
+  /// Moves the entry to the LRU front. Caller holds mu_.
+  void Touch(Lru::iterator it);
+  /// Recomputes an entry's byte charge after mutation. Caller holds mu_.
+  void Recharge(Lru::iterator it);
+  /// Evicts from the LRU tail (skipping pinned entries) until the budget
+  /// holds. Caller holds mu_.
+  void EnforceBudget();
+  Lru::iterator FindOrCreate(const SolveCacheKey& key);
+
+  const size_t byte_budget_;
+
+  mutable std::mutex mu_;
+  Lru lru_;  ///< front = most recently used
+  std::unordered_map<SolveCacheKey, Lru::iterator, KeyHash> index_;
+  size_t bytes_cached_ = 0;
+  SolveCacheStats counters_;  ///< gauges unused; filled on Stats() read
+};
+
+}  // namespace otclean::core
+
+#endif  // OTCLEAN_CORE_SOLVE_CACHE_H_

@@ -36,6 +36,13 @@ double RowLogCost(const double* costs, const double* vals, const size_t* cols,
 DenseLogTransportKernel::DenseLogTransportKernel(Matrix log_kernel,
                                                  size_t num_threads,
                                                  ThreadPool* pool)
+    : DenseLogTransportKernel(
+          std::make_shared<const Matrix>(std::move(log_kernel)), num_threads,
+          pool) {}
+
+DenseLogTransportKernel::DenseLogTransportKernel(
+    std::shared_ptr<const Matrix> log_kernel, size_t num_threads,
+    ThreadPool* pool)
     : log_kernel_(std::move(log_kernel)),
       threads_(ResolveThreadCount(num_threads)),
       pool_(pool) {}
@@ -81,11 +88,11 @@ DenseLogTransportKernel DenseLogTransportKernel::FromCost(
 }
 
 void DenseLogTransportKernel::LogApply(const Vector& lv, Vector& out) const {
-  const size_t m = log_kernel_.rows();
-  const size_t n = log_kernel_.cols();
+  const size_t m = log_kernel_->rows();
+  const size_t n = log_kernel_->cols();
   assert(lv.size() == n);
   if (out.size() != m) out = Vector(m);
-  const double* data = log_kernel_.data().data();
+  const double* data = log_kernel_->data().data();
   const double* lvdata = lv.begin();
   ParallelFor(
       m, threads_,
@@ -104,11 +111,11 @@ void DenseLogTransportKernel::LogApply(const Vector& lv, Vector& out) const {
 
 void DenseLogTransportKernel::LogApplyTranspose(const Vector& lu,
                                                 Vector& out) const {
-  const size_t m = log_kernel_.rows();
-  const size_t n = log_kernel_.cols();
+  const size_t m = log_kernel_->rows();
+  const size_t n = log_kernel_->cols();
   assert(lu.size() == m);
   if (out.size() != n) out = Vector(n);
-  const double* data = log_kernel_.data().data();
+  const double* data = log_kernel_->data().data();
   // Column strips, two passes each (max, then shifted exp-sum): every
   // output column accumulates the rows in ascending order with the
   // bit-identical-across-tiers strip accumulators of simd.h, while the
@@ -146,11 +153,11 @@ void DenseLogTransportKernel::LogApplyTranspose(const Vector& lu,
 
 Matrix DenseLogTransportKernel::ScaleToPlan(const Vector& lu,
                                             const Vector& lv) const {
-  const size_t m = log_kernel_.rows();
-  const size_t n = log_kernel_.cols();
+  const size_t m = log_kernel_->rows();
+  const size_t n = log_kernel_->cols();
   assert(lu.size() == m && lv.size() == n);
   Matrix plan(m, n);
-  const double* data = log_kernel_.data().data();
+  const double* data = log_kernel_->data().data();
   const double* lvdata = lv.begin();
   double* out = plan.data().data();
   ParallelFor(
@@ -167,11 +174,11 @@ Matrix DenseLogTransportKernel::ScaleToPlan(const Vector& lu,
 double DenseLogTransportKernel::TransportCost(const CostProvider& cost,
                                               const Vector& lu,
                                               const Vector& lv) const {
-  const size_t m = log_kernel_.rows();
-  const size_t n = log_kernel_.cols();
+  const size_t m = log_kernel_->rows();
+  const size_t n = log_kernel_->cols();
   assert(cost.rows() == m && cost.cols() == n);
   assert(lu.size() == m && lv.size() == n);
-  const double* data = log_kernel_.data().data();
+  const double* data = log_kernel_->data().data();
   const double* lvdata = lv.begin();
   const Matrix* dense_cost = cost.AsMatrix();
   return BlockedReduce(
@@ -210,10 +217,16 @@ double DenseLogTransportKernel::TransportCost(const CostProvider& cost,
 SparseLogTransportKernel::SparseLogTransportKernel(SparseMatrix log_kernel,
                                                    size_t num_threads,
                                                    ThreadPool* pool)
-    : log_kernel_(std::move(log_kernel)),
+    : SparseLogTransportKernel(
+          std::make_shared<const SparseKernelStorage>(std::move(log_kernel)),
+          num_threads, pool) {}
+
+SparseLogTransportKernel::SparseLogTransportKernel(
+    std::shared_ptr<const SparseKernelStorage> storage, size_t num_threads,
+    ThreadPool* pool)
+    : storage_(std::move(storage)),
       threads_(ResolveThreadCount(num_threads)),
-      pool_(pool),
-      csc_(log_kernel_) {}
+      pool_(pool) {}
 
 SparseLogTransportKernel SparseLogTransportKernel::FromCost(
     const Matrix& cost, double epsilon, double cutoff, size_t num_threads,
@@ -231,12 +244,12 @@ SparseLogTransportKernel SparseLogTransportKernel::FromCost(
 }
 
 void SparseLogTransportKernel::LogApply(const Vector& lv, Vector& out) const {
-  const size_t m = log_kernel_.rows();
-  assert(lv.size() == log_kernel_.cols());
+  const size_t m = kern().rows();
+  assert(lv.size() == kern().cols());
   if (out.size() != m) out = Vector(m);
-  const auto& row_ptr = log_kernel_.row_ptr();
-  const size_t* cols = log_kernel_.col_index().data();
-  const double* values = log_kernel_.values().data();
+  const auto& row_ptr = kern().row_ptr();
+  const size_t* cols = kern().col_index().data();
+  const double* values = kern().values().data();
   const double* lvdata = lv.begin();
   ParallelFor(
       m, threads_,
@@ -252,16 +265,16 @@ void SparseLogTransportKernel::LogApply(const Vector& lv, Vector& out) const {
                                  values + k0, cols + k0, lvdata, mx, len));
         }
       },
-      GrainForWork(log_kernel_.nnz() / (m == 0 ? 1 : m)), pool_);
+      GrainForWork(kern().nnz() / (m == 0 ? 1 : m)), pool_);
 }
 
 void SparseLogTransportKernel::LogApplyTranspose(const Vector& lu,
                                                  Vector& out) const {
-  const size_t n = log_kernel_.cols();
-  assert(lu.size() == log_kernel_.rows());
+  const size_t n = kern().cols();
+  assert(lu.size() == kern().rows());
   if (out.size() != n) out = Vector(n);
-  const double* csc_values = csc_.values.data();
-  const size_t* rows = csc_.row_index.data();
+  const double* csc_values = csc().values.data();
+  const size_t* rows = csc().row_index.data();
   const double* ludata = lu.begin();
   // Each output column is owned by one worker and reduced over the CSC
   // mirror — empty columns (truncated away entirely) come out −inf.
@@ -269,8 +282,8 @@ void SparseLogTransportKernel::LogApplyTranspose(const Vector& lu,
       n, threads_,
       [&](size_t c0, size_t c1) {
         for (size_t c = c0; c < c1; ++c) {
-          const size_t k0 = csc_.col_ptr[c];
-          const size_t len = csc_.col_ptr[c + 1] - k0;
+          const size_t k0 = csc().col_ptr[c];
+          const size_t len = csc().col_ptr[c + 1] - k0;
           const double mx =
               simd::GatherAddMaxReduce(csc_values + k0, rows + k0, ludata,
                                        len);
@@ -281,18 +294,18 @@ void SparseLogTransportKernel::LogApplyTranspose(const Vector& lu,
                                  len));
         }
       },
-      GrainForWork(log_kernel_.nnz() / (n == 0 ? 1 : n)), pool_);
+      GrainForWork(kern().nnz() / (n == 0 ? 1 : n)), pool_);
 }
 
 Matrix SparseLogTransportKernel::ScaleToPlan(const Vector& lu,
                                              const Vector& lv) const {
-  const size_t m = log_kernel_.rows();
-  const size_t n = log_kernel_.cols();
+  const size_t m = kern().rows();
+  const size_t n = kern().cols();
   assert(lu.size() == m && lv.size() == n);
   Matrix plan(m, n, 0.0);
-  const auto& row_ptr = log_kernel_.row_ptr();
-  const auto& col_index = log_kernel_.col_index();
-  const auto& values = log_kernel_.values();
+  const auto& row_ptr = kern().row_ptr();
+  const auto& col_index = kern().col_index();
+  const auto& values = kern().values();
   ParallelFor(
       m, threads_,
       [&](size_t r0, size_t r1) {
@@ -306,19 +319,19 @@ Matrix SparseLogTransportKernel::ScaleToPlan(const Vector& lu,
           }
         }
       },
-      GrainForWork(log_kernel_.nnz() / (m == 0 ? 1 : m)), pool_);
+      GrainForWork(kern().nnz() / (m == 0 ? 1 : m)), pool_);
   return plan;
 }
 
 SparseMatrix SparseLogTransportKernel::ScaleToPlanSparse(
     const Vector& lu, const Vector& lv) const {
-  assert(lu.size() == log_kernel_.rows() && lv.size() == log_kernel_.cols());
-  SparseMatrix plan = log_kernel_;
-  const auto& row_ptr = log_kernel_.row_ptr();
-  const size_t* cols = log_kernel_.col_index().data();
-  const double* values = log_kernel_.values().data();
+  assert(lu.size() == kern().rows() && lv.size() == kern().cols());
+  SparseMatrix plan = kern();
+  const auto& row_ptr = kern().row_ptr();
+  const size_t* cols = kern().col_index().data();
+  const double* values = kern().values().data();
   double* out = plan.values().data();
-  const size_t m = log_kernel_.rows();
+  const size_t m = kern().rows();
   ParallelFor(
       m, threads_,
       [&](size_t r0, size_t r1) {
@@ -329,18 +342,18 @@ SparseMatrix SparseLogTransportKernel::ScaleToPlanSparse(
           }
         }
       },
-      GrainForWork(log_kernel_.nnz() / (m == 0 ? 1 : m)), pool_);
+      GrainForWork(kern().nnz() / (m == 0 ? 1 : m)), pool_);
   return plan;
 }
 
 std::vector<double> SparseLogTransportKernel::GatherSupportCosts(
     const CostProvider& cost) const {
-  assert(cost.rows() == log_kernel_.rows() &&
-         cost.cols() == log_kernel_.cols());
-  const auto& row_ptr = log_kernel_.row_ptr();
-  const size_t* cols = log_kernel_.col_index().data();
-  std::vector<double> out(log_kernel_.nnz());
-  for (size_t r = 0; r < log_kernel_.rows(); ++r) {
+  assert(cost.rows() == kern().rows() &&
+         cost.cols() == kern().cols());
+  const auto& row_ptr = kern().row_ptr();
+  const size_t* cols = kern().col_index().data();
+  std::vector<double> out(kern().nnz());
+  for (size_t r = 0; r < kern().rows(); ++r) {
     const size_t k0 = row_ptr[r];
     cost.Gather(r, cols + k0, row_ptr[r + 1] - k0, out.data() + k0);
   }
@@ -350,12 +363,12 @@ std::vector<double> SparseLogTransportKernel::GatherSupportCosts(
 double SparseLogTransportKernel::SupportTransportCost(
     const std::vector<double>& support_costs, const Vector& lu,
     const Vector& lv) const {
-  const size_t m = log_kernel_.rows();
-  assert(support_costs.size() == log_kernel_.nnz());
-  assert(lu.size() == m && lv.size() == log_kernel_.cols());
-  const auto& row_ptr = log_kernel_.row_ptr();
-  const size_t* cols = log_kernel_.col_index().data();
-  const double* values = log_kernel_.values().data();
+  const size_t m = kern().rows();
+  assert(support_costs.size() == kern().nnz());
+  assert(lu.size() == m && lv.size() == kern().cols());
+  const auto& row_ptr = kern().row_ptr();
+  const size_t* cols = kern().col_index().data();
+  const double* values = kern().values().data();
   const double* costs = support_costs.data();
   const double* lvdata = lv.begin();
   return BlockedReduce(
@@ -376,18 +389,18 @@ double SparseLogTransportKernel::SupportTransportCost(
 double SparseLogTransportKernel::TransportCost(const CostProvider& cost,
                                                const Vector& lu,
                                                const Vector& lv) const {
-  const size_t m = log_kernel_.rows();
-  assert(cost.rows() == m && cost.cols() == log_kernel_.cols());
-  assert(lu.size() == m && lv.size() == log_kernel_.cols());
-  const auto& row_ptr = log_kernel_.row_ptr();
-  const size_t* cols = log_kernel_.col_index().data();
-  const double* values = log_kernel_.values().data();
+  const size_t m = kern().rows();
+  assert(cost.rows() == m && cost.cols() == kern().cols());
+  assert(lu.size() == m && lv.size() == kern().cols());
+  const auto& row_ptr = kern().row_ptr();
+  const size_t* cols = kern().col_index().data();
+  const double* values = kern().values().data();
   const double* lvdata = lv.begin();
   // O(nnz) cost evaluations at the kernel's support, per-block scratch.
   return BlockedReduce(
       m, threads_,
       [&](size_t r0, size_t r1) {
-        std::vector<double> crow(csc_.max_row_nnz);
+        std::vector<double> crow(csc().max_row_nnz);
         double s = 0.0;
         for (size_t r = r0; r < r1; ++r) {
           if (lu[r] == kNegInf) continue;

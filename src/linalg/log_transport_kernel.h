@@ -2,6 +2,7 @@
 #define OTCLEAN_LINALG_LOG_TRANSPORT_KERNEL_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "linalg/cost_provider.h"
@@ -75,6 +76,11 @@ class DenseLogTransportKernel final : public LogTransportKernel {
   explicit DenseLogTransportKernel(Matrix log_kernel, size_t num_threads = 0,
                                    ThreadPool* pool = nullptr);
 
+  /// Shares an immutable storage built elsewhere (no copy, no rebuild).
+  explicit DenseLogTransportKernel(std::shared_ptr<const Matrix> log_kernel,
+                                   size_t num_threads = 0,
+                                   ThreadPool* pool = nullptr);
+
   /// Builds L = −C/ε from a dense cost.
   static DenseLogTransportKernel FromCost(const Matrix& cost, double epsilon,
                                           size_t num_threads = 0,
@@ -87,9 +93,9 @@ class DenseLogTransportKernel final : public LogTransportKernel {
                                           size_t num_threads = 0,
                                           ThreadPool* pool = nullptr);
 
-  size_t rows() const override { return log_kernel_.rows(); }
-  size_t cols() const override { return log_kernel_.cols(); }
-  size_t nnz() const override { return log_kernel_.size(); }
+  size_t rows() const override { return log_kernel_->rows(); }
+  size_t cols() const override { return log_kernel_->cols(); }
+  size_t nnz() const override { return log_kernel_->size(); }
   size_t num_threads() const override { return threads_; }
 
   void LogApply(const Vector& lv, Vector& out) const override;
@@ -98,10 +104,14 @@ class DenseLogTransportKernel final : public LogTransportKernel {
   double TransportCost(const CostProvider& cost, const Vector& lu,
                        const Vector& lv) const override;
 
-  const Matrix& log_kernel() const { return log_kernel_; }
+  const Matrix& log_kernel() const { return *log_kernel_; }
+  /// The underlying storage handle, for sharing (core::SolveCache).
+  const std::shared_ptr<const Matrix>& shared_log_kernel() const {
+    return log_kernel_;
+  }
 
  private:
-  Matrix log_kernel_;
+  std::shared_ptr<const Matrix> log_kernel_;
   size_t threads_;
   ThreadPool* pool_;
 };
@@ -119,6 +129,12 @@ class SparseLogTransportKernel final : public LogTransportKernel {
                                     size_t num_threads = 0,
                                     ThreadPool* pool = nullptr);
 
+  /// Shares an immutable storage built elsewhere (no copy, no rebuild —
+  /// the CSC mirror comes along for free).
+  explicit SparseLogTransportKernel(
+      std::shared_ptr<const SparseKernelStorage> storage,
+      size_t num_threads = 0, ThreadPool* pool = nullptr);
+
   /// Builds the truncated log-kernel from a streamed cost; `cutoff` is in
   /// *kernel* space exactly as for SparseTransportKernel::FromCost (drop
   /// where e^{−C/ε} < cutoff), cutoff 0 keeps every entry.
@@ -131,9 +147,9 @@ class SparseLogTransportKernel final : public LogTransportKernel {
                                            size_t num_threads = 0,
                                            ThreadPool* pool = nullptr);
 
-  size_t rows() const override { return log_kernel_.rows(); }
-  size_t cols() const override { return log_kernel_.cols(); }
-  size_t nnz() const override { return log_kernel_.nnz(); }
+  size_t rows() const override { return kern().rows(); }
+  size_t cols() const override { return kern().cols(); }
+  size_t nnz() const override { return kern().nnz(); }
   size_t num_threads() const override { return threads_; }
 
   void LogApply(const Vector& lv, Vector& out) const override;
@@ -156,13 +172,19 @@ class SparseLogTransportKernel final : public LogTransportKernel {
   double SupportTransportCost(const std::vector<double>& support_costs,
                               const Vector& lu, const Vector& lv) const;
 
-  const SparseMatrix& log_kernel() const { return log_kernel_; }
+  const SparseMatrix& log_kernel() const { return kern(); }
+  /// The underlying storage handle, for sharing (core::SolveCache).
+  const std::shared_ptr<const SparseKernelStorage>& shared_storage() const {
+    return storage_;
+  }
 
  private:
-  SparseMatrix log_kernel_;
+  const SparseMatrix& kern() const { return storage_->matrix; }
+  const CscMirror& csc() const { return storage_->csc; }
+
+  std::shared_ptr<const SparseKernelStorage> storage_;
   size_t threads_;
   ThreadPool* pool_;
-  CscMirror csc_;
 };
 
 }  // namespace otclean::linalg

@@ -35,6 +35,11 @@ CscMirror::CscMirror(const SparseMatrix& csr) {
 
 DenseTransportKernel::DenseTransportKernel(Matrix kernel, size_t num_threads,
                                            ThreadPool* pool)
+    : DenseTransportKernel(std::make_shared<const Matrix>(std::move(kernel)),
+                           num_threads, pool) {}
+
+DenseTransportKernel::DenseTransportKernel(std::shared_ptr<const Matrix> kernel,
+                                           size_t num_threads, ThreadPool* pool)
     : kernel_(std::move(kernel)),
       threads_(ResolveThreadCount(num_threads)),
       pool_(pool) {}
@@ -48,11 +53,11 @@ DenseTransportKernel DenseTransportKernel::FromCost(const Matrix& cost,
 }
 
 void DenseTransportKernel::Apply(const Vector& v, Vector& y) const {
-  const size_t m = kernel_.rows();
-  const size_t n = kernel_.cols();
+  const size_t m = kernel_->rows();
+  const size_t n = kernel_->cols();
   assert(v.size() == n);
   if (y.size() != m) y = Vector(m);
-  const double* data = kernel_.data().data();
+  const double* data = kernel_->data().data();
   const double* vdata = v.begin();
   ParallelFor(
       m, threads_,
@@ -65,11 +70,11 @@ void DenseTransportKernel::Apply(const Vector& v, Vector& y) const {
 }
 
 void DenseTransportKernel::ApplyTranspose(const Vector& u, Vector& y) const {
-  const size_t m = kernel_.rows();
-  const size_t n = kernel_.cols();
+  const size_t m = kernel_->rows();
+  const size_t n = kernel_->cols();
   assert(u.size() == m);
   if (y.size() != n) y = Vector(n);
-  const double* data = kernel_.data().data();
+  const double* data = kernel_->data().data();
   // Column-blocked: each worker owns output range [c0, c1) and streams the
   // rows in ascending order (AxpyRows: two rows per pass in the vector
   // tiers, traffic-only blocking), so every y[c] accumulates the same
@@ -87,11 +92,11 @@ void DenseTransportKernel::ApplyTranspose(const Vector& u, Vector& y) const {
 
 Matrix DenseTransportKernel::ScaleToPlan(const Vector& u,
                                          const Vector& v) const {
-  const size_t m = kernel_.rows();
-  const size_t n = kernel_.cols();
+  const size_t m = kernel_->rows();
+  const size_t n = kernel_->cols();
   assert(u.size() == m && v.size() == n);
   Matrix plan(m, n);
-  const double* data = kernel_.data().data();
+  const double* data = kernel_->data().data();
   const double* vdata = v.begin();
   double* out = plan.data().data();
   ParallelFor(
@@ -108,11 +113,11 @@ Matrix DenseTransportKernel::ScaleToPlan(const Vector& u,
 double DenseTransportKernel::TransportCost(const CostProvider& cost,
                                            const Vector& u,
                                            const Vector& v) const {
-  const size_t m = kernel_.rows();
-  const size_t n = kernel_.cols();
+  const size_t m = kernel_->rows();
+  const size_t n = kernel_->cols();
   assert(cost.rows() == m && cost.cols() == n);
   assert(u.size() == m && v.size() == n);
-  const double* kdata = kernel_.data().data();
+  const double* kdata = kernel_->data().data();
   const double* vdata = v.begin();
   if (const Matrix* dense_cost = cost.AsMatrix()) {
     // Zero-copy fast path: whole-row triple dots against the in-memory
@@ -161,10 +166,16 @@ double DenseTransportKernel::TransportCost(const CostProvider& cost,
 SparseTransportKernel::SparseTransportKernel(SparseMatrix kernel,
                                              size_t num_threads,
                                              ThreadPool* pool)
-    : kernel_(std::move(kernel)),
+    : SparseTransportKernel(
+          std::make_shared<const SparseKernelStorage>(std::move(kernel)),
+          num_threads, pool) {}
+
+SparseTransportKernel::SparseTransportKernel(
+    std::shared_ptr<const SparseKernelStorage> storage, size_t num_threads,
+    ThreadPool* pool)
+    : storage_(std::move(storage)),
       threads_(ResolveThreadCount(num_threads)),
-      pool_(pool),
-      csc_(kernel_) {}
+      pool_(pool) {}
 
 SparseTransportKernel SparseTransportKernel::FromCost(const Matrix& cost,
                                                       double epsilon,
@@ -186,12 +197,12 @@ SparseTransportKernel SparseTransportKernel::FromCost(const CostProvider& cost,
 }
 
 void SparseTransportKernel::Apply(const Vector& v, Vector& y) const {
-  const size_t m = kernel_.rows();
-  assert(v.size() == kernel_.cols());
+  const size_t m = kern().rows();
+  assert(v.size() == kern().cols());
   if (y.size() != m) y = Vector(m);
-  const auto& row_ptr = kernel_.row_ptr();
-  const size_t* cols = kernel_.col_index().data();
-  const double* values = kernel_.values().data();
+  const auto& row_ptr = kern().row_ptr();
+  const size_t* cols = kern().col_index().data();
+  const double* values = kern().values().data();
   const double* vdata = v.begin();
   ParallelFor(
       m, threads_,
@@ -202,15 +213,15 @@ void SparseTransportKernel::Apply(const Vector& v, Vector& y) const {
                                  row_ptr[r + 1] - k0);
         }
       },
-      GrainForWork(kernel_.nnz() / (m == 0 ? 1 : m)), pool_);
+      GrainForWork(kern().nnz() / (m == 0 ? 1 : m)), pool_);
 }
 
 void SparseTransportKernel::ApplyTranspose(const Vector& u, Vector& y) const {
-  const size_t n = kernel_.cols();
-  assert(u.size() == kernel_.rows());
+  const size_t n = kern().cols();
+  assert(u.size() == kern().rows());
   if (y.size() != n) y = Vector(n);
-  const double* csc_values = csc_.values.data();
-  const size_t* rows = csc_.row_index.data();
+  const double* csc_values = csc().values.data();
+  const size_t* rows = csc().row_index.data();
   const double* udata = u.begin();
   // Gather over the CSC mirror: each output y[c] is owned by one worker
   // and accumulates its column's entries in strictly ascending-row order
@@ -221,23 +232,23 @@ void SparseTransportKernel::ApplyTranspose(const Vector& u, Vector& y) const {
       n, threads_,
       [&](size_t c0, size_t c1) {
         for (size_t c = c0; c < c1; ++c) {
-          const size_t k0 = csc_.col_ptr[c];
+          const size_t k0 = csc().col_ptr[c];
           y[c] = simd::GatherDotSequential(csc_values + k0, rows + k0, udata,
-                                           csc_.col_ptr[c + 1] - k0);
+                                           csc().col_ptr[c + 1] - k0);
         }
       },
-      GrainForWork(kernel_.nnz() / (n == 0 ? 1 : n)), pool_);
+      GrainForWork(kern().nnz() / (n == 0 ? 1 : n)), pool_);
 }
 
 Matrix SparseTransportKernel::ScaleToPlan(const Vector& u,
                                           const Vector& v) const {
-  const size_t m = kernel_.rows();
-  const size_t n = kernel_.cols();
+  const size_t m = kern().rows();
+  const size_t n = kern().cols();
   assert(u.size() == m && v.size() == n);
   Matrix plan(m, n, 0.0);
-  const auto& row_ptr = kernel_.row_ptr();
-  const auto& col_index = kernel_.col_index();
-  const auto& values = kernel_.values();
+  const auto& row_ptr = kern().row_ptr();
+  const auto& col_index = kern().col_index();
+  const auto& values = kern().values();
   ParallelFor(
       m, threads_,
       [&](size_t r0, size_t r1) {
@@ -248,20 +259,20 @@ Matrix SparseTransportKernel::ScaleToPlan(const Vector& u,
           }
         }
       },
-      GrainForWork(kernel_.nnz() / (m == 0 ? 1 : m)), pool_);
+      GrainForWork(kern().nnz() / (m == 0 ? 1 : m)), pool_);
   return plan;
 }
 
 SparseMatrix SparseTransportKernel::ScaleToPlanSparse(const Vector& u,
                                                       const Vector& v) const {
-  assert(u.size() == kernel_.rows() && v.size() == kernel_.cols());
-  SparseMatrix plan = kernel_;
-  const auto& row_ptr = kernel_.row_ptr();
-  const size_t* cols = kernel_.col_index().data();
-  const double* values = kernel_.values().data();
+  assert(u.size() == kern().rows() && v.size() == kern().cols());
+  SparseMatrix plan = kern();
+  const auto& row_ptr = kern().row_ptr();
+  const size_t* cols = kern().col_index().data();
+  const double* values = kern().values().data();
   const double* vdata = v.begin();
   double* out = plan.values().data();
-  const size_t m = kernel_.rows();
+  const size_t m = kern().rows();
   ParallelFor(
       m, threads_,
       [&](size_t r0, size_t r1) {
@@ -271,17 +282,17 @@ SparseMatrix SparseTransportKernel::ScaleToPlanSparse(const Vector& u,
                                      out + k0, row_ptr[r + 1] - k0);
         }
       },
-      GrainForWork(kernel_.nnz() / (m == 0 ? 1 : m)), pool_);
+      GrainForWork(kern().nnz() / (m == 0 ? 1 : m)), pool_);
   return plan;
 }
 
 std::vector<double> SparseTransportKernel::GatherSupportCosts(
     const CostProvider& cost) const {
-  assert(cost.rows() == kernel_.rows() && cost.cols() == kernel_.cols());
-  const auto& row_ptr = kernel_.row_ptr();
-  const size_t* cols = kernel_.col_index().data();
-  std::vector<double> out(kernel_.nnz());
-  for (size_t r = 0; r < kernel_.rows(); ++r) {
+  assert(cost.rows() == kern().rows() && cost.cols() == kern().cols());
+  const auto& row_ptr = kern().row_ptr();
+  const size_t* cols = kern().col_index().data();
+  std::vector<double> out(kern().nnz());
+  for (size_t r = 0; r < kern().rows(); ++r) {
     const size_t k0 = row_ptr[r];
     cost.Gather(r, cols + k0, row_ptr[r + 1] - k0, out.data() + k0);
   }
@@ -291,12 +302,12 @@ std::vector<double> SparseTransportKernel::GatherSupportCosts(
 double SparseTransportKernel::SupportTransportCost(
     const std::vector<double>& support_costs, const Vector& u,
     const Vector& v) const {
-  const size_t m = kernel_.rows();
-  assert(support_costs.size() == kernel_.nnz());
-  assert(u.size() == m && v.size() == kernel_.cols());
-  const auto& row_ptr = kernel_.row_ptr();
-  const size_t* cols = kernel_.col_index().data();
-  const double* values = kernel_.values().data();
+  const size_t m = kern().rows();
+  assert(support_costs.size() == kern().nnz());
+  assert(u.size() == m && v.size() == kern().cols());
+  const auto& row_ptr = kern().row_ptr();
+  const size_t* cols = kern().col_index().data();
+  const double* values = kern().values().data();
   const double* costs = support_costs.data();
   const double* vdata = v.begin();
   return BlockedReduce(
@@ -318,12 +329,12 @@ double SparseTransportKernel::SupportTransportCost(
 double SparseTransportKernel::TransportCost(const CostProvider& cost,
                                             const Vector& u,
                                             const Vector& v) const {
-  const size_t m = kernel_.rows();
-  assert(cost.rows() == m && cost.cols() == kernel_.cols());
-  assert(u.size() == m && v.size() == kernel_.cols());
-  const auto& row_ptr = kernel_.row_ptr();
-  const size_t* cols = kernel_.col_index().data();
-  const double* values = kernel_.values().data();
+  const size_t m = kern().rows();
+  assert(cost.rows() == m && cost.cols() == kern().cols());
+  assert(u.size() == m && v.size() == kern().cols());
+  const auto& row_ptr = kern().row_ptr();
+  const size_t* cols = kern().col_index().data();
+  const double* values = kern().values().data();
   const double* vdata = v.begin();
   // O(nnz) cost evaluations: the provider is asked only for the kernel's
   // support. Each reduction block owns a max-row-nnz scratch for the
@@ -331,7 +342,7 @@ double SparseTransportKernel::TransportCost(const CostProvider& cost,
   return BlockedReduce(
       m, threads_,
       [&](size_t r0, size_t r1) {
-        std::vector<double> crow(csc_.max_row_nnz);
+        std::vector<double> crow(csc().max_row_nnz);
         double s = 0.0;
         for (size_t r = r0; r < r1; ++r) {
           const double ur = u[r];

@@ -2,6 +2,7 @@
 #define OTCLEAN_LINALG_TRANSPORT_KERNEL_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "linalg/cost_provider.h"
@@ -73,10 +74,20 @@ class TransportKernel {
 };
 
 /// Dense row-major kernel storage.
+///
+/// The kernel matrix is held through a shared_ptr, so several kernel
+/// objects (possibly with different thread counts / pools) can view one
+/// immutable built storage — the mechanism core::SolveCache uses to share
+/// a repeated (cost, ε) kernel across jobs without rebuilding it.
 class DenseTransportKernel final : public TransportKernel {
  public:
   /// Wraps an already-built kernel matrix (e.g. cost.GibbsKernel(eps)).
   explicit DenseTransportKernel(Matrix kernel, size_t num_threads = 0,
+                                ThreadPool* pool = nullptr);
+
+  /// Shares an immutable storage built elsewhere (no copy, no rebuild).
+  explicit DenseTransportKernel(std::shared_ptr<const Matrix> kernel,
+                                size_t num_threads = 0,
                                 ThreadPool* pool = nullptr);
 
   /// Builds K = e^{−C/ε} from a cost matrix.
@@ -84,9 +95,9 @@ class DenseTransportKernel final : public TransportKernel {
                                        size_t num_threads = 0,
                                        ThreadPool* pool = nullptr);
 
-  size_t rows() const override { return kernel_.rows(); }
-  size_t cols() const override { return kernel_.cols(); }
-  size_t nnz() const override { return kernel_.size(); }
+  size_t rows() const override { return kernel_->rows(); }
+  size_t cols() const override { return kernel_->cols(); }
+  size_t nnz() const override { return kernel_->size(); }
   size_t num_threads() const override { return threads_; }
 
   void Apply(const Vector& v, Vector& y) const override;
@@ -96,10 +107,14 @@ class DenseTransportKernel final : public TransportKernel {
   double TransportCost(const CostProvider& cost, const Vector& u,
                        const Vector& v) const override;
 
-  const Matrix& kernel() const { return kernel_; }
+  const Matrix& kernel() const { return *kernel_; }
+  /// The underlying storage handle, for sharing (core::SolveCache).
+  const std::shared_ptr<const Matrix>& shared_kernel() const {
+    return kernel_;
+  }
 
  private:
-  Matrix kernel_;
+  std::shared_ptr<const Matrix> kernel_;
   size_t threads_;
   ThreadPool* pool_;
 };
@@ -121,6 +136,31 @@ struct CscMirror {
   /// Longest stored CSR row — sizes the per-block scratch of primitives
   /// that gather one row's worth of streamed data.
   size_t max_row_nnz = 0;
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const {
+    return col_ptr.size() * sizeof(size_t) +
+           row_index.size() * sizeof(size_t) + values.size() * sizeof(double);
+  }
+};
+
+/// An immutable built CSR kernel bundled with its CSC mirror — everything
+/// a sparse kernel object needs beyond threading config. Held through
+/// shared_ptr so many kernel objects (and core::SolveCache) can view one
+/// storage: a repeated (cost, ε, truncation) never re-streams costs or
+/// rebuilds the mirror. The linear and log-domain sparse kernels use the
+/// same struct (the matrix holds K or L respectively).
+struct SparseKernelStorage {
+  explicit SparseKernelStorage(SparseMatrix m)
+      : matrix(std::move(m)), csc(matrix) {}
+
+  SparseMatrix matrix;
+  CscMirror csc;
+
+  /// Approximate heap footprint (CSR + mirror).
+  size_t MemoryBytes() const {
+    return matrix.MemoryBytes() + csc.MemoryBytes();
+  }
 };
 
 /// CSR-sparse kernel storage for truncated Gibbs kernels (Section 6.5).
@@ -131,6 +171,12 @@ class SparseTransportKernel final : public TransportKernel {
  public:
   explicit SparseTransportKernel(SparseMatrix kernel, size_t num_threads = 0,
                                  ThreadPool* pool = nullptr);
+
+  /// Shares an immutable storage built elsewhere (no copy, no rebuild —
+  /// the CSC mirror comes along for free).
+  explicit SparseTransportKernel(
+      std::shared_ptr<const SparseKernelStorage> storage,
+      size_t num_threads = 0, ThreadPool* pool = nullptr);
 
   /// Builds the truncated kernel: entries of e^{−C/ε} below `cutoff` are
   /// dropped. Cutoff 0 keeps every entry and matches the dense kernel
@@ -147,9 +193,9 @@ class SparseTransportKernel final : public TransportKernel {
                                         size_t num_threads = 0,
                                         ThreadPool* pool = nullptr);
 
-  size_t rows() const override { return kernel_.rows(); }
-  size_t cols() const override { return kernel_.cols(); }
-  size_t nnz() const override { return kernel_.nnz(); }
+  size_t rows() const override { return kern().rows(); }
+  size_t cols() const override { return kern().cols(); }
+  size_t nnz() const override { return kern().nnz(); }
   size_t num_threads() const override { return threads_; }
 
   void Apply(const Vector& v, Vector& y) const override;
@@ -174,13 +220,19 @@ class SparseTransportKernel final : public TransportKernel {
   double SupportTransportCost(const std::vector<double>& support_costs,
                               const Vector& u, const Vector& v) const;
 
-  const SparseMatrix& kernel() const { return kernel_; }
+  const SparseMatrix& kernel() const { return kern(); }
+  /// The underlying storage handle, for sharing (core::SolveCache).
+  const std::shared_ptr<const SparseKernelStorage>& shared_storage() const {
+    return storage_;
+  }
 
  private:
-  SparseMatrix kernel_;
+  const SparseMatrix& kern() const { return storage_->matrix; }
+  const CscMirror& csc() const { return storage_->csc; }
+
+  std::shared_ptr<const SparseKernelStorage> storage_;
   size_t threads_;
   ThreadPool* pool_;
-  CscMirror csc_;
 };
 
 }  // namespace otclean::linalg

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/hash.h"
+
 namespace otclean::ot {
 
 double EuclideanCost::Cost(const std::vector<int>& a,
@@ -94,6 +96,53 @@ double WeightedEuclideanCost::Cost(const std::vector<int>& a,
     s += d * d;
   }
   return std::sqrt(s);
+}
+
+namespace {
+
+// Every fingerprint starts from a distinct per-class tag so two classes
+// that happen to share parameter bytes (e.g. both parameterless) never
+// collide, and is coerced away from 0 — 0 is the "unfingerprintable"
+// sentinel that disables caching.
+uint64_t FinishFingerprint(uint64_t h) { return h == 0 ? 1 : h; }
+
+uint64_t TagFingerprint(uint64_t tag) {
+  return FinishFingerprint(HashMix(kHashSeed, tag));
+}
+
+uint64_t VectorFingerprint(uint64_t tag, const std::vector<double>& v) {
+  uint64_t h = HashMix(kHashSeed, tag);
+  h = HashMix(h, v.size());
+  for (double x : v) h = HashMixDouble(h, x);
+  return FinishFingerprint(h);
+}
+
+}  // namespace
+
+uint64_t EuclideanCost::Fingerprint() const {
+  return VectorFingerprint(0xE001, inv_scales_);
+}
+
+uint64_t HammingCost::Fingerprint() const { return TagFingerprint(0xE002); }
+
+uint64_t CosineCost::Fingerprint() const { return TagFingerprint(0xE003); }
+
+uint64_t CorrelationCost::Fingerprint() const {
+  return TagFingerprint(0xE004);
+}
+
+uint64_t FairnessCost::Fingerprint() const {
+  uint64_t h = HashMix(kHashSeed, 0xE005);
+  h = HashMix(h, frozen_.size());
+  for (size_t i = 0; i < frozen_.size(); ++i) {
+    if (frozen_[i]) h = HashMix(h, i + 1);
+  }
+  h = HashMixDouble(h, frozen_penalty_);
+  return FinishFingerprint(h);
+}
+
+uint64_t WeightedEuclideanCost::Fingerprint() const {
+  return VectorFingerprint(0xE006, weights_);
 }
 
 namespace {

@@ -1,6 +1,7 @@
 #ifndef OTCLEAN_OT_COST_H_
 #define OTCLEAN_OT_COST_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -22,6 +23,15 @@ class CostFunction {
   /// same domain).
   virtual double Cost(const std::vector<int>& a,
                       const std::vector<int>& b) const = 0;
+
+  /// Stable content fingerprint of this cost's *parameters*: two instances
+  /// that compute the same c(v, v′) return the same value, and materially
+  /// different parameterizations differ. The cross-request solve cache
+  /// (core::SolveCache) keys built kernels on it. 0 means
+  /// "unfingerprintable" and disables caching for solves using this cost —
+  /// the default, so an arbitrary user cost (LambdaCost) is never wrongly
+  /// shared between jobs.
+  virtual uint64_t Fingerprint() const { return 0; }
 };
 
 /// Euclidean distance over integer codes with per-attribute scale weights
@@ -39,6 +49,7 @@ class EuclideanCost : public CostFunction {
 
   double Cost(const std::vector<int>& a,
               const std::vector<int>& b) const override;
+  uint64_t Fingerprint() const override;
 
  private:
   std::vector<double> inv_scales_;
@@ -50,6 +61,7 @@ class HammingCost : public CostFunction {
  public:
   double Cost(const std::vector<int>& a,
               const std::vector<int>& b) const override;
+  uint64_t Fingerprint() const override;
 };
 
 /// 1 − cosine similarity of the code vectors (used in Fig. 12 for Boston).
@@ -57,6 +69,7 @@ class CosineCost : public CostFunction {
  public:
   double Cost(const std::vector<int>& a,
               const std::vector<int>& b) const override;
+  uint64_t Fingerprint() const override;
 };
 
 /// 1 − Pearson correlation across attributes (used in Fig. 12 for Car).
@@ -64,6 +77,7 @@ class CorrelationCost : public CostFunction {
  public:
   double Cost(const std::vector<int>& a,
               const std::vector<int>& b) const override;
+  uint64_t Fingerprint() const override;
 };
 
 /// Wraps an arbitrary callable as a cost function.
@@ -92,6 +106,7 @@ class FairnessCost : public CostFunction {
 
   double Cost(const std::vector<int>& a,
               const std::vector<int>& b) const override;
+  uint64_t Fingerprint() const override;
 
  private:
   std::vector<bool> frozen_;
@@ -107,6 +122,7 @@ class WeightedEuclideanCost : public CostFunction {
 
   double Cost(const std::vector<int>& a,
               const std::vector<int>& b) const override;
+  uint64_t Fingerprint() const override;
 
  private:
   std::vector<double> weights_;

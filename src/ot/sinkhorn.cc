@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "core/solve_cache.h"
 #include "linalg/parallel_for.h"
 #include "linalg/thread_pool.h"
 
@@ -195,6 +196,70 @@ Status ValidateFiniteCosts(const char* where,
 
 namespace {
 
+/// Per-solve view of the cross-request cache: resolves the key once,
+/// no-ops throughout when the cache is absent or the fingerprint is 0.
+/// One instance serves all four kernel-building paths (dense/sparse ×
+/// linear/log) — the key's log_domain/sparse flags come from the options
+/// and cutoff.
+struct CacheSession {
+  core::SolveCache* cache = nullptr;
+  core::SolveCacheKey key;
+  std::optional<core::CachedWarmStart> stored;
+  bool warm_used = false;
+  bool use_warm_store = false;
+
+  CacheSession(const SinkhornOptions& options, size_t rows, size_t cols,
+               double cutoff) {
+    if (options.solve_cache == nullptr) return;
+    key = core::MakeSolveCacheKey(options.cache_cost_fingerprint, rows, cols,
+                                  options.epsilon, cutoff,
+                                  options.log_domain);
+    if (!key.valid()) return;
+    cache = options.solve_cache;
+    use_warm_store = options.cache_warm_start;
+  }
+
+  bool active() const { return cache != nullptr; }
+
+  std::optional<core::CachedKernel> Find() {
+    return active() ? cache->FindKernel(key) : std::nullopt;
+  }
+
+  void Publish(core::CachedKernel built) {
+    if (active()) cache->InsertKernel(key, std::move(built));
+  }
+
+  /// Redirects null warm pointers at the stored potentials (caller's
+  /// explicit warm vectors always win; stored sizes must match exactly —
+  /// else cold-start fallback).
+  void MaybeWarm(const linalg::Vector*& warm_u,
+                 const linalg::Vector*& warm_v) {
+    if (!active() || !use_warm_store) return;
+    if (warm_u != nullptr || warm_v != nullptr) return;
+    stored = cache->FindWarmStart(key);
+    if (!stored) return;
+    if (stored->u.size() != key.rows || stored->v.size() != key.cols) {
+      stored.reset();
+      return;
+    }
+    warm_u = &stored->u;
+    warm_v = &stored->v;
+    warm_used = true;
+  }
+
+  /// Persists converged potentials and credits iteration savings against
+  /// the key's cold baseline. Diverged runs store nothing — their
+  /// potentials would poison later warm starts.
+  void Finish(const linalg::Vector& u, const linalg::Vector& v,
+              size_t iterations, bool converged) {
+    if (!active() || !use_warm_store || !converged) return;
+    cache->StoreWarmStart(key, u, v, iterations);
+    if (warm_used && stored->cold_iterations > iterations) {
+      cache->RecordWarmSavings(stored->cold_iterations - iterations);
+    }
+  }
+};
+
 /// Lifts linear-domain warm-start scalings into log-potentials when
 /// present (the public RunSinkhorn/RunSinkhornSparse APIs speak linear u/v
 /// even in log-domain mode, so warm starts round-trip between domains).
@@ -226,9 +291,22 @@ Result<SinkhornResult> RunSinkhornLogDomain(const linalg::Matrix& cost,
                                             const linalg::Vector* warm_u,
                                             const linalg::Vector* warm_v,
                                             linalg::ThreadPool* pool) {
+  CacheSession session(options, cost.rows(), cost.cols(), /*cutoff=*/0.0);
+  session.MaybeWarm(warm_u, warm_v);
+  std::shared_ptr<const linalg::Matrix> shared;
+  if (auto hit = session.Find()) shared = hit->dense;
+  const bool kernel_hit = shared != nullptr;
   const linalg::DenseLogTransportKernel kernel =
-      linalg::DenseLogTransportKernel::FromCost(cost, options.epsilon,
-                                                options.num_threads, pool);
+      kernel_hit
+          ? linalg::DenseLogTransportKernel(std::move(shared),
+                                            options.num_threads, pool)
+          : linalg::DenseLogTransportKernel::FromCost(
+                cost, options.epsilon, options.num_threads, pool);
+  if (!kernel_hit) {
+    core::CachedKernel built;
+    built.dense = kernel.shared_log_kernel();
+    session.Publish(std::move(built));
+  }
   std::optional<linalg::Vector> warm_lu, warm_lv;
   WarmLogPotentials(warm_u, cost.rows(), warm_lu);
   WarmLogPotentials(warm_v, cost.cols(), warm_lv);
@@ -247,6 +325,7 @@ Result<SinkhornResult> RunSinkhornLogDomain(const linalg::Matrix& cost,
   ExpPotentials(scaling.lv, result.v);
   result.iterations = scaling.iterations;
   result.converged = scaling.converged;
+  session.Finish(result.u, result.v, result.iterations, result.converged);
   return result;
 }
 
@@ -391,9 +470,21 @@ Result<SinkhornResult> RunSinkhorn(const linalg::Matrix& cost,
     return RunSinkhornLogDomain(cost, p, q, options, warm_u, warm_v, pool);
   }
 
+  CacheSession session(options, cost.rows(), cost.cols(), /*cutoff=*/0.0);
+  session.MaybeWarm(warm_u, warm_v);
+  std::shared_ptr<const linalg::Matrix> shared;
+  if (auto hit = session.Find()) shared = hit->dense;
+  const bool kernel_hit = shared != nullptr;
   const linalg::DenseTransportKernel kernel =
-      linalg::DenseTransportKernel::FromCost(cost, options.epsilon,
-                                             options.num_threads, pool);
+      kernel_hit ? linalg::DenseTransportKernel(std::move(shared),
+                                                options.num_threads, pool)
+                 : linalg::DenseTransportKernel::FromCost(
+                       cost, options.epsilon, options.num_threads, pool);
+  if (!kernel_hit) {
+    core::CachedKernel built;
+    built.dense = kernel.shared_kernel();
+    session.Publish(std::move(built));
+  }
   OTCLEAN_ASSIGN_OR_RETURN(
       SinkhornScaling scaling,
       RunSinkhornScaling(kernel, p, q, options, warm_u, warm_v));
@@ -405,6 +496,7 @@ Result<SinkhornResult> RunSinkhorn(const linalg::Matrix& cost,
   result.v = std::move(scaling.v);
   result.iterations = scaling.iterations;
   result.converged = scaling.converged;
+  session.Finish(result.u, result.v, result.iterations, result.converged);
   return result;
 }
 
@@ -479,11 +571,26 @@ Result<SparseSinkhornResult> RunSinkhornSparse(
   // same for both.
   const linalg::Vector* q_check = options.relaxed ? nullptr : &q;
 
+  CacheSession session(options, cost.rows(), cost.cols(), kernel_cutoff);
+  session.MaybeWarm(warm_u, warm_v);
+
   if (options.log_domain) {
+    std::shared_ptr<const linalg::SparseKernelStorage> shared;
+    if (auto hit = session.Find()) shared = hit->sparse;
+    const bool kernel_hit = shared != nullptr;
     const linalg::SparseLogTransportKernel kernel =
-        linalg::SparseLogTransportKernel::FromCost(cost, options.epsilon,
-                                                   kernel_cutoff,
-                                                   options.num_threads, pool);
+        kernel_hit
+            ? linalg::SparseLogTransportKernel(std::move(shared),
+                                               options.num_threads, pool)
+            : linalg::SparseLogTransportKernel::FromCost(
+                  cost, options.epsilon, kernel_cutoff, options.num_threads,
+                  pool);
+    if (!kernel_hit) {
+      core::CachedKernel built;
+      built.sparse = kernel.shared_storage();
+      session.Publish(std::move(built));
+    }
+    // Support depends on p/q, not just the kernel — re-check on hits too.
     if (Status s = CheckTruncatedKernelSupport(kernel.log_kernel(), &p,
                                                q_check, "RunSinkhornSparse");
         !s.ok()) {
@@ -505,13 +612,24 @@ Result<SparseSinkhornResult> RunSinkhornSparse(
     ExpPotentials(scaling.lv, result.v);
     result.iterations = scaling.iterations;
     result.converged = scaling.converged;
+    session.Finish(result.u, result.v, result.iterations, result.converged);
     return result;
   }
 
+  std::shared_ptr<const linalg::SparseKernelStorage> shared;
+  if (auto hit = session.Find()) shared = hit->sparse;
+  const bool kernel_hit = shared != nullptr;
   const linalg::SparseTransportKernel kernel =
-      linalg::SparseTransportKernel::FromCost(cost, options.epsilon,
-                                              kernel_cutoff,
-                                              options.num_threads, pool);
+      kernel_hit ? linalg::SparseTransportKernel(std::move(shared),
+                                                 options.num_threads, pool)
+                 : linalg::SparseTransportKernel::FromCost(
+                       cost, options.epsilon, kernel_cutoff,
+                       options.num_threads, pool);
+  if (!kernel_hit) {
+    core::CachedKernel built;
+    built.sparse = kernel.shared_storage();
+    session.Publish(std::move(built));
+  }
   if (Status s = CheckTruncatedKernelSupport(kernel.kernel(), &p, q_check,
                                              "RunSinkhornSparse");
       !s.ok()) {
@@ -528,6 +646,7 @@ Result<SparseSinkhornResult> RunSinkhornSparse(
   result.v = std::move(scaling.v);
   result.iterations = scaling.iterations;
   result.converged = scaling.converged;
+  session.Finish(result.u, result.v, result.iterations, result.converged);
   return result;
 }
 

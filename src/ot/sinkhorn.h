@@ -1,12 +1,18 @@
 #ifndef OTCLEAN_OT_SINKHORN_H_
 #define OTCLEAN_OT_SINKHORN_H_
 
+#include <cstdint>
+
 #include "common/result.h"
 #include "linalg/log_transport_kernel.h"
 #include "linalg/matrix.h"
 #include "linalg/sparse_matrix.h"
 #include "linalg/transport_kernel.h"
 #include "linalg/vector.h"
+
+namespace otclean::core {
+class SolveCache;
+}  // namespace otclean::core
 
 namespace otclean::ot {
 
@@ -59,6 +65,32 @@ struct SinkhornOptions {
   /// it — there the pool binds at kernel construction, so pass it to the
   /// TransportKernel constructor instead.
   linalg::ThreadPool* thread_pool = nullptr;
+  /// Optional cross-request solve cache (core/solve_cache.h). When set
+  /// together with a nonzero `cache_cost_fingerprint`, the solver reuses
+  /// a previously built Gibbs kernel for the same (fingerprint, dims, ε,
+  /// cutoff, domain, SIMD tier) — bit-identical to rebuilding, since the
+  /// hit hands back the very storage the miss built — and publishes the
+  /// kernel it builds on a miss. Borrowed; must outlive the solve.
+  /// Honored by RunSinkhorn / RunSinkhornSparse (the kernel-building
+  /// entry points); RunSinkhorn(Log)Scaling takes a prebuilt kernel and
+  /// ignores it.
+  core::SolveCache* solve_cache = nullptr;
+  /// Stable content identity of this solve's cost argument — e.g.
+  /// CostFunction::Fingerprint() mixed (common/hash.h) with the identity
+  /// of whatever produced the matrix from it (domain shape, active
+  /// cells). 0 — the default — means "unfingerprintable" and bypasses
+  /// the cache entirely. The caller owns correctness here: the
+  /// fingerprint must cover everything the cost *values* depend on, or
+  /// different costs alias one kernel.
+  uint64_t cache_cost_fingerprint = 0;
+  /// Also fetch/store converged potentials under the same cache key —
+  /// the paper's Section-5 warm start applied *across* solves. Off by
+  /// default and deliberately opt-in: a warm-started run converges to
+  /// the same tolerance but is not bit-identical to a cold one, and
+  /// which solve seeds the store depends on arrival order. Explicit
+  /// warm_u/warm_v arguments always take precedence over the store;
+  /// stored potentials whose sizes mismatch fall back to a cold start.
+  bool cache_warm_start = false;
 };
 
 /// Output of a Sinkhorn run.

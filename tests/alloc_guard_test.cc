@@ -20,6 +20,7 @@
 
 #include "common/random.h"
 #include "core/fast_otclean.h"
+#include "core/solve_cache.h"
 #include "prob/domain.h"
 #include "prob/joint.h"
 
@@ -175,6 +176,64 @@ TEST(AllocGuardTest, TruncatedLogDomainSolveNeverAllocatesRowsTimesCols) {
   EXPECT_EQ(dense_scale_allocs, 0u);
   EXPECT_LT(max_alloc, dense_bytes);
   EXPECT_LT(max_alloc, dense_bytes / 8);
+}
+
+TEST(AllocGuardTest, CachedSolveSkipsKernelConstructionAllocations) {
+  // The solve-cache acceptance assertion: a second, identical truncated
+  // solve through a shared SolveCache adopts the cached kernel storages
+  // (CSR arrays, CSC mirror, gathered support costs) instead of rebuilding
+  // them, so its nnz-scale allocations collapse to plan materialization
+  // alone — a handful of arrays — while the cold run is seen making
+  // strictly more (kernel build + mirror + support costs + plan).
+  const Problem problem(2024);
+  SolveCache cache;
+  // A milder cutoff than the tests above: it must keep enough entries that
+  // nnz-scale dwarfs every O(cols) vector (cutoff 1e-8 keeps costs up to
+  // ε·ln(1e8) ≈ 2.2, several neighbors per row), while still truncating.
+  FastOtCleanOptions options = problem.Options(/*truncation=*/1e-8);
+  options.solve_cache = &cache;
+
+  // Probe run (untracked, cache-less) to learn the kernel's nnz — the
+  // allocation scale the cached run must stay out of.
+  size_t kernel_nnz = 0;
+  {
+    Rng rng(7);
+    const auto probe = FastOtClean(problem.p_data, problem.ci, problem.cost,
+                                   problem.Options(/*truncation=*/1e-8), rng);
+    ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+    kernel_nnz = probe->kernel_nnz;
+  }
+  ASSERT_GT(kernel_nnz, problem.dom.TotalSize());  // dwarfs O(cols) vectors
+  ASSERT_LT(kernel_nnz, problem.active_rows * problem.dom.TotalSize());
+  const size_t nnz_bytes = kernel_nnz * sizeof(double);
+
+  size_t cold_allocs = 0;
+  {
+    Rng rng(7);
+    TrackingScope scope(nnz_bytes);
+    const auto cold =
+        FastOtClean(problem.p_data, problem.ci, problem.cost, options, rng);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    EXPECT_EQ(cold->cache_kernel_misses, 1u);
+    cold_allocs = scope.dense_scale_allocs();
+  }
+  ASSERT_GT(cold_allocs, 0u);  // the instrument sees the kernel build
+
+  size_t hot_allocs = 0;
+  {
+    Rng rng(7);
+    TrackingScope scope(nnz_bytes);
+    const auto hot =
+        FastOtClean(problem.p_data, problem.ci, problem.cost, options, rng);
+    ASSERT_TRUE(hot.ok()) << hot.status().ToString();
+    EXPECT_EQ(hot->cache_kernel_hits, 1u);
+    hot_allocs = scope.dense_scale_allocs();
+  }
+  // Zero kernel-construction allocations: what remains is the plan's own
+  // CSR storage (values + column indices + a row-pointer array), nothing
+  // growing with the kernel build.
+  EXPECT_LT(hot_allocs, cold_allocs);
+  EXPECT_LE(hot_allocs, 4u);
 }
 
 TEST(AllocGuardTest, DenseSolveTripsTheInstrument) {

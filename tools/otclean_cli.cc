@@ -40,6 +40,15 @@
 //   --jobs N               concurrent repair jobs (default 0 = all cores).
 //                          All jobs share ONE kernel thread pool; per-job
 //                          results are bit-identical to --jobs 1.
+//   --cache-bytes N        byte budget of the batch's shared solve cache
+//                          (default 256 MiB): jobs repeating a (cost, ε,
+//                          truncation) share one built kernel —
+//                          bit-identical to rebuilding it per job.
+//   --no-cache             run the batch cache-less.
+//   --cache-warm           also warm-start repeated solves from cached
+//                          potentials (fewer Sinkhorn iterations at equal
+//                          tolerance, but results are no longer
+//                          bit-identical run to run — see README).
 //
 // In batch mode each job's RepairOptions::seed is derived from seed= mixed
 // with the job's 0-based position among the manifest's JOBS — comment and
@@ -47,6 +56,7 @@
 // reproducible end to end and independent of completion order.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -68,6 +78,8 @@ struct CliArgs {
   bool map_repair = false;
   bool report = false;
   bool log_domain = false;
+  bool no_cache = false;
+  bool cache_warm = false;
 };
 
 CliArgs ParseArgs(int argc, char** argv) {
@@ -80,6 +92,10 @@ CliArgs ParseArgs(int argc, char** argv) {
       args.log_domain = true;
     } else if (a == "--report") {
       args.report = true;
+    } else if (a == "--no-cache") {
+      args.no_cache = true;
+    } else if (a == "--cache-warm") {
+      args.cache_warm = true;
     } else if (a.rfind("--", 0) == 0 && i + 1 < argc) {
       args.named[a.substr(2)] = argv[++i];
     }
@@ -207,6 +223,29 @@ void PrintReport(const core::CiConstraint& constraint,
                report.plan_sparse ? "sparse (CSR)" : "dense", report.plan_nnz,
                static_cast<double>(report.plan_memory_bytes) / 1024.0,
                kernel_note.c_str(), report.sinkhorn_domain, report.simd_isa);
+  if (report.cache_kernel_hits + report.cache_kernel_misses > 0) {
+    std::string warm_note;
+    if (report.cache_warm_started) {
+      warm_note = ", warm-started (saved " +
+                  std::to_string(report.cache_warm_iterations_saved) +
+                  " sinkhorn iterations)";
+    }
+    std::fprintf(stderr, "  solve cache: kernel %s%s\n",
+                 report.cache_kernel_hits > 0 ? "hit" : "miss",
+                 warm_note.c_str());
+  }
+}
+
+/// Canonicalizes a manifest input path so spellings like ./a.csv and
+/// a.csv dedupe to one table-cache slot. A path realpath cannot resolve
+/// (missing file) falls back to its raw spelling — ReadCsv will report
+/// the real error.
+std::string CanonicalPath(const std::string& path) {
+  char* resolved = ::realpath(path.c_str(), nullptr);
+  if (resolved == nullptr) return path;
+  std::string out(resolved);
+  std::free(resolved);
+  return out;
 }
 
 // ------------------------------------------------------------ batch mode --
@@ -221,9 +260,26 @@ int RunBatch(const CliArgs& args, const std::string& manifest_path) {
   std::ifstream manifest(manifest_path);
   if (!manifest) return Fail("cannot open --batch manifest " + manifest_path);
 
-  // Tables are cached by path: many jobs over one dataset load it once and
-  // share the in-memory table (jobs never mutate their input).
+  size_t cache_bytes = 256ull << 20;  // default: 256 MiB shared solve cache
+  if (args.no_cache) {
+    if (args.named.count("cache-bytes")) {
+      return Fail("--no-cache and --cache-bytes are mutually exclusive");
+    }
+    if (args.cache_warm) {
+      return Fail("--cache-warm needs the cache; drop --no-cache");
+    }
+    cache_bytes = 0;
+  } else if (args.named.count("cache-bytes")) {
+    auto n = ParseInt(args.named.at("cache-bytes"));
+    if (!n.ok() || *n <= 0) return Fail("bad --cache-bytes");
+    cache_bytes = static_cast<size_t>(*n);
+  }
+
+  // Tables are cached by canonical path: many jobs over one dataset load
+  // it once and share the in-memory table (jobs never mutate their input),
+  // and ./a.csv vs a.csv dedupe to one slot.
   std::map<std::string, dataset::Table> tables;
+  size_t table_hits = 0, table_misses = 0;
   std::vector<core::RepairJob> jobs;
   std::vector<std::string> outputs;  ///< per job; empty = don't write.
   std::string line;
@@ -263,21 +319,28 @@ int RunBatch(const CliArgs& args, const std::string& manifest_path) {
 
     const std::string input = kv.Get("input");
     if (input.empty()) return Fail("input= is required" + at);
-    if (tables.find(input) == tables.end()) {
+    const std::string canonical = CanonicalPath(input);
+    auto table_slot = tables.find(canonical);
+    if (table_slot == tables.end()) {
+      ++table_misses;
       auto table = dataset::ReadCsv(input);
       if (!table.ok()) return Fail(table.status().ToString() + at);
-      tables.emplace(input, std::move(table).value());
+      table_slot =
+          tables.emplace(canonical, std::move(table).value()).first;
+    } else {
+      ++table_hits;
     }
 
     core::RepairJob job;
     // std::map never moves its values, so the pointer stays valid while
     // later lines grow the cache.
-    job.table = &tables.at(input);
+    job.table = &table_slot->second;
     auto constraint = BuildConstraint(kv);
     if (!constraint.ok()) return Fail(constraint.status().ToString() + at);
     auto options = BuildRepairOptions(kv, args.map_repair, args.log_domain);
     if (!options.ok()) return Fail(options.status().ToString() + at);
     job.options = std::move(options).value();
+    job.options.fast.cache_warm_start = args.cache_warm;
     job.name = kv_line.count("name") ? kv_line["name"]
                                      : constraint->ToString();
     job.constraints = {std::move(constraint).value()};
@@ -313,7 +376,17 @@ int RunBatch(const CliArgs& args, const std::string& manifest_path) {
     sched.pool_threads = static_cast<size_t>(*n);
   }
 
+  sched.cache_bytes = cache_bytes;
+
   core::RepairScheduler scheduler(sched);
+  if (core::SolveCache* cache = scheduler.shared_cache()) {
+    // Fold the table-cache traffic of the manifest parse into the shared
+    // cache's stats, so --report and the summary have one reuse ledger.
+    for (size_t i = 0; i < table_hits; ++i) cache->RecordTableLookup(true);
+    for (size_t i = 0; i < table_misses; ++i) {
+      cache->RecordTableLookup(false);
+    }
+  }
   const core::BatchReport report = scheduler.Run(jobs);
 
   bool ok = true;
@@ -347,6 +420,19 @@ int RunBatch(const CliArgs& args, const std::string& manifest_path) {
       report.jobs.size(), report.failed_jobs, report.wall_seconds,
       report.jobs_per_second, report.total_sinkhorn_iterations,
       static_cast<double>(report.peak_plan_bytes) / 1024.0);
+  if (core::SolveCache* cache = scheduler.shared_cache()) {
+    // Absolute stats, not the batch delta: this scheduler ran exactly one
+    // batch, and only Stats() includes the table lookups recorded above.
+    const core::SolveCacheStats c = cache->Stats();
+    std::printf(
+        "# cache: kernels %zu hit / %zu miss; warm starts %zu "
+        "(%zu sinkhorn iterations saved); tables %zu hit / %zu miss; "
+        "%.1f MiB cached, %zu evictions\n",
+        c.kernel_hits, c.kernel_misses, c.warm_hits,
+        c.warm_iterations_saved, c.table_hits, c.table_misses,
+        static_cast<double>(c.bytes_cached) / (1024.0 * 1024.0),
+        c.evictions);
+  }
   return ok ? 0 : 1;
 }
 
@@ -358,6 +444,13 @@ int main(int argc, char** argv) {
 
   if (const std::string manifest = kv.Get("batch"); !manifest.empty()) {
     return RunBatch(args, manifest);
+  }
+
+  if (args.no_cache || args.cache_warm || args.named.count("cache-bytes")) {
+    // Silently accepting them would imply single-job runs are cached.
+    return Fail(
+        "--cache-bytes/--no-cache/--cache-warm apply to --batch only "
+        "(a single job has nothing to share a cache with)");
   }
 
   const std::string input = kv.Get("input");
