@@ -28,6 +28,7 @@
 #include "common/timer.h"
 #include "linalg/simd.h"
 #include "linalg/transport_kernel.h"
+#include "linalg/transport_kernel_f32.h"
 
 using namespace otclean;
 
@@ -163,6 +164,14 @@ int main(int argc, char** argv) {
     const linalg::SparseTransportKernel sparse =
         linalg::SparseTransportKernel::FromCost(cost, 0.5, 0.032,
                                                 /*num_threads=*/1);
+    // f32 storage tier twins: float-held kernel values, double
+    // accumulation. Same kept-set as the f64 sparse kernel by contract.
+    const linalg::DenseTransportKernelF32 dense_f32 =
+        linalg::DenseTransportKernelF32::FromCost(cost, 0.5,
+                                                  /*num_threads=*/1);
+    const linalg::SparseTransportKernelF32 sparse_f32 =
+        linalg::SparseTransportKernelF32::FromCost(cost, 0.5, 0.032,
+                                                   /*num_threads=*/1);
 
     struct Op {
       const char* name;
@@ -182,6 +191,22 @@ int main(int argc, char** argv) {
         {"sparse_cost",
          [&](linalg::Vector& y) {
            y = linalg::Vector(1, sparse.TransportCost(cost, u, v));
+         }},
+        {"dense_apply_f32",
+         [&](linalg::Vector& y) { dense_f32.Apply(v, y); }},
+        {"dense_applyT_f32",
+         [&](linalg::Vector& y) { dense_f32.ApplyTranspose(u, y); }},
+        {"sparse_apply_f32",
+         [&](linalg::Vector& y) { sparse_f32.Apply(v, y); }},
+        {"sparse_applyT_f32",
+         [&](linalg::Vector& y) { sparse_f32.ApplyTranspose(u, y); }},
+        {"dense_cost_f32",
+         [&](linalg::Vector& y) {
+           y = linalg::Vector(1, dense_f32.TransportCost(cost, u, v));
+         }},
+        {"sparse_cost_f32",
+         [&](linalg::Vector& y) {
+           y = linalg::Vector(1, sparse_f32.TransportCost(cost, u, v));
          }},
     };
 

@@ -13,6 +13,7 @@
 #include "linalg/simd_exp.h"
 #include "linalg/thread_pool.h"
 #include "linalg/transport_kernel.h"
+#include "linalg/transport_kernel_f32.h"
 #include "nmf/kl_nmf.h"
 
 namespace otclean::core {
@@ -38,6 +39,13 @@ struct OuterLoopKernel {
   std::optional<linalg::SparseTransportKernel> sparse;
   std::optional<linalg::DenseLogTransportKernel> log_dense;
   std::optional<linalg::SparseLogTransportKernel> log_sparse;
+  /// f32 storage tier (options.precision == kFloat32): same four shapes,
+  /// float-held kernel values, double accumulation. Exactly one of the
+  /// eight is engaged.
+  std::optional<linalg::DenseTransportKernelF32> dense_f32;
+  std::optional<linalg::SparseTransportKernelF32> sparse_f32;
+  std::optional<linalg::DenseLogTransportKernelF32> log_dense_f32;
+  std::optional<linalg::SparseLogTransportKernelF32> log_sparse_f32;
   /// Sparse paths only: C gathered once at the kernel's support (O(nnz)),
   /// so the outer loop's repeated ⟨C, π⟩ evaluations never re-invoke the
   /// cost function. shared_ptr-held so the solve cache can hand one
@@ -61,10 +69,26 @@ struct OuterLoopKernel {
                   const FastOtCleanOptions& options, linalg::ThreadPool* pool,
                   SolveCache* cache, const SolveCacheKey& key) {
     const bool truncated = options.kernel_truncation > 0.0;
+    const bool f32 = options.precision == linalg::Precision::kFloat32;
     std::optional<CachedKernel> hit;
     if (cache != nullptr) hit = cache->FindKernel(key);
     if (options.log_domain && truncated) {
-      if (hit && hit->sparse) {
+      if (f32) {
+        if (hit && hit->sparse_f32) {
+          kernel_hit = true;
+          log_sparse_f32.emplace(linalg::SparseLogTransportKernelF32(
+              hit->sparse_f32, options.num_threads, pool));
+          support_costs = hit->support_costs;
+        } else {
+          log_sparse_f32.emplace(linalg::SparseLogTransportKernelF32::FromCost(
+              cost, options.epsilon, options.kernel_truncation,
+              options.num_threads, pool));
+        }
+        if (!support_costs) {
+          support_costs = std::make_shared<const std::vector<double>>(
+              log_sparse_f32->GatherSupportCosts(cost));
+        }
+      } else if (hit && hit->sparse) {
         kernel_hit = true;
         log_sparse.emplace(linalg::SparseLogTransportKernel(
             hit->sparse, options.num_threads, pool));
@@ -74,12 +98,21 @@ struct OuterLoopKernel {
             cost, options.epsilon, options.kernel_truncation,
             options.num_threads, pool));
       }
-      if (!support_costs) {
+      if (!support_costs && log_sparse) {
         support_costs = std::make_shared<const std::vector<double>>(
             log_sparse->GatherSupportCosts(cost));
       }
     } else if (options.log_domain) {
-      if (hit && hit->dense) {
+      if (f32) {
+        if (hit && hit->dense_f32) {
+          kernel_hit = true;
+          log_dense_f32.emplace(linalg::DenseLogTransportKernelF32(
+              hit->dense_f32, options.num_threads, pool));
+        } else {
+          log_dense_f32.emplace(linalg::DenseLogTransportKernelF32::FromCost(
+              cost, options.epsilon, options.num_threads, pool));
+        }
+      } else if (hit && hit->dense) {
         kernel_hit = true;
         log_dense.emplace(linalg::DenseLogTransportKernel(
             hit->dense, options.num_threads, pool));
@@ -89,7 +122,22 @@ struct OuterLoopKernel {
       }
       cost_provider = &cost;
     } else if (truncated) {
-      if (hit && hit->sparse) {
+      if (f32) {
+        if (hit && hit->sparse_f32) {
+          kernel_hit = true;
+          sparse_f32.emplace(linalg::SparseTransportKernelF32(
+              hit->sparse_f32, options.num_threads, pool));
+          support_costs = hit->support_costs;
+        } else {
+          sparse_f32.emplace(linalg::SparseTransportKernelF32::FromCost(
+              cost, options.epsilon, options.kernel_truncation,
+              options.num_threads, pool));
+        }
+        if (!support_costs) {
+          support_costs = std::make_shared<const std::vector<double>>(
+              sparse_f32->GatherSupportCosts(cost));
+        }
+      } else if (hit && hit->sparse) {
         kernel_hit = true;
         sparse.emplace(linalg::SparseTransportKernel(
             hit->sparse, options.num_threads, pool));
@@ -99,12 +147,26 @@ struct OuterLoopKernel {
             cost, options.epsilon, options.kernel_truncation,
             options.num_threads, pool));
       }
-      if (!support_costs) {
+      if (!support_costs && sparse) {
         support_costs = std::make_shared<const std::vector<double>>(
             sparse->GatherSupportCosts(cost));
       }
     } else {
-      if (hit && hit->dense && hit->dense_cost) {
+      // Dense linear: both tiers keep the materialized cost around for the
+      // zero-copy ⟨C, π⟩ path (the f32 tier only narrows the *kernel*).
+      if (f32) {
+        if (hit && hit->dense_f32 && hit->dense_cost) {
+          kernel_hit = true;
+          cost_matrix = hit->dense_cost;
+          dense_f32.emplace(linalg::DenseTransportKernelF32(
+              hit->dense_f32, options.num_threads, pool));
+        } else {
+          cost_matrix = std::make_shared<const linalg::Matrix>(
+              linalg::MaterializeCostMatrix(cost));
+          dense_f32.emplace(linalg::DenseTransportKernelF32::FromCost(
+              *cost_matrix, options.epsilon, options.num_threads, pool));
+        }
+      } else if (hit && hit->dense && hit->dense_cost) {
         kernel_hit = true;
         cost_matrix = hit->dense_cost;
         dense.emplace(linalg::DenseTransportKernel(hit->dense,
@@ -121,32 +183,62 @@ struct OuterLoopKernel {
       if (dense) {
         built.dense = dense->shared_kernel();
         built.dense_cost = cost_matrix;
+      } else if (dense_f32) {
+        built.dense_f32 = dense_f32->shared_storage();
+        built.dense_cost = cost_matrix;
       } else if (log_dense) {
         built.dense = log_dense->shared_log_kernel();
+      } else if (log_dense_f32) {
+        built.dense_f32 = log_dense_f32->shared_storage();
       } else if (sparse) {
         built.sparse = sparse->shared_storage();
         built.support_costs = support_costs;
-      } else {
+      } else if (sparse_f32) {
+        built.sparse_f32 = sparse_f32->shared_storage();
+        built.support_costs = support_costs;
+      } else if (log_sparse) {
         built.sparse = log_sparse->shared_storage();
+        built.support_costs = support_costs;
+      } else {
+        built.sparse_f32 = log_sparse_f32->shared_storage();
         built.support_costs = support_costs;
       }
       cache->InsertKernel(key, std::move(built));
     }
   }
 
-  bool log_domain() const { return log_dense || log_sparse; }
+  /// Whichever linear-domain kernel is engaged (null in log mode): the
+  /// engine loop and marginals only need the abstract interface, so the
+  /// f64/f32 split collapses here.
+  const linalg::TransportKernel* linear_kernel() const {
+    if (dense) return &*dense;
+    if (sparse) return &*sparse;
+    if (dense_f32) return &*dense_f32;
+    if (sparse_f32) return &*sparse_f32;
+    return nullptr;
+  }
+
+  const linalg::LogTransportKernel* log_kernel() const {
+    if (log_dense) return &*log_dense;
+    if (log_sparse) return &*log_sparse;
+    if (log_dense_f32) return &*log_dense_f32;
+    if (log_sparse_f32) return &*log_sparse_f32;
+    return nullptr;
+  }
+
+  bool log_domain() const { return log_kernel() != nullptr; }
 
   size_t nnz() const {
-    if (sparse) return sparse->nnz();
-    if (log_sparse) return log_sparse->nnz();
-    if (log_dense) return log_dense->nnz();
-    return dense->nnz();
+    const linalg::LogTransportKernel* lk = log_kernel();
+    return lk != nullptr ? lk->nnz() : linear_kernel()->nnz();
   }
 
   /// Truncation must not strand source mass: every active-domain row needs
   /// at least one surviving kernel entry. (Columns may legitimately go
   /// empty — the relaxed target marginal simply never reaches them.) The
-  /// linear and log kernels share one kept-set, so one guard serves both.
+  /// linear and log kernels share one kept-set, so one guard serves both;
+  /// f32 shares the f64 kept-set too (decided in double), so all four
+  /// sparse shapes funnel into the same check.
   Status CheckSupport(const linalg::Vector& p, const char* where) const {
     if (sparse) {
       return ot::CheckTruncatedKernelSupport(sparse->kernel(), &p,
@@ -155,6 +247,14 @@ struct OuterLoopKernel {
     if (log_sparse) {
       return ot::CheckTruncatedKernelSupport(log_sparse->log_kernel(), &p,
                                              /*q=*/nullptr, where);
+    }
+    if (sparse_f32) {
+      return ot::CheckTruncatedKernelSupport(*sparse_f32->shared_storage(), &p,
+                                             /*q=*/nullptr, where);
+    }
+    if (log_sparse_f32) {
+      return ot::CheckTruncatedKernelSupport(*log_sparse_f32->shared_storage(),
+                                             &p, /*q=*/nullptr, where);
     }
     return Status::OK();
   }
@@ -168,14 +268,10 @@ struct OuterLoopKernel {
                                     const ot::SinkhornOptions& sink,
                                     const linalg::Vector* warm_u,
                                     const linalg::Vector* warm_v) const {
-    if (log_domain()) {
-      const linalg::LogTransportKernel& k =
-          log_sparse
-              ? static_cast<const linalg::LogTransportKernel&>(*log_sparse)
-              : *log_dense;
+    if (const linalg::LogTransportKernel* lk = log_kernel()) {
       OTCLEAN_ASSIGN_OR_RETURN(
           ot::SinkhornLogScaling s,
-          ot::RunSinkhornLogScaling(k, p, q_cols, sink, warm_u, warm_v));
+          ot::RunSinkhornLogScaling(*lk, p, q_cols, sink, warm_u, warm_v));
       ot::SinkhornScaling out;
       out.u = std::move(s.lu);
       out.v = std::move(s.lv);
@@ -183,9 +279,8 @@ struct OuterLoopKernel {
       out.converged = s.converged;
       return out;
     }
-    const linalg::TransportKernel& k =
-        sparse ? static_cast<const linalg::TransportKernel&>(*sparse) : *dense;
-    return ot::RunSinkhornScaling(k, p, q_cols, sink, warm_u, warm_v);
+    return ot::RunSinkhornScaling(*linear_kernel(), p, q_cols, sink, warm_u,
+                                  warm_v);
   }
 
   /// Column marginal of the plan at the current potentials, without
@@ -195,12 +290,8 @@ struct OuterLoopKernel {
   void ColumnMarginal(const linalg::Vector& u, const linalg::Vector& v,
                       linalg::Vector& scratch,
                       linalg::Vector& target_mass) const {
-    if (log_domain()) {
-      if (log_sparse) {
-        log_sparse->LogApplyTranspose(u, scratch);
-      } else {
-        log_dense->LogApplyTranspose(u, scratch);
-      }
+    if (const linalg::LogTransportKernel* lk = log_kernel()) {
+      lk->LogApplyTranspose(u, scratch);
       if (target_mass.size() != scratch.size()) {
         target_mass = linalg::Vector(scratch.size());
       }
@@ -209,11 +300,7 @@ struct OuterLoopKernel {
       }
       return;
     }
-    if (sparse) {
-      sparse->ApplyTranspose(u, scratch);
-    } else {
-      dense->ApplyTranspose(u, scratch);
-    }
+    linear_kernel()->ApplyTranspose(u, scratch);
     target_mass = scratch.CwiseProduct(v);
   }
 
@@ -222,10 +309,20 @@ struct OuterLoopKernel {
   /// streamed provider on the dense log path.
   double TransportCost(const linalg::Vector& u, const linalg::Vector& v) const {
     if (sparse) return sparse->SupportTransportCost(*support_costs, u, v);
+    if (sparse_f32) {
+      return sparse_f32->SupportTransportCost(*support_costs, u, v);
+    }
     if (log_sparse) {
       return log_sparse->SupportTransportCost(*support_costs, u, v);
     }
+    if (log_sparse_f32) {
+      return log_sparse_f32->SupportTransportCost(*support_costs, u, v);
+    }
     if (log_dense) return log_dense->TransportCost(*cost_provider, u, v);
+    if (log_dense_f32) {
+      return log_dense_f32->TransportCost(*cost_provider, u, v);
+    }
+    if (dense_f32) return dense_f32->TransportCost(*cost_matrix, u, v);
     return dense->TransportCost(*cost_matrix, u, v);
   }
 
@@ -244,42 +341,64 @@ struct OuterLoopKernel {
       return ot::TransportPlan(dom, row_cells, col_cells,
                                sparse->ScaleToPlanSparse(u, v));
     }
+    if (sparse_f32) {
+      return ot::TransportPlan(dom, row_cells, col_cells,
+                               sparse_f32->ScaleToPlanSparse(u, v));
+    }
     if (log_sparse) {
       return ot::TransportPlan(dom, row_cells, col_cells,
                                log_sparse->ScaleToPlanSparse(u, v));
     }
-    if (log_dense) {
+    if (log_sparse_f32) {
       return ot::TransportPlan(dom, row_cells, col_cells,
-                               log_dense->ScaleToPlan(u, v));
+                               log_sparse_f32->ScaleToPlanSparse(u, v));
+    }
+    if (const linalg::LogTransportKernel* lk = log_kernel()) {
+      return ot::TransportPlan(dom, row_cells, col_cells,
+                               lk->ScaleToPlan(u, v));
     }
     return ot::TransportPlan(dom, row_cells, col_cells,
-                             dense->ScaleToPlan(u, v));
+                             linear_kernel()->ScaleToPlan(u, v));
   }
 };
 
 
-/// Cache key for a FastOTClean solve. The cost fingerprint alone is not
-/// enough: the kernel's values depend on which tuples the active-domain
-/// restriction decodes at each row/column, so the domain shape and both
-/// cell lists are salted in. Returns an invalid key (caching off) when
-/// the cost is unfingerprintable.
-SolveCacheKey MakeFastCacheKey(const ot::CostFunction& cost,
-                               const prob::Domain& dom,
+/// Stable identity of a FastOTClean solve's restricted cost stream. The
+/// cost fingerprint alone is not enough: the kernel's values depend on
+/// which tuples the active-domain restriction decodes at each row/column,
+/// so the domain shape and both cell lists are folded in. This combined
+/// fingerprint seeds both the outer kernel's cache key and (as
+/// `cache_cost_fingerprint`) the ε-annealing stages' per-ε keys, so stage
+/// kernels from different repairs of the same table share cache entries.
+/// 0 when the cost is unfingerprintable (caching off).
+uint64_t FastCostFingerprint(const ot::CostFunction& cost,
+                             const prob::Domain& dom,
+                             const std::vector<size_t>& row_cells,
+                             const std::vector<size_t>& col_cells) {
+  const uint64_t fp = cost.Fingerprint();
+  if (fp == 0) return 0;
+  uint64_t h = HashMix(kHashSeed, 0xFA57u);
+  h = HashMix(h, fp);
+  h = HashMix(h, dom.num_attrs());
+  for (size_t c : dom.cardinalities()) h = HashMix(h, c);
+  h = HashMix(h, row_cells.size());
+  for (size_t c : row_cells) h = HashMix(h, c);
+  h = HashMix(h, col_cells.size());
+  for (size_t c : col_cells) h = HashMix(h, c);
+  return h == 0 ? 1 : h;
+}
+
+/// Cache key for a FastOTClean solve's outer-loop kernel. Invalid key
+/// (caching off) when the cost is unfingerprintable.
+SolveCacheKey MakeFastCacheKey(uint64_t fast_fingerprint,
                                const std::vector<size_t>& row_cells,
                                const std::vector<size_t>& col_cells,
                                const FastOtCleanOptions& options) {
-  const uint64_t fp = cost.Fingerprint();
-  if (fp == 0) return SolveCacheKey{};
-  uint64_t salt = HashMix(kHashSeed, 0xFA57u);
-  salt = HashMix(salt, dom.num_attrs());
-  for (size_t c : dom.cardinalities()) salt = HashMix(salt, c);
-  salt = HashMix(salt, row_cells.size());
-  for (size_t c : row_cells) salt = HashMix(salt, c);
-  salt = HashMix(salt, col_cells.size());
-  for (size_t c : col_cells) salt = HashMix(salt, c);
-  return MakeSolveCacheKey(fp, row_cells.size(), col_cells.size(),
-                           options.epsilon, options.kernel_truncation,
-                           options.log_domain, salt);
+  if (fast_fingerprint == 0) return SolveCacheKey{};
+  return MakeSolveCacheKey(fast_fingerprint, row_cells.size(),
+                           col_cells.size(), options.epsilon,
+                           options.kernel_truncation, options.log_domain,
+                           /*salt=*/0, options.precision);
 }
 
 /// The warm-start store speaks linear-domain potentials regardless of the
@@ -299,6 +418,49 @@ linalg::Vector WarmToLinear(const linalg::Vector& w, bool log_domain) {
     out[i] = std::isfinite(w[i]) ? std::exp(w[i]) : 0.0;
   }
   return out;
+}
+
+/// ε-annealing for the first inner solve: when the schedule is enabled,
+/// the caller's warm_start plumbing is on, and no (warmer) cached warm
+/// start was fetched, runs the larger-ε stage sequence against the
+/// *initial* column marginal and leaves the rescaled potentials in
+/// warm_u/warm_v (lifted to log-potentials on the log paths, matching the
+/// outer loop's representation). Later outer steps stay warm off the
+/// previous step as usual. Stage kernels share `options.solve_cache`
+/// under per-ε keys seeded by `fast_fingerprint`.
+Status MaybeAnnealFirstSolve(const linalg::CostProvider& cost_view,
+                             const linalg::Vector& p,
+                             const prob::JointDistribution& q,
+                             const std::vector<size_t>& col_cells,
+                             const FastOtCleanOptions& options,
+                             const ot::SinkhornOptions& sink,
+                             uint64_t fast_fingerprint, bool log_domain,
+                             linalg::ThreadPool* pool, linalg::Vector& warm_u,
+                             linalg::Vector& warm_v,
+                             FastOtCleanResult& result) {
+  if (!options.epsilon_schedule.enabled() || !options.warm_start ||
+      result.cache_warm_started) {
+    return Status::OK();
+  }
+  linalg::Vector q_cols(col_cells.size());
+  for (size_t j = 0; j < col_cells.size(); ++j) q_cols[j] = q[col_cells[j]];
+  ot::SinkhornOptions anneal = sink;
+  anneal.epsilon_schedule = options.epsilon_schedule;
+  anneal.solve_cache = options.solve_cache;
+  anneal.cache_cost_fingerprint = fast_fingerprint;
+  OTCLEAN_ASSIGN_OR_RETURN(
+      ot::EpsilonAnnealWarmStart aw,
+      ot::RunSinkhornAnnealed(cost_view, p, q_cols, anneal,
+                              /*sparse=*/options.kernel_truncation > 0.0,
+                              options.kernel_truncation, pool));
+  warm_u = std::move(aw.u);
+  warm_v = std::move(aw.v);
+  if (log_domain) {
+    LiftWarmToLog(warm_u);
+    LiftWarmToLog(warm_v);
+  }
+  result.anneal_stages = std::move(aw.stages);
+  return Status::OK();
 }
 
 /// Cross-request warm start (fetch side): seeds the outer loop's warm
@@ -492,6 +654,7 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
   sink.tolerance = options.sinkhorn_tolerance;
   sink.log_domain = options.log_domain;
   sink.num_threads = options.num_threads;
+  sink.precision = options.precision;
 
   // One worker pool for the whole repair: every Sinkhorn iteration of
   // every outer step dispatches on it instead of spawning threads anew.
@@ -499,10 +662,12 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
   linalg::ThreadPool* pool = linalg::ResolveSolvePool(
       options.thread_pool, options.num_threads, owned_pool);
 
-  const SolveCacheKey cache_key =
+  const uint64_t fast_fp =
       options.solve_cache != nullptr
-          ? MakeFastCacheKey(cost, dom, row_cells, col_cells, options)
-          : SolveCacheKey{};
+          ? FastCostFingerprint(cost, dom, row_cells, col_cells)
+          : 0;
+  const SolveCacheKey cache_key =
+      MakeFastCacheKey(fast_fp, row_cells, col_cells, options);
   const OuterLoopKernel kernel_storage(cost_view, options, pool,
                                        options.solve_cache, cache_key);
   OTCLEAN_RETURN_NOT_OK(kernel_storage.CheckSupport(p, "FastOtClean"));
@@ -518,6 +683,9 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
   result.cache_warm_started = FetchCachedWarmStart(
       options.solve_cache, cache_key, options, p.size(), col_cells.size(),
       kernel_storage.log_domain(), warm_u, warm_v, warm_cold_baseline);
+  OTCLEAN_RETURN_NOT_OK(MaybeAnnealFirstSolve(
+      cost_view, p, q, col_cells, options, sink, fast_fp,
+      kernel_storage.log_domain(), pool, warm_u, warm_v, result));
 
   for (size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
     // --- Outer step A: transport plan against the current Q (Sinkhorn). ---
@@ -651,6 +819,7 @@ Result<FastOtCleanResult> FastOtCleanMulti(
   sink.tolerance = options.sinkhorn_tolerance;
   sink.log_domain = options.log_domain;
   sink.num_threads = options.num_threads;
+  sink.precision = options.precision;
 
   // One worker pool for the whole repair: every Sinkhorn iteration of
   // every outer step dispatches on it instead of spawning threads anew.
@@ -658,10 +827,12 @@ Result<FastOtCleanResult> FastOtCleanMulti(
   linalg::ThreadPool* pool = linalg::ResolveSolvePool(
       options.thread_pool, options.num_threads, owned_pool);
 
-  const SolveCacheKey cache_key =
+  const uint64_t fast_fp =
       options.solve_cache != nullptr
-          ? MakeFastCacheKey(cost, dom, row_cells, col_cells, options)
-          : SolveCacheKey{};
+          ? FastCostFingerprint(cost, dom, row_cells, col_cells)
+          : 0;
+  const SolveCacheKey cache_key =
+      MakeFastCacheKey(fast_fp, row_cells, col_cells, options);
   const OuterLoopKernel kernel_storage(cost_view, options, pool,
                                        options.solve_cache, cache_key);
   OTCLEAN_RETURN_NOT_OK(kernel_storage.CheckSupport(p, "FastOtCleanMulti"));
@@ -677,6 +848,9 @@ Result<FastOtCleanResult> FastOtCleanMulti(
   result.cache_warm_started = FetchCachedWarmStart(
       options.solve_cache, cache_key, options, p.size(), col_cells.size(),
       kernel_storage.log_domain(), warm_u, warm_v, warm_cold_baseline);
+  OTCLEAN_RETURN_NOT_OK(MaybeAnnealFirstSolve(
+      cost_view, p, q, col_cells, options, sink, fast_fp,
+      kernel_storage.log_domain(), pool, warm_u, warm_v, result));
 
   for (size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
     linalg::Vector q_cols(col_cells.size());

@@ -98,6 +98,20 @@ struct FastOtCleanOptions {
   /// Only takes effect when `warm_start` is also on; stored potentials
   /// whose sizes mismatch the problem fall back to a cold start.
   bool cache_warm_start = false;
+  /// ε-annealing for the FIRST inner solve (ot::EpsilonSchedule): run a
+  /// short sequence of larger-ε stages and seed the outer loop's warm
+  /// potentials from them, instead of cold-starting the sharp final ε.
+  /// Later outer steps are already warm via `warm_start`. Skipped when a
+  /// cross-request cached warm start is available (that is warmer still)
+  /// or when `warm_start` is off (the stage potentials would be thrown
+  /// away). Stage kernels share the solve cache under per-ε keys.
+  ot::EpsilonSchedule epsilon_schedule;
+  /// Storage precision of the inner Sinkhorn kernel
+  /// (ot::SinkhornOptions::precision): kFloat32 halves kernel memory
+  /// traffic; all accumulation stays double, outputs stay double, and
+  /// the truncated kept-set is decided in double so support checks and
+  /// plan structure match the f64 tier exactly.
+  linalg::Precision precision = linalg::Precision::kFloat64;
 };
 
 /// Outcome of a FastOTClean run.
@@ -132,6 +146,11 @@ struct FastOtCleanResult {
   /// Iterations saved vs. the key's cold baseline (0 unless warm-started
   /// and actually faster).
   size_t cache_warm_iterations_saved = 0;
+  /// ε-annealing stage records (empty unless `epsilon_schedule` ran).
+  /// Stage iterations are NOT counted in `total_sinkhorn_iterations` —
+  /// that stays comparable with unannealed runs; report both to see the
+  /// trade.
+  std::vector<ot::EpsilonAnnealStage> anneal_stages;
 };
 
 /// FastOTClean: computes a probabilistic data cleaner for `p_data` under

@@ -31,6 +31,9 @@ void PopulateFastSolveReport(const FastOtCleanResult& r,
   report.converged = r.converged;
   report.kernel_nnz = r.kernel_nnz;
   report.sinkhorn_domain = fast.log_domain ? "log" : "linear";
+  report.precision =
+      fast.precision == linalg::Precision::kFloat32 ? "f32" : "f64";
+  report.anneal_stages = r.anneal_stages;
   report.cache_kernel_hits = r.cache_kernel_hits;
   report.cache_kernel_misses = r.cache_kernel_misses;
   report.cache_warm_started = r.cache_warm_started;
@@ -94,6 +97,7 @@ Status OtCleanRepairer::Fit(const dataset::Table& table,
     fit_report_.outer_iterations = r.outer_iterations;
     fit_report_.converged = r.converged;
     fit_report_.sinkhorn_domain = "n/a";
+    fit_report_.precision = "n/a";
     PopulatePlanReport(r.plan, fit_report_);
     plan_ = std::move(r.plan);
     target_ = std::move(r.target);

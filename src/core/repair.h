@@ -69,6 +69,14 @@ struct RepairReport {
   size_t cache_kernel_misses = 0;
   bool cache_warm_started = false;
   size_t cache_warm_iterations_saved = 0;
+  /// Storage precision of the Gibbs kernel the solver iterated on ("f64"
+  /// or "f32"; FastOtCleanOptions::precision / the CLI's --precision).
+  /// "n/a" for the QCLP solver.
+  const char* precision = "f64";
+  /// ε-annealing stage records of the fit, in stage order (empty unless
+  /// FastOtCleanOptions::epsilon_schedule ran). Stage iterations are not
+  /// counted in `total_sinkhorn_iterations`.
+  std::vector<ot::EpsilonAnnealStage> anneal_stages;
 };
 
 /// A fitted probabilistic data cleaner: learns the transport plan from one

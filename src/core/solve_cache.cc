@@ -2,6 +2,7 @@
 
 #include "common/hash.h"
 #include "linalg/simd.h"
+#include "linalg/transport_kernel_f32.h"
 
 namespace otclean::core {
 
@@ -20,7 +21,8 @@ size_t WarmBytes(const std::optional<CachedWarmStart>& w) {
 
 SolveCacheKey MakeSolveCacheKey(uint64_t cost_fingerprint, size_t rows,
                                 size_t cols, double epsilon, double truncation,
-                                bool log_domain, uint64_t salt) {
+                                bool log_domain, uint64_t salt,
+                                linalg::Precision precision) {
   SolveCacheKey key;
   if (cost_fingerprint == 0) return key;  // invalid: caching disabled
   key.rows = rows;
@@ -30,6 +32,7 @@ SolveCacheKey MakeSolveCacheKey(uint64_t cost_fingerprint, size_t rows,
   key.log_domain = log_domain;
   key.sparse = truncation > 0.0;
   key.simd_isa = static_cast<uint8_t>(linalg::simd::ActiveIsa());
+  key.precision = static_cast<uint8_t>(precision);
   uint64_t h = HashMix(kHashSeed, cost_fingerprint);
   h = HashMix(h, salt);
   h = HashMix(h, key.rows);
@@ -38,6 +41,7 @@ SolveCacheKey MakeSolveCacheKey(uint64_t cost_fingerprint, size_t rows,
   h = HashMixDouble(h, key.truncation);
   h = HashMix(h, (key.log_domain ? 2u : 0u) | (key.sparse ? 1u : 0u));
   h = HashMix(h, key.simd_isa);
+  h = HashMix(h, key.precision);
   key.content = h == 0 ? 1 : h;
   return key;
 }
@@ -45,6 +49,8 @@ SolveCacheKey MakeSolveCacheKey(uint64_t cost_fingerprint, size_t rows,
 size_t CachedKernel::MemoryBytes() const {
   size_t bytes = MatrixBytes(dense) + MatrixBytes(dense_cost);
   if (sparse) bytes += sparse->MemoryBytes();
+  if (dense_f32) bytes += dense_f32->MemoryBytes();
+  if (sparse_f32) bytes += sparse_f32->MemoryBytes();
   if (support_costs) bytes += support_costs->size() * sizeof(double);
   return bytes;
 }
@@ -56,6 +62,8 @@ bool CachedKernel::InUse() const {
   // (solve just finished) merely delays eviction one round.
   return (dense && dense.use_count() > 1) ||
          (sparse && sparse.use_count() > 1) ||
+         (dense_f32 && dense_f32.use_count() > 1) ||
+         (sparse_f32 && sparse_f32.use_count() > 1) ||
          (support_costs && support_costs.use_count() > 1) ||
          (dense_cost && dense_cost.use_count() > 1);
 }

@@ -11,8 +11,14 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "linalg/precision.h"
 #include "linalg/transport_kernel.h"
 #include "linalg/vector.h"
+
+namespace otclean::linalg {
+struct DenseKernelStorageF32;
+struct SparseKernelStorageF32;
+}  // namespace otclean::linalg
 
 namespace otclean::core {
 
@@ -22,11 +28,14 @@ namespace otclean::core {
 /// the active-cell lists a FastOTClean solve restricts the domain to);
 /// the remaining fields are kept verbatim so a hash collision can never
 /// alias two solves with different dimensions, ε, truncation, domain
-/// (log vs linear) or SIMD tier — equality checks every field.
+/// (log vs linear), SIMD tier or precision — equality checks every field.
 ///
 /// The SIMD tier is part of the key because the scaling loop's results are
 /// only bit-identical *within* one instruction set; a cache shared across
 /// dispatch tiers (tests force-overriding the ISA) must not mix them.
+/// The storage precision (linalg/precision.h) is part of the key for the
+/// same reason — an f32 kernel is a different artifact than its f64 twin,
+/// and the bit-identity contract holds per (tier, precision).
 struct SolveCacheKey {
   uint64_t content = 0;  ///< 0 = invalid ("don't cache this solve")
   uint64_t rows = 0;
@@ -36,13 +45,14 @@ struct SolveCacheKey {
   bool log_domain = false;
   bool sparse = false;
   uint8_t simd_isa = 0;
+  uint8_t precision = 0;  ///< static_cast of linalg::Precision
 
   bool valid() const { return content != 0; }
   bool operator==(const SolveCacheKey& o) const {
     return content == o.content && rows == o.rows && cols == o.cols &&
            epsilon == o.epsilon && truncation == o.truncation &&
            log_domain == o.log_domain && sparse == o.sparse &&
-           simd_isa == o.simd_isa;
+           simd_isa == o.simd_isa && precision == o.precision;
   }
 };
 
@@ -51,15 +61,18 @@ struct SolveCacheKey {
 /// the path for unfingerprintable costs (LambdaCost). `salt` folds in any
 /// extra caller identity (FastOTClean hashes the domain shape and active
 /// cells into it). `truncation > 0` marks the kernel sparse; the SIMD tier
-/// is read from the runtime dispatcher.
-SolveCacheKey MakeSolveCacheKey(uint64_t cost_fingerprint, size_t rows,
-                                size_t cols, double epsilon, double truncation,
-                                bool log_domain, uint64_t salt = 0);
+/// is read from the runtime dispatcher; `precision` is the storage tier
+/// the solve iterates on.
+SolveCacheKey MakeSolveCacheKey(
+    uint64_t cost_fingerprint, size_t rows, size_t cols, double epsilon,
+    double truncation, bool log_domain, uint64_t salt = 0,
+    linalg::Precision precision = linalg::Precision::kFloat64);
 
 /// Shared handles to one solve's immutable built artifacts. Exactly one of
-/// `dense`/`sparse` is set (the kernel K = e^{−C/ε}, or its log L = −C/ε —
-/// the key's log_domain flag says which); the others are optional
-/// companions the same solve would otherwise rebuild:
+/// `dense`/`sparse`/`dense_f32`/`sparse_f32` is set (the kernel
+/// K = e^{−C/ε}, or its log L = −C/ε — the key's log_domain flag says
+/// which; the key's precision flag picks the f32 pair); the others are
+/// optional companions the same solve would otherwise rebuild:
 /// `support_costs` is the GatherSupportCosts cache aligned with the sparse
 /// kernel's values, `dense_cost` the materialized cost matrix of the dense
 /// path. Everything is shared_ptr-held and immutable, so a hit hands out
@@ -68,10 +81,14 @@ SolveCacheKey MakeSolveCacheKey(uint64_t cost_fingerprint, size_t rows,
 struct CachedKernel {
   std::shared_ptr<const linalg::Matrix> dense;
   std::shared_ptr<const linalg::SparseKernelStorage> sparse;
+  std::shared_ptr<const linalg::DenseKernelStorageF32> dense_f32;
+  std::shared_ptr<const linalg::SparseKernelStorageF32> sparse_f32;
   std::shared_ptr<const std::vector<double>> support_costs;
   std::shared_ptr<const linalg::Matrix> dense_cost;
 
-  bool empty() const { return !dense && !sparse; }
+  bool empty() const {
+    return !dense && !sparse && !dense_f32 && !sparse_f32;
+  }
   /// Approximate heap footprint of all held storages.
   size_t MemoryBytes() const;
   /// True when any handle is also held outside the cache (a solve is

@@ -1,0 +1,27 @@
+#ifndef OTCLEAN_LINALG_PRECISION_H_
+#define OTCLEAN_LINALG_PRECISION_H_
+
+#include <cstdint>
+
+namespace otclean::linalg {
+
+/// Storage precision of a kernel's values. Arithmetic always accumulates
+/// in double — kFloat32 narrows only what is STORED (the Gibbs kernel /
+/// log-kernel entries, dense or CSR+CSC): every load widens the float back
+/// to double (exactly) before it enters a reduction, so the f32 tier's
+/// determinism story is the f64 one applied to the rounded kernel.
+/// Halving the bytes per entry doubles the effective SIMD width of the
+/// memory-bound kernel loops; the price is one float rounding of each
+/// kernel entry at construction (relative error ≤ 2^-24 per entry).
+enum class Precision : uint8_t {
+  kFloat64 = 0,
+  kFloat32 = 1,
+};
+
+inline const char* PrecisionName(Precision p) {
+  return p == Precision::kFloat32 ? "f32" : "f64";
+}
+
+}  // namespace otclean::linalg
+
+#endif  // OTCLEAN_LINALG_PRECISION_H_

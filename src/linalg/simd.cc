@@ -172,6 +172,136 @@ OTCLEAN_NOVEC void ScalarAddExpWrite(double shift, const double* a,
   for (size_t i = 0; i < n; ++i) out[i] = PolyExp(a[i] + b[i] + shift);
 }
 
+// f32 kernel-tier scalar reference: each float widens to double (exactly)
+// before any arithmetic, so these are the f64 scalar bodies applied to the
+// widened values — the semantics the f32 vector recipes are tested against.
+
+OTCLEAN_NOVEC double ScalarDotF32(const float* a, const double* b, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += static_cast<double>(a[i]) * b[i];
+  return s;
+}
+
+OTCLEAN_NOVEC double ScalarDot3F32(const double* a, const float* b,
+                                   const double* c, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    s += (a[i] * static_cast<double>(b[i])) * c[i];
+  }
+  return s;
+}
+
+OTCLEAN_NOVEC double ScalarGatherDotF32(const float* vals, const size_t* idx,
+                                        const double* x, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += static_cast<double>(vals[i]) * x[idx[i]];
+  return s;
+}
+
+OTCLEAN_NOVEC double ScalarGatherDot3F32(const double* a, const float* b,
+                                         const size_t* idx, const double* x,
+                                         size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    s += (a[i] * static_cast<double>(b[i])) * x[idx[i]];
+  }
+  return s;
+}
+
+OTCLEAN_NOVEC void ScalarAxpyRowsF32(const double* coeffs, const float* base,
+                                     size_t row_stride, size_t num_rows,
+                                     double* y, size_t n) {
+  for (size_t r = 0; r < num_rows; ++r) {
+    const double c = coeffs[r];
+    if (c == 0.0) continue;  // zero rows are skipped in every tier (simd.h)
+    const float* a = base + r * row_stride;
+    for (size_t i = 0; i < n; ++i) y[i] += c * static_cast<double>(a[i]);
+  }
+}
+
+OTCLEAN_NOVEC void ScalarScaledHadamardF32(double s, const float* a,
+                                           const double* b, double* out,
+                                           size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = (s * static_cast<double>(a[i])) * b[i];
+  }
+}
+
+OTCLEAN_NOVEC void ScalarGatherScaledHadamardF32(double s, const float* vals,
+                                                 const size_t* idx,
+                                                 const double* x, double* out,
+                                                 size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = (s * static_cast<double>(vals[i])) * x[idx[i]];
+  }
+}
+
+OTCLEAN_NOVEC double ScalarAddMaxReduceF32(const float* a, const double* b,
+                                           size_t n) {
+  double r = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(a[i]) + b[i];
+    r = t > r ? t : r;
+  }
+  return r;
+}
+
+OTCLEAN_NOVEC double ScalarAddExpSumShiftedF32(const float* a,
+                                               const double* b, double shift,
+                                               size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    s += PolyExp(static_cast<double>(a[i]) + b[i] - shift);
+  }
+  return s;
+}
+
+OTCLEAN_NOVEC double ScalarGatherAddMaxReduceF32(const float* vals,
+                                                 const size_t* idx,
+                                                 const double* x, size_t n) {
+  double r = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(vals[i]) + x[idx[i]];
+    r = t > r ? t : r;
+  }
+  return r;
+}
+
+OTCLEAN_NOVEC double ScalarGatherAddExpSumShiftedF32(const float* vals,
+                                                     const size_t* idx,
+                                                     const double* x,
+                                                     double shift, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    s += PolyExp(static_cast<double>(vals[i]) + x[idx[i]] - shift);
+  }
+  return s;
+}
+
+OTCLEAN_NOVEC void ScalarAddMaxAccumulateF32(double c, const float* a,
+                                             double* mx, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(a[i]) + c;
+    if (t > mx[i]) mx[i] = t;
+  }
+}
+
+OTCLEAN_NOVEC void ScalarAddExpSumAccumulateF32(double c, const float* a,
+                                                const double* shift,
+                                                double* acc, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    acc[i] += PolyExp(static_cast<double>(a[i]) + c - shift[i]);
+  }
+}
+
+OTCLEAN_NOVEC void ScalarAddExpWriteF32(double shift, const float* a,
+                                        const double* b, double* out,
+                                        size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = PolyExp(static_cast<double>(a[i]) + b[i] + shift);
+  }
+}
+
 #undef OTCLEAN_NOVEC
 
 /// True when the running CPU can execute `isa` (independent of whether the
@@ -289,6 +419,20 @@ const SimdOps* GetScalarOps() {
     o.add_max_accumulate = ScalarAddMaxAccumulate;
     o.add_exp_sum_accumulate = ScalarAddExpSumAccumulate;
     o.add_exp_write = ScalarAddExpWrite;
+    o.dot_f32 = ScalarDotF32;
+    o.dot3_f32 = ScalarDot3F32;
+    o.gather_dot_f32 = ScalarGatherDotF32;
+    o.gather_dot3_f32 = ScalarGatherDot3F32;
+    o.axpy_rows_f32 = ScalarAxpyRowsF32;
+    o.scaled_hadamard_f32 = ScalarScaledHadamardF32;
+    o.gather_scaled_hadamard_f32 = ScalarGatherScaledHadamardF32;
+    o.add_max_reduce_f32 = ScalarAddMaxReduceF32;
+    o.add_exp_sum_shifted_f32 = ScalarAddExpSumShiftedF32;
+    o.gather_add_max_reduce_f32 = ScalarGatherAddMaxReduceF32;
+    o.gather_add_exp_sum_shifted_f32 = ScalarGatherAddExpSumShiftedF32;
+    o.add_max_accumulate_f32 = ScalarAddMaxAccumulateF32;
+    o.add_exp_sum_accumulate_f32 = ScalarAddExpSumAccumulateF32;
+    o.add_exp_write_f32 = ScalarAddExpWriteF32;
     return o;
   }();
   return &ops;
@@ -433,6 +577,72 @@ void AddExpSumAccumulate(double c, const double* a, const double* shift,
 void AddExpWrite(double shift, const double* a, const double* b, double* out,
                  size_t n) {
   Active().add_exp_write(shift, a, b, out, n);
+}
+
+double DotF32(const float* a, const double* b, size_t n) {
+  return Active().dot_f32(a, b, n);
+}
+
+double Dot3F32(const double* a, const float* b, const double* c, size_t n) {
+  return Active().dot3_f32(a, b, c, n);
+}
+
+double GatherDotF32(const float* vals, const size_t* idx, const double* x,
+                    size_t n) {
+  return Active().gather_dot_f32(vals, idx, x, n);
+}
+
+double GatherDot3F32(const double* a, const float* b, const size_t* idx,
+                     const double* x, size_t n) {
+  return Active().gather_dot3_f32(a, b, idx, x, n);
+}
+
+void AxpyRowsF32(const double* coeffs, const float* base, size_t row_stride,
+                 size_t num_rows, double* y, size_t n) {
+  Active().axpy_rows_f32(coeffs, base, row_stride, num_rows, y, n);
+}
+
+void ScaledHadamardF32(double s, const float* a, const double* b, double* out,
+                       size_t n) {
+  Active().scaled_hadamard_f32(s, a, b, out, n);
+}
+
+void GatherScaledHadamardF32(double s, const float* vals, const size_t* idx,
+                             const double* x, double* out, size_t n) {
+  Active().gather_scaled_hadamard_f32(s, vals, idx, x, out, n);
+}
+
+double AddMaxReduceF32(const float* a, const double* b, size_t n) {
+  return Active().add_max_reduce_f32(a, b, n);
+}
+
+double AddExpSumShiftedF32(const float* a, const double* b, double shift,
+                           size_t n) {
+  return Active().add_exp_sum_shifted_f32(a, b, shift, n);
+}
+
+double GatherAddMaxReduceF32(const float* vals, const size_t* idx,
+                             const double* x, size_t n) {
+  return Active().gather_add_max_reduce_f32(vals, idx, x, n);
+}
+
+double GatherAddExpSumShiftedF32(const float* vals, const size_t* idx,
+                                 const double* x, double shift, size_t n) {
+  return Active().gather_add_exp_sum_shifted_f32(vals, idx, x, shift, n);
+}
+
+void AddMaxAccumulateF32(double c, const float* a, double* mx, size_t n) {
+  Active().add_max_accumulate_f32(c, a, mx, n);
+}
+
+void AddExpSumAccumulateF32(double c, const float* a, const double* shift,
+                            double* acc, size_t n) {
+  Active().add_exp_sum_accumulate_f32(c, a, shift, acc, n);
+}
+
+void AddExpWriteF32(double shift, const float* a, const double* b,
+                    double* out, size_t n) {
+  Active().add_exp_write_f32(shift, a, b, out, n);
 }
 
 }  // namespace otclean::linalg::simd

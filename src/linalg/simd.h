@@ -187,6 +187,81 @@ void ScaledHadamard(double s, const double* a, const double* b, double* out,
 void GatherScaledHadamard(double s, const double* vals, const size_t* idx,
                           const double* x, double* out, size_t n);
 
+// ------------------------------------------------- f32 kernel-tier lanes --
+//
+// Float-STORAGE variants of the kernel hot loops for the opt-in
+// Precision::kFloat32 tier (see precision.h). Only the kernel operand is
+// float — marginals, potentials, costs, and outputs stay double, and every
+// float lane is widened to double (an exact conversion) before it enters
+// any arithmetic, so each variant reuses its f64 twin's accumulation recipe
+// verbatim and inherits the same determinism contract per (tier, precision).
+// Halving the kernel's bytes-per-entry doubles the elements per vector load
+// on exactly the loops BENCH_simd_kernel.json shows memory-bound.
+//
+// One deliberate asymmetry: the f32 sparse transpose-apply uses the
+// lane-parallel GatherDotF32 below rather than a sequential chain, because
+// the f64 GatherDotSequential exists only to make sparse-at-full-support
+// bit-match the dense path — an f64-specific contract the f32 tier does not
+// carry (its dense kernel rounds entries differently than its CSR mirror
+// would require). Dropping the latency-bound chain is where the f32
+// sparse_applyT speedup comes from; per (tier, f32) determinism still holds
+// because each output column is one fixed-recipe reduction.
+
+/// Σ a[k]·b[k] with float a.
+double DotF32(const float* a, const double* b, size_t n);
+
+/// Σ (a[i]·b[i])·c[i] with float kernel b (a = costs, c = v).
+double Dot3F32(const double* a, const float* b, const double* c, size_t n);
+
+/// Σ vals[k]·x[idx[k]] with float vals — the f32 CSR row kernel AND the
+/// f32 CSC transpose-apply kernel (see the asymmetry note above).
+double GatherDotF32(const float* vals, const size_t* idx, const double* x,
+                    size_t n);
+
+/// Σ (a[k]·b[k])·x[idx[k]] with float kernel b (a = support costs).
+double GatherDot3F32(const double* a, const float* b, const size_t* idx,
+                     const double* x, size_t n);
+
+/// y[i] += Σ_r coeffs[r]·base[r·row_stride + i] with a float matrix —
+/// the f32 dense ApplyTranspose kernel. Same two-row blocking and
+/// zero-coefficient row skip as AxpyRows.
+void AxpyRowsF32(const double* coeffs, const float* base, size_t row_stride,
+                 size_t num_rows, double* y, size_t n);
+
+/// out[i] = (s·a[i])·b[i] with float kernel a.
+void ScaledHadamardF32(double s, const float* a, const double* b, double* out,
+                       size_t n);
+
+/// out[k] = (s·vals[k])·x[idx[k]] with float vals.
+void GatherScaledHadamardF32(double s, const float* vals, const size_t* idx,
+                             const double* x, double* out, size_t n);
+
+/// max (a[i] + b[i]) with float log-kernel a; −inf when n = 0.
+double AddMaxReduceF32(const float* a, const double* b, size_t n);
+
+/// Σ PolyExp(a[i] + b[i] − shift) with float log-kernel a.
+double AddExpSumShiftedF32(const float* a, const double* b, double shift,
+                           size_t n);
+
+/// max (vals[k] + x[idx[k]]) with float vals; −inf when n = 0.
+double GatherAddMaxReduceF32(const float* vals, const size_t* idx,
+                             const double* x, size_t n);
+
+/// Σ PolyExp(vals[k] + x[idx[k]] − shift) with float vals.
+double GatherAddExpSumShiftedF32(const float* vals, const size_t* idx,
+                                 const double* x, double shift, size_t n);
+
+/// mx[i] = max(mx[i], a[i] + c) with float log-kernel row a.
+void AddMaxAccumulateF32(double c, const float* a, double* mx, size_t n);
+
+/// acc[i] += PolyExp(a[i] + c − shift[i]) with float log-kernel row a.
+void AddExpSumAccumulateF32(double c, const float* a, const double* shift,
+                            double* acc, size_t n);
+
+/// out[i] = PolyExp(a[i] + b[i] + shift) with float log-kernel row a.
+void AddExpWriteF32(double shift, const float* a, const double* b,
+                    double* out, size_t n);
+
 namespace detail {
 
 /// The dispatch table one ISA translation unit fills in.
@@ -218,6 +293,30 @@ struct SimdOps {
                                  double*, size_t);
   void (*add_exp_write)(double, const double*, const double*, double*,
                         size_t);
+  // f32 kernel-tier lanes (float storage, double accumulation).
+  double (*dot_f32)(const float*, const double*, size_t);
+  double (*dot3_f32)(const double*, const float*, const double*, size_t);
+  double (*gather_dot_f32)(const float*, const size_t*, const double*, size_t);
+  double (*gather_dot3_f32)(const double*, const float*, const size_t*,
+                            const double*, size_t);
+  void (*axpy_rows_f32)(const double*, const float*, size_t, size_t, double*,
+                        size_t);
+  void (*scaled_hadamard_f32)(double, const float*, const double*, double*,
+                              size_t);
+  void (*gather_scaled_hadamard_f32)(double, const float*, const size_t*,
+                                     const double*, double*, size_t);
+  double (*add_max_reduce_f32)(const float*, const double*, size_t);
+  double (*add_exp_sum_shifted_f32)(const float*, const double*, double,
+                                    size_t);
+  double (*gather_add_max_reduce_f32)(const float*, const size_t*,
+                                      const double*, size_t);
+  double (*gather_add_exp_sum_shifted_f32)(const float*, const size_t*,
+                                           const double*, double, size_t);
+  void (*add_max_accumulate_f32)(double, const float*, double*, size_t);
+  void (*add_exp_sum_accumulate_f32)(double, const float*, const double*,
+                                     double*, size_t);
+  void (*add_exp_write_f32)(double, const float*, const double*, double*,
+                            size_t);
 };
 
 /// Per-ISA tables; null when the TU was compiled without that ISA (wrong

@@ -29,6 +29,15 @@ struct PackAvx2 {
         _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx));
     return _mm256_i64gather_pd(base, vi, 8);
   }
+  static V LoadF32(const float* p) {
+    // cvtps_pd is exact: every float is representable as a double.
+    return _mm256_cvtps_pd(_mm_loadu_ps(p));
+  }
+  static V GatherF32(const float* base, const size_t* idx) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx));
+    return _mm256_cvtps_pd(_mm256_i64gather_ps(base, vi, 4));
+  }
   static double ReduceAdd(V v) {
     alignas(32) double l[4];
     _mm256_store_pd(l, v);

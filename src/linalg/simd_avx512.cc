@@ -28,6 +28,15 @@ struct PackAvx512 {
         _mm512_loadu_si512(reinterpret_cast<const void*>(idx));
     return _mm512_i64gather_pd(vi, base, 8);
   }
+  static V LoadF32(const float* p) {
+    // cvtps_pd is exact: every float is representable as a double.
+    return _mm512_cvtps_pd(_mm256_loadu_ps(p));
+  }
+  static V GatherF32(const float* base, const size_t* idx) {
+    const __m512i vi =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(idx));
+    return _mm512_cvtps_pd(_mm512_i64gather_ps(vi, base, 4));
+  }
   static double ReduceAdd(V v) {
     alignas(64) double l[8];
     _mm512_store_pd(l, v);

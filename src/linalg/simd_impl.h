@@ -10,11 +10,13 @@
 //     static V Zero();
 //     static V Set1(double);
 //     static V Load(const double*);            // unaligned
+//     static V LoadF32(const float*);          // unaligned, widen to double
 //     static void Store(double*, V);           // unaligned
 //     static V Add(V, V);
 //     static V Mul(V, V);
 //     static V Fma(V a, V b, V acc);           // acc + a·b, single rounding
 //     static V Gather(const double* base, const size_t* idx);
+//     static V GatherF32(const float* base, const size_t* idx);  // widen
 //     static double ReduceAdd(V);              // fixed-order lane sum
 //   };
 //
@@ -23,6 +25,13 @@
 // gather variants of a reduction share the same accumulation recipe (see
 // the determinism contract in simd.h): GatherDot with identity indices is
 // bit-identical to Dot because both ARE the same template, modulo the load.
+//
+// The f32 kernel-tier variants are the SAME templates instantiated with a
+// float element type for the kernel operand: LoadAs/GatherAs below resolve
+// to the widening LoadF32/GatherF32, float→double conversion is exact, and
+// everything downstream of the load is untouched — so each f32 primitive
+// inherits its f64 twin's accumulation recipe and determinism contract by
+// construction rather than by parallel maintenance.
 //
 // Scalar tails use std::fma so the last partial elements round the same
 // way the vector body does.
@@ -53,95 +62,124 @@
 
 namespace otclean::linalg::simd::impl {
 
+// Element-type-directed loads: double pointers take the plain lane load,
+// float pointers take the widening one. The widening conversion is exact,
+// so a body instantiated at float differs from its double twin ONLY in how
+// many bytes the load touches.
 template <class P>
-double DotImpl(const double* a, const double* b, size_t n) {
+inline typename P::V LoadAs(const double* p) {
+  return P::Load(p);
+}
+template <class P>
+inline typename P::V LoadAs(const float* p) {
+  return P::LoadF32(p);
+}
+template <class P>
+inline typename P::V GatherAs(const double* base, const size_t* idx) {
+  return P::Gather(base, idx);
+}
+template <class P>
+inline typename P::V GatherAs(const float* base, const size_t* idx) {
+  return P::GatherF32(base, idx);
+}
+
+template <class P, class TA = double>
+double DotImpl(const TA* a, const double* b, size_t n) {
   constexpr size_t L = P::kLanes;
   typename P::V s0 = P::Zero(), s1 = P::Zero(), s2 = P::Zero(),
                 s3 = P::Zero();
   size_t i = 0;
   for (; i + 4 * L <= n; i += 4 * L) {
-    s0 = P::Fma(P::Load(a + i), P::Load(b + i), s0);
-    s1 = P::Fma(P::Load(a + i + L), P::Load(b + i + L), s1);
-    s2 = P::Fma(P::Load(a + i + 2 * L), P::Load(b + i + 2 * L), s2);
-    s3 = P::Fma(P::Load(a + i + 3 * L), P::Load(b + i + 3 * L), s3);
+    s0 = P::Fma(LoadAs<P>(a + i), P::Load(b + i), s0);
+    s1 = P::Fma(LoadAs<P>(a + i + L), P::Load(b + i + L), s1);
+    s2 = P::Fma(LoadAs<P>(a + i + 2 * L), P::Load(b + i + 2 * L), s2);
+    s3 = P::Fma(LoadAs<P>(a + i + 3 * L), P::Load(b + i + 3 * L), s3);
   }
   typename P::V s = P::Add(P::Add(s0, s1), P::Add(s2, s3));
-  for (; i + L <= n; i += L) s = P::Fma(P::Load(a + i), P::Load(b + i), s);
+  for (; i + L <= n; i += L) s = P::Fma(LoadAs<P>(a + i), P::Load(b + i), s);
   double r = P::ReduceAdd(s);
-  for (; i < n; ++i) r = std::fma(a[i], b[i], r);
+  for (; i < n; ++i) r = std::fma(static_cast<double>(a[i]), b[i], r);
   return r;
 }
 
-template <class P>
-double GatherDotImpl(const double* vals, const size_t* idx, const double* x,
+template <class P, class TV = double>
+double GatherDotImpl(const TV* vals, const size_t* idx, const double* x,
                      size_t n) {
   constexpr size_t L = P::kLanes;
   typename P::V s0 = P::Zero(), s1 = P::Zero(), s2 = P::Zero(),
                 s3 = P::Zero();
   size_t i = 0;
   for (; i + 4 * L <= n; i += 4 * L) {
-    s0 = P::Fma(P::Load(vals + i), P::Gather(x, idx + i), s0);
-    s1 = P::Fma(P::Load(vals + i + L), P::Gather(x, idx + i + L), s1);
-    s2 = P::Fma(P::Load(vals + i + 2 * L), P::Gather(x, idx + i + 2 * L), s2);
-    s3 = P::Fma(P::Load(vals + i + 3 * L), P::Gather(x, idx + i + 3 * L), s3);
+    s0 = P::Fma(LoadAs<P>(vals + i), P::Gather(x, idx + i), s0);
+    s1 = P::Fma(LoadAs<P>(vals + i + L), P::Gather(x, idx + i + L), s1);
+    s2 = P::Fma(LoadAs<P>(vals + i + 2 * L), P::Gather(x, idx + i + 2 * L),
+                s2);
+    s3 = P::Fma(LoadAs<P>(vals + i + 3 * L), P::Gather(x, idx + i + 3 * L),
+                s3);
   }
   typename P::V s = P::Add(P::Add(s0, s1), P::Add(s2, s3));
   for (; i + L <= n; i += L) {
-    s = P::Fma(P::Load(vals + i), P::Gather(x, idx + i), s);
+    s = P::Fma(LoadAs<P>(vals + i), P::Gather(x, idx + i), s);
   }
   double r = P::ReduceAdd(s);
-  for (; i < n; ++i) r = std::fma(vals[i], x[idx[i]], r);
+  for (; i < n; ++i) {
+    r = std::fma(static_cast<double>(vals[i]), x[idx[i]], r);
+  }
   return r;
 }
 
-template <class P>
-double Dot3Impl(const double* a, const double* b, const double* c, size_t n) {
+template <class P, class TB = double>
+double Dot3Impl(const double* a, const TB* b, const double* c, size_t n) {
   constexpr size_t L = P::kLanes;
   typename P::V s0 = P::Zero(), s1 = P::Zero(), s2 = P::Zero(),
                 s3 = P::Zero();
   size_t i = 0;
   for (; i + 4 * L <= n; i += 4 * L) {
-    s0 = P::Fma(P::Mul(P::Load(a + i), P::Load(b + i)), P::Load(c + i), s0);
-    s1 = P::Fma(P::Mul(P::Load(a + i + L), P::Load(b + i + L)),
+    s0 = P::Fma(P::Mul(P::Load(a + i), LoadAs<P>(b + i)), P::Load(c + i), s0);
+    s1 = P::Fma(P::Mul(P::Load(a + i + L), LoadAs<P>(b + i + L)),
                 P::Load(c + i + L), s1);
-    s2 = P::Fma(P::Mul(P::Load(a + i + 2 * L), P::Load(b + i + 2 * L)),
+    s2 = P::Fma(P::Mul(P::Load(a + i + 2 * L), LoadAs<P>(b + i + 2 * L)),
                 P::Load(c + i + 2 * L), s2);
-    s3 = P::Fma(P::Mul(P::Load(a + i + 3 * L), P::Load(b + i + 3 * L)),
+    s3 = P::Fma(P::Mul(P::Load(a + i + 3 * L), LoadAs<P>(b + i + 3 * L)),
                 P::Load(c + i + 3 * L), s3);
   }
   typename P::V s = P::Add(P::Add(s0, s1), P::Add(s2, s3));
   for (; i + L <= n; i += L) {
-    s = P::Fma(P::Mul(P::Load(a + i), P::Load(b + i)), P::Load(c + i), s);
+    s = P::Fma(P::Mul(P::Load(a + i), LoadAs<P>(b + i)), P::Load(c + i), s);
   }
   double r = P::ReduceAdd(s);
-  for (; i < n; ++i) r = std::fma(a[i] * b[i], c[i], r);
+  for (; i < n; ++i) {
+    r = std::fma(a[i] * static_cast<double>(b[i]), c[i], r);
+  }
   return r;
 }
 
-template <class P>
-double GatherDot3Impl(const double* a, const double* b, const size_t* idx,
+template <class P, class TB = double>
+double GatherDot3Impl(const double* a, const TB* b, const size_t* idx,
                       const double* x, size_t n) {
   constexpr size_t L = P::kLanes;
   typename P::V s0 = P::Zero(), s1 = P::Zero(), s2 = P::Zero(),
                 s3 = P::Zero();
   size_t i = 0;
   for (; i + 4 * L <= n; i += 4 * L) {
-    s0 = P::Fma(P::Mul(P::Load(a + i), P::Load(b + i)), P::Gather(x, idx + i),
-                s0);
-    s1 = P::Fma(P::Mul(P::Load(a + i + L), P::Load(b + i + L)),
+    s0 = P::Fma(P::Mul(P::Load(a + i), LoadAs<P>(b + i)),
+                P::Gather(x, idx + i), s0);
+    s1 = P::Fma(P::Mul(P::Load(a + i + L), LoadAs<P>(b + i + L)),
                 P::Gather(x, idx + i + L), s1);
-    s2 = P::Fma(P::Mul(P::Load(a + i + 2 * L), P::Load(b + i + 2 * L)),
+    s2 = P::Fma(P::Mul(P::Load(a + i + 2 * L), LoadAs<P>(b + i + 2 * L)),
                 P::Gather(x, idx + i + 2 * L), s2);
-    s3 = P::Fma(P::Mul(P::Load(a + i + 3 * L), P::Load(b + i + 3 * L)),
+    s3 = P::Fma(P::Mul(P::Load(a + i + 3 * L), LoadAs<P>(b + i + 3 * L)),
                 P::Gather(x, idx + i + 3 * L), s3);
   }
   typename P::V s = P::Add(P::Add(s0, s1), P::Add(s2, s3));
   for (; i + L <= n; i += L) {
-    s = P::Fma(P::Mul(P::Load(a + i), P::Load(b + i)), P::Gather(x, idx + i),
-               s);
+    s = P::Fma(P::Mul(P::Load(a + i), LoadAs<P>(b + i)),
+               P::Gather(x, idx + i), s);
   }
   double r = P::ReduceAdd(s);
-  for (; i < n; ++i) r = std::fma(a[i] * b[i], x[idx[i]], r);
+  for (; i < n; ++i) {
+    r = std::fma(a[i] * static_cast<double>(b[i]), x[idx[i]], r);
+  }
   return r;
 }
 
@@ -169,19 +207,19 @@ double SumImpl(const double* a, size_t n) {
 // so these primitives are bit-identical across every tier — the property
 // the dense/sparse ApplyTranspose exactness rests on (see simd.h).
 
-template <class P>
-void AxpyImpl(double c, const double* a, double* y, size_t n) {
+template <class P, class TA = double>
+void AxpyImpl(double c, const TA* a, double* y, size_t n) {
   constexpr size_t L = P::kLanes;
   const typename P::V cv = P::Set1(c);
   size_t i = 0;
   for (; i + L <= n; i += L) {
-    P::Store(y + i, P::Add(P::Load(y + i), P::Mul(cv, P::Load(a + i))));
+    P::Store(y + i, P::Add(P::Load(y + i), P::Mul(cv, LoadAs<P>(a + i))));
   }
-  for (; i < n; ++i) y[i] += c * a[i];
+  for (; i < n; ++i) y[i] += c * static_cast<double>(a[i]);
 }
 
-template <class P>
-void AxpyRowsImpl(const double* coeffs, const double* base, size_t row_stride,
+template <class P, class TB = double>
+void AxpyRowsImpl(const double* coeffs, const TB* base, size_t row_stride,
                   size_t num_rows, double* y, size_t n) {
   constexpr size_t L = P::kLanes;
   size_t r = 0;
@@ -203,18 +241,18 @@ void AxpyRowsImpl(const double* coeffs, const double* base, size_t row_stride,
     }
     const typename P::V c0 = P::Set1(coeffs[r]);
     const typename P::V c1 = P::Set1(coeffs[r + 1]);
-    const double* a0 = base + r * row_stride;
-    const double* a1 = base + (r + 1) * row_stride;
+    const TB* a0 = base + r * row_stride;
+    const TB* a1 = base + (r + 1) * row_stride;
     size_t i = 0;
     for (; i + L <= n; i += L) {
       typename P::V acc = P::Load(y + i);
-      acc = P::Add(acc, P::Mul(c0, P::Load(a0 + i)));
-      acc = P::Add(acc, P::Mul(c1, P::Load(a1 + i)));
+      acc = P::Add(acc, P::Mul(c0, LoadAs<P>(a0 + i)));
+      acc = P::Add(acc, P::Mul(c1, LoadAs<P>(a1 + i)));
       P::Store(y + i, acc);
     }
     for (; i < n; ++i) {
-      y[i] += coeffs[r] * a0[i];
-      y[i] += coeffs[r + 1] * a1[i];
+      y[i] += coeffs[r] * static_cast<double>(a0[i]);
+      y[i] += coeffs[r + 1] * static_cast<double>(a1[i]);
     }
   }
   if (r < num_rows && coeffs[r] != 0.0) {
@@ -232,29 +270,29 @@ void HadamardImpl(const double* a, const double* b, double* out, size_t n) {
   for (; i < n; ++i) out[i] = a[i] * b[i];
 }
 
-template <class P>
-void ScaledHadamardImpl(double s, const double* a, const double* b,
-                        double* out, size_t n) {
+template <class P, class TA = double>
+void ScaledHadamardImpl(double s, const TA* a, const double* b, double* out,
+                        size_t n) {
   constexpr size_t L = P::kLanes;
   const typename P::V sv = P::Set1(s);
   size_t i = 0;
   for (; i + L <= n; i += L) {
-    P::Store(out + i, P::Mul(P::Mul(sv, P::Load(a + i)), P::Load(b + i)));
+    P::Store(out + i, P::Mul(P::Mul(sv, LoadAs<P>(a + i)), P::Load(b + i)));
   }
-  for (; i < n; ++i) out[i] = (s * a[i]) * b[i];
+  for (; i < n; ++i) out[i] = (s * static_cast<double>(a[i])) * b[i];
 }
 
-template <class P>
-void GatherScaledHadamardImpl(double s, const double* vals, const size_t* idx,
+template <class P, class TV = double>
+void GatherScaledHadamardImpl(double s, const TV* vals, const size_t* idx,
                               const double* x, double* out, size_t n) {
   constexpr size_t L = P::kLanes;
   const typename P::V sv = P::Set1(s);
   size_t i = 0;
   for (; i + L <= n; i += L) {
     P::Store(out + i,
-             P::Mul(P::Mul(sv, P::Load(vals + i)), P::Gather(x, idx + i)));
+             P::Mul(P::Mul(sv, LoadAs<P>(vals + i)), P::Gather(x, idx + i)));
   }
-  for (; i < n; ++i) out[i] = (s * vals[i]) * x[idx[i]];
+  for (; i < n; ++i) out[i] = (s * static_cast<double>(vals[i])) * x[idx[i]];
 }
 
 // ------------------------------------------------------------ log-domain --
@@ -308,52 +346,53 @@ double MaxReduceImpl(const double* a, size_t n) {
   return r;
 }
 
-template <class P>
-double AddMaxReduceImpl(const double* a, const double* b, size_t n) {
+template <class P, class TA = double>
+double AddMaxReduceImpl(const TA* a, const double* b, size_t n) {
   constexpr size_t L = P::kLanes;
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
   typename P::V s0 = P::Set1(kNegInf), s1 = s0, s2 = s0, s3 = s0;
   size_t i = 0;
   for (; i + 4 * L <= n; i += 4 * L) {
-    s0 = P::Max(s0, P::Add(P::Load(a + i), P::Load(b + i)));
-    s1 = P::Max(s1, P::Add(P::Load(a + i + L), P::Load(b + i + L)));
-    s2 = P::Max(s2, P::Add(P::Load(a + i + 2 * L), P::Load(b + i + 2 * L)));
-    s3 = P::Max(s3, P::Add(P::Load(a + i + 3 * L), P::Load(b + i + 3 * L)));
+    s0 = P::Max(s0, P::Add(LoadAs<P>(a + i), P::Load(b + i)));
+    s1 = P::Max(s1, P::Add(LoadAs<P>(a + i + L), P::Load(b + i + L)));
+    s2 = P::Max(s2, P::Add(LoadAs<P>(a + i + 2 * L), P::Load(b + i + 2 * L)));
+    s3 = P::Max(s3, P::Add(LoadAs<P>(a + i + 3 * L), P::Load(b + i + 3 * L)));
   }
   typename P::V s = P::Max(P::Max(s0, s1), P::Max(s2, s3));
   for (; i + L <= n; i += L) {
-    s = P::Max(s, P::Add(P::Load(a + i), P::Load(b + i)));
+    s = P::Max(s, P::Add(LoadAs<P>(a + i), P::Load(b + i)));
   }
   double r = P::ReduceMax(s);
   for (; i < n; ++i) {
-    const double t = a[i] + b[i];
+    const double t = static_cast<double>(a[i]) + b[i];
     r = t > r ? t : r;
   }
   return r;
 }
 
-template <class P>
-double GatherAddMaxReduceImpl(const double* vals, const size_t* idx,
+template <class P, class TV = double>
+double GatherAddMaxReduceImpl(const TV* vals, const size_t* idx,
                               const double* x, size_t n) {
   constexpr size_t L = P::kLanes;
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
   typename P::V s0 = P::Set1(kNegInf), s1 = s0, s2 = s0, s3 = s0;
   size_t i = 0;
   for (; i + 4 * L <= n; i += 4 * L) {
-    s0 = P::Max(s0, P::Add(P::Load(vals + i), P::Gather(x, idx + i)));
-    s1 = P::Max(s1, P::Add(P::Load(vals + i + L), P::Gather(x, idx + i + L)));
-    s2 = P::Max(s2,
-                P::Add(P::Load(vals + i + 2 * L), P::Gather(x, idx + i + 2 * L)));
-    s3 = P::Max(s3,
-                P::Add(P::Load(vals + i + 3 * L), P::Gather(x, idx + i + 3 * L)));
+    s0 = P::Max(s0, P::Add(LoadAs<P>(vals + i), P::Gather(x, idx + i)));
+    s1 = P::Max(s1,
+                P::Add(LoadAs<P>(vals + i + L), P::Gather(x, idx + i + L)));
+    s2 = P::Max(s2, P::Add(LoadAs<P>(vals + i + 2 * L),
+                           P::Gather(x, idx + i + 2 * L)));
+    s3 = P::Max(s3, P::Add(LoadAs<P>(vals + i + 3 * L),
+                           P::Gather(x, idx + i + 3 * L)));
   }
   typename P::V s = P::Max(P::Max(s0, s1), P::Max(s2, s3));
   for (; i + L <= n; i += L) {
-    s = P::Max(s, P::Add(P::Load(vals + i), P::Gather(x, idx + i)));
+    s = P::Max(s, P::Add(LoadAs<P>(vals + i), P::Gather(x, idx + i)));
   }
   double r = P::ReduceMax(s);
   for (; i < n; ++i) {
-    const double t = vals[i] + x[idx[i]];
+    const double t = static_cast<double>(vals[i]) + x[idx[i]];
     r = t > r ? t : r;
   }
   return r;
@@ -381,8 +420,8 @@ double ExpSumShiftedImpl(const double* a, double shift, size_t n) {
   return r;
 }
 
-template <class P>
-double AddExpSumShiftedImpl(const double* a, const double* b, double shift,
+template <class P, class TA = double>
+double AddExpSumShiftedImpl(const TA* a, const double* b, double shift,
                             size_t n) {
   constexpr size_t L = P::kLanes;
   const typename P::V sh = P::Set1(shift);
@@ -390,32 +429,33 @@ double AddExpSumShiftedImpl(const double* a, const double* b, double shift,
                 s3 = P::Zero();
   size_t i = 0;
   for (; i + 4 * L <= n; i += 4 * L) {
-    s0 = P::Add(
-        s0, ExpPdImpl<P>(P::Sub(P::Add(P::Load(a + i), P::Load(b + i)), sh)));
-    s1 = P::Add(s1, ExpPdImpl<P>(P::Sub(
-                        P::Add(P::Load(a + i + L), P::Load(b + i + L)), sh)));
+    s0 = P::Add(s0, ExpPdImpl<P>(
+                        P::Sub(P::Add(LoadAs<P>(a + i), P::Load(b + i)), sh)));
+    s1 = P::Add(s1,
+                ExpPdImpl<P>(P::Sub(
+                    P::Add(LoadAs<P>(a + i + L), P::Load(b + i + L)), sh)));
     s2 = P::Add(s2,
                 ExpPdImpl<P>(P::Sub(
-                    P::Add(P::Load(a + i + 2 * L), P::Load(b + i + 2 * L)),
+                    P::Add(LoadAs<P>(a + i + 2 * L), P::Load(b + i + 2 * L)),
                     sh)));
     s3 = P::Add(s3,
                 ExpPdImpl<P>(P::Sub(
-                    P::Add(P::Load(a + i + 3 * L), P::Load(b + i + 3 * L)),
+                    P::Add(LoadAs<P>(a + i + 3 * L), P::Load(b + i + 3 * L)),
                     sh)));
   }
   typename P::V s = P::Add(P::Add(s0, s1), P::Add(s2, s3));
   for (; i + L <= n; i += L) {
     s = P::Add(s,
-               ExpPdImpl<P>(P::Sub(P::Add(P::Load(a + i), P::Load(b + i)),
+               ExpPdImpl<P>(P::Sub(P::Add(LoadAs<P>(a + i), P::Load(b + i)),
                                    sh)));
   }
   double r = P::ReduceAdd(s);
-  for (; i < n; ++i) r += PolyExp(a[i] + b[i] - shift);
+  for (; i < n; ++i) r += PolyExp(static_cast<double>(a[i]) + b[i] - shift);
   return r;
 }
 
-template <class P>
-double GatherAddExpSumShiftedImpl(const double* vals, const size_t* idx,
+template <class P, class TV = double>
+double GatherAddExpSumShiftedImpl(const TV* vals, const size_t* idx,
                                   const double* x, double shift, size_t n) {
   constexpr size_t L = P::kLanes;
   const typename P::V sh = P::Set1(shift);
@@ -424,69 +464,73 @@ double GatherAddExpSumShiftedImpl(const double* vals, const size_t* idx,
   size_t i = 0;
   for (; i + 4 * L <= n; i += 4 * L) {
     s0 = P::Add(s0, ExpPdImpl<P>(P::Sub(
-                        P::Add(P::Load(vals + i), P::Gather(x, idx + i)),
+                        P::Add(LoadAs<P>(vals + i), P::Gather(x, idx + i)),
                         sh)));
-    s1 = P::Add(s1,
-                ExpPdImpl<P>(P::Sub(
-                    P::Add(P::Load(vals + i + L), P::Gather(x, idx + i + L)),
-                    sh)));
-    s2 = P::Add(s2, ExpPdImpl<P>(P::Sub(P::Add(P::Load(vals + i + 2 * L),
+    s1 = P::Add(s1, ExpPdImpl<P>(P::Sub(P::Add(LoadAs<P>(vals + i + L),
+                                               P::Gather(x, idx + i + L)),
+                                        sh)));
+    s2 = P::Add(s2, ExpPdImpl<P>(P::Sub(P::Add(LoadAs<P>(vals + i + 2 * L),
                                                P::Gather(x, idx + i + 2 * L)),
                                         sh)));
-    s3 = P::Add(s3, ExpPdImpl<P>(P::Sub(P::Add(P::Load(vals + i + 3 * L),
+    s3 = P::Add(s3, ExpPdImpl<P>(P::Sub(P::Add(LoadAs<P>(vals + i + 3 * L),
                                                P::Gather(x, idx + i + 3 * L)),
                                         sh)));
   }
   typename P::V s = P::Add(P::Add(s0, s1), P::Add(s2, s3));
   for (; i + L <= n; i += L) {
     s = P::Add(s, ExpPdImpl<P>(P::Sub(
-                      P::Add(P::Load(vals + i), P::Gather(x, idx + i)), sh)));
+                      P::Add(LoadAs<P>(vals + i), P::Gather(x, idx + i)),
+                      sh)));
   }
   double r = P::ReduceAdd(s);
-  for (; i < n; ++i) r += PolyExp(vals[i] + x[idx[i]] - shift);
+  for (; i < n; ++i) {
+    r += PolyExp(static_cast<double>(vals[i]) + x[idx[i]] - shift);
+  }
   return r;
 }
 
-template <class P>
-void AddMaxAccumulateImpl(double c, const double* a, double* mx, size_t n) {
+template <class P, class TA = double>
+void AddMaxAccumulateImpl(double c, const TA* a, double* mx, size_t n) {
   constexpr size_t L = P::kLanes;
   const typename P::V cv = P::Set1(c);
   size_t i = 0;
   for (; i + L <= n; i += L) {
     P::Store(mx + i,
-             P::Max(P::Load(mx + i), P::Add(P::Load(a + i), cv)));
+             P::Max(P::Load(mx + i), P::Add(LoadAs<P>(a + i), cv)));
   }
   for (; i < n; ++i) {
-    const double t = a[i] + c;
+    const double t = static_cast<double>(a[i]) + c;
     if (t > mx[i]) mx[i] = t;
   }
 }
 
-template <class P>
-void AddExpSumAccumulateImpl(double c, const double* a, const double* shift,
+template <class P, class TA = double>
+void AddExpSumAccumulateImpl(double c, const TA* a, const double* shift,
                              double* acc, size_t n) {
   constexpr size_t L = P::kLanes;
   const typename P::V cv = P::Set1(c);
   size_t i = 0;
   for (; i + L <= n; i += L) {
     const typename P::V t =
-        P::Sub(P::Add(P::Load(a + i), cv), P::Load(shift + i));
+        P::Sub(P::Add(LoadAs<P>(a + i), cv), P::Load(shift + i));
     P::Store(acc + i, P::Add(P::Load(acc + i), ExpPdImpl<P>(t)));
   }
-  for (; i < n; ++i) acc[i] += PolyExp(a[i] + c - shift[i]);
+  for (; i < n; ++i) {
+    acc[i] += PolyExp(static_cast<double>(a[i]) + c - shift[i]);
+  }
 }
 
-template <class P>
-void AddExpWriteImpl(double shift, const double* a, const double* b,
+template <class P, class TA = double>
+void AddExpWriteImpl(double shift, const TA* a, const double* b,
                      double* out, size_t n) {
   constexpr size_t L = P::kLanes;
   const typename P::V sh = P::Set1(shift);
   size_t i = 0;
   for (; i + L <= n; i += L) {
     P::Store(out + i, ExpPdImpl<P>(P::Add(
-                          P::Add(P::Load(a + i), P::Load(b + i)), sh)));
+                          P::Add(LoadAs<P>(a + i), P::Load(b + i)), sh)));
   }
-  for (; i < n; ++i) out[i] = PolyExp(a[i] + b[i] + shift);
+  for (; i < n; ++i) out[i] = PolyExp(static_cast<double>(a[i]) + b[i] + shift);
 }
 
 /// The table every ISA TU exports, filled from one Pack type.
@@ -512,6 +556,22 @@ detail::SimdOps MakeOps() {
   ops.add_max_accumulate = AddMaxAccumulateImpl<P>;
   ops.add_exp_sum_accumulate = AddExpSumAccumulateImpl<P>;
   ops.add_exp_write = AddExpWriteImpl<P>;
+  // f32 kernel tier: the same templates at float, widening through
+  // LoadF32/GatherF32.
+  ops.dot_f32 = DotImpl<P, float>;
+  ops.dot3_f32 = Dot3Impl<P, float>;
+  ops.gather_dot_f32 = GatherDotImpl<P, float>;
+  ops.gather_dot3_f32 = GatherDot3Impl<P, float>;
+  ops.axpy_rows_f32 = AxpyRowsImpl<P, float>;
+  ops.scaled_hadamard_f32 = ScaledHadamardImpl<P, float>;
+  ops.gather_scaled_hadamard_f32 = GatherScaledHadamardImpl<P, float>;
+  ops.add_max_reduce_f32 = AddMaxReduceImpl<P, float>;
+  ops.add_exp_sum_shifted_f32 = AddExpSumShiftedImpl<P, float>;
+  ops.gather_add_max_reduce_f32 = GatherAddMaxReduceImpl<P, float>;
+  ops.gather_add_exp_sum_shifted_f32 = GatherAddExpSumShiftedImpl<P, float>;
+  ops.add_max_accumulate_f32 = AddMaxAccumulateImpl<P, float>;
+  ops.add_exp_sum_accumulate_f32 = AddExpSumAccumulateImpl<P, float>;
+  ops.add_exp_write_f32 = AddExpWriteImpl<P, float>;
   return ops;
 }
 

@@ -28,6 +28,15 @@ struct PackNeon {
     const float64x1_t hi = vld1_f64(base + idx[1]);
     return vcombine_f64(lo, hi);
   }
+  static V LoadF32(const float* p) {
+    // vcvt_f64_f32 is exact: every float is representable as a double.
+    return vcvt_f64_f32(vld1_f32(p));
+  }
+  static V GatherF32(const float* base, const size_t* idx) {
+    float32x2_t f = vdup_n_f32(base[idx[0]]);
+    f = vset_lane_f32(base[idx[1]], f, 1);
+    return vcvt_f64_f32(f);
+  }
   static double ReduceAdd(V v) {
     return vgetq_lane_f64(v, 0) + vgetq_lane_f64(v, 1);
   }

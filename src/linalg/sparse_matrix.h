@@ -22,6 +22,22 @@ class SparseMatrix {
   /// Builds from a dense matrix, dropping entries with |v| <= threshold.
   static SparseMatrix FromDense(const Matrix& dense, double threshold = 0.0);
 
+  /// Assembles from already-built CSR parts (no validation beyond sizes
+  /// being consistent — callers hand over structure they own). Lets code
+  /// that keeps a CSR structure outside a SparseMatrix (e.g. the f32
+  /// kernel storage) materialize plans with that structure without a
+  /// dense round-trip.
+  static SparseMatrix FromParts(size_t rows, size_t cols,
+                                std::vector<size_t> row_ptr,
+                                std::vector<size_t> col_index,
+                                std::vector<double> values) {
+    SparseMatrix m(rows, cols);
+    m.row_ptr_ = std::move(row_ptr);
+    m.col_index_ = std::move(col_index);
+    m.values_ = std::move(values);
+    return m;
+  }
+
   /// Builds the truncated Gibbs kernel K = e^{−C/ε} directly from a dense
   /// cost matrix, keeping only entries ≥ cutoff — no dense intermediate.
   static SparseMatrix GibbsKernel(const Matrix& cost, double epsilon,

@@ -1,0 +1,702 @@
+#include "linalg/transport_kernel_f32.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "linalg/parallel_for.h"
+#include "linalg/simd.h"
+#include "linalg/simd_exp.h"
+#include "linalg/thread_pool.h"
+
+namespace otclean::linalg {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Σ_k costs[k]·e^{(vals[k] + lv[col(k)]) + lu_r} over one stored row with
+/// float log-kernel values — the f32 mirror of RowLogCost in
+/// log_transport_kernel.cc, shared by the streamed and cached TransportCost
+/// variants so they stay bit-identical.
+double RowLogCostF32(const double* costs, const float* vals,
+                     const size_t* cols, const double* lv, double lu_r,
+                     size_t len) {
+  double s = 0.0;
+  for (size_t k = 0; k < len; ++k) {
+    s += costs[k] *
+         simd::PolyExp(static_cast<double>(vals[k]) + lv[cols[k]] + lu_r);
+  }
+  return s;
+}
+
+std::vector<float> Narrow(const std::vector<double>& src) {
+  std::vector<float> out(src.size());
+  for (size_t i = 0; i < src.size(); ++i) out[i] = static_cast<float>(src[i]);
+  return out;
+}
+
+}  // namespace
+
+DenseKernelStorageF32::DenseKernelStorageF32(const Matrix& kernel)
+    : rows(kernel.rows()), cols(kernel.cols()), values(Narrow(kernel.data())) {}
+
+SparseKernelStorageF32::SparseKernelStorageF32(
+    const SparseKernelStorage& storage)
+    : rows(storage.matrix.rows()),
+      cols(storage.matrix.cols()),
+      row_ptr(storage.matrix.row_ptr()),
+      col_index(storage.matrix.col_index()),
+      values(Narrow(storage.matrix.values())),
+      col_ptr(storage.csc.col_ptr),
+      csc_row_index(storage.csc.row_index),
+      csc_values(Narrow(storage.csc.values)),
+      max_row_nnz(storage.csc.max_row_nnz) {}
+
+// ---------------------------------------------------------- Dense linear --
+
+DenseTransportKernelF32::DenseTransportKernelF32(
+    std::shared_ptr<const DenseKernelStorageF32> storage, size_t num_threads,
+    ThreadPool* pool)
+    : storage_(std::move(storage)),
+      threads_(ResolveThreadCount(num_threads)),
+      pool_(pool) {}
+
+DenseTransportKernelF32 DenseTransportKernelF32::FromCost(const Matrix& cost,
+                                                          double epsilon,
+                                                          size_t num_threads,
+                                                          ThreadPool* pool) {
+  assert(epsilon > 0.0);
+  return DenseTransportKernelF32(
+      std::make_shared<const DenseKernelStorageF32>(cost.GibbsKernel(epsilon)),
+      num_threads, pool);
+}
+
+void DenseTransportKernelF32::Apply(const Vector& v, Vector& y) const {
+  const size_t m = storage_->rows;
+  const size_t n = storage_->cols;
+  assert(v.size() == n);
+  if (y.size() != m) y = Vector(m);
+  const float* data = storage_->values.data();
+  const double* vdata = v.begin();
+  ParallelFor(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+          y[r] = simd::DotF32(data + r * n, vdata, n);
+        }
+      },
+      GrainForWork(n), pool_);
+}
+
+void DenseTransportKernelF32::ApplyTranspose(const Vector& u,
+                                             Vector& y) const {
+  const size_t m = storage_->rows;
+  const size_t n = storage_->cols;
+  assert(u.size() == m);
+  if (y.size() != n) y = Vector(n);
+  const float* data = storage_->values.data();
+  ParallelFor(
+      n, threads_,
+      [&](size_t c0, size_t c1) {
+        const size_t w = c1 - c0;
+        double* out = y.begin() + c0;
+        for (size_t c = 0; c < w; ++c) out[c] = 0.0;
+        simd::AxpyRowsF32(u.begin(), data + c0, n, m, out, w);
+      },
+      GrainForWork(m), pool_);
+}
+
+Matrix DenseTransportKernelF32::ScaleToPlan(const Vector& u,
+                                            const Vector& v) const {
+  const size_t m = storage_->rows;
+  const size_t n = storage_->cols;
+  assert(u.size() == m && v.size() == n);
+  Matrix plan(m, n);
+  const float* data = storage_->values.data();
+  const double* vdata = v.begin();
+  double* out = plan.data().data();
+  ParallelFor(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+          simd::ScaledHadamardF32(u[r], data + r * n, vdata, out + r * n, n);
+        }
+      },
+      GrainForWork(n), pool_);
+  return plan;
+}
+
+double DenseTransportKernelF32::TransportCost(const CostProvider& cost,
+                                              const Vector& u,
+                                              const Vector& v) const {
+  const size_t m = storage_->rows;
+  const size_t n = storage_->cols;
+  assert(cost.rows() == m && cost.cols() == n);
+  assert(u.size() == m && v.size() == n);
+  const float* kdata = storage_->values.data();
+  const double* vdata = v.begin();
+  if (const Matrix* dense_cost = cost.AsMatrix()) {
+    const double* cdata = dense_cost->data().data();
+    return BlockedReduce(
+        m, threads_,
+        [&](size_t r0, size_t r1) {
+          double s = 0.0;
+          for (size_t r = r0; r < r1; ++r) {
+            const double ur = u[r];
+            if (ur == 0.0) continue;
+            s += ur * simd::Dot3F32(cdata + r * n, kdata + r * n, vdata, n);
+          }
+          return s;
+        },
+        pool_);
+  }
+  return BlockedReduce(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        std::vector<double> tile(std::min(n, kCostStreamTileCols));
+        double s = 0.0;
+        for (size_t r = r0; r < r1; ++r) {
+          const double ur = u[r];
+          if (ur == 0.0) continue;
+          double row_sum = 0.0;
+          for (size_t c0 = 0; c0 < n; c0 += tile.size()) {
+            const size_t c1 = std::min(n, c0 + tile.size());
+            cost.Fill(r, c0, c1, tile.data());
+            row_sum += simd::Dot3F32(tile.data(), kdata + r * n + c0,
+                                     vdata + c0, c1 - c0);
+          }
+          s += ur * row_sum;
+        }
+        return s;
+      },
+      pool_);
+}
+
+// --------------------------------------------------------- Sparse linear --
+
+SparseTransportKernelF32::SparseTransportKernelF32(
+    std::shared_ptr<const SparseKernelStorageF32> storage, size_t num_threads,
+    ThreadPool* pool)
+    : storage_(std::move(storage)),
+      threads_(ResolveThreadCount(num_threads)),
+      pool_(pool) {}
+
+SparseTransportKernelF32 SparseTransportKernelF32::FromCost(
+    const Matrix& cost, double epsilon, double cutoff, size_t num_threads,
+    ThreadPool* pool) {
+  return FromCost(MatrixCostProvider(cost), epsilon, cutoff, num_threads,
+                  pool);
+}
+
+SparseTransportKernelF32 SparseTransportKernelF32::FromCost(
+    const CostProvider& cost, double epsilon, double cutoff,
+    size_t num_threads, ThreadPool* pool) {
+  assert(epsilon > 0.0);
+  const SparseKernelStorage f64(
+      SparseMatrix::GibbsKernel(cost, epsilon, cutoff));
+  return SparseTransportKernelF32(
+      std::make_shared<const SparseKernelStorageF32>(f64), num_threads, pool);
+}
+
+void SparseTransportKernelF32::Apply(const Vector& v, Vector& y) const {
+  const size_t m = storage_->rows;
+  assert(v.size() == storage_->cols);
+  if (y.size() != m) y = Vector(m);
+  const auto& row_ptr = storage_->row_ptr;
+  const size_t* cols = storage_->col_index.data();
+  const float* values = storage_->values.data();
+  const double* vdata = v.begin();
+  ParallelFor(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+          const size_t k0 = row_ptr[r];
+          y[r] = simd::GatherDotF32(values + k0, cols + k0, vdata,
+                                    row_ptr[r + 1] - k0);
+        }
+      },
+      GrainForWork(storage_->nnz() / (m == 0 ? 1 : m)), pool_);
+}
+
+void SparseTransportKernelF32::ApplyTranspose(const Vector& u,
+                                              Vector& y) const {
+  const size_t n = storage_->cols;
+  assert(u.size() == storage_->rows);
+  if (y.size() != n) y = Vector(n);
+  const float* csc_values = storage_->csc_values.data();
+  const size_t* rows = storage_->csc_row_index.data();
+  const double* udata = u.begin();
+  // Lane-parallel gather per owned column — NOT the f64 path's sequential
+  // chain. The f32 tier doesn't carry the dense==sparse-at-cutoff-0
+  // exactness contract, so it is free to break the latency chain; each
+  // column is still one fixed-recipe reduction over ascending-row entries,
+  // deterministic for any thread count.
+  ParallelFor(
+      n, threads_,
+      [&](size_t c0, size_t c1) {
+        for (size_t c = c0; c < c1; ++c) {
+          const size_t k0 = storage_->col_ptr[c];
+          y[c] = simd::GatherDotF32(csc_values + k0, rows + k0, udata,
+                                    storage_->col_ptr[c + 1] - k0);
+        }
+      },
+      GrainForWork(storage_->nnz() / (n == 0 ? 1 : n)), pool_);
+}
+
+Matrix SparseTransportKernelF32::ScaleToPlan(const Vector& u,
+                                             const Vector& v) const {
+  const size_t m = storage_->rows;
+  const size_t n = storage_->cols;
+  assert(u.size() == m && v.size() == n);
+  Matrix plan(m, n, 0.0);
+  const auto& row_ptr = storage_->row_ptr;
+  const auto& col_index = storage_->col_index;
+  const auto& values = storage_->values;
+  ParallelFor(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+          const double ur = u[r];
+          for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+            plan(r, col_index[k]) =
+                (ur * static_cast<double>(values[k])) * v[col_index[k]];
+          }
+        }
+      },
+      GrainForWork(storage_->nnz() / (m == 0 ? 1 : m)), pool_);
+  return plan;
+}
+
+SparseMatrix SparseTransportKernelF32::ScaleToPlanSparse(
+    const Vector& u, const Vector& v) const {
+  assert(u.size() == storage_->rows && v.size() == storage_->cols);
+  const auto& row_ptr = storage_->row_ptr;
+  const size_t* cols = storage_->col_index.data();
+  const float* values = storage_->values.data();
+  const double* vdata = v.begin();
+  std::vector<double> out(storage_->nnz());
+  const size_t m = storage_->rows;
+  ParallelFor(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+          const size_t k0 = row_ptr[r];
+          simd::GatherScaledHadamardF32(u[r], values + k0, cols + k0, vdata,
+                                        out.data() + k0, row_ptr[r + 1] - k0);
+        }
+      },
+      GrainForWork(storage_->nnz() / (m == 0 ? 1 : m)), pool_);
+  return SparseMatrix::FromParts(m, storage_->cols, storage_->row_ptr,
+                                 storage_->col_index, std::move(out));
+}
+
+std::vector<double> SparseTransportKernelF32::GatherSupportCosts(
+    const CostProvider& cost) const {
+  assert(cost.rows() == storage_->rows && cost.cols() == storage_->cols);
+  const auto& row_ptr = storage_->row_ptr;
+  const size_t* cols = storage_->col_index.data();
+  std::vector<double> out(storage_->nnz());
+  for (size_t r = 0; r < storage_->rows; ++r) {
+    const size_t k0 = row_ptr[r];
+    cost.Gather(r, cols + k0, row_ptr[r + 1] - k0, out.data() + k0);
+  }
+  return out;
+}
+
+double SparseTransportKernelF32::SupportTransportCost(
+    const std::vector<double>& support_costs, const Vector& u,
+    const Vector& v) const {
+  const size_t m = storage_->rows;
+  assert(support_costs.size() == storage_->nnz());
+  assert(u.size() == m && v.size() == storage_->cols);
+  const auto& row_ptr = storage_->row_ptr;
+  const size_t* cols = storage_->col_index.data();
+  const float* values = storage_->values.data();
+  const double* costs = support_costs.data();
+  const double* vdata = v.begin();
+  return BlockedReduce(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        double s = 0.0;
+        for (size_t r = r0; r < r1; ++r) {
+          const double ur = u[r];
+          if (ur == 0.0) continue;
+          const size_t k0 = row_ptr[r];
+          s += ur * simd::GatherDot3F32(costs + k0, values + k0, cols + k0,
+                                        vdata, row_ptr[r + 1] - k0);
+        }
+        return s;
+      },
+      pool_);
+}
+
+double SparseTransportKernelF32::TransportCost(const CostProvider& cost,
+                                               const Vector& u,
+                                               const Vector& v) const {
+  const size_t m = storage_->rows;
+  assert(cost.rows() == m && cost.cols() == storage_->cols);
+  assert(u.size() == m && v.size() == storage_->cols);
+  const auto& row_ptr = storage_->row_ptr;
+  const size_t* cols = storage_->col_index.data();
+  const float* values = storage_->values.data();
+  const double* vdata = v.begin();
+  return BlockedReduce(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        std::vector<double> crow(storage_->max_row_nnz);
+        double s = 0.0;
+        for (size_t r = r0; r < r1; ++r) {
+          const double ur = u[r];
+          if (ur == 0.0) continue;
+          const size_t k0 = row_ptr[r];
+          const size_t len = row_ptr[r + 1] - k0;
+          cost.Gather(r, cols + k0, len, crow.data());
+          s += ur * simd::GatherDot3F32(crow.data(), values + k0, cols + k0,
+                                        vdata, len);
+        }
+        return s;
+      },
+      pool_);
+}
+
+// ------------------------------------------------------------- Dense log --
+
+DenseLogTransportKernelF32::DenseLogTransportKernelF32(
+    std::shared_ptr<const DenseKernelStorageF32> storage, size_t num_threads,
+    ThreadPool* pool)
+    : storage_(std::move(storage)),
+      threads_(ResolveThreadCount(num_threads)),
+      pool_(pool) {}
+
+DenseLogTransportKernelF32 DenseLogTransportKernelF32::FromCost(
+    const Matrix& cost, double epsilon, size_t num_threads, ThreadPool* pool) {
+  return FromCost(MatrixCostProvider(cost), epsilon, num_threads, pool);
+}
+
+DenseLogTransportKernelF32 DenseLogTransportKernelF32::FromCost(
+    const CostProvider& cost, double epsilon, size_t num_threads,
+    ThreadPool* pool) {
+  assert(epsilon > 0.0);
+  const DenseLogTransportKernel f64 =
+      DenseLogTransportKernel::FromCost(cost, epsilon, num_threads, pool);
+  return DenseLogTransportKernelF32(
+      std::make_shared<const DenseKernelStorageF32>(f64.log_kernel()),
+      num_threads, pool);
+}
+
+void DenseLogTransportKernelF32::LogApply(const Vector& lv,
+                                          Vector& out) const {
+  const size_t m = storage_->rows;
+  const size_t n = storage_->cols;
+  assert(lv.size() == n);
+  if (out.size() != m) out = Vector(m);
+  const float* data = storage_->values.data();
+  const double* lvdata = lv.begin();
+  ParallelFor(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+          const float* row = data + r * n;
+          const double mx = simd::AddMaxReduceF32(row, lvdata, n);
+          out[r] = mx == kNegInf
+                       ? kNegInf
+                       : mx + std::log(simd::AddExpSumShiftedF32(row, lvdata,
+                                                                 mx, n));
+        }
+      },
+      GrainForWork(n), pool_);
+}
+
+void DenseLogTransportKernelF32::LogApplyTranspose(const Vector& lu,
+                                                   Vector& out) const {
+  const size_t m = storage_->rows;
+  const size_t n = storage_->cols;
+  assert(lu.size() == m);
+  if (out.size() != n) out = Vector(n);
+  const float* data = storage_->values.data();
+  // Same column-strip two-pass walk as the f64 dense log kernel.
+  ParallelFor(
+      n, threads_,
+      [&](size_t c0, size_t c1) {
+        std::vector<double> mx(std::min(c1 - c0, kCostStreamTileCols));
+        std::vector<double> acc(mx.size());
+        for (size_t s0 = c0; s0 < c1; s0 += mx.size()) {
+          const size_t s1 = std::min(c1, s0 + mx.size());
+          const size_t w = s1 - s0;
+          std::fill(mx.begin(), mx.begin() + w, kNegInf);
+          std::fill(acc.begin(), acc.begin() + w, 0.0);
+          for (size_t r = 0; r < m; ++r) {
+            if (lu[r] == kNegInf) continue;
+            simd::AddMaxAccumulateF32(lu[r], data + r * n + s0, mx.data(), w);
+          }
+          for (size_t r = 0; r < m; ++r) {
+            if (lu[r] == kNegInf) continue;
+            simd::AddExpSumAccumulateF32(lu[r], data + r * n + s0, mx.data(),
+                                         acc.data(), w);
+          }
+          for (size_t c = 0; c < w; ++c) {
+            out[s0 + c] =
+                mx[c] == kNegInf ? kNegInf : mx[c] + std::log(acc[c]);
+          }
+        }
+      },
+      GrainForWork(m), pool_);
+}
+
+Matrix DenseLogTransportKernelF32::ScaleToPlan(const Vector& lu,
+                                               const Vector& lv) const {
+  const size_t m = storage_->rows;
+  const size_t n = storage_->cols;
+  assert(lu.size() == m && lv.size() == n);
+  Matrix plan(m, n);
+  const float* data = storage_->values.data();
+  const double* lvdata = lv.begin();
+  double* out = plan.data().data();
+  ParallelFor(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+          simd::AddExpWriteF32(lu[r], data + r * n, lvdata, out + r * n, n);
+        }
+      },
+      GrainForWork(n), pool_);
+  return plan;
+}
+
+double DenseLogTransportKernelF32::TransportCost(const CostProvider& cost,
+                                                 const Vector& lu,
+                                                 const Vector& lv) const {
+  const size_t m = storage_->rows;
+  const size_t n = storage_->cols;
+  assert(cost.rows() == m && cost.cols() == n);
+  assert(lu.size() == m && lv.size() == n);
+  const float* data = storage_->values.data();
+  const double* lvdata = lv.begin();
+  const Matrix* dense_cost = cost.AsMatrix();
+  return BlockedReduce(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        std::vector<double> w(std::min(n, kCostStreamTileCols));
+        std::vector<double> ctile(dense_cost == nullptr ? w.size() : 0);
+        double s = 0.0;
+        for (size_t r = r0; r < r1; ++r) {
+          if (lu[r] == kNegInf) continue;
+          double row_sum = 0.0;
+          for (size_t c0 = 0; c0 < n; c0 += w.size()) {
+            const size_t c1 = std::min(n, c0 + w.size());
+            simd::AddExpWriteF32(lu[r], data + r * n + c0, lvdata + c0,
+                                 w.data(), c1 - c0);
+            const double* crow;
+            if (dense_cost != nullptr) {
+              crow = dense_cost->data().data() + r * n + c0;
+            } else {
+              cost.Fill(r, c0, c1, ctile.data());
+              crow = ctile.data();
+            }
+            row_sum += simd::Dot(crow, w.data(), c1 - c0);
+          }
+          s += row_sum;
+        }
+        return s;
+      },
+      pool_);
+}
+
+// ------------------------------------------------------------ Sparse log --
+
+SparseLogTransportKernelF32::SparseLogTransportKernelF32(
+    std::shared_ptr<const SparseKernelStorageF32> storage, size_t num_threads,
+    ThreadPool* pool)
+    : storage_(std::move(storage)),
+      threads_(ResolveThreadCount(num_threads)),
+      pool_(pool) {}
+
+SparseLogTransportKernelF32 SparseLogTransportKernelF32::FromCost(
+    const Matrix& cost, double epsilon, double cutoff, size_t num_threads,
+    ThreadPool* pool) {
+  return FromCost(MatrixCostProvider(cost), epsilon, cutoff, num_threads,
+                  pool);
+}
+
+SparseLogTransportKernelF32 SparseLogTransportKernelF32::FromCost(
+    const CostProvider& cost, double epsilon, double cutoff,
+    size_t num_threads, ThreadPool* pool) {
+  assert(epsilon > 0.0);
+  const SparseKernelStorage f64(
+      SparseMatrix::LogGibbsKernel(cost, epsilon, cutoff));
+  return SparseLogTransportKernelF32(
+      std::make_shared<const SparseKernelStorageF32>(f64), num_threads, pool);
+}
+
+void SparseLogTransportKernelF32::LogApply(const Vector& lv,
+                                           Vector& out) const {
+  const size_t m = storage_->rows;
+  assert(lv.size() == storage_->cols);
+  if (out.size() != m) out = Vector(m);
+  const auto& row_ptr = storage_->row_ptr;
+  const size_t* cols = storage_->col_index.data();
+  const float* values = storage_->values.data();
+  const double* lvdata = lv.begin();
+  ParallelFor(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+          const size_t k0 = row_ptr[r];
+          const size_t len = row_ptr[r + 1] - k0;
+          const double mx =
+              simd::GatherAddMaxReduceF32(values + k0, cols + k0, lvdata,
+                                          len);
+          out[r] = mx == kNegInf
+                       ? kNegInf
+                       : mx + std::log(simd::GatherAddExpSumShiftedF32(
+                                 values + k0, cols + k0, lvdata, mx, len));
+        }
+      },
+      GrainForWork(storage_->nnz() / (m == 0 ? 1 : m)), pool_);
+}
+
+void SparseLogTransportKernelF32::LogApplyTranspose(const Vector& lu,
+                                                    Vector& out) const {
+  const size_t n = storage_->cols;
+  assert(lu.size() == storage_->rows);
+  if (out.size() != n) out = Vector(n);
+  const float* csc_values = storage_->csc_values.data();
+  const size_t* rows = storage_->csc_row_index.data();
+  const double* ludata = lu.begin();
+  ParallelFor(
+      n, threads_,
+      [&](size_t c0, size_t c1) {
+        for (size_t c = c0; c < c1; ++c) {
+          const size_t k0 = storage_->col_ptr[c];
+          const size_t len = storage_->col_ptr[c + 1] - k0;
+          const double mx =
+              simd::GatherAddMaxReduceF32(csc_values + k0, rows + k0, ludata,
+                                          len);
+          out[c] = mx == kNegInf
+                       ? kNegInf
+                       : mx + std::log(simd::GatherAddExpSumShiftedF32(
+                                 csc_values + k0, rows + k0, ludata, mx,
+                                 len));
+        }
+      },
+      GrainForWork(storage_->nnz() / (n == 0 ? 1 : n)), pool_);
+}
+
+Matrix SparseLogTransportKernelF32::ScaleToPlan(const Vector& lu,
+                                                const Vector& lv) const {
+  const size_t m = storage_->rows;
+  const size_t n = storage_->cols;
+  assert(lu.size() == m && lv.size() == n);
+  Matrix plan(m, n, 0.0);
+  const auto& row_ptr = storage_->row_ptr;
+  const auto& col_index = storage_->col_index;
+  const auto& values = storage_->values;
+  ParallelFor(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+          const double lur = lu[r];
+          for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+            plan(r, col_index[k]) = simd::PolyExp(
+                static_cast<double>(values[k]) + lv[col_index[k]] + lur);
+          }
+        }
+      },
+      GrainForWork(storage_->nnz() / (m == 0 ? 1 : m)), pool_);
+  return plan;
+}
+
+SparseMatrix SparseLogTransportKernelF32::ScaleToPlanSparse(
+    const Vector& lu, const Vector& lv) const {
+  assert(lu.size() == storage_->rows && lv.size() == storage_->cols);
+  const auto& row_ptr = storage_->row_ptr;
+  const size_t* cols = storage_->col_index.data();
+  const float* values = storage_->values.data();
+  std::vector<double> out(storage_->nnz());
+  const size_t m = storage_->rows;
+  ParallelFor(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+          const double lur = lu[r];
+          for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+            out[k] = simd::PolyExp(static_cast<double>(values[k]) +
+                                   lv[cols[k]] + lur);
+          }
+        }
+      },
+      GrainForWork(storage_->nnz() / (m == 0 ? 1 : m)), pool_);
+  return SparseMatrix::FromParts(m, storage_->cols, storage_->row_ptr,
+                                 storage_->col_index, std::move(out));
+}
+
+std::vector<double> SparseLogTransportKernelF32::GatherSupportCosts(
+    const CostProvider& cost) const {
+  assert(cost.rows() == storage_->rows && cost.cols() == storage_->cols);
+  const auto& row_ptr = storage_->row_ptr;
+  const size_t* cols = storage_->col_index.data();
+  std::vector<double> out(storage_->nnz());
+  for (size_t r = 0; r < storage_->rows; ++r) {
+    const size_t k0 = row_ptr[r];
+    cost.Gather(r, cols + k0, row_ptr[r + 1] - k0, out.data() + k0);
+  }
+  return out;
+}
+
+double SparseLogTransportKernelF32::SupportTransportCost(
+    const std::vector<double>& support_costs, const Vector& lu,
+    const Vector& lv) const {
+  const size_t m = storage_->rows;
+  assert(support_costs.size() == storage_->nnz());
+  assert(lu.size() == m && lv.size() == storage_->cols);
+  const auto& row_ptr = storage_->row_ptr;
+  const size_t* cols = storage_->col_index.data();
+  const float* values = storage_->values.data();
+  const double* costs = support_costs.data();
+  const double* lvdata = lv.begin();
+  return BlockedReduce(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        double s = 0.0;
+        for (size_t r = r0; r < r1; ++r) {
+          if (lu[r] == kNegInf) continue;
+          const size_t k0 = row_ptr[r];
+          s += RowLogCostF32(costs + k0, values + k0, cols + k0, lvdata,
+                             lu[r], row_ptr[r + 1] - k0);
+        }
+        return s;
+      },
+      pool_);
+}
+
+double SparseLogTransportKernelF32::TransportCost(const CostProvider& cost,
+                                                  const Vector& lu,
+                                                  const Vector& lv) const {
+  const size_t m = storage_->rows;
+  assert(cost.rows() == m && cost.cols() == storage_->cols);
+  assert(lu.size() == m && lv.size() == storage_->cols);
+  const auto& row_ptr = storage_->row_ptr;
+  const size_t* cols = storage_->col_index.data();
+  const float* values = storage_->values.data();
+  const double* lvdata = lv.begin();
+  return BlockedReduce(
+      m, threads_,
+      [&](size_t r0, size_t r1) {
+        std::vector<double> crow(storage_->max_row_nnz);
+        double s = 0.0;
+        for (size_t r = r0; r < r1; ++r) {
+          if (lu[r] == kNegInf) continue;
+          const size_t k0 = row_ptr[r];
+          const size_t len = row_ptr[r + 1] - k0;
+          cost.Gather(r, cols + k0, len, crow.data());
+          s += RowLogCostF32(crow.data(), values + k0, cols + k0, lvdata,
+                             lu[r], len);
+        }
+        return s;
+      },
+      pool_);
+}
+
+}  // namespace otclean::linalg

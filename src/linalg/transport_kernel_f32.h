@@ -1,0 +1,262 @@
+#ifndef OTCLEAN_LINALG_TRANSPORT_KERNEL_F32_H_
+#define OTCLEAN_LINALG_TRANSPORT_KERNEL_F32_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "linalg/cost_provider.h"
+#include "linalg/log_transport_kernel.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse_matrix.h"
+#include "linalg/transport_kernel.h"
+#include "linalg/vector.h"
+
+namespace otclean::linalg {
+
+class ThreadPool;
+
+/// Float-storage backings of the four transport kernels — the
+/// Precision::kFloat32 tier (precision.h). Each storage is built by
+/// NARROWING an already-built f64 kernel: values round once to float
+/// (round-to-nearest, relative error ≤ 2^-24) and, for sparse storage, the
+/// kept-set is decided in DOUBLE before narrowing — so the f32 and f64
+/// kernels of one (cost, ε, cutoff) always share a sparsity pattern, and
+/// support checks / plan structures carry over unchanged.
+///
+/// The kernel classes below implement the same abstract TransportKernel /
+/// LogTransportKernel interfaces the solver engine is written against, so
+/// the scaling loop, FastOTClean's outer loop, and the cache wiring are
+/// precision-blind. All arithmetic accumulates in double through the f32
+/// SIMD lanes of simd.h; outputs (potentials, plans, costs) are double.
+///
+/// Determinism: per (SIMD tier, f32) the f64 guarantees carry over —
+/// bit-identical across thread counts, pool modes, and cache hit/miss.
+/// The one dropped f64 contract is dense == sparse-at-cutoff-0 for
+/// ApplyTranspose: the f32 sparse transpose uses the lane-parallel
+/// GatherDotF32 instead of the sequential chain (see simd.h), which is
+/// exactly where the f32 sparse_applyT speedup comes from.
+
+/// Dense row-major float storage of K = e^{−C/ε} or L = −C/ε.
+struct DenseKernelStorageF32 {
+  DenseKernelStorageF32() = default;
+  /// Narrows a built f64 kernel matrix.
+  explicit DenseKernelStorageF32(const Matrix& kernel);
+
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<float> values;
+
+  size_t size() const { return values.size(); }
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const { return values.size() * sizeof(float); }
+};
+
+/// CSR float storage (plus float CSC mirror) of a truncated kernel.
+/// Structure (row_ptr/col_index/col_ptr/row order) is copied verbatim from
+/// the f64 storage; only the values narrow.
+struct SparseKernelStorageF32 {
+  SparseKernelStorageF32() = default;
+  /// Narrows a built f64 storage (CSR + mirror).
+  explicit SparseKernelStorageF32(const SparseKernelStorage& storage);
+
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<size_t> row_ptr;
+  std::vector<size_t> col_index;
+  std::vector<float> values;
+  // CSC mirror, ascending-row order within each column.
+  std::vector<size_t> col_ptr;
+  std::vector<size_t> csc_row_index;
+  std::vector<float> csc_values;
+  /// Longest stored CSR row — sizes per-block gather scratch.
+  size_t max_row_nnz = 0;
+
+  size_t nnz() const { return values.size(); }
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const {
+    return (row_ptr.size() + col_index.size() + col_ptr.size() +
+            csc_row_index.size()) *
+               sizeof(size_t) +
+           (values.size() + csc_values.size()) * sizeof(float);
+  }
+};
+
+/// Dense f32 linear kernel (K in float, double accumulators).
+class DenseTransportKernelF32 final : public TransportKernel {
+ public:
+  explicit DenseTransportKernelF32(
+      std::shared_ptr<const DenseKernelStorageF32> storage,
+      size_t num_threads = 0, ThreadPool* pool = nullptr);
+
+  /// Builds (f64) then narrows K = e^{−C/ε}.
+  static DenseTransportKernelF32 FromCost(const Matrix& cost, double epsilon,
+                                          size_t num_threads = 0,
+                                          ThreadPool* pool = nullptr);
+
+  size_t rows() const override { return storage_->rows; }
+  size_t cols() const override { return storage_->cols; }
+  size_t nnz() const override { return storage_->size(); }
+  size_t num_threads() const override { return threads_; }
+
+  void Apply(const Vector& v, Vector& y) const override;
+  void ApplyTranspose(const Vector& u, Vector& y) const override;
+  Matrix ScaleToPlan(const Vector& u, const Vector& v) const override;
+  using TransportKernel::TransportCost;
+  double TransportCost(const CostProvider& cost, const Vector& u,
+                       const Vector& v) const override;
+
+  /// The underlying storage handle, for sharing (core::SolveCache).
+  const std::shared_ptr<const DenseKernelStorageF32>& shared_storage() const {
+    return storage_;
+  }
+
+ private:
+  std::shared_ptr<const DenseKernelStorageF32> storage_;
+  size_t threads_;
+  ThreadPool* pool_;
+};
+
+/// CSR f32 linear kernel. ApplyTranspose gathers lane-parallel over the
+/// float CSC mirror — the f32 tier's sparse_applyT win.
+class SparseTransportKernelF32 final : public TransportKernel {
+ public:
+  explicit SparseTransportKernelF32(
+      std::shared_ptr<const SparseKernelStorageF32> storage,
+      size_t num_threads = 0, ThreadPool* pool = nullptr);
+
+  /// Builds the f64 truncated kernel (kept-set decided in double), then
+  /// narrows. Cutoff semantics match SparseTransportKernel::FromCost.
+  static SparseTransportKernelF32 FromCost(const CostProvider& cost,
+                                           double epsilon, double cutoff,
+                                           size_t num_threads = 0,
+                                           ThreadPool* pool = nullptr);
+  static SparseTransportKernelF32 FromCost(const Matrix& cost, double epsilon,
+                                           double cutoff,
+                                           size_t num_threads = 0,
+                                           ThreadPool* pool = nullptr);
+
+  size_t rows() const override { return storage_->rows; }
+  size_t cols() const override { return storage_->cols; }
+  size_t nnz() const override { return storage_->nnz(); }
+  size_t num_threads() const override { return threads_; }
+
+  void Apply(const Vector& v, Vector& y) const override;
+  void ApplyTranspose(const Vector& u, Vector& y) const override;
+  Matrix ScaleToPlan(const Vector& u, const Vector& v) const override;
+  using TransportKernel::TransportCost;
+  double TransportCost(const CostProvider& cost, const Vector& u,
+                       const Vector& v) const override;
+
+  /// The scaled plan in CSR form (double values), inheriting the kernel's
+  /// sparsity pattern.
+  SparseMatrix ScaleToPlanSparse(const Vector& u, const Vector& v) const;
+
+  /// Streams the provider once; C at every stored entry, aligned with the
+  /// CSR values — same contract as SparseTransportKernel.
+  std::vector<double> GatherSupportCosts(const CostProvider& cost) const;
+
+  /// TransportCost from a GatherSupportCosts cache; bit-identical to the
+  /// streaming CostProvider overload.
+  double SupportTransportCost(const std::vector<double>& support_costs,
+                              const Vector& u, const Vector& v) const;
+
+  const std::shared_ptr<const SparseKernelStorageF32>& shared_storage() const {
+    return storage_;
+  }
+
+ private:
+  std::shared_ptr<const SparseKernelStorageF32> storage_;
+  size_t threads_;
+  ThreadPool* pool_;
+};
+
+/// Dense f32 log kernel (L in float, LSE accumulated in double).
+class DenseLogTransportKernelF32 final : public LogTransportKernel {
+ public:
+  explicit DenseLogTransportKernelF32(
+      std::shared_ptr<const DenseKernelStorageF32> storage,
+      size_t num_threads = 0, ThreadPool* pool = nullptr);
+
+  /// Builds (f64, streamed — the raw cost never materializes) then narrows
+  /// L = −C/ε.
+  static DenseLogTransportKernelF32 FromCost(const CostProvider& cost,
+                                             double epsilon,
+                                             size_t num_threads = 0,
+                                             ThreadPool* pool = nullptr);
+  static DenseLogTransportKernelF32 FromCost(const Matrix& cost,
+                                             double epsilon,
+                                             size_t num_threads = 0,
+                                             ThreadPool* pool = nullptr);
+
+  size_t rows() const override { return storage_->rows; }
+  size_t cols() const override { return storage_->cols; }
+  size_t nnz() const override { return storage_->size(); }
+  size_t num_threads() const override { return threads_; }
+
+  void LogApply(const Vector& lv, Vector& out) const override;
+  void LogApplyTranspose(const Vector& lu, Vector& out) const override;
+  Matrix ScaleToPlan(const Vector& lu, const Vector& lv) const override;
+  double TransportCost(const CostProvider& cost, const Vector& lu,
+                       const Vector& lv) const override;
+
+  const std::shared_ptr<const DenseKernelStorageF32>& shared_storage() const {
+    return storage_;
+  }
+
+ private:
+  std::shared_ptr<const DenseKernelStorageF32> storage_;
+  size_t threads_;
+  ThreadPool* pool_;
+};
+
+/// CSR f32 log kernel; missing entries are −inf ("impossible move") as in
+/// the f64 sparse log kernel, and the kept-set matches the linear one.
+class SparseLogTransportKernelF32 final : public LogTransportKernel {
+ public:
+  explicit SparseLogTransportKernelF32(
+      std::shared_ptr<const SparseKernelStorageF32> storage,
+      size_t num_threads = 0, ThreadPool* pool = nullptr);
+
+  /// Builds the f64 truncated log-kernel (kept-set in double), narrows.
+  /// `cutoff` is in kernel space as for SparseLogTransportKernel::FromCost.
+  static SparseLogTransportKernelF32 FromCost(const CostProvider& cost,
+                                              double epsilon, double cutoff,
+                                              size_t num_threads = 0,
+                                              ThreadPool* pool = nullptr);
+  static SparseLogTransportKernelF32 FromCost(const Matrix& cost,
+                                              double epsilon, double cutoff,
+                                              size_t num_threads = 0,
+                                              ThreadPool* pool = nullptr);
+
+  size_t rows() const override { return storage_->rows; }
+  size_t cols() const override { return storage_->cols; }
+  size_t nnz() const override { return storage_->nnz(); }
+  size_t num_threads() const override { return threads_; }
+
+  void LogApply(const Vector& lv, Vector& out) const override;
+  void LogApplyTranspose(const Vector& lu, Vector& out) const override;
+  Matrix ScaleToPlan(const Vector& lu, const Vector& lv) const override;
+  double TransportCost(const CostProvider& cost, const Vector& lu,
+                       const Vector& lv) const override;
+
+  /// The scaled plan in CSR form (double values), kernel's pattern.
+  SparseMatrix ScaleToPlanSparse(const Vector& lu, const Vector& lv) const;
+
+  std::vector<double> GatherSupportCosts(const CostProvider& cost) const;
+  double SupportTransportCost(const std::vector<double>& support_costs,
+                              const Vector& lu, const Vector& lv) const;
+
+  const std::shared_ptr<const SparseKernelStorageF32>& shared_storage() const {
+    return storage_;
+  }
+
+ private:
+  std::shared_ptr<const SparseKernelStorageF32> storage_;
+  size_t threads_;
+  ThreadPool* pool_;
+};
+
+}  // namespace otclean::linalg
+
+#endif  // OTCLEAN_LINALG_TRANSPORT_KERNEL_F32_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -10,6 +11,7 @@
 #include "core/solve_cache.h"
 #include "linalg/parallel_for.h"
 #include "linalg/thread_pool.h"
+#include "linalg/transport_kernel_f32.h"
 
 namespace otclean::ot {
 
@@ -139,6 +141,49 @@ Status ValidateWarmStart(const char* where, const linalg::Vector* warm_u,
   return Status::OK();
 }
 
+/// Generous upper bound on annealing stages — a schedule whose geometric
+/// decay needs more than this many stages to reach the final ε (decay
+/// pathologically close to 1, or an absurd initial/final ratio) is a
+/// configuration error, not a workload.
+constexpr size_t kMaxAnnealStages = 64;
+
+Status ValidateSchedule(const char* where, const SinkhornOptions& options) {
+  const EpsilonSchedule& s = options.epsilon_schedule;
+  if (!s.enabled()) return Status::OK();
+  if (!(s.initial_epsilon > options.epsilon)) {
+    return Status::InvalidArgument(
+        std::string(where) + ": epsilon_schedule.initial_epsilon (" +
+        std::to_string(s.initial_epsilon) +
+        ") must exceed the final epsilon (" + std::to_string(options.epsilon) +
+        ") — annealing runs from easy (large ε) to sharp (small ε)");
+  }
+  if (!(s.decay > 0.0 && s.decay < 1.0)) {
+    return Status::InvalidArgument(
+        std::string(where) + ": epsilon_schedule.decay = " +
+        std::to_string(s.decay) + " must lie in (0, 1)");
+  }
+  if (!(s.stage_tolerance > 0.0)) {
+    return Status::InvalidArgument(
+        std::string(where) + ": epsilon_schedule.stage_tolerance must be > 0");
+  }
+  if (s.stage_max_iterations == 0) {
+    return Status::InvalidArgument(
+        std::string(where) +
+        ": epsilon_schedule.stage_max_iterations must be positive");
+  }
+  size_t stages = 0;
+  for (double e = s.initial_epsilon; e > options.epsilon;
+       e = std::max(options.epsilon, e * s.decay)) {
+    if (++stages > kMaxAnnealStages) {
+      return Status::InvalidArgument(
+          std::string(where) + ": epsilon_schedule would run more than " +
+          std::to_string(kMaxAnnealStages) +
+          " stages — use a smaller decay or initial_epsilon");
+    }
+  }
+  return Status::OK();
+}
+
 Status ValidateInputs(const char* where, const linalg::CostProvider& cost,
                       const linalg::Vector& p, const linalg::Vector& q,
                       const SinkhornOptions& options) {
@@ -150,6 +195,24 @@ Status ValidateInputs(const char* where, const linalg::CostProvider& cost,
     return Status::InvalidArgument(std::string(where) +
                                    ": epsilon must be positive");
   }
+  // max_iterations == 0 silently returned the cold-start potentials as a
+  // "converged: false" result — an all-ones plan scaling that looks like a
+  // solve. tolerance <= 0 (or NaN) can never be met, so every run burned
+  // the full iteration budget and reported failure. Both are caller bugs;
+  // reject them loudly.
+  if (options.max_iterations == 0) {
+    return Status::InvalidArgument(
+        std::string(where) +
+        ": max_iterations must be positive (a 0-iteration run would return "
+        "the unsolved cold-start scalings)");
+  }
+  if (!(options.tolerance > 0.0)) {
+    return Status::InvalidArgument(
+        std::string(where) + ": tolerance = " +
+        std::to_string(options.tolerance) +
+        " can never be reached (it must be a positive number)");
+  }
+  if (Status s = ValidateSchedule(where, options); !s.ok()) return s;
   if (Status s = ValidateMarginals(where, p, q); !s.ok()) return s;
   return ValidateFiniteCosts(where, cost);
 }
@@ -212,8 +275,8 @@ struct CacheSession {
                double cutoff) {
     if (options.solve_cache == nullptr) return;
     key = core::MakeSolveCacheKey(options.cache_cost_fingerprint, rows, cols,
-                                  options.epsilon, cutoff,
-                                  options.log_domain);
+                                  options.epsilon, cutoff, options.log_domain,
+                                  /*salt=*/0, options.precision);
     if (!key.valid()) return;
     cache = options.solve_cache;
     use_warm_store = options.cache_warm_start;
@@ -280,6 +343,204 @@ void ExpPotentials(const linalg::Vector& lp, linalg::Vector& out) {
   ClampScaling(out);
 }
 
+/// Potential carry-over between annealing stages: u ≈ e^{f/ε} for a dual
+/// potential f that varies slowly with ε, so the stage-(k+1) start is
+/// u^{ε_k/ε_{k+1}}. Zeros ("no mass") stay zero; the exponent exceeds 1
+/// (ε shrinks), so clamp the blow-up exactly as the engine loop would.
+void RescalePotentials(linalg::Vector& s, double ratio) {
+  for (size_t i = 0; i < s.size(); ++i) {
+    s[i] = s[i] > 0.0 ? std::pow(s[i], ratio) : 0.0;
+  }
+  ClampScaling(s);
+}
+
+/// Annealing applies only when nobody supplied a better start: explicit
+/// warm vectors and warm-store hits are already warm. Call after
+/// CacheSession::MaybeWarm so store hits have claimed the pointers.
+bool ShouldAnneal(const SinkhornOptions& options, const linalg::Vector* warm_u,
+                  const linalg::Vector* warm_v) {
+  return options.epsilon_schedule.enabled() && warm_u == nullptr &&
+         warm_v == nullptr;
+}
+
+/// One annealing stage: build (or fetch from the solve cache) the kernel
+/// at the stage ε and run the engine loop at the schedule's loose
+/// tolerance, updating the linear-domain potentials in place. The stage
+/// honors log_domain and precision exactly as the final solve will, so
+/// its warm start is shaped by the same arithmetic; no plan or transport
+/// cost is ever materialized — stages exist only to move potentials.
+Result<EpsilonAnnealStage> RunAnnealStage(
+    const linalg::CostProvider& cost, const linalg::Vector& p,
+    const linalg::Vector& q, const SinkhornOptions& stage_options,
+    bool sparse, double cutoff, linalg::Vector& u, linalg::Vector& v,
+    linalg::ThreadPool* pool) {
+  const bool f32 = stage_options.precision == linalg::Precision::kFloat32;
+  const size_t threads = stage_options.num_threads;
+  const double eps = stage_options.epsilon;
+  CacheSession session(stage_options, cost.rows(), cost.cols(),
+                       sparse ? cutoff : 0.0);
+  EpsilonAnnealStage stage;
+  stage.epsilon = eps;
+
+  // No per-stage support check: a stage ε exceeds the final ε, so its
+  // truncated kept-set is a superset of the final kernel's — the final
+  // solve's check governs. An emptied stage row merely yields a zero
+  // potential there, which the final solve overwrites or rejects.
+  if (stage_options.log_domain) {
+    std::unique_ptr<const linalg::LogTransportKernel> kernel;
+    if (sparse && f32) {
+      std::shared_ptr<const linalg::SparseKernelStorageF32> shared;
+      if (auto hit = session.Find()) shared = hit->sparse_f32;
+      if (shared != nullptr) {
+        kernel = std::make_unique<linalg::SparseLogTransportKernelF32>(
+            std::move(shared), threads, pool);
+      } else {
+        auto built_kernel = linalg::SparseLogTransportKernelF32::FromCost(
+            cost, eps, cutoff, threads, pool);
+        core::CachedKernel built;
+        built.sparse_f32 = built_kernel.shared_storage();
+        session.Publish(std::move(built));
+        kernel = std::make_unique<linalg::SparseLogTransportKernelF32>(
+            std::move(built_kernel));
+      }
+    } else if (sparse) {
+      std::shared_ptr<const linalg::SparseKernelStorage> shared;
+      if (auto hit = session.Find()) shared = hit->sparse;
+      if (shared != nullptr) {
+        kernel = std::make_unique<linalg::SparseLogTransportKernel>(
+            std::move(shared), threads, pool);
+      } else {
+        auto built_kernel = linalg::SparseLogTransportKernel::FromCost(
+            cost, eps, cutoff, threads, pool);
+        core::CachedKernel built;
+        built.sparse = built_kernel.shared_storage();
+        session.Publish(std::move(built));
+        kernel = std::make_unique<linalg::SparseLogTransportKernel>(
+            std::move(built_kernel));
+      }
+    } else if (f32) {
+      std::shared_ptr<const linalg::DenseKernelStorageF32> shared;
+      if (auto hit = session.Find()) shared = hit->dense_f32;
+      if (shared != nullptr) {
+        kernel = std::make_unique<linalg::DenseLogTransportKernelF32>(
+            std::move(shared), threads, pool);
+      } else {
+        auto built_kernel = linalg::DenseLogTransportKernelF32::FromCost(
+            cost, eps, threads, pool);
+        core::CachedKernel built;
+        built.dense_f32 = built_kernel.shared_storage();
+        session.Publish(std::move(built));
+        kernel = std::make_unique<linalg::DenseLogTransportKernelF32>(
+            std::move(built_kernel));
+      }
+    } else {
+      std::shared_ptr<const linalg::Matrix> shared;
+      if (auto hit = session.Find()) shared = hit->dense;
+      if (shared != nullptr) {
+        kernel = std::make_unique<linalg::DenseLogTransportKernel>(
+            std::move(shared), threads, pool);
+      } else {
+        auto built_kernel = linalg::DenseLogTransportKernel::FromCost(
+            cost, eps, threads, pool);
+        core::CachedKernel built;
+        built.dense = built_kernel.shared_log_kernel();
+        session.Publish(std::move(built));
+        kernel = std::make_unique<linalg::DenseLogTransportKernel>(
+            std::move(built_kernel));
+      }
+    }
+    std::optional<linalg::Vector> lu, lv;
+    WarmLogPotentials(&u, u.size(), lu);
+    WarmLogPotentials(&v, v.size(), lv);
+    OTCLEAN_ASSIGN_OR_RETURN(
+        SinkhornLogScaling scaling,
+        RunSinkhornLogScaling(*kernel, p, q, stage_options, &*lu, &*lv));
+    ExpPotentials(scaling.lu, u);
+    ExpPotentials(scaling.lv, v);
+    stage.iterations = scaling.iterations;
+    stage.converged = scaling.converged;
+    return stage;
+  }
+
+  // Dense linear kernels build from an in-memory cost; a function-backed
+  // provider on the dense path falls back to a cutoff-0 sparse kernel
+  // (same support, streamed build) so the stage never materializes the
+  // cost matrix.
+  const linalg::Matrix* dense_cost = cost.AsMatrix();
+  const bool use_sparse = sparse || dense_cost == nullptr;
+  const double stage_cutoff = sparse ? cutoff : 0.0;
+  std::unique_ptr<const linalg::TransportKernel> kernel;
+  if (use_sparse && f32) {
+    std::shared_ptr<const linalg::SparseKernelStorageF32> shared;
+    if (auto hit = session.Find()) shared = hit->sparse_f32;
+    if (shared != nullptr) {
+      kernel = std::make_unique<linalg::SparseTransportKernelF32>(
+          std::move(shared), threads, pool);
+    } else {
+      auto built_kernel = linalg::SparseTransportKernelF32::FromCost(
+          cost, eps, stage_cutoff, threads, pool);
+      core::CachedKernel built;
+      built.sparse_f32 = built_kernel.shared_storage();
+      session.Publish(std::move(built));
+      kernel = std::make_unique<linalg::SparseTransportKernelF32>(
+          std::move(built_kernel));
+    }
+  } else if (use_sparse) {
+    std::shared_ptr<const linalg::SparseKernelStorage> shared;
+    if (auto hit = session.Find()) shared = hit->sparse;
+    if (shared != nullptr) {
+      kernel = std::make_unique<linalg::SparseTransportKernel>(
+          std::move(shared), threads, pool);
+    } else {
+      auto built_kernel = linalg::SparseTransportKernel::FromCost(
+          cost, eps, stage_cutoff, threads, pool);
+      core::CachedKernel built;
+      built.sparse = built_kernel.shared_storage();
+      session.Publish(std::move(built));
+      kernel = std::make_unique<linalg::SparseTransportKernel>(
+          std::move(built_kernel));
+    }
+  } else if (f32) {
+    std::shared_ptr<const linalg::DenseKernelStorageF32> shared;
+    if (auto hit = session.Find()) shared = hit->dense_f32;
+    if (shared != nullptr) {
+      kernel = std::make_unique<linalg::DenseTransportKernelF32>(
+          std::move(shared), threads, pool);
+    } else {
+      auto built_kernel = linalg::DenseTransportKernelF32::FromCost(
+          *dense_cost, eps, threads, pool);
+      core::CachedKernel built;
+      built.dense_f32 = built_kernel.shared_storage();
+      session.Publish(std::move(built));
+      kernel = std::make_unique<linalg::DenseTransportKernelF32>(
+          std::move(built_kernel));
+    }
+  } else {
+    std::shared_ptr<const linalg::Matrix> shared;
+    if (auto hit = session.Find()) shared = hit->dense;
+    if (shared != nullptr) {
+      kernel = std::make_unique<linalg::DenseTransportKernel>(
+          std::move(shared), threads, pool);
+    } else {
+      auto built_kernel = linalg::DenseTransportKernel::FromCost(
+          *dense_cost, eps, threads, pool);
+      core::CachedKernel built;
+      built.dense = built_kernel.shared_kernel();
+      session.Publish(std::move(built));
+      kernel = std::make_unique<linalg::DenseTransportKernel>(
+          std::move(built_kernel));
+    }
+  }
+  OTCLEAN_ASSIGN_OR_RETURN(
+      SinkhornScaling scaling,
+      RunSinkhornScaling(*kernel, p, q, stage_options, &u, &v));
+  u = std::move(scaling.u);
+  v = std::move(scaling.v);
+  stage.iterations = scaling.iterations;
+  stage.converged = scaling.converged;
+  return stage;
+}
+
 /// Log-domain dense solve: a thin client of RunSinkhornLogScaling over a
 /// DenseLogTransportKernel — the same engine loop, SIMD'd streamed-LSE
 /// primitives, and thread pool as every other variant (this replaces the
@@ -293,38 +554,66 @@ Result<SinkhornResult> RunSinkhornLogDomain(const linalg::Matrix& cost,
                                             linalg::ThreadPool* pool) {
   CacheSession session(options, cost.rows(), cost.cols(), /*cutoff=*/0.0);
   session.MaybeWarm(warm_u, warm_v);
-  std::shared_ptr<const linalg::Matrix> shared;
-  if (auto hit = session.Find()) shared = hit->dense;
-  const bool kernel_hit = shared != nullptr;
-  const linalg::DenseLogTransportKernel kernel =
-      kernel_hit
-          ? linalg::DenseLogTransportKernel(std::move(shared),
-                                            options.num_threads, pool)
-          : linalg::DenseLogTransportKernel::FromCost(
-                cost, options.epsilon, options.num_threads, pool);
-  if (!kernel_hit) {
-    core::CachedKernel built;
-    built.dense = kernel.shared_log_kernel();
-    session.Publish(std::move(built));
+  EpsilonAnnealWarmStart anneal;
+  if (ShouldAnneal(options, warm_u, warm_v)) {
+    OTCLEAN_ASSIGN_OR_RETURN(
+        anneal,
+        RunSinkhornAnnealed(linalg::MatrixCostProvider(cost), p, q, options,
+                            /*sparse=*/false, /*cutoff=*/0.0, pool));
+    warm_u = &anneal.u;
+    warm_v = &anneal.v;
+  }
+  std::unique_ptr<const linalg::LogTransportKernel> kernel;
+  if (options.precision == linalg::Precision::kFloat32) {
+    std::shared_ptr<const linalg::DenseKernelStorageF32> shared;
+    if (auto hit = session.Find()) shared = hit->dense_f32;
+    if (shared != nullptr) {
+      kernel = std::make_unique<linalg::DenseLogTransportKernelF32>(
+          std::move(shared), options.num_threads, pool);
+    } else {
+      auto built_kernel = linalg::DenseLogTransportKernelF32::FromCost(
+          cost, options.epsilon, options.num_threads, pool);
+      core::CachedKernel built;
+      built.dense_f32 = built_kernel.shared_storage();
+      session.Publish(std::move(built));
+      kernel = std::make_unique<linalg::DenseLogTransportKernelF32>(
+          std::move(built_kernel));
+    }
+  } else {
+    std::shared_ptr<const linalg::Matrix> shared;
+    if (auto hit = session.Find()) shared = hit->dense;
+    if (shared != nullptr) {
+      kernel = std::make_unique<linalg::DenseLogTransportKernel>(
+          std::move(shared), options.num_threads, pool);
+    } else {
+      auto built_kernel = linalg::DenseLogTransportKernel::FromCost(
+          cost, options.epsilon, options.num_threads, pool);
+      core::CachedKernel built;
+      built.dense = built_kernel.shared_log_kernel();
+      session.Publish(std::move(built));
+      kernel = std::make_unique<linalg::DenseLogTransportKernel>(
+          std::move(built_kernel));
+    }
   }
   std::optional<linalg::Vector> warm_lu, warm_lv;
   WarmLogPotentials(warm_u, cost.rows(), warm_lu);
   WarmLogPotentials(warm_v, cost.cols(), warm_lv);
   OTCLEAN_ASSIGN_OR_RETURN(
       SinkhornLogScaling scaling,
-      RunSinkhornLogScaling(kernel, p, q, options,
+      RunSinkhornLogScaling(*kernel, p, q, options,
                             warm_lu ? &*warm_lu : nullptr,
                             warm_lv ? &*warm_lv : nullptr));
 
   SinkhornResult result;
-  result.plan = kernel.ScaleToPlan(scaling.lu, scaling.lv);
+  result.plan = kernel->ScaleToPlan(scaling.lu, scaling.lv);
   result.transport_cost =
-      kernel.TransportCost(linalg::MatrixCostProvider(cost), scaling.lu,
-                           scaling.lv);
+      kernel->TransportCost(linalg::MatrixCostProvider(cost), scaling.lu,
+                            scaling.lv);
   ExpPotentials(scaling.lu, result.u);
   ExpPotentials(scaling.lv, result.v);
   result.iterations = scaling.iterations;
   result.converged = scaling.converged;
+  result.anneal_stages = std::move(anneal.stages);
   session.Finish(result.u, result.v, result.iterations, result.converged);
   return result;
 }
@@ -472,30 +761,59 @@ Result<SinkhornResult> RunSinkhorn(const linalg::Matrix& cost,
 
   CacheSession session(options, cost.rows(), cost.cols(), /*cutoff=*/0.0);
   session.MaybeWarm(warm_u, warm_v);
-  std::shared_ptr<const linalg::Matrix> shared;
-  if (auto hit = session.Find()) shared = hit->dense;
-  const bool kernel_hit = shared != nullptr;
-  const linalg::DenseTransportKernel kernel =
-      kernel_hit ? linalg::DenseTransportKernel(std::move(shared),
-                                                options.num_threads, pool)
-                 : linalg::DenseTransportKernel::FromCost(
-                       cost, options.epsilon, options.num_threads, pool);
-  if (!kernel_hit) {
-    core::CachedKernel built;
-    built.dense = kernel.shared_kernel();
-    session.Publish(std::move(built));
+  EpsilonAnnealWarmStart anneal;
+  if (ShouldAnneal(options, warm_u, warm_v)) {
+    OTCLEAN_ASSIGN_OR_RETURN(
+        anneal,
+        RunSinkhornAnnealed(linalg::MatrixCostProvider(cost), p, q, options,
+                            /*sparse=*/false, /*cutoff=*/0.0, pool));
+    warm_u = &anneal.u;
+    warm_v = &anneal.v;
+  }
+  std::unique_ptr<const linalg::TransportKernel> kernel;
+  if (options.precision == linalg::Precision::kFloat32) {
+    std::shared_ptr<const linalg::DenseKernelStorageF32> shared;
+    if (auto hit = session.Find()) shared = hit->dense_f32;
+    if (shared != nullptr) {
+      kernel = std::make_unique<linalg::DenseTransportKernelF32>(
+          std::move(shared), options.num_threads, pool);
+    } else {
+      auto built_kernel = linalg::DenseTransportKernelF32::FromCost(
+          cost, options.epsilon, options.num_threads, pool);
+      core::CachedKernel built;
+      built.dense_f32 = built_kernel.shared_storage();
+      session.Publish(std::move(built));
+      kernel = std::make_unique<linalg::DenseTransportKernelF32>(
+          std::move(built_kernel));
+    }
+  } else {
+    std::shared_ptr<const linalg::Matrix> shared;
+    if (auto hit = session.Find()) shared = hit->dense;
+    if (shared != nullptr) {
+      kernel = std::make_unique<linalg::DenseTransportKernel>(
+          std::move(shared), options.num_threads, pool);
+    } else {
+      auto built_kernel = linalg::DenseTransportKernel::FromCost(
+          cost, options.epsilon, options.num_threads, pool);
+      core::CachedKernel built;
+      built.dense = built_kernel.shared_kernel();
+      session.Publish(std::move(built));
+      kernel = std::make_unique<linalg::DenseTransportKernel>(
+          std::move(built_kernel));
+    }
   }
   OTCLEAN_ASSIGN_OR_RETURN(
       SinkhornScaling scaling,
-      RunSinkhornScaling(kernel, p, q, options, warm_u, warm_v));
+      RunSinkhornScaling(*kernel, p, q, options, warm_u, warm_v));
 
   SinkhornResult result;
-  result.plan = kernel.ScaleToPlan(scaling.u, scaling.v);
-  result.transport_cost = kernel.TransportCost(cost, scaling.u, scaling.v);
+  result.plan = kernel->ScaleToPlan(scaling.u, scaling.v);
+  result.transport_cost = kernel->TransportCost(cost, scaling.u, scaling.v);
   result.u = std::move(scaling.u);
   result.v = std::move(scaling.v);
   result.iterations = scaling.iterations;
   result.converged = scaling.converged;
+  result.anneal_stages = std::move(anneal.stages);
   session.Finish(result.u, result.v, result.iterations, result.converged);
   return result;
 }
@@ -532,6 +850,92 @@ Status CheckTruncatedKernelSupport(const linalg::SparseMatrix& kernel,
   return Status::OK();
 }
 
+Status CheckTruncatedKernelSupport(const linalg::SparseKernelStorageF32& kernel,
+                                   const linalg::Vector* p,
+                                   const linalg::Vector* q,
+                                   const char* where) {
+  if (p != nullptr) {
+    for (size_t r = 0; r < kernel.rows; ++r) {
+      if ((*p)[r] > 0.0 && kernel.row_ptr[r + 1] == kernel.row_ptr[r]) {
+        return Status::InvalidArgument(
+            std::string(where) + ": truncation emptied kernel row " +
+            std::to_string(r) + " which carries source mass " +
+            std::to_string((*p)[r]) +
+            " — that mass would be stranded; lower the kernel cutoff");
+      }
+    }
+  }
+  if (q != nullptr) {
+    for (size_t c = 0; c < kernel.cols; ++c) {
+      if ((*q)[c] > 0.0 && kernel.col_ptr[c + 1] == kernel.col_ptr[c]) {
+        return Status::InvalidArgument(
+            std::string(where) + ": truncation emptied kernel column " +
+            std::to_string(c) + " which carries target mass " +
+            std::to_string((*q)[c]) +
+            " — that mass would be stranded; lower the kernel cutoff");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<EpsilonAnnealWarmStart> RunSinkhornAnnealed(
+    const linalg::CostProvider& cost, const linalg::Vector& p,
+    const linalg::Vector& q, const SinkhornOptions& options, bool sparse,
+    double cutoff, linalg::ThreadPool* pool) {
+  const EpsilonSchedule& sched = options.epsilon_schedule;
+  if (!sched.enabled()) {
+    return Status::InvalidArgument(
+        "RunSinkhornAnnealed: epsilon_schedule is disabled "
+        "(initial_epsilon == 0) — there are no stages to run");
+  }
+  if (Status s = ValidateSchedule("RunSinkhornAnnealed", options); !s.ok()) {
+    return s;
+  }
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "RunSinkhornAnnealed: epsilon must be positive");
+  }
+  if (p.size() != cost.rows() || q.size() != cost.cols()) {
+    return Status::InvalidArgument(
+        "RunSinkhornAnnealed: marginal dimension mismatch");
+  }
+  if (Status s = ValidateMarginals("RunSinkhornAnnealed", p, q); !s.ok()) {
+    return s;
+  }
+  std::optional<linalg::ThreadPool> owned_pool;
+  if (pool == nullptr) {
+    pool = linalg::ResolveSolvePool(options.thread_pool, options.num_threads,
+                                    owned_pool);
+  }
+
+  EpsilonAnnealWarmStart out;
+  out.u = linalg::Vector::Ones(cost.rows());
+  out.v = linalg::Vector::Ones(cost.cols());
+  double eps = sched.initial_epsilon;
+  while (eps > options.epsilon) {
+    SinkhornOptions stage_options = options;
+    stage_options.epsilon = eps;
+    stage_options.tolerance = sched.stage_tolerance;
+    stage_options.max_iterations = sched.stage_max_iterations;
+    // Stage kernels get their own cache entries (the key carries the
+    // stage ε), but the warm-start tier stays final-ε only: stage
+    // potentials are deliberately half-baked.
+    stage_options.cache_warm_start = false;
+    stage_options.epsilon_schedule = EpsilonSchedule{};
+    OTCLEAN_ASSIGN_OR_RETURN(
+        EpsilonAnnealStage stage,
+        RunAnnealStage(cost, p, q, stage_options, sparse, cutoff, out.u,
+                       out.v, pool));
+    out.stages.push_back(stage);
+    const double next = std::max(options.epsilon, eps * sched.decay);
+    RescalePotentials(out.u, eps / next);
+    RescalePotentials(out.v, eps / next);
+    eps = next;
+  }
+  return out;
+}
+
 double PlanEntropy(const linalg::Matrix& plan) {
   double h = 0.0;
   for (double v : plan.data()) {
@@ -539,6 +943,59 @@ double PlanEntropy(const linalg::Matrix& plan) {
   }
   return h;
 }
+
+namespace {
+
+/// Shared tail of the sparse linear branches (f64 and f32 kernels):
+/// engine loop + CSR plan + streamed cost + warm-store bookkeeping.
+template <typename Kernel>
+Result<SparseSinkhornResult> FinishSparseLinear(
+    const Kernel& kernel, const linalg::CostProvider& cost,
+    const linalg::Vector& p, const linalg::Vector& q,
+    const SinkhornOptions& options, const linalg::Vector* warm_u,
+    const linalg::Vector* warm_v, CacheSession& session) {
+  OTCLEAN_ASSIGN_OR_RETURN(
+      SinkhornScaling scaling,
+      RunSinkhornScaling(kernel, p, q, options, warm_u, warm_v));
+  SparseSinkhornResult result;
+  result.plan = kernel.ScaleToPlanSparse(scaling.u, scaling.v);
+  result.transport_cost = kernel.TransportCost(cost, scaling.u, scaling.v);
+  result.u = std::move(scaling.u);
+  result.v = std::move(scaling.v);
+  result.iterations = scaling.iterations;
+  result.converged = scaling.converged;
+  session.Finish(result.u, result.v, result.iterations, result.converged);
+  return result;
+}
+
+/// Log twin: lifts linear warm starts to log-potentials and exps the
+/// converged potentials back.
+template <typename Kernel>
+Result<SparseSinkhornResult> FinishSparseLog(
+    const Kernel& kernel, const linalg::CostProvider& cost,
+    const linalg::Vector& p, const linalg::Vector& q,
+    const SinkhornOptions& options, const linalg::Vector* warm_u,
+    const linalg::Vector* warm_v, CacheSession& session) {
+  std::optional<linalg::Vector> warm_lu, warm_lv;
+  WarmLogPotentials(warm_u, cost.rows(), warm_lu);
+  WarmLogPotentials(warm_v, cost.cols(), warm_lv);
+  OTCLEAN_ASSIGN_OR_RETURN(
+      SinkhornLogScaling scaling,
+      RunSinkhornLogScaling(kernel, p, q, options,
+                            warm_lu ? &*warm_lu : nullptr,
+                            warm_lv ? &*warm_lv : nullptr));
+  SparseSinkhornResult result;
+  result.plan = kernel.ScaleToPlanSparse(scaling.lu, scaling.lv);
+  result.transport_cost = kernel.TransportCost(cost, scaling.lu, scaling.lv);
+  ExpPotentials(scaling.lu, result.u);
+  ExpPotentials(scaling.lv, result.v);
+  result.iterations = scaling.iterations;
+  result.converged = scaling.converged;
+  session.Finish(result.u, result.v, result.iterations, result.converged);
+  return result;
+}
+
+}  // namespace
 
 Result<SparseSinkhornResult> RunSinkhornSparse(
     const linalg::CostProvider& cost, const linalg::Vector& p,
@@ -573,8 +1030,43 @@ Result<SparseSinkhornResult> RunSinkhornSparse(
 
   CacheSession session(options, cost.rows(), cost.cols(), kernel_cutoff);
   session.MaybeWarm(warm_u, warm_v);
+  EpsilonAnnealWarmStart anneal;
+  if (ShouldAnneal(options, warm_u, warm_v)) {
+    OTCLEAN_ASSIGN_OR_RETURN(
+        anneal, RunSinkhornAnnealed(cost, p, q, options, /*sparse=*/true,
+                                    kernel_cutoff, pool));
+    warm_u = &anneal.u;
+    warm_v = &anneal.v;
+  }
 
-  if (options.log_domain) {
+  const bool f32 = options.precision == linalg::Precision::kFloat32;
+  SparseSinkhornResult result;
+  if (options.log_domain && f32) {
+    std::shared_ptr<const linalg::SparseKernelStorageF32> shared;
+    if (auto hit = session.Find()) shared = hit->sparse_f32;
+    const bool kernel_hit = shared != nullptr;
+    const linalg::SparseLogTransportKernelF32 kernel =
+        kernel_hit
+            ? linalg::SparseLogTransportKernelF32(std::move(shared),
+                                                  options.num_threads, pool)
+            : linalg::SparseLogTransportKernelF32::FromCost(
+                  cost, options.epsilon, kernel_cutoff, options.num_threads,
+                  pool);
+    if (!kernel_hit) {
+      core::CachedKernel built;
+      built.sparse_f32 = kernel.shared_storage();
+      session.Publish(std::move(built));
+    }
+    // Support depends on p/q, not just the kernel — re-check on hits too.
+    if (Status s = CheckTruncatedKernelSupport(*kernel.shared_storage(), &p,
+                                               q_check, "RunSinkhornSparse");
+        !s.ok()) {
+      return s;
+    }
+    OTCLEAN_ASSIGN_OR_RETURN(
+        result, FinishSparseLog(kernel, cost, p, q, options, warm_u, warm_v,
+                                session));
+  } else if (options.log_domain) {
     std::shared_ptr<const linalg::SparseKernelStorage> shared;
     if (auto hit = session.Find()) shared = hit->sparse;
     const bool kernel_hit = shared != nullptr;
@@ -596,57 +1088,58 @@ Result<SparseSinkhornResult> RunSinkhornSparse(
         !s.ok()) {
       return s;
     }
-    std::optional<linalg::Vector> warm_lu, warm_lv;
-    WarmLogPotentials(warm_u, cost.rows(), warm_lu);
-    WarmLogPotentials(warm_v, cost.cols(), warm_lv);
     OTCLEAN_ASSIGN_OR_RETURN(
-        SinkhornLogScaling scaling,
-        RunSinkhornLogScaling(kernel, p, q, options,
-                              warm_lu ? &*warm_lu : nullptr,
-                              warm_lv ? &*warm_lv : nullptr));
-
-    SparseSinkhornResult result;
-    result.plan = kernel.ScaleToPlanSparse(scaling.lu, scaling.lv);
-    result.transport_cost = kernel.TransportCost(cost, scaling.lu, scaling.lv);
-    ExpPotentials(scaling.lu, result.u);
-    ExpPotentials(scaling.lv, result.v);
-    result.iterations = scaling.iterations;
-    result.converged = scaling.converged;
-    session.Finish(result.u, result.v, result.iterations, result.converged);
-    return result;
+        result, FinishSparseLog(kernel, cost, p, q, options, warm_u, warm_v,
+                                session));
+  } else if (f32) {
+    std::shared_ptr<const linalg::SparseKernelStorageF32> shared;
+    if (auto hit = session.Find()) shared = hit->sparse_f32;
+    const bool kernel_hit = shared != nullptr;
+    const linalg::SparseTransportKernelF32 kernel =
+        kernel_hit ? linalg::SparseTransportKernelF32(std::move(shared),
+                                                      options.num_threads,
+                                                      pool)
+                   : linalg::SparseTransportKernelF32::FromCost(
+                         cost, options.epsilon, kernel_cutoff,
+                         options.num_threads, pool);
+    if (!kernel_hit) {
+      core::CachedKernel built;
+      built.sparse_f32 = kernel.shared_storage();
+      session.Publish(std::move(built));
+    }
+    if (Status s = CheckTruncatedKernelSupport(*kernel.shared_storage(), &p,
+                                               q_check, "RunSinkhornSparse");
+        !s.ok()) {
+      return s;
+    }
+    OTCLEAN_ASSIGN_OR_RETURN(
+        result, FinishSparseLinear(kernel, cost, p, q, options, warm_u,
+                                   warm_v, session));
+  } else {
+    std::shared_ptr<const linalg::SparseKernelStorage> shared;
+    if (auto hit = session.Find()) shared = hit->sparse;
+    const bool kernel_hit = shared != nullptr;
+    const linalg::SparseTransportKernel kernel =
+        kernel_hit ? linalg::SparseTransportKernel(std::move(shared),
+                                                   options.num_threads, pool)
+                   : linalg::SparseTransportKernel::FromCost(
+                         cost, options.epsilon, kernel_cutoff,
+                         options.num_threads, pool);
+    if (!kernel_hit) {
+      core::CachedKernel built;
+      built.sparse = kernel.shared_storage();
+      session.Publish(std::move(built));
+    }
+    if (Status s = CheckTruncatedKernelSupport(kernel.kernel(), &p, q_check,
+                                               "RunSinkhornSparse");
+        !s.ok()) {
+      return s;
+    }
+    OTCLEAN_ASSIGN_OR_RETURN(
+        result, FinishSparseLinear(kernel, cost, p, q, options, warm_u,
+                                   warm_v, session));
   }
-
-  std::shared_ptr<const linalg::SparseKernelStorage> shared;
-  if (auto hit = session.Find()) shared = hit->sparse;
-  const bool kernel_hit = shared != nullptr;
-  const linalg::SparseTransportKernel kernel =
-      kernel_hit ? linalg::SparseTransportKernel(std::move(shared),
-                                                 options.num_threads, pool)
-                 : linalg::SparseTransportKernel::FromCost(
-                       cost, options.epsilon, kernel_cutoff,
-                       options.num_threads, pool);
-  if (!kernel_hit) {
-    core::CachedKernel built;
-    built.sparse = kernel.shared_storage();
-    session.Publish(std::move(built));
-  }
-  if (Status s = CheckTruncatedKernelSupport(kernel.kernel(), &p, q_check,
-                                             "RunSinkhornSparse");
-      !s.ok()) {
-    return s;
-  }
-  OTCLEAN_ASSIGN_OR_RETURN(
-      SinkhornScaling scaling,
-      RunSinkhornScaling(kernel, p, q, options, warm_u, warm_v));
-
-  SparseSinkhornResult result;
-  result.plan = kernel.ScaleToPlanSparse(scaling.u, scaling.v);
-  result.transport_cost = kernel.TransportCost(cost, scaling.u, scaling.v);
-  result.u = std::move(scaling.u);
-  result.v = std::move(scaling.v);
-  result.iterations = scaling.iterations;
-  result.converged = scaling.converged;
-  session.Finish(result.u, result.v, result.iterations, result.converged);
+  result.anneal_stages = std::move(anneal.stages);
   return result;
 }
 

@@ -2,10 +2,12 @@
 #define OTCLEAN_OT_SINKHORN_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/result.h"
 #include "linalg/log_transport_kernel.h"
 #include "linalg/matrix.h"
+#include "linalg/precision.h"
 #include "linalg/sparse_matrix.h"
 #include "linalg/transport_kernel.h"
 #include "linalg/vector.h"
@@ -14,10 +16,47 @@ namespace otclean::core {
 class SolveCache;
 }  // namespace otclean::core
 
+namespace otclean::linalg {
+struct SparseKernelStorageF32;
+}  // namespace otclean::linalg
+
 namespace otclean::ot {
 
 /// Parameters for entropic / relaxed optimal transport.
 ///
+/// ε-annealing schedule: solve a short sequence of EASIER problems (larger
+/// ε — smoother kernels, geometric convergence rate ~1 − O(ε) per
+/// iteration) and carry each stage's potentials into the next as a warm
+/// start, instead of grinding the full iteration budget at the sharp final
+/// ε from a cold start. Stage ε_k runs ε_0 = initial_epsilon,
+/// ε_{k+1} = max(final, ε_k · decay) down to — but not including — the
+/// final `SinkhornOptions::epsilon`, which the normal solve then finishes
+/// at full tolerance. Between stages the linear-domain potentials rescale
+/// as u ↦ u^{ε_k/ε_{k+1}} (u ≈ e^{f/ε} for a dual potential f that varies
+/// slowly with ε; zeros stay zero). Stages solve to a LOOSE tolerance with
+/// a SMALL iteration cap — they only need to be warm, not converged.
+struct EpsilonSchedule {
+  /// First-stage ε. 0 (default) disables annealing; when set it must
+  /// exceed the final `SinkhornOptions::epsilon` (validated loudly).
+  double initial_epsilon = 0.0;
+  /// Geometric stage factor, in (0, 1): ε_{k+1} = ε_k · decay.
+  double decay = 0.5;
+  /// Per-stage convergence threshold (loose on purpose).
+  double stage_tolerance = 1e-4;
+  /// Per-stage iteration cap (small on purpose).
+  size_t stage_max_iterations = 500;
+
+  bool enabled() const { return initial_epsilon > 0.0; }
+};
+
+/// Convergence record of one annealing stage (surfaced in results and
+/// the CLI `--report`).
+struct EpsilonAnnealStage {
+  double epsilon = 0.0;
+  size_t iterations = 0;
+  bool converged = false;
+};
+
 /// Convention: we minimize  ⟨C, π⟩ − ε·H(π) (+ λ·KL marginal penalties in
 /// relaxed mode). The paper writes the entropic weight as 1/ρ and the kernel
 /// as K = e^{−C/ρ}; our `epsilon` is the paper's ρ in that kernel formula
@@ -91,6 +130,22 @@ struct SinkhornOptions {
   /// warm_u/warm_v arguments always take precedence over the store;
   /// stored potentials whose sizes mismatch fall back to a cold start.
   bool cache_warm_start = false;
+  /// ε-annealing schedule (see EpsilonSchedule). Honored by RunSinkhorn /
+  /// RunSinkhornSparse when no explicit warm_u/warm_v are passed and the
+  /// warm store has nothing better: the non-final stages run first (via
+  /// RunSinkhornAnnealed) and seed the final solve. Explicit warm starts
+  /// and warm-store hits win — they are already warm.
+  EpsilonSchedule epsilon_schedule;
+  /// Storage precision of the Gibbs kernel the solve iterates on.
+  /// kFloat32 halves kernel memory traffic — the cost-per-iteration
+  /// bottleneck on large domains — while every reduction still
+  /// accumulates in double (linalg/precision.h; the kept-set of a
+  /// truncated kernel is decided in double, so f32 and f64 share a
+  /// sparsity pattern). Results are bit-identical across thread counts,
+  /// pools, and cache hit/miss *per* (SIMD tier, precision), but differ
+  /// from the f64 tier's by the kernel rounding (relative entry error
+  /// ≤ 2⁻²⁴). Support costs and all outputs stay double.
+  linalg::Precision precision = linalg::Precision::kFloat64;
 };
 
 /// Output of a Sinkhorn run.
@@ -98,9 +153,11 @@ struct SinkhornResult {
   linalg::Matrix plan;  ///< π = diag(u)·K·diag(v).
   linalg::Vector u;     ///< row scaling (exposable for warm starts).
   linalg::Vector v;     ///< column scaling.
-  size_t iterations = 0;
+  size_t iterations = 0;  ///< final-ε iterations (annealing stages excluded)
   bool converged = false;
   double transport_cost = 0.0;  ///< ⟨C, π⟩.
+  /// Per-stage records when an EpsilonSchedule ran; empty otherwise.
+  std::vector<EpsilonAnnealStage> anneal_stages;
 };
 
 /// Scaling vectors + convergence stats of a run of the shared engine loop,
@@ -178,9 +235,11 @@ struct SparseSinkhornResult {
   linalg::SparseMatrix plan;
   linalg::Vector u;
   linalg::Vector v;
-  size_t iterations = 0;
+  size_t iterations = 0;  ///< final-ε iterations (annealing stages excluded)
   bool converged = false;
   double transport_cost = 0.0;
+  /// Per-stage records when an EpsilonSchedule ran; empty otherwise.
+  std::vector<EpsilonAnnealStage> anneal_stages;
 };
 
 /// Sinkhorn on a *truncated* Gibbs kernel: entries of K = e^{−C/ε} below
@@ -237,6 +296,48 @@ Status CheckTruncatedKernelSupport(const linalg::SparseMatrix& kernel,
                                    const linalg::Vector* p,
                                    const linalg::Vector* q,
                                    const char* where);
+
+/// Same check over an f32 sparse kernel storage. The f32 kept-set is
+/// decided in double, so this always agrees with the f64 check for the
+/// same (cost, ε, cutoff); column emptiness reads the CSC mirror's
+/// col_ptr directly instead of scanning col_index.
+Status CheckTruncatedKernelSupport(const linalg::SparseKernelStorageF32& kernel,
+                                   const linalg::Vector* p,
+                                   const linalg::Vector* q,
+                                   const char* where);
+
+/// Warm potentials produced by the non-final stages of an ε-annealing
+/// schedule, plus the per-stage convergence records. `u`/`v` are
+/// linear-domain scalings sized to the problem — pass them as warm_u /
+/// warm_v of the final solve (the log-domain paths lift them).
+struct EpsilonAnnealWarmStart {
+  linalg::Vector u;
+  linalg::Vector v;
+  std::vector<EpsilonAnnealStage> stages;
+};
+
+/// Runs the NON-final stages of `options.epsilon_schedule`: for each
+/// stage ε_k (ε_0 = initial_epsilon, ε_{k+1} = max(ε, ε_k·decay), down to
+/// but excluding the final ε) it builds the stage kernel — honoring
+/// `options.log_domain`, `options.precision`, the truncation `cutoff`
+/// when `sparse`, and the solve cache (stage kernels get their own
+/// per-(fingerprint, ε_k) entries; the warm-start tier is never touched
+/// at stage ε) — runs the engine loop at the schedule's loose
+/// stage_tolerance / stage_max_iterations, and rescales the potentials
+/// u ↦ u^{ε_k/ε_{k+1}} into the next stage. RunSinkhorn /
+/// RunSinkhornSparse call this automatically; call it directly when you
+/// drive RunSinkhorn(Log)Scaling yourself on a prebuilt final-ε kernel
+/// (e.g. a warm-started outer loop) and want an annealed first solve.
+///
+/// Errors as the entry points do (schedule fields are validated loudly);
+/// stage kernels on the sparse path keep a SUPERSET of the final
+/// kernel's entries (larger ε keeps more), so stage support never fails
+/// where the final solve would succeed.
+Result<EpsilonAnnealWarmStart> RunSinkhornAnnealed(
+    const linalg::CostProvider& cost, const linalg::Vector& p,
+    const linalg::Vector& q, const SinkhornOptions& options,
+    bool sparse = false, double cutoff = 0.0,
+    linalg::ThreadPool* pool = nullptr);
 
 }  // namespace otclean::ot
 

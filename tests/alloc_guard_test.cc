@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <vector>
 
 #include "common/random.h"
 #include "core/fast_otclean.h"
@@ -175,6 +176,47 @@ TEST(AllocGuardTest, TruncatedLogDomainSolveNeverAllocatesRowsTimesCols) {
   ASSERT_LT(kernel_nnz, rows * cols);
   EXPECT_EQ(dense_scale_allocs, 0u);
   EXPECT_LT(max_alloc, dense_bytes);
+  EXPECT_LT(max_alloc, dense_bytes / 8);
+}
+
+TEST(AllocGuardTest, AnnealedTruncatedSolveNeverAllocatesRowsTimesCols) {
+  // ε-annealing must inherit the O(nnz) guarantee: every stage kernel is
+  // built at a LARGER ε than the final solve, where the same cutoff keeps
+  // more entries — but still truncated, never materialized dense. A stage
+  // that built a dense kernel "just to warm up" would defeat the memory
+  // contract exactly on the large domains annealing targets.
+  const Problem problem(2024);
+  const size_t rows = problem.active_rows;
+  const size_t cols = problem.dom.TotalSize();
+  const size_t dense_bytes = rows * cols * sizeof(double);
+
+  FastOtCleanOptions options = problem.Options(/*truncation=*/1e-3);
+  options.epsilon_schedule.initial_epsilon = 0.3;
+  options.epsilon_schedule.decay = 0.6;  // stages at ε = 0.3, 0.18
+  options.epsilon_schedule.stage_max_iterations = 50;
+
+  Rng rng(7);
+  size_t kernel_nnz = 0;
+  size_t max_alloc = 0;
+  size_t dense_scale_allocs = 0;
+  std::vector<ot::EpsilonAnnealStage> stages;
+  {
+    TrackingScope scope(dense_bytes);
+    const auto result =
+        FastOtClean(problem.p_data, problem.ci, problem.cost, options, rng);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->plan.IsSparse());
+    kernel_nnz = result->kernel_nnz;
+    stages = result->anneal_stages;
+    max_alloc = scope.max_alloc();
+    dense_scale_allocs = scope.dense_scale_allocs();
+  }
+  // The schedule actually ran (warm_start defaults on, no cache): two
+  // stages ahead of the final ε = 0.12 solve.
+  ASSERT_EQ(stages.size(), 2u);
+  ASSERT_GT(kernel_nnz, 0u);
+  ASSERT_LT(kernel_nnz, rows * cols);
+  EXPECT_EQ(dense_scale_allocs, 0u);
   EXPECT_LT(max_alloc, dense_bytes / 8);
 }
 

@@ -496,6 +496,63 @@ TEST(LogSinkhornBugfixTest, NegativeMarginalsAndNonFiniteCostsRejected) {
   }
 }
 
+TEST(LogSinkhornF32Test, DenseAndSparseF32MatchF64WithinKernelRounding) {
+  // f32 tier in the LOG domain: the kernel stores log-K (i.e. −C/ε) as
+  // float while the LSE reductions accumulate in double, so plans agree
+  // with the f64 log solve within the float-rounding envelope of the
+  // exponent (≤ 2⁻²⁴ relative on each kernel entry).
+  const size_t m = 12, n = 15;
+  const Matrix cost = RandomCost(m, n, 101, 2.0);
+  const Vector p = RandomMarginal(m, 102);
+  const Vector q = RandomMarginal(n, 103);
+  ot::SinkhornOptions f64o;
+  f64o.epsilon = 0.08;
+  f64o.log_domain = true;
+  ot::SinkhornOptions f32o = f64o;
+  f32o.precision = linalg::Precision::kFloat32;
+
+  const auto dense64 = ot::RunSinkhorn(cost, p, q, f64o).value();
+  const auto dense32 = ot::RunSinkhorn(cost, p, q, f32o).value();
+  ASSERT_TRUE(dense64.converged);
+  ASSERT_TRUE(dense32.converged);
+  EXPECT_TRUE(dense32.plan.ApproxEquals(dense64.plan, 1e-5));
+  EXPECT_NEAR(dense32.transport_cost, dense64.transport_cost, 1e-5);
+
+  const double cutoff = 1e-4;
+  ot::SinkhornOptions sf64 = f64o, sf32 = f32o;
+  sf64.relaxed = sf32.relaxed = true;  // truncation may orphan columns
+  const auto sparse64 = ot::RunSinkhornSparse(cost, p, q, sf64, cutoff).value();
+  const auto sparse32 = ot::RunSinkhornSparse(cost, p, q, sf32, cutoff).value();
+  // Shared sparsity contract: the kept-set is decided on the double cost,
+  // so both precisions truncate identically.
+  ASSERT_EQ(sparse32.plan.nnz(), sparse64.plan.nnz());
+  EXPECT_TRUE(
+      sparse32.plan.ToDense().ApproxEquals(sparse64.plan.ToDense(), 1e-5));
+  EXPECT_NEAR(sparse32.transport_cost, sparse64.transport_cost, 1e-5);
+}
+
+TEST(LogSinkhornF32Test, F32LogSolveBitIdenticalAcrossThreadCounts) {
+  // Per-(tier, precision) determinism of the f32 log path: thread count
+  // must not change the iterate stream (strip-deterministic reductions),
+  // so solves are bit-identical — iterations included — at 1 vs 4
+  // threads. Tiers are NOT required to match each other bitwise; the
+  // cross-tier contract is the ULP envelope covered above.
+  const Matrix cost = RandomCost(10, 10, 111, 2.0);
+  const Vector p = RandomMarginal(10, 112);
+  const Vector q = RandomMarginal(10, 113);
+  ot::SinkhornOptions opts;
+  opts.epsilon = 0.08;
+  opts.log_domain = true;
+  opts.precision = linalg::Precision::kFloat32;
+  opts.num_threads = 1;
+  const auto serial = ot::RunSinkhorn(cost, p, q, opts).value();
+  opts.num_threads = 4;
+  const auto threaded = ot::RunSinkhorn(cost, p, q, opts).value();
+  EXPECT_EQ(threaded.iterations, serial.iterations);
+  EXPECT_TRUE(threaded.u.data() == serial.u.data());
+  EXPECT_TRUE(threaded.v.data() == serial.v.data());
+}
+
 // ------------------------------------------------------------ end to end --
 
 TEST(LogDomainCleanTest, FastOtCleanLogDomainMatchesLinear) {

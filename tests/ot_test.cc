@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "ot/cost.h"
 #include "ot/exact.h"
@@ -203,6 +204,156 @@ TEST(SinkhornTest, RejectsBadInputs) {
   opts.epsilon = -1.0;
   linalg::Vector p2(std::vector<double>{0.5, 0.5});
   EXPECT_FALSE(RunSinkhorn(SimpleCost(), p2, q, opts).ok());
+}
+
+TEST(SinkhornTest, RejectsZeroMaxIterationsAndNonPositiveTolerance) {
+  // Regression for the silent-options bug: max_iterations == 0 used to
+  // return the unsolved cold-start scalings as a "converged: false"
+  // result, and tolerance <= 0 burned the full budget on a threshold
+  // that can never be met. Both are loud InvalidArguments now.
+  linalg::Vector p(std::vector<double>{0.5, 0.5});
+  linalg::Vector q(std::vector<double>{0.5, 0.5});
+  SinkhornOptions opts;
+  opts.max_iterations = 0;
+  EXPECT_FALSE(RunSinkhorn(SimpleCost(), p, q, opts).ok());
+  EXPECT_FALSE(RunSinkhornSparse(SimpleCost(), p, q, opts, 1e-9).ok());
+
+  opts = SinkhornOptions{};
+  opts.tolerance = 0.0;
+  EXPECT_FALSE(RunSinkhorn(SimpleCost(), p, q, opts).ok());
+  opts.tolerance = -1e-6;
+  EXPECT_FALSE(RunSinkhorn(SimpleCost(), p, q, opts).ok());
+  opts.tolerance = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(RunSinkhorn(SimpleCost(), p, q, opts).ok());
+}
+
+TEST(SinkhornTest, RejectsMalformedEpsilonSchedule) {
+  linalg::Vector p(std::vector<double>{0.5, 0.5});
+  linalg::Vector q(std::vector<double>{0.5, 0.5});
+  SinkhornOptions opts;
+  opts.epsilon = 0.05;
+
+  opts.epsilon_schedule.initial_epsilon = 0.05;  // must EXCEED the final ε
+  EXPECT_FALSE(RunSinkhorn(SimpleCost(), p, q, opts).ok());
+
+  opts.epsilon_schedule.initial_epsilon = 0.4;
+  opts.epsilon_schedule.decay = 1.0;  // not in (0, 1)
+  EXPECT_FALSE(RunSinkhorn(SimpleCost(), p, q, opts).ok());
+  opts.epsilon_schedule.decay = 0.0;
+  EXPECT_FALSE(RunSinkhorn(SimpleCost(), p, q, opts).ok());
+
+  opts.epsilon_schedule.decay = 0.5;
+  opts.epsilon_schedule.stage_tolerance = 0.0;
+  EXPECT_FALSE(RunSinkhorn(SimpleCost(), p, q, opts).ok());
+
+  opts.epsilon_schedule.stage_tolerance = 1e-3;
+  opts.epsilon_schedule.stage_max_iterations = 0;
+  EXPECT_FALSE(RunSinkhorn(SimpleCost(), p, q, opts).ok());
+
+  // A well-formed schedule with the same endpoints solves fine.
+  opts.epsilon_schedule.stage_max_iterations = 100;
+  EXPECT_TRUE(RunSinkhorn(SimpleCost(), p, q, opts).ok());
+}
+
+TEST(SinkhornAnnealTest, StagesRecordedAndPlanStillMatchesMarginals) {
+  SinkhornOptions opts;
+  opts.epsilon = 0.05;
+  opts.epsilon_schedule.initial_epsilon = 0.2;
+  opts.epsilon_schedule.decay = 0.5;
+  linalg::Vector p(std::vector<double>{0.7, 0.3});
+  linalg::Vector q(std::vector<double>{0.4, 0.6});
+  const auto r = RunSinkhorn(SimpleCost(), p, q, opts).value();
+  EXPECT_TRUE(r.converged);
+  // The chain 0.2 → 0.1 → (final 0.05): two stages before the final solve.
+  ASSERT_EQ(r.anneal_stages.size(), 2u);
+  EXPECT_NEAR(r.anneal_stages[0].epsilon, 0.2, 1e-12);
+  EXPECT_NEAR(r.anneal_stages[1].epsilon, 0.1, 1e-12);
+  for (const EpsilonAnnealStage& s : r.anneal_stages) {
+    EXPECT_GT(s.iterations, 0u);
+  }
+  const auto rows = r.plan.RowSums();
+  const auto cols = r.plan.ColSums();
+  EXPECT_NEAR(rows[0], 0.7, 1e-6);
+  EXPECT_NEAR(cols[1], 0.6, 1e-6);
+  // Same optimum as the fixed-ε solve: annealing changes the path, not
+  // the destination.
+  SinkhornOptions fixed = opts;
+  fixed.epsilon_schedule = EpsilonSchedule{};
+  const auto rf = RunSinkhorn(SimpleCost(), p, q, fixed).value();
+  EXPECT_NEAR(r.transport_cost, rf.transport_cost, 1e-6);
+}
+
+TEST(SinkhornAnnealTest, ExplicitWarmStartSuppressesStages) {
+  // Precedence: a caller-provided warm start is already warm — the
+  // schedule must not burn stage iterations in front of it.
+  SinkhornOptions opts;
+  opts.epsilon = 0.05;
+  opts.epsilon_schedule.initial_epsilon = 0.2;
+  linalg::Vector p(std::vector<double>{0.7, 0.3});
+  linalg::Vector q(std::vector<double>{0.4, 0.6});
+  const auto base = RunSinkhorn(SimpleCost(), p, q, opts).value();
+  const auto warm =
+      RunSinkhorn(SimpleCost(), p, q, opts, &base.u, &base.v).value();
+  EXPECT_TRUE(warm.anneal_stages.empty());
+  EXPECT_LE(warm.iterations, base.iterations);
+}
+
+TEST(SinkhornAnnealTest, SparseAndLogDomainAnnealMatchFixedEpsilon) {
+  linalg::Matrix cost(6, 6);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      const double d = static_cast<double>(i) - static_cast<double>(j);
+      cost(i, j) = d * d / 6.0;
+    }
+  }
+  linalg::Vector p(6, 1.0 / 6), q(6);
+  for (size_t i = 0; i < 6; ++i) q[i] = (i + 1) / 21.0;
+
+  for (const bool log_domain : {false, true}) {
+    SinkhornOptions opts;
+    opts.epsilon = 0.05;
+    opts.log_domain = log_domain;
+    opts.relaxed = true;  // truncation under-serves columns legitimately
+    opts.epsilon_schedule.initial_epsilon = 0.2;
+    const auto annealed =
+        RunSinkhornSparse(cost, p, q, opts, /*kernel_cutoff=*/1e-8).value();
+    EXPECT_FALSE(annealed.anneal_stages.empty()) << "log=" << log_domain;
+    SinkhornOptions fixed = opts;
+    fixed.epsilon_schedule = EpsilonSchedule{};
+    const auto cold =
+        RunSinkhornSparse(cost, p, q, fixed, /*kernel_cutoff=*/1e-8).value();
+    EXPECT_NEAR(annealed.transport_cost, cold.transport_cost, 1e-6)
+        << "log=" << log_domain;
+  }
+}
+
+TEST(SinkhornF32Test, AnnealedF32MatchesF64Optimum) {
+  // The two tentpole features composed: an annealed f32 solve lands on
+  // the same optimum as annealed f64, within the kernel-rounding
+  // envelope, and records the same stage structure.
+  linalg::Matrix cost(8, 8);
+  for (size_t i = 0; i < 8; ++i) {
+    for (size_t j = 0; j < 8; ++j) {
+      const double d = (static_cast<double>(i) - static_cast<double>(j)) / 8;
+      cost(i, j) = d * d;
+    }
+  }
+  linalg::Vector p(8, 0.125), q(8);
+  for (size_t i = 0; i < 8; ++i) q[i] = (i + 1) / 36.0;
+
+  SinkhornOptions f64o;
+  f64o.epsilon = 0.02;
+  f64o.num_threads = 1;
+  f64o.epsilon_schedule.initial_epsilon = 0.08;
+  SinkhornOptions f32o = f64o;
+  f32o.precision = linalg::Precision::kFloat32;
+
+  const auto rd = RunSinkhorn(cost, p, q, f64o).value();
+  const auto rf = RunSinkhorn(cost, p, q, f32o).value();
+  EXPECT_TRUE(rd.converged);
+  EXPECT_TRUE(rf.converged);
+  ASSERT_EQ(rd.anneal_stages.size(), rf.anneal_stages.size());
+  EXPECT_NEAR(rf.transport_cost, rd.transport_cost, 1e-5);
 }
 
 TEST(SinkhornTest, PlanEntropyOfPointMass) {

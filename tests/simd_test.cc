@@ -9,6 +9,10 @@
 #include <vector>
 
 #include "common/random.h"
+#include "linalg/thread_pool.h"
+#include "linalg/transport_kernel.h"
+#include "linalg/transport_kernel_f32.h"
+#include "ot/sinkhorn.h"
 
 namespace otclean::linalg::simd {
 namespace {
@@ -288,6 +292,182 @@ TEST(SimdExactTest, IntegerValuedSumsAreExactInEveryTier) {
     EXPECT_EQ(Sum(a.data(), a.size()), expected) << IsaName(isa);
     EXPECT_EQ(Dot(a.data(), ones.data(), a.size()), expected) << IsaName(isa);
   }
+}
+
+// ------------------------------------------------------------- f32 tier --
+
+TEST(SimdF32Test, F32LaneRecipesMatchScalarWithinUlps) {
+  // The float-storage reductions widen every lane to double before it
+  // enters an accumulator, so they obey the same ULP envelope as the f64
+  // recipes — per tier, against the scalar reference.
+  for (const size_t n : kSizes) {
+    const TestData d = MakeData(n, 91 + n);
+    std::vector<float> kf(n);
+    for (size_t i = 0; i < n; ++i) kf[i] = static_cast<float>(d.b[i]);
+    ScopedIsa scoped(Isa::kScalar);
+    const double ref_dot = DotF32(kf.data(), d.a.data(), n);
+    const double ref_dot3 = Dot3F32(d.a.data(), kf.data(), d.c.data(), n);
+    const double ref_gdot =
+        GatherDotF32(kf.data(), d.idx.data(), d.x.data(), n);
+    const double ref_gdot3 =
+        GatherDot3F32(d.a.data(), kf.data(), d.idx.data(), d.x.data(), n);
+    for (Isa isa : VectorIsas()) {
+      SetIsa(isa);
+      const double tol = ReduceTol(3.0 * n, n);
+      EXPECT_NEAR(DotF32(kf.data(), d.a.data(), n), ref_dot, tol)
+          << IsaName(isa) << " n=" << n;
+      EXPECT_NEAR(Dot3F32(d.a.data(), kf.data(), d.c.data(), n), ref_dot3,
+                  tol)
+          << IsaName(isa) << " n=" << n;
+      EXPECT_NEAR(GatherDotF32(kf.data(), d.idx.data(), d.x.data(), n),
+                  ref_gdot, tol)
+          << IsaName(isa) << " n=" << n;
+      EXPECT_NEAR(
+          GatherDot3F32(d.a.data(), kf.data(), d.idx.data(), d.x.data(), n),
+          ref_gdot3, tol)
+          << IsaName(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdF32Test, F32ElementwiseRecipesAreBitIdenticalAcrossTiers) {
+  // Elementwise f32 recipes have no reduction-order freedom: each output
+  // element is the same widen-multiply sequence in every tier.
+  for (const size_t n : kSizes) {
+    const TestData d = MakeData(n, 17 + n);
+    std::vector<float> kf(n);
+    for (size_t i = 0; i < n; ++i) kf[i] = static_cast<float>(d.b[i]);
+    std::vector<double> ref(n), out(n);
+    {
+      ScopedIsa scoped(Isa::kScalar);
+      ScaledHadamardF32(1.7, kf.data(), d.a.data(), ref.data(), n);
+    }
+    for (Isa isa : VectorIsas()) {
+      ScopedIsa scoped(isa);
+      ScaledHadamardF32(1.7, kf.data(), d.a.data(), out.data(), n);
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], ref[i]) << IsaName(isa) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+namespace {
+
+struct SolveProblem {
+  Matrix cost{24, 24};
+  Vector p{24}, q{24};
+
+  SolveProblem() {
+    Rng rng(5);
+    for (double& c : cost.data()) c = rng.NextDouble();
+    for (size_t i = 0; i < 24; ++i) {
+      p[i] = 0.2 + rng.NextDouble();
+      q[i] = 0.2 + rng.NextDouble();
+    }
+    p.Normalize();
+    q.Normalize();
+  }
+};
+
+struct SolveOut {
+  std::vector<double> u, v;
+  size_t iterations = 0;
+};
+
+}  // namespace
+
+TEST(SimdF32Test, F32SolveBitIdenticalAcrossThreadCountsAndPools) {
+  // The per-(tier, precision) determinism contract, f32 edition: serial,
+  // spawned-pool, and shared-pool solves agree bit for bit, on the dense
+  // and truncated-sparse paths, linear and log domain.
+  const SolveProblem prob;
+  ot::SinkhornOptions base;
+  base.epsilon = 0.08;
+  base.tolerance = 1e-10;
+  base.precision = Precision::kFloat32;
+
+  for (const bool log_domain : {false, true}) {
+    for (const bool sparse : {false, true}) {
+      auto run = [&](size_t threads, ThreadPool* pool) {
+        ot::SinkhornOptions o = base;
+        o.log_domain = log_domain;
+        o.num_threads = threads;
+        o.thread_pool = pool;
+        SolveOut out;
+        if (sparse) {
+          o.relaxed = true;  // truncation under-serves columns legitimately
+          auto r = ot::RunSinkhornSparse(prob.cost, prob.p, prob.q, o,
+                                         /*kernel_cutoff=*/1e-4);
+          EXPECT_TRUE(r.ok()) << r.status().ToString();
+          if (r.ok()) out = {r->u.data(), r->v.data(), r->iterations};
+        } else {
+          auto r = ot::RunSinkhorn(prob.cost, prob.p, prob.q, o);
+          EXPECT_TRUE(r.ok()) << r.status().ToString();
+          if (r.ok()) out = {r->u.data(), r->v.data(), r->iterations};
+        }
+        return out;
+      };
+      ThreadPool pool(4);
+      const SolveOut serial = run(1, nullptr);
+      const SolveOut spawned = run(4, nullptr);
+      const SolveOut pooled = run(4, &pool);
+      EXPECT_EQ(serial.iterations, spawned.iterations)
+          << "log=" << log_domain << " sparse=" << sparse;
+      EXPECT_TRUE(serial.u == spawned.u && serial.v == spawned.v)
+          << "spawned pool diverges: log=" << log_domain
+          << " sparse=" << sparse;
+      EXPECT_TRUE(serial.u == pooled.u && serial.v == pooled.v)
+          << "shared pool diverges: log=" << log_domain
+          << " sparse=" << sparse;
+    }
+  }
+}
+
+TEST(SimdF32Test, F32PlanAgreesWithF64WithinKernelRounding) {
+  // The accuracy envelope of the f32 tier: kernel entries carry ≤ 2⁻²⁴
+  // relative rounding, so plans and costs track the f64 tier to ~1e-5 —
+  // close enough for repair decisions, far outside the bit-identity
+  // contract (which holds only within a precision).
+  const SolveProblem prob;
+  ot::SinkhornOptions f64;
+  f64.epsilon = 0.08;
+  f64.tolerance = 1e-10;
+  f64.num_threads = 1;
+  ot::SinkhornOptions f32 = f64;
+  f32.precision = Precision::kFloat32;
+
+  const auto rd = ot::RunSinkhorn(prob.cost, prob.p, prob.q, f64).value();
+  const auto rf = ot::RunSinkhorn(prob.cost, prob.p, prob.q, f32).value();
+  EXPECT_TRUE(rd.converged);
+  EXPECT_TRUE(rf.converged);
+  EXPECT_NEAR(rf.transport_cost, rd.transport_cost,
+              1e-5 * (1.0 + std::fabs(rd.transport_cost)));
+  double max_diff = 0.0;
+  for (size_t i = 0; i < rd.plan.data().size(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::fabs(rd.plan.data()[i] - rf.plan.data()[i]));
+  }
+  EXPECT_LT(max_diff, 1e-5);
+
+  // Truncated path: f32 and f64 share the kept-set by contract (the
+  // cutoff decision is made in double), so the sparse plans align
+  // entry-for-entry.
+  ot::SinkhornOptions sf64 = f64;
+  sf64.relaxed = true;
+  ot::SinkhornOptions sf32 = f32;
+  sf32.relaxed = true;
+  const auto sd =
+      ot::RunSinkhornSparse(prob.cost, prob.p, prob.q, sf64, 1e-4).value();
+  const auto sf =
+      ot::RunSinkhornSparse(prob.cost, prob.p, prob.q, sf32, 1e-4).value();
+  ASSERT_EQ(sd.plan.values().size(), sf.plan.values().size());
+  double sparse_diff = 0.0;
+  for (size_t i = 0; i < sd.plan.values().size(); ++i) {
+    sparse_diff = std::max(
+        sparse_diff, std::fabs(sd.plan.values()[i] - sf.plan.values()[i]));
+  }
+  EXPECT_LT(sparse_diff, 1e-5);
 }
 
 }  // namespace

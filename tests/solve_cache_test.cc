@@ -52,6 +52,8 @@ TEST(SolveCacheKeyTest, EveryInputPerturbsTheKey) {
       MakeSolveCacheKey(0xABCD, 8, 6, 0.1, 0.0, false),   // sparse vs dense
       MakeSolveCacheKey(0xABCD, 8, 6, 0.1, 1e-9, true),   // log domain
       MakeSolveCacheKey(0xABCD, 8, 6, 0.1, 1e-9, false, /*salt=*/1),
+      MakeSolveCacheKey(0xABCD, 8, 6, 0.1, 1e-9, false, /*salt=*/0,
+                        linalg::Precision::kFloat32),  // storage precision
   };
   for (const SolveCacheKey& v : variants) {
     EXPECT_FALSE(base == v);
@@ -266,6 +268,82 @@ TEST(SolveCacheSinkhornTest, SparseAndLogHitsAreBitIdentical) {
     EXPECT_EQ(s.kernel_misses, 1u) << "log_domain=" << log_domain;
     EXPECT_EQ(s.kernel_hits, 1u) << "log_domain=" << log_domain;
   }
+}
+
+TEST(SolveCacheSinkhornTest, F32HitIsBitIdenticalToMissAndKeyedSeparately) {
+  const linalg::Matrix cost = TestCost(9, 7);
+  const linalg::Vector p = UniformMarginal(9), q = UniformMarginal(7);
+
+  SolveCache cache;
+  ot::SinkhornOptions opts;
+  opts.epsilon = 0.08;
+  opts.tolerance = 1e-10;
+  opts.num_threads = 1;
+  opts.precision = linalg::Precision::kFloat32;
+  opts.solve_cache = &cache;
+  opts.cache_cost_fingerprint = 0xF32F32;
+
+  Result<ot::SinkhornResult> cold = ot::RunSinkhorn(cost, p, q, opts);
+  ASSERT_TRUE(cold.ok()) << cold.status().message();
+  Result<ot::SinkhornResult> hot = ot::RunSinkhorn(cost, p, q, opts);
+  ASSERT_TRUE(hot.ok()) << hot.status().message();
+
+  // The f32 hit iterated on the very float storage the miss built.
+  EXPECT_TRUE(cold->plan.data() == hot->plan.data());
+  EXPECT_TRUE(cold->u.data() == hot->u.data());
+  EXPECT_TRUE(cold->v.data() == hot->v.data());
+  EXPECT_EQ(cold->iterations, hot->iterations);
+
+  // And identical to a cache-less f32 solve: the cache cannot change
+  // results within a precision.
+  ot::SinkhornOptions plain = opts;
+  plain.solve_cache = nullptr;
+  plain.cache_cost_fingerprint = 0;
+  Result<ot::SinkhornResult> off = ot::RunSinkhorn(cost, p, q, plain);
+  ASSERT_TRUE(off.ok());
+  EXPECT_TRUE(off->plan.data() == hot->plan.data());
+
+  // Same problem at f64 must NOT reuse the f32 entry: the precisions key
+  // separate kernels, or an f64 caller would silently get float storage.
+  ot::SinkhornOptions f64o = opts;
+  f64o.precision = linalg::Precision::kFloat64;
+  ASSERT_TRUE(ot::RunSinkhorn(cost, p, q, f64o).ok());
+
+  SolveCacheStats s = cache.Stats();
+  EXPECT_EQ(s.kernel_misses, 2u);
+  EXPECT_EQ(s.kernel_hits, 1u);
+  EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(SolveCacheSinkhornTest, SparseF32HitIsBitIdenticalToMiss) {
+  const linalg::Matrix cost = TestCost(10, 8);
+  const linalg::Vector p = UniformMarginal(10), q = UniformMarginal(8);
+
+  SolveCache cache;
+  ot::SinkhornOptions opts;
+  opts.epsilon = 0.08;
+  opts.tolerance = 1e-10;
+  opts.num_threads = 1;
+  opts.precision = linalg::Precision::kFloat32;
+  opts.relaxed = true;  // truncation under-serves columns legitimately
+  opts.solve_cache = &cache;
+  opts.cache_cost_fingerprint = 0xF32BEEF;
+
+  Result<ot::SparseSinkhornResult> cold =
+      ot::RunSinkhornSparse(cost, p, q, opts, /*kernel_cutoff=*/1e-6);
+  ASSERT_TRUE(cold.ok()) << cold.status().message();
+  Result<ot::SparseSinkhornResult> hot =
+      ot::RunSinkhornSparse(cost, p, q, opts, /*kernel_cutoff=*/1e-6);
+  ASSERT_TRUE(hot.ok()) << hot.status().message();
+
+  EXPECT_TRUE(cold->plan.values() == hot->plan.values());
+  EXPECT_TRUE(cold->u.data() == hot->u.data());
+  EXPECT_TRUE(cold->v.data() == hot->v.data());
+  EXPECT_EQ(cold->iterations, hot->iterations);
+
+  SolveCacheStats s = cache.Stats();
+  EXPECT_EQ(s.kernel_misses, 1u);
+  EXPECT_EQ(s.kernel_hits, 1u);
 }
 
 TEST(SolveCacheSinkhornTest, DistinctEpsilonAndCutoffUseDistinctEntries) {

@@ -23,6 +23,17 @@
 //   --log-domain           iterate Sinkhorn on log-potentials (stable at
 //                          small --epsilon / huge penalty costs; composes
 //                          with --truncation; fast solver only)
+//   --precision f32|f64    kernel storage precision (default f64): f32
+//                          halves kernel memory traffic, accumulates in
+//                          double, and keeps the f64 plan structure
+//                          (fast solver only)
+//   --epsilon-schedule INIT[,DECAY[,STAGETOL[,STAGEITERS]]]
+//                          ε-annealing: warm the first solve through a
+//                          sequence of larger-ε stages starting at INIT,
+//                          multiplying by DECAY (default 0.5) down to
+//                          --epsilon; each stage runs to STAGETOL
+//                          (default 1e-4) or STAGEITERS (default 500)
+//                          iterations (fast solver only)
 //   --map                  deterministic MAP repairs instead of sampling
 //   --seed N               RNG seed (default 42)
 //   --report               print CMI / cost diagnostics to stderr
@@ -35,8 +46,9 @@
 //                          command-line defaults); output= and name= are
 //                          per-line only; z= and any option key (solver=
 //                          epsilon= lambda= threads= truncation=
-//                          log-domain=0|1 map=0|1 seed=) override the
-//                          command-line defaults for that job.
+//                          log-domain=0|1 precision= epsilon-schedule=
+//                          map=0|1 seed=) override the command-line
+//                          defaults for that job.
 //   --jobs N               concurrent repair jobs (default 0 = all cores).
 //                          All jobs share ONE kernel thread pool; per-job
 //                          results are bit-identical to --jobs 1.
@@ -187,6 +199,46 @@ Result<core::RepairOptions> BuildRepairOptions(const KvLookup& kv,
                            ParseBool(kv.Get("log-domain"), default_log_domain));
   options.fast.log_domain = log_domain;
   options.qclp.log_domain = log_domain;
+  const std::string precision = kv.Get("precision", "f64");
+  if (precision == "f32") {
+    options.fast.precision = linalg::Precision::kFloat32;
+  } else if (precision != "f64") {
+    return Status::InvalidArgument("unknown precision '" + precision +
+                                   "' (use f32 or f64)");
+  }
+  if (const std::string sched = kv.Get("epsilon-schedule"); !sched.empty()) {
+    const std::vector<std::string> parts = SplitString(sched, ',');
+    if (parts.empty() || parts.size() > 4) {
+      return Status::InvalidArgument(
+          "bad epsilon-schedule (expected INIT[,DECAY[,STAGETOL"
+          "[,STAGEITERS]]])");
+    }
+    auto init = ParseDouble(parts[0]);
+    if (!init.ok()) return Status::InvalidArgument("bad epsilon-schedule INIT");
+    options.fast.epsilon_schedule.initial_epsilon = *init;
+    if (parts.size() > 1) {
+      auto decay = ParseDouble(parts[1]);
+      if (!decay.ok()) {
+        return Status::InvalidArgument("bad epsilon-schedule DECAY");
+      }
+      options.fast.epsilon_schedule.decay = *decay;
+    }
+    if (parts.size() > 2) {
+      auto tol = ParseDouble(parts[2]);
+      if (!tol.ok()) {
+        return Status::InvalidArgument("bad epsilon-schedule STAGETOL");
+      }
+      options.fast.epsilon_schedule.stage_tolerance = *tol;
+    }
+    if (parts.size() > 3) {
+      auto iters = ParseInt(parts[3]);
+      if (!iters.ok() || *iters <= 0) {
+        return Status::InvalidArgument("bad epsilon-schedule STAGEITERS");
+      }
+      options.fast.epsilon_schedule.stage_max_iterations =
+          static_cast<size_t>(*iters);
+    }
+  }
   options.fast.restrict_columns_to_active = true;
   options.fast.max_outer_iterations = 60;
   options.fast.max_sinkhorn_iterations = 1000;
@@ -213,7 +265,7 @@ void PrintReport(const core::CiConstraint& constraint,
                "constraint %s\n  CMI: %.6f -> %.6f (target %.2e)\n"
                "  transport cost: %.6f; outer iterations: %zu%s\n"
                "  plan storage: %s, %zu entries (%.1f KiB)%s\n"
-               "  sinkhorn domain: %s\n"
+               "  sinkhorn domain: %s; kernel precision: %s\n"
                "  simd: %s (override with OTCLEAN_SIMD=scalar|avx2|"
                "avx512|neon)\n",
                constraint.ToString().c_str(), report.initial_cmi,
@@ -222,7 +274,24 @@ void PrintReport(const core::CiConstraint& constraint,
                report.converged ? "" : " (iteration cap)",
                report.plan_sparse ? "sparse (CSR)" : "dense", report.plan_nnz,
                static_cast<double>(report.plan_memory_bytes) / 1024.0,
-               kernel_note.c_str(), report.sinkhorn_domain, report.simd_isa);
+               kernel_note.c_str(), report.sinkhorn_domain, report.precision,
+               report.simd_isa);
+  if (!report.anneal_stages.empty()) {
+    std::string stages;
+    size_t stage_iterations = 0;
+    for (const auto& s : report.anneal_stages) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%s%.3g:%zu", stages.empty() ? "" : " ",
+                    s.epsilon, s.iterations);
+      stages += buf;
+      stage_iterations += s.iterations;
+    }
+    std::fprintf(stderr,
+                 "  epsilon annealing: %zu stages [eps:iters %s], "
+                 "%zu stage iterations\n",
+                 report.anneal_stages.size(), stages.c_str(),
+                 stage_iterations);
+  }
   if (report.cache_kernel_hits + report.cache_kernel_misses > 0) {
     std::string warm_note;
     if (report.cache_warm_started) {
@@ -306,7 +375,7 @@ int RunBatch(const CliArgs& args, const std::string& manifest_path) {
       static const std::set<std::string> kKnownKeys{
           "input", "x", "y", "z", "output", "name", "solver",
           "epsilon", "lambda", "seed", "threads", "truncation",
-          "log-domain", "map"};
+          "log-domain", "precision", "epsilon-schedule", "map"};
       if (!kKnownKeys.count(key)) {
         return Fail("manifest line " + std::to_string(line_no) +
                     ": unknown key '" + key + "'");
@@ -459,7 +528,9 @@ int main(int argc, char** argv) {
                  "usage: otclean --input data.csv --x COLS --y COLS "
                  "[--z COLS] [--output out.csv] [--solver fast|qclp] "
                  "[--epsilon F] [--lambda F] [--threads N] [--truncation F] "
-                 "[--log-domain] [--map] [--seed N] [--report]\n"
+                 "[--log-domain] [--precision f32|f64] "
+                 "[--epsilon-schedule INIT[,DECAY[,STAGETOL[,STAGEITERS]]]] "
+                 "[--map] [--seed N] [--report]\n"
                  "       otclean --batch manifest.txt [--jobs N] "
                  "[option defaults]\n");
     return 2;
