@@ -22,7 +22,15 @@ enum class StatusCode {
   kIoError,
   kNotImplemented,
   kInternal,
+  kCancelled,          ///< A caller-fired CancellationToken aborted the work.
+  kDeadlineExceeded,   ///< A Deadline expired before the work completed.
+  kResourceExhausted,  ///< Admission refused (queue full) or allocation failed.
 };
+
+/// One past the largest StatusCode value — lets tests iterate the full code
+/// set and fail loudly when a new code ships without a StatusCodeName entry.
+inline constexpr int kNumStatusCodes =
+    static_cast<int>(StatusCode::kResourceExhausted) + 1;
 
 /// Returns the canonical name of a status code (e.g. "InvalidArgument").
 const char* StatusCodeName(StatusCode code);
@@ -76,6 +84,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,10 +4,12 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <new>
 #include <optional>
 #include <utility>
 
 #include "common/hash.h"
+#include "core/fault_injector.h"
 #include "core/solve_cache.h"
 #include "linalg/log_transport_kernel.h"
 #include "linalg/simd_exp.h"
@@ -363,6 +365,54 @@ struct OuterLoopKernel {
 };
 
 
+/// FaultSite::kAlloc checkpoint: models the outer-loop kernel allocation
+/// failing. Thrown rather than returned so the unwind path — cache pins
+/// released, pool and caller state intact — is exercised exactly as a real
+/// std::bad_alloc from the kernel storages would be; the repair boundary
+/// (core/repair.cc) converts it to kResourceExhausted.
+void MaybeInjectAllocFailure(FaultInjector* injector) {
+  if (injector != nullptr && injector->ShouldFire(FaultSite::kAlloc)) {
+    throw std::bad_alloc();
+  }
+}
+
+/// FaultSite::kKernelNan: a cost view that poisons *every* entry with NaN,
+/// modelling a kernel build whose arithmetic blew up wholesale. Installed
+/// *after* ValidateFiniteCosts, so the NaN reaches the kernel build the way
+/// a runtime numeric blow-up would instead of being rejected at the door.
+/// (A single poisoned cell would not do: the scaling loop's per-iteration
+/// clamping quarantines an isolated NaN by zeroing its row, and the solve
+/// limps to a wrong-but-finite answer — the failure under test is the
+/// deterministic endpoint where the plan loses all mass.) AsMatrix() stays
+/// null so no dense fast path can bypass the poison.
+class NanPoisonedCostView final : public linalg::CostProvider {
+ public:
+  explicit NanPoisonedCostView(const linalg::CostProvider& inner)
+      : inner_(inner) {}
+
+  size_t rows() const override { return inner_.rows(); }
+  size_t cols() const override { return inner_.cols(); }
+
+  double At(size_t, size_t) const override {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+
+  void Fill(size_t, size_t c0, size_t c1, double* out) const override {
+    for (size_t k = 0; k < c1 - c0; ++k) {
+      out[k] = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+
+  void Gather(size_t, const size_t*, size_t n, double* out) const override {
+    for (size_t k = 0; k < n; ++k) {
+      out[k] = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+
+ private:
+  const linalg::CostProvider& inner_;
+};
+
 /// Stable identity of a FastOTClean solve's restricted cost stream. The
 /// cost fingerprint alone is not enough: the kernel's values depend on
 /// which tuples the active-domain restriction decodes at each row/column,
@@ -635,6 +685,17 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
   // contract. One extra streaming pass per repair; the iterations
   // dominate.
   OTCLEAN_RETURN_NOT_OK(ot::ValidateFiniteCosts("FastOtClean", cost_view));
+  OTCLEAN_RETURN_NOT_OK(
+      CheckStop(options.cancel_token, options.deadline, "FastOtClean"));
+
+  // Fault sites, exactly as in FastOtCleanMulti below.
+  const bool poison_kernel =
+      options.fault_injector != nullptr &&
+      options.fault_injector->ShouldFire(FaultSite::kKernelNan);
+  const NanPoisonedCostView poisoned_view(cost_view);
+  const linalg::CostProvider& build_view =
+      poison_kernel ? static_cast<const linalg::CostProvider&>(poisoned_view)
+                    : static_cast<const linalg::CostProvider&>(cost_view);
 
   // Initial target distribution Q (Section 5, default optimization 2).
   prob::JointDistribution q(dom);
@@ -655,6 +716,8 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
   sink.log_domain = options.log_domain;
   sink.num_threads = options.num_threads;
   sink.precision = options.precision;
+  sink.cancel_token = options.cancel_token;
+  sink.deadline = options.deadline;
 
   // One worker pool for the whole repair: every Sinkhorn iteration of
   // every outer step dispatches on it instead of spawning threads anew.
@@ -663,12 +726,13 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
       options.thread_pool, options.num_threads, owned_pool);
 
   const uint64_t fast_fp =
-      options.solve_cache != nullptr
+      options.solve_cache != nullptr && !poison_kernel
           ? FastCostFingerprint(cost, dom, row_cells, col_cells)
           : 0;
   const SolveCacheKey cache_key =
       MakeFastCacheKey(fast_fp, row_cells, col_cells, options);
-  const OuterLoopKernel kernel_storage(cost_view, options, pool,
+  MaybeInjectAllocFailure(options.fault_injector);
+  const OuterLoopKernel kernel_storage(build_view, options, pool,
                                        options.solve_cache, cache_key);
   OTCLEAN_RETURN_NOT_OK(kernel_storage.CheckSupport(p, "FastOtClean"));
 
@@ -684,10 +748,12 @@ Result<FastOtCleanResult> FastOtClean(const prob::JointDistribution& p_data,
       options.solve_cache, cache_key, options, p.size(), col_cells.size(),
       kernel_storage.log_domain(), warm_u, warm_v, warm_cold_baseline);
   OTCLEAN_RETURN_NOT_OK(MaybeAnnealFirstSolve(
-      cost_view, p, q, col_cells, options, sink, fast_fp,
+      build_view, p, q, col_cells, options, sink, fast_fp,
       kernel_storage.log_domain(), pool, warm_u, warm_v, result));
 
   for (size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
+    OTCLEAN_RETURN_NOT_OK(
+        CheckStop(options.cancel_token, options.deadline, "FastOtClean"));
     // --- Outer step A: transport plan against the current Q (Sinkhorn). ---
     linalg::Vector q_cols(col_cells.size());
     for (size_t j = 0; j < col_cells.size(); ++j) q_cols[j] = q[col_cells[j]];
@@ -801,6 +867,20 @@ Result<FastOtCleanResult> FastOtCleanMulti(
   // Same finite-cost guard as the single-constraint path above.
   OTCLEAN_RETURN_NOT_OK(
       ot::ValidateFiniteCosts("FastOtCleanMulti", cost_view));
+  OTCLEAN_RETURN_NOT_OK(
+      CheckStop(options.cancel_token, options.deadline, "FastOtCleanMulti"));
+
+  // kKernelNan fires here — past validation, so the NaN reaches the kernel
+  // build exactly like a runtime numeric blow-up would. A poisoned solve
+  // bypasses the cache entirely (fast_fp stays 0 below): a poisoned kernel
+  // must never be published under the clean cost's key.
+  const bool poison_kernel =
+      options.fault_injector != nullptr &&
+      options.fault_injector->ShouldFire(FaultSite::kKernelNan);
+  const NanPoisonedCostView poisoned_view(cost_view);
+  const linalg::CostProvider& build_view =
+      poison_kernel ? static_cast<const linalg::CostProvider&>(poisoned_view)
+                    : static_cast<const linalg::CostProvider&>(cost_view);
 
   prob::JointDistribution q(dom);
   if (options.nmf_init) {
@@ -820,6 +900,8 @@ Result<FastOtCleanResult> FastOtCleanMulti(
   sink.log_domain = options.log_domain;
   sink.num_threads = options.num_threads;
   sink.precision = options.precision;
+  sink.cancel_token = options.cancel_token;
+  sink.deadline = options.deadline;
 
   // One worker pool for the whole repair: every Sinkhorn iteration of
   // every outer step dispatches on it instead of spawning threads anew.
@@ -828,12 +910,13 @@ Result<FastOtCleanResult> FastOtCleanMulti(
       options.thread_pool, options.num_threads, owned_pool);
 
   const uint64_t fast_fp =
-      options.solve_cache != nullptr
+      options.solve_cache != nullptr && !poison_kernel
           ? FastCostFingerprint(cost, dom, row_cells, col_cells)
           : 0;
   const SolveCacheKey cache_key =
       MakeFastCacheKey(fast_fp, row_cells, col_cells, options);
-  const OuterLoopKernel kernel_storage(cost_view, options, pool,
+  MaybeInjectAllocFailure(options.fault_injector);
+  const OuterLoopKernel kernel_storage(build_view, options, pool,
                                        options.solve_cache, cache_key);
   OTCLEAN_RETURN_NOT_OK(kernel_storage.CheckSupport(p, "FastOtCleanMulti"));
 
@@ -849,10 +932,12 @@ Result<FastOtCleanResult> FastOtCleanMulti(
       options.solve_cache, cache_key, options, p.size(), col_cells.size(),
       kernel_storage.log_domain(), warm_u, warm_v, warm_cold_baseline);
   OTCLEAN_RETURN_NOT_OK(MaybeAnnealFirstSolve(
-      cost_view, p, q, col_cells, options, sink, fast_fp,
+      build_view, p, q, col_cells, options, sink, fast_fp,
       kernel_storage.log_domain(), pool, warm_u, warm_v, result));
 
   for (size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
+    OTCLEAN_RETURN_NOT_OK(CheckStop(options.cancel_token, options.deadline,
+                                    "FastOtCleanMulti"));
     linalg::Vector q_cols(col_cells.size());
     for (size_t j = 0; j < col_cells.size(); ++j) q_cols[j] = q[col_cells[j]];
 

@@ -13,6 +13,7 @@
 
 namespace otclean::core {
 
+class FaultInjector;
 class SolveCache;
 
 /// Options for FastOTClean (Algorithm 2) — the relaxed-OT + Sinkhorn +
@@ -112,6 +113,20 @@ struct FastOtCleanOptions {
   /// the truncated kept-set is decided in double so support checks and
   /// plan structure match the f64 tier exactly.
   linalg::Precision precision = linalg::Precision::kFloat64;
+  /// Optional cooperative cancellation (common/cancellation.h; borrowed,
+  /// must outlive the call). Checked at each outer step and forwarded into
+  /// every inner Sinkhorn solve (per-iteration checks there), so a fired
+  /// token aborts the repair with kCancelled within one engine iteration.
+  /// Scheduled jobs must leave it null — the RepairScheduler owns one
+  /// token per job and injects it here, exactly like `thread_pool`.
+  const CancellationToken* cancel_token = nullptr;
+  /// Optional monotonic wall deadline, polled at the same granularity;
+  /// expiry aborts with kDeadlineExceeded. Infinite by default.
+  Deadline deadline;
+  /// Optional fault-injection harness (core/fault_injector.h; borrowed).
+  /// Consulted only at its named sites — null (the default) costs nothing
+  /// and is the production configuration.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// Outcome of a FastOTClean run.

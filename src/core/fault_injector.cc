@@ -1,0 +1,127 @@
+#include "core/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+
+#include "linalg/thread_pool.h"
+
+namespace otclean::core {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kAlloc:
+      return "alloc";
+    case FaultSite::kKernelNan:
+      return "kernel-nan";
+    case FaultSite::kWorkerDelay:
+      return "worker-delay";
+    case FaultSite::kCacheInsert:
+      return "cache-insert";
+  }
+  return "unknown";
+}
+
+void FaultInjector::Arm(FaultSite site, size_t nth, bool sticky) {
+  SiteArm& arm = arms_[static_cast<size_t>(site)];
+  arm.armed = true;
+  arm.nth = nth;
+  arm.sticky = sticky;
+}
+
+bool FaultInjector::ShouldFire(FaultSite site) {
+  const size_t i = static_cast<size_t>(site);
+  const size_t n = hits_[i].fetch_add(1, std::memory_order_relaxed) + 1;
+  const SiteArm& arm = arms_[i];
+  if (!arm.armed) return false;
+  return arm.sticky ? n >= arm.nth : n == arm.nth;
+}
+
+size_t FaultInjector::hits(FaultSite site) const {
+  return hits_[static_cast<size_t>(site)].load(std::memory_order_relaxed);
+}
+
+Status FaultInjector::Parse(const std::string& spec, FaultInjector* out) {
+  if (spec.empty()) {
+    return Status::InvalidArgument(
+        "FaultInjector: empty spec — the grammar is site@N[+][,site@N[+]...] "
+        "(e.g. alloc@2,cache-insert@1+); unset the variable to disarm");
+  }
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string arm = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (arm.empty()) {
+      // "a@1,,b@2" or a trailing comma: almost certainly a typo'd spec;
+      // skipping it would silently disarm the intended site.
+      return Status::InvalidArgument(
+          "FaultInjector: empty arm in spec \"" + spec +
+          "\" (stray or trailing comma)");
+    }
+    const size_t at = arm.find('@');
+    if (at == std::string::npos) {
+      return Status::InvalidArgument(
+          "FaultInjector: arm \"" + arm +
+          "\" has no \"@N\" — the grammar is site@N or site@N+ (e.g. "
+          "alloc@2,cache-insert@1+)");
+    }
+    const std::string name = arm.substr(0, at);
+    std::string count = arm.substr(at + 1);
+    bool sticky = false;
+    if (!count.empty() && count.back() == '+') {
+      sticky = true;
+      count.pop_back();
+    }
+    FaultSite site;
+    if (name == "alloc") {
+      site = FaultSite::kAlloc;
+    } else if (name == "kernel-nan") {
+      site = FaultSite::kKernelNan;
+    } else if (name == "worker-delay") {
+      site = FaultSite::kWorkerDelay;
+    } else if (name == "cache-insert") {
+      site = FaultSite::kCacheInsert;
+    } else {
+      return Status::InvalidArgument(
+          "FaultInjector: unknown site \"" + name +
+          "\" (sites: alloc, kernel-nan, worker-delay, cache-insert)");
+    }
+    if (count.empty() ||
+        count.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument("FaultInjector: arm \"" + arm +
+                                     "\" needs a positive visit index N");
+    }
+    const unsigned long nth = std::stoul(count);
+    if (nth == 0) {
+      return Status::InvalidArgument(
+          "FaultInjector: arm \"" + arm +
+          "\" has N = 0; visit indices are 1-based");
+    }
+    out->Arm(site, static_cast<size_t>(nth), sticky);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void PoolDelayHook(void* ctx) {
+  auto* injector = static_cast<FaultInjector*>(ctx);
+  if (injector->ShouldFire(FaultSite::kWorkerDelay)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(injector->worker_delay_millis()));
+  }
+}
+
+}  // namespace
+
+void FaultInjector::InstallPoolDelayHook(size_t delay_millis) {
+  delay_millis_ = delay_millis;
+  linalg::ThreadPool::SetChunkHook(&PoolDelayHook, this);
+}
+
+void FaultInjector::ClearPoolDelayHook() {
+  linalg::ThreadPool::SetChunkHook(nullptr, nullptr);
+}
+
+}  // namespace otclean::core

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <functional>
+#include <new>
+#include <optional>
+#include <thread>
 
 #include "linalg/simd.h"
 
@@ -39,6 +44,128 @@ void PopulateFastSolveReport(const FastOtCleanResult& r,
   report.cache_warm_started = r.cache_warm_started;
   report.cache_warm_iterations_saved = r.cache_warm_iterations_saved;
   PopulatePlanReport(r.plan, report);
+}
+
+/// A failure the RetryOptions fallbacks can plausibly fix: an explicit
+/// non-convergence, or the deterministic endpoint of NaN/underflowed
+/// scalings in the linear domain — every row scaling clamps to 0, the plan
+/// drains, and FastOTClean reports Internal "plan lost all mass".
+bool RetryableFailure(const Status& s) {
+  if (s.code() == StatusCode::kNotConverged) return true;
+  return s.code() == StatusCode::kInternal &&
+         s.message().find("plan lost all mass") != std::string::npos;
+}
+
+/// Applies the next fallback tier to `opts` and appends a note to
+/// `recovery`: linear → log domain first (fixes scaling under/overflow
+/// outright), then ε doubling (smooths a kernel too sharp to converge). An
+/// ε-annealing schedule that no longer brackets the loosened ε is dropped
+/// — it would otherwise fail validation loudly mid-recovery.
+void ApplyFallback(RepairOptions& opts, size_t attempt,
+                   const Status& failure, std::string& recovery) {
+  std::string note;
+  if (!opts.fast.log_domain) {
+    opts.fast.log_domain = true;
+    note = "log-domain";
+  } else {
+    opts.fast.epsilon *= 2.0;
+    note = "epsilon x2 -> " + std::to_string(opts.fast.epsilon);
+    if (opts.fast.epsilon_schedule.enabled() &&
+        opts.fast.epsilon_schedule.initial_epsilon <= opts.fast.epsilon) {
+      opts.fast.epsilon_schedule = ot::EpsilonSchedule{};
+      note += " (schedule dropped)";
+    }
+  }
+  if (!recovery.empty()) recovery += "; ";
+  recovery += "attempt " + std::to_string(attempt + 2) + ": " + note +
+              " after " +
+              (failure.ok() ? std::string("non-convergence")
+                            : failure.ToString());
+}
+
+/// One repair attempt with the allocation-failure boundary: a
+/// std::bad_alloc from anywhere inside the solve (kernel storages, plans —
+/// or FaultSite::kAlloc) unwinds to here and becomes kResourceExhausted,
+/// so an overloaded process sheds the request instead of crashing.
+Result<RepairReport> GuardedAttempt(
+    const std::function<Result<RepairReport>(const RepairOptions&)>& attempt,
+    const RepairOptions& opts) {
+  try {
+    return attempt(opts);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(
+        "repair: allocation failed (std::bad_alloc) while building the "
+        "solve");
+  }
+}
+
+/// The retry driver shared by RepairTable and RepairTableMulti. Runs up to
+/// retry.max_attempts attempts, each through GuardedAttempt; retryable
+/// failures (RetryableFailure, or an unconverged-but-ok result) trigger
+/// the next fallback tier. A converged result from a fallback terminates
+/// as "retried-ok"; if every fallback still fails, the best
+/// ok-but-unconverged result seen (if any) is returned rather than the
+/// final error — degradation never makes the outcome worse than attempt 1.
+Result<RepairReport> RunWithRetries(
+    const RepairOptions& options,
+    const std::function<Result<RepairReport>(const RepairOptions&)>&
+        attempt_fn) {
+  if (options.retry.max_attempts == 0) {
+    return Status::InvalidArgument(
+        "repair: RetryOptions::max_attempts = 0 — the first try counts as "
+        "an attempt, so at least 1 is required (1 = no retry)");
+  }
+  if (!(options.retry.backoff_seconds >= 0.0)) {
+    return Status::InvalidArgument(
+        "repair: RetryOptions::backoff_seconds must be >= 0 and finite");
+  }
+  // The fallbacks reconfigure FastOTClean knobs; QCLP runs one attempt.
+  const size_t max_attempts = options.solver == Solver::kFastOtClean
+                                  ? options.retry.max_attempts
+                                  : 1;
+  RepairOptions opts = options;
+  std::string recovery;
+  std::optional<RepairReport> best;  // floor: best ok-but-unconverged result
+  for (size_t attempt = 0;; ++attempt) {
+    Result<RepairReport> r = GuardedAttempt(attempt_fn, opts);
+    if (r.ok() && r->converged) {
+      RepairReport report = std::move(r).value();
+      report.retry_attempts = attempt;
+      report.termination = attempt > 0 ? "retried-ok" : "ok";
+      report.recovery = recovery;
+      return report;
+    }
+    const bool retryable = r.ok() || RetryableFailure(r.status());
+    if (attempt + 1 >= max_attempts || !retryable) {
+      if (r.ok()) {
+        RepairReport report = std::move(r).value();
+        report.retry_attempts = attempt;
+        report.recovery = recovery;
+        return report;
+      }
+      if (best.has_value()) {
+        best->recovery = recovery + "; fallback failed (" +
+                         r.status().ToString() +
+                         "), keeping earlier unconverged result";
+        return std::move(*best);
+      }
+      return r.status();
+    }
+    if (r.ok()) {
+      r->retry_attempts = attempt;
+      best = std::move(r).value();
+    }
+    ApplyFallback(opts, attempt, r.ok() ? Status::OK() : r.status(),
+                  recovery);
+    // Backoff must never outlive a stop: re-check before sleeping and
+    // before the next attempt.
+    OTCLEAN_RETURN_NOT_OK(CheckStop(options.fast.cancel_token,
+                                    options.fast.deadline, "repair retry"));
+    if (options.retry.backoff_seconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options.retry.backoff_seconds));
+    }
+  }
 }
 
 }  // namespace
@@ -140,10 +267,14 @@ Result<dataset::Table> OtCleanRepairer::Apply(const dataset::Table& table,
   return out;
 }
 
-Result<RepairReport> RepairTable(const dataset::Table& table,
-                                 const CiConstraint& constraint,
-                                 const RepairOptions& options,
-                                 const ot::CostFunction* cost) {
+namespace {
+
+/// One fit+apply attempt of the single-constraint repair (the pre-retry
+/// RepairTable body, verbatim).
+Result<RepairReport> RepairTableOnce(const dataset::Table& table,
+                                     const CiConstraint& constraint,
+                                     const RepairOptions& options,
+                                     const ot::CostFunction* cost) {
   OtCleanRepairer repairer(constraint, options);
   OTCLEAN_RETURN_NOT_OK(repairer.Fit(table, cost));
   Rng rng(options.seed ^ 0xabcdef12345ull);
@@ -155,6 +286,17 @@ Result<RepairReport> RepairTable(const dataset::Table& table,
   return report;
 }
 
+}  // namespace
+
+Result<RepairReport> RepairTable(const dataset::Table& table,
+                                 const CiConstraint& constraint,
+                                 const RepairOptions& options,
+                                 const ot::CostFunction* cost) {
+  return RunWithRetries(options, [&](const RepairOptions& opts) {
+    return RepairTableOnce(table, constraint, opts, cost);
+  });
+}
+
 Result<double> TableCmi(const dataset::Table& table,
                         const CiConstraint& constraint) {
   OTCLEAN_ASSIGN_OR_RETURN(std::vector<size_t> cols,
@@ -164,7 +306,11 @@ Result<double> TableCmi(const dataset::Table& table,
       p, constraint.SpecInProjectedDomain());
 }
 
-Result<RepairReport> RepairTableMulti(
+namespace {
+
+/// One attempt of the multi-constraint repair (the pre-retry
+/// RepairTableMulti body, verbatim).
+Result<RepairReport> RepairTableMultiOnce(
     const dataset::Table& table, const std::vector<CiConstraint>& constraints,
     const RepairOptions& options, const ot::CostFunction* cost) {
   if (constraints.empty()) {
@@ -274,6 +420,16 @@ Result<RepairReport> RepairTableMulti(
   report.final_cmi = prob::MaxCmi(p_after, specs);
   report.repaired = std::move(repaired);
   return report;
+}
+
+}  // namespace
+
+Result<RepairReport> RepairTableMulti(
+    const dataset::Table& table, const std::vector<CiConstraint>& constraints,
+    const RepairOptions& options, const ot::CostFunction* cost) {
+  return RunWithRetries(options, [&](const RepairOptions& opts) {
+    return RepairTableMultiOnce(table, constraints, opts, cost);
+  });
 }
 
 }  // namespace otclean::core

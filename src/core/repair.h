@@ -19,11 +19,35 @@ enum class Solver {
   kQclp,         ///< Section 4.1 (alternating LP); exact but small domains only.
 };
 
+/// Opt-in graceful degradation for the FastOTClean solver: when an attempt
+/// fails retryably — the solve errors with kNotConverged, collapses to
+/// "plan lost all mass" (the deterministic endpoint of NaN scalings in the
+/// linear domain), or returns unconverged — the repair is retried with a
+/// progressively safer configuration instead of hard-failing: the first
+/// fallback switches the inner Sinkhorn to the log domain (immune to the
+/// under/overflow that kills linear scalings at small ε), subsequent ones
+/// double ε (dropping an ε-annealing schedule once it no longer brackets
+/// the loosened target). Every fallback taken is recorded in
+/// RepairReport::{termination, retry_attempts, recovery}. Non-retryable
+/// errors (InvalidArgument, kCancelled, kDeadlineExceeded,
+/// kResourceExhausted, ...) always propagate immediately.
+struct RetryOptions {
+  /// Total solve attempts (first try included). 1 — the default — means no
+  /// retry; 0 is InvalidArgument (validated loudly, never a silent no-op).
+  size_t max_attempts = 1;
+  /// Sleep between attempts, in seconds (the cancel token / deadline are
+  /// re-checked before each retry, so backoff never outlives a stop).
+  double backoff_seconds = 0.0;
+};
+
 /// End-to-end repair configuration.
 struct RepairOptions {
   Solver solver = Solver::kFastOtClean;
   FastOtCleanOptions fast;
   QclpOptions qclp;
+  /// Graceful-degradation policy (FastOTClean only; the QCLP solver always
+  /// runs a single attempt — its failure modes are not scaling blow-ups).
+  RetryOptions retry;
   /// Section 5 unsaturated-constraint optimization: clean only the marginal
   /// over the constraint attributes U = X∪Y∪Z and carry the remaining
   /// attributes along unchanged. When false, the *naive* method cleans the
@@ -77,6 +101,17 @@ struct RepairReport {
   /// FastOtCleanOptions::epsilon_schedule ran). Stage iterations are not
   /// counted in `total_sinkhorn_iterations`.
   std::vector<ot::EpsilonAnnealStage> anneal_stages;
+  /// How the repair terminated: "ok" (first attempt), or "retried-ok" when
+  /// RetryOptions fallbacks recovered a converged solve after at least one
+  /// retryable failure. Failed repairs never produce a report — their
+  /// reason lives in the returned Status code (kCancelled,
+  /// kDeadlineExceeded, kResourceExhausted, ...).
+  const char* termination = "ok";
+  /// Fallback attempts taken beyond the first try (0 without retries).
+  size_t retry_attempts = 0;
+  /// Human-readable fallback trail, e.g. "attempt 2: log-domain after
+  /// Internal: ... plan lost all mass". Empty when no fallback ran.
+  std::string recovery;
 };
 
 /// A fitted probabilistic data cleaner: learns the transport plan from one

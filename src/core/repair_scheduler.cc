@@ -1,10 +1,10 @@
 #include "core/repair_scheduler.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
+#include <cmath>
 
 #include "common/timer.h"
+#include "core/fault_injector.h"
 #include "linalg/parallel_for.h"
 
 namespace otclean::core {
@@ -34,19 +34,17 @@ RepairScheduler::RepairScheduler(RepairSchedulerOptions options)
     owned_cache_.emplace(options_.cache_bytes);
     cache_ = &*owned_cache_;
   }
+  if (cache_ != nullptr && options_.fault_injector != nullptr) {
+    cache_->set_fault_injector(options_.fault_injector);
+  }
 }
 
-Result<RepairReport> RepairScheduler::RunOne(const RepairJob& job,
-                                             size_t batch_index) {
+Status RepairScheduler::ValidateJob(const RepairJob& job) const {
   if (job.table == nullptr) {
-    return Status::InvalidArgument("RepairScheduler: job " +
-                                   std::to_string(batch_index) +
-                                   " has no table");
+    return Status::InvalidArgument("RepairScheduler: job has no table");
   }
   if (job.constraints.empty()) {
-    return Status::InvalidArgument("RepairScheduler: job " +
-                                   std::to_string(batch_index) +
-                                   " has no constraints");
+    return Status::InvalidArgument("RepairScheduler: job has no constraints");
   }
   if (job.options.fast.thread_pool != nullptr ||
       job.options.qclp.thread_pool != nullptr) {
@@ -55,28 +53,204 @@ Result<RepairReport> RepairScheduler::RunOne(const RepairJob& job,
     // is a misconfiguration — honoring it would defeat the bounded-thread
     // model, overriding it would silently ignore the caller's setup.
     return Status::InvalidArgument(
-        "RepairScheduler: job " + std::to_string(batch_index) +
-        " carries its own options thread_pool; jobs must leave it null — "
-        "the scheduler dispatches every job on its one shared pool "
-        "(RepairSchedulerOptions::thread_pool/pool_threads)");
+        "RepairScheduler: job carries its own options thread_pool; jobs "
+        "must leave it null — the scheduler dispatches every job on its one "
+        "shared pool (RepairSchedulerOptions::thread_pool/pool_threads)");
   }
   if (job.options.fast.solve_cache != nullptr) {
     // Same policy as thread_pool: the scheduler's cache is THE cache.
     return Status::InvalidArgument(
-        "RepairScheduler: job " + std::to_string(batch_index) +
-        " carries its own options solve_cache; jobs must leave it null — "
-        "the scheduler injects its one shared cache "
+        "RepairScheduler: job carries its own options solve_cache; jobs "
+        "must leave it null — the scheduler injects its one shared cache "
         "(RepairSchedulerOptions::cache_bytes/solve_cache)");
   }
+  if (job.options.fast.cancel_token != nullptr) {
+    // Same policy again: cancellation of scheduled jobs goes through
+    // Cancel(ticket) on the scheduler-owned token. A job-supplied token
+    // would leave two parties able to stop one solve, with no way to tell
+    // a caller cancel from a scheduler drain in the result.
+    return Status::InvalidArgument(
+        "RepairScheduler: job carries its own options cancel_token; "
+        "scheduled jobs must leave it null — cancellation goes through "
+        "RepairScheduler::Cancel(ticket) on the scheduler-owned token");
+  }
+  if (!job.options.fast.deadline.infinite()) {
+    return Status::InvalidArgument(
+        "RepairScheduler: job carries its own options deadline; scheduled "
+        "jobs must leave it infinite and set RepairJob::deadline_seconds "
+        "instead — the scheduler starts the clock at Submit so queue wait "
+        "counts against the budget");
+  }
+  if (options_.fault_injector != nullptr &&
+      job.options.fast.fault_injector != nullptr) {
+    return Status::InvalidArgument(
+        "RepairScheduler: job carries its own options fault_injector while "
+        "the scheduler already has one "
+        "(RepairSchedulerOptions::fault_injector); jobs must leave it null "
+        "— two harnesses double-counting visits would make the Nth-visit "
+        "arming meaningless");
+  }
+  if (job.deadline_seconds.has_value()) {
+    const double d = *job.deadline_seconds;
+    if (std::isnan(d) || d <= 0.0) {
+      return Status::InvalidArgument(
+          "RepairScheduler: job deadline_seconds = " + std::to_string(d) +
+          "; an explicit deadline must be finite and > 0 (leave it unset "
+          "to inherit default_deadline_seconds, or to run without one)");
+    }
+  }
+  const double default_deadline = options_.default_deadline_seconds;
+  if (std::isnan(default_deadline) || default_deadline < 0.0) {
+    return Status::InvalidArgument(
+        "RepairScheduler: default_deadline_seconds = " +
+        std::to_string(default_deadline) +
+        " must be >= 0 and finite (0 = no default deadline)");
+  }
+  return Status::OK();
+}
+
+Result<JobTicket> RepairScheduler::Submit(const RepairJob& job) {
+  OTCLEAN_RETURN_NOT_OK(ValidateJob(job));
+  auto pending = std::make_shared<PendingJob>();
+  pending->job = job;
+  const double deadline_seconds =
+      job.deadline_seconds.value_or(options_.default_deadline_seconds);
+  // The clock starts here, at admission: a job stuck behind a full batch
+  // burns its budget waiting and fails at dequeue instead of starting a
+  // solve the caller gave up on long ago.
+  pending->deadline = deadline_seconds > 0.0
+                          ? Deadline::After(deadline_seconds)
+                          : Deadline::Infinite();
+  JobTicket ticket;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      return Status::FailedPrecondition(
+          "RepairScheduler::Submit after DrainAndStop: the scheduler is "
+          "stopped for good; construct a new one to serve more jobs");
+    }
+    if (options_.max_queued_jobs > 0 &&
+        queue_.size() >= options_.max_queued_jobs) {
+      // Admission control: fail fast while the caller can still shed load
+      // upstream — an unbounded queue just converts overload into
+      // unbounded latency and memory.
+      return Status::ResourceExhausted(
+          "RepairScheduler::Submit: pending queue full (" +
+          std::to_string(queue_.size()) + " queued, bound " +
+          std::to_string(options_.max_queued_jobs) +
+          "); retry later or raise RepairSchedulerOptions::max_queued_jobs");
+    }
+    ticket = next_ticket_++;
+    pending->seed_id = job.id == kAutoJobId ? ticket : job.id;
+    tickets_.emplace(ticket, pending);
+    queue_.push_back(pending);
+    if (executors_.empty()) {
+      const size_t executors =
+          linalg::ResolveThreadCount(options_.max_concurrent_jobs);
+      executors_.reserve(executors);
+      for (size_t t = 0; t < executors; ++t) {
+        executors_.emplace_back([this] { ExecutorLoop(); });
+      }
+    }
+  }
+  cv_work_.notify_one();
+  return ticket;
+}
+
+Result<RepairReport> RepairScheduler::Wait(JobTicket ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = tickets_.find(ticket);
+  if (it == tickets_.end()) {
+    return Status::NotFound("RepairScheduler::Wait: ticket " +
+                            std::to_string(ticket) +
+                            " is unknown or already consumed");
+  }
+  std::shared_ptr<PendingJob> pending = it->second;
+  cv_done_.wait(lock, [&] { return pending->done; });
+  tickets_.erase(ticket);
+  return std::move(*pending->result);
+}
+
+Status RepairScheduler::Cancel(JobTicket ticket) {
+  std::shared_ptr<PendingJob> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tickets_.find(ticket);
+    if (it == tickets_.end()) {
+      return Status::NotFound("RepairScheduler::Cancel: ticket " +
+                              std::to_string(ticket) +
+                              " is unknown or already consumed");
+    }
+    pending = it->second;
+  }
+  // Cooperative and idempotent: a queued job observes the token at dequeue,
+  // an in-flight solve at its next checkpoint, a completed job not at all
+  // (its result is already fixed — that race is inherent to cancellation).
+  pending->token.Cancel();
+  return Status::OK();
+}
+
+void RepairScheduler::DrainAndStop() {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ && executors_.empty()) return;  // idempotent
+    draining_ = true;
+    for (const std::shared_ptr<PendingJob>& pending : queue_) {
+      pending->result.emplace(Status::Cancelled(
+          "RepairScheduler::DrainAndStop: job was still queued when the "
+          "scheduler stopped"));
+      pending->done = true;
+    }
+    queue_.clear();
+    to_join.swap(executors_);
+  }
+  cv_work_.notify_all();
+  cv_done_.notify_all();
+  for (std::thread& t : to_join) t.join();
+}
+
+void RepairScheduler::ExecutorLoop() {
+  for (;;) {
+    std::shared_ptr<PendingJob> pending;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining and nothing left to start
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // Admission happened a while ago: re-check the stop conditions before
+    // spending a solve on a job whose caller cancelled it in the queue or
+    // whose deadline burned down while it waited.
+    Status admitted = CheckStop(&pending->token, pending->deadline,
+                                "RepairScheduler: job dequeued");
+    Result<RepairReport> result =
+        admitted.ok() ? RunOne(*pending) : Result<RepairReport>(admitted);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending->result.emplace(std::move(result));
+      pending->done = true;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+Result<RepairReport> RepairScheduler::RunOne(PendingJob& pending) {
+  const RepairJob& job = pending.job;
   RepairOptions opts = job.options;
-  const uint64_t id = job.id == kAutoJobId ? batch_index : job.id;
-  opts.seed = DeriveJobSeed(job.options.seed, id);
+  opts.seed = DeriveJobSeed(job.options.seed, pending.seed_id);
   // All executors dispatch on the one shared pool; the solve's chunk
   // decomposition stays governed by opts.fast/qclp.num_threads, so per-job
   // results do not depend on the pool's width or on concurrent neighbours.
   opts.fast.thread_pool = pool_;
   opts.qclp.thread_pool = pool_;
   opts.fast.solve_cache = cache_;
+  opts.fast.cancel_token = &pending.token;
+  opts.fast.deadline = pending.deadline;
+  if (opts.fast.fault_injector == nullptr) {
+    opts.fast.fault_injector = options_.fault_injector;
+  }
   if (pool_ == nullptr) {
     // A width-1 pool resolution means the scheduler's contract is "solves
     // run serial, executors are the only concurrency". Left at N>1, each
@@ -100,27 +274,35 @@ BatchReport RepairScheduler::Run(const std::vector<RepairJob>& jobs) {
   const SolveCacheStats cache_before =
       cache_ != nullptr ? cache_->Stats() : SolveCacheStats{};
 
-  std::vector<std::optional<Result<RepairReport>>> slots(jobs.size());
-  std::atomic<size_t> next_job{0};
-  auto executor = [&] {
-    for (;;) {
-      const size_t i = next_job.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobs.size()) return;
-      slots[i].emplace(RunOne(jobs[i], i));
-    }
-  };
-
   WallTimer timer;
-  const size_t executors = std::min(
-      linalg::ResolveThreadCount(options_.max_concurrent_jobs), jobs.size());
-  if (executors <= 1) {
-    executor();
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(executors - 1);
-    for (size_t t = 1; t < executors; ++t) threads.emplace_back(executor);
-    executor();
-    for (std::thread& t : threads) t.join();
+  std::vector<std::optional<Result<RepairReport>>> slots(jobs.size());
+  // Submit everything, Wait in order. On a bounded queue, Run applies
+  // backpressure — waiting out the oldest outstanding job frees a slot —
+  // instead of surfacing kResourceExhausted for a batch the caller handed
+  // over whole; admission control is for *competing* submitters.
+  std::deque<std::pair<size_t, JobTicket>> outstanding;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    RepairJob job = jobs[i];
+    if (job.id == kAutoJobId) job.id = i;  // batch-position seeds, as ever
+    for (;;) {
+      Result<JobTicket> ticket = Submit(job);
+      if (ticket.ok()) {
+        outstanding.emplace_back(i, *ticket);
+        break;
+      }
+      if (ticket.status().code() == StatusCode::kResourceExhausted &&
+          !outstanding.empty()) {
+        slots[outstanding.front().first].emplace(
+            Wait(outstanding.front().second));
+        outstanding.pop_front();
+        continue;
+      }
+      slots[i].emplace(ticket.status());
+      break;
+    }
+  }
+  for (const auto& [index, ticket] : outstanding) {
+    slots[index].emplace(Wait(ticket));
   }
   report.wall_seconds = timer.ElapsedSeconds();
   report.jobs_per_second =
@@ -132,11 +314,17 @@ BatchReport RepairScheduler::Run(const std::vector<RepairJob>& jobs) {
     Result<RepairReport>& r = *slot;
     if (r.ok()) {
       ++report.completed_jobs;
+      if (r->retry_attempts > 0) ++report.retried_jobs;
       report.total_sinkhorn_iterations += r->total_sinkhorn_iterations;
       report.peak_plan_bytes =
           std::max(report.peak_plan_bytes, r->plan_memory_bytes);
     } else {
       ++report.failed_jobs;
+      if (r.status().code() == StatusCode::kCancelled) {
+        ++report.cancelled_jobs;
+      } else if (r.status().code() == StatusCode::kDeadlineExceeded) {
+        ++report.deadline_exceeded_jobs;
+      }
     }
     report.jobs.push_back(std::move(r));
   }

@@ -1,11 +1,18 @@
 #ifndef OTCLEAN_CORE_REPAIR_SCHEDULER_H_
 #define OTCLEAN_CORE_REPAIR_SCHEDULER_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "core/ci_constraint.h"
 #include "core/repair.h"
@@ -38,12 +45,20 @@ struct RepairJob {
   /// null builds the paper's C1 cost per job.
   const ot::CostFunction* cost = nullptr;
   /// Stable id mixed into the per-job seed (see DeriveJobSeed). Defaults to
-  /// the job's position in the batch; set it explicitly when the same
-  /// logical job must keep its seed across batches that order jobs
-  /// differently.
+  /// the job's position in the batch (Run) or its ticket number (standalone
+  /// Submit); set it explicitly when the same logical job must keep its
+  /// seed across batches that order jobs differently.
   uint64_t id = kAutoJobId;
   /// Free-form label echoed in CLI/bench summaries; no semantic meaning.
   std::string name;
+  /// Wall-clock budget in seconds, measured from Submit — queue wait counts
+  /// against it, so an admission-starved job times out rather than running
+  /// arbitrarily late. Unset inherits
+  /// RepairSchedulerOptions::default_deadline_seconds; an explicit value
+  /// must be finite and > 0 (zero or negative is InvalidArgument, loudly,
+  /// never a silent "no deadline"). Exceeding it fails the job with
+  /// kDeadlineExceeded; completed work is never altered retroactively.
+  std::optional<double> deadline_seconds;
 };
 
 /// Aggregate outcome of one batch.
@@ -51,7 +66,14 @@ struct BatchReport {
   /// Per-job outcomes, in batch order (never reordered by completion).
   std::vector<Result<RepairReport>> jobs;
   size_t completed_jobs = 0;  ///< jobs whose Result is ok().
-  size_t failed_jobs = 0;
+  size_t failed_jobs = 0;     ///< all non-ok jobs, cancelled/deadlined included.
+  /// Termination-reason sub-counts. `cancelled_jobs` and
+  /// `deadline_exceeded_jobs` partition the kCancelled / kDeadlineExceeded
+  /// slices of `failed_jobs`; `retried_jobs` counts *successful* jobs that
+  /// needed at least one RetryOptions fallback (termination "retried-ok").
+  size_t cancelled_jobs = 0;
+  size_t deadline_exceeded_jobs = 0;
+  size_t retried_jobs = 0;
   double wall_seconds = 0.0;
   /// Batch throughput: total jobs / wall_seconds.
   double jobs_per_second = 0.0;
@@ -88,6 +110,21 @@ struct RepairSchedulerOptions {
   /// Optional externally owned cache shared with other work in the
   /// process; must outlive the scheduler.
   SolveCache* solve_cache = nullptr;
+  /// Admission control: upper bound on jobs *waiting* in the pending queue
+  /// (in-flight jobs are not counted — they are bounded by
+  /// max_concurrent_jobs already). Submit beyond the bound fails fast with
+  /// kResourceExhausted instead of growing the queue without limit. 0 — the
+  /// default — leaves the queue unbounded.
+  size_t max_queued_jobs = 0;
+  /// Deadline applied to jobs that do not set RepairJob::deadline_seconds,
+  /// in seconds from their Submit. 0 — the default — means no default
+  /// deadline; negative or NaN values are InvalidArgument (reported on the
+  /// first Submit, the scheduler's earliest fallible call).
+  double default_deadline_seconds = 0.0;
+  /// Optional fault-injection harness (core/fault_injector.h) threaded
+  /// through the scheduler's shared cache and into every job that does not
+  /// carry its own; must outlive the scheduler. Null costs nothing.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// The per-job seed: `base_seed` (the job's RepairOptions::seed) mixed with
@@ -98,22 +135,71 @@ struct RepairSchedulerOptions {
 /// batch is sharded.
 uint64_t DeriveJobSeed(uint64_t base_seed, uint64_t job_id);
 
-/// Serves many repairs off one process: shards a batch of RepairJobs across
+/// Opaque handle to one submitted job; consumed by Wait.
+using JobTicket = uint64_t;
+
+/// Serves many repairs off one process: shards submitted RepairJobs across
 /// a bounded set of executor threads that all dispatch kernel work on one
 /// shared linalg::ThreadPool. Per-job results are bit-identical to running
 /// the same jobs sequentially (same derived seeds, and a solve's chunk
-/// decomposition never depends on what else shares the pool).
+/// decomposition never depends on what else shares the pool — cancellation
+/// and deadlines can only *abort* a solve, never reshape it).
 ///
-/// The scheduler is reusable: construct once (the pool persists), Run any
-/// number of batches. Run itself must not be called concurrently from
-/// several threads on the same scheduler — batch the work instead.
+/// Two layers of API:
+///  - Submit/Wait/Cancel — the serving surface: admission control
+///    (max_queued_jobs), per-job deadlines measured from Submit, and
+///    cooperative cancellation of queued or in-flight jobs. The scheduler
+///    owns each job's CancellationToken; jobs must arrive with
+///    `options.fast.cancel_token` null and `options.fast.deadline`
+///    infinite (InvalidArgument otherwise — the same loud-conflict policy
+///    as job-supplied pools and caches).
+///  - Run — the batch convenience, reimplemented over Submit/Wait: blocks
+///    until every job completed, keeps results in batch order, and applies
+///    backpressure (waiting out earlier jobs) instead of failing when a
+///    batch overflows a bounded queue.
+///
+/// The scheduler is reusable across batches. DrainAndStop() (also run by
+/// the destructor) finishes in-flight jobs, fails still-queued ones with
+/// kCancelled, and stops the executors for good — Submit afterwards is
+/// FailedPrecondition. Run itself must not be called concurrently from
+/// several threads on the same scheduler; Submit/Wait/Cancel may be.
 class RepairScheduler {
  public:
   explicit RepairScheduler(RepairSchedulerOptions options = {});
+  ~RepairScheduler() { DrainAndStop(); }
+
+  RepairScheduler(const RepairScheduler&) = delete;
+  RepairScheduler& operator=(const RepairScheduler&) = delete;
+
+  /// Admits one job. Validates loudly (null table, empty constraints,
+  /// job-supplied pool/cache/token/deadline conflicts, non-positive
+  /// explicit deadline → InvalidArgument), fails fast with
+  /// kResourceExhausted when the pending queue is at max_queued_jobs, and
+  /// with FailedPrecondition after DrainAndStop. The job's deadline clock
+  /// starts now, in this call.
+  Result<JobTicket> Submit(const RepairJob& job);
+
+  /// Blocks until the ticket's job completed (ok, failed, cancelled or
+  /// deadline-exceeded) and returns its result, consuming the ticket —
+  /// a second Wait on it is NotFound.
+  Result<RepairReport> Wait(JobTicket ticket);
+
+  /// Requests cooperative cancellation: a still-queued job fails with
+  /// kCancelled at dequeue; an in-flight solve aborts at its next
+  /// iteration/outer-step/chunk checkpoint. Idempotent; a job that already
+  /// completed keeps its result (Cancel still returns OK — the race is
+  /// inherent). NotFound for unknown or already-consumed tickets.
+  Status Cancel(JobTicket ticket);
+
+  /// Lifecycle shutdown: lets in-flight jobs finish, fails every
+  /// still-queued job with kCancelled, then joins the executors. Results
+  /// remain collectable via Wait; further Submits are FailedPrecondition.
+  /// Idempotent.
+  void DrainAndStop();
 
   /// Runs every job; blocks until the whole batch completed. Per-job
-  /// failures (bad options, infeasible solves) land in the corresponding
-  /// Result slot — one bad job never aborts its batch.
+  /// failures (bad options, infeasible solves, deadlines) land in the
+  /// corresponding Result slot — one bad job never aborts its batch.
   BatchReport Run(const std::vector<RepairJob>& jobs);
 
   /// The pool every executor's solves dispatch on (null when the resolved
@@ -126,13 +212,38 @@ class RepairScheduler {
   SolveCache* shared_cache() { return cache_; }
 
  private:
-  Result<RepairReport> RunOne(const RepairJob& job, size_t batch_index);
+  /// One admitted job: the copied RepairJob plus the scheduler-owned
+  /// cancellation token, the deadline resolved at Submit, and the result
+  /// slot the executor fills. Shared between the ticket map, the queue and
+  /// the running executor, so a drained queue or consumed ticket never
+  /// invalidates what another party still holds.
+  struct PendingJob {
+    RepairJob job;
+    uint64_t seed_id = 0;
+    CancellationToken token;
+    Deadline deadline;
+    bool done = false;  // guarded by mu_
+    std::optional<Result<RepairReport>> result;  // guarded by mu_
+  };
+
+  Status ValidateJob(const RepairJob& job) const;
+  Result<RepairReport> RunOne(PendingJob& pending);
+  void ExecutorLoop();
 
   RepairSchedulerOptions options_;
   std::optional<linalg::ThreadPool> owned_pool_;
   linalg::ThreadPool* pool_ = nullptr;
   std::optional<SolveCache> owned_cache_;
   SolveCache* cache_ = nullptr;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;  ///< executors: queue gained work / stop
+  std::condition_variable cv_done_;  ///< waiters: some job completed
+  std::deque<std::shared_ptr<PendingJob>> queue_;
+  std::unordered_map<JobTicket, std::shared_ptr<PendingJob>> tickets_;
+  std::vector<std::thread> executors_;  ///< lazily started at first Submit
+  JobTicket next_ticket_ = 1;
+  bool draining_ = false;
 };
 
 }  // namespace otclean::core

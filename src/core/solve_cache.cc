@@ -1,6 +1,7 @@
 #include "core/solve_cache.h"
 
 #include "common/hash.h"
+#include "core/fault_injector.h"
 #include "linalg/simd.h"
 #include "linalg/transport_kernel_f32.h"
 
@@ -134,6 +135,13 @@ std::optional<CachedKernel> SolveCache::FindKernel(const SolveCacheKey& key) {
 CachedKernel SolveCache::InsertKernel(const SolveCacheKey& key,
                                       CachedKernel kernel) {
   if (!key.valid() || kernel.empty()) return kernel;
+  // FaultSite::kCacheInsert: the insert fails before FindOrCreate so no
+  // entry — not even an empty shell — is created; the caller keeps its
+  // private kernel and the request degrades to uncached, never corrupt.
+  if (fault_injector_ != nullptr &&
+      fault_injector_->ShouldFire(FaultSite::kCacheInsert)) {
+    return kernel;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = FindOrCreate(key);
   if (!it->kernel.empty()) return it->kernel;  // lost the race: share theirs

@@ -22,6 +22,8 @@ struct SparseKernelStorageF32;
 
 namespace otclean::core {
 
+class FaultInjector;
+
 /// Identity of a solve's immutable inputs — everything that determines the
 /// built Gibbs kernel bit-for-bit. `content` is a stable FNV-1a hash of the
 /// cost fingerprint (CostFunction::Fingerprint plus any caller salt, e.g.
@@ -189,6 +191,16 @@ class SolveCache {
 
   size_t byte_budget() const { return byte_budget_; }
 
+  /// Fault-injection hook (core/fault_injector.h): when set, InsertKernel
+  /// consults FaultSite::kCacheInsert and a firing visit makes the insert
+  /// fail *atomically* — no entry is created or modified, no counter
+  /// moves, and the caller's freshly built kernel is returned so the solve
+  /// proceeds uncached. Null (the default) costs nothing. Borrowed; set
+  /// before dispatching instrumented work.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+
  private:
   struct Entry {
     SolveCacheKey key;
@@ -219,6 +231,7 @@ class SolveCache {
   std::unordered_map<SolveCacheKey, Lru::iterator, KeyHash> index_;
   size_t bytes_cached_ = 0;
   SolveCacheStats counters_;  ///< gauges unused; filled on Stats() read
+  FaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace otclean::core

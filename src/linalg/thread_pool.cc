@@ -1,6 +1,37 @@
 #include "linalg/thread_pool.h"
 
 namespace otclean::linalg {
+namespace {
+
+/// The calling thread's cooperative stop flag (see ScopedStopFlag).
+thread_local const std::atomic<bool>* tls_stop_flag = nullptr;
+
+/// Process-wide chunk instrumentation hook (see SetChunkHook).
+std::atomic<ThreadPool::ChunkHook> g_chunk_hook{nullptr};
+std::atomic<void*> g_chunk_hook_ctx{nullptr};
+
+}  // namespace
+
+ThreadPool::ScopedStopFlag::ScopedStopFlag(const std::atomic<bool>* flag)
+    : previous_(tls_stop_flag) {
+  tls_stop_flag = flag;
+}
+
+ThreadPool::ScopedStopFlag::~ScopedStopFlag() { tls_stop_flag = previous_; }
+
+const std::atomic<bool>* ThreadPool::CurrentStopFlag() { return tls_stop_flag; }
+
+void ThreadPool::SetChunkHook(ChunkHook hook, void* ctx) {
+  g_chunk_hook_ctx.store(ctx, std::memory_order_release);
+  g_chunk_hook.store(hook, std::memory_order_release);
+}
+
+bool ThreadPool::ChunkStopped(const Job& job) {
+  if (ChunkHook hook = g_chunk_hook.load(std::memory_order_acquire)) {
+    hook(g_chunk_hook_ctx.load(std::memory_order_acquire));
+  }
+  return job.stop != nullptr && job.stop->load(std::memory_order_acquire);
+}
 
 ThreadPool::ThreadPool(size_t num_threads)
     : num_threads_(ResolveThreadCount(num_threads)) {}
@@ -27,7 +58,11 @@ void ThreadPool::RunChunks(size_t num_chunks, void (*chunk_fn)(void*, size_t),
                            void* ctx) {
   if (num_chunks == 0) return;
   if (num_chunks == 1 || num_threads_ <= 1) {
-    for (size_t c = 0; c < num_chunks; ++c) chunk_fn(ctx, c);
+    Job inline_job;
+    inline_job.stop = tls_stop_flag;
+    for (size_t c = 0; c < num_chunks; ++c) {
+      if (!ChunkStopped(inline_job)) chunk_fn(ctx, c);
+    }
     return;
   }
   // The job lives on the dispatcher's stack for the duration of the
@@ -38,6 +73,7 @@ void ThreadPool::RunChunks(size_t num_chunks, void (*chunk_fn)(void*, size_t),
   job.chunk_fn = chunk_fn;
   job.ctx = ctx;
   job.num_chunks = num_chunks;
+  job.stop = tls_stop_flag;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (workers_.empty()) {
@@ -62,7 +98,7 @@ void ThreadPool::RunChunks(size_t num_chunks, void (*chunk_fn)(void*, size_t),
   for (;;) {
     const size_t c = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
     if (c >= num_chunks) break;
-    chunk_fn(ctx, c);
+    if (!ChunkStopped(job)) chunk_fn(ctx, c);
     ++completed;
   }
   std::unique_lock<std::mutex> lock(mutex_);
@@ -93,7 +129,7 @@ void ThreadPool::WorkerLoop() {
     for (;;) {
       const size_t c = job->next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= job->num_chunks) break;
-      job->chunk_fn(job->ctx, c);
+      if (!ChunkStopped(*job)) job->chunk_fn(job->ctx, c);
       ++completed;
     }
     bool job_finished;

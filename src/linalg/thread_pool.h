@@ -64,6 +64,38 @@ class ThreadPool {
   void RunChunks(size_t num_chunks, void (*chunk_fn)(void*, size_t),
                  void* ctx);
 
+  /// Installs `flag` as the calling thread's cooperative stop flag for the
+  /// scope's duration (RAII; nests by saving the previous flag). Every
+  /// dispatch issued from this thread captures the flag into its job; once
+  /// the flag reads true, participants — dispatcher and workers alike —
+  /// keep *claiming and counting* chunks but skip executing them, so the
+  /// dispatch drains immediately. The chunk decomposition and completion
+  /// accounting are untouched: a stop can only abort a dispatch (whose
+  /// output the solve then discards), never alter what an unstopped
+  /// dispatch computes — completed solves stay bit-identical.
+  class ScopedStopFlag {
+   public:
+    explicit ScopedStopFlag(const std::atomic<bool>* flag);
+    ~ScopedStopFlag();
+    ScopedStopFlag(const ScopedStopFlag&) = delete;
+    ScopedStopFlag& operator=(const ScopedStopFlag&) = delete;
+
+   private:
+    const std::atomic<bool>* previous_;
+  };
+
+  /// The calling thread's installed stop flag (null when none).
+  static const std::atomic<bool>* CurrentStopFlag();
+
+  /// Fault-injection/test instrumentation: `hook(ctx)` runs before every
+  /// chunk execution on every participating thread (core::FaultInjector
+  /// uses it to delay a worker at the Nth chunk). Install before work is
+  /// dispatched and uninstall (null) after it drains — the two atomics are
+  /// published independently. Null by default; costs one relaxed load per
+  /// chunk when unset.
+  using ChunkHook = void (*)(void*);
+  static void SetChunkHook(ChunkHook hook, void* ctx);
+
  private:
   /// One in-flight dispatch. Lives on its dispatcher's stack; linked into
   /// jobs_head_ for the duration of the RunChunks call. All fields except
@@ -75,8 +107,15 @@ class ThreadPool {
     std::atomic<size_t> next_chunk{0};
     size_t done_chunks = 0;     ///< chunks whose chunk_fn has returned.
     size_t active_workers = 0;  ///< workers currently registered on the job.
+    /// Dispatcher's stop flag at dispatch time; when it reads true,
+    /// participants claim+count remaining chunks without executing them.
+    const std::atomic<bool>* stop = nullptr;
     Job* next = nullptr;
   };
+
+  /// Runs the chunk hook (if installed) and returns whether the job's stop
+  /// flag has fired — the per-chunk gate shared by dispatcher and workers.
+  static bool ChunkStopped(const Job& job);
 
   void WorkerLoop();
   Job* FindClaimableJobLocked();

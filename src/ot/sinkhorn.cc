@@ -54,13 +54,22 @@ double RelaxedExponent(const SinkhornOptions& options) {
 /// relaxed exponent and clamping); `col_update(new_u, new_v)` the
 /// converse; `delta(a, b)` measures the max-change between successive
 /// potentials.
+/// A non-OK return means the solve was aborted by `options.cancel_token`
+/// or `options.deadline` — the stop is checked once per iteration, before
+/// the half-updates, so an abort never leaves a half-applied iteration
+/// and a completed loop is bit-identical to one run without the checks.
+/// The caller's ScopedStopFlag (installed around this loop) additionally
+/// lets pooled kernel dispatches drain mid-iteration once a token fires.
 template <typename RowUpdate, typename ColUpdate, typename Delta>
-void RunScalingLoop(linalg::Vector& u, linalg::Vector& v,
-                    const SinkhornOptions& options, size_t& iterations,
-                    bool& converged, RowUpdate&& row_update,
-                    ColUpdate&& col_update, Delta&& delta) {
+Status RunScalingLoop(linalg::Vector& u, linalg::Vector& v,
+                      const SinkhornOptions& options, const char* where,
+                      size_t& iterations, bool& converged,
+                      RowUpdate&& row_update, ColUpdate&& col_update,
+                      Delta&& delta) {
   linalg::Vector new_u(u.size()), new_v(v.size());
   for (size_t it = 0; it < options.max_iterations; ++it) {
+    OTCLEAN_RETURN_NOT_OK(
+        CheckStop(options.cancel_token, options.deadline, where));
     row_update(v, new_u);
     col_update(new_u, new_v);
     const double du = delta(new_u, u);
@@ -70,9 +79,10 @@ void RunScalingLoop(linalg::Vector& u, linalg::Vector& v,
     iterations = it + 1;
     if (du <= options.tolerance && dv <= options.tolerance) {
       converged = true;
-      return;
+      return Status::OK();
     }
   }
+  return Status::OK();
 }
 
 /// Max-change between successive LOG-potential vectors. Two −inf entries
@@ -662,8 +672,15 @@ Result<SinkhornScaling> RunSinkhornScaling(
     }
   };
 
-  RunScalingLoop(
-      out.u, out.v, options, out.iterations, out.converged,
+  // While the loop runs, pooled kernel dispatches observe the token too:
+  // a fired token drains in-flight Apply/ApplyTranspose dispatches without
+  // touching their chunk decomposition.
+  linalg::ThreadPool::ScopedStopFlag stop_scope(
+      options.cancel_token != nullptr ? options.cancel_token->flag()
+                                      : nullptr);
+  OTCLEAN_RETURN_NOT_OK(RunScalingLoop(
+      out.u, out.v, options, "RunSinkhornScaling", out.iterations,
+      out.converged,
       /*row_update=*/
       [&](const linalg::Vector& v, linalg::Vector& next_u) {
         kernel.Apply(v, kv);
@@ -677,7 +694,7 @@ Result<SinkhornScaling> RunSinkhornScaling(
       /*delta=*/
       [](const linalg::Vector& a, const linalg::Vector& b) {
         return (a - b).NormInf();
-      });
+      }));
   return out;
 }
 
@@ -709,8 +726,12 @@ Result<SinkhornLogScaling> RunSinkhornLogScaling(
 
   const double exponent = RelaxedExponent(options);
   linalg::Vector lse_rows(m), lse_cols(n);
-  RunScalingLoop(
-      out.lu, out.lv, options, out.iterations, out.converged,
+  linalg::ThreadPool::ScopedStopFlag stop_scope(
+      options.cancel_token != nullptr ? options.cancel_token->flag()
+                                      : nullptr);
+  OTCLEAN_RETURN_NOT_OK(RunScalingLoop(
+      out.lu, out.lv, options, "RunSinkhornLogScaling", out.iterations,
+      out.converged,
       // Log-domain half-iterations: lu_i = λ'·(log p_i − log(K·v)_i) with
       // the LSE streamed by the kernel; p_i = 0 (or an unreachable row)
       // keeps lu_i = −inf, matching the linear-domain 0/0 := 0 convention.
@@ -732,7 +753,7 @@ Result<SinkhornLogScaling> RunSinkhornLogScaling(
                            : exponent * (log_q[j] - lse_cols[j]);
         }
       },
-      /*delta=*/LogPotentialDelta);
+      /*delta=*/LogPotentialDelta));
   return out;
 }
 
@@ -752,6 +773,10 @@ Result<SinkhornResult> RunSinkhorn(const linalg::Matrix& cost,
       !s.ok()) {
     return s;
   }
+  // Entry stop check: an already-fired token / expired deadline aborts
+  // before any kernel is built (or fetched and pinned from the cache).
+  OTCLEAN_RETURN_NOT_OK(
+      CheckStop(options.cancel_token, options.deadline, "RunSinkhorn"));
   std::optional<linalg::ThreadPool> owned_pool;
   linalg::ThreadPool* pool = linalg::ResolveSolvePool(
       options.thread_pool, options.num_threads, owned_pool);
@@ -914,6 +939,10 @@ Result<EpsilonAnnealWarmStart> RunSinkhornAnnealed(
   out.v = linalg::Vector::Ones(cost.cols());
   double eps = sched.initial_epsilon;
   while (eps > options.epsilon) {
+    // Per-stage stop check; the stage options copy below also carries the
+    // token/deadline into the stage's own engine loop.
+    OTCLEAN_RETURN_NOT_OK(CheckStop(options.cancel_token, options.deadline,
+                                    "RunSinkhornAnnealed"));
     SinkhornOptions stage_options = options;
     stage_options.epsilon = eps;
     stage_options.tolerance = sched.stage_tolerance;
@@ -1015,6 +1044,8 @@ Result<SparseSinkhornResult> RunSinkhornSparse(
       !s.ok()) {
     return s;
   }
+  OTCLEAN_RETURN_NOT_OK(
+      CheckStop(options.cancel_token, options.deadline, "RunSinkhornSparse"));
 
   std::optional<linalg::ThreadPool> owned_pool;
   linalg::ThreadPool* pool = linalg::ResolveSolvePool(

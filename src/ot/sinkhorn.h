@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "linalg/log_transport_kernel.h"
 #include "linalg/matrix.h"
@@ -146,6 +147,17 @@ struct SinkhornOptions {
   /// from the f64 tier's by the kernel rounding (relative entry error
   /// ≤ 2⁻²⁴). Support costs and all outputs stay double.
   linalg::Precision precision = linalg::Precision::kFloat64;
+  /// Optional cooperative cancellation (common/cancellation.h; borrowed,
+  /// must outlive the solve). Checked once per engine-loop iteration, per
+  /// ε-annealing stage, and — through the ThreadPool stop flag — between
+  /// chunk executions of pooled kernel dispatches, so a fired token drains
+  /// even a large dispatch promptly. A firing aborts the solve with
+  /// kCancelled; checks never alter what an unaborted solve computes.
+  const CancellationToken* cancel_token = nullptr;
+  /// Optional monotonic wall deadline, polled at the same iteration /
+  /// stage granularity; expiry aborts with kDeadlineExceeded. Infinite by
+  /// default. Compose caller and scheduler budgets with Deadline::Earliest.
+  Deadline deadline;
 };
 
 /// Output of a Sinkhorn run.

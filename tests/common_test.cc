@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
 #include <memory>
 #include <set>
+#include <string>
+#include <thread>
 
+#include "common/cancellation.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -41,6 +46,26 @@ TEST(StatusTest, AllFactoryCodesRoundTrip) {
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, EveryCodeHasAUniqueName) {
+  // Exhaustive over the enum: a code added without a StatusCodeName case
+  // would print "Unknown" and collide here; kNumStatusCodes pins the
+  // one-past-last sentinel so the sweep can't silently shrink.
+  std::set<std::string> names;
+  for (int c = 0; c < kNumStatusCodes; ++c) {
+    const std::string name = StatusCodeName(static_cast<StatusCode>(c));
+    EXPECT_NE(name, "Unknown") << "code " << c;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumStatusCodes));
+  EXPECT_STREQ(StatusCodeName(static_cast<StatusCode>(kNumStatusCodes)),
+               "Unknown");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -251,6 +276,76 @@ TEST(StringUtilTest, ParseIntAcceptsAndRejects) {
 }
 
 TEST(StringUtilTest, ToLower) { EXPECT_EQ(ToLower("AbC9"), "abc9"); }
+
+// ---------------------------------------------------------- Cancellation --
+
+TEST(CancellationTest, TokenStartsCleanAndLatches) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  ASSERT_NE(token.flag(), nullptr);
+  EXPECT_FALSE(token.flag()->load());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.flag()->load());
+}
+
+TEST(CancellationTest, CancelIsVisibleAcrossThreads) {
+  CancellationToken token;
+  std::thread other([&] { token.Cancel(); });
+  other.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  const Deadline d = Deadline::Infinite();
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remaining_seconds()));
+}
+
+TEST(DeadlineTest, AfterExpiresAndCountsDown) {
+  const Deadline far = Deadline::After(3600.0);
+  EXPECT_FALSE(far.infinite());
+  EXPECT_FALSE(far.expired());
+  EXPECT_GT(far.remaining_seconds(), 3500.0);
+  EXPECT_LE(far.remaining_seconds(), 3600.0);
+  const Deadline past = Deadline::After(0.0);  // non-positive: born expired
+  EXPECT_TRUE(past.expired());
+  EXPECT_LE(past.remaining_seconds(), 0.0);
+  EXPECT_TRUE(Deadline::After(-1.0).expired());
+  EXPECT_TRUE(Deadline::AfterMillis(0).expired());
+  EXPECT_FALSE(Deadline::AfterMillis(3600 * 1000).expired());
+}
+
+TEST(DeadlineTest, EarliestComposes) {
+  const Deadline inf = Deadline::Infinite();
+  const Deadline near = Deadline::After(1.0);
+  const Deadline far = Deadline::After(3600.0);
+  EXPECT_TRUE(Deadline::Earliest(inf, inf).infinite());
+  EXPECT_FALSE(Deadline::Earliest(inf, near).infinite());
+  EXPECT_LE(Deadline::Earliest(far, near).remaining_seconds(), 1.0);
+  EXPECT_LE(Deadline::Earliest(near, far).remaining_seconds(), 1.0);
+  EXPECT_GT(Deadline::Earliest(far, inf).remaining_seconds(), 1.0);
+}
+
+TEST(CheckStopTest, OrdersCancelBeforeDeadlineAndNamesTheSite) {
+  CancellationToken token;
+  EXPECT_TRUE(CheckStop(nullptr, Deadline::Infinite(), "here").ok());
+  EXPECT_TRUE(CheckStop(&token, Deadline::Infinite(), "here").ok());
+
+  const Status late = CheckStop(&token, Deadline::After(-1.0), "solve");
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(late.message().find("solve"), std::string::npos);
+
+  token.Cancel();
+  // Cancellation wins even when the deadline is also expired: the caller
+  // asked to stop; blaming the deadline would misreport intent.
+  const Status both = CheckStop(&token, Deadline::After(-1.0), "solve");
+  EXPECT_EQ(both.code(), StatusCode::kCancelled);
+  EXPECT_NE(both.message().find("solve"), std::string::npos);
+}
 
 TEST(TimerTest, ElapsedIsMonotone) {
   WallTimer timer;

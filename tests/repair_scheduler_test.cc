@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <set>
+#include <thread>
 
+#include "common/cancellation.h"
 #include "datagen/synthetic.h"
 
 namespace otclean::core {
@@ -305,6 +308,192 @@ TEST(RepairSchedulerTest, SchedulerIsReusableAcrossBatches) {
   const BatchReport first = scheduler.Run({j, j});
   const BatchReport second = scheduler.Run({j, j});
   ExpectSameJobResults(first, second);
+}
+
+// ----------------------------------------------------- Submit/Wait/Cancel --
+
+/// A job whose solve runs for minutes unless stopped: an 864-cell domain
+/// and tolerances no iterate meets, so a stop signal is the only fast exit.
+struct SlowJobFixture {
+  dataset::Table table;
+  CiConstraint wide{{"x"}, {"y"}, {"z0", "z1", "z2"}};
+  RepairJob job;
+
+  SlowJobFixture() {
+    datagen::ScalingDatasetOptions opts;
+    opts.num_rows = 1000;
+    opts.num_z_attrs = 3;
+    opts.z_card = 6;
+    opts.violation = 0.7;
+    opts.seed = 51;
+    table = datagen::MakeScalingDataset(opts).value();
+    job.table = &table;
+    job.constraints = {wide};
+    job.options.fast.max_outer_iterations = 100000;
+    job.options.fast.outer_tolerance = 0.0;
+    job.options.fast.max_sinkhorn_iterations = 5000;
+    job.options.fast.sinkhorn_tolerance = 0.0;
+  }
+};
+
+TEST(RepairSchedulerLifecycleTest, SubmitWaitServesAndConsumesTickets) {
+  const auto t1 = MakeViolatingTable(50);
+  RepairJob job;
+  job.table = &t1;
+  job.constraints = {XyGivenZ()};
+
+  RepairSchedulerOptions opts;
+  opts.max_concurrent_jobs = 2;
+  opts.pool_threads = 1;
+  RepairScheduler scheduler(opts);
+
+  const Result<JobTicket> ticket = scheduler.Submit(job);
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  const Result<RepairReport> r = scheduler.Wait(*ticket);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->total_sinkhorn_iterations, 0u);
+
+  // Wait consumes: the ticket is gone, a second Wait cannot block forever.
+  const Result<RepairReport> again = scheduler.Wait(*ticket);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(scheduler.Cancel(*ticket).code(), StatusCode::kNotFound);
+}
+
+TEST(RepairSchedulerLifecycleTest, CancelStopsQueuedAndRunningJobs) {
+  SlowJobFixture slow;
+  RepairSchedulerOptions opts;
+  opts.max_concurrent_jobs = 1;  // one executor: the second job must queue
+  opts.pool_threads = 1;
+  RepairScheduler scheduler(opts);
+
+  const Result<JobTicket> running = scheduler.Submit(slow.job);
+  ASSERT_TRUE(running.ok());
+  const Result<JobTicket> queued = scheduler.Submit(slow.job);
+  ASSERT_TRUE(queued.ok());
+
+  // The queued job dies at dequeue without spending a solve; the running
+  // one aborts at its next cooperative checkpoint.
+  ASSERT_TRUE(scheduler.Cancel(*queued).ok());
+  ASSERT_TRUE(scheduler.Cancel(*running).ok());
+
+  const Result<RepairReport> queued_result = scheduler.Wait(*queued);
+  ASSERT_FALSE(queued_result.ok());
+  EXPECT_EQ(queued_result.status().code(), StatusCode::kCancelled);
+
+  const Result<RepairReport> running_result = scheduler.Wait(*running);
+  ASSERT_FALSE(running_result.ok());
+  EXPECT_EQ(running_result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(RepairSchedulerLifecycleTest, DrainAndStopFailsQueuedAndRefusesNewWork) {
+  SlowJobFixture slow;
+  RepairSchedulerOptions opts;
+  opts.max_concurrent_jobs = 1;
+  opts.pool_threads = 1;
+  RepairScheduler scheduler(opts);
+
+  const Result<JobTicket> running = scheduler.Submit(slow.job);
+  ASSERT_TRUE(running.ok());
+  const Result<JobTicket> queued = scheduler.Submit(slow.job);
+  ASSERT_TRUE(queued.ok());
+
+  // Cancel the in-flight job first so the drain's join is prompt; drain
+  // then fails everything still queued without running it.
+  ASSERT_TRUE(scheduler.Cancel(*running).ok());
+  scheduler.DrainAndStop();
+
+  const Result<RepairReport> queued_result = scheduler.Wait(*queued);
+  ASSERT_FALSE(queued_result.ok());
+  EXPECT_EQ(queued_result.status().code(), StatusCode::kCancelled);
+  EXPECT_NE(queued_result.status().message().find("queued"),
+            std::string::npos);
+
+  const Result<JobTicket> refused = scheduler.Submit(slow.job);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RepairSchedulerLifecycleTest, FullQueueRejectsCompetingSubmitters) {
+  SlowJobFixture slow;
+  RepairSchedulerOptions opts;
+  opts.max_concurrent_jobs = 1;
+  opts.pool_threads = 1;
+  opts.max_queued_jobs = 1;
+  RepairScheduler scheduler(opts);
+
+  const Result<JobTicket> running = scheduler.Submit(slow.job);
+  ASSERT_TRUE(running.ok());
+  // Give the executor time to dequeue the first job so the queue is
+  // genuinely empty before the next admission.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  const Result<JobTicket> queued = scheduler.Submit(slow.job);
+  ASSERT_TRUE(queued.ok()) << queued.status().ToString();
+  const Result<JobTicket> rejected = scheduler.Submit(slow.job);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(rejected.status().message().find("queue full"),
+            std::string::npos);
+
+  ASSERT_TRUE(scheduler.Cancel(*queued).ok());
+  ASSERT_TRUE(scheduler.Cancel(*running).ok());
+  EXPECT_EQ(scheduler.Wait(*queued).status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(scheduler.Wait(*running).status().code(), StatusCode::kCancelled);
+}
+
+TEST(RepairSchedulerLifecycleTest, JobSuppliedStopStateIsRejectedLoudly) {
+  const auto t1 = MakeViolatingTable(52);
+  RepairScheduler scheduler;
+  RepairJob base;
+  base.table = &t1;
+  base.constraints = {XyGivenZ()};
+
+  CancellationToken token;
+  RepairJob with_token = base;
+  with_token.options.fast.cancel_token = &token;
+  Result<JobTicket> r = scheduler.Submit(with_token);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("cancel_token"), std::string::npos);
+
+  RepairJob with_deadline = base;
+  with_deadline.options.fast.deadline = Deadline::After(5.0);
+  r = scheduler.Submit(with_deadline);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("deadline_seconds"), std::string::npos);
+
+  for (double bad : {0.0, -1.0}) {
+    RepairJob with_bad_seconds = base;
+    with_bad_seconds.deadline_seconds = bad;
+    r = scheduler.Submit(with_bad_seconds);
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+
+  RepairSchedulerOptions bad_default;
+  bad_default.default_deadline_seconds = -2.0;
+  RepairScheduler bad_scheduler(bad_default);
+  r = bad_scheduler.Submit(base);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("default_deadline_seconds"),
+            std::string::npos);
+}
+
+TEST(RepairSchedulerLifecycleTest, DefaultDeadlineAppliesToEveryJob) {
+  SlowJobFixture slow;
+  RepairSchedulerOptions opts;
+  opts.max_concurrent_jobs = 1;
+  opts.pool_threads = 1;
+  opts.default_deadline_seconds = 1e-3;
+  const BatchReport report = RepairScheduler(opts).Run({slow.job});
+  ASSERT_EQ(report.jobs.size(), 1u);
+  ASSERT_FALSE(report.jobs[0].ok());
+  EXPECT_EQ(report.jobs[0].status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(report.deadline_exceeded_jobs, 1u);
+  EXPECT_EQ(report.failed_jobs, 1u);
 }
 
 }  // namespace

@@ -37,6 +37,15 @@
 //   --map                  deterministic MAP repairs instead of sampling
 //   --seed N               RNG seed (default 42)
 //   --report               print CMI / cost diagnostics to stderr
+//   --deadline-ms N        wall-clock budget per job, in milliseconds; a
+//                          solve past it aborts cleanly with
+//                          DeadlineExceeded (in batch mode the clock
+//                          starts at admission, so queue wait counts)
+//   --retries N            on retryable solve failures (non-convergence,
+//                          linear-domain scaling blow-ups) retry up to N
+//                          more times with safer settings: log-domain
+//                          first, then doubled epsilon (default 0 = fail
+//                          on the first attempt; fast solver only)
 //
 // Batch mode:
 //   --batch PATH           manifest with one job per line; '#' starts a
@@ -47,8 +56,8 @@
 //                          per-line only; z= and any option key (solver=
 //                          epsilon= lambda= threads= truncation=
 //                          log-domain=0|1 precision= epsilon-schedule=
-//                          map=0|1 seed=) override the command-line
-//                          defaults for that job.
+//                          map=0|1 seed= deadline-ms= retries=) override
+//                          the command-line defaults for that job.
 //   --jobs N               concurrent repair jobs (default 0 = all cores).
 //                          All jobs share ONE kernel thread pool; per-job
 //                          results are bit-identical to --jobs 1.
@@ -61,11 +70,21 @@
 //                          potentials (fewer Sinkhorn iterations at equal
 //                          tolerance, but results are no longer
 //                          bit-identical run to run — see README).
+//   --max-queued N         admission bound on the scheduler's pending
+//                          queue (default 0 = unbounded). The CLI hands
+//                          the scheduler whole batches with backpressure,
+//                          so this only changes pacing, never results.
 //
 // In batch mode each job's RepairOptions::seed is derived from seed= mixed
 // with the job's 0-based position among the manifest's JOBS — comment and
 // blank lines don't count (core::DeriveJobSeed) — so a batch is
 // reproducible end to end and independent of completion order.
+//
+// Fault injection (testing/CI only): set OTCLEAN_FAULTS=SITE@N[+][,...]
+// to arm the deterministic fault harness (core/fault_injector.h) — SITE in
+// {alloc, kernel-nan, worker-delay, cache-insert}, failing the site's Nth
+// visit (every visit from the Nth with a trailing '+'). Injected failures
+// surface as clean non-zero exits with the Status printed, never crashes.
 
 #include <cstdio>
 #include <cstdlib>
@@ -239,10 +258,27 @@ Result<core::RepairOptions> BuildRepairOptions(const KvLookup& kv,
           static_cast<size_t>(*iters);
     }
   }
+  auto retries = ParseInt(kv.Get("retries", "0"));
+  if (!retries.ok() || *retries < 0) {
+    return Status::InvalidArgument("bad retries");
+  }
+  options.retry.max_attempts = static_cast<size_t>(*retries) + 1;
   options.fast.restrict_columns_to_active = true;
   options.fast.max_outer_iterations = 60;
   options.fast.max_sinkhorn_iterations = 1000;
   return options;
+}
+
+/// Parses the layered deadline-ms key: unset/empty means no deadline
+/// (returns 0); anything else must be a positive integer.
+Result<int64_t> ParseDeadlineMillis(const KvLookup& kv) {
+  const std::string d = kv.Get("deadline-ms");
+  if (d.empty()) return int64_t{0};
+  auto ms = ParseInt(d);
+  if (!ms.ok() || *ms <= 0) {
+    return Status::InvalidArgument("bad deadline-ms (positive milliseconds)");
+  }
+  return static_cast<int64_t>(*ms);
 }
 
 Result<core::CiConstraint> BuildConstraint(const KvLookup& kv) {
@@ -303,6 +339,27 @@ void PrintReport(const core::CiConstraint& constraint,
                  report.cache_kernel_hits > 0 ? "hit" : "miss",
                  warm_note.c_str());
   }
+  if (report.retry_attempts > 0) {
+    std::fprintf(stderr, "  termination: %s after %zu fallback attempt(s)\n"
+                 "    %s\n",
+                 report.termination, report.retry_attempts,
+                 report.recovery.c_str());
+  }
+}
+
+/// The per-job status cell of the batch summary: ok jobs report their
+/// RepairReport termination ("ok" / "retried-ok"), failures name the two
+/// robustness outcomes and lump the rest as FAILED (the Status follows).
+const char* TerminationLabel(const Result<core::RepairReport>& r) {
+  if (r.ok()) return r->termination;
+  switch (r.status().code()) {
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline";
+    default:
+      return "FAILED";
+  }
 }
 
 /// Canonicalizes a manifest input path so spellings like ./a.csv and
@@ -319,7 +376,8 @@ std::string CanonicalPath(const std::string& path) {
 
 // ------------------------------------------------------------ batch mode --
 
-int RunBatch(const CliArgs& args, const std::string& manifest_path) {
+int RunBatch(const CliArgs& args, const std::string& manifest_path,
+             core::FaultInjector* faults) {
   if (args.named.count("output")) {
     // A global --output would either overwrite one file per job or be
     // ignored for lines without output= — both silent data loss. Refuse.
@@ -375,7 +433,8 @@ int RunBatch(const CliArgs& args, const std::string& manifest_path) {
       static const std::set<std::string> kKnownKeys{
           "input", "x", "y", "z", "output", "name", "solver",
           "epsilon", "lambda", "seed", "threads", "truncation",
-          "log-domain", "precision", "epsilon-schedule", "map"};
+          "log-domain", "precision", "epsilon-schedule", "map",
+          "deadline-ms", "retries"};
       if (!kKnownKeys.count(key)) {
         return Fail("manifest line " + std::to_string(line_no) +
                     ": unknown key '" + key + "'");
@@ -410,6 +469,11 @@ int RunBatch(const CliArgs& args, const std::string& manifest_path) {
     if (!options.ok()) return Fail(options.status().ToString() + at);
     job.options = std::move(options).value();
     job.options.fast.cache_warm_start = args.cache_warm;
+    auto deadline_ms = ParseDeadlineMillis(kv);
+    if (!deadline_ms.ok()) return Fail(deadline_ms.status().ToString() + at);
+    if (*deadline_ms > 0) {
+      job.deadline_seconds = static_cast<double>(*deadline_ms) / 1000.0;
+    }
     job.name = kv_line.count("name") ? kv_line["name"]
                                      : constraint->ToString();
     job.constraints = {std::move(constraint).value()};
@@ -444,6 +508,13 @@ int RunBatch(const CliArgs& args, const std::string& manifest_path) {
     if (!n.ok() || *n < 0) return Fail("bad --threads");
     sched.pool_threads = static_cast<size_t>(*n);
   }
+  if (const std::string q = KvLookup(kNoLine, args.named).Get("max-queued");
+      !q.empty()) {
+    auto n = ParseInt(q);
+    if (!n.ok() || *n <= 0) return Fail("bad --max-queued (positive bound)");
+    sched.max_queued_jobs = static_cast<size_t>(*n);
+  }
+  sched.fault_injector = faults;
 
   sched.cache_bytes = cache_bytes;
 
@@ -459,21 +530,21 @@ int RunBatch(const CliArgs& args, const std::string& manifest_path) {
   const core::BatchReport report = scheduler.Run(jobs);
 
   bool ok = true;
-  std::printf("%-4s %-36s %-9s %-20s %-10s\n", "job", "label", "status",
+  std::printf("%-4s %-36s %-11s %-20s %-10s\n", "job", "label", "status",
               "cmi", "cost");
   for (size_t i = 0; i < jobs.size(); ++i) {
     const Result<core::RepairReport>& r = report.jobs[i];
     if (!r.ok()) {
       ok = false;
-      std::printf("%-4zu %-36s %-9s %s\n", i, jobs[i].name.c_str(), "FAILED",
-                  r.status().ToString().c_str());
+      std::printf("%-4zu %-36s %-11s %s\n", i, jobs[i].name.c_str(),
+                  TerminationLabel(r), r.status().ToString().c_str());
       continue;
     }
     char cmi[32];
     std::snprintf(cmi, sizeof cmi, "%.4f -> %.4f", r->initial_cmi,
                   r->final_cmi);
-    std::printf("%-4zu %-36s %-9s %-20s %-10.4f\n", i, jobs[i].name.c_str(),
-                "ok", cmi, r->transport_cost);
+    std::printf("%-4zu %-36s %-11s %-20s %-10.4f\n", i, jobs[i].name.c_str(),
+                TerminationLabel(r), cmi, r->transport_cost);
     if (args.report) PrintReport(jobs[i].constraints.front(), *r);
     if (!outputs[i].empty()) {
       if (auto s = dataset::WriteCsv(r->repaired, outputs[i]); !s.ok()) {
@@ -489,6 +560,14 @@ int RunBatch(const CliArgs& args, const std::string& manifest_path) {
       report.jobs.size(), report.failed_jobs, report.wall_seconds,
       report.jobs_per_second, report.total_sinkhorn_iterations,
       static_cast<double>(report.peak_plan_bytes) / 1024.0);
+  if (report.cancelled_jobs + report.deadline_exceeded_jobs +
+          report.retried_jobs > 0) {
+    std::printf(
+        "# terminations: %zu cancelled, %zu deadline-exceeded, "
+        "%zu retried-ok\n",
+        report.cancelled_jobs, report.deadline_exceeded_jobs,
+        report.retried_jobs);
+  }
   if (core::SolveCache* cache = scheduler.shared_cache()) {
     // Absolute stats, not the batch delta: this scheduler ran exactly one
     // batch, and only Stats() includes the table lookups recorded above.
@@ -511,15 +590,31 @@ int main(int argc, char** argv) {
   const CliArgs args = ParseArgs(argc, argv);
   const KvLookup kv(kNoLine, args.named);
 
-  if (const std::string manifest = kv.Get("batch"); !manifest.empty()) {
-    return RunBatch(args, manifest);
+  // The fault harness outlives both modes; armed only when the env var is
+  // set (testing/CI), costs nothing otherwise.
+  static core::FaultInjector fault_injector;
+  core::FaultInjector* faults = nullptr;
+  if (const char* spec = std::getenv("OTCLEAN_FAULTS");
+      spec != nullptr && spec[0] != '\0') {
+    if (Status s = core::FaultInjector::Parse(spec, &fault_injector);
+        !s.ok()) {
+      return Fail(s.ToString());
+    }
+    fault_injector.InstallPoolDelayHook();
+    faults = &fault_injector;
   }
 
-  if (args.no_cache || args.cache_warm || args.named.count("cache-bytes")) {
+  if (const std::string manifest = kv.Get("batch"); !manifest.empty()) {
+    return RunBatch(args, manifest, faults);
+  }
+
+  if (args.no_cache || args.cache_warm || args.named.count("cache-bytes") ||
+      args.named.count("max-queued")) {
     // Silently accepting them would imply single-job runs are cached.
     return Fail(
-        "--cache-bytes/--no-cache/--cache-warm apply to --batch only "
-        "(a single job has nothing to share a cache with)");
+        "--cache-bytes/--no-cache/--cache-warm/--max-queued apply to "
+        "--batch only (a single job has nothing to share a cache or an "
+        "admission queue with)");
   }
 
   const std::string input = kv.Get("input");
@@ -530,7 +625,8 @@ int main(int argc, char** argv) {
                  "[--epsilon F] [--lambda F] [--threads N] [--truncation F] "
                  "[--log-domain] [--precision f32|f64] "
                  "[--epsilon-schedule INIT[,DECAY[,STAGETOL[,STAGEITERS]]]] "
-                 "[--map] [--seed N] [--report]\n"
+                 "[--map] [--seed N] [--report] [--deadline-ms N] "
+                 "[--retries N]\n"
                  "       otclean --batch manifest.txt [--jobs N] "
                  "[option defaults]\n");
     return 2;
@@ -543,6 +639,12 @@ int main(int argc, char** argv) {
   if (!constraint.ok()) return Fail(constraint.status().ToString());
   auto options = BuildRepairOptions(kv, args.map_repair, args.log_domain);
   if (!options.ok()) return Fail(options.status().ToString());
+  auto deadline_ms = ParseDeadlineMillis(kv);
+  if (!deadline_ms.ok()) return Fail(deadline_ms.status().ToString());
+  if (*deadline_ms > 0) {
+    options->fast.deadline = Deadline::AfterMillis(*deadline_ms);
+  }
+  options->fast.fault_injector = faults;
 
   const auto report = core::RepairTable(*table, *constraint, *options);
   if (!report.ok()) return Fail(report.status().ToString());
