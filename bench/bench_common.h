@@ -16,6 +16,19 @@
 
 #include "otclean/otclean.h"
 
+// Entry-point naming for the paper-figure suite. Standalone builds keep a
+// real `main`, so every bench_fig*/bench_table* file stays an individually
+// runnable binary. The combined `bench_figures` harness compiles the same
+// files with OTCLEAN_BENCH_FIGURES_COMBINED defined, renaming each entry
+// point to RunBench_<name> so one driver can run the whole suite and emit
+// a single BENCH_figures.json. Usage in a bench file:
+//   int OTCLEAN_BENCH_MAIN(fig1_regularization) { ... }
+#ifdef OTCLEAN_BENCH_FIGURES_COMBINED
+#define OTCLEAN_BENCH_MAIN(name) RunBench_##name(int argc, char** argv)
+#else
+#define OTCLEAN_BENCH_MAIN(name) main(int argc, char** argv)
+#endif
+
 namespace otclean::bench {
 
 /// True when the binary was invoked with --full.

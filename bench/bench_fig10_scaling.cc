@@ -7,7 +7,6 @@
 // thousands of cells; (b) the objective decreases monotonically (Theorem
 // 4.3) and the NMF initialization converges in fewer outer iterations.
 
-#include <benchmark/benchmark.h>
 
 #include "bench_common.h"
 
@@ -54,7 +53,7 @@ ScaleResult RunOnce(size_t num_z, size_t z_card, size_t rows) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int OTCLEAN_BENCH_MAIN(fig10_scaling) {
   const bool full = bench::FullScale(argc, argv);
   bench::PrintHeader(
       "Figure 10a: FastOTClean runtime & memory vs domain size",

@@ -8,7 +8,7 @@
 
 using namespace otclean;
 
-int main(int argc, char** argv) {
+int OTCLEAN_BENCH_MAIN(fig11_optimizations) {
   const bool full = bench::FullScale(argc, argv);
 
   bench::PrintHeader(

@@ -50,7 +50,7 @@ void RunDataset(bench::CleaningSetup& setup, const ot::CostFunction& generic,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int OTCLEAN_BENCH_MAIN(fig12_cost_functions) {
   const bool full = bench::FullScale(argc, argv);
   bench::PrintHeader(
       "Figure 12: cost-function impact on cleaning",

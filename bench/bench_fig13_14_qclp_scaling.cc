@@ -63,7 +63,7 @@ Point RunOnce(size_t num_z, size_t z_card, bool run_qclp) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int OTCLEAN_BENCH_MAIN(fig13_14_qclp_scaling) {
   const bool full = bench::FullScale(argc, argv);
   bench::PrintHeader(
       "Figures 13/14: FastOTClean vs QCLP, runtime & memory vs domain size",

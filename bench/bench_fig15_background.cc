@@ -8,7 +8,7 @@
 
 using namespace otclean;
 
-int main(int argc, char** argv) {
+int OTCLEAN_BENCH_MAIN(fig15_background) {
   const bool full = bench::FullScale(argc, argv);
   bench::PrintHeader(
       "Figure 15: blind repair vs background knowledge (Boston)",

@@ -42,7 +42,7 @@ void RunGrid(bench::CleaningSetup& setup, cleaning::MissingMechanism mech,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int OTCLEAN_BENCH_MAIN(fig16_17_missing_extra) {
   const bool full = bench::FullScale(argc, argv);
   bench::PrintHeader("Figures 16/17: MNAR Boston & MAR Car (kNN / MF)",
                      "OTClean-<imputer> above Dirty-<imputer> throughout");

@@ -54,7 +54,7 @@ double MeanRowSupport(const linalg::Matrix& plan) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int OTCLEAN_BENCH_MAIN(fig1_regularization) {
   const bool full = bench::FullScale(argc, argv);
   const size_t bins = full ? 128 : 64;
 

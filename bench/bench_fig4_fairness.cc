@@ -36,7 +36,7 @@ void RunDataset(const datagen::DatasetBundle& bundle, bool include_qclp,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int OTCLEAN_BENCH_MAIN(fig4_fairness) {
   const bool full = bench::FullScale(argc, argv);
   bench::PrintHeader(
       "Figure 4: fairness (AUC vs ROD), Adult & COMPAS",

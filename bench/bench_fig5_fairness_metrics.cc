@@ -39,7 +39,7 @@ void RunDataset(const datagen::DatasetBundle& bundle, bool include_qclp,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int OTCLEAN_BENCH_MAIN(fig5_fairness_metrics) {
   const bool full = bench::FullScale(argc, argv);
   bench::PrintHeader("Figure 5: ROD / EO / DP per method",
                      "OTClean lowers all three metrics vs No-repair; "

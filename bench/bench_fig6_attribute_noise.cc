@@ -42,7 +42,7 @@ void RunDataset(bench::CleaningSetup& setup,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int OTCLEAN_BENCH_MAIN(fig6_attribute_noise) {
   const bool full = bench::FullScale(argc, argv);
   bench::PrintHeader(
       "Figure 6: attribute noise (AUC & F1 vs error rate)",

@@ -9,7 +9,7 @@
 
 using namespace otclean;
 
-int main(int argc, char** argv) {
+int OTCLEAN_BENCH_MAIN(fig7_mar_boston) {
   const bool full = bench::FullScale(argc, argv);
   bench::PrintHeader(
       "Figure 7: MAR on Boston (AUC vs missing rate)",

@@ -8,7 +8,7 @@
 
 using namespace otclean;
 
-int main(int argc, char** argv) {
+int OTCLEAN_BENCH_MAIN(fig8_mnar_car) {
   const bool full = bench::FullScale(argc, argv);
   bench::PrintHeader(
       "Figure 8: MNAR on Car (AUC vs missing rate)",

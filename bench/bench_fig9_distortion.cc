@@ -10,7 +10,7 @@
 
 using namespace otclean;
 
-int main(int argc, char** argv) {
+int OTCLEAN_BENCH_MAIN(fig9_distortion) {
   const bool full = bench::FullScale(argc, argv);
   const size_t replications = full ? 100 : 10;
 

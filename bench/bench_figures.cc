@@ -1,0 +1,364 @@
+// bench_figures — the combined paper-figure harness.
+//
+// Runs every bench_fig*/bench_table* experiment in-process (their entry
+// points are renamed to RunBench_<name> via OTCLEAN_BENCH_MAIN when
+// compiled with OTCLEAN_BENCH_FIGURES_COMBINED) and emits one
+// BENCH_figures.json with per-figure wall times and exit codes, plus the
+// exact-vs-Sinkhorn agreement gate:
+//
+//   For a set of figure-derived OT scenarios (regularization mixtures,
+//   distortion marginals, CI-projection targets of the scaling/fairness
+//   datasets), the exact LP transport cost (ot::ExactOtDistance → streamed
+//   network simplex) and the small-ε log-domain Sinkhorn plan cost
+//   ⟨C, π_ε⟩ must agree within the documented tolerance:
+//       |sinkhorn − exact| ≤ max(kGateRelTol · exact, kGateAbsTol · C̄)
+//   with ε = kGateEpsilonScale · C̄ (C̄ = mean restricted cost). The bound
+//   has both a relative arm (entropic bias shrinks like ε log n relative
+//   to the cost scale) and an absolute arm for scenarios whose exact cost
+//   is near zero.
+//
+// A gate failure — or any figure experiment exiting nonzero — fails the
+// binary, making this the repo's end-to-end replication regression gate
+// (the CI figures-smoke job runs it on every PR).
+//
+// Usage: bench_figures [--full] [--out PATH] [--gate-only]
+//   --full       paper-scale grids (slow); default is the smoke grid
+//   --out PATH   where to write the JSON (default BENCH_figures.json)
+//   --gate-only  skip the figure experiments, run only the agreement gate
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+// Entry points of the figure suite (renamed mains; see OTCLEAN_BENCH_MAIN).
+int RunBench_fig1_regularization(int argc, char** argv);
+int RunBench_fig4_fairness(int argc, char** argv);
+int RunBench_fig5_fairness_metrics(int argc, char** argv);
+int RunBench_fig6_attribute_noise(int argc, char** argv);
+int RunBench_fig7_mar_boston(int argc, char** argv);
+int RunBench_fig8_mnar_car(int argc, char** argv);
+int RunBench_fig9_distortion(int argc, char** argv);
+int RunBench_fig10_scaling(int argc, char** argv);
+int RunBench_fig11_optimizations(int argc, char** argv);
+int RunBench_fig12_cost_functions(int argc, char** argv);
+int RunBench_fig13_14_qclp_scaling(int argc, char** argv);
+int RunBench_fig15_background(int argc, char** argv);
+int RunBench_fig16_17_missing_extra(int argc, char** argv);
+int RunBench_table2_datasets(int argc, char** argv);
+int RunBench_table3_runtime(int argc, char** argv);
+
+using namespace otclean;
+
+namespace {
+
+// Documented gate tolerances (mirrored in README "Replicating the paper's
+// figures"). ε is scaled by the mean restricted cost so "small ε" means
+// the same thing across scenarios with different cost magnitudes.
+constexpr double kGateEpsilonScale = 1e-3;
+constexpr double kGateRelTol = 0.02;
+constexpr double kGateAbsTol = 2e-3;
+
+struct FigBench {
+  const char* name;
+  int (*fn)(int, char**);
+};
+
+const FigBench kBenches[] = {
+    {"fig1_regularization", RunBench_fig1_regularization},
+    {"fig4_fairness", RunBench_fig4_fairness},
+    {"fig5_fairness_metrics", RunBench_fig5_fairness_metrics},
+    {"fig6_attribute_noise", RunBench_fig6_attribute_noise},
+    {"fig7_mar_boston", RunBench_fig7_mar_boston},
+    {"fig8_mnar_car", RunBench_fig8_mnar_car},
+    {"fig9_distortion", RunBench_fig9_distortion},
+    {"fig10_scaling", RunBench_fig10_scaling},
+    {"fig11_optimizations", RunBench_fig11_optimizations},
+    {"fig12_cost_functions", RunBench_fig12_cost_functions},
+    {"fig13_14_qclp_scaling", RunBench_fig13_14_qclp_scaling},
+    {"fig15_background", RunBench_fig15_background},
+    {"fig16_17_missing_extra", RunBench_fig16_17_missing_extra},
+    {"table2_datasets", RunBench_table2_datasets},
+    {"table3_runtime", RunBench_table3_runtime},
+};
+
+struct BenchRun {
+  std::string name;
+  int exit_code = 0;
+  double seconds = 0.0;
+};
+
+// ------------------------------------------------------- gate scenarios --
+
+struct GateScenario {
+  std::string name;
+  prob::JointDistribution p;
+  prob::JointDistribution q;
+  size_t num_attrs = 0;
+};
+
+struct GateResult {
+  std::string name;
+  double exact_cost = 0.0;
+  double sinkhorn_cost = 0.0;
+  double abs_err = 0.0;
+  double rel_err = 0.0;
+  double epsilon = 0.0;
+  bool pass = false;
+};
+
+/// Discretized two-component Gaussian mixture over `bins` cells (the
+/// Fig. 1 source/target shapes).
+prob::JointDistribution MixtureHistogram(const prob::Domain& dom, double m1,
+                                         double m2, double sd) {
+  prob::JointDistribution p(dom);
+  const size_t bins = dom.TotalSize();
+  for (size_t i = 0; i < bins; ++i) {
+    const double x =
+        -4.0 + 8.0 * (static_cast<double>(i) + 0.5) / static_cast<double>(bins);
+    p[i] = 0.5 * std::exp(-0.5 * (x - m1) * (x - m1) / (sd * sd)) +
+           0.5 * std::exp(-0.5 * (x - m2) * (x - m2) / (sd * sd));
+  }
+  p.Normalize();
+  return p;
+}
+
+/// Empirical distribution of a synthetic CI dataset and its I-projection
+/// onto the constraint manifold — the (P, Q) pair every repair figure
+/// transports between.
+GateScenario CiScenario(const std::string& name, size_t num_rows,
+                        size_t num_z, double violation, uint64_t seed) {
+  datagen::ScalingDatasetOptions gen;
+  gen.num_rows = num_rows;
+  gen.num_z_attrs = num_z;
+  gen.z_card = 3;
+  gen.violation = violation;
+  gen.seed = seed;
+  const auto table = datagen::MakeScalingDataset(gen).value();
+  std::vector<std::string> zs;
+  for (size_t i = 0; i < num_z; ++i) zs.push_back("z" + std::to_string(i));
+  const core::CiConstraint ci({"x"}, {"y"}, zs);
+  const auto u_cols = ci.ResolveColumns(table.schema()).value();
+
+  GateScenario s;
+  s.name = name;
+  s.p = table.Empirical(u_cols);
+  s.q = prob::CiProjection(s.p, ci.SpecInProjectedDomain());
+  s.num_attrs = u_cols.size();
+  return s;
+}
+
+std::vector<GateScenario> BuildGateScenarios() {
+  std::vector<GateScenario> scenarios;
+
+  {
+    // Fig. 1: transport between two 1-D Gaussian-mixture histograms.
+    const prob::Domain dom = prob::Domain::FromCardinalities({32});
+    GateScenario s;
+    s.name = "fig1_gaussian_mixtures";
+    s.p = MixtureHistogram(dom, -2.0, 2.0, 0.7);
+    s.q = MixtureHistogram(dom, -1.0, 3.0, 0.9);
+    s.num_attrs = 1;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // Fig. 9: statistical-distortion EMD between a skewed and a uniform
+    // marginal over a 2-attribute grid.
+    const prob::Domain dom = prob::Domain::FromCardinalities({4, 4});
+    GateScenario s;
+    s.name = "fig9_distortion_marginals";
+    s.p = prob::JointDistribution(dom);
+    for (size_t c = 0; c < dom.TotalSize(); ++c) {
+      s.p[c] = 1.0 / static_cast<double>(1 + c);  // skew toward low cells
+    }
+    s.p.Normalize();
+    s.q = prob::JointDistribution::Uniform(dom);
+    s.num_attrs = 2;
+    scenarios.push_back(std::move(s));
+  }
+  // Repair-shaped scenarios: empirical P vs CI-projected Q, at the three
+  // dataset shapes the scaling/fairness/runtime figures sweep.
+  scenarios.push_back(CiScenario("fig10_scaling_ci", 3000, 1, 0.5, 101));
+  scenarios.push_back(CiScenario("fig4_fairness_ci", 2000, 2, 0.8, 17));
+  scenarios.push_back(CiScenario("table3_runtime_ci", 4000, 2, 0.3, 23));
+  return scenarios;
+}
+
+Result<GateResult> RunGateScenario(const GateScenario& s) {
+  GateResult g;
+  g.name = s.name;
+  ot::EuclideanCost cost(s.num_attrs);
+
+  ot::ExactOtOptions exact_opts;
+  exact_opts.max_pivots = 200000;
+  OTCLEAN_ASSIGN_OR_RETURN(g.exact_cost,
+                           ot::ExactOtDistance(s.p, s.q, cost, exact_opts));
+
+  // Support-restricted dense cost for the Sinkhorn side — the same
+  // restriction ExactOtDistance applies internally.
+  const prob::Domain& dom = s.p.domain();
+  std::vector<size_t> rows, cols;
+  for (size_t c = 0; c < dom.TotalSize(); ++c) {
+    if (s.p[c] > 0.0) rows.push_back(c);
+    if (s.q[c] > 0.0) cols.push_back(c);
+  }
+  const linalg::Matrix c_mat = ot::BuildCostMatrix(dom, rows, cols, cost);
+  double mean_cost = 0.0;
+  for (size_t i = 0; i < c_mat.rows(); ++i) {
+    for (size_t j = 0; j < c_mat.cols(); ++j) mean_cost += c_mat(i, j);
+  }
+  mean_cost /= static_cast<double>(c_mat.rows() * c_mat.cols());
+
+  linalg::Vector pv(rows.size()), qv(cols.size());
+  for (size_t i = 0; i < rows.size(); ++i) pv[i] = s.p[rows[i]];
+  for (size_t j = 0; j < cols.size(); ++j) qv[j] = s.q[cols[j]];
+
+  ot::SinkhornOptions sink;
+  sink.epsilon = kGateEpsilonScale * mean_cost;
+  sink.log_domain = true;  // e^{−C/ε} is far out of double range at this ε
+  sink.relaxed = false;
+  sink.max_iterations = 50000;
+  sink.tolerance = 1e-11;
+  sink.num_threads = 1;
+  OTCLEAN_ASSIGN_OR_RETURN(ot::SinkhornResult r,
+                           ot::RunSinkhorn(c_mat, pv, qv, sink));
+  g.sinkhorn_cost = r.transport_cost;
+  g.epsilon = sink.epsilon;
+  g.abs_err = std::fabs(g.sinkhorn_cost - g.exact_cost);
+  g.rel_err = g.exact_cost > 0.0 ? g.abs_err / g.exact_cost : 0.0;
+  g.pass = g.abs_err <=
+           std::max(kGateRelTol * g.exact_cost, kGateAbsTol * mean_cost);
+  return g;
+}
+
+// ------------------------------------------------------------ reporting --
+
+std::string JsonNum(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+bool WriteJson(const std::string& path, bool full,
+               const std::vector<BenchRun>& runs,
+               const std::vector<GateResult>& gate, bool gate_pass,
+               bool all_pass) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n";
+  out << "  \"bench\": \"figures\",\n";
+  out << "  \"mode\": \"" << (full ? "full" : "smoke") << "\",\n";
+  out << "  \"figures\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    out << "    {\"name\": \"" << runs[i].name
+        << "\", \"exit_code\": " << runs[i].exit_code
+        << ", \"seconds\": " << JsonNum(runs[i].seconds) << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"gate\": {\n";
+  out << "    \"description\": \"exact LP vs small-epsilon log-domain "
+         "Sinkhorn plan cost\",\n";
+  out << "    \"epsilon_scale\": " << JsonNum(kGateEpsilonScale)
+      << ",\n    \"rel_tolerance\": " << JsonNum(kGateRelTol)
+      << ",\n    \"abs_tolerance_x_mean_cost\": " << JsonNum(kGateAbsTol)
+      << ",\n";
+  out << "    \"scenarios\": [\n";
+  for (size_t i = 0; i < gate.size(); ++i) {
+    const GateResult& g = gate[i];
+    out << "      {\"name\": \"" << g.name << "\", \"exact_cost\": "
+        << JsonNum(g.exact_cost)
+        << ", \"sinkhorn_cost\": " << JsonNum(g.sinkhorn_cost)
+        << ", \"epsilon\": " << JsonNum(g.epsilon)
+        << ", \"abs_err\": " << JsonNum(g.abs_err)
+        << ", \"rel_err\": " << JsonNum(g.rel_err) << ", \"pass\": "
+        << (g.pass ? "true" : "false") << "}"
+        << (i + 1 < gate.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n";
+  out << "    \"pass\": " << (gate_pass ? "true" : "false") << "\n";
+  out << "  },\n";
+  out << "  \"pass\": " << (all_pass ? "true" : "false") << "\n";
+  out << "}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = false, gate_only = false;
+  std::string out_path = "BENCH_figures.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else if (std::strcmp(argv[i], "--gate-only") == 0) {
+      gate_only = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_figures [--full] [--out PATH] "
+                   "[--gate-only]\n");
+      return 2;
+    }
+  }
+
+  // Forward only --full: the figure entry points read nothing else.
+  std::vector<char*> fig_argv{argv[0]};
+  char full_flag[] = "--full";
+  if (full) fig_argv.push_back(full_flag);
+
+  std::vector<BenchRun> runs;
+  bool benches_ok = true;
+  if (!gate_only) {
+    for (const FigBench& b : kBenches) {
+      std::printf("\n######## %s ########\n", b.name);
+      std::fflush(stdout);
+      WallTimer timer;
+      BenchRun run;
+      run.name = b.name;
+      run.exit_code =
+          b.fn(static_cast<int>(fig_argv.size()), fig_argv.data());
+      run.seconds = timer.ElapsedSeconds();
+      if (run.exit_code != 0) benches_ok = false;
+      runs.push_back(std::move(run));
+    }
+  }
+
+  std::printf("\n######## exact-vs-sinkhorn agreement gate ########\n");
+  std::vector<GateResult> gate;
+  bool gate_pass = true;
+  for (const GateScenario& s : BuildGateScenarios()) {
+    Result<GateResult> g = RunGateScenario(s);
+    if (!g.ok()) {
+      std::fprintf(stderr, "gate scenario %s: %s\n", s.name.c_str(),
+                   g.status().ToString().c_str());
+      GateResult failed;
+      failed.name = s.name;
+      gate.push_back(failed);
+      gate_pass = false;
+      continue;
+    }
+    std::printf("%-24s exact=%-10.6f sinkhorn=%-10.6f rel_err=%-8.2e %s\n",
+                g->name.c_str(), g->exact_cost, g->sinkhorn_cost, g->rel_err,
+                g->pass ? "PASS" : "FAIL");
+    if (!g->pass) gate_pass = false;
+    gate.push_back(std::move(g).value());
+  }
+
+  const bool all_pass = benches_ok && gate_pass;
+  if (!WriteJson(out_path, full, runs, gate, gate_pass, all_pass)) {
+    std::fprintf(stderr, "bench_figures: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("\n# bench_figures: %zu figures, %zu gate scenarios -> %s "
+              "(%s)\n",
+              runs.size(), gate.size(), out_path.c_str(),
+              all_pass ? "PASS" : "FAIL");
+  return all_pass ? 0 : 1;
+}

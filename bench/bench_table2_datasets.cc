@@ -11,7 +11,7 @@
 
 using namespace otclean;
 
-int main(int argc, char** argv) {
+int OTCLEAN_BENCH_MAIN(table2_datasets) {
   const bool full = bench::FullScale(argc, argv);
 
   bench::PrintHeader("Table 2: dataset characteristics",

@@ -89,7 +89,7 @@ void RunDataset(const datagen::DatasetBundle& bundle, bool include_qclp) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int OTCLEAN_BENCH_MAIN(table3_runtime) {
   const bool full = bench::FullScale(argc, argv);
   bench::PrintHeader(
       "Table 3: fairness-repair runtime (seconds)",

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "ot/cost.h"
 #include "ot/plan.h"
@@ -24,20 +25,25 @@ struct QclpOptions {
   size_t lp_max_iterations = 200000;
   /// Restrict plan columns to the active domain (rows always are).
   bool restrict_columns_to_active = false;
-  /// Accepted for option-surface symmetry with FastOtCleanOptions (the
-  /// CLI's --log-domain sets both): the QCLP path solves LPs, never
-  /// iterates Sinkhorn, so this flag has no effect here.
+  /// The QCLP path solves LPs and never iterates Sinkhorn, so a log-domain
+  /// request cannot be honored. Setting this produces a loud
+  /// InvalidArgument instead of a silent no-op (PR 5 precedent for
+  /// silently-ignored options).
   bool log_domain = false;
-  /// Worker threads for assembling the linearized-constraint rows (the
-  /// O(m·n²) part of each outer step). 0 = hardware concurrency,
-  /// 1 = serial; each constraint row is built by exactly one worker, so
-  /// results are identical across thread counts.
+  /// Worker threads for the LP pricing scans (the O(m·n)-per-pivot part of
+  /// each outer step). 0 = hardware concurrency, 1 = serial; chunk-local
+  /// minima merge deterministically, so results are identical across
+  /// thread counts.
   size_t num_threads = 0;
   /// Optional externally owned worker pool, shareable across sequential
   /// and concurrent solves alike; must outlive the call. When null and
   /// the resolved `num_threads` exceeds 1, QclpClean creates one pool per
   /// solve and reuses it across all outer iterations.
   linalg::ThreadPool* thread_pool = nullptr;
+  /// Cooperative stop signals, polled at every outer alternation and at
+  /// every LP pivot inside it.
+  const CancellationToken* cancel_token = nullptr;
+  Deadline deadline = Deadline::Infinite();
 };
 
 struct QclpResult {
@@ -49,8 +55,10 @@ struct QclpResult {
   bool converged = false;
   double target_cmi = 0.0;
   double transport_cost = 0.0;
-  /// Dense-tableau footprint of the largest LP solved, in bytes — the
-  /// memory-scaling quantity of Figs. 13/14.
+  /// Working-set footprint of the largest LP solved (the revised simplex's
+  /// basis inverse + scratch), in bytes — the memory-scaling quantity of
+  /// Figs. 13/14. With the column-oracle engine this is O((m + Σ_k d_k)²)
+  /// instead of the dense tableau's O((m + n)·(m·n)).
   size_t peak_tableau_bytes = 0;
 };
 
@@ -58,16 +66,33 @@ struct QclpResult {
 /// the paper's alternating linearization: the quadratic independence
 /// constraints Q(x,y,z)·Q(z) = Q(x,z)·Q(y,z) are linearized by fixing one
 /// conditional factor at its previous estimate — alternating between
-/// pinning Q(y|z) and Q(x|z) — and each step solves a linear program with
-/// the two-phase simplex.
+/// pinning Q(y|z) and Q(x|z) — and each step solves a linear program.
+///
+/// The LP is never materialized: costs stream through a
+/// linalg::CostProvider and a structure-aware column oracle prices each of
+/// the m·n plan variables in O(1) for the revised simplex
+/// (lp/revised_simplex.h), so the per-solve memory is O((m + rows)²)
+/// rather than a dense tableau.
 ///
 /// Requires a *saturated* constraint spec: `ci.x ∪ ci.y ∪ ci.z` must cover
 /// every attribute of `p_data`'s domain (use the saturation wrapper in
-/// repair.h for unsaturated constraints).
+/// repair.h for unsaturated constraints, or QclpCleanMulti which accepts
+/// general specs).
 Result<QclpResult> QclpClean(const prob::JointDistribution& p_data,
                              const prob::CiSpec& ci,
                              const ot::CostFunction& cost,
                              const QclpOptions& options);
+
+/// Multi-constraint QCLP: simultaneously enforces every CI spec in `cis`
+/// by linearizing each constraint's independence surface per alternation
+/// (one block of marginal rows per constraint) and projecting the column
+/// marginal onto the intersection with prob::MultiCiProjection. Specs need
+/// not be saturated. With a single saturated spec this coincides with
+/// QclpClean, which is a thin wrapper over this entry point.
+Result<QclpResult> QclpCleanMulti(const prob::JointDistribution& p_data,
+                                  const std::vector<prob::CiSpec>& cis,
+                                  const ot::CostFunction& cost,
+                                  const QclpOptions& options);
 
 }  // namespace otclean::core
 

@@ -8,7 +8,10 @@
 #include <optional>
 #include <thread>
 
+#include "fairness/cap_maxsat.h"
+#include "fairness/capuchin.h"
 #include "linalg/simd.h"
+#include "linalg/sparse_matrix.h"
 
 namespace otclean::core {
 namespace {
@@ -44,6 +47,99 @@ void PopulateFastSolveReport(const FastOtCleanResult& r,
   report.cache_warm_started = r.cache_warm_started;
   report.cache_warm_iterations_saved = r.cache_warm_iterations_saved;
   PopulatePlanReport(r.plan, report);
+}
+
+/// QCLP counterpart of PopulateFastSolveReport, shared by the
+/// single-constraint Fit and RepairTableMulti: the Sinkhorn-only counters
+/// stay at their zero defaults and the domain/precision strings read "n/a"
+/// so no QCLP path can masquerade as a Sinkhorn run.
+void PopulateQclpSolveReport(const QclpResult& r, RepairReport& report) {
+  report.target_cmi = r.target_cmi;
+  report.transport_cost = r.transport_cost;
+  report.outer_iterations = r.outer_iterations;
+  report.converged = r.converged;
+  report.sinkhorn_domain = "n/a";
+  report.precision = "n/a";
+  PopulatePlanReport(r.plan, report);
+}
+
+/// The Capuchin resampling coupling as a CSR TransportPlan: every active
+/// cell keeps its non-Y coordinates and redistributes its mass over the Y
+/// cells of its slice proportionally to the target q — exactly the "keep X
+/// and Z, resample Y from Q(Y|X,Z)" semantics of fairness::CapuchinRepair,
+/// expressed as a plan so the baselines flow through the same
+/// SampleRepair/MapRepair apply path and report the same plan diagnostics
+/// as the OT solvers. Rows whose slice carries no target mass get an empty
+/// CSR row and therefore pass through unrepaired, matching the legacy
+/// resampler's total == 0 branch.
+struct CapuchinPlanResult {
+  ot::TransportPlan plan;
+  double transport_cost = 0.0;
+};
+
+CapuchinPlanResult BuildCapuchinPlan(const prob::JointDistribution& p,
+                                     const prob::JointDistribution& q,
+                                     const prob::CiSpec& spec,
+                                     const ot::CostFunction& cost) {
+  const prob::Domain& dom = p.domain();
+  std::vector<size_t> row_cells;
+  for (size_t cell = 0; cell < p.size(); ++cell) {
+    if (p[cell] > 0.0) row_cells.push_back(cell);
+  }
+  std::vector<size_t> col_cells;
+  std::vector<size_t> col_of(dom.TotalSize(), dom.TotalSize());
+  for (size_t cell = 0; cell < q.size(); ++cell) {
+    if (q[cell] > 0.0) {
+      col_of[cell] = col_cells.size();
+      col_cells.push_back(cell);
+    }
+  }
+  const prob::Domain y_dom = dom.Project(spec.y);
+  const size_t num_y = y_dom.TotalSize();
+
+  std::vector<size_t> row_ptr{0};
+  std::vector<size_t> col_index;
+  std::vector<double> values;
+  double transport_cost = 0.0;
+  std::vector<size_t> slice_cells(num_y);
+  for (size_t cell : row_cells) {
+    const double mass = p[cell];
+    const std::vector<int> src = dom.Decode(cell);
+    std::vector<int> coords = src;
+    double slice = 0.0;
+    for (size_t yc = 0; yc < num_y; ++yc) {
+      const std::vector<int> yv = y_dom.Decode(yc);
+      for (size_t i = 0; i < spec.y.size(); ++i) coords[spec.y[i]] = yv[i];
+      slice_cells[yc] = dom.Encode(coords);
+      slice += q[slice_cells[yc]];
+    }
+    if (slice <= 0.0) {
+      row_ptr.push_back(col_index.size());
+      continue;
+    }
+    for (size_t yc = 0; yc < num_y; ++yc) {
+      const double qv = q[slice_cells[yc]];
+      if (qv <= 0.0) continue;
+      const double v = mass * qv / slice;
+      col_index.push_back(col_of[slice_cells[yc]]);
+      values.push_back(v);
+      if (slice_cells[yc] != cell) {
+        transport_cost += v * cost.Cost(src, dom.Decode(slice_cells[yc]));
+      }
+    }
+    row_ptr.push_back(col_index.size());
+  }
+
+  const size_t rows = row_cells.size();
+  const size_t cols = col_cells.size();
+  CapuchinPlanResult out;
+  out.transport_cost = transport_cost;
+  out.plan = ot::TransportPlan(
+      dom, std::move(row_cells), std::move(col_cells),
+      linalg::SparseMatrix::FromParts(rows, cols, std::move(row_ptr),
+                                      std::move(col_index),
+                                      std::move(values)));
+  return out;
 }
 
 /// A failure the RetryOptions fallbacks can plausibly fix: an explicit
@@ -119,7 +215,8 @@ Result<RepairReport> RunWithRetries(
     return Status::InvalidArgument(
         "repair: RetryOptions::backoff_seconds must be >= 0 and finite");
   }
-  // The fallbacks reconfigure FastOTClean knobs; QCLP runs one attempt.
+  // The fallbacks reconfigure FastOTClean knobs; every other solver
+  // (QCLP, the fairness baselines) runs one attempt.
   const size_t max_attempts = options.solver == Solver::kFastOtClean
                                   ? options.retry.max_attempts
                                   : 1;
@@ -216,18 +313,47 @@ Status OtCleanRepairer::Fit(const dataset::Table& table,
     PopulateFastSolveReport(r, options_.fast, fit_report_);
     plan_ = std::move(r.plan);
     target_ = std::move(r.target);
-  } else {
+  } else if (options_.solver == Solver::kQclp) {
     OTCLEAN_ASSIGN_OR_RETURN(QclpResult r,
                              QclpClean(p, spec, *cost, options_.qclp));
-    fit_report_.target_cmi = r.target_cmi;
-    fit_report_.transport_cost = r.transport_cost;
-    fit_report_.outer_iterations = r.outer_iterations;
-    fit_report_.converged = r.converged;
-    fit_report_.sinkhorn_domain = "n/a";
-    fit_report_.precision = "n/a";
-    PopulatePlanReport(r.plan, fit_report_);
+    PopulateQclpSolveReport(r, fit_report_);
     plan_ = std::move(r.plan);
     target_ = std::move(r.target);
+  } else if (options_.solver == Solver::kCapMaxSat) {
+    return Status::InvalidArgument(
+        "OtCleanRepairer::Fit: Solver::kCapMaxSat repairs by inserting and "
+        "deleting whole tuples and has no row-level transport plan; use "
+        "RepairTable, which dispatches it directly");
+  } else {  // kCapuchinIC / kCapuchinMF
+    if (!options_.use_saturation) {
+      return Status::InvalidArgument(
+          "OtCleanRepairer::Fit: use_saturation = false (naive full-joint "
+          "cleaning) is not supported by the Capuchin solvers — they repair "
+          "over the constraint attributes only");
+    }
+    OTCLEAN_RETURN_NOT_OK(CheckStop(options_.fairness.cancel_token,
+                                    options_.fairness.deadline,
+                                    "OtCleanRepairer::Fit: Capuchin target"));
+    const auto method = options_.solver == Solver::kCapuchinIC
+                            ? fairness::CapuchinMethod::kIndependentCoupling
+                            : fairness::CapuchinMethod::kMatrixFactorization;
+    OTCLEAN_ASSIGN_OR_RETURN(
+        prob::JointDistribution q,
+        fairness::CapuchinTarget(p, spec, method,
+                                 options_.fairness.nmf_max_iterations, rng));
+    OTCLEAN_RETURN_NOT_OK(CheckStop(options_.fairness.cancel_token,
+                                    options_.fairness.deadline,
+                                    "OtCleanRepairer::Fit: Capuchin plan"));
+    CapuchinPlanResult built = BuildCapuchinPlan(p, q, spec, *cost);
+    fit_report_.target_cmi = prob::ConditionalMutualInformation(q, spec);
+    fit_report_.transport_cost = built.transport_cost;
+    fit_report_.outer_iterations = 1;
+    fit_report_.converged = true;
+    fit_report_.sinkhorn_domain = "n/a";
+    fit_report_.precision = "n/a";
+    PopulatePlanReport(built.plan, fit_report_);
+    plan_ = std::move(built.plan);
+    target_ = std::move(q);
   }
   fitted_ = true;
   return Status::OK();
@@ -275,6 +401,35 @@ Result<RepairReport> RepairTableOnce(const dataset::Table& table,
                                      const CiConstraint& constraint,
                                      const RepairOptions& options,
                                      const ot::CostFunction* cost) {
+  if (options.solver == Solver::kCapMaxSat) {
+    // Cap(MS) is a tuple add/remove repair with no plan to fit; it
+    // dispatches straight to the MaxSAT repairer and reports through the
+    // same RepairReport. RepairOptions::seed seeds both the WalkSAT search
+    // and the insertion sampling, so one knob seeds every solver.
+    OTCLEAN_RETURN_NOT_OK(CheckStop(options.fairness.cancel_token,
+                                    options.fairness.deadline,
+                                    "RepairTable: Cap(MS)"));
+    fairness::CapMaxSatOptions cms;
+    cms.maxsat = options.fairness.maxsat;
+    cms.maxsat.seed = options.seed;
+    cms.seed = options.seed;
+    RepairReport report;
+    OTCLEAN_ASSIGN_OR_RETURN(report.initial_cmi, TableCmi(table, constraint));
+    OTCLEAN_ASSIGN_OR_RETURN(
+        fairness::CapMaxSatReport r,
+        fairness::CapMaxSatRepair(table, constraint, cms));
+    OTCLEAN_ASSIGN_OR_RETURN(report.final_cmi,
+                             TableCmi(r.repaired, constraint));
+    // The repaired empirical distribution *is* the target of a tuple-level
+    // repair.
+    report.target_cmi = report.final_cmi;
+    report.converged = r.hard_satisfied;
+    report.sinkhorn_domain = "n/a";
+    report.precision = "n/a";
+    PopulatePlanReport(ot::TransportPlan(), report);  // simd_isa, empty plan
+    report.repaired = std::move(r.repaired);
+    return report;
+  }
   OtCleanRepairer repairer(constraint, options);
   OTCLEAN_RETURN_NOT_OK(repairer.Fit(table, cost));
   Rng rng(options.seed ^ 0xabcdef12345ull);
@@ -316,10 +471,13 @@ Result<RepairReport> RepairTableMultiOnce(
   if (constraints.empty()) {
     return Status::InvalidArgument("RepairTableMulti: no constraints");
   }
-  if (options.solver != Solver::kFastOtClean) {
+  if (options.solver != Solver::kFastOtClean &&
+      options.solver != Solver::kQclp) {
     return Status::InvalidArgument(
-        "RepairTableMulti: options.solver must be Solver::kFastOtClean — the "
-        "QCLP solver handles a single constraint only");
+        "RepairTableMulti: multi-constraint repair supports "
+        "Solver::kFastOtClean and Solver::kQclp; the fairness baselines "
+        "(Capuchin) are single-constraint — call RepairTable per "
+        "constraint");
   }
   if (!options.use_saturation) {
     return Status::InvalidArgument(
@@ -381,11 +539,23 @@ Result<RepairReport> RepairTableMultiOnce(
     cost = default_cost.get();
   }
 
-  Rng rng(options.seed);
-  OTCLEAN_ASSIGN_OR_RETURN(
-      FastOtCleanResult r,
-      FastOtCleanMulti(p, specs, *cost, options.fast, rng));
-  PopulateFastSolveReport(r, options.fast, report);
+  ot::TransportPlan plan;
+  if (options.solver == Solver::kFastOtClean) {
+    Rng rng(options.seed);
+    OTCLEAN_ASSIGN_OR_RETURN(
+        FastOtCleanResult r,
+        FastOtCleanMulti(p, specs, *cost, options.fast, rng));
+    PopulateFastSolveReport(r, options.fast, report);
+    plan = std::move(r.plan);
+  } else {
+    // The QCLP engine enforces every spec simultaneously — one
+    // linearization block per constraint, column marginal projected onto
+    // the intersection with cyclic I-projections.
+    OTCLEAN_ASSIGN_OR_RETURN(QclpResult r,
+                             QclpCleanMulti(p, specs, *cost, options.qclp));
+    PopulateQclpSolveReport(r, report);
+    plan = std::move(r.plan);
+  }
 
   // Apply the cleaner row by row over the union columns.
   Rng apply_rng(options.seed ^ 0xfeedbeefull);
@@ -404,8 +574,8 @@ Result<RepairReport> RepairTableMultiOnce(
     }
     if (complete) {
       const size_t repaired_cell = options.sample_repair
-                                       ? r.plan.SampleRepair(cell, apply_rng)
-                                       : r.plan.MapRepair(cell);
+                                       ? plan.SampleRepair(cell, apply_rng)
+                                       : plan.MapRepair(cell);
       if (repaired_cell != cell) {
         const std::vector<int> values = domain.Decode(repaired_cell);
         for (size_t i = 0; i < u_cols.size(); ++i) {

@@ -9,14 +9,37 @@
 #include "core/fast_otclean.h"
 #include "core/qclp_cleaner.h"
 #include "dataset/table.h"
+#include "fairness/maxsat.h"
 #include "ot/cost.h"
 
 namespace otclean::core {
 
-/// Which optimizer computes the transport plan.
+/// Which optimizer computes the repair.
 enum class Solver {
   kFastOtClean,  ///< Section 4.2 (Sinkhorn + KL-NMF); scales to large domains.
   kQclp,         ///< Section 4.1 (alternating LP); exact but small domains only.
+  /// Capuchin baselines (Salimi et al., SIGMOD 2019 — Section 6's
+  /// comparison points), run through the same fit/plan/apply machinery as
+  /// the OT solvers so their reports and scheduling are uniform.
+  kCapuchinIC,  ///< Cap(IC): independent-coupling target, plan-based resample.
+  kCapuchinMF,  ///< Cap(MF): per-slice rank-1 NMF target, plan-based resample.
+  kCapMaxSat,   ///< Cap(MS): MaxSAT tuple add/remove repair (no plan).
+};
+
+/// Knobs for the fairness-baseline solvers (kCapuchinIC / kCapuchinMF /
+/// kCapMaxSat). Kept separate from FastOtCleanOptions/QclpOptions so each
+/// solver family owns its cooperative-stop wiring, mirroring how the
+/// scheduler threads per-job deadlines into whichever solver a job picked.
+struct FairnessOptions {
+  /// NMF iteration budget (kCapuchinMF only).
+  size_t nmf_max_iterations = 500;
+  /// WalkSAT budget/noise (kCapMaxSat only). The MaxSAT seed is overridden
+  /// by RepairOptions::seed so one knob seeds every solver.
+  fairness::MaxSatOptions maxsat;
+  /// Cooperative stop signals, checked at the fairness solvers'
+  /// coarse-grained boundaries (target build, repair materialization).
+  const CancellationToken* cancel_token = nullptr;
+  Deadline deadline = Deadline::Infinite();
 };
 
 /// Opt-in graceful degradation for the FastOTClean solver: when an attempt
@@ -45,8 +68,9 @@ struct RepairOptions {
   Solver solver = Solver::kFastOtClean;
   FastOtCleanOptions fast;
   QclpOptions qclp;
-  /// Graceful-degradation policy (FastOTClean only; the QCLP solver always
-  /// runs a single attempt — its failure modes are not scaling blow-ups).
+  FairnessOptions fairness;
+  /// Graceful-degradation policy (FastOTClean only; every other solver
+  /// runs a single attempt — their failure modes are not scaling blow-ups).
   RetryOptions retry;
   /// Section 5 unsaturated-constraint optimization: clean only the marginal
   /// over the constraint attributes U = X∪Y∪Z and carry the remaining
@@ -177,11 +201,14 @@ Result<double> TableCmi(const dataset::Table& table,
 /// cyclic I-projections inside FastOTClean. `initial_cmi` / `final_cmi`
 /// report the *largest* CMI across the constraints. Constraints may overlap
 /// but each must be individually well-formed for the table's schema.
-/// Unsupported option combinations are InvalidArgument errors rather than
-/// silently solving something else: `options.solver` must be
-/// `Solver::kFastOtClean`, and `options.use_saturation` must stay true (the
-/// multi-constraint cleaner always operates on the union of the constraint
-/// attributes; there is no naive full-joint mode).
+/// Supported solvers: `Solver::kFastOtClean` (cyclic I-projections inside
+/// the Sinkhorn alternation) and `Solver::kQclp` (QclpCleanMulti's
+/// per-constraint linearization blocks). Unsupported option combinations
+/// are InvalidArgument errors rather than silently solving something else:
+/// the fairness baselines are single-constraint by construction, and
+/// `options.use_saturation` must stay true (the multi-constraint cleaner
+/// always operates on the union of the constraint attributes; there is no
+/// naive full-joint mode).
 Result<RepairReport> RepairTableMulti(
     const dataset::Table& table, const std::vector<CiConstraint>& constraints,
     const RepairOptions& options = {}, const ot::CostFunction* cost = nullptr);

@@ -64,17 +64,23 @@ Status RepairScheduler::ValidateJob(const RepairJob& job) const {
         "must leave it null — the scheduler injects its one shared cache "
         "(RepairSchedulerOptions::cache_bytes/solve_cache)");
   }
-  if (job.options.fast.cancel_token != nullptr) {
+  if (job.options.fast.cancel_token != nullptr ||
+      job.options.qclp.cancel_token != nullptr ||
+      job.options.fairness.cancel_token != nullptr) {
     // Same policy again: cancellation of scheduled jobs goes through
     // Cancel(ticket) on the scheduler-owned token. A job-supplied token
     // would leave two parties able to stop one solve, with no way to tell
-    // a caller cancel from a scheduler drain in the result.
+    // a caller cancel from a scheduler drain in the result. Checked on
+    // every solver family's options — the scheduler wires its token into
+    // whichever one the job's solver reads.
     return Status::InvalidArgument(
         "RepairScheduler: job carries its own options cancel_token; "
         "scheduled jobs must leave it null — cancellation goes through "
         "RepairScheduler::Cancel(ticket) on the scheduler-owned token");
   }
-  if (!job.options.fast.deadline.infinite()) {
+  if (!job.options.fast.deadline.infinite() ||
+      !job.options.qclp.deadline.infinite() ||
+      !job.options.fairness.deadline.infinite()) {
     return Status::InvalidArgument(
         "RepairScheduler: job carries its own options deadline; scheduled "
         "jobs must leave it infinite and set RepairJob::deadline_seconds "
@@ -246,8 +252,15 @@ Result<RepairReport> RepairScheduler::RunOne(PendingJob& pending) {
   opts.fast.thread_pool = pool_;
   opts.qclp.thread_pool = pool_;
   opts.fast.solve_cache = cache_;
+  // One token, one deadline, wired into every solver family: whichever
+  // path the job's Solver dispatches to polls the same scheduler-owned
+  // stop signals.
   opts.fast.cancel_token = &pending.token;
   opts.fast.deadline = pending.deadline;
+  opts.qclp.cancel_token = &pending.token;
+  opts.qclp.deadline = pending.deadline;
+  opts.fairness.cancel_token = &pending.token;
+  opts.fairness.deadline = pending.deadline;
   if (opts.fast.fault_injector == nullptr) {
     opts.fast.fault_injector = options_.fault_injector;
   }

@@ -149,10 +149,13 @@ using JobTicket = uint64_t;
 ///  - Submit/Wait/Cancel — the serving surface: admission control
 ///    (max_queued_jobs), per-job deadlines measured from Submit, and
 ///    cooperative cancellation of queued or in-flight jobs. The scheduler
-///    owns each job's CancellationToken; jobs must arrive with
-///    `options.fast.cancel_token` null and `options.fast.deadline`
-///    infinite (InvalidArgument otherwise — the same loud-conflict policy
-///    as job-supplied pools and caches).
+///    owns each job's CancellationToken; jobs must arrive with every
+///    solver family's cancel_token null and deadline infinite
+///    (`options.{fast,qclp,fairness}` alike — InvalidArgument otherwise,
+///    the same loud-conflict policy as job-supplied pools and caches). The
+///    scheduler wires its token and the Submit-anchored deadline into all
+///    three, so kQclp and the fairness baselines honor Cancel and
+///    deadline_seconds exactly like FastOTClean jobs.
 ///  - Run — the batch convenience, reimplemented over Submit/Wait: blocks
 ///    until every job completed, keeps results in batch order, and applies
 ///    backpressure (waiting out earlier jobs) instead of failing when a

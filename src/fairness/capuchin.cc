@@ -65,6 +65,15 @@ Result<prob::JointDistribution> MatrixFactorizationTarget(
 
 }  // namespace
 
+Result<prob::JointDistribution> CapuchinTarget(
+    const prob::JointDistribution& p, const prob::CiSpec& ci,
+    CapuchinMethod method, size_t nmf_max_iterations, Rng& rng) {
+  if (method == CapuchinMethod::kIndependentCoupling) {
+    return prob::CiProjection(p, ci);
+  }
+  return MatrixFactorizationTarget(p, ci, nmf_max_iterations, rng);
+}
+
 Result<dataset::Table> CapuchinRepair(const dataset::Table& table,
                                       const core::CiConstraint& constraint,
                                       const CapuchinOptions& options) {
@@ -79,14 +88,10 @@ Result<dataset::Table> CapuchinRepair(const dataset::Table& table,
   const prob::CiSpec spec = constraint.SpecInProjectedDomain();
 
   Rng rng(options.seed);
-  prob::JointDistribution q;
-  if (options.method == CapuchinMethod::kIndependentCoupling) {
-    q = prob::CiProjection(p, spec);
-  } else {
-    OTCLEAN_ASSIGN_OR_RETURN(
-        q, MatrixFactorizationTarget(p, spec, options.nmf_max_iterations,
-                                     rng));
-  }
+  OTCLEAN_ASSIGN_OR_RETURN(
+      prob::JointDistribution q,
+      CapuchinTarget(p, spec, options.method, options.nmf_max_iterations,
+                     rng));
 
   // Materialize: for each row, keep X (sensitive) and Z (admissible) and
   // resample the Y attributes from the target conditional Q(Y | X, Z) — for

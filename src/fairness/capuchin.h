@@ -5,6 +5,8 @@
 #include "common/result.h"
 #include "core/ci_constraint.h"
 #include "dataset/table.h"
+#include "prob/independence.h"
+#include "prob/joint.h"
 
 namespace otclean::fairness {
 
@@ -29,6 +31,18 @@ struct CapuchinOptions {
   size_t nmf_max_iterations = 500;
   uint64_t seed = 99;
 };
+
+/// Builds the CI-consistent Capuchin target distribution Q for `p` under
+/// `ci` with the selected method: Cap(IC) is the I-projection onto the CI
+/// manifold (product of conditional marginals); Cap(MF) replaces each
+/// z-slice by its rank-one Frobenius NMF (consuming `rng`, Cap(MF) only).
+/// This is the shared target-construction step — CapuchinRepair resamples
+/// from it directly, and the repair layer (core/repair.h) wraps it in a
+/// TransportPlan so fairness baselines report through the same plan-based
+/// machinery as the OT solvers.
+Result<prob::JointDistribution> CapuchinTarget(
+    const prob::JointDistribution& p, const prob::CiSpec& ci,
+    CapuchinMethod method, size_t nmf_max_iterations, Rng& rng);
 
 /// Repairs `table` to satisfy `constraint` with the selected Capuchin
 /// method. The output has the same schema and row count.

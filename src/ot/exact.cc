@@ -1,12 +1,14 @@
 #include "ot/exact.h"
 
-#include "lp/transport_lp.h"
+#include "lp/network_simplex.h"
+#include "ot/sinkhorn.h"
 
 namespace otclean::ot {
 
 Result<double> ExactOtDistance(const prob::JointDistribution& p,
                                const prob::JointDistribution& q,
-                               const CostFunction& cost) {
+                               const CostFunction& cost,
+                               const ExactOtOptions& options) {
   if (!(p.domain() == q.domain())) {
     return Status::InvalidArgument("ExactOtDistance: domain mismatch");
   }
@@ -30,10 +32,28 @@ Result<double> ExactOtDistance(const prob::JointDistribution& p,
   for (size_t i = 0; i < p_cells.size(); ++i) pv[i] = pn[p_cells[i]];
   for (size_t j = 0; j < q_cells.size(); ++j) qv[j] = qn[q_cells[j]];
 
-  const linalg::Matrix c = BuildCostMatrix(p.domain(), p_cells, q_cells, cost);
-  OTCLEAN_ASSIGN_OR_RETURN(lp::TransportResult tr,
-                           lp::SolveTransport(c, pv, qv));
+  // Stream the support×support cost — no dense BuildCostMatrix — and
+  // reject NaN/±inf entries with the same row/col-indexed message the
+  // Sinkhorn path produces.
+  FunctionCostProvider provider(p.domain(), p_cells, q_cells, cost);
+  Status finite = ValidateFiniteCosts("ExactOtDistance", provider);
+  if (!finite.ok()) return finite;
+
+  lp::NetworkSimplexOptions net;
+  net.max_pivots = options.max_pivots;
+  net.num_threads = options.num_threads;
+  net.thread_pool = options.thread_pool;
+  net.cancel_token = options.cancel_token;
+  net.deadline = options.deadline;
+  OTCLEAN_ASSIGN_OR_RETURN(lp::SparseNetworkSimplexResult tr,
+                           lp::SolveTransportNetwork(provider, pv, qv, net));
   return tr.cost;
+}
+
+Result<double> ExactOtDistance(const prob::JointDistribution& p,
+                               const prob::JointDistribution& q,
+                               const CostFunction& cost) {
+  return ExactOtDistance(p, q, cost, ExactOtOptions{});
 }
 
 }  // namespace otclean::ot

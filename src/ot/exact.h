@@ -1,18 +1,48 @@
 #ifndef OTCLEAN_OT_EXACT_H_
 #define OTCLEAN_OT_EXACT_H_
 
+#include <cstddef>
+
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "ot/cost.h"
 #include "prob/joint.h"
 
+namespace otclean::linalg {
+class ThreadPool;
+}  // namespace otclean::linalg
+
 namespace otclean::ot {
+
+/// Engine knobs for the exact solve: pooled pivot pricing and cooperative
+/// stop checks, mirroring the Sinkhorn path's options surface.
+struct ExactOtOptions {
+  /// Worker lanes for the network-simplex pricing scan (0 = hardware
+  /// concurrency, 1 = serial). Results are identical across thread counts.
+  size_t num_threads = 1;
+  /// Optional shared pool; must outlive the call.
+  linalg::ThreadPool* thread_pool = nullptr;
+  /// Cooperative stop signals, polled once per simplex pivot.
+  const CancellationToken* cancel_token = nullptr;
+  Deadline deadline = Deadline::Infinite();
+  /// Pivot cap forwarded to the network simplex.
+  size_t max_pivots = 100000;
+};
 
 /// Exact (LP-based) optimal transport distance between two distributions
 /// over the same domain — the Earth Mover's Distance used by the
 /// statistical-distortion evaluation (Fig. 9, Dasu & Loh framework).
 ///
-/// Support is restricted to cells with nonzero mass on either side, so the
-/// LP stays small for sparse empirical distributions.
+/// Support is restricted to cells with nonzero mass on either side, and
+/// costs stream through a linalg::CostProvider into the network simplex —
+/// no dense support×support cost matrix is materialized. Non-finite cost
+/// entries are rejected with a row/col-indexed InvalidArgument, matching
+/// ValidateInputs on the Sinkhorn path.
+Result<double> ExactOtDistance(const prob::JointDistribution& p,
+                               const prob::JointDistribution& q,
+                               const CostFunction& cost,
+                               const ExactOtOptions& options);
+
 Result<double> ExactOtDistance(const prob::JointDistribution& p,
                                const prob::JointDistribution& q,
                                const CostFunction& cost);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -459,6 +460,67 @@ TEST(ExactOtTest, RejectsDomainMismatchAndZeroMeasure) {
   EXPECT_FALSE(ExactOtDistance(p, q, cost).ok());
   prob::JointDistribution z1(d1), z2(d1);
   EXPECT_FALSE(ExactOtDistance(z1, z2, cost).ok());
+}
+
+TEST(ExactOtTest, RejectsNonFiniteCostWithIndexedMessage) {
+  // A NaN cost entry must be caught up front with the same row/col-indexed
+  // InvalidArgument the Sinkhorn path produces — not propagate into a NaN
+  // distance or a silently wrong plan. Both marginals have full support
+  // here, so support row/col ids coincide with encoded cell ids.
+  const prob::Domain dom = prob::Domain::FromCardinalities({2, 2});
+  auto p = prob::JointDistribution::Uniform(dom);
+  prob::JointDistribution q(dom);
+  q[0] = 0.1;
+  q[1] = 0.4;
+  q[2] = 0.3;
+  q[3] = 0.2;
+  LambdaCost cost([&dom](const std::vector<int>& a, const std::vector<int>& b) {
+    if (dom.Encode(a) == 2 && dom.Encode(b) == 1) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return 1.0;
+  });
+  const auto r = ExactOtDistance(p, q, cost);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("ExactOtDistance"), std::string::npos);
+  EXPECT_NE(r.status().message().find("cost(2, 1)"), std::string::npos);
+  EXPECT_NE(r.status().message().find("not finite"), std::string::npos);
+}
+
+TEST(ExactOtTest, MatchesLogDomainSinkhornAsEpsilonVanishes) {
+  // The paper-figure gate in miniature: the LP-exact distance and a sharply
+  // regularized log-domain Sinkhorn solve must agree as ε → 0 (entropic
+  // bias vanishes; the log domain keeps the tiny-ε kernel from underflowing).
+  const prob::Domain dom = prob::Domain::FromCardinalities({3, 3});
+  prob::JointDistribution p(dom), q(dom);
+  for (size_t i = 0; i < dom.TotalSize(); ++i) {
+    p[i] = 1.0 + static_cast<double>((3 * i + 1) % 7);
+    q[i] = 1.0 + static_cast<double>((5 * i + 2) % 5);
+  }
+  p.Normalize();
+  q.Normalize();
+  EuclideanCost cost(2);
+  const double exact = ExactOtDistance(p, q, cost).value();
+  ASSERT_GT(exact, 0.0);
+
+  const linalg::Matrix cm = BuildCostMatrix(dom, cost);
+  double mean_cost = 0.0;
+  for (const double c : cm.data()) mean_cost += c;
+  mean_cost /= static_cast<double>(cm.size());
+
+  SinkhornOptions opts;
+  opts.log_domain = true;
+  opts.epsilon = 1e-3 * mean_cost;
+  opts.max_iterations = 50000;
+  opts.tolerance = 1e-11;
+  linalg::Vector pv(p.size()), qv(q.size());
+  for (size_t i = 0; i < p.size(); ++i) pv[i] = p[i];
+  for (size_t i = 0; i < q.size(); ++i) qv[i] = q[i];
+  const auto r = RunSinkhorn(cm, pv, qv, opts).value();
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.transport_cost, exact,
+              std::max(0.02 * exact, 2e-3 * mean_cost));
 }
 
 }  // namespace

@@ -33,14 +33,17 @@ TEST(QclpTest, D2TargetSatisfiesConstraint) {
 
 TEST(QclpTest, D2OptimalCostBeatsThePaperExampleRepair) {
   // Example 3.4 exhibits a repair of cost 1/4 (move 1/4 of the mass from
-  // (1,1,0) to (1,1,1)). The true OT optimum is cheaper: rebalancing the
-  // (1,0,1) cell into (1,0,0) and (1,1,1) reaches a CI-consistent target at
-  // cost 4/21 ≈ 0.1905. The QCLP path solves exact LPs and finds it.
+  // (1,1,0) to (1,1,1)). The QCLP path solves exact LPs and does better:
+  // moving 1/6 of the mass from (1,0,1) to (1,1,1) reaches an exactly
+  // CI-consistent target at cost 1/6 ≈ 0.1667 — cheaper than both the
+  // example repair and the 4/21 fixed point the dense-tableau engine used
+  // to settle on.
   const auto p = MakeD2();
   const CiSpec ci{{1}, {2}, {0}};
   ot::EuclideanCost cost(3);
   const auto r = QclpClean(p, ci, cost, QclpOptions()).value();
-  EXPECT_NEAR(r.transport_cost, 4.0 / 21.0, 0.02);
+  EXPECT_NEAR(r.transport_cost, 1.0 / 6.0, 0.02);
+  EXPECT_LE(r.transport_cost, 4.0 / 21.0 + 1e-9);
   EXPECT_LE(r.transport_cost, 0.25 + 1e-9);
   // The *plan's* actual target marginal (not just the projected Q) must be
   // CI-consistent.
@@ -129,6 +132,66 @@ TEST(QclpTest, RestrictColumnsShrinksPlan) {
   opts.restrict_columns_to_active = true;
   const auto r = QclpClean(p, ci, cost, opts).value();
   EXPECT_EQ(r.plan.col_cells().size(), 3u);
+}
+
+TEST(QclpTest, RejectsLogDomainRequestLoudly) {
+  // The QCLP path solves LPs and never iterates Sinkhorn; a log-domain
+  // request cannot be honored and must fail loudly instead of silently
+  // no-opping (the PR 5 silently-ignored-options precedent).
+  const auto p = MakeD2();
+  const CiSpec ci{{1}, {2}, {0}};
+  ot::EuclideanCost cost(3);
+  QclpOptions opts;
+  opts.log_domain = true;
+  const auto r = QclpClean(p, ci, cost, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("log_domain"), std::string::npos);
+}
+
+TEST(QclpTest, MultiQclpMatchesSingleQclp) {
+  // QclpClean is a thin wrapper over QclpCleanMulti: a singleton saturated
+  // spec must take the identical alternation path — same cost, same target,
+  // same iteration count. (Referenced by extensions_test's
+  // RepairTableMultiValidates, which pins the repair-layer dispatch.)
+  const auto p = MakeD2();
+  const CiSpec ci{{1}, {2}, {0}};
+  ot::EuclideanCost cost(3);
+  const QclpOptions opts;
+  const auto single = QclpClean(p, ci, cost, opts).value();
+  const auto multi = QclpCleanMulti(p, {ci}, cost, opts).value();
+  EXPECT_EQ(multi.transport_cost, single.transport_cost);
+  EXPECT_EQ(multi.target_cmi, single.target_cmi);
+  EXPECT_EQ(multi.outer_iterations, single.outer_iterations);
+  EXPECT_EQ(multi.converged, single.converged);
+  ASSERT_EQ(multi.target.size(), single.target.size());
+  for (size_t i = 0; i < multi.target.size(); ++i) {
+    EXPECT_EQ(multi.target[i], single.target[i]);
+  }
+}
+
+TEST(QclpTest, PreCancelledTokenAbortsWithCancelled) {
+  const auto p = MakeD2();
+  const CiSpec ci{{1}, {2}, {0}};
+  ot::EuclideanCost cost(3);
+  CancellationToken token;
+  token.Cancel();
+  QclpOptions opts;
+  opts.cancel_token = &token;
+  const auto r = QclpClean(p, ci, cost, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+TEST(QclpTest, ExpiredDeadlineAbortsWithDeadlineExceeded) {
+  const auto p = MakeD2();
+  const CiSpec ci{{1}, {2}, {0}};
+  ot::EuclideanCost cost(3);
+  QclpOptions opts;
+  opts.deadline = Deadline::After(-1.0);
+  const auto r = QclpClean(p, ci, cost, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
 }
 
 }  // namespace

@@ -496,5 +496,141 @@ TEST(RepairSchedulerLifecycleTest, DefaultDeadlineAppliesToEveryJob) {
   EXPECT_EQ(report.failed_jobs, 1u);
 }
 
+// ------------------------------------------------------- solver matrix --
+
+/// Every solver family — QCLP (alternating exact LPs), both Capuchin
+/// baselines and CapMaxSat — must complete as an ordinary RepairJob on the
+/// shared scheduler infrastructure, filling the shared report surface.
+TEST(RepairSchedulerSolverMatrixTest, EverySolverFamilyCompletesThroughTheScheduler) {
+  const auto table = MakeViolatingTable(61);
+  RepairSchedulerOptions opts;
+  opts.max_concurrent_jobs = 2;
+  opts.pool_threads = 1;
+  RepairScheduler scheduler(opts);
+
+  std::vector<RepairJob> jobs;
+  {
+    RepairJob j;  // the exact/LP path
+    j.table = &table;
+    j.constraints = {XyGivenZ()};
+    j.options.solver = Solver::kQclp;
+    j.name = "qclp";
+    jobs.push_back(j);
+  }
+  {
+    RepairJob j;
+    j.table = &table;
+    j.constraints = {XyGivenZ()};
+    j.options.solver = Solver::kCapuchinIC;
+    j.name = "capuchin-ic";
+    jobs.push_back(j);
+  }
+  {
+    RepairJob j;
+    j.table = &table;
+    j.constraints = {XyGivenZ()};
+    j.options.solver = Solver::kCapuchinMF;
+    j.options.fairness.nmf_max_iterations = 200;
+    j.name = "capuchin-mf";
+    jobs.push_back(j);
+  }
+  {
+    RepairJob j;
+    j.table = &table;
+    j.constraints = {XyGivenZ()};
+    j.options.solver = Solver::kCapMaxSat;
+    j.name = "capmaxsat";
+    jobs.push_back(j);
+  }
+
+  const BatchReport report = scheduler.Run(jobs);
+  ASSERT_EQ(report.jobs.size(), 4u);
+  for (size_t i = 0; i < report.jobs.size(); ++i) {
+    ASSERT_TRUE(report.jobs[i].ok())
+        << jobs[i].name << ": " << report.jobs[i].status().ToString();
+  }
+  EXPECT_EQ(report.completed_jobs, 4u);
+  EXPECT_EQ(report.failed_jobs, 0u);
+
+  // QCLP drives the constraint out through exact LPs.
+  EXPECT_GT(report.jobs[0]->outer_iterations, 0u);
+  EXPECT_LT(report.jobs[0]->target_cmi, 1e-6);
+  EXPECT_GT(report.jobs[0]->transport_cost, 0.0);
+  // The Capuchin IC baseline resamples toward the CI projection; the
+  // violation shrinks even under sampling noise.
+  EXPECT_LT(report.jobs[1]->final_cmi, report.jobs[1]->initial_cmi);
+  EXPECT_LT(report.jobs[2]->final_cmi, report.jobs[2]->initial_cmi);
+  // CapMaxSat repairs rows directly (no transport plan) and enforces the
+  // MVD *structurally* — per-z cross-product support, reported through
+  // `converged` — while the distributional CMI may legitimately stay put.
+  EXPECT_TRUE(report.jobs[3]->converged);
+}
+
+TEST(RepairSchedulerSolverMatrixTest, QclpJobsHonorCancelAndFairnessJobsHonorDeadlines) {
+  const auto table = MakeViolatingTable(62, 400, 2);
+  RepairSchedulerOptions opts;
+  opts.max_concurrent_jobs = 1;  // one executor: the fairness job must queue
+  opts.pool_threads = 1;
+  RepairScheduler scheduler(opts);
+
+  // A QCLP job that never converges on its own (negative tolerance, huge
+  // alternation budget): only the scheduler's token can stop it, at the
+  // per-alternation / per-pivot cooperative checkpoints.
+  RepairJob slow_qclp;
+  slow_qclp.table = &table;
+  slow_qclp.constraints = {XyGivenZ()};
+  slow_qclp.options.solver = Solver::kQclp;
+  slow_qclp.options.qclp.max_outer_iterations = 100000000;
+  slow_qclp.options.qclp.outer_tolerance = -1.0;
+  const Result<JobTicket> running = scheduler.Submit(slow_qclp);
+  ASSERT_TRUE(running.ok()) << running.status().ToString();
+
+  // A fairness job queued behind it with a deadline it cannot make: the
+  // Submit-anchored clock runs while it waits, so it must die with
+  // kDeadlineExceeded, never silently run late.
+  RepairJob fair;
+  fair.table = &table;
+  fair.constraints = {XyGivenZ()};
+  fair.options.solver = Solver::kCapuchinIC;
+  fair.deadline_seconds = 0.001;
+  const Result<JobTicket> queued = scheduler.Submit(fair);
+  ASSERT_TRUE(queued.ok()) << queued.status().ToString();
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(scheduler.Cancel(*running).ok());
+  const Result<RepairReport> cancelled = scheduler.Wait(*running);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+
+  const Result<RepairReport> deadlined = scheduler.Wait(*queued);
+  ASSERT_FALSE(deadlined.ok());
+  EXPECT_EQ(deadlined.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RepairSchedulerSolverMatrixTest, JobSuppliedQclpOrFairnessStopStateIsRejected) {
+  const auto table = MakeViolatingTable(63);
+  RepairScheduler scheduler;
+  RepairJob base;
+  base.table = &table;
+  base.constraints = {XyGivenZ()};
+
+  CancellationToken token;
+  RepairJob qclp_token = base;
+  qclp_token.options.solver = Solver::kQclp;
+  qclp_token.options.qclp.cancel_token = &token;
+  Result<JobTicket> r = scheduler.Submit(qclp_token);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("cancel_token"), std::string::npos);
+
+  RepairJob fairness_deadline = base;
+  fairness_deadline.options.solver = Solver::kCapuchinIC;
+  fairness_deadline.options.fairness.deadline = Deadline::After(1.0);
+  r = scheduler.Submit(fairness_deadline);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("deadline"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace otclean::core

@@ -13,7 +13,12 @@
 //   --output PATH          output CSV (default: stdout)
 //   --x COLS --y COLS      constraint sides (comma-separated column names)
 //   --z COLS               conditioning set (optional)
-//   --solver fast|qclp     optimizer (default fast)
+//   --solver NAME          optimizer (default fast):
+//                            fast        Sinkhorn + KL-NMF (Section 4.2)
+//                            qclp        alternating exact LPs (Section 4.1)
+//                            capuchin-ic Capuchin independent coupling
+//                            capuchin-mf Capuchin per-slice rank-1 NMF
+//                            capmaxsat   Capuchin MaxSAT tuple add/remove
 //   --epsilon F            entropic regularization (default 0.08)
 //   --lambda F             marginal relaxation (default 80)
 //   --threads N            Sinkhorn kernel threads (default 0 = all cores);
@@ -22,7 +27,10 @@
 //                          (default 0 = dense kernel; fast solver only)
 //   --log-domain           iterate Sinkhorn on log-potentials (stable at
 //                          small --epsilon / huge penalty costs; composes
-//                          with --truncation; fast solver only)
+//                          with --truncation; fast solver only — the qclp
+//                          solver never iterates Sinkhorn and rejects the
+//                          flag with InvalidArgument instead of silently
+//                          ignoring it)
 //   --precision f32|f64    kernel storage precision (default f64): f32
 //                          halves kernel memory traffic, accumulates in
 //                          double, and keeps the f64 plan structure
@@ -187,9 +195,16 @@ Result<core::RepairOptions> BuildRepairOptions(const KvLookup& kv,
   const std::string solver = kv.Get("solver", "fast");
   if (solver == "qclp") {
     options.solver = core::Solver::kQclp;
+  } else if (solver == "capuchin-ic") {
+    options.solver = core::Solver::kCapuchinIC;
+  } else if (solver == "capuchin-mf") {
+    options.solver = core::Solver::kCapuchinMF;
+  } else if (solver == "capmaxsat") {
+    options.solver = core::Solver::kCapMaxSat;
   } else if (solver != "fast") {
-    return Status::InvalidArgument("unknown solver '" + solver +
-                                   "' (use fast or qclp)");
+    return Status::InvalidArgument(
+        "unknown solver '" + solver +
+        "' (use fast, qclp, capuchin-ic, capuchin-mf or capmaxsat)");
   }
   OTCLEAN_ASSIGN_OR_RETURN(const bool map_repair,
                            ParseBool(kv.Get("map"), default_map));
@@ -621,7 +636,8 @@ int main(int argc, char** argv) {
   if (input.empty() || kv.Get("x").empty() || kv.Get("y").empty()) {
     std::fprintf(stderr,
                  "usage: otclean --input data.csv --x COLS --y COLS "
-                 "[--z COLS] [--output out.csv] [--solver fast|qclp] "
+                 "[--z COLS] [--output out.csv] "
+                 "[--solver fast|qclp|capuchin-ic|capuchin-mf|capmaxsat] "
                  "[--epsilon F] [--lambda F] [--threads N] [--truncation F] "
                  "[--log-domain] [--precision f32|f64] "
                  "[--epsilon-schedule INIT[,DECAY[,STAGETOL[,STAGEITERS]]]] "
@@ -642,7 +658,12 @@ int main(int argc, char** argv) {
   auto deadline_ms = ParseDeadlineMillis(kv);
   if (!deadline_ms.ok()) return Fail(deadline_ms.status().ToString());
   if (*deadline_ms > 0) {
-    options->fast.deadline = Deadline::AfterMillis(*deadline_ms);
+    // One deadline, every solver family: whichever path --solver picked
+    // polls the same budget.
+    const Deadline deadline = Deadline::AfterMillis(*deadline_ms);
+    options->fast.deadline = deadline;
+    options->qclp.deadline = deadline;
+    options->fairness.deadline = deadline;
   }
   options->fast.fault_injector = faults;
 
