@@ -21,6 +21,12 @@ namespace otclean {
 ///
 /// Polling never mutates solver state: a check either aborts the solve or
 /// leaves it bit-identical to a run without the token.
+///
+/// Deliberately lock-free: the one mutable field is a std::atomic, so
+/// under the TSA regime (common/thread_annotations.h) there is no
+/// capability to annotate — Cancel/cancelled() are safe from any thread
+/// with no mutex to hold, and the pool polls the raw flag() pointer at
+/// chunk granularity without taking any lock.
 class CancellationToken {
  public:
   CancellationToken() = default;

@@ -13,8 +13,15 @@ namespace otclean {
 ///
 /// A `Result<T>` holds either a `T` (when `ok()`) or a non-OK `Status`.
 /// Accessing the value of an errored result aborts in debug builds.
+///
+/// Like `Status`, the class is `[[nodiscard]]`: a Result-returning call
+/// whose outcome is ignored is a warning on every compiler and an error
+/// under CI's warning gate. Extract values with a visible `ok()` check,
+/// `OTCLEAN_ASSIGN_OR_RETURN` (propagate), or `OTCLEAN_CHECK_OK_AND_ASSIGN`
+/// (assert, release-safe) — `tools/otclean_lint` flags naked `.value()`
+/// calls with none of those in sight.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result (implicit so functions can
   /// `return value;`).
@@ -70,6 +77,25 @@ class Result {
 #define OTCLEAN_ASSIGN_OR_RETURN(lhs, expr)                                     \
   OTCLEAN_ASSIGN_OR_RETURN_IMPL(                                                \
       OTCLEAN_ASSIGN_OR_RETURN_NAME(_otclean_result_, __LINE__), lhs, expr)
+
+/// Assigns the value of a Result expression to `lhs`, or terminates the
+/// process with the error — in every build mode. This is the release-safe
+/// replacement for the `assert(r.ok()); use(std::move(r).value());`
+/// pattern: under NDEBUG that assert compiles away and the `.value()`
+/// dereferences an empty optional, so "cannot fail here" call sites
+/// (locally re-validated inputs, infallible reconstructions) assert
+/// through this macro instead. Failures report file:line plus the
+/// originating expression via InternalCheckOkFailed (status.h).
+#define OTCLEAN_CHECK_OK_AND_ASSIGN_IMPL(tmp, lhs, expr)                \
+  auto tmp = (expr);                                                    \
+  if (!tmp.ok()) {                                                      \
+    ::otclean::InternalCheckOkFailed(__FILE__, __LINE__, #expr,         \
+                                     tmp.status());                     \
+  }                                                                     \
+  lhs = std::move(tmp).value();
+#define OTCLEAN_CHECK_OK_AND_ASSIGN(lhs, expr)                          \
+  OTCLEAN_CHECK_OK_AND_ASSIGN_IMPL(                                     \
+      OTCLEAN_ASSIGN_OR_RETURN_NAME(_otclean_checked_, __LINE__), lhs, expr)
 
 }  // namespace otclean
 

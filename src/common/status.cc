@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace otclean {
 
 const char* StatusCodeName(StatusCode code) {
@@ -48,6 +51,17 @@ std::string Status::ToString() const {
 
 std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
+}
+
+void InternalCheckOkFailed(const char* file, int line, const char* expr_text,
+                           const Status& status) {
+  // stderr, not the logging layer: a failed OTCLEAN_CHECK_OK is a broken
+  // program invariant and must reach the operator even if logging itself
+  // is misconfigured or mid-initialization.
+  std::fprintf(stderr, "%s:%d: OTCLEAN_CHECK_OK(%s) failed: %s\n", file, line,
+               expr_text, status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
 }
 
 }  // namespace otclean

@@ -39,10 +39,19 @@ const char* StatusCodeName(StatusCode code);
 /// exceptions across public API boundaries; fallible operations return
 /// `Status` (or `Result<T>`, see result.h).
 ///
+/// The class itself is `[[nodiscard]]`, so *every* Status-returning call
+/// in the library is covered without per-function markings: silently
+/// dropping an error is a compiler warning everywhere and a hard error
+/// under the CI warning gate (and `-Werror=unused-result` is always on
+/// for library/tool/test targets — see CMakeLists.txt). Intentional
+/// discards must be spelled `OTCLEAN_CHECK_OK(expr)` (die loudly if it
+/// ever fails) — a bare `(void)` cast is what the discipline exists to
+/// prevent.
+///
 /// Usage:
 ///   Status s = DoThing();
 ///   if (!s.ok()) return s;
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -118,6 +127,26 @@ std::ostream& operator<<(std::ostream& os, const Status& s);
   do {                                               \
     ::otclean::Status _st = (expr);                  \
     if (!_st.ok()) return _st;                       \
+  } while (0)
+
+/// Terminates the process with `file:line`, the failing expression and the
+/// status text. Out-of-line so the macro below stays cheap at every site.
+[[noreturn]] void InternalCheckOkFailed(const char* file, int line,
+                                        const char* expr_text,
+                                        const Status& status);
+
+/// Asserts that a Status-returning expression succeeded, in *every* build
+/// mode (unlike `assert`, which vanishes under NDEBUG and turns a dropped
+/// error into silent corruption in release binaries). This is the one
+/// sanctioned way to discard a `[[nodiscard]]` Status: it converts the
+/// discard into a loud invariant.
+#define OTCLEAN_CHECK_OK(expr)                                             \
+  do {                                                                     \
+    ::otclean::Status _otclean_check_st = (expr);                          \
+    if (!_otclean_check_st.ok()) {                                         \
+      ::otclean::InternalCheckOkFailed(__FILE__, __LINE__, #expr,          \
+                                       _otclean_check_st);                 \
+    }                                                                      \
   } while (0)
 
 }  // namespace otclean

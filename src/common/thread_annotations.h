@@ -1,0 +1,141 @@
+#ifndef OTCLEAN_COMMON_THREAD_ANNOTATIONS_H_
+#define OTCLEAN_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+/// Clang Thread Safety Analysis (TSA) annotations, plus the annotated
+/// `Mutex`/`MutexLock`/`CondVar` wrappers the concurrent subsystems lock
+/// through. With clang and `-Wthread-safety` the repo's locking discipline
+/// — "every shared field is accessed under its mutex" — becomes a compile
+/// error instead of a comment backed by TSan sampling; on other compilers
+/// (g++ builds this repo too) every macro expands to nothing and the
+/// wrappers are zero-overhead shims over `std::mutex` /
+/// `std::lock_guard` / `std::condition_variable`.
+///
+/// The vocabulary (mirrors abseil's thread_annotations.h):
+///  - `OTCLEAN_GUARDED_BY(mu)` on a member: reads and writes require `mu`.
+///  - `OTCLEAN_REQUIRES(mu)` on a function: callers must already hold `mu`
+///    (the `*Locked()` private-helper convention).
+///  - `OTCLEAN_EXCLUDES(mu)` on a function: callers must NOT hold `mu`
+///    (the function takes it itself — public entry points).
+///  - `OTCLEAN_ACQUIRE(mu)` / `OTCLEAN_RELEASE(mu)`: the function leaves
+///    with `mu` held / released.
+/// The analysis only understands lock types it can see annotations on, so
+/// the subsystems lock through the `Mutex` wrapper below rather than a raw
+/// `std::mutex` (`tools/otclean_lint` has no rule for this, but
+/// `-Wthread-safety` itself flags a `GUARDED_BY` whose mutex expression is
+/// not a capability).
+
+#if defined(__clang__)
+#define OTCLEAN_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define OTCLEAN_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside clang
+#endif
+
+#define OTCLEAN_CAPABILITY(x) \
+  OTCLEAN_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define OTCLEAN_SCOPED_CAPABILITY \
+  OTCLEAN_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define OTCLEAN_GUARDED_BY(x) \
+  OTCLEAN_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define OTCLEAN_PT_GUARDED_BY(x) \
+  OTCLEAN_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define OTCLEAN_REQUIRES(...) \
+  OTCLEAN_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define OTCLEAN_EXCLUDES(...) \
+  OTCLEAN_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define OTCLEAN_ACQUIRE(...) \
+  OTCLEAN_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define OTCLEAN_RELEASE(...) \
+  OTCLEAN_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define OTCLEAN_RETURN_CAPABILITY(x) \
+  OTCLEAN_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define OTCLEAN_NO_THREAD_SAFETY_ANALYSIS \
+  OTCLEAN_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace otclean {
+
+/// An annotated `std::mutex`: TSA recognizes Lock/Unlock as
+/// acquiring/releasing the capability, so members declared
+/// `OTCLEAN_GUARDED_BY(mu_)` are compile-checked against it. Prefer the
+/// scoped `MutexLock` below; Lock/Unlock exist for the analysis contract
+/// and for `CondVar`'s adopt/release dance.
+class OTCLEAN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() OTCLEAN_ACQUIRE() { mu_.lock(); }
+  void Unlock() OTCLEAN_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over `Mutex` — the annotated twin of `std::lock_guard`. TSA
+/// treats the scope as holding the mutex from construction to destruction,
+/// which is exactly the window the guarded fields may be touched in.
+class OTCLEAN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) OTCLEAN_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() OTCLEAN_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable usable under an annotated `Mutex`. `Wait` requires
+/// the mutex held (TSA-checked at every call site) and returns with it
+/// held again, so the idiomatic annotated wait is an explicit predicate
+/// loop inside the locked scope:
+///
+///   MutexLock lock(mu_);
+///   while (!predicate_over_guarded_fields()) cv_.Wait(mu_);
+///
+/// (The predicate-lambda overload of `std::condition_variable::wait` is
+/// deliberately not mirrored: TSA analyzes a lambda as a separate function
+/// that does not hold the capability, so guarded reads inside it would
+/// falsely warn. The explicit loop keeps the reads in the locked scope.)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, and re-acquires
+  /// `mu` before returning. Spurious wakeups are possible, as with any
+  /// condition variable — always wait in a predicate loop.
+  void Wait(Mutex& mu) OTCLEAN_REQUIRES(mu) {
+    // Adopt the already-held std::mutex for the duration of the wait and
+    // release (not unlock) it afterwards: ownership stays with the
+    // caller's MutexLock, matching what the analysis believes.
+    std::unique_lock<std::mutex> adopted(mu.mu_, std::adopt_lock);
+    cv_.wait(adopted);
+    adopted.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace otclean
+
+#endif  // OTCLEAN_COMMON_THREAD_ANNOTATIONS_H_

@@ -48,6 +48,13 @@ const char* FaultSiteName(FaultSite site);
 ///
 /// Thread safety: visit counters are atomic (kWorkerDelay is hit from pool
 /// workers concurrently); arming is not — arm before dispatching work.
+/// Under the TSA regime (common/thread_annotations.h) this class carries
+/// no capability: `hits_` is lock-free by design (ShouldFire sits on the
+/// pool's per-chunk hot path, where a mutex would serialize the workers it
+/// instruments), and `arms_`/`delay_millis_` are frozen before any
+/// concurrent reader exists — dispatching instrumented work publishes them
+/// via the thread-creation / SetChunkHook release edge. Arm/ShouldFire
+/// overlapping is a misuse TSan would flag, not a supported schedule.
 class FaultInjector {
  public:
   FaultInjector() = default;
@@ -86,8 +93,12 @@ class FaultInjector {
     bool sticky = false;
   };
 
+  /// Written by Arm/Parse strictly before instrumented work is dispatched;
+  /// read concurrently (and lock-free) by ShouldFire afterwards.
   SiteArm arms_[kNumFaultSites];
   std::atomic<size_t> hits_[kNumFaultSites] = {};
+  /// Same freeze-then-read contract as arms_ (set by InstallPoolDelayHook,
+  /// read by pool workers through the chunk hook).
   size_t delay_millis_ = 25;
 };
 

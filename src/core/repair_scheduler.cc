@@ -129,7 +129,7 @@ Result<JobTicket> RepairScheduler::Submit(const RepairJob& job) {
                           : Deadline::Infinite();
   JobTicket ticket;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (draining_) {
       return Status::FailedPrecondition(
           "RepairScheduler::Submit after DrainAndStop: the scheduler is "
@@ -159,12 +159,12 @@ Result<JobTicket> RepairScheduler::Submit(const RepairJob& job) {
       }
     }
   }
-  cv_work_.notify_one();
+  cv_work_.NotifyOne();
   return ticket;
 }
 
 Result<RepairReport> RepairScheduler::Wait(JobTicket ticket) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tickets_.find(ticket);
   if (it == tickets_.end()) {
     return Status::NotFound("RepairScheduler::Wait: ticket " +
@@ -172,7 +172,7 @@ Result<RepairReport> RepairScheduler::Wait(JobTicket ticket) {
                             " is unknown or already consumed");
   }
   std::shared_ptr<PendingJob> pending = it->second;
-  cv_done_.wait(lock, [&] { return pending->done; });
+  while (!pending->done) cv_done_.Wait(mu_);
   tickets_.erase(ticket);
   return std::move(*pending->result);
 }
@@ -180,7 +180,7 @@ Result<RepairReport> RepairScheduler::Wait(JobTicket ticket) {
 Status RepairScheduler::Cancel(JobTicket ticket) {
   std::shared_ptr<PendingJob> pending;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = tickets_.find(ticket);
     if (it == tickets_.end()) {
       return Status::NotFound("RepairScheduler::Cancel: ticket " +
@@ -197,9 +197,12 @@ Status RepairScheduler::Cancel(JobTicket ticket) {
 }
 
 void RepairScheduler::DrainAndStop() {
+  // Joining the executor threads declared (and justified) in
+  // repair_scheduler.h, not spawning kernel workers.
+  // otclean-lint: allow(raw-thread)
   std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (draining_ && executors_.empty()) return;  // idempotent
     draining_ = true;
     for (const std::shared_ptr<PendingJob>& pending : queue_) {
@@ -211,8 +214,9 @@ void RepairScheduler::DrainAndStop() {
     queue_.clear();
     to_join.swap(executors_);
   }
-  cv_work_.notify_all();
-  cv_done_.notify_all();
+  cv_work_.NotifyAll();
+  cv_done_.NotifyAll();
+  // otclean-lint: allow(raw-thread)
   for (std::thread& t : to_join) t.join();
 }
 
@@ -220,8 +224,8 @@ void RepairScheduler::ExecutorLoop() {
   for (;;) {
     std::shared_ptr<PendingJob> pending;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_work_.wait(lock, [&] { return draining_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!draining_ && queue_.empty()) cv_work_.Wait(mu_);
       if (queue_.empty()) return;  // draining and nothing left to start
       pending = std::move(queue_.front());
       queue_.pop_front();
@@ -234,11 +238,11 @@ void RepairScheduler::ExecutorLoop() {
     Result<RepairReport> result =
         admitted.ok() ? RunOne(*pending) : Result<RepairReport>(admitted);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       pending->result.emplace(std::move(result));
       pending->done = true;
     }
-    cv_done_.notify_all();
+    cv_done_.NotifyAll();
   }
 }
 

@@ -1,11 +1,9 @@
 #ifndef OTCLEAN_CORE_REPAIR_SCHEDULER_H_
 #define OTCLEAN_CORE_REPAIR_SCHEDULER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -13,6 +11,7 @@
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/thread_annotations.h"
 #include "common/result.h"
 #include "core/ci_constraint.h"
 #include "core/repair.h"
@@ -180,39 +179,43 @@ class RepairScheduler {
   /// kResourceExhausted when the pending queue is at max_queued_jobs, and
   /// with FailedPrecondition after DrainAndStop. The job's deadline clock
   /// starts now, in this call.
-  Result<JobTicket> Submit(const RepairJob& job);
+  Result<JobTicket> Submit(const RepairJob& job) OTCLEAN_EXCLUDES(mu_);
 
   /// Blocks until the ticket's job completed (ok, failed, cancelled or
   /// deadline-exceeded) and returns its result, consuming the ticket —
   /// a second Wait on it is NotFound.
-  Result<RepairReport> Wait(JobTicket ticket);
+  Result<RepairReport> Wait(JobTicket ticket) OTCLEAN_EXCLUDES(mu_);
 
   /// Requests cooperative cancellation: a still-queued job fails with
   /// kCancelled at dequeue; an in-flight solve aborts at its next
   /// iteration/outer-step/chunk checkpoint. Idempotent; a job that already
   /// completed keeps its result (Cancel still returns OK — the race is
   /// inherent). NotFound for unknown or already-consumed tickets.
-  Status Cancel(JobTicket ticket);
+  Status Cancel(JobTicket ticket) OTCLEAN_EXCLUDES(mu_);
 
   /// Lifecycle shutdown: lets in-flight jobs finish, fails every
   /// still-queued job with kCancelled, then joins the executors. Results
   /// remain collectable via Wait; further Submits are FailedPrecondition.
   /// Idempotent.
-  void DrainAndStop();
+  void DrainAndStop() OTCLEAN_EXCLUDES(mu_);
 
   /// Runs every job; blocks until the whole batch completed. Per-job
   /// failures (bad options, infeasible solves, deadlines) land in the
   /// corresponding Result slot — one bad job never aborts its batch.
-  BatchReport Run(const std::vector<RepairJob>& jobs);
+  BatchReport Run(const std::vector<RepairJob>& jobs) OTCLEAN_EXCLUDES(mu_);
 
   /// The pool every executor's solves dispatch on (null when the resolved
   /// pool width is 1 — solves run serial, executors still shard).
-  linalg::ThreadPool* shared_pool() { return pool_; }
+  /// EXCLUDES(mu_) documents lock-free polling as part of the contract:
+  /// pool_/cache_ are fixed at construction, so accessors never need —
+  /// and must never wait on — the scheduler mutex, even mid-batch.
+  linalg::ThreadPool* shared_pool() OTCLEAN_EXCLUDES(mu_) { return pool_; }
 
   /// The cross-request cache every job solves through (null when the
   /// scheduler runs cache-less). Exposed so callers can fold their own
-  /// lookups (the CLI's table cache) into its stats.
-  SolveCache* shared_cache() { return cache_; }
+  /// lookups (the CLI's table cache) into its stats, and safe to poll
+  /// (e.g. shared_cache()->Stats()) while a batch is running.
+  SolveCache* shared_cache() OTCLEAN_EXCLUDES(mu_) { return cache_; }
 
  private:
   /// One admitted job: the copied RepairJob plus the scheduler-owned
@@ -225,13 +228,16 @@ class RepairScheduler {
     uint64_t seed_id = 0;
     CancellationToken token;
     Deadline deadline;
-    bool done = false;  // guarded by mu_
-    std::optional<Result<RepairReport>> result;  // guarded by mu_
+    /// done/result are guarded by the scheduler's mu_ (TSA cannot name a
+    /// sibling object's mutex from a shared heap node, so the discipline
+    /// is documented here and enforced on the scheduler's own fields).
+    bool done = false;
+    std::optional<Result<RepairReport>> result;
   };
 
   Status ValidateJob(const RepairJob& job) const;
   Result<RepairReport> RunOne(PendingJob& pending);
-  void ExecutorLoop();
+  void ExecutorLoop() OTCLEAN_EXCLUDES(mu_);
 
   RepairSchedulerOptions options_;
   std::optional<linalg::ThreadPool> owned_pool_;
@@ -239,14 +245,20 @@ class RepairScheduler {
   std::optional<SolveCache> owned_cache_;
   SolveCache* cache_ = nullptr;
 
-  std::mutex mu_;
-  std::condition_variable cv_work_;  ///< executors: queue gained work / stop
-  std::condition_variable cv_done_;  ///< waiters: some job completed
-  std::deque<std::shared_ptr<PendingJob>> queue_;
-  std::unordered_map<JobTicket, std::shared_ptr<PendingJob>> tickets_;
-  std::vector<std::thread> executors_;  ///< lazily started at first Submit
-  JobTicket next_ticket_ = 1;
-  bool draining_ = false;
+  Mutex mu_;
+  CondVar cv_work_;  ///< executors: queue gained work / stop
+  CondVar cv_done_;  ///< waiters: some job completed
+  std::deque<std::shared_ptr<PendingJob>> queue_ OTCLEAN_GUARDED_BY(mu_);
+  std::unordered_map<JobTicket, std::shared_ptr<PendingJob>> tickets_
+      OTCLEAN_GUARDED_BY(mu_);
+  /// Lazily started at first Submit; swapped out under mu_ and joined
+  /// lock-free by DrainAndStop. Executors run whole repair jobs, not kernel
+  /// chunks; per-chunk work inside each job still goes through the shared
+  /// linalg::ThreadPool, so the bit-identity contract is untouched.
+  // otclean-lint: allow(raw-thread) — see above.
+  std::vector<std::thread> executors_ OTCLEAN_GUARDED_BY(mu_);
+  JobTicket next_ticket_ OTCLEAN_GUARDED_BY(mu_) = 1;
+  bool draining_ OTCLEAN_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace otclean::core

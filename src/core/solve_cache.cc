@@ -121,7 +121,7 @@ SolveCache::Lru::iterator SolveCache::FindOrCreate(const SolveCacheKey& key) {
 
 std::optional<CachedKernel> SolveCache::FindKernel(const SolveCacheKey& key) {
   if (!key.valid()) return std::nullopt;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto found = index_.find(key);
   if (found == index_.end() || found->second->kernel.empty()) {
     ++counters_.kernel_misses;
@@ -142,7 +142,7 @@ CachedKernel SolveCache::InsertKernel(const SolveCacheKey& key,
       fault_injector_->ShouldFire(FaultSite::kCacheInsert)) {
     return kernel;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = FindOrCreate(key);
   if (!it->kernel.empty()) return it->kernel;  // lost the race: share theirs
   it->kernel = std::move(kernel);
@@ -159,7 +159,7 @@ CachedKernel SolveCache::InsertKernel(const SolveCacheKey& key,
 std::optional<CachedWarmStart> SolveCache::FindWarmStart(
     const SolveCacheKey& key) {
   if (!key.valid()) return std::nullopt;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto found = index_.find(key);
   if (found == index_.end() || !found->second->warm) {
     ++counters_.warm_misses;
@@ -175,7 +175,7 @@ void SolveCache::StoreWarmStart(const SolveCacheKey& key,
                                 const linalg::Vector& v,
                                 size_t solve_iterations) {
   if (!key.valid()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = FindOrCreate(key);
   const size_t baseline =
       it->warm ? it->warm->cold_iterations : solve_iterations;
@@ -185,12 +185,12 @@ void SolveCache::StoreWarmStart(const SolveCacheKey& key,
 }
 
 void SolveCache::RecordWarmSavings(size_t iterations) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_.warm_iterations_saved += iterations;
 }
 
 void SolveCache::RecordTableLookup(bool hit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (hit) {
     ++counters_.table_hits;
   } else {
@@ -199,7 +199,7 @@ void SolveCache::RecordTableLookup(bool hit) {
 }
 
 SolveCacheStats SolveCache::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SolveCacheStats s = counters_;
   s.entries = lru_.size();
   s.bytes_cached = bytes_cached_;

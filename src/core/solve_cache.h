@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "linalg/matrix.h"
 #include "linalg/precision.h"
 #include "linalg/transport_kernel.h"
@@ -151,6 +151,11 @@ SolveCacheStats DeltaStats(const SolveCacheStats& before,
 ///
 /// Thread safety: every operation takes one internal mutex; the returned
 /// handles are immutable shared_ptrs, safe to use lock-free afterwards.
+/// The discipline is TSA-enforced (common/thread_annotations.h): every
+/// mutable field is `OTCLEAN_GUARDED_BY(mu_)`, the public surface is
+/// `OTCLEAN_EXCLUDES(mu_)`, and the `Locked`-style private helpers are
+/// `OTCLEAN_REQUIRES(mu_)` — dropping the lock from any method is a
+/// compile error under clang's `-Wthread-safety` CI leg.
 class SolveCache {
  public:
   explicit SolveCache(size_t byte_budget = 0)
@@ -162,32 +167,41 @@ class SolveCache {
   /// Kernel tier. FindKernel returns the shared storages on a hit
   /// (bumping the entry to most-recently-used) and counts a miss
   /// otherwise; invalid keys are silent misses that touch no counter.
-  std::optional<CachedKernel> FindKernel(const SolveCacheKey& key);
+  std::optional<CachedKernel> FindKernel(const SolveCacheKey& key)
+      OTCLEAN_EXCLUDES(mu_);
 
   /// Inserts the artifacts a miss just built. On an insert race (another
   /// thread populated the key first) the resident entry wins and is
   /// returned, so concurrent solves of one key converge on shared storage
   /// either way. Returns `kernel` unchanged for invalid keys.
-  CachedKernel InsertKernel(const SolveCacheKey& key, CachedKernel kernel);
+  CachedKernel InsertKernel(const SolveCacheKey& key, CachedKernel kernel)
+      OTCLEAN_EXCLUDES(mu_);
 
   /// Warm-start tier: potentials from the last converged solve under this
   /// key, or nullopt (counted as a warm miss) when none are stored.
-  std::optional<CachedWarmStart> FindWarmStart(const SolveCacheKey& key);
+  std::optional<CachedWarmStart> FindWarmStart(const SolveCacheKey& key)
+      OTCLEAN_EXCLUDES(mu_);
 
   /// Persists converged potentials. The first store under a key also
   /// records `solve_iterations` as the cold baseline; later stores refresh
   /// the potentials but keep the baseline, so savings are always measured
   /// against the original cold start.
   void StoreWarmStart(const SolveCacheKey& key, const linalg::Vector& u,
-                      const linalg::Vector& v, size_t solve_iterations);
+                      const linalg::Vector& v, size_t solve_iterations)
+      OTCLEAN_EXCLUDES(mu_);
 
   /// Caller-reported iteration savings of a warm-started solve.
-  void RecordWarmSavings(size_t iterations);
+  void RecordWarmSavings(size_t iterations) OTCLEAN_EXCLUDES(mu_);
 
   /// Folds a CLI table-cache lookup into the stats.
-  void RecordTableLookup(bool hit);
+  void RecordTableLookup(bool hit) OTCLEAN_EXCLUDES(mu_);
 
-  SolveCacheStats Stats() const;
+  /// Safe to poll from any thread at any time — including while a batch is
+  /// mid-flight on the same cache (solve_cache_test pins that race under
+  /// TSan). EXCLUDES(mu_): callers must not already hold the cache mutex
+  /// (they cannot — it is private — but the annotation keeps the method
+  /// itself honest about taking the lock).
+  SolveCacheStats Stats() const OTCLEAN_EXCLUDES(mu_);
 
   size_t byte_budget() const { return byte_budget_; }
 
@@ -215,22 +229,27 @@ class SolveCache {
   };
   using Lru = std::list<Entry>;
 
-  /// Moves the entry to the LRU front. Caller holds mu_.
-  void Touch(Lru::iterator it);
-  /// Recomputes an entry's byte charge after mutation. Caller holds mu_.
-  void Recharge(Lru::iterator it);
+  /// Moves the entry to the LRU front.
+  void Touch(Lru::iterator it) OTCLEAN_REQUIRES(mu_);
+  /// Recomputes an entry's byte charge after mutation.
+  void Recharge(Lru::iterator it) OTCLEAN_REQUIRES(mu_);
   /// Evicts from the LRU tail (skipping pinned entries) until the budget
-  /// holds. Caller holds mu_.
-  void EnforceBudget();
-  Lru::iterator FindOrCreate(const SolveCacheKey& key);
+  /// holds.
+  void EnforceBudget() OTCLEAN_REQUIRES(mu_);
+  Lru::iterator FindOrCreate(const SolveCacheKey& key) OTCLEAN_REQUIRES(mu_);
 
   const size_t byte_budget_;
 
-  mutable std::mutex mu_;
-  Lru lru_;  ///< front = most recently used
-  std::unordered_map<SolveCacheKey, Lru::iterator, KeyHash> index_;
-  size_t bytes_cached_ = 0;
-  SolveCacheStats counters_;  ///< gauges unused; filled on Stats() read
+  mutable Mutex mu_;
+  Lru lru_ OTCLEAN_GUARDED_BY(mu_);  ///< front = most recently used
+  std::unordered_map<SolveCacheKey, Lru::iterator, KeyHash> index_
+      OTCLEAN_GUARDED_BY(mu_);
+  size_t bytes_cached_ OTCLEAN_GUARDED_BY(mu_) = 0;
+  /// Gauges unused; filled on Stats() read.
+  SolveCacheStats counters_ OTCLEAN_GUARDED_BY(mu_);
+  /// Deliberately NOT guarded by mu_: InsertKernel consults it before
+  /// taking the lock, under the "set before dispatching instrumented
+  /// work, never while solves are running" contract of set_fault_injector.
   FaultInjector* fault_injector_ = nullptr;
 };
 

@@ -44,9 +44,12 @@ prob::Domain Schema::ToDomain() const {
     names.push_back(c.name);
     cards.push_back(c.cardinality());
   }
-  auto d = prob::Domain::Make(std::move(names), std::move(cards));
-  assert(d.ok());
-  return std::move(d).value();
+  // Schema construction already validated names and cardinalities; assert
+  // in every build mode instead of dereferencing unchecked under NDEBUG.
+  prob::Domain domain;
+  OTCLEAN_CHECK_OK_AND_ASSIGN(
+      domain, prob::Domain::Make(std::move(names), std::move(cards)));
+  return domain;
 }
 
 prob::Domain Schema::ToDomain(const std::vector<size_t>& cols) const {
@@ -57,9 +60,10 @@ prob::Domain Schema::ToDomain(const std::vector<size_t>& cols) const {
     names.push_back(columns_[c].name);
     cards.push_back(columns_[c].cardinality());
   }
-  auto d = prob::Domain::Make(std::move(names), std::move(cards));
-  assert(d.ok());
-  return std::move(d).value();
+  prob::Domain domain;
+  OTCLEAN_CHECK_OK_AND_ASSIGN(
+      domain, prob::Domain::Make(std::move(names), std::move(cards)));
+  return domain;
 }
 
 std::string Schema::ToString() const {

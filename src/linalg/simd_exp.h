@@ -1,5 +1,8 @@
 #ifndef OTCLEAN_LINALG_SIMD_EXP_H_
 #define OTCLEAN_LINALG_SIMD_EXP_H_
+// otclean-lint: internal-header — implementation detail of the SIMD layer,
+// included only by its ISA translation units; deliberately NOT exported
+// through the umbrella header.
 
 // The ONE exponential every SIMD tier evaluates — scalar reference
 // included. The log-domain LSE reductions (simd.h: ExpSumShifted and

@@ -1,5 +1,8 @@
 #ifndef OTCLEAN_LINALG_SIMD_IMPL_H_
 #define OTCLEAN_LINALG_SIMD_IMPL_H_
+// otclean-lint: internal-header — implementation detail of the SIMD layer,
+// included only by its ISA translation units; deliberately NOT exported
+// through the umbrella header.
 
 // Lane-pack-templated bodies of every SIMD primitive. Each ISA translation
 // unit (simd_avx2.cc, simd_avx512.cc, simd_neon.cc) defines a Pack type —

@@ -37,12 +37,16 @@ ThreadPool::ThreadPool(size_t num_threads)
     : num_threads_(ResolveThreadCount(num_threads)) {}
 
 ThreadPool::~ThreadPool() {
+  // Swap the workers out under the lock (workers_ is guarded by mutex_),
+  // join them outside it — a worker's exit path briefly re-takes mutex_.
+  std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
+    to_join.swap(workers_);
   }
-  wake_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  wake_.NotifyAll();
+  for (std::thread& w : to_join) w.join();
 }
 
 ThreadPool::Job* ThreadPool::FindClaimableJobLocked() {
@@ -75,7 +79,7 @@ void ThreadPool::RunChunks(size_t num_chunks, void (*chunk_fn)(void*, size_t),
   job.num_chunks = num_chunks;
   job.stop = tls_stop_flag;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (workers_.empty()) {
       // Lazy start on the first dispatch that can actually use a worker:
       // solves whose every loop stays below the parallel grain never pay
@@ -88,7 +92,7 @@ void ThreadPool::RunChunks(size_t num_chunks, void (*chunk_fn)(void*, size_t),
     job.next = jobs_head_;
     jobs_head_ = &job;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   // The dispatching thread is a full participant — with W workers the pool
   // provides W+1 lanes per job, matching the spawn path's "caller runs
   // chunk 0". Under concurrent dispatch each job is guaranteed at least
@@ -101,11 +105,13 @@ void ThreadPool::RunChunks(size_t num_chunks, void (*chunk_fn)(void*, size_t),
     if (!ChunkStopped(job)) chunk_fn(ctx, c);
     ++completed;
   }
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   job.done_chunks += completed;
-  done_.wait(lock, [&job, num_chunks] {
-    return job.done_chunks == num_chunks && job.active_workers == 0;
-  });
+  // Explicit predicate loop (not the lambda-wait overload): the guarded
+  // reads stay in this locked scope where TSA can see the capability.
+  while (!(job.done_chunks == num_chunks && job.active_workers == 0)) {
+    done_.Wait(mutex_);
+  }
   Job** link = &jobs_head_;
   while (*link != &job) link = &(*link)->next;
   *link = job.next;
@@ -115,10 +121,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Job* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this, &job] {
-        return stopping_ || (job = FindClaimableJobLocked()) != nullptr;
-      });
+      MutexLock lock(mutex_);
+      while (!stopping_ && (job = FindClaimableJobLocked()) == nullptr) {
+        wake_.Wait(mutex_);
+      }
       if (stopping_) return;
       // Registering under the mutex pins the job: its dispatcher cannot
       // unlink (and pop its stack frame) until active_workers drops back
@@ -134,16 +140,16 @@ void ThreadPool::WorkerLoop() {
     }
     bool job_finished;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       job->done_chunks += completed;
       --job->active_workers;
       job_finished =
           job->done_chunks == job->num_chunks && job->active_workers == 0;
     }
     // Only the transition a dispatcher can be waiting on needs a signal;
-    // done_.notify_all wakes every dispatcher, each of which rechecks its
+    // done_.NotifyAll wakes every dispatcher, each of which rechecks its
     // own job's predicate.
-    if (job_finished) done_.notify_all();
+    if (job_finished) done_.NotifyAll();
   }
 }
 

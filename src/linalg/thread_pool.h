@@ -3,14 +3,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "linalg/parallel_for.h"
 
 namespace otclean::linalg {
@@ -62,7 +61,7 @@ class ThreadPool {
   /// call from multiple threads concurrently; each call is an independent
   /// job and returns when exactly its own chunks have completed.
   void RunChunks(size_t num_chunks, void (*chunk_fn)(void*, size_t),
-                 void* ctx);
+                 void* ctx) OTCLEAN_EXCLUDES(mutex_);
 
   /// Installs `flag` as the calling thread's cooperative stop flag for the
   /// scope's duration (RAII; nests by saving the previous flag). Every
@@ -99,35 +98,42 @@ class ThreadPool {
  private:
   /// One in-flight dispatch. Lives on its dispatcher's stack; linked into
   /// jobs_head_ for the duration of the RunChunks call. All fields except
-  /// next_chunk (claimed lock-free) are guarded by mutex_.
+  /// next_chunk (claimed lock-free) and the immutable dispatch description
+  /// (chunk_fn/ctx/num_chunks/stop, written before publication) are
+  /// guarded by mutex_ — TSA cannot express "guarded by the owning pool's
+  /// mutex_" on a stack-allocated node (and the single-threaded inline
+  /// path in RunChunks legitimately uses an unpublished Job lock-free), so
+  /// the mutable fields document the discipline instead of annotating it.
   struct Job {
     void (*chunk_fn)(void*, size_t) = nullptr;
     void* ctx = nullptr;
     size_t num_chunks = 0;
     std::atomic<size_t> next_chunk{0};
-    size_t done_chunks = 0;     ///< chunks whose chunk_fn has returned.
-    size_t active_workers = 0;  ///< workers currently registered on the job.
+    size_t done_chunks = 0;     ///< chunks done; guarded by pool mutex_.
+    size_t active_workers = 0;  ///< registered workers; guarded by mutex_.
     /// Dispatcher's stop flag at dispatch time; when it reads true,
     /// participants claim+count remaining chunks without executing them.
     const std::atomic<bool>* stop = nullptr;
-    Job* next = nullptr;
+    Job* next = nullptr;  ///< intrusive list link; guarded by pool mutex_.
   };
 
   /// Runs the chunk hook (if installed) and returns whether the job's stop
   /// flag has fired — the per-chunk gate shared by dispatcher and workers.
   static bool ChunkStopped(const Job& job);
 
-  void WorkerLoop();
-  Job* FindClaimableJobLocked();
+  void WorkerLoop() OTCLEAN_EXCLUDES(mutex_);
+  Job* FindClaimableJobLocked() OTCLEAN_REQUIRES(mutex_);
 
   const size_t num_threads_;
-  std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable done_;
-  Job* jobs_head_ = nullptr;  ///< live dispatches; guarded by mutex_.
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar wake_;
+  CondVar done_;
+  /// Lazily started on the first multi-chunk dispatch; joined (after a
+  /// swap out under the lock) by the destructor.
+  std::vector<std::thread> workers_ OTCLEAN_GUARDED_BY(mutex_);
+  Job* jobs_head_ OTCLEAN_GUARDED_BY(mutex_) = nullptr;  ///< live dispatches
+  bool stopping_ OTCLEAN_GUARDED_BY(mutex_) = false;
 };
 
 /// Resolves the pool a solve dispatches on: the caller-supplied `external`

@@ -30,9 +30,12 @@ Domain Domain::FromCardinalities(const std::vector<size_t>& cardinalities) {
   for (size_t i = 0; i < cardinalities.size(); ++i) {
     names.push_back("a" + std::to_string(i));
   }
-  auto r = Make(std::move(names), cardinalities);
-  assert(r.ok());
-  return std::move(r).value();
+  // Synthetic unique names over positive cardinalities cannot fail Make's
+  // validation; assert that in every build mode (a plain assert would let a
+  // release binary dereference an empty result).
+  Domain out;
+  OTCLEAN_CHECK_OK_AND_ASSIGN(out, Make(std::move(names), cardinalities));
+  return out;
 }
 
 void Domain::ComputeStrides() {
@@ -87,9 +90,10 @@ Domain Domain::Project(const std::vector<size_t>& attrs) const {
     names.push_back(names_[a]);
     cards.push_back(cardinalities_[a]);
   }
-  auto r = Make(std::move(names), std::move(cards));
-  assert(r.ok());
-  return std::move(r).value();
+  // A projection of a valid domain is a valid domain.
+  Domain out;
+  OTCLEAN_CHECK_OK_AND_ASSIGN(out, Make(std::move(names), std::move(cards)));
+  return out;
 }
 
 size_t Domain::ProjectIndex(size_t index,

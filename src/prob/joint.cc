@@ -119,9 +119,11 @@ JointDistribution ProductDistribution(const JointDistribution& p,
     names.push_back(q.domain().Name(i));
     cards.push_back(q.domain().Cardinality(i));
   }
-  auto dom = Domain::Make(std::move(names), std::move(cards));
-  assert(dom.ok());
-  JointDistribution out(std::move(dom).value());
+  // The concatenation of two valid domains is a valid domain.
+  Domain product_domain;
+  OTCLEAN_CHECK_OK_AND_ASSIGN(product_domain,
+                              Domain::Make(std::move(names), std::move(cards)));
+  JointDistribution out(std::move(product_domain));
   const size_t qn = q.size();
   for (size_t i = 0; i < p.size(); ++i) {
     const double pi = p[i];

@@ -130,6 +130,45 @@ TEST(ResultTest, MoveOnlyValueWorks) {
   EXPECT_EQ(*v, 42);
 }
 
+// ------------------------------------------------- Checked-access macros --
+
+TEST(CheckOkTest, OkStatusPassesThrough) {
+  OTCLEAN_CHECK_OK(Status::OK());
+  OTCLEAN_CHECK_OK(Propagating(false));
+}
+
+TEST(CheckOkDeathTest, AbortsNamingExpressionAndStatus) {
+  // Unlike the assert() it replaced, the check survives NDEBUG builds and
+  // names both the failing expression and the status on stderr.
+  EXPECT_DEATH(OTCLEAN_CHECK_OK(Status::Internal("boom")),
+               "OTCLEAN_CHECK_OK.*Internal: boom");
+}
+
+TEST(CheckOkAndAssignTest, AssignsValueOnOk) {
+  int half = -1;
+  OTCLEAN_CHECK_OK_AND_ASSIGN(half, HalfOf(10));
+  EXPECT_EQ(half, 5);
+}
+
+TEST(CheckOkAndAssignTest, MoveOnlyValueWorks) {
+  auto make = []() -> Result<std::unique_ptr<int>> {
+    return std::make_unique<int>(7);
+  };
+  std::unique_ptr<int> v;
+  OTCLEAN_CHECK_OK_AND_ASSIGN(v, make());
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(CheckOkAndAssignDeathTest, AbortsOnErrorResult) {
+  // The old `assert(r.ok()); std::move(r).value();` idiom was UB under
+  // NDEBUG (value() on an error Result); the macro must abort instead.
+  int half = -1;
+  EXPECT_DEATH(OTCLEAN_CHECK_OK_AND_ASSIGN(half, HalfOf(7)),
+               "OTCLEAN_CHECK_OK.*InvalidArgument: odd");
+  EXPECT_EQ(half, -1);
+}
+
 // ------------------------------------------------------------------- Rng --
 
 TEST(RngTest, DeterministicForSameSeed) {

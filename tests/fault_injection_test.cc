@@ -66,7 +66,7 @@ TEST(FaultInjectorParseTest, RejectsMalformedSpecsLoudly) {
 }
 
 TEST(FaultInjectorTest, SiteNamesRoundTrip) {
-  for (int i = 0; i < kNumFaultSites; ++i) {
+  for (size_t i = 0; i < kNumFaultSites; ++i) {
     const auto site = static_cast<FaultSite>(i);
     FaultInjector inj;
     ASSERT_TRUE(FaultInjector::Parse(std::string(FaultSiteName(site)) + "@1",

@@ -1,0 +1,4 @@
+// Fixture SIMD translation unit compiled without -ffp-contract=off.
+namespace fixture {
+float MulAdd(float a, float b, float c) { return a * b + c; }
+}  // namespace fixture

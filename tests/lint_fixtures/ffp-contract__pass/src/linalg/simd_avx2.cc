@@ -1,0 +1,4 @@
+// Fixture SIMD translation unit (AVX2 tier).
+namespace fixture {
+float MulAdd2(float a, float b, float c) { return a * b + c; }
+}  // namespace fixture

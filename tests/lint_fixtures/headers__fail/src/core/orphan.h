@@ -1,0 +1,11 @@
+#ifndef OTCLEAN_CORE_WRONG_GUARD_H_
+#define OTCLEAN_CORE_WRONG_GUARD_H_
+
+// Fixture: two violations — the guard does not match the path-derived
+// OTCLEAN_CORE_ORPHAN_H_, and the header is neither reachable from the
+// umbrella nor marked internal.
+namespace fixture {
+int Orphan();
+}  // namespace fixture
+
+#endif  // OTCLEAN_CORE_WRONG_GUARD_H_

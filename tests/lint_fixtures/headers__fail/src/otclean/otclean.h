@@ -1,0 +1,6 @@
+#ifndef OTCLEAN_OTCLEAN_H_
+#define OTCLEAN_OTCLEAN_H_
+
+// Fixture umbrella header that forgets to include src/core/orphan.h.
+
+#endif  // OTCLEAN_OTCLEAN_H_

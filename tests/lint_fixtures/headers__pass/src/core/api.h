@@ -1,0 +1,10 @@
+#ifndef OTCLEAN_CORE_API_H_
+#define OTCLEAN_CORE_API_H_
+
+// Fixture public header: canonical path-derived guard, reachable from the
+// umbrella header.
+namespace fixture {
+int Api();
+}  // namespace fixture
+
+#endif  // OTCLEAN_CORE_API_H_

@@ -1,0 +1,10 @@
+#ifndef OTCLEAN_CORE_DETAIL_H_
+#define OTCLEAN_CORE_DETAIL_H_
+
+// otclean-lint: internal-header — implementation detail deliberately not
+// exported through the umbrella header.
+namespace fixture {
+int Detail();
+}  // namespace fixture
+
+#endif  // OTCLEAN_CORE_DETAIL_H_

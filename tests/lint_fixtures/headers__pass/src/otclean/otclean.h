@@ -1,0 +1,8 @@
+#ifndef OTCLEAN_OTCLEAN_H_
+#define OTCLEAN_OTCLEAN_H_
+
+// Fixture umbrella header: the grandfathered OTCLEAN_OTCLEAN_H_ guard and
+// the include that makes core/api.h reachable.
+#include "core/api.h"
+
+#endif  // OTCLEAN_OTCLEAN_H_

@@ -1,0 +1,25 @@
+// Fixture: a naked .value() with no ok()/has_value() check or checked
+// macro anywhere in the preceding lines must be flagged.
+#include <optional>
+
+namespace fixture {
+
+int Pad1() { return 1; }
+int Pad2() { return 2; }
+int Pad3() { return 3; }
+int Pad4() { return 4; }
+int Pad5() { return 5; }
+int Pad6() { return 6; }
+int Pad7() { return 7; }
+int Pad8() { return 8; }
+int Pad9() { return 9; }
+int Pad10() { return 10; }
+int Pad11() { return 11; }
+int Pad12() { return 12; }
+int Pad13() { return 13; }
+
+int Use(const std::optional<int>& o) {
+  return o.value();
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: .value() with a visible ok() guard (or the checked macros) in
+// the preceding lines is fine.
+#include <optional>
+
+namespace fixture {
+
+struct Result {
+  bool ok() const { return v.has_value(); }
+  int value() const { return *v; }
+  std::optional<int> v;
+};
+
+int Use(const Result& r) {
+  if (r.ok()) {
+    return r.value();
+  }
+  return -1;
+}
+
+int UseOptional(const std::optional<int>& o) {
+  if (o.has_value()) {
+    return o.value();
+  }
+  return -1;
+}
+
+}  // namespace fixture

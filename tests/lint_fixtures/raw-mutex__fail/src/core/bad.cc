@@ -1,0 +1,11 @@
+// Fixture: raw lock types outside common/thread_annotations.h must be
+// flagged — clang -Wthread-safety cannot see locking it is not told about.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mu;
+
+void Locked() { std::lock_guard<std::mutex> lock(g_mu); }
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+#ifndef OTCLEAN_COMMON_THREAD_ANNOTATIONS_H_
+#define OTCLEAN_COMMON_THREAD_ANNOTATIONS_H_
+
+// Fixture: this is the one file allowed to touch raw std:: lock types — it
+// defines the annotated wrappers everything else must use.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+class Mutex {
+ public:
+  void Lock() { mu_.lock(); }
+  void Unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace fixture
+
+#endif  // OTCLEAN_COMMON_THREAD_ANNOTATIONS_H_

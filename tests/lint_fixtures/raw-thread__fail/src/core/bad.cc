@@ -1,0 +1,12 @@
+// Fixture: raw std::thread outside src/linalg/ with no justification pragma
+// must be flagged.
+#include <thread>
+
+namespace fixture {
+
+void Spawn() {
+  std::thread t([] {});
+  t.join();
+}
+
+}  // namespace fixture

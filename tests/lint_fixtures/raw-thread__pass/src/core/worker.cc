@@ -1,0 +1,14 @@
+// Fixture: outside linalg/, a raw thread needs an explicit justification
+// pragma on the line above (or the same line) to pass.
+#include <thread>
+
+namespace fixture {
+
+void RunExecutor() {
+  // Executor thread, not a kernel worker — justified bypass.
+  // otclean-lint: allow(raw-thread)
+  std::thread t([] {});
+  t.join();
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: std::thread inside src/linalg/ is the one allowed home — the
+// ThreadPool owns its workers here.
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+void SpawnWorkers(std::vector<std::thread>* workers) {
+  workers->emplace_back([] {});
+}
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: library code writing to stdout must be flagged.
+#include <iostream>
+
+namespace fixture {
+
+void Report(int n) { std::cout << "repaired " << n << " rows\n"; }
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: stderr diagnostics are fine in library code; only stdout is
+// reserved (a comment mentioning std::cout or printf must not be flagged).
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+void Warn(const char* msg) {
+  std::fprintf(stderr, "warning: %s\n", msg);
+  std::cerr << "warning: " << msg << "\n";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s", msg);  // formatting, not stdout
+}
+
+}  // namespace fixture

@@ -483,14 +483,14 @@ TEST(LogSinkhornBugfixTest, NegativeMarginalsAndNonFiniteCostsRejected) {
     prob::JointDistribution p(d);
     p[0] = 0.5;
     p[3] = 0.5;
-    const ot::LambdaCost nan_cost(
+    const ot::LambdaCost nan_lambda_cost(
         [](const std::vector<int>&, const std::vector<int>&) {
           return std::nan("");
         });
     core::FastOtCleanOptions fopts;
     Rng rng(99);
-    const auto r =
-        core::FastOtClean(p, prob::CiSpec{{0}, {1}, {}}, nan_cost, fopts, rng);
+    const auto r = core::FastOtClean(p, prob::CiSpec{{0}, {1}, {}},
+                                     nan_lambda_cost, fopts, rng);
     ASSERT_FALSE(r.ok());
     EXPECT_NE(r.status().ToString().find("cost("), std::string::npos);
   }

@@ -59,8 +59,8 @@ INSTANTIATE_TEST_SUITE_P(
                                  std::vector<double>{1.0, 2.0, 0.5})},
         CostCase{"fairness", std::make_shared<ot::FairnessCost>(
                                  std::vector<size_t>{0}, 3)}),
-    [](const ::testing::TestParamInfo<CostCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<CostCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(CostAxiomsExtra, EuclideanTriangleInequality) {

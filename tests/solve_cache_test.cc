@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/repair.h"
@@ -28,7 +30,8 @@ TEST(SolveCacheKeyTest, ZeroFingerprintYieldsInvalidKey) {
   EXPECT_FALSE(cache.FindKernel(key).has_value());
   cache.InsertKernel(key,
                      CachedKernel{std::make_shared<linalg::Matrix>(2, 2, 1.0),
-                                  nullptr, nullptr, nullptr});
+                                  nullptr, nullptr, nullptr, nullptr,
+                                  nullptr});
   EXPECT_FALSE(cache.FindWarmStart(key).has_value());
   SolveCacheStats s = cache.Stats();
   EXPECT_EQ(s.kernel_hits, 0u);
@@ -72,7 +75,8 @@ TEST(SolveCacheKeyTest, EqualityChecksVerbatimFieldsNotJustTheHash) {
   SolveCache cache;
   cache.InsertKernel(a,
                      CachedKernel{std::make_shared<linalg::Matrix>(4, 4, 1.0),
-                                  nullptr, nullptr, nullptr});
+                                  nullptr, nullptr, nullptr, nullptr,
+                                  nullptr});
   EXPECT_FALSE(cache.FindKernel(b).has_value());
   EXPECT_TRUE(cache.FindKernel(a).has_value());
 }
@@ -82,7 +86,7 @@ TEST(SolveCacheKeyTest, EqualityChecksVerbatimFieldsNotJustTheHash) {
 
 CachedKernel MakeDenseEntry(double fill) {
   return CachedKernel{std::make_shared<linalg::Matrix>(100, 100, fill), nullptr,
-                      nullptr, nullptr};
+                      nullptr, nullptr, nullptr, nullptr};
 }
 
 constexpr size_t kEntryBytes = 100 * 100 * sizeof(double);
@@ -559,6 +563,64 @@ TEST(SolveCacheSchedulerTest, ConcurrentBatchSharesOneCacheBitIdentically) {
     EXPECT_EQ(report.jobs[i]->transport_cost, baseline.jobs[i]->transport_cost)
         << "job " << i;
   }
+}
+
+/// TSan target for the OTCLEAN_EXCLUDES(mu_) accessor contract on
+/// SolveCache::Stats(): a poller thread hammers shared_cache()->Stats()
+/// (and DeltaStats folding) while an 8-job batch runs on four executors.
+/// Under -fsanitize=thread this pins down that Stats() snapshots the
+/// counters under the cache mutex — no torn reads, no counter going
+/// backwards mid-batch.
+TEST(SolveCacheSchedulerTest, StatsPollRacingABatchStaysCoherent) {
+  const dataset::Table t1 = MakeViolatingTable(36);
+  const dataset::Table t2 = MakeViolatingTable(37);
+
+  std::vector<RepairJob> jobs;
+  for (size_t i = 0; i < 8; ++i) {
+    RepairJob j;
+    j.table = (i % 2 == 0) ? &t1 : &t2;
+    j.constraints = {XyGivenZ()};
+    j.options = FastRepairOptions();
+    j.id = i;
+    jobs.push_back(j);
+  }
+
+  RepairSchedulerOptions sched;
+  sched.max_concurrent_jobs = 4;
+  sched.pool_threads = 1;
+  sched.cache_bytes = 256 << 20;
+  RepairScheduler scheduler(sched);
+  ASSERT_NE(scheduler.shared_cache(), nullptr);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> polls{0};
+  std::thread poller([&] {
+    SolveCacheStats last = scheduler.shared_cache()->Stats();
+    while (!stop.load(std::memory_order_relaxed)) {
+      const SolveCacheStats now = scheduler.shared_cache()->Stats();
+      const SolveCacheStats delta = DeltaStats(last, now);
+      // Counters are monotone within a batch; a snapshot taken under the
+      // cache mutex can never observe one running backwards (an unsigned
+      // wrap in the delta would betray a torn read).
+      EXPECT_GE(now.kernel_hits, last.kernel_hits);
+      EXPECT_GE(now.kernel_misses, last.kernel_misses);
+      EXPECT_GE(now.insertions, last.insertions);
+      EXPECT_LE(delta.kernel_hits, now.kernel_hits);
+      EXPECT_LE(delta.kernel_misses, now.kernel_misses);
+      last = now;
+      polls.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  const BatchReport report = scheduler.Run(jobs);
+  stop.store(true);
+  poller.join();
+
+  ASSERT_EQ(report.completed_jobs, jobs.size());
+  EXPECT_GT(polls.load(), 0u);
+  const SolveCacheStats end = scheduler.shared_cache()->Stats();
+  EXPECT_EQ(end.kernel_hits + end.kernel_misses, jobs.size());
+  EXPECT_EQ(end.entries, 2u);  // one kernel per distinct table
 }
 
 }  // namespace

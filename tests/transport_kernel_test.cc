@@ -139,7 +139,9 @@ TEST(TransportKernelTest, StreamedGibbsKernelMatchesDenseBuiltKernel) {
     ASSERT_EQ(streamed.nnz(), built.nnz()) << "cutoff " << cutoff;
     EXPECT_TRUE(streamed.ToDense().ApproxEquals(built.ToDense(), 0.0))
         << "cutoff " << cutoff;
-    if (cutoff > 0.0) EXPECT_LT(streamed.nnz(), dom.TotalSize() * dom.TotalSize());
+    if (cutoff > 0.0) {
+      EXPECT_LT(streamed.nnz(), dom.TotalSize() * dom.TotalSize());
+    }
   }
 }
 
